@@ -1,0 +1,74 @@
+"""Ablation benches for the analysis-engine design choices.
+
+DESIGN.md calls out three costs worth isolating: the per-predictor
+classification core, the path (generator-class) dataflow, and the
+per-generate tree tracking with capped id sets.  Each bench analyses
+the same trace prefix with one feature layer enabled.
+"""
+
+import pytest
+
+from repro.core import AnalysisConfig, analyze_machine
+from repro.workloads import get_workload
+
+_BUDGET = 10_000
+
+
+def _analyze(config):
+    machine = get_workload("com").machine()
+    return analyze_machine(machine, "ablate", config)
+
+
+def bench_classification_only(benchmark):
+    config = AnalysisConfig(
+        track_paths=False, track_sequences=False, track_branches=False,
+        max_instructions=_BUDGET,
+    )
+    result = benchmark(_analyze, config)
+    assert result.nodes == _BUDGET
+
+
+def bench_with_paths(benchmark):
+    config = AnalysisConfig(
+        track_paths=True, trees_for=(), track_sequences=False,
+        track_branches=False, max_instructions=_BUDGET,
+    )
+    result = benchmark(_analyze, config)
+    assert result.predictors["context"].paths is not None
+
+
+def bench_with_trees(benchmark):
+    config = AnalysisConfig(
+        track_paths=True, trees_for=("context",), track_sequences=False,
+        track_branches=False, max_instructions=_BUDGET,
+    )
+    result = benchmark(_analyze, config)
+    assert result.predictors["context"].trees is not None
+
+
+def bench_full_tracking(benchmark):
+    config = AnalysisConfig(max_instructions=_BUDGET)
+    result = benchmark(_analyze, config)
+    assert result.predictors["context"].sequences is not None
+
+
+@pytest.mark.parametrize("count", [1, 2, 3])
+def bench_predictor_count(benchmark, count):
+    kinds = ("last", "stride", "context")[:count]
+    config = AnalysisConfig(
+        predictors=kinds, trees_for=(), track_sequences=False,
+        track_branches=False, max_instructions=_BUDGET,
+    )
+    result = benchmark(_analyze, config)
+    assert len(result.predictors) == count
+
+
+@pytest.mark.parametrize("cap", [4, 64])
+def bench_gen_cap(benchmark, cap):
+    config = AnalysisConfig(
+        predictors=("context",), trees_for=("context",), gen_cap=cap,
+        track_sequences=False, track_branches=False,
+        max_instructions=_BUDGET,
+    )
+    result = benchmark(_analyze, config)
+    assert result.predictors["context"].trees is not None

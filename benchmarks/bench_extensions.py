@@ -1,0 +1,121 @@
+"""Benches for the model's extension features (paper Section 6
+directions): the hybrid predictor, confidence gating, delayed update,
+and the two-level local branch predictor alternative.
+
+These are not paper exhibits; they quantify the design space the paper
+points at, on the same workload substrate.
+"""
+
+import pytest
+
+from repro.core import AnalysisConfig, analyze_machine
+from repro.predictors import (
+    ConfidentPredictor,
+    DelayedPredictor,
+    make_branch_predictor,
+    make_predictor,
+)
+from repro.workloads import get_workload
+
+_BUDGET = 10_000
+
+
+def _output_stream(name, budget=_BUDGET):
+    """(pc, value) pairs of predictable outputs from a workload trace."""
+    from itertools import islice
+
+    stream = []
+    for dyn in islice(get_workload(name).machine().trace(), budget):
+        if dyn.out is not None and not dyn.is_branch:
+            stream.append((dyn.pc, dyn.out))
+    return stream
+
+
+@pytest.fixture(scope="module")
+def gcc_outputs():
+    return _output_stream("gcc")
+
+
+@pytest.mark.parametrize("kind", ["stride", "context", "hybrid"])
+def bench_hybrid_vs_components(benchmark, gcc_outputs, kind):
+    def run():
+        predictor = make_predictor(kind)
+        return sum(predictor.see(pc, value) for pc, value in gcc_outputs)
+
+    hits = benchmark(run)
+    assert 0 < hits <= len(gcc_outputs)
+
+
+def bench_confidence_gating(benchmark, gcc_outputs):
+    def run():
+        predictor = ConfidentPredictor(make_predictor("stride"),
+                                       threshold=4)
+        for pc, value in gcc_outputs:
+            predictor.see(pc, value)
+        return predictor
+
+    predictor = benchmark(run)
+    # Gated predictions must be at least as accurate as the raw stream.
+    raw = make_predictor("stride")
+    raw_hits = sum(raw.see(pc, value) for pc, value in gcc_outputs)
+    assert predictor.accuracy() >= raw_hits / len(gcc_outputs)
+
+
+@pytest.mark.parametrize("delay", [0, 4, 32])
+def bench_delayed_update(benchmark, gcc_outputs, delay):
+    def run():
+        predictor = DelayedPredictor("stride", delay=delay)
+        return sum(predictor.see(pc, value) for pc, value in gcc_outputs)
+
+    hits = benchmark(run)
+    assert hits >= 0
+
+
+@pytest.mark.parametrize("kind", ["gshare", "local"])
+def bench_branch_predictors(benchmark, kind):
+    from itertools import islice
+
+    branches = []
+    for dyn in islice(get_workload("go").machine().trace(), 30_000):
+        if dyn.is_branch:
+            branches.append((dyn.pc, dyn.taken))
+
+    def run():
+        predictor = make_branch_predictor(kind)
+        return sum(predictor.see(pc, taken) for pc, taken in branches)
+
+    hits = benchmark(run)
+    assert hits / len(branches) > 0.7
+
+
+def bench_analysis_with_hybrid(benchmark):
+    config = AnalysisConfig(
+        predictors=("stride", "hybrid"), trees_for=(),
+        max_instructions=_BUDGET,
+    )
+
+    def run():
+        machine = get_workload("com").machine()
+        return analyze_machine(machine, "hybrid", config)
+
+    result = benchmark(run)
+    assert "hybrid" in result.predictors
+
+
+@pytest.mark.parametrize("ways", [1, 4, 16])
+def bench_instruction_reuse(benchmark, ways):
+    """Reuse-buffer sweep (paper ref [16]; Section 6's memoization
+    suggestion): reuse rate as a function of buffer depth."""
+    config = AnalysisConfig(
+        predictors=("stride",), trees_for=(), track_paths=False,
+        track_sequences=True, track_branches=False,
+        track_reuse=True, reuse_ways=ways, max_instructions=_BUDGET,
+    )
+
+    def run():
+        machine = get_workload("ijp").machine()
+        return analyze_machine(machine, "reuse", config)
+
+    result = benchmark(run)
+    stats = result.reuse
+    assert 0.0 < stats.reuse_rate() < 1.0

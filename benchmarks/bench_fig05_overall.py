@@ -1,0 +1,11 @@
+"""Regenerates Figure 5: overall node/arc generation, propagation and
+termination for the three predictors, with INT and FLOAT averages."""
+
+from repro.report.experiments import figure5
+
+
+def bench_figure5(benchmark, suite_results, save_tables):
+    table = benchmark(figure5, suite_results)
+    save_tables("fig05_overall", table)
+    # 12 workloads + INT + FLOAT averages, one row per predictor.
+    assert len(table.rows) == (len(suite_results) + 2) * 3

@@ -1,0 +1,14 @@
+"""Regenerates Figure 6: generation detail (node classes and
+single/repeated/write-once/input-data arc classes)."""
+
+from repro.report.experiments import figure6
+
+
+def bench_figure6(benchmark, suite_results, save_tables):
+    tables = benchmark(figure6, suite_results)
+    save_tables("fig06_generation", list(tables))
+    node_table, arc_table = tables
+    assert node_table.headers[2:] == ["i,i->p", "n,n->p", "i,n->p"]
+    assert arc_table.headers[2:] == [
+        "<wl:n,p>", "<rd:n,p>", "<r:n,p>", "<1:n,p>"
+    ]

@@ -1,0 +1,10 @@
+"""Regenerates Figure 7: propagation detail."""
+
+from repro.report.experiments import figure7
+
+
+def bench_figure7(benchmark, suite_results, save_tables):
+    tables = benchmark(figure7, suite_results)
+    save_tables("fig07_propagation", list(tables))
+    node_table, arc_table = tables
+    assert node_table.headers[2:] == ["p,p->p", "p,i->p", "p,n->p"]

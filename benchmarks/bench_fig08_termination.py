@@ -1,0 +1,10 @@
+"""Regenerates Figure 8: termination detail."""
+
+from repro.report.experiments import figure8
+
+
+def bench_figure8(benchmark, suite_results, save_tables):
+    tables = benchmark(figure8, suite_results)
+    save_tables("fig08_termination", list(tables))
+    node_table, arc_table = tables
+    assert node_table.headers[2:] == ["p,n->n", "p,p->n", "p,i->n"]

@@ -1,0 +1,12 @@
+"""Regenerates Figure 9: generator-class contributions to propagation
+(overall per class, and the top exact combinations)."""
+
+from repro.report.experiments import figure9
+
+
+def bench_figure9(benchmark, suite_results, save_tables):
+    tables = benchmark(figure9, suite_results)
+    save_tables("fig09_paths", list(tables))
+    overall, combos = tables
+    assert overall.headers[1:] == ["C", "D", "W", "I", "N", "M"]
+    assert len(overall.rows) == 3

@@ -1,0 +1,14 @@
+"""Regenerates Figure 10: predictability-tree longest paths and
+aggregate propagation (gcc analogue, context predictor)."""
+
+from repro.report.experiments import figure10
+
+
+def bench_figure10(benchmark, suite_results, save_tables):
+    table = benchmark(figure10, suite_results, "gcc", "context")
+    save_tables("fig10_trees", table)
+    # Cumulative curves must be non-decreasing and end at 100%.
+    gens = [row[1] for row in table.rows]
+    aggs = [row[2] for row in table.rows]
+    assert gens == sorted(gens) and aggs == sorted(aggs)
+    assert round(gens[-1]) == 100 and round(aggs[-1]) == 100

@@ -1,0 +1,16 @@
+"""Regenerates Figure 11: number of generates influencing a propagate,
+and the distance from a propagate to its farthest generate, for the
+compress / go / gcc analogues under the context predictor."""
+
+from repro.report.experiments import figure11
+
+
+def bench_figure11(benchmark, suite_results, save_tables):
+    tables = benchmark(figure11, suite_results, ("com", "go", "gcc"),
+                       "context")
+    save_tables("fig11_influence", list(tables))
+    influence, distance = tables
+    assert influence.headers == ["K", "com", "go", "gcc"]
+    for row in influence.rows:
+        for cell in row[1:]:
+            assert 0.0 <= cell <= 100.0

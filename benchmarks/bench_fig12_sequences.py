@@ -1,0 +1,13 @@
+"""Regenerates Figure 12: fully-predictable contiguous sequence
+lengths (INT average, three predictors)."""
+
+from repro.report.experiments import SEQUENCE_BUCKETS, figure12
+
+
+def bench_figure12(benchmark, suite_results, save_tables):
+    table = benchmark(figure12, suite_results)
+    save_tables("fig12_sequences", table)
+    assert len(table.rows) == len(SEQUENCE_BUCKETS)
+    # Bucket shares cannot exceed 100% of instructions in total.
+    for column in (1, 2, 3):
+        assert sum(row[column] for row in table.rows) <= 100.0 + 1e-9

@@ -1,0 +1,13 @@
+"""Regenerates Figure 13: branch predictability classes (gshare
+direction outcome x value-predicted inputs, INT average)."""
+
+from repro.report.experiments import figure13
+
+
+def bench_figure13(benchmark, suite_results, save_tables):
+    table = benchmark(figure13, suite_results)
+    save_tables("fig13_branches", table)
+    assert len(table.rows) == 12
+    for column in (1, 2, 3):
+        total = sum(row[column] for row in table.rows)
+        assert abs(total - 100.0) < 1e-6  # classes partition all branches

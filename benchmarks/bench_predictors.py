@@ -1,0 +1,43 @@
+"""Predictor update throughput and accuracy on canonical sequences.
+
+The paper's model makes ~5 predictor queries per dynamic instruction,
+so `see()` cost dominates analysis time; these benches track it per
+predictor kind, including the gshare branch predictor.
+"""
+
+import pytest
+
+from repro.predictors import GsharePredictor, make_predictor
+
+_N = 20_000
+
+
+def _stride_sequence(n):
+    return [(i * 3) & 0xFFFF for i in range(n)]
+
+
+@pytest.mark.parametrize("kind", ["last", "stride", "context"])
+def bench_value_predictor(benchmark, kind):
+    values = _stride_sequence(_N)
+
+    def run():
+        predictor = make_predictor(kind)
+        hits = 0
+        for pc in range(8):
+            for value in values[:_N // 8]:
+                hits += predictor.see(pc, value)
+        return hits
+
+    hits = benchmark(run)
+    assert hits >= 0
+
+
+def bench_gshare(benchmark):
+    outcomes = [(i % 7) < 4 for i in range(_N)]
+
+    def run():
+        predictor = GsharePredictor()
+        return sum(predictor.see(i & 63, taken)
+                   for i, taken in enumerate(outcomes))
+
+    assert benchmark(run) > 0

@@ -1,0 +1,55 @@
+"""Substrate throughput: assembler, compiler, and simulator speed.
+
+Not a paper exhibit, but the cost model behind DESIGN.md's performance
+budget: how fast the tracing machine and the plain (untraced) machine
+retire instructions, and what compiling/assembling a workload costs.
+"""
+
+import itertools
+
+from repro.minic import compile_program, compile_source
+from repro.workloads import get_workload
+
+_BUDGET = 20_000
+
+
+def bench_compile_workload(benchmark):
+    source = get_workload("gcc").source()
+    assembly = benchmark(compile_source, source)
+    assert "jal main" in assembly
+
+
+def bench_assemble_workload(benchmark):
+    source = get_workload("gcc").source()
+    program = benchmark(compile_program, source)
+    assert len(program) > 100
+
+
+def _drain(machine, budget):
+    for __ in itertools.islice(machine.trace(), budget):
+        pass
+    return machine.uid
+
+
+def bench_machine_tracing(benchmark):
+    workload = get_workload("com")
+
+    def run():
+        return _drain(workload.machine(), _BUDGET)
+
+    assert benchmark(run) >= _BUDGET
+
+
+def bench_machine_untraced(benchmark):
+    workload = get_workload("com")
+
+    def run():
+        machine = workload.machine(tracing=False,
+                                   max_instructions=_BUDGET + 1)
+        try:
+            machine.run()
+        except Exception:
+            pass  # instruction budget reached
+        return machine.uid
+
+    assert benchmark(run) >= _BUDGET

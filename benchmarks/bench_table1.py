@@ -1,0 +1,9 @@
+"""Regenerates Table 1: benchmark characteristics of the DPGs."""
+
+from repro.report.experiments import table1
+
+
+def bench_table1(benchmark, suite_results, save_tables):
+    table = benchmark(table1, suite_results)
+    save_tables("table1", table)
+    assert len(table.rows) == len(suite_results)

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's exhibits.  The
+underlying workload analyses are shared through a session-scoped suite
+run (cached in-process by :mod:`repro.report.experiments`), so the
+whole harness pays the trace-analysis cost once.  Rendered tables are
+written to ``benchmarks/results/`` so the regenerated exhibits persist
+as artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.report.experiments import ExperimentConfig, run_suite
+
+#: Dynamic-instruction budget per workload for the bench harness.  The
+#: paper-quality runs use the report CLI with a larger budget; the
+#: bench runs keep the suite fast while preserving the shapes.
+BENCH_BUDGET = 25_000
+
+BENCH_CONFIG = ExperimentConfig(max_instructions=BENCH_BUDGET)
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """Per-workload analysis results for the whole suite."""
+    return run_suite(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    path = Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture()
+def save_tables(results_dir):
+    """Writer that persists rendered tables under benchmarks/results/."""
+
+    def save(name: str, tables) -> None:
+        if not isinstance(tables, (list, tuple)):
+            tables = [tables]
+        text = "\n\n".join(table.render() for table in tables) + "\n"
+        (results_dir / f"{name}.txt").write_text(text)
+
+    return save

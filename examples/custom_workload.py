@@ -1,0 +1,98 @@
+"""Analyse your own mini-C program against the suite's workloads.
+
+Run:  python examples/custom_workload.py
+
+Shows how to bring a new workload into the model: write mini-C, feed it
+synthetic input data (which becomes D nodes in the DPG), analyse it,
+and compare its predictability profile with a suite workload.
+"""
+
+from repro.core import AnalysisConfig, Behavior, analyze_machine
+from repro.cpu import Machine
+from repro.minic import compile_program
+from repro.workloads import get_workload
+from repro.workloads.inputs import words
+
+# A small sorting workload: insertion sort is branchy and data
+# dependent, so its predictability profile differs visibly from a
+# regular streaming kernel.
+SOURCE = """
+int data[512];
+
+int main() {
+    int n = input_word(0);
+    int i;
+    for (i = 0; i < n; i++) {
+        data[i] = input_word(i + 1);
+    }
+    for (i = 1; i < n; i++) {
+        int key = data[i];
+        int j = i - 1;
+        while (j >= 0 && data[j] > key) {
+            data[j + 1] = data[j];
+            j--;
+        }
+        data[j + 1] = key;
+    }
+    int inversions_left = 0;
+    for (i = 1; i < n; i++) {
+        if (data[i - 1] > data[i]) {
+            inversions_left++;
+        }
+    }
+    print_int(inversions_left);
+    print_char('\\n');
+    return 0;
+}
+"""
+
+
+def profile(result):
+    """Summarise a result as propagation/generation/termination shares."""
+    elements = result.elements
+    out = {}
+    for kind, pred in result.predictors.items():
+        nodes = pred.nodes.behavior_counts()
+        arcs = pred.arcs.behavior_counts()
+        out[kind] = tuple(
+            100.0 * (nodes.get(behavior, 0) + arcs.get(behavior, 0))
+            / elements
+            for behavior in (Behavior.GENERATE, Behavior.PROPAGATE,
+                             Behavior.TERMINATE)
+        )
+    return out
+
+
+def print_profile(title, result):
+    print(title)
+    for kind, (gen, prop, term) in profile(result).items():
+        print(f"  {kind:<8} generate {gen:5.2f}%   propagate {prop:6.2f}%"
+              f"   terminate {term:5.2f}%")
+    print()
+
+
+def main() -> None:
+    n = 400
+    program = compile_program(SOURCE)
+    machine = Machine(program, input_words=[n] + words(n, 0, 9999, seed=7))
+    config = AnalysisConfig(max_instructions=120_000)
+    custom = analyze_machine(machine, "insertion-sort", config)
+    print(f"insertion sort: {custom.nodes} dynamic instructions, "
+          f"output {machine.output.strip()!r}")
+    print()
+    print_profile("insertion sort (random input):", custom)
+
+    compress = get_workload("com")
+    compress_result = analyze_machine(
+        compress.machine(), "compress", config
+    )
+    print_profile("129.compress analogue, for comparison:",
+                  compress_result)
+
+    print("Sorting random data keeps comparisons unpredictable (more")
+    print("termination, less propagation) while the compression loop's")
+    print("induction structure propagates predictability broadly.")
+
+
+if __name__ == "__main__":
+    main()

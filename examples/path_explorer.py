@@ -1,0 +1,80 @@
+"""Explore predictable paths and trees (paper Section 4.5).
+
+Run:  python examples/path_explorer.py
+
+For one workload, traces where predictability *comes from*: which
+generator classes (control flow, immediates, input data, ...) are
+upstream of each propagating node/arc, how deep the predictability
+trees grow, and how far a propagate typically sits from the generate
+that feeds it.
+"""
+
+from repro.core import AnalysisConfig, GenClass, analyze_machine
+from repro.core.events import gen_mask_name
+from repro.report.tables import cumulative_percent, log2_bucket_edges
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("com")
+    config = AnalysisConfig(
+        max_instructions=120_000,
+        predictors=("context",),
+        trees_for=("context",),
+    )
+    result = analyze_machine(workload.machine(), workload.name, config)
+    pred = result.predictors["context"]
+    paths = pred.paths
+    trees = pred.trees
+    elements = result.elements
+
+    print(f"workload: {workload.spec_name} analogue, context predictor")
+    print(f"DPG: {result.nodes} nodes, {result.arcs} arcs; "
+          f"{paths.propagate_elements} propagate elements "
+          f"({100.0 * paths.propagate_elements / elements:.1f}% of DPG)")
+    print()
+
+    print("generates by class:")
+    for cls in GenClass:
+        count = paths.gen_counts[cls]
+        if count:
+            print(f"  {cls.name}: {count:>7} generates, influencing "
+                  f"{100.0 * paths.class_counts[cls] / elements:5.1f}% "
+                  "of the DPG")
+    print()
+
+    print("top generator-class combinations (each element counted once):")
+    ranked = sorted(
+        ((count, mask) for mask, count in paths.combo_counts.items()
+         if mask),
+        reverse=True,
+    )[:8]
+    for count, mask in ranked:
+        print(f"  {gen_mask_name(mask):<6} "
+              f"{100.0 * count / elements:5.1f}% of DPG")
+    print()
+
+    edges = log2_bucket_edges(max(max(trees.depth_hist, default=1), 1))
+    gen_curve = cumulative_percent(trees.depth_hist, edges)
+    agg_curve = cumulative_percent(trees.agg_hist, edges)
+    print("tree depth distribution (cumulative, like Fig. 10):")
+    print(f"  {'longest path <=':>16} {'% generates':>12} "
+          f"{'% aggregate prop':>17}")
+    for edge, gen_pct, agg_pct in zip(edges, gen_curve, agg_curve):
+        print(f"  {edge:>16} {gen_pct:>11.1f}% {agg_pct:>16.1f}%")
+    print()
+
+    influence_edges = log2_bucket_edges(
+        max(max(trees.influence_hist, default=1), 1)
+    )
+    influence_curve = cumulative_percent(trees.influence_hist,
+                                         influence_edges)
+    print("generates influencing a propagate (cumulative, Fig. 11 top):")
+    for edge, pct in zip(influence_edges, influence_curve):
+        print(f"  <= {edge:>5} generates: {pct:5.1f}% of propagates")
+    if trees.truncated:
+        print(f"  ({trees.truncated} elements hit the generator-set cap)")
+
+
+if __name__ == "__main__":
+    main()

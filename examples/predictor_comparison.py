@@ -1,0 +1,69 @@
+"""Compare the three value predictors on characteristic sequences.
+
+Run:  python examples/predictor_comparison.py
+
+Feeds the classic sequence shapes from the value-prediction literature
+(constant, stride, repeating pattern, masked pattern, random) to the
+last-value, 2-delta stride and two-level context predictors, printing
+each predictor's accuracy.  This is the microscopic view behind the
+paper's macroscopic L/S/C orderings.
+"""
+
+from repro.predictors import make_predictor
+from repro.workloads.inputs import Rng
+
+
+def masked_counter(length):
+    """The paper's Section 4.4 example: 0..9 repeating, ANDed with a
+    single-bit mask -- defeats a short-history context predictor."""
+    return [((i % 10) & 8) >> 3 for i in range(length)]
+
+
+SEQUENCES = {
+    "constant        (7 7 7 ...)":
+        lambda n: [7] * n,
+    "stride          (0 1 2 3 ...)":
+        lambda n: list(range(n)),
+    "stride, stride 4 (0 4 8 ...)":
+        lambda n: [4 * i for i in range(n)],
+    "pattern         (3 1 4 1 5 ...)":
+        lambda n: ([3, 1, 4, 1, 5, 9, 2, 6] * (n // 8 + 1))[:n],
+    "two strides     (0 1 2 0 1 2 ...)":
+        lambda n: ([0, 1, 2] * (n // 3 + 1))[:n],
+    "masked counter  (0^8 1 1 0^8 ...)":
+        masked_counter,
+    "random 16 values":
+        lambda n: random_values(n, 16, seed=42),
+    "random 4096 values":
+        lambda n: random_values(n, 4096, seed=43),
+}
+
+
+def random_values(length, bound, seed):
+    rng = Rng(seed)
+    return [rng.below(bound) for __ in range(length)]
+
+LENGTH = 4000
+
+
+def main() -> None:
+    kinds = ("last", "stride", "context")
+    print(f"{'sequence':<34} " + " ".join(f"{k:>9}" for k in kinds))
+    print("-" * (36 + 10 * len(kinds)))
+    for label, maker in SEQUENCES.items():
+        values = maker(LENGTH)
+        row = [f"{label:<34}"]
+        for kind in kinds:
+            predictor = make_predictor(kind)
+            hits = sum(predictor.see(0x1234, value) for value in values)
+            row.append(f"{100.0 * hits / len(values):>8.1f}%")
+        print(" ".join(row))
+    print()
+    print("Notes: stride subsumes last-value (stride 0); context handles")
+    print("repeating patterns strides cannot; the masked counter defeats")
+    print("an order-4 context predictor exactly as the paper describes")
+    print("in Section 4.4; nobody predicts uniform random values.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Quickstart: compile a small program, trace it, analyse predictability.
+
+Run:  python examples/quickstart.py
+
+This walks the full pipeline of the library:
+
+1. compile a mini-C program to the MIPS-like ISA,
+2. execute it on the tracing simulator,
+3. run the paper's predictability model (last-value / stride / context
+   predictors over the dynamic prediction graph),
+4. print generation / propagation / termination fractions.
+"""
+
+from repro.core import AnalysisConfig, Behavior, analyze_machine
+from repro.cpu import Machine
+from repro.minic import compile_program
+
+SOURCE = """
+int history[256];
+
+int main() {
+    int i;
+    int acc = 7;
+    for (i = 0; i < 256; i++) {
+        acc = (acc * 5 + 1) & 255;      // predictable recurrence
+        history[i] = acc;
+    }
+    int matches = 0;
+    for (i = 1; i < 256; i++) {
+        if (history[i] == ((history[i - 1] * 5 + 1) & 255)) {
+            matches++;
+        }
+    }
+    print_int(matches);
+    print_char('\\n');
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    program = compile_program(SOURCE)
+    print(f"compiled: {len(program)} static instructions")
+
+    machine = Machine(program)
+    result = analyze_machine(machine, "quickstart", AnalysisConfig())
+    print(f"executed: {result.nodes} dynamic instructions, "
+          f"{result.arcs} dependence arcs "
+          f"(edges/node = {result.edge_node_ratio():.2f})")
+    print(f"program output: {machine.output.strip()!r}")
+    print()
+
+    header = (f"{'predictor':<10} {'node gen%':>10} {'node prop%':>11} "
+              f"{'node term%':>11} {'arc gen%':>9} {'arc prop%':>10} "
+              f"{'arc term%':>10}")
+    print(header)
+    print("-" * len(header))
+    elements = result.elements
+    for kind, pred in result.predictors.items():
+        nodes = pred.nodes.behavior_counts()
+        arcs = pred.arcs.behavior_counts()
+
+        def pct(count):
+            return 100.0 * count / elements
+
+        print(f"{kind:<10} "
+              f"{pct(nodes.get(Behavior.GENERATE, 0)):>10.2f} "
+              f"{pct(nodes.get(Behavior.PROPAGATE, 0)):>11.2f} "
+              f"{pct(nodes.get(Behavior.TERMINATE, 0)):>11.2f} "
+              f"{pct(arcs.get(Behavior.GENERATE, 0)):>9.2f} "
+              f"{pct(arcs.get(Behavior.PROPAGATE, 0)):>10.2f} "
+              f"{pct(arcs.get(Behavior.TERMINATE, 0)):>10.2f}")
+    print()
+    print("Reading the table: most of the DPG propagates predictability")
+    print("(the recurrence is stride/context predictable), a small set of")
+    print("generate points creates it, and little terminates -- the")
+    print("paper's Fig. 5 in miniature.")
+
+
+if __name__ == "__main__":
+    main()

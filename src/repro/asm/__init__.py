@@ -1,0 +1,15 @@
+"""Two-pass assembler for the MIPS-like ISA.
+
+The assembler turns assembly text (as produced by :mod:`repro.minic`
+or written by hand) into a :class:`repro.asm.program.Program`: a list
+of decoded :class:`repro.isa.Instruction` records plus an initialised
+data segment.  It supports labels, the usual data directives, and a
+small set of pseudo-instructions (``li``, ``la``, ``move``, ``b``,
+``blt``/``bge``/``bgt``/``ble``, ``beqz``/``bnez``, ``neg``, ``not``).
+"""
+
+from repro.asm.assembler import assemble
+from repro.asm.program import DataItem, Program
+from repro.errors import AsmError
+
+__all__ = ["AsmError", "DataItem", "Program", "assemble"]

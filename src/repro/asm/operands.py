@@ -1,0 +1,148 @@
+"""Operand-text parsing helpers for the assembler."""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AsmError
+from repro.isa.registers import register_number
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+_SYM_OFFSET_RE = re.compile(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*([+-]\s*\d+)?$")
+_HILO_RE = re.compile(r"^%(hi|lo)\((.+)\)$")
+_MEM_RE = re.compile(r"^(.*)\(\s*(\$[A-Za-z0-9]+)\s*\)$")
+
+
+def split_operands(text: str) -> list[str]:
+    """Split an operand string on top-level commas."""
+    text = text.strip()
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def is_register(text: str) -> bool:
+    """Return True if ``text`` looks like a register operand."""
+    if not text.startswith("$"):
+        return False
+    try:
+        register_number(text)
+    except KeyError:
+        return False
+    return True
+
+
+def parse_register(text: str, line: int | None = None) -> int:
+    """Parse a register operand, raising :class:`AsmError` on failure."""
+    try:
+        return register_number(text)
+    except KeyError:
+        raise AsmError(f"invalid register: {text!r}", line) from None
+
+
+def unescape_char(body: str, line: int | None = None) -> str:
+    """Decode the body of a character literal (without quotes)."""
+    if len(body) == 1:
+        return body
+    if len(body) == 2 and body[0] == "\\":
+        try:
+            return _ESCAPES[body[1]]
+        except KeyError:
+            raise AsmError(f"unknown escape: {body!r}", line) from None
+    raise AsmError(f"invalid character literal: {body!r}", line)
+
+
+def unescape_string(body: str, line: int | None = None) -> str:
+    """Decode the body of a string literal (without quotes)."""
+    out = []
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "\\":
+            if index + 1 >= len(body):
+                raise AsmError("dangling escape in string", line)
+            out.append(unescape_char(body[index : index + 2], line))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def try_parse_int(text: str) -> int | None:
+    """Parse an integer literal; return None if ``text`` is not one."""
+    text = text.strip()
+    if not text:
+        return None
+    if len(text) >= 3 and text[0] == "'" and text[-1] == "'":
+        try:
+            return ord(unescape_char(text[1:-1]))
+        except AsmError:
+            return None
+    try:
+        return int(text, 0)
+    except ValueError:
+        return None
+
+
+def parse_int(text: str, line: int | None = None) -> int:
+    """Parse an integer literal, raising :class:`AsmError` on failure."""
+    value = try_parse_int(text)
+    if value is None:
+        raise AsmError(f"invalid integer literal: {text!r}", line)
+    return value
+
+
+def is_label(text: str) -> bool:
+    """Return True if ``text`` is a valid label/symbol name."""
+    return bool(_LABEL_RE.match(text)) and not text.startswith("$")
+
+
+def parse_symbol_ref(text: str, line: int | None = None) -> tuple[str, int]:
+    """Parse ``sym`` or ``sym+offset`` into (name, offset)."""
+    match = _SYM_OFFSET_RE.match(text.strip())
+    if not match or not is_label(match.group(1)):
+        raise AsmError(f"invalid symbol reference: {text!r}", line)
+    offset_text = match.group(2)
+    offset = int(offset_text.replace(" ", "")) if offset_text else 0
+    return match.group(1), offset
+
+
+def parse_hilo(text: str) -> tuple[str, str] | None:
+    """Parse ``%hi(expr)`` / ``%lo(expr)``; return (which, expr) or None."""
+    match = _HILO_RE.match(text.strip())
+    if not match:
+        return None
+    return match.group(1), match.group(2)
+
+
+def parse_mem_operand(
+    text: str, line: int | None = None
+) -> tuple[str | int, int] | None:
+    """Parse a register-relative memory operand ``disp($base)``.
+
+    Returns (displacement, base register number), where the
+    displacement may be an int or a ``%lo(...)`` string kept for later
+    relocation.  Returns None when ``text`` has no ``($reg)`` part
+    (i.e. it is a bare symbol needing pseudo expansion).
+    """
+    match = _MEM_RE.match(text.strip())
+    if not match:
+        return None
+    disp_text = match.group(1).strip()
+    base = parse_register(match.group(2), line)
+    if not disp_text:
+        return 0, base
+    if parse_hilo(disp_text) is not None:
+        return disp_text, base
+    return parse_int(disp_text, line), base

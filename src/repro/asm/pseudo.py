@@ -1,0 +1,157 @@
+"""Pseudo-instruction expansion.
+
+Expansion happens before label resolution, so expanded operands may
+contain symbolic pieces such as ``%hi(sym)`` / ``%lo(sym)`` which the
+second assembler pass resolves.  Expansion must be deterministic in
+instruction count (pass one assigns label addresses), which is why
+``la`` always expands to two instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AsmError
+from repro.asm.operands import (
+    is_register,
+    parse_int,
+    parse_symbol_ref,
+)
+
+#: Register reserved for assembler temporaries ($at).
+AT = "$at"
+ZERO = "$zero"
+
+
+@dataclass(slots=True)
+class RawInstr:
+    """An unresolved instruction: mnemonic plus operand strings."""
+
+    op: str
+    operands: list[str]
+    line: int | None = None
+    text: str = field(default="")
+
+
+def _raw(op: str, *operands: str, line: int | None = None) -> RawInstr:
+    return RawInstr(op, list(operands), line=line)
+
+
+def _expand_li(instr: RawInstr) -> list[RawInstr]:
+    if len(instr.operands) != 2:
+        raise AsmError("li expects 2 operands", instr.line)
+    dest, literal = instr.operands
+    value = parse_int(literal, instr.line) & 0xFFFF_FFFF
+    signed = value - 0x1_0000_0000 if value & 0x8000_0000 else value
+    line = instr.line
+    if -32768 <= signed <= 32767:
+        return [_raw("addiu", dest, ZERO, str(signed), line=line)]
+    if 0 <= value <= 0xFFFF:
+        return [_raw("ori", dest, ZERO, str(value), line=line)]
+    high = (value >> 16) & 0xFFFF
+    low = value & 0xFFFF
+    expansion = [_raw("lui", dest, str(high), line=line)]
+    if low:
+        expansion.append(_raw("ori", dest, dest, str(low), line=line))
+    return expansion
+
+
+def _expand_la(instr: RawInstr) -> list[RawInstr]:
+    if len(instr.operands) != 2:
+        raise AsmError("la expects 2 operands", instr.line)
+    dest, ref = instr.operands
+    parse_symbol_ref(ref, instr.line)  # validate early
+    return [
+        _raw("lui", dest, f"%hi({ref})", line=instr.line),
+        _raw("ori", dest, dest, f"%lo({ref})", line=instr.line),
+    ]
+
+
+def _expand_move(instr: RawInstr) -> list[RawInstr]:
+    if len(instr.operands) != 2:
+        raise AsmError("move expects 2 operands", instr.line)
+    dest, src = instr.operands
+    return [_raw("addu", dest, src, ZERO, line=instr.line)]
+
+
+def _expand_b(instr: RawInstr) -> list[RawInstr]:
+    if len(instr.operands) != 1:
+        raise AsmError("b expects 1 operand", instr.line)
+    return [_raw("beq", ZERO, ZERO, instr.operands[0], line=instr.line)]
+
+
+def _expand_beqz(instr: RawInstr) -> list[RawInstr]:
+    src, label = instr.operands
+    return [_raw("beq", src, ZERO, label, line=instr.line)]
+
+
+def _expand_bnez(instr: RawInstr) -> list[RawInstr]:
+    src, label = instr.operands
+    return [_raw("bne", src, ZERO, label, line=instr.line)]
+
+
+def _compare_branch(slt_args, branch_op):
+    def expand(instr: RawInstr) -> list[RawInstr]:
+        if len(instr.operands) != 3:
+            raise AsmError(f"{instr.op} expects 3 operands", instr.line)
+        lhs, rhs, label = instr.operands
+        operands = [lhs if arg == "l" else rhs for arg in slt_args]
+        return [
+            _raw("slt", AT, *operands, line=instr.line),
+            _raw(branch_op, AT, ZERO, label, line=instr.line),
+        ]
+
+    return expand
+
+
+def _expand_neg(instr: RawInstr) -> list[RawInstr]:
+    dest, src = instr.operands
+    return [_raw("sub", dest, ZERO, src, line=instr.line)]
+
+
+def _expand_not(instr: RawInstr) -> list[RawInstr]:
+    dest, src = instr.operands
+    return [_raw("nor", dest, src, ZERO, line=instr.line)]
+
+
+_MEM_OPS = {"lw", "lb", "lbu", "lh", "lhu", "sw", "sb", "sh", "l.d", "s.d"}
+
+_EXPANSIONS = {
+    "li": _expand_li,
+    "la": _expand_la,
+    "move": _expand_move,
+    "b": _expand_b,
+    "beqz": _expand_beqz,
+    "bnez": _expand_bnez,
+    "blt": _compare_branch("lr", "bne"),
+    "bge": _compare_branch("lr", "beq"),
+    "bgt": _compare_branch("rl", "bne"),
+    "ble": _compare_branch("rl", "beq"),
+    "neg": _expand_neg,
+    "not": _expand_not,
+}
+
+
+def _expand_symbolic_mem(instr: RawInstr) -> list[RawInstr] | None:
+    """Expand ``lw $t0, sym`` into ``la $at, sym`` + register form."""
+    if instr.op not in _MEM_OPS or len(instr.operands) != 2:
+        return None
+    address = instr.operands[1]
+    if "(" in address or is_register(address):
+        return None
+    expansion = _expand_la(_raw("la", AT, address, line=instr.line))
+    expansion.append(
+        _raw(instr.op, instr.operands[0], f"0({AT})", line=instr.line)
+    )
+    return expansion
+
+
+def expand(instr: RawInstr) -> list[RawInstr]:
+    """Expand ``instr`` into real instructions (possibly itself)."""
+    handler = _EXPANSIONS.get(instr.op)
+    if handler is not None:
+        return handler(instr)
+    symbolic = _expand_symbolic_mem(instr)
+    if symbolic is not None:
+        return symbolic
+    return [instr]

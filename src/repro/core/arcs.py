@@ -1,0 +1,113 @@
+"""Deferred single-use / repeated-use arc resolution.
+
+The paper classifies an arc as *repeated-use* when one dynamic producer
+instance passes its value to multiple dynamic instances of the same
+static consumer, and *single-use* otherwise.  That property is not
+known when the arc occurs — the producer's value may be consumed again
+by the same static instruction much later — so arc label counts are
+grouped by (producer instance, consumer static instruction) and only
+folded into :class:`~repro.core.stats.ArcStats` when the trace ends.
+
+Write-once classification (producer's static instruction executes
+exactly once in the entire run) likewise uses the final static
+execution counts, available at flush time.
+
+Group keys are packed into single integers to keep the (potentially
+multi-million-entry) tables cheap: most groups contain exactly one arc,
+so a group is promoted from the ``combo-code`` fast path to a full
+counter only on its second arc.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import UseClass
+from repro.core.stats import ArcStats
+
+
+class ArcGroupTable:
+    """Accumulates arc label events grouped by use-group key.
+
+    Args:
+        n_static: number of static instructions (for key packing).
+        n_predictors: number of predictor banks whose ``<x,y>`` codes
+            are interleaved into each arc's combo code (2 bits each).
+    """
+
+    def __init__(self, n_static: int, n_predictors: int):
+        self.n_static = max(n_static, 1)
+        self.n_predictors = n_predictors
+        self._single: dict[int, int] = {}
+        self._multi: dict[int, dict[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Key packing.
+    # ------------------------------------------------------------------
+
+    def key(self, producer_uid: int, producer_pc: int, consumer_pc: int) -> int:
+        """Group key for an arc from a real producer instance."""
+        n = self.n_static
+        return (producer_uid * n + producer_pc) * n + consumer_pc
+
+    def d_key(self, data_id: int, consumer_pc: int) -> int:
+        """Group key for an arc from a ``D`` (input-data) node."""
+        return -(data_id * self.n_static + consumer_pc) - 1
+
+    # ------------------------------------------------------------------
+    # Accumulation.
+    # ------------------------------------------------------------------
+
+    def add(self, key: int, combo: int) -> None:
+        """Record one arc with the given interleaved ``<x,y>`` codes."""
+        multi = self._multi.get(key)
+        if multi is not None:
+            multi[combo] = multi.get(combo, 0) + 1
+            return
+        single = self._single
+        first = single.pop(key, None)
+        if first is None:
+            single[key] = combo
+        else:
+            counts = {first: 1}
+            counts[combo] = counts.get(combo, 0) + 1
+            self._multi[key] = counts
+
+    def groups(self) -> int:
+        """Number of distinct use groups seen so far."""
+        return len(self._single) + len(self._multi)
+
+    # ------------------------------------------------------------------
+    # Flush.
+    # ------------------------------------------------------------------
+
+    def flush(self, static_counts, arc_stats: list[ArcStats]) -> None:
+        """Fold all groups into per-predictor :class:`ArcStats`.
+
+        Args:
+            static_counts: final per-PC execution counts, used for the
+                write-once test.
+            arc_stats: one :class:`ArcStats` per predictor bank, in the
+                same order the combo codes were interleaved.
+        """
+        n = self.n_static
+        n_pred = self.n_predictors
+        for key, combo in self._single.items():
+            use = self._use_class(key, 1, static_counts, n)
+            for bank in range(n_pred):
+                arc_stats[bank].add(use, (combo >> (2 * bank)) & 3)
+        for key, counts in self._multi.items():
+            size = sum(counts.values())
+            use = self._use_class(key, size, static_counts, n)
+            for combo, count in counts.items():
+                for bank in range(n_pred):
+                    arc_stats[bank].add(use, (combo >> (2 * bank)) & 3, count)
+
+    @staticmethod
+    def _use_class(key: int, group_size: int, static_counts, n: int) -> UseClass:
+        if group_size == 1:
+            return UseClass.SINGLE
+        if key < 0:
+            return UseClass.DATA
+        producer_pc = (key // n) % n
+        if static_counts[producer_pc] == 1:
+            return UseClass.WRITE_ONCE
+        return UseClass.REPEAT

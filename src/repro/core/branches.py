@@ -1,0 +1,37 @@
+"""Branch predictability study (paper Section 5).
+
+Conditional branch *directions* are predicted by gshare; the branch's
+*input values* by the value predictors.  Crossing the two reveals the
+paper's headline observation: slightly over half of all branch
+mispredictions happen when every input value was correctly predicted —
+which is the motivation for feeding data values into branch predictors.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import InKind
+from repro.core.stats import BranchStats
+
+#: Class presentation order used by the paper's Fig. 13 x-axis.
+FIG13_ORDER = (
+    (InKind.PP, True), (InKind.PI, True), (InKind.PN, True),
+    (InKind.NN, True), (InKind.IN, True), (InKind.II, True),
+    (InKind.PP, False), (InKind.PI, False), (InKind.PN, False),
+    (InKind.NN, False), (InKind.IN, False), (InKind.II, False),
+)
+
+
+class BranchTracker:
+    """Accumulates branch-node classifications for one predictor."""
+
+    def __init__(self):
+        self.stats = BranchStats()
+
+    def on_branch(self, kind: InKind, direction_predicted: bool) -> None:
+        self.stats.add(kind, direction_predicted)
+
+    def mispredicted_with_predictable_inputs(self) -> int:
+        """Branches mispredicted although all inputs were predictable
+        (the ``p,p->n`` and ``p,i->n`` classes)."""
+        stats = self.stats
+        return stats.count(InKind.PP, False) + stats.count(InKind.PI, False)

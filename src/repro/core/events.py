@@ -1,0 +1,151 @@
+"""Label taxonomy for nodes and arcs of the dynamic prediction graph.
+
+Terminology follows the paper exactly:
+
+* Every **arc** gets a pair ``<x,y>`` with ``x,y ∈ {p,n}``: whether the
+  producer's output was predicted correctly when produced, and whether
+  the consumer's source operand was predicted correctly when consumed.
+  Arcs from ``D`` (input-data) nodes always have ``x = n``.
+* Every **node** is summarised by the *kinds* of its inputs — ``p`` (at
+  least one correctly predicted data input), ``n`` (at least one
+  incorrectly predicted data input), ``i`` (an immediate, including
+  zero-register reads) — and by whether its own output was predicted.
+
+Behaviour definitions (Fig. 2 of the paper):
+
+* **generation**: no correctly predicted inputs, output predicted;
+* **propagation**: ≥1 correctly predicted input, output predicted;
+* **termination**: ≥1 correctly predicted input, output not predicted;
+* otherwise the element propagates *unpredictability*.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Behavior(enum.IntEnum):
+    """Predictability behaviour of a node or arc."""
+
+    GENERATE = 0
+    PROPAGATE = 1
+    TERMINATE = 2
+    UNPRED = 3    #: all-unpredicted inputs and output ("missing portion")
+    OTHER = 4     #: no predictable output at all (e.g. direct jumps)
+
+
+# ----------------------------------------------------------------------
+# Arc labels.  Encoded as (x_predicted << 1) | y_predicted.
+# ----------------------------------------------------------------------
+
+ARC_NN = 0  #: <n,n> — propagates unpredictability
+ARC_NP = 1  #: <n,p> — generates predictability
+ARC_PN = 2  #: <p,n> — terminates predictability
+ARC_PP = 3  #: <p,p> — propagates predictability
+
+ARC_LABELS = ("<n,n>", "<n,p>", "<p,n>", "<p,p>")
+
+ARC_BEHAVIOR = (
+    Behavior.UNPRED,     # nn
+    Behavior.GENERATE,   # np
+    Behavior.TERMINATE,  # pn
+    Behavior.PROPAGATE,  # pp
+)
+
+
+def arc_code(x_predicted: bool, y_predicted: bool) -> int:
+    """Encode an arc's ``<x,y>`` label as a 2-bit code."""
+    return ((2 if x_predicted else 0) | (1 if y_predicted else 0))
+
+
+# ----------------------------------------------------------------------
+# Arc use classes (Section 2: single-use vs repeated-use control flow).
+# ----------------------------------------------------------------------
+
+class UseClass(enum.IntEnum):
+    """How many arcs carry this producer instance's value to instances
+    of the same static consumer, and what kind of producer it is."""
+
+    SINGLE = 0      #: "1"  — single-use arc
+    REPEAT = 1      #: "r"  — repeated-use, ordinary producer
+    WRITE_ONCE = 2  #: "wl" — repeated-use, producer executes once ever
+    DATA = 3        #: "rd" — repeated-use of a D (program input) node
+
+USE_NAMES = ("1", "r", "wl", "rd")
+
+
+# ----------------------------------------------------------------------
+# Node input-kind labels.  Index = (has_p << 2) | (has_n << 1) | has_i.
+# ----------------------------------------------------------------------
+
+class InKind(enum.IntEnum):
+    """Canonical two-letter input summary of a node."""
+
+    PP = 0  #: all data inputs predicted, no immediate
+    PI = 1  #: predicted data input(s) plus immediate
+    PN = 2  #: mixed predicted and unpredicted inputs (± immediate)
+    NN = 3  #: only unpredicted data inputs
+    IN = 4  #: unpredicted data input(s) plus immediate
+    II = 5  #: immediates only (no data inputs)
+
+IN_KIND_NAMES = ("p,p", "p,i", "p,n", "n,n", "i,n", "i,i")
+
+#: Lookup: (has_p << 2) | (has_n << 1) | has_i  ->  InKind.
+#: Nodes with no inputs and no immediate are folded into II; the only
+#: such nodes with outputs would be exotic hand-written code.
+_KIND_TABLE = (
+    InKind.II,  # 000
+    InKind.II,  # 001
+    InKind.NN,  # 010
+    InKind.IN,  # 011
+    InKind.PP,  # 100
+    InKind.PI,  # 101
+    InKind.PN,  # 110
+    InKind.PN,  # 111 (three-kind nodes cannot generate; folded, see DESIGN)
+)
+
+
+def in_kind(has_p: bool, has_n: bool, has_i: bool) -> InKind:
+    """Canonical input-kind label from the three input-kind flags."""
+    return _KIND_TABLE[
+        (4 if has_p else 0) | (2 if has_n else 0) | (1 if has_i else 0)
+    ]
+
+
+def node_class_name(kind: InKind, out_predicted: bool) -> str:
+    """Human-readable node class, e.g. ``"i,i->p"``."""
+    return f"{IN_KIND_NAMES[kind]}->{'p' if out_predicted else 'n'}"
+
+
+def node_behavior(kind: InKind, out_predicted: bool) -> Behavior:
+    """Behaviour of a node with the given input kind and output flag."""
+    has_p = kind in (InKind.PP, InKind.PI, InKind.PN)
+    if out_predicted:
+        return Behavior.PROPAGATE if has_p else Behavior.GENERATE
+    return Behavior.TERMINATE if has_p else Behavior.UNPRED
+
+
+# ----------------------------------------------------------------------
+# Generator classes for path analysis (Section 4.5).
+# ----------------------------------------------------------------------
+
+class GenClass(enum.IntEnum):
+    """The six generator classes the paper's path analysis uses."""
+
+    C = 0  #: control flow: <r:n,p> and <1:n,p> arcs
+    D = 1  #: program input data: <rd:n,p> arcs
+    W = 2  #: write-once: <wl:n,p> arcs
+    I = 3  #: nodes with all-immediate inputs (i,i->p)
+    N = 4  #: nodes with all inputs unpredictable (n,n->p)
+    M = 5  #: nodes with mixed immediate/unpredictable inputs (i,n->p)
+
+GEN_CLASS_NAMES = ("C", "D", "W", "I", "N", "M")
+
+
+def gen_mask_name(mask: int) -> str:
+    """Readable name for a set of generator classes, e.g. ``"CI"``."""
+    if not mask:
+        return "-"
+    return "".join(
+        name for bit, name in enumerate(GEN_CLASS_NAMES) if mask & (1 << bit)
+    )

@@ -1,0 +1,104 @@
+"""Export utilities for explicit DPGs.
+
+:func:`to_dot` renders a (small) dynamic prediction graph in Graphviz
+DOT, colour-coding the paper's behaviours — useful for papers, slides
+and debugging the model on snippets like the Fig. 1 loop.
+:func:`to_records` flattens a DPG to plain dictionaries for JSON
+serialisation or pandas-style analysis.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import Behavior
+
+#: Fill colours per behaviour (generate/propagate/terminate/...).
+_BEHAVIOR_COLORS = {
+    Behavior.GENERATE: "palegreen",
+    Behavior.PROPAGATE: "lightblue",
+    Behavior.TERMINATE: "lightsalmon",
+    Behavior.UNPRED: "gainsboro",
+    Behavior.OTHER: "white",
+    None: "khaki",  # D nodes
+}
+
+_EDGE_COLORS = {
+    Behavior.GENERATE: "forestgreen",
+    Behavior.PROPAGATE: "steelblue",
+    Behavior.TERMINATE: "orangered",
+    Behavior.UNPRED: "gray",
+}
+
+
+def _node_id(node) -> str:
+    if isinstance(node, tuple):  # ("D", key)
+        return f"D_{node[1]:x}"
+    return f"n{node}"
+
+
+def _node_label(node, data) -> str:
+    if data.get("kind") == "data":
+        return f"D@{node[1]:#x}"
+    label = data.get("label") or ""
+    return f"uid {node}\\npc {data['pc']}: {data['op']}\\n{label}"
+
+
+def to_dot(graph, title: str = "dynamic prediction graph") -> str:
+    """Render an explicit DPG (from :func:`repro.core.build_dpg`) as
+    Graphviz DOT text."""
+    lines = [
+        "digraph dpg {",
+        f'  label="{title}";',
+        "  rankdir=TB;",
+        '  node [shape=box, style=filled, fontsize=10];',
+    ]
+    for node, data in graph.nodes(data=True):
+        color = _BEHAVIOR_COLORS.get(data.get("behavior"), "white")
+        lines.append(
+            f'  {_node_id(node)} [label="{_node_label(node, data)}", '
+            f'fillcolor={color}];'
+        )
+    for producer, consumer, data in graph.edges(data=True):
+        color = _EDGE_COLORS.get(data.get("behavior"), "black")
+        lines.append(
+            f"  {_node_id(producer)} -> {_node_id(consumer)} "
+            f'[label="{data.get("label", "")}", color={color}, '
+            f"fontsize=9];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_records(graph) -> tuple[list[dict], list[dict]]:
+    """Flatten a DPG into (node records, edge records) of plain dicts
+    suitable for ``json.dump`` or tabular analysis."""
+    nodes = []
+    for node, data in graph.nodes(data=True):
+        if data.get("kind") == "data":
+            nodes.append({"id": _node_id(node), "type": "data",
+                          "key": node[1]})
+            continue
+        behavior = data.get("behavior")
+        nodes.append({
+            "id": _node_id(node),
+            "type": "instruction",
+            "uid": node,
+            "pc": data["pc"],
+            "op": data["op"],
+            "out": data.get("out"),
+            "out_predicted": data.get("out_predicted"),
+            "class": data.get("label"),
+            "behavior": behavior.name if behavior is not None else None,
+        })
+    edges = []
+    for producer, consumer, data in graph.edges(data=True):
+        edges.append({
+            "from": _node_id(producer),
+            "to": _node_id(consumer),
+            "label": data.get("label"),
+            "x": data.get("x"),
+            "y": data.get("y"),
+            "value": data.get("value"),
+            "use": data["use"].name if "use" in data else None,
+            "slot": data.get("slot"),
+        })
+    return nodes, edges

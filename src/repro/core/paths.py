@@ -1,0 +1,201 @@
+"""Predictable-path and predictability-tree analysis (paper §4.5).
+
+A *predictable path* begins at a generate node or arc and contains only
+propagate nodes and arcs.  As the trace streams by, every predictable
+value carries the set of generator **classes** upstream of it (a 6-bit
+mask over C/D/W/I/N/M) and — when tree tracking is enabled — a capped
+set of generator *ids* plus the longest distance (in propagate
+elements) back to any of them.
+
+Per propagate element (node or arc) the tracker records:
+
+* which generator classes influence it (Fig. 9, top: counted once per
+  class) and the exact class combination (Fig. 9, bottom: counted once);
+* how many distinct generates influence it (Fig. 11, top);
+* the distance to the farthest influencing generate (Fig. 11, bottom).
+
+Per generate it records the deepest propagate element in its tree and
+the total number of propagate elements belonging to the tree (Fig. 10:
+"trees" and "aggregate propagation" curves).
+
+Distances count both nodes and arcs as path elements, matching the
+figure axes ("Longest Path Length (Nodes, Arcs)").
+"""
+
+from __future__ import annotations
+
+from repro.core.events import GenClass, InKind
+from repro.core.stats import PathStats, TreeStats
+
+#: mask -> tuple of class indices set in the mask (6-bit masks).
+_MASK_BITS = tuple(
+    tuple(bit for bit in range(6) if mask & (1 << bit)) for mask in range(64)
+)
+
+#: Node input-kind -> generator class when the node generates.
+NODE_GEN_CLASS = {
+    InKind.II: GenClass.I,
+    InKind.NN: GenClass.N,
+    InKind.IN: GenClass.M,
+}
+
+_EMPTY_SET: frozenset = frozenset()
+
+
+class PathTracker:
+    """Streams generator influence along one predictor's DPG.
+
+    Args:
+        track_trees: also track per-generate ids, depths and distances
+            (the expensive part; the paper only shows these for the
+            context predictor).
+        gen_cap: maximum generator ids carried per value; unions beyond
+            the cap are truncated and counted in ``TreeStats.truncated``.
+    """
+
+    def __init__(self, track_trees: bool = False, gen_cap: int = 64):
+        self.stats = PathStats()
+        self.trees = TreeStats() if track_trees else None
+        self.gen_cap = gen_cap
+        self._track_trees = track_trees
+        #: uid-indexed influence of each value (0 = not predictable).
+        self._masks: list[int] = []
+        self._sets: list[frozenset] = [] if track_trees else None
+        self._dists: list[int] = [] if track_trees else None
+        #: gid -> [max depth, propagate-element count].
+        self._gens: list[list[int]] = [] if track_trees else None
+        # Current-node accumulators.
+        self._cur_mask = 0
+        self._cur_set: frozenset = _EMPTY_SET
+        self._cur_dist = -1
+
+    # ------------------------------------------------------------------
+    # Per-node protocol: begin -> feed each predicted input -> end.
+    # ------------------------------------------------------------------
+
+    def begin_node(self) -> None:
+        self._cur_mask = 0
+        self._cur_set = _EMPTY_SET
+        self._cur_dist = -1
+
+    def feed_propagate_arc(self, producer_uid: int) -> None:
+        """A ``<p,p>`` in-arc: itself a propagate element."""
+        mask = self._masks[producer_uid]
+        if not mask:
+            # Defensive: a predicted producer always stored a non-empty
+            # influence; an empty one means the caller fed a node the
+            # tracker never saw, so contribute nothing.
+            return
+        if self._track_trees:
+            gen_set = self._sets[producer_uid]
+            dist = self._dists[producer_uid] + 1
+            self._count_propagate(mask, gen_set, dist)
+            self._merge(mask, gen_set, dist)
+        else:
+            self._count_propagate(mask, _EMPTY_SET, 0)
+            self._cur_mask |= mask
+
+    def feed_generate_arc(self, gen_class: GenClass) -> None:
+        """An ``<n,p>`` in-arc: a generate element, distance 0."""
+        self.stats.gen_counts[gen_class] += 1
+        mask = 1 << gen_class
+        if self._track_trees:
+            gen_set = frozenset((self._new_gen(),))
+            self._merge(mask, gen_set, 0)
+        else:
+            self._cur_mask |= mask
+
+    def end_node(self, out_predicted: bool, kind: InKind) -> None:
+        """Finish the node, storing its output value's influence.
+
+        Must be called exactly once per dynamic instruction, in uid
+        order, so that producer uids index the influence lists.
+        """
+        if not out_predicted:
+            self._store(0, _EMPTY_SET, 0)
+            return
+        mask = self._cur_mask
+        if mask:  # propagate node: at least one predicted input fed in
+            dist = self._cur_dist + 1
+            self._count_propagate(mask, self._cur_set, dist)
+            self._store(mask, self._cur_set, dist)
+            return
+        # Generate node (no predicted inputs, predicted output).
+        gen_class = NODE_GEN_CLASS.get(kind)
+        if gen_class is None:
+            # A p-kind node whose predicted inputs were all fed as
+            # unpredicted cannot occur; be safe for exotic callers.
+            self._store(0, _EMPTY_SET, 0)
+            return
+        self.stats.gen_counts[gen_class] += 1
+        if self._track_trees:
+            gen_set = frozenset((self._new_gen(),))
+        else:
+            gen_set = _EMPTY_SET
+        self._store(1 << gen_class, gen_set, 0)
+
+    def skip_node(self) -> None:
+        """Account a node with no predictable output."""
+        self._store(0, _EMPTY_SET, 0)
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _new_gen(self) -> int:
+        gens = self._gens
+        gens.append([0, 0])
+        return len(gens) - 1
+
+    def _merge(self, mask: int, gen_set: frozenset, dist: int) -> None:
+        self._cur_mask |= mask
+        if gen_set:
+            if self._cur_set:
+                merged = self._cur_set | gen_set
+                if len(merged) > self.gen_cap:
+                    merged = frozenset(
+                        sorted(merged)[: self.gen_cap]
+                    )
+                    self.trees.truncated += 1
+                self._cur_set = merged
+            else:
+                self._cur_set = gen_set
+        if dist > self._cur_dist:
+            self._cur_dist = dist
+
+    def _store(self, mask: int, gen_set: frozenset, dist: int) -> None:
+        self._masks.append(mask)
+        if self._track_trees:
+            self._sets.append(gen_set)
+            self._dists.append(dist)
+
+    def _count_propagate(self, mask: int, gen_set: frozenset, dist: int) -> None:
+        stats = self.stats
+        stats.propagate_elements += 1
+        class_counts = stats.class_counts
+        for bit in _MASK_BITS[mask]:
+            class_counts[bit] += 1
+        stats.combo_counts[mask] += 1
+        if self._track_trees:
+            trees = self.trees
+            trees.influence_hist[len(gen_set)] += 1
+            trees.distance_hist[dist] += 1
+            gens = self._gens
+            for gid in gen_set:
+                record = gens[gid]
+                if dist > record[0]:
+                    record[0] = dist
+                record[1] += 1
+
+    # ------------------------------------------------------------------
+    # Finalisation.
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Fold per-generate records into the tree histograms."""
+        if not self._track_trees:
+            return
+        trees = self.trees
+        for depth, count in self._gens:
+            trees.depth_hist[depth] += 1
+            trees.agg_hist[depth] += count

@@ -1,0 +1,37 @@
+"""Contiguous fully-predictable instruction sequences (paper §4.6).
+
+These statistics are *not* dependence-based: they scan the dynamic
+instruction stream and measure maximal runs of consecutive instructions
+whose inputs and outputs were all predicted correctly.  Instructions
+with no data inputs and no predictable output (direct jumps, nops) are
+vacuously predictable and neither break nor start a run on their own —
+``all()`` of an empty set is True — matching an implementation that
+inspects only actual predictions.
+"""
+
+from __future__ import annotations
+
+from repro.core.stats import SequenceStats
+
+
+class SequenceTracker:
+    """Tracks maximal runs of fully predicted instructions."""
+
+    def __init__(self):
+        self.stats = SequenceStats()
+        self._run = 0
+
+    def on_node(self, fully_predicted: bool) -> None:
+        """Feed the next dynamic instruction's verdict."""
+        if fully_predicted:
+            self._run += 1
+        else:
+            if self._run:
+                self.stats.add_run(self._run)
+            self._run = 0
+
+    def finalize(self) -> None:
+        """Close the trailing run at end of trace."""
+        if self._run:
+            self.stats.add_run(self._run)
+        self._run = 0

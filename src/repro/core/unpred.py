@@ -1,0 +1,128 @@
+"""Unpredictability analysis (the paper's Section 6 future work).
+
+"As we did this work, it became evident that unpredictability is as
+interesting as predictability. [...] study of unpredictable values may
+give insight into making them predictable; this remains for future
+research."
+
+Two complementary views are implemented:
+
+* :class:`UnpredTracker` — the mirror image of the Fig. 12 sequence
+  statistics: maximal runs of consecutive dynamic instructions whose
+  inputs and outputs were *all* mispredicted.  Long unpredictable
+  regions are where speculation is pure loss.
+* :class:`CriticalPoints` — per-static-instruction attribution of
+  mispredicted outputs and of *termination* events (a predictable
+  input met an unpredictable output).  This serves the paper's stated
+  goal of "identifying critical points for prediction; i.e. places
+  where prediction and speculation may have greater payoff": a static
+  instruction that terminates predictability frequently is exactly
+  such a place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stats import SequenceStats
+
+
+class UnpredTracker:
+    """Tracks maximal runs of fully-mispredicted instructions."""
+
+    def __init__(self):
+        self.stats = SequenceStats()
+        self._run = 0
+
+    def on_node(self, fully_unpredicted: bool) -> None:
+        if fully_unpredicted:
+            self._run += 1
+        else:
+            if self._run:
+                self.stats.add_run(self._run)
+            self._run = 0
+
+    def finalize(self) -> None:
+        if self._run:
+            self.stats.add_run(self._run)
+        self._run = 0
+
+
+@dataclass(slots=True)
+class CriticalSite:
+    """One static instruction's misprediction profile."""
+
+    pc: int
+    executions: int
+    output_misses: int
+    terminations: int
+
+    @property
+    def miss_rate(self) -> float:
+        return self.output_misses / self.executions if self.executions else 0.0
+
+
+@dataclass(slots=True)
+class CriticalPoints:
+    """Per-PC misprediction and termination attribution.
+
+    ``output_misses[pc]`` counts dynamic instances whose output was not
+    predicted; ``terminations[pc]`` counts the subset that additionally
+    had a correctly predicted input (i.e. terminated predictability).
+    """
+
+    n_static: int
+    output_misses: list = field(default=None)
+    terminations: list = field(default=None)
+
+    def __post_init__(self):
+        if self.output_misses is None:
+            self.output_misses = [0] * self.n_static
+        if self.terminations is None:
+            self.terminations = [0] * self.n_static
+
+    def record(self, pc: int, terminated: bool) -> None:
+        self.output_misses[pc] += 1
+        if terminated:
+            self.terminations[pc] += 1
+
+    def top_sites(self, static_counts, count: int = 10,
+                  by: str = "terminations") -> list[CriticalSite]:
+        """The ``count`` static instructions with the most termination
+        (or output-miss) events — the model's 'critical points'.
+
+        Args:
+            static_counts: per-PC execution counts from the run.
+            count: how many sites to return.
+            by: ranking key, ``"terminations"`` or ``"output_misses"``.
+        """
+        if by not in ("terminations", "output_misses"):
+            raise ValueError(f"unknown ranking: {by!r}")
+        key_list = getattr(self, by)
+        ranked = sorted(
+            range(self.n_static), key=lambda pc: key_list[pc], reverse=True
+        )
+        sites = []
+        for pc in ranked[:count]:
+            if key_list[pc] == 0:
+                break
+            sites.append(CriticalSite(
+                pc=pc,
+                executions=static_counts[pc],
+                output_misses=self.output_misses[pc],
+                terminations=self.terminations[pc],
+            ))
+        return sites
+
+    def total_terminations(self) -> int:
+        return sum(self.terminations)
+
+    def concentration(self, top: int = 10) -> float:
+        """Fraction of all terminations caused by the ``top`` worst
+        static instructions — high concentration means a small, fixable
+        set of critical points."""
+        total = self.total_terminations()
+        if not total:
+            return 0.0
+        worst = sorted(self.terminations, reverse=True)[:top]
+        return sum(worst) / total

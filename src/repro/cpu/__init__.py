@@ -1,0 +1,21 @@
+"""Functional simulator for the MIPS-like ISA.
+
+:class:`Machine` executes an assembled :class:`repro.asm.Program` and
+emits a *dynamic trace*: one :class:`DynInst` record per executed
+instruction, carrying the values consumed and produced together with
+the dynamic producer of every source operand.  This trace is exactly
+the information the paper's dynamic prediction graph is built from.
+"""
+
+from repro.cpu.machine import Machine, MachineResult, run_program
+from repro.cpu.memory import Memory
+from repro.cpu.trace import DynInst, Source
+
+__all__ = [
+    "DynInst",
+    "Machine",
+    "MachineResult",
+    "Memory",
+    "Source",
+    "run_program",
+]

@@ -1,0 +1,127 @@
+"""Pure operand-level semantics for ALU-category opcodes.
+
+Each function takes the two operand values ``(a, b)`` — where ``b`` is
+the second register value or the immediate, whichever the instruction
+uses — and returns the produced value.  Integer results are 32-bit
+unsigned-wrapped; floating-point results are Python floats.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimError
+from repro.isa.layout import WORD_MASK, to_signed
+
+
+def _wrap(value: int) -> int:
+    return value & WORD_MASK
+
+
+def _div(a: int, b: int) -> int:
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        raise SimError("integer division by zero")
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return _wrap(quotient)
+
+
+def _rem(a: int, b: int) -> int:
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        raise SimError("integer remainder by zero")
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return _wrap(remainder)
+
+
+def _divu(a: int, b: int) -> int:
+    if b == 0:
+        raise SimError("integer division by zero")
+    return a // b
+
+
+def _remu(a: int, b: int) -> int:
+    if b == 0:
+        raise SimError("integer remainder by zero")
+    return a % b
+
+
+def _fdiv(a: float, b: float) -> float:
+    if b == 0.0:
+        raise SimError("floating-point division by zero")
+    return a / b
+
+
+def _fsqrt(a: float, _b) -> float:
+    if a < 0.0:
+        raise SimError("square root of a negative value")
+    return math.sqrt(a)
+
+
+def _ftoi(a: float, _b) -> int:
+    if not math.isfinite(a) or abs(a) >= 2**63:
+        raise SimError(f"float-to-int conversion out of range: {a!r}")
+    return _wrap(math.trunc(a))
+
+
+#: op -> f(a, b) -> value.  ``a`` is src1's value (0 when the op has no
+#: register source, e.g. lui), ``b`` is src2's value or the immediate.
+ALU_FUNCS = {
+    "add": lambda a, b: _wrap(a + b),
+    "addu": lambda a, b: _wrap(a + b),
+    "sub": lambda a, b: _wrap(a - b),
+    "subu": lambda a, b: _wrap(a - b),
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "nor": lambda a, b: _wrap(~(a | b)),
+    "slt": lambda a, b: int(to_signed(a) < to_signed(b)),
+    "sltu": lambda a, b: int(a < b),
+    "sllv": lambda a, b: _wrap(a << (b & 31)),
+    "srlv": lambda a, b: a >> (b & 31),
+    "srav": lambda a, b: _wrap(to_signed(a) >> (b & 31)),
+    "mul": lambda a, b: _wrap(to_signed(a) * to_signed(b)),
+    "div": _div,
+    "divu": _divu,
+    "rem": _rem,
+    "remu": _remu,
+    "addi": lambda a, b: _wrap(a + b),
+    "addiu": lambda a, b: _wrap(a + b),
+    "andi": lambda a, b: a & b,
+    "ori": lambda a, b: a | b,
+    "xori": lambda a, b: a ^ b,
+    "slti": lambda a, b: int(to_signed(a) < b),
+    "sltiu": lambda a, b: int(a < _wrap(b)),
+    "sll": lambda a, b: _wrap(a << b),
+    "srl": lambda a, b: a >> b,
+    "sra": lambda a, b: _wrap(to_signed(a) >> b),
+    "lui": lambda a, b: _wrap(b << 16),
+    # Floating point.
+    "add.d": lambda a, b: a + b,
+    "sub.d": lambda a, b: a - b,
+    "mul.d": lambda a, b: a * b,
+    "div.d": _fdiv,
+    "neg.d": lambda a, _b: -a,
+    "mov.d": lambda a, _b: a,
+    "abs.d": lambda a, _b: abs(a),
+    "sqrt.d": _fsqrt,
+    "fslt": lambda a, b: int(a < b),
+    "fsle": lambda a, b: int(a <= b),
+    "fseq": lambda a, b: int(a == b),
+    "itof": lambda a, _b: float(to_signed(a)),
+    "ftoi": _ftoi,
+}
+
+#: op -> f(a, b) -> bool taken, for conditional branches.
+BRANCH_FUNCS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blez": lambda a, _b: to_signed(a) <= 0,
+    "bgtz": lambda a, _b: to_signed(a) > 0,
+    "bltz": lambda a, _b: to_signed(a) < 0,
+    "bgez": lambda a, _b: to_signed(a) >= 0,
+}

@@ -1,0 +1,102 @@
+"""Simulated memory with word-granularity producer tracking.
+
+Values live in two sparse maps: 32-bit words keyed by aligned address
+and 64-bit floats keyed by their (8-byte aligned) address.  Sub-word
+accesses read-modify the containing word.  Producer tracking — which
+dynamic store last wrote a location — is kept at word granularity for
+integer data and at cell granularity for floats; a byte store marks the
+whole containing word (documented approximation, see DESIGN.md).
+
+Uninitialised reads return zero and have no producer, which the model
+interprets as a ``D`` (input-data) node.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimError
+from repro.isa.layout import WORD_MASK
+
+
+class Memory:
+    """Sparse byte-addressed memory."""
+
+    def __init__(self):
+        self._words: dict[int, int] = {}
+        self._floats: dict[int, float] = {}
+        #: word/float address -> (producer uid, producer pc); absent => D.
+        self._producers: dict[int, tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Integer access.
+    # ------------------------------------------------------------------
+
+    def read_word(self, addr: int) -> int:
+        if addr & 3:
+            raise SimError(f"unaligned word read at {addr:#x}")
+        return self._words.get(addr, 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        if addr & 3:
+            raise SimError(f"unaligned word write at {addr:#x}")
+        self._words[addr] = value & WORD_MASK
+
+    def read_byte(self, addr: int) -> int:
+        word = self._words.get(addr & ~3, 0)
+        return (word >> ((addr & 3) * 8)) & 0xFF
+
+    def write_byte(self, addr: int, value: int) -> None:
+        base = addr & ~3
+        shift = (addr & 3) * 8
+        word = self._words.get(base, 0)
+        self._words[base] = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+
+    def read_half(self, addr: int) -> int:
+        if addr & 1:
+            raise SimError(f"unaligned halfword read at {addr:#x}")
+        word = self._words.get(addr & ~3, 0)
+        return (word >> ((addr & 2) * 8)) & 0xFFFF
+
+    def write_half(self, addr: int, value: int) -> None:
+        if addr & 1:
+            raise SimError(f"unaligned halfword write at {addr:#x}")
+        base = addr & ~3
+        shift = (addr & 2) * 8
+        word = self._words.get(base, 0)
+        self._words[base] = (word & ~(0xFFFF << shift)) | (
+            (value & 0xFFFF) << shift
+        )
+
+    # ------------------------------------------------------------------
+    # Floating-point access (8-byte cells holding Python floats).
+    # ------------------------------------------------------------------
+
+    def read_float(self, addr: int) -> float:
+        if addr & 7:
+            raise SimError(f"unaligned float read at {addr:#x}")
+        return self._floats.get(addr, 0.0)
+
+    def write_float(self, addr: int, value: float) -> None:
+        if addr & 7:
+            raise SimError(f"unaligned float write at {addr:#x}")
+        self._floats[addr] = float(value)
+
+    # ------------------------------------------------------------------
+    # Producer tracking (used only by the tracing machine).
+    # ------------------------------------------------------------------
+
+    def producer(self, addr: int) -> tuple[int, int] | None:
+        """Return (uid, pc) of the last store to the cell, or None (D)."""
+        return self._producers.get(addr & ~3)
+
+    def float_producer(self, addr: int) -> tuple[int, int] | None:
+        return self._producers.get(addr)
+
+    def set_producer(self, addr: int, uid: int, pc: int) -> None:
+        self._producers[addr & ~3] = (uid, pc)
+
+    def set_float_producer(self, addr: int, uid: int, pc: int) -> None:
+        self._producers[addr] = (uid, pc)
+
+    def footprint(self) -> int:
+        """Number of initialised cells (words + floats)."""
+        return len(self._words) + len(self._floats)

@@ -1,0 +1,89 @@
+"""Dynamic-trace records emitted by the simulator.
+
+A :class:`DynInst` is a node of the dynamic prediction graph; its
+:class:`Source` entries are the in-arcs.  Reads of the hard-wired zero
+register and instruction immediates are *not* sources — following the
+paper, they are part of the instruction and show up only through the
+``has_imm`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.isa.opcodes import Category
+
+
+class Source(NamedTuple):
+    """One consumed operand (an in-arc of the DPG node).
+
+    Attributes:
+        value: the value consumed.
+        producer: uid of the producing dynamic instruction, or None when
+            the value is program input / static data (a ``D`` node).
+        producer_pc: static PC of the producer, or None for ``D``.
+        is_mem: True when this is the memory-data input of a load.
+        loc: where the value was read from — the byte address for
+            memory inputs, the register number for register inputs.
+            Identifies the ``D`` node when ``producer`` is None.
+    """
+
+    value: int | float
+    producer: int | None
+    producer_pc: int | None
+    is_mem: bool = False
+    loc: int = 0
+
+    def d_key(self) -> int:
+        """Stable identity of the ``D`` node feeding this arc.
+
+        Memory data items are identified by address; initial register
+        values by ``2**33 + register number`` (addresses are < 2**32,
+        so the spaces cannot collide).  Only meaningful when
+        ``producer`` is None.
+        """
+        return self.loc if self.is_mem else 0x2_0000_0000 + self.loc
+
+
+@dataclass(slots=True)
+class DynInst:
+    """One executed instruction (a node of the DPG).
+
+    Attributes:
+        uid: position in the dynamic instruction stream (0-based).
+        pc: static instruction index.
+        op: opcode mnemonic.
+        category: dynamic category (ALU / LOAD / STORE / BRANCH / ...).
+        has_imm: True when the instruction carries an immediate (or
+            reads the zero register, which the model treats the same way).
+        srcs: consumed operands, in operand order; a load's memory-data
+            input comes last.
+        out: the produced value — the result register value for ALU ops
+            and loads, the stored value for stores, the target index for
+            register-indirect jumps; None when nothing is produced.
+        passthrough: index into ``srcs`` whose predictability the output
+            inherits (loads, stores, register-indirect jumps), or None.
+        taken: branch direction for conditional branches, else None.
+        target: taken-target instruction index for branches and jumps.
+    """
+
+    uid: int
+    pc: int
+    op: str
+    category: Category
+    has_imm: bool
+    srcs: tuple[Source, ...]
+    out: int | float | None
+    passthrough: int | None = None
+    taken: bool | None = None
+    target: int | None = None
+
+    @property
+    def is_branch(self) -> bool:
+        """True for conditional branches."""
+        return self.category is Category.BRANCH
+
+    def has_output(self) -> bool:
+        """True when the node produces a value the model can predict."""
+        return self.out is not None and self.category is not Category.BRANCH

@@ -1,0 +1,105 @@
+"""Dynamic-trace serialisation.
+
+Traces are the interface between the substrate and the model, so they
+are worth persisting: capture a workload's trace once, then re-analyse
+it under different predictor configurations without re-simulating.
+The format is JSON-lines — one compact array per dynamic instruction —
+with a one-line header carrying the static instruction count the
+analyzer needs.  Files ending in ``.gz`` are transparently gzipped.
+
+Floats survive the round trip exactly (JSON distinguishes ``5`` from
+``5.0``), which matters because predictors compare values exactly.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+from repro.cpu.trace import DynInst, Source
+from repro.errors import ReproError
+from repro.isa.opcodes import Category
+
+#: Format identifier written in the header line.
+FORMAT = "repro-trace-v1"
+
+
+def _open(path, mode):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_trace(trace, path, n_static: int) -> int:
+    """Write ``trace`` (an iterable of :class:`DynInst`) to ``path``.
+
+    Returns the number of records written.
+    """
+    count = 0
+    with _open(path, "w") as handle:
+        handle.write(json.dumps({"format": FORMAT,
+                                 "n_static": n_static}) + "\n")
+        for dyn in trace:
+            record = [
+                dyn.uid,
+                dyn.pc,
+                dyn.op,
+                int(dyn.category),
+                1 if dyn.has_imm else 0,
+                [list(src) for src in dyn.srcs],
+                dyn.out,
+                dyn.passthrough,
+                dyn.taken,
+                dyn.target,
+            ]
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def trace_header(path) -> dict:
+    """Read and validate the header of a trace file."""
+    with _open(path, "r") as handle:
+        header = json.loads(handle.readline())
+    if header.get("format") != FORMAT:
+        raise ReproError(f"not a {FORMAT} file: {path}")
+    return header
+
+
+def load_trace(path):
+    """Yield the :class:`DynInst` records stored in ``path``."""
+    with _open(path, "r") as handle:
+        header = json.loads(handle.readline())
+        if header.get("format") != FORMAT:
+            raise ReproError(f"not a {FORMAT} file: {path}")
+        for line in handle:
+            (uid, pc, op, category, has_imm, srcs, out, passthrough,
+             taken, target) = json.loads(line)
+            yield DynInst(
+                uid=uid,
+                pc=pc,
+                op=op,
+                category=Category(category),
+                has_imm=bool(has_imm),
+                srcs=tuple(Source(*src) for src in srcs),
+                out=out,
+                passthrough=passthrough,
+                taken=taken,
+                target=target,
+            )
+
+
+def analyze_trace_file(path, name=None, config=None, profile_counts=None):
+    """Analyse a saved trace end to end."""
+    from repro.core.analysis import analyze_trace
+
+    header = trace_header(path)
+    return analyze_trace(
+        load_trace(path),
+        header["n_static"],
+        name=name or Path(path).stem,
+        config=config,
+        profile_counts=profile_counts,
+    )

@@ -1,0 +1,38 @@
+"""Exception hierarchy shared across the repro packages."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AsmError(ReproError):
+    """An assembly source could not be assembled.
+
+    Attributes:
+        line: 1-based source line number, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+
+
+class CompileError(ReproError):
+    """A mini-C source could not be compiled.
+
+    Attributes:
+        line: 1-based source line number, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+
+
+class SimError(ReproError):
+    """The simulated machine hit a fault (bad PC, unaligned access,
+    division by zero, instruction limit, ...)."""

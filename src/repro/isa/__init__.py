@@ -1,0 +1,55 @@
+"""Instruction-set definition for the MIPS-like tracing substrate.
+
+The paper's model consumes a dynamic dependence trace produced by a
+SimpleScalar (PISA) simulator.  This package defines the equivalent ISA
+used by :mod:`repro.asm`, :mod:`repro.cpu` and :mod:`repro.minic`: a
+32-bit RISC instruction set with 32 integer registers, 32 floating-point
+registers, immediate-form ALU operations, loads/stores, conditional
+branches, and direct/indirect jumps.
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    Category,
+    OpSpec,
+    OPCODES,
+    opcode_spec,
+)
+from repro.isa.registers import (
+    FP_REG_BASE,
+    NUM_REGS,
+    REG_A0,
+    REG_AT,
+    REG_FP,
+    REG_GP,
+    REG_RA,
+    REG_SP,
+    REG_V0,
+    REG_ZERO,
+    fp_reg,
+    is_fp_reg,
+    register_name,
+    register_number,
+)
+
+__all__ = [
+    "Category",
+    "FP_REG_BASE",
+    "Instruction",
+    "NUM_REGS",
+    "OPCODES",
+    "OpSpec",
+    "REG_A0",
+    "REG_AT",
+    "REG_FP",
+    "REG_GP",
+    "REG_RA",
+    "REG_SP",
+    "REG_V0",
+    "REG_ZERO",
+    "fp_reg",
+    "is_fp_reg",
+    "opcode_spec",
+    "register_name",
+    "register_number",
+]

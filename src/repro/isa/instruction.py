@@ -1,0 +1,82 @@
+"""The decoded instruction record produced by the assembler.
+
+Instructions are stored fully decoded: register operands as flat
+register numbers (see :mod:`repro.isa.registers`), branch and jump
+targets as absolute instruction indices, and immediates as plain Python
+integers.  The simulator addresses instructions by index, so the
+"program counter" in this codebase is an instruction index rather than
+a byte address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Category, OpSpec, opcode_spec
+from repro.isa.registers import register_name
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One decoded instruction.
+
+    Attributes:
+        op: opcode mnemonic (key into :data:`repro.isa.opcodes.OPCODES`).
+        dest: destination register number, or None.
+        src1: first source register number, or None.
+        src2: second source register number, or None.  For stores this is
+            the data register and ``src1`` is the address base register.
+        imm: immediate value (ALU immediate, shift amount, or memory
+            displacement), or None.
+        target: absolute instruction index for branches and direct
+            jumps, or None.
+        text: original assembly text, for diagnostics and listings.
+    """
+
+    op: str
+    dest: int | None = None
+    src1: int | None = None
+    src2: int | None = None
+    imm: int | None = None
+    target: int | None = None
+    text: str = field(default="", compare=False)
+
+    @property
+    def spec(self) -> OpSpec:
+        """The static :class:`OpSpec` for this opcode."""
+        return opcode_spec(self.op)
+
+    @property
+    def category(self) -> Category:
+        """Dynamic category of this instruction."""
+        return opcode_spec(self.op).category
+
+    def sources(self) -> tuple[int, ...]:
+        """Register numbers read by this instruction, in operand order."""
+        srcs = []
+        if self.src1 is not None:
+            srcs.append(self.src1)
+        if self.src2 is not None:
+            srcs.append(self.src2)
+        return tuple(srcs)
+
+    def render(self) -> str:
+        """Render a canonical assembly string (ignores ``text``)."""
+        spec = self.spec
+        parts: list[str] = []
+        if self.dest is not None and spec.category is not Category.STORE:
+            parts.append(register_name(self.dest))
+        if spec.category in (Category.LOAD, Category.STORE):
+            data_reg = self.dest if spec.category is Category.LOAD else self.src2
+            base = register_name(self.src1) if self.src1 is not None else "?"
+            return f"{self.op} {register_name(data_reg)}, {self.imm}({base})"
+        if self.src1 is not None:
+            parts.append(register_name(self.src1))
+        if self.src2 is not None:
+            parts.append(register_name(self.src2))
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(f"@{self.target}")
+        operands = ", ".join(parts)
+        return f"{self.op} {operands}" if operands else self.op

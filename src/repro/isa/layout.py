@@ -1,0 +1,52 @@
+"""Memory layout and ABI conventions for the simulated machine.
+
+The layout mirrors a classic MIPS user-space process image: a static
+data segment, a downward-growing stack, and a dedicated region where
+the harness places *program input data*.  Values read from the input
+region (and static-data initial values) have no producing instruction,
+so they appear in the dynamic prediction graph as ``D`` nodes.
+"""
+
+from __future__ import annotations
+
+#: Base byte address of the static data segment (.data).
+DATA_BASE = 0x1000_0000
+
+#: Initial stack pointer; the stack grows down from here.
+STACK_TOP = 0x7FFF_FFF0
+
+#: Base byte address of the program-input region.  The machine loads
+#: the workload's synthetic input words here before execution starts.
+INPUT_BASE = 0x2000_0000
+
+#: Word at this address holds the number of input words (also D data).
+INPUT_LEN_ADDR = INPUT_BASE - 4
+
+#: Base byte address of the floating-point program-input region
+#: (8-byte cells).  Lets FP workloads scan genuine ``D`` data the way
+#: the paper's FP benchmarks scan their input arrays.
+INPUT_FLOAT_BASE = 0x2100_0000
+
+#: Word holding the number of floating-point input values (also D data).
+INPUT_FLOAT_LEN_ADDR = INPUT_FLOAT_BASE - 4
+
+#: Syscall codes, passed in $v0.
+SYS_PRINT_INT = 1
+SYS_PRINT_FLOAT = 3
+SYS_EXIT = 10
+SYS_PRINT_CHAR = 11
+
+#: Mask and helpers for 32-bit two's-complement arithmetic.
+WORD_MASK = 0xFFFF_FFFF
+SIGN_BIT = 0x8000_0000
+
+
+def to_signed(word: int) -> int:
+    """Interpret a 32-bit word as a signed integer."""
+    word &= WORD_MASK
+    return word - 0x1_0000_0000 if word & SIGN_BIT else word
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python integer to its 32-bit unsigned representation."""
+    return value & WORD_MASK

@@ -1,0 +1,154 @@
+"""Opcode table for the MIPS-like ISA.
+
+Each opcode carries an :class:`OpSpec` describing its assembly format
+and its dynamic category.  The category drives both the executor
+dispatch and the predictability model's special-case rules (memory
+instructions and register-indirect jumps pass predictability through;
+conditional branches are predicted by gshare; direct jumps carry no
+predictable output).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Category(enum.IntEnum):
+    """Dynamic instruction category."""
+
+    ALU = 0        #: register/immediate computation producing a register value
+    LOAD = 1       #: memory read; output passes through the memory data input
+    STORE = 2      #: memory write; "output" is the stored value (pass-through)
+    BRANCH = 3     #: conditional branch; output is the taken/not-taken direction
+    JUMP = 4       #: direct unconditional jump; no predictable output
+    CALL = 5       #: direct call (jal); produces the link address
+    JUMP_REG = 6   #: register-indirect jump (jr/jalr); target passes through
+    SYSCALL = 7    #: system call; consumer-only node (prints, input, exit)
+    NOP = 8        #: no effect; still a trace node
+
+
+class Format(enum.Enum):
+    """Assembly operand format, used by the assembler parser."""
+
+    RRR = "rd, rs, rt"            # add $1,$2,$3
+    RRI = "rt, rs, imm"           # addiu $1,$2,100 / sll $1,$2,5
+    LUI = "rt, imm"               # lui $1,0x1000
+    MEM = "rt, off(rs)"           # lw / sw and byte/half variants
+    BRANCH2 = "rs, rt, label"     # beq / bne
+    BRANCH1 = "rs, label"         # blez / bgtz / bltz / bgez
+    JUMP = "label"                # j / jal
+    JR = "rs"                     # jr
+    JALR = "rs"                   # jalr (writes $ra)
+    FRRR = "fd, fs, ft"           # add.d
+    FRR = "fd, fs"                # neg.d / mov.d / sqrt.d
+    FCMP = "rd, fs, ft"           # fslt (int result)
+    ITOF = "fd, rs"               # int -> float convert
+    FTOI = "rd, fs"               # float -> int convert (truncate)
+    FMEM = "ft, off(rs)"          # l.d / s.d
+    NONE = ""                     # nop / halt / syscall
+
+
+@dataclass(frozen=True, slots=True)
+class OpSpec:
+    """Static description of one opcode."""
+
+    name: str
+    fmt: Format
+    category: Category
+    #: True when the instruction writes a destination register.
+    writes_dest: bool = True
+    #: True when the *semantics* use the immediate field.
+    uses_imm: bool = False
+
+
+def _spec(name, fmt, category, writes_dest=True, uses_imm=False):
+    return OpSpec(name, fmt, category, writes_dest, uses_imm)
+
+
+_SPEC_LIST = [
+    # Integer three-register ALU.
+    _spec("add", Format.RRR, Category.ALU),
+    _spec("addu", Format.RRR, Category.ALU),
+    _spec("sub", Format.RRR, Category.ALU),
+    _spec("subu", Format.RRR, Category.ALU),
+    _spec("and", Format.RRR, Category.ALU),
+    _spec("or", Format.RRR, Category.ALU),
+    _spec("xor", Format.RRR, Category.ALU),
+    _spec("nor", Format.RRR, Category.ALU),
+    _spec("slt", Format.RRR, Category.ALU),
+    _spec("sltu", Format.RRR, Category.ALU),
+    _spec("sllv", Format.RRR, Category.ALU),
+    _spec("srlv", Format.RRR, Category.ALU),
+    _spec("srav", Format.RRR, Category.ALU),
+    _spec("mul", Format.RRR, Category.ALU),
+    _spec("div", Format.RRR, Category.ALU),
+    _spec("divu", Format.RRR, Category.ALU),
+    _spec("rem", Format.RRR, Category.ALU),
+    _spec("remu", Format.RRR, Category.ALU),
+    # Integer register-immediate ALU (includes shift-by-amount forms).
+    _spec("addi", Format.RRI, Category.ALU, uses_imm=True),
+    _spec("addiu", Format.RRI, Category.ALU, uses_imm=True),
+    _spec("andi", Format.RRI, Category.ALU, uses_imm=True),
+    _spec("ori", Format.RRI, Category.ALU, uses_imm=True),
+    _spec("xori", Format.RRI, Category.ALU, uses_imm=True),
+    _spec("slti", Format.RRI, Category.ALU, uses_imm=True),
+    _spec("sltiu", Format.RRI, Category.ALU, uses_imm=True),
+    _spec("sll", Format.RRI, Category.ALU, uses_imm=True),
+    _spec("srl", Format.RRI, Category.ALU, uses_imm=True),
+    _spec("sra", Format.RRI, Category.ALU, uses_imm=True),
+    _spec("lui", Format.LUI, Category.ALU, uses_imm=True),
+    # Memory.
+    _spec("lw", Format.MEM, Category.LOAD, uses_imm=True),
+    _spec("lb", Format.MEM, Category.LOAD, uses_imm=True),
+    _spec("lbu", Format.MEM, Category.LOAD, uses_imm=True),
+    _spec("lh", Format.MEM, Category.LOAD, uses_imm=True),
+    _spec("lhu", Format.MEM, Category.LOAD, uses_imm=True),
+    _spec("sw", Format.MEM, Category.STORE, writes_dest=False, uses_imm=True),
+    _spec("sb", Format.MEM, Category.STORE, writes_dest=False, uses_imm=True),
+    _spec("sh", Format.MEM, Category.STORE, writes_dest=False, uses_imm=True),
+    # Conditional branches.
+    _spec("beq", Format.BRANCH2, Category.BRANCH, writes_dest=False),
+    _spec("bne", Format.BRANCH2, Category.BRANCH, writes_dest=False),
+    _spec("blez", Format.BRANCH1, Category.BRANCH, writes_dest=False),
+    _spec("bgtz", Format.BRANCH1, Category.BRANCH, writes_dest=False),
+    _spec("bltz", Format.BRANCH1, Category.BRANCH, writes_dest=False),
+    _spec("bgez", Format.BRANCH1, Category.BRANCH, writes_dest=False),
+    # Jumps.
+    _spec("j", Format.JUMP, Category.JUMP, writes_dest=False),
+    _spec("jal", Format.JUMP, Category.CALL),
+    _spec("jr", Format.JR, Category.JUMP_REG, writes_dest=False),
+    _spec("jalr", Format.JALR, Category.JUMP_REG),
+    # Floating point (double precision model; registers hold Python floats).
+    _spec("add.d", Format.FRRR, Category.ALU),
+    _spec("sub.d", Format.FRRR, Category.ALU),
+    _spec("mul.d", Format.FRRR, Category.ALU),
+    _spec("div.d", Format.FRRR, Category.ALU),
+    _spec("neg.d", Format.FRR, Category.ALU),
+    _spec("mov.d", Format.FRR, Category.ALU),
+    _spec("abs.d", Format.FRR, Category.ALU),
+    _spec("sqrt.d", Format.FRR, Category.ALU),
+    _spec("fslt", Format.FCMP, Category.ALU),
+    _spec("fsle", Format.FCMP, Category.ALU),
+    _spec("fseq", Format.FCMP, Category.ALU),
+    _spec("itof", Format.ITOF, Category.ALU),
+    _spec("ftoi", Format.FTOI, Category.ALU),
+    _spec("l.d", Format.FMEM, Category.LOAD, uses_imm=True),
+    _spec("s.d", Format.FMEM, Category.STORE, writes_dest=False, uses_imm=True),
+    # System.
+    _spec("nop", Format.NONE, Category.NOP, writes_dest=False),
+    _spec("halt", Format.NONE, Category.SYSCALL, writes_dest=False),
+    _spec("syscall", Format.NONE, Category.SYSCALL, writes_dest=False),
+]
+
+#: Mapping of opcode mnemonic to its :class:`OpSpec`.
+OPCODES: dict[str, OpSpec] = {spec.name: spec for spec in _SPEC_LIST}
+
+
+def opcode_spec(name: str) -> OpSpec:
+    """Return the :class:`OpSpec` for ``name``.
+
+    Raises:
+        KeyError: if the mnemonic is unknown.
+    """
+    return OPCODES[name]

@@ -1,0 +1,76 @@
+"""Register-file naming for the MIPS-like ISA.
+
+Integer registers occupy numbers 0..31 and floating-point registers
+32..63.  A single flat numbering keeps dependence tracking in the
+simulator uniform: every producer/consumer slot is just an integer.
+"""
+
+from __future__ import annotations
+
+#: Number of architectural registers (32 integer + 32 floating point).
+NUM_REGS = 64
+
+#: First floating-point register number in the flat numbering.
+FP_REG_BASE = 32
+
+# Conventional MIPS integer register assignments.
+REG_ZERO = 0
+REG_AT = 1
+REG_V0 = 2
+REG_V1 = 3
+REG_A0 = 4
+REG_A1 = 5
+REG_A2 = 6
+REG_A3 = 7
+REG_GP = 28
+REG_SP = 29
+REG_FP = 30
+REG_RA = 31
+
+_INT_NAMES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+_NAME_TO_NUMBER = {name: index for index, name in enumerate(_INT_NAMES)}
+# Numeric aliases: $0 .. $31.
+_NAME_TO_NUMBER.update({str(index): index for index in range(32)})
+# Floating-point registers: $f0 .. $f31.
+_NAME_TO_NUMBER.update({f"f{index}": FP_REG_BASE + index for index in range(32)})
+
+
+def register_number(name: str) -> int:
+    """Return the flat register number for ``name``.
+
+    ``name`` may include the leading ``$`` and may be a symbolic name
+    (``$t0``), a plain number (``$8``), or a floating-point register
+    (``$f2``).
+
+    Raises:
+        KeyError: if the name is not a valid register.
+    """
+    stripped = name[1:] if name.startswith("$") else name
+    return _NAME_TO_NUMBER[stripped]
+
+
+def register_name(number: int) -> str:
+    """Return the canonical ``$``-prefixed name for register ``number``."""
+    if 0 <= number < FP_REG_BASE:
+        return "$" + _INT_NAMES[number]
+    if FP_REG_BASE <= number < NUM_REGS:
+        return f"$f{number - FP_REG_BASE}"
+    raise ValueError(f"register number out of range: {number}")
+
+
+def is_fp_reg(number: int) -> bool:
+    """Return True if ``number`` names a floating-point register."""
+    return FP_REG_BASE <= number < NUM_REGS
+
+
+def fp_reg(index: int) -> int:
+    """Return the flat number of floating-point register ``$f<index>``."""
+    if not 0 <= index < 32:
+        raise ValueError(f"fp register index out of range: {index}")
+    return FP_REG_BASE + index

@@ -1,0 +1,25 @@
+"""Mini-C compiler targeting the MIPS-like ISA.
+
+The paper analyses SPEC95 binaries compiled with gcc ``-O3``; the
+predictability phenomena it studies (immediate-heavy instruction mixes,
+loop induction code, filtering branches, register-resident scalars)
+come from *compiled* code.  This package provides the equivalent
+substrate: a small C subset — ``int`` / ``float`` / ``char`` scalars,
+arrays, pointers, functions, the usual statements and operators — with
+a code generator that keeps scalar locals in callee-saved registers,
+so the emitted code has the shape of optimised compiler output.
+
+Builtins: ``print_int``, ``print_char``, ``print_float``, ``exit``,
+and the program-input accessors ``input_word(i)``, ``input_count()``,
+``input_float(i)``, ``input_float_count()`` which read the machine's
+``D``-tagged input regions.
+
+Entry points: :func:`compile_source` (to assembly text) and
+:func:`compile_program` (straight to an assembled
+:class:`repro.asm.Program`).
+"""
+
+from repro.errors import CompileError
+from repro.minic.compiler import compile_program, compile_source
+
+__all__ = ["CompileError", "compile_program", "compile_source"]

@@ -1,0 +1,241 @@
+"""Abstract syntax tree for mini-C.
+
+Nodes are plain dataclasses.  The semantic pass
+(:mod:`repro.minic.sema`) annotates expression nodes with ``ty`` (a
+:class:`repro.minic.types.Type`) and name references with their
+resolved :class:`~repro.minic.sema.Symbol`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minic.types import Type
+
+
+@dataclass(slots=True)
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# ----------------------------------------------------------------------
+# Expressions.
+# ----------------------------------------------------------------------
+
+@dataclass(slots=True)
+class Expr(Node):
+    #: filled in by sema
+    ty: Type | None = field(default=None, kw_only=True)
+
+
+@dataclass(slots=True)
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass(slots=True)
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass(slots=True)
+class StrLit(Expr):
+    value: str = ""
+
+
+@dataclass(slots=True)
+class Var(Expr):
+    name: str = ""
+    sym: object = field(default=None, kw_only=True)  # Symbol, from sema
+
+
+@dataclass(slots=True)
+class Unary(Expr):
+    """Prefix operators: ``-``, ``!``, ``~``."""
+
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass(slots=True)
+class AddrOf(Expr):
+    operand: Expr | None = None
+
+
+@dataclass(slots=True)
+class Deref(Expr):
+    operand: Expr | None = None
+
+
+@dataclass(slots=True)
+class Binary(Expr):
+    op: str = ""
+    lhs: Expr | None = None
+    rhs: Expr | None = None
+
+
+@dataclass(slots=True)
+class Conditional(Expr):
+    """The ternary operator ``cond ? then : orelse``."""
+
+    cond: Expr | None = None
+    then: Expr | None = None
+    orelse: Expr | None = None
+
+
+@dataclass(slots=True)
+class Assign(Expr):
+    """``target op= value``; plain assignment has ``op == "="``."""
+
+    op: str = "="
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass(slots=True)
+class IncDec(Expr):
+    """``++x`` / ``x++`` / ``--x`` / ``x--``."""
+
+    op: str = "++"
+    target: Expr | None = None
+    prefix: bool = True
+
+
+@dataclass(slots=True)
+class Index(Expr):
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass(slots=True)
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Statements.
+# ----------------------------------------------------------------------
+
+@dataclass(slots=True)
+class Stmt(Node):
+    pass
+
+
+@dataclass(slots=True)
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass(slots=True)
+class Decl(Stmt):
+    """A local variable declaration, possibly an array."""
+
+    name: str = ""
+    ty: Type | None = None
+    array_len: int | None = None
+    init: Expr | None = None
+    sym: object = field(default=None, kw_only=True)
+
+
+@dataclass(slots=True)
+class DeclGroup(Stmt):
+    """Several declarations from one statement (``int i, j = 0;``);
+    unlike a Block, introduces no scope."""
+
+    decls: list[Decl] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    orelse: Stmt | None = None
+
+
+@dataclass(slots=True)
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass(slots=True)
+class DoWhile(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass(slots=True)
+class For(Stmt):
+    init: Stmt | None = None       # ExprStmt, Decl or None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass(slots=True)
+class SwitchCase(Node):
+    """One ``case value:`` (or ``default:`` when value is None) arm;
+    bodies fall through to the next arm unless they break."""
+
+    value: int | None = None
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Switch(Stmt):
+    cond: Expr | None = None
+    cases: list[SwitchCase] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(slots=True)
+class Continue(Stmt):
+    pass
+
+
+@dataclass(slots=True)
+class Return(Stmt):
+    value: Expr | None = None
+
+
+# ----------------------------------------------------------------------
+# Top level.
+# ----------------------------------------------------------------------
+
+@dataclass(slots=True)
+class Param(Node):
+    name: str = ""
+    ty: Type | None = None
+
+
+@dataclass(slots=True)
+class FuncDef(Node):
+    name: str = ""
+    ret: Type | None = None
+    params: list[Param] = field(default_factory=list)
+    body: Block | None = None
+
+
+@dataclass(slots=True)
+class GlobalDecl(Node):
+    name: str = ""
+    ty: Type | None = None
+    array_len: int | None = None
+    init: list[Expr] = field(default_factory=list)  # scalar: one element
+    sym: object = field(default=None, kw_only=True)
+
+
+@dataclass(slots=True)
+class Program(Node):
+    globals: list[GlobalDecl] = field(default_factory=list)
+    funcs: list[FuncDef] = field(default_factory=list)

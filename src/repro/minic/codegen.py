@@ -1,0 +1,1357 @@
+"""Code generation for mini-C.
+
+Emits assembly text for :mod:`repro.asm`.  The generated code has the
+shape of optimised compiler output: scalar locals live in callee-saved
+registers, immediates are folded into ALU instructions (``addiu``,
+``andi``, ``slti``, shift-by-constant, constant displacements), loops
+are bottom-tested, and expression temporaries live in caller-saved
+``$t`` registers that are spilled only around calls.
+
+Calling convention: up to four integer/pointer arguments in $a0–$a3 and
+two float arguments in $f12/$f14; integer results in $v0, float results
+in $f0; $ra/$fp plus any used $s/$f20+ registers saved in the frame.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.isa.layout import (
+    INPUT_BASE,
+    INPUT_FLOAT_BASE,
+    INPUT_FLOAT_LEN_ADDR,
+    INPUT_LEN_ADDR,
+    STACK_TOP,
+    SYS_EXIT,
+    SYS_PRINT_CHAR,
+    SYS_PRINT_FLOAT,
+    SYS_PRINT_INT,
+)
+from repro.isa.registers import register_name
+from repro.minic import astnodes as ast
+from repro.minic.sema import BUILTINS, FuncInfo, SemaResult, Symbol
+from repro.minic.types import CHAR, FLOAT, INT, Type
+
+#: Caller-saved integer temporaries ($t0..$t9).
+INT_TEMPS = (8, 9, 10, 11, 12, 13, 14, 15, 24, 25)
+#: Caller-saved floating-point temporaries.
+FP_TEMPS = (36, 38, 40, 42, 48, 50)  # $f4 $f6 $f8 $f10 $f16 $f18
+
+_A0, _A1, _A2, _A3 = 4, 5, 6, 7
+_V0, _V1 = 2, 3
+_F0, _F12, _F14 = 32, 44, 46
+
+_INT_BINOPS = {
+    "+": "addu", "-": "subu", "*": "mul", "/": "div", "%": "rem",
+    "&": "and", "|": "or", "^": "xor", "<<": "sllv", ">>": "srav",
+}
+_FLOAT_BINOPS = {"+": "add.d", "-": "sub.d", "*": "mul.d", "/": "div.d"}
+#: op -> (immediate mnemonic, unsigned-range immediate?) for folding.
+_IMM_BINOPS = {
+    "+": ("addiu", False), "&": ("andi", True), "|": ("ori", True),
+    "^": ("xori", True),
+}
+
+
+class _Location:
+    """Where an lvalue lives: a register, a frame slot, a global label,
+    or a computed memory address held in a temp register."""
+
+    __slots__ = ("kind", "reg", "offset", "label", "ty")
+
+    def __init__(self, kind, ty, reg=None, offset=None, label=None):
+        self.kind = kind        # "reg" | "frame" | "global" | "mem"
+        self.ty = ty            # type of the stored value
+        self.reg = reg          # register (reg) or address register (mem)
+        self.offset = offset    # frame offset, or displacement for mem
+        self.label = label
+
+
+class FunctionCodegen:
+    """Generates assembly for one function."""
+
+    def __init__(self, module: "ModuleCodegen", info: FuncInfo):
+        self.module = module
+        self.info = info
+        self.lines: list[str] = []
+        self._int_pool = list(INT_TEMPS)
+        self._fp_pool = list(FP_TEMPS)
+        self._live: list[int] = []
+        self._label_count = 0
+        self._loop_stack: list[tuple[str, str]] = []  # (continue, break)
+
+    # ------------------------------------------------------------------
+    # Emission helpers.
+    # ------------------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append("        " + text)
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def new_label(self, hint: str = "L") -> str:
+        self._label_count += 1
+        return f".{self.info.name}_{hint}{self._label_count}"
+
+    # ------------------------------------------------------------------
+    # Temporary registers.
+    # ------------------------------------------------------------------
+
+    def alloc(self, is_float: bool) -> int:
+        pool = self._fp_pool if is_float else self._int_pool
+        if not pool:
+            raise CompileError(
+                f"{self.info.name}: expression too deep "
+                "(out of temporary registers)"
+            )
+        reg = pool.pop(0)
+        self._live.append(reg)
+        return reg
+
+    def free(self, reg: int | None) -> None:
+        if reg is None:
+            return
+        self._live.remove(reg)
+        if reg in FP_TEMPS:
+            self._fp_pool.insert(0, reg)
+        elif reg in INT_TEMPS:
+            self._int_pool.insert(0, reg)
+        else:
+            raise AssertionError(f"freeing non-temporary register {reg}")
+
+    def _is_fp(self, reg: int) -> bool:
+        return reg >= 32
+
+    # ------------------------------------------------------------------
+    # Function body.
+    # ------------------------------------------------------------------
+
+    def run(self) -> list[str]:
+        self._prologue()
+        for stmt in self.info.node.body.stmts:
+            self.gen_stmt(stmt)
+        if self.info.name == "main" and not self.info.ret.is_void:
+            self.emit("li $v0, 0")  # implicit return 0 from main
+        self.emit_label(self._return_label())
+        self._epilogue()
+        return self.lines
+
+    def _return_label(self) -> str:
+        return f".{self.info.name}_ret"
+
+    def _save_slots(self):
+        """(register, frame offset, is_float) for the frame's save area."""
+        frame = self.info.frame_size
+        slots = [(31, frame - 4, False), (30, frame - 8, False)]  # $ra, $fp
+        cursor = frame - 8
+        for reg in self.info.used_s_regs:
+            cursor -= 4
+            slots.append((reg, cursor, False))
+        cursor -= cursor & 4  # 8-align the fp save slots
+        for reg in self.info.used_f_regs:
+            cursor -= 8
+            slots.append((reg, cursor, True))
+        return slots
+
+    def _prologue(self) -> None:
+        self.emit_label(self.info.name)
+        frame = self.info.frame_size
+        self.emit(f"addiu $sp, $sp, -{frame}")
+        for reg, offset, is_float in self._save_slots():
+            op = "s.d" if is_float else "sw"
+            self.emit(f"{op} {register_name(reg)}, {offset}($sp)")
+        self.emit("move $fp, $sp")
+        for key, reg in self.info.const_regs.items():
+            kind = key[0]
+            name = register_name(reg)
+            if kind == "ga":
+                self.emit(f"la {name}, {key[1]}")
+            elif kind == "int":
+                self.emit(f"li {name}, {key[1]}")
+            else:  # float
+                self.emit(f"l.d {name}, {self.module.float_label(key[1])}")
+        int_index = 0
+        float_index = 0
+        for symbol in self.info.params:
+            if symbol.ty.is_float:
+                src = (_F12, _F14)[float_index]
+                float_index += 1
+            else:
+                src = (_A0, _A1, _A2, _A3)[int_index]
+                int_index += 1
+            self._store_location(self._symbol_location(symbol), src)
+
+    def _epilogue(self) -> None:
+        for reg, offset, is_float in self._save_slots():
+            op = "l.d" if is_float else "lw"
+            self.emit(f"{op} {register_name(reg)}, {offset}($sp)")
+        self.emit(f"addiu $sp, $sp, {self.info.frame_size}")
+        self.emit("jr $ra")
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for child in stmt.stmts:
+                self.gen_stmt(child)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self.gen_stmt(decl)
+        elif isinstance(stmt, ast.Decl):
+            if stmt.init is not None:
+                value = self.gen_expr(stmt.init)
+                value = self._coerce(value, stmt.init.ty, stmt.ty)
+                self._store_location(self._symbol_location(stmt.sym), value)
+                self.free(value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.free(self.gen_expr(stmt.expr, want_value=False))
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._gen_switch(stmt)
+        elif isinstance(stmt, ast.Break):
+            self.emit(f"b {self._loop_stack[-1][1]}")
+        elif isinstance(stmt, ast.Continue):
+            target = next(
+                cont for cont, __ in reversed(self._loop_stack)
+                if cont is not None
+            )
+            self.emit(f"b {target}")
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self.gen_expr(stmt.value)
+                value = self._coerce(value, stmt.value.ty, self.info.ret)
+                if self.info.ret.is_float:
+                    self.emit(f"mov.d $f0, {register_name(value)}")
+                else:
+                    self.emit(f"move $v0, {register_name(value)}")
+                self.free(value)
+            self.emit(f"b {self._return_label()}")
+        else:
+            raise CompileError(
+                f"unhandled statement {type(stmt).__name__}", stmt.line
+            )
+
+    def _branch_if_false(self, cond: ast.Expr, label: str) -> None:
+        self._gen_branch(cond, label, when_true=False)
+
+    def _branch_if_true(self, cond: ast.Expr, label: str) -> None:
+        self._gen_branch(cond, label, when_true=True)
+
+    def _gen_branch(self, cond: ast.Expr, label: str,
+                    when_true: bool) -> None:
+        """Branch to ``label`` on ``cond``'s truth value.
+
+        Integer equality tests fuse into a two-register beq/bne, the
+        way an optimising compiler emits them (and the way the paper's
+        SPEC traces contain branches with two data inputs); everything
+        else materialises the condition and tests it against $zero.
+        """
+        if (
+            isinstance(cond, ast.Binary)
+            and cond.op in ("==", "!=")
+            and not cond.lhs.ty.is_float
+            and not cond.rhs.ty.is_float
+        ):
+            # `x == y` branches with beq/bne directly; the polarity
+            # combines the operator with the branch sense.
+            take_on_equal = (cond.op == "==") == when_true
+            mnemonic = "beq" if take_on_equal else "bne"
+            lhs, lhs_borrowed = self._operand(cond.lhs)
+            rhs, rhs_borrowed = self._operand(cond.rhs)
+            self.emit(
+                f"{mnemonic} {register_name(lhs)}, {register_name(rhs)}, "
+                f"{label}"
+            )
+            self._free_operand(rhs, rhs_borrowed)
+            self._free_operand(lhs, lhs_borrowed)
+            return
+        reg = self.gen_expr(cond)
+        if cond.ty.is_float:
+            reg = self._coerce(reg, FLOAT, INT)
+        mnemonic = "bne" if when_true else "beq"
+        self.emit(f"{mnemonic} {register_name(reg)}, $zero, {label}")
+        self.free(reg)
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        end = self.new_label("endif")
+        target = self.new_label("else") if stmt.orelse is not None else end
+        self._branch_if_false(stmt.cond, target)
+        self.gen_stmt(stmt.then)
+        if stmt.orelse is not None:
+            self.emit(f"b {end}")
+            self.emit_label(target)
+            self.gen_stmt(stmt.orelse)
+        self.emit_label(end)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        cond_label = self.new_label("wcond")
+        body_label = self.new_label("wbody")
+        end_label = self.new_label("wend")
+        self.emit(f"b {cond_label}")
+        self.emit_label(body_label)
+        self._loop_stack.append((cond_label, end_label))
+        self.gen_stmt(stmt.body)
+        self._loop_stack.pop()
+        self.emit_label(cond_label)
+        self._branch_if_true(stmt.cond, body_label)
+        self.emit_label(end_label)
+
+    def _gen_do_while(self, stmt: ast.DoWhile) -> None:
+        body_label = self.new_label("dbody")
+        cond_label = self.new_label("dcond")
+        end_label = self.new_label("dend")
+        self.emit_label(body_label)
+        self._loop_stack.append((cond_label, end_label))
+        self.gen_stmt(stmt.body)
+        self._loop_stack.pop()
+        self.emit_label(cond_label)
+        self._branch_if_true(stmt.cond, body_label)
+        self.emit_label(end_label)
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        cond_label = self.new_label("fcond")
+        body_label = self.new_label("fbody")
+        step_label = self.new_label("fstep")
+        end_label = self.new_label("fend")
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        self.emit(f"b {cond_label}")
+        self.emit_label(body_label)
+        self._loop_stack.append((step_label, end_label))
+        self.gen_stmt(stmt.body)
+        self._loop_stack.pop()
+        self.emit_label(step_label)
+        if stmt.step is not None:
+            self.free(self.gen_expr(stmt.step, want_value=False))
+        self.emit_label(cond_label)
+        if stmt.cond is not None:
+            self._branch_if_true(stmt.cond, body_label)
+        else:
+            self.emit(f"b {body_label}")
+        self.emit_label(end_label)
+
+    #: A switch becomes a jump table when it has at least this many
+    #: cases and the value range is no sparser than 3x the case count.
+    MIN_TABLE_CASES = 4
+    MAX_TABLE_SPAN = 256
+
+    def _gen_switch(self, stmt: ast.Switch) -> None:
+        """Dispatch via a .data jump table (dense value sets) or a
+        compare chain (sparse), then fall-through case bodies."""
+        end_label = self.new_label("swend")
+        case_labels = [self.new_label("case") for __ in stmt.cases]
+        default_label = end_label
+        values: list[tuple[int, str]] = []
+        for case, label in zip(stmt.cases, case_labels):
+            if case.value is None:
+                default_label = label
+            else:
+                values.append((case.value, label))
+        cond = self.gen_expr(stmt.cond)
+        if self._switch_is_dense(values):
+            self._emit_jump_table(cond, values, default_label)
+        else:
+            self._emit_compare_chain(cond, values, default_label)
+        self.free(cond)
+        self._loop_stack.append((None, end_label))
+        for case, label in zip(stmt.cases, case_labels):
+            self.emit_label(label)
+            for child in case.stmts:
+                self.gen_stmt(child)
+        self._loop_stack.pop()
+        self.emit_label(end_label)
+
+    def _switch_is_dense(self, values) -> bool:
+        if len(values) < self.MIN_TABLE_CASES:
+            return False
+        span = max(v for v, __ in values) - min(v for v, __ in values) + 1
+        return span <= self.MAX_TABLE_SPAN and span <= 3 * len(values)
+
+    def _emit_jump_table(self, cond, values, default_label) -> None:
+        low = min(v for v, __ in values)
+        span = max(v for v, __ in values) - low + 1
+        targets = [default_label] * span
+        for value, label in values:
+            targets[value - low] = label
+        table_label = self.module.jump_table(targets)
+        name = register_name(cond)
+        if low:
+            self.emit(f"addiu {name}, {name}, {-low}")
+        guard = self.alloc(False)
+        self.emit(f"sltiu {register_name(guard)}, {name}, {span}")
+        self.emit(f"beq {register_name(guard)}, $zero, {default_label}")
+        self.free(guard)
+        self.emit(f"sll {name}, {name}, 2")
+        base = self.alloc(False)
+        self.emit(f"la {register_name(base)}, {table_label}")
+        self.emit(f"addu {name}, {register_name(base)}, {name}")
+        self.free(base)
+        self.emit(f"lw {name}, 0({name})")
+        self.emit(f"jr {name}")
+
+    def _emit_compare_chain(self, cond, values, default_label) -> None:
+        name = register_name(cond)
+        for value, label in values:
+            if value == 0:
+                self.emit(f"beq {name}, $zero, {label}")
+            else:
+                temp = self.alloc(False)
+                self.emit(f"li {register_name(temp)}, {value}")
+                self.emit(f"beq {name}, {register_name(temp)}, {label}")
+                self.free(temp)
+        self.emit(f"b {default_label}")
+
+    # ------------------------------------------------------------------
+    # Expressions.  gen_expr returns a freshly allocated temp register
+    # holding the value (caller frees), or None for void expressions.
+    # ------------------------------------------------------------------
+
+    def gen_expr(self, expr: ast.Expr, want_value: bool = True) -> int | None:
+        if isinstance(expr, ast.IntLit):
+            reg = self.alloc(False)
+            promoted = self._int_const_reg(expr.value)
+            if promoted is not None:
+                self.emit(f"move {register_name(reg)}, "
+                          f"{register_name(promoted)}")
+            else:
+                self.emit(f"li {register_name(reg)}, {expr.value}")
+            return reg
+        if isinstance(expr, ast.FloatLit):
+            return self._load_float_const(expr.value)
+        if isinstance(expr, ast.StrLit):
+            reg = self.alloc(False)
+            label = self.module.string_label(expr.value)
+            self.emit(f"la {register_name(reg)}, {label}")
+            return reg
+        if isinstance(expr, ast.Var):
+            if expr.sym.is_array:
+                return self._array_address(expr.sym, expr.line)
+            return self._load_location(self._var_location(expr))
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, ast.Deref):
+            addr = self.gen_expr(expr.operand)
+            location = _Location("mem", expr.ty, reg=addr, offset=0)
+            value = self._load_location(location)
+            self.free(addr)
+            return value
+        if isinstance(expr, ast.AddrOf):
+            return self._gen_addr_of(expr)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._gen_conditional(expr)
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign(expr, want_value)
+        if isinstance(expr, ast.IncDec):
+            return self._gen_incdec(expr, want_value)
+        if isinstance(expr, ast.Index):
+            location = self._index_location(expr)
+            value = self._load_location(location)
+            self._free_location(location)
+            return value
+        if isinstance(expr, ast.Call):
+            return self._gen_call(expr, want_value)
+        raise CompileError(
+            f"unhandled expression {type(expr).__name__}", expr.line
+        )
+
+    # -- locations ---------------------------------------------------------
+
+    def _int_const_reg(self, value: int) -> int | None:
+        return self.info.const_regs.get(("int", value & 0xFFFFFFFF))
+
+    def _global_reg(self, label: str) -> int | None:
+        return self.info.const_regs.get(("ga", label))
+
+    def _float_const_reg(self, value: float) -> int | None:
+        return self.info.const_regs.get(("float", value))
+
+    def _array_address(self, symbol: Symbol, line: int) -> int:
+        """Materialise the address an array symbol decays to."""
+        dest = self.alloc(False)
+        if symbol.storage == "frame":
+            self.emit(f"addiu {register_name(dest)}, $fp, {symbol.offset}")
+        elif symbol.storage == "global":
+            promoted = self._global_reg(symbol.label)
+            if promoted is not None:
+                self.emit(f"move {register_name(dest)}, "
+                          f"{register_name(promoted)}")
+            else:
+                self.emit(f"la {register_name(dest)}, {symbol.label}")
+        else:
+            raise CompileError(
+                f"array {symbol.name!r} has no address", line
+            )
+        return dest
+
+    def _symbol_location(self, symbol: Symbol) -> _Location:
+        ty = symbol.ty
+        if symbol.storage == "reg":
+            return _Location("reg", ty, reg=symbol.reg)
+        if symbol.storage == "frame":
+            return _Location("frame", ty, offset=symbol.offset)
+        return _Location("global", ty, label=symbol.label)
+
+    def _var_location(self, expr: ast.Var) -> _Location:
+        symbol = expr.sym
+        if symbol.is_array:
+            raise CompileError(
+                f"array {symbol.name!r} used as a value", expr.line
+            )
+        return self._symbol_location(symbol)
+
+    def _index_location(self, expr: ast.Index) -> _Location:
+        """Compute the address of ``base[index]`` into a temp."""
+        element = expr.ty
+        size = element.size()
+        base = self.gen_expr(expr.base)
+        index = expr.index
+        if isinstance(index, ast.IntLit):
+            displacement = index.value * size
+            if -32768 <= displacement <= 32767:
+                return _Location("mem", element, reg=base,
+                                 offset=displacement)
+        index_reg = self.gen_expr(index)
+        if size > 1:
+            shift = {4: 2, 8: 3}[size]
+            self.emit(
+                f"sll {register_name(index_reg)}, "
+                f"{register_name(index_reg)}, {shift}"
+            )
+        self.emit(
+            f"addu {register_name(index_reg)}, {register_name(base)}, "
+            f"{register_name(index_reg)}"
+        )
+        self.free(base)
+        return _Location("mem", element, reg=index_reg, offset=0)
+
+    def _free_location(self, location: _Location) -> None:
+        if location.kind == "mem":
+            self.free(location.reg)
+
+    def _mem_ops(self, ty: Type) -> tuple[str, str]:
+        """(load op, store op) for a scalar of type ``ty``."""
+        if ty.is_float:
+            return "l.d", "s.d"
+        if ty == CHAR:
+            return "lbu", "sb"
+        return "lw", "sw"
+
+    def _load_location(self, location: _Location) -> int:
+        ty = location.ty
+        is_float = ty.is_float
+        dest = self.alloc(is_float)
+        name = register_name(dest)
+        if location.kind == "reg":
+            if is_float:
+                self.emit(f"mov.d {name}, {register_name(location.reg)}")
+            else:
+                self.emit(f"move {name}, {register_name(location.reg)}")
+        elif location.kind == "frame":
+            load_op = self._mem_ops(ty)[0]
+            self.emit(f"{load_op} {name}, {location.offset}($fp)")
+        elif location.kind == "global":
+            load_op = self._mem_ops(ty)[0]
+            promoted = self._global_reg(location.label)
+            if promoted is not None:
+                self.emit(f"{load_op} {name}, 0({register_name(promoted)})")
+            else:
+                self.emit(f"{load_op} {name}, {location.label}")
+        else:  # mem
+            load_op = self._mem_ops(ty)[0]
+            self.emit(
+                f"{load_op} {name}, {location.offset}"
+                f"({register_name(location.reg)})"
+            )
+        return dest
+
+    def _store_location(self, location: _Location, value: int) -> None:
+        ty = location.ty
+        name = register_name(value)
+        if location.kind == "reg":
+            if ty.is_float:
+                self.emit(f"mov.d {register_name(location.reg)}, {name}")
+            else:
+                self.emit(f"move {register_name(location.reg)}, {name}")
+        elif location.kind == "frame":
+            store_op = self._mem_ops(ty)[1]
+            self.emit(f"{store_op} {name}, {location.offset}($fp)")
+        elif location.kind == "global":
+            store_op = self._mem_ops(ty)[1]
+            promoted = self._global_reg(location.label)
+            if promoted is not None:
+                self.emit(f"{store_op} {name}, 0({register_name(promoted)})")
+            else:
+                self.emit(f"{store_op} {name}, {location.label}")
+        else:  # mem
+            store_op = self._mem_ops(ty)[1]
+            self.emit(
+                f"{store_op} {name}, {location.offset}"
+                f"({register_name(location.reg)})"
+            )
+
+    def _lvalue_location(self, expr: ast.Expr) -> _Location:
+        if isinstance(expr, ast.Var):
+            return self._var_location(expr)
+        if isinstance(expr, ast.Deref):
+            addr = self.gen_expr(expr.operand)
+            return _Location("mem", expr.ty, reg=addr, offset=0)
+        if isinstance(expr, ast.Index):
+            return self._index_location(expr)
+        raise CompileError("not an lvalue", expr.line)
+
+    # -- conversions ---------------------------------------------------------
+
+    def _coerce(self, reg: int, from_ty: Type, to_ty: Type) -> int:
+        """Convert ``reg`` to ``to_ty``, returning the (possibly new)
+        register; the old register is freed on conversion."""
+        if from_ty.is_float == to_ty.is_float:
+            return reg
+        dest = self.alloc(to_ty.is_float)
+        if to_ty.is_float:
+            self.emit(f"itof {register_name(dest)}, {register_name(reg)}")
+        else:
+            self.emit(f"ftoi {register_name(dest)}, {register_name(reg)}")
+        self.free(reg)
+        return dest
+
+    # -- operators ---------------------------------------------------------
+
+    def _gen_unary(self, expr: ast.Unary) -> int:
+        op = expr.op
+        if op == "-":
+            operand = self.gen_expr(expr.operand)
+            if expr.ty.is_float:
+                operand = self._coerce(operand, expr.operand.ty, FLOAT)
+                dest = self.alloc(True)
+                self.emit(
+                    f"neg.d {register_name(dest)}, {register_name(operand)}"
+                )
+            else:
+                dest = self.alloc(False)
+                self.emit(
+                    f"neg {register_name(dest)}, {register_name(operand)}"
+                )
+            self.free(operand)
+            return dest
+        if op == "~":
+            operand = self.gen_expr(expr.operand)
+            dest = self.alloc(False)
+            self.emit(f"not {register_name(dest)}, {register_name(operand)}")
+            self.free(operand)
+            return dest
+        if op == "!":
+            operand = self.gen_expr(expr.operand)
+            if expr.operand.ty.is_float:
+                operand = self._coerce(operand, FLOAT, INT)
+            dest = self.alloc(False)
+            self.emit(
+                f"sltiu {register_name(dest)}, {register_name(operand)}, 1"
+            )
+            self.free(operand)
+            return dest
+        raise CompileError(f"unknown unary operator {op!r}", expr.line)
+
+    def _gen_addr_of(self, expr: ast.AddrOf) -> int:
+        operand = expr.operand
+        if isinstance(operand, ast.Var):
+            symbol = operand.sym
+            dest = self.alloc(False)
+            if symbol.storage == "frame":
+                self.emit(
+                    f"addiu {register_name(dest)}, $fp, {symbol.offset}"
+                )
+            elif symbol.storage == "global":
+                promoted = self._global_reg(symbol.label)
+                if promoted is not None:
+                    self.emit(f"move {register_name(dest)}, "
+                              f"{register_name(promoted)}")
+                else:
+                    self.emit(f"la {register_name(dest)}, {symbol.label}")
+            else:
+                raise CompileError(
+                    f"cannot take the address of register variable "
+                    f"{symbol.name!r}",
+                    expr.line,
+                )
+            return dest
+        if isinstance(operand, ast.Index):
+            location = self._index_location(operand)
+            if location.offset:
+                self.emit(
+                    f"addiu {register_name(location.reg)}, "
+                    f"{register_name(location.reg)}, {location.offset}"
+                )
+            return location.reg
+        if isinstance(operand, ast.Deref):
+            return self.gen_expr(operand.operand)
+        raise CompileError("& needs an lvalue", expr.line)
+
+    def _const_operand(self, expr: ast.Expr) -> int | None:
+        """Return the integer literal value of ``expr``, if it is one."""
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if (
+            isinstance(expr, ast.Unary)
+            and expr.op == "-"
+            and isinstance(expr.operand, ast.IntLit)
+        ):
+            return -expr.operand.value
+        return None
+
+    def _operand(self, expr: ast.Expr) -> tuple[int, bool]:
+        """Evaluate ``expr`` as an operand.
+
+        Register-resident variables are *borrowed* (returned directly,
+        not copied); everything else is materialised into a temp.
+        Returns (register, borrowed).
+        """
+        if isinstance(expr, ast.Var):
+            if expr.sym.storage == "reg":
+                return expr.sym.reg, True
+            if expr.sym.is_array and expr.sym.storage == "global":
+                promoted = self._global_reg(expr.sym.label)
+                if promoted is not None:
+                    return promoted, True
+        if isinstance(expr, ast.IntLit):
+            if expr.value == 0:
+                return 0, True  # the hard-wired zero register
+            promoted = self._int_const_reg(expr.value)
+            if promoted is not None:
+                return promoted, True
+        return self.gen_expr(expr), False
+
+    def _free_operand(self, reg: int, borrowed: bool) -> None:
+        if not borrowed:
+            self.free(reg)
+
+    def _gen_binary(self, expr: ast.Binary) -> int:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._gen_logical(expr)
+        lhs_ty, rhs_ty = expr.lhs.ty, expr.rhs.ty
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return self._gen_compare(expr)
+        if lhs_ty.is_pointer or rhs_ty.is_pointer:
+            return self._gen_pointer_arith(expr)
+        if expr.ty.is_float:
+            return self._gen_float_binary(expr)
+        return self._gen_int_binary(expr)
+
+    def _gen_int_binary(self, expr: ast.Binary) -> int:
+        op = expr.op
+        lhs, lhs_borrowed = self._operand(expr.lhs)
+        const = self._const_operand(expr.rhs)
+        dest = None
+        if const is not None:
+            dest = self._int_imm_op(op, lhs, const)
+        if dest is None:
+            rhs, rhs_borrowed = self._operand(expr.rhs)
+            dest = self.alloc(False)
+            mnemonic = _INT_BINOPS[op]
+            self.emit(
+                f"{mnemonic} {register_name(dest)}, {register_name(lhs)}, "
+                f"{register_name(rhs)}"
+            )
+            self._free_operand(rhs, rhs_borrowed)
+        self._free_operand(lhs, lhs_borrowed)
+        return dest
+
+    def _int_imm_op(self, op: str, lhs: int, const: int) -> int | None:
+        """Emit an immediate-form ALU op if the constant allows it."""
+        if op in ("<<", ">>") and 0 <= const <= 31:
+            dest = self.alloc(False)
+            mnemonic = "sll" if op == "<<" else "sra"
+            self.emit(
+                f"{mnemonic} {register_name(dest)}, {register_name(lhs)}, "
+                f"{const}"
+            )
+            return dest
+        if op == "*" and const > 0 and const & (const - 1) == 0:
+            # Strength reduction: multiply by a power of two is a shift.
+            dest = self.alloc(False)
+            self.emit(
+                f"sll {register_name(dest)}, {register_name(lhs)}, "
+                f"{const.bit_length() - 1}"
+            )
+            return dest
+        if op == "-":
+            op, const = "+", -const
+        folding = _IMM_BINOPS.get(op)
+        if folding is None:
+            return None
+        mnemonic, unsigned = folding
+        if unsigned and not 0 <= const <= 0xFFFF:
+            return None
+        if not unsigned and not -32768 <= const <= 32767:
+            return None
+        dest = self.alloc(False)
+        self.emit(
+            f"{mnemonic} {register_name(dest)}, {register_name(lhs)}, {const}"
+        )
+        return dest
+
+    def _gen_float_binary(self, expr: ast.Binary) -> int:
+        lhs = self.gen_expr(expr.lhs)
+        lhs = self._coerce(lhs, expr.lhs.ty, FLOAT)
+        rhs = self.gen_expr(expr.rhs)
+        rhs = self._coerce(rhs, expr.rhs.ty, FLOAT)
+        dest = self.alloc(True)
+        mnemonic = _FLOAT_BINOPS[expr.op]
+        self.emit(
+            f"{mnemonic} {register_name(dest)}, {register_name(lhs)}, "
+            f"{register_name(rhs)}"
+        )
+        self.free(lhs)
+        self.free(rhs)
+        return dest
+
+    def _gen_pointer_arith(self, expr: ast.Binary) -> int:
+        op = expr.op
+        lhs_ty, rhs_ty = expr.lhs.ty, expr.rhs.ty
+        if lhs_ty.is_pointer and rhs_ty.is_pointer:  # p - q
+            size = lhs_ty.element().size()
+            lhs, lb = self._operand(expr.lhs)
+            rhs, rb = self._operand(expr.rhs)
+            dest = self.alloc(False)
+            self.emit(
+                f"subu {register_name(dest)}, {register_name(lhs)}, "
+                f"{register_name(rhs)}"
+            )
+            if size > 1:
+                shift = {4: 2, 8: 3}[size]
+                self.emit(
+                    f"sra {register_name(dest)}, {register_name(dest)}, "
+                    f"{shift}"
+                )
+            self._free_operand(lhs, lb)
+            self._free_operand(rhs, rb)
+            return dest
+        # pointer ± integer (in either order for +).
+        pointer_expr, int_expr = expr.lhs, expr.rhs
+        if rhs_ty.is_pointer:
+            pointer_expr, int_expr = expr.rhs, expr.lhs
+        size = expr.ty.element().size()
+        pointer, pb = self._operand(pointer_expr)
+        const = self._const_operand(int_expr)
+        if const is not None and -32768 <= const * size <= 32767:
+            displacement = const * size if op == "+" else -const * size
+            dest = self.alloc(False)
+            self.emit(
+                f"addiu {register_name(dest)}, {register_name(pointer)}, "
+                f"{displacement}"
+            )
+            self._free_operand(pointer, pb)
+            return dest
+        offset = self.gen_expr(int_expr)
+        if size > 1:
+            shift = {4: 2, 8: 3}[size]
+            self.emit(
+                f"sll {register_name(offset)}, {register_name(offset)}, "
+                f"{shift}"
+            )
+        dest = self.alloc(False)
+        mnemonic = "addu" if op == "+" else "subu"
+        self.emit(
+            f"{mnemonic} {register_name(dest)}, {register_name(pointer)}, "
+            f"{register_name(offset)}"
+        )
+        self.free(offset)
+        self._free_operand(pointer, pb)
+        return dest
+
+    def _gen_compare(self, expr: ast.Binary) -> int:
+        op = expr.op
+        lhs_ty, rhs_ty = expr.lhs.ty, expr.rhs.ty
+        if lhs_ty.is_float or rhs_ty.is_float:
+            return self._gen_float_compare(expr)
+        unsigned = lhs_ty.is_pointer or rhs_ty.is_pointer
+        lhs, lb = self._operand(expr.lhs)
+        if op in ("<", ">", "<=", ">="):
+            const = self._const_operand(expr.rhs)
+            if (
+                op == "<" and not unsigned and const is not None
+                and -32768 <= const <= 32767
+            ):
+                dest = self.alloc(False)
+                self.emit(
+                    f"slti {register_name(dest)}, {register_name(lhs)}, "
+                    f"{const}"
+                )
+                self._free_operand(lhs, lb)
+                return dest
+            rhs, rb = self._operand(expr.rhs)
+            slt = "sltu" if unsigned else "slt"
+            first, second = (lhs, rhs) if op in ("<", ">=") else (rhs, lhs)
+            dest = self.alloc(False)
+            self.emit(
+                f"{slt} {register_name(dest)}, {register_name(first)}, "
+                f"{register_name(second)}"
+            )
+            if op in ("<=", ">="):
+                self.emit(
+                    f"xori {register_name(dest)}, {register_name(dest)}, 1"
+                )
+            self._free_operand(rhs, rb)
+            self._free_operand(lhs, lb)
+            return dest
+        # == and !=
+        rhs, rb = self._operand(expr.rhs)
+        dest = self.alloc(False)
+        self.emit(
+            f"xor {register_name(dest)}, {register_name(lhs)}, "
+            f"{register_name(rhs)}"
+        )
+        if op == "==":
+            self.emit(f"sltiu {register_name(dest)}, {register_name(dest)}, 1")
+        else:
+            self.emit(
+                f"sltu {register_name(dest)}, $zero, {register_name(dest)}"
+            )
+        self._free_operand(rhs, rb)
+        self._free_operand(lhs, lb)
+        return dest
+
+    def _gen_float_compare(self, expr: ast.Binary) -> int:
+        op = expr.op
+        lhs = self._coerce(self.gen_expr(expr.lhs), expr.lhs.ty, FLOAT)
+        rhs = self._coerce(self.gen_expr(expr.rhs), expr.rhs.ty, FLOAT)
+        dest = self.alloc(False)
+        table = {
+            "<": ("fslt", lhs, rhs, False),
+            ">": ("fslt", rhs, lhs, False),
+            "<=": ("fsle", lhs, rhs, False),
+            ">=": ("fsle", rhs, lhs, False),
+            "==": ("fseq", lhs, rhs, False),
+            "!=": ("fseq", lhs, rhs, True),
+        }
+        mnemonic, first, second, negate = table[op]
+        self.emit(
+            f"{mnemonic} {register_name(dest)}, {register_name(first)}, "
+            f"{register_name(second)}"
+        )
+        if negate:
+            self.emit(f"xori {register_name(dest)}, {register_name(dest)}, 1")
+        self.free(lhs)
+        self.free(rhs)
+        return dest
+
+    def _gen_logical(self, expr: ast.Binary) -> int:
+        dest = self.alloc(False)
+        short_label = self.new_label("sc")
+        end_label = self.new_label("scend")
+        is_and = expr.op == "&&"
+        for operand in (expr.lhs, expr.rhs):
+            reg = self.gen_expr(operand)
+            if operand.ty.is_float:
+                reg = self._coerce(reg, FLOAT, INT)
+            branch = "beq" if is_and else "bne"
+            self.emit(f"{branch} {register_name(reg)}, $zero, {short_label}")
+            self.free(reg)
+        self.emit(f"li {register_name(dest)}, {1 if is_and else 0}")
+        self.emit(f"b {end_label}")
+        self.emit_label(short_label)
+        self.emit(f"li {register_name(dest)}, {0 if is_and else 1}")
+        self.emit_label(end_label)
+        return dest
+
+    def _gen_conditional(self, expr: ast.Conditional) -> int:
+        """``cond ? a : b`` as a diamond writing one destination temp."""
+        dest = self.alloc(expr.ty.is_float)
+        else_label = self.new_label("celse")
+        end_label = self.new_label("cend")
+        self._branch_if_false(expr.cond, else_label)
+        then_reg = self._coerce(self.gen_expr(expr.then), expr.then.ty,
+                                expr.ty)
+        move = "mov.d" if expr.ty.is_float else "move"
+        self.emit(f"{move} {register_name(dest)}, "
+                  f"{register_name(then_reg)}")
+        self.free(then_reg)
+        self.emit(f"b {end_label}")
+        self.emit_label(else_label)
+        else_reg = self._coerce(self.gen_expr(expr.orelse), expr.orelse.ty,
+                                expr.ty)
+        self.emit(f"{move} {register_name(dest)}, "
+                  f"{register_name(else_reg)}")
+        self.free(else_reg)
+        self.emit_label(end_label)
+        return dest
+
+    # -- assignment -----------------------------------------------------------
+
+    def _gen_assign(self, expr: ast.Assign, want_value: bool) -> int | None:
+        target_ty = expr.target.ty
+        if expr.op == "=":
+            location = self._lvalue_location(expr.target)
+            value = self.gen_expr(expr.value)
+            value = self._coerce(value, expr.value.ty, target_ty)
+            self._store_location(location, value)
+            self._free_location(location)
+            if want_value:
+                return value
+            self.free(value)
+            return None
+        # Compound assignment: load, combine, store.
+        base_op = expr.op[:-1]
+        location = self._lvalue_location(expr.target)
+        current = self._load_location(location)
+        if target_ty.is_pointer:
+            updated = self._pointer_step(current, expr.value, base_op,
+                                         target_ty)
+        elif target_ty.is_float:
+            rhs = self._coerce(self.gen_expr(expr.value), expr.value.ty,
+                               FLOAT)
+            updated = self.alloc(True)
+            self.emit(
+                f"{_FLOAT_BINOPS[base_op]} {register_name(updated)}, "
+                f"{register_name(current)}, {register_name(rhs)}"
+            )
+            self.free(rhs)
+        else:
+            const = self._const_operand(expr.value)
+            updated = None
+            if const is not None and not expr.value.ty.is_float:
+                updated = self._int_imm_op(base_op, current, const)
+            if updated is None:
+                rhs = self.gen_expr(expr.value)
+                rhs = self._coerce(rhs, expr.value.ty, INT)
+                updated = self.alloc(False)
+                self.emit(
+                    f"{_INT_BINOPS[base_op]} {register_name(updated)}, "
+                    f"{register_name(current)}, {register_name(rhs)}"
+                )
+                self.free(rhs)
+        self.free(current)
+        self._store_location(location, updated)
+        self._free_location(location)
+        if want_value:
+            return updated
+        self.free(updated)
+        return None
+
+    def _pointer_step(self, current: int, step_expr: ast.Expr, op: str,
+                      pointer_ty: Type) -> int:
+        size = pointer_ty.element().size()
+        const = self._const_operand(step_expr)
+        if const is not None and -32768 <= const * size <= 32767:
+            displacement = const * size if op == "+" else -const * size
+            dest = self.alloc(False)
+            self.emit(
+                f"addiu {register_name(dest)}, {register_name(current)}, "
+                f"{displacement}"
+            )
+            return dest
+        step = self.gen_expr(step_expr)
+        if size > 1:
+            shift = {4: 2, 8: 3}[size]
+            self.emit(
+                f"sll {register_name(step)}, {register_name(step)}, {shift}"
+            )
+        dest = self.alloc(False)
+        mnemonic = "addu" if op == "+" else "subu"
+        self.emit(
+            f"{mnemonic} {register_name(dest)}, {register_name(current)}, "
+            f"{register_name(step)}"
+        )
+        self.free(step)
+        return dest
+
+    def _gen_incdec(self, expr: ast.IncDec, want_value: bool) -> int | None:
+        ty = expr.ty
+        location = self._lvalue_location(expr.target)
+        current = self._load_location(location)
+        step = ty.element().size() if ty.is_pointer else 1
+        if expr.op == "--":
+            step = -step
+        updated = self.alloc(False)
+        self.emit(
+            f"addiu {register_name(updated)}, {register_name(current)}, "
+            f"{step}"
+        )
+        self._store_location(location, updated)
+        self._free_location(location)
+        if not want_value:
+            self.free(current)
+            self.free(updated)
+            return None
+        if expr.prefix:
+            self.free(current)
+            return updated
+        self.free(updated)
+        return current
+
+    # -- calls -----------------------------------------------------------------
+
+    def _gen_call(self, expr: ast.Call, want_value: bool) -> int | None:
+        builtin = BUILTINS.get(expr.name)
+        if builtin is not None:
+            return self._gen_builtin(expr, builtin, want_value)
+        signature = self.module.sema.functions[expr.name]
+        # Evaluate arguments into temps.
+        arg_regs: list[int] = []
+        for arg, param in zip(expr.args, signature.params):
+            reg = self.gen_expr(arg)
+            reg = self._coerce(reg, arg.ty, param.ty)
+            arg_regs.append(reg)
+        # Move into argument registers and release the temps.
+        int_index = 0
+        float_index = 0
+        for reg, param in zip(arg_regs, signature.params):
+            if param.ty.is_float:
+                target = (_F12, _F14)[float_index]
+                float_index += 1
+                self.emit(f"mov.d {register_name(target)}, "
+                          f"{register_name(reg)}")
+            else:
+                target = (_A0, _A1, _A2, _A3)[int_index]
+                int_index += 1
+                self.emit(f"move {register_name(target)}, "
+                          f"{register_name(reg)}")
+            self.free(reg)
+        # Spill any still-live temporaries around the call.
+        live = list(self._live)
+        spill_bytes = 0
+        for reg in live:
+            spill_bytes += 8 if self._is_fp(reg) else 4
+        spill_bytes = (spill_bytes + 7) & ~7
+        if spill_bytes:
+            self.emit(f"addiu $sp, $sp, -{spill_bytes}")
+            cursor = 0
+            for reg in live:
+                if self._is_fp(reg):
+                    cursor = (cursor + 7) & ~7
+                    self.emit(f"s.d {register_name(reg)}, {cursor}($sp)")
+                    cursor += 8
+                else:
+                    self.emit(f"sw {register_name(reg)}, {cursor}($sp)")
+                    cursor += 4
+        self.emit(f"jal {expr.name}")
+        if spill_bytes:
+            cursor = 0
+            for reg in live:
+                if self._is_fp(reg):
+                    cursor = (cursor + 7) & ~7
+                    self.emit(f"l.d {register_name(reg)}, {cursor}($sp)")
+                    cursor += 8
+                else:
+                    self.emit(f"lw {register_name(reg)}, {cursor}($sp)")
+                    cursor += 4
+            self.emit(f"addiu $sp, $sp, {spill_bytes}")
+        ret = signature.ret
+        if ret.is_void or not want_value:
+            return None
+        dest = self.alloc(ret.is_float)
+        if ret.is_float:
+            self.emit(f"mov.d {register_name(dest)}, $f0")
+        else:
+            self.emit(f"move {register_name(dest)}, $v0")
+        return dest
+
+    def _gen_builtin(self, expr: ast.Call, builtin, want_value):
+        name = expr.name
+        if name in ("print_int", "print_char", "exit"):
+            value = self.gen_expr(expr.args[0])
+            value = self._coerce(value, expr.args[0].ty, INT)
+            self.emit(f"move $a0, {register_name(value)}")
+            self.free(value)
+            code = {
+                "print_int": SYS_PRINT_INT,
+                "print_char": SYS_PRINT_CHAR,
+                "exit": SYS_EXIT,
+            }[name]
+            self.emit(f"li $v0, {code}")
+            self.emit("syscall")
+            return None
+        if name == "print_float":
+            value = self.gen_expr(expr.args[0])
+            value = self._coerce(value, expr.args[0].ty, FLOAT)
+            self.emit(f"mov.d $f12, {register_name(value)}")
+            self.free(value)
+            self.emit(f"li $v0, {SYS_PRINT_FLOAT}")
+            self.emit("syscall")
+            return None
+        if name in ("input_count", "input_float_count"):
+            address = (INPUT_LEN_ADDR if name == "input_count"
+                       else INPUT_FLOAT_LEN_ADDR)
+            dest = self.alloc(False)
+            promoted = self._int_const_reg(address)
+            if promoted is not None:
+                self.emit(f"lw {register_name(dest)}, "
+                          f"0({register_name(promoted)})")
+            else:
+                self.emit(f"li {register_name(dest)}, {address}")
+                self.emit(
+                    f"lw {register_name(dest)}, 0({register_name(dest)})"
+                )
+            return dest if want_value else self._discard(dest)
+        if name == "input_word":
+            index = self.gen_expr(expr.args[0])
+            self.emit(f"sll {register_name(index)}, "
+                      f"{register_name(index)}, 2")
+            promoted = self._int_const_reg(INPUT_BASE)
+            base = self.alloc(False)
+            if promoted is not None:
+                self.emit(
+                    f"addu {register_name(base)}, "
+                    f"{register_name(promoted)}, {register_name(index)}"
+                )
+            else:
+                self.emit(f"li {register_name(base)}, {INPUT_BASE}")
+                self.emit(
+                    f"addu {register_name(base)}, {register_name(base)},"
+                    f" {register_name(index)}"
+                )
+            self.free(index)
+            dest = self.alloc(False)
+            self.emit(f"lw {register_name(dest)}, 0({register_name(base)})")
+            self.free(base)
+            return dest if want_value else self._discard(dest)
+        if name == "input_float":
+            index = self.gen_expr(expr.args[0])
+            self.emit(f"sll {register_name(index)}, "
+                      f"{register_name(index)}, 3")
+            promoted = self._int_const_reg(INPUT_FLOAT_BASE)
+            base = self.alloc(False)
+            if promoted is not None:
+                self.emit(
+                    f"addu {register_name(base)}, "
+                    f"{register_name(promoted)}, {register_name(index)}"
+                )
+            else:
+                self.emit(f"li {register_name(base)}, {INPUT_FLOAT_BASE}")
+                self.emit(
+                    f"addu {register_name(base)}, {register_name(base)},"
+                    f" {register_name(index)}"
+                )
+            self.free(index)
+            dest = self.alloc(True)
+            self.emit(f"l.d {register_name(dest)}, 0({register_name(base)})")
+            self.free(base)
+            return dest if want_value else self._discard(dest)
+        raise CompileError(f"unhandled builtin {name!r}", expr.line)
+
+    def _discard(self, reg: int) -> None:
+        self.free(reg)
+        return None
+
+    # -- constants ---------------------------------------------------------
+
+    def _load_float_const(self, value: float) -> int:
+        dest = self.alloc(True)
+        promoted = self._float_const_reg(value)
+        if promoted is not None:
+            self.emit(f"mov.d {register_name(dest)}, "
+                      f"{register_name(promoted)}")
+        else:
+            label = self.module.float_label(value)
+            self.emit(f"l.d {register_name(dest)}, {label}")
+        return dest
+
+
+class ModuleCodegen:
+    """Generates the whole assembly module."""
+
+    def __init__(self, sema: SemaResult):
+        self.sema = sema
+        self._floats: dict[float, str] = {}
+        self._strings: dict[str, str] = {}
+        self._jump_tables: list[tuple[str, list[str]]] = []
+
+    def float_label(self, value: float) -> str:
+        label = self._floats.get(value)
+        if label is None:
+            label = f".fc{len(self._floats)}"
+            self._floats[value] = label
+        return label
+
+    def string_label(self, value: str) -> str:
+        label = self._strings.get(value)
+        if label is None:
+            label = f".str{len(self._strings)}"
+            self._strings[value] = label
+        return label
+
+    def jump_table(self, targets: list[str]) -> str:
+        """Register a switch jump table; returns its data label."""
+        label = f".jt{len(self._jump_tables)}"
+        self._jump_tables.append((label, list(targets)))
+        return label
+
+    def run(self) -> str:
+        lines: list[str] = [
+            "# generated by repro.minic",
+            "        .text",
+            "__start:",
+            f"        li $sp, {STACK_TOP}",
+            "        move $fp, $sp",
+            "        jal main",
+            "        move $a0, $v0",
+            f"        li $v0, {SYS_EXIT}",
+            "        syscall",
+        ]
+        for info in self.sema.functions.values():
+            lines.extend(FunctionCodegen(self, info).run())
+        lines.append("        .data")
+        self._emit_globals(lines)
+        for label, targets in self._jump_tables:
+            lines.append(f"{label}: .word " + ", ".join(targets))
+        for value, label in self._floats.items():
+            lines.append(f"{label}: .double {value!r}")
+        for value, label in self._strings.items():
+            escaped = (
+                value.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+                .replace("\t", "\\t")
+                .replace("\r", "\\r")
+                .replace("\0", "\\0")
+            )
+            lines.append(f'{label}: .asciiz "{escaped}"')
+        return "\n".join(lines) + "\n"
+
+    def _emit_globals(self, lines: list[str]) -> None:
+        for decl in self.sema.program.globals:
+            symbol = decl.sym
+            ty = symbol.ty
+            count = symbol.array_len if symbol.is_array else 1
+            inits = decl.init
+            values = []
+            for init in inits:
+                values.append(self._const_value(init, ty))
+            while len(values) < count:
+                values.append(0.0 if ty.is_float else 0)
+            if ty.is_float:
+                rendered = ", ".join(repr(float(v)) for v in values)
+                lines.append(f"{symbol.label}: .double {rendered}")
+            elif ty == CHAR and not ty.is_pointer:
+                rendered = ", ".join(str(int(v) & 0xFF) for v in values)
+                lines.append(f"{symbol.label}: .byte {rendered}")
+            else:
+                rendered = ", ".join(str(v) for v in values)
+                lines.append(f"{symbol.label}: .word {rendered}")
+
+    def _const_value(self, expr: ast.Expr, ty: Type):
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            return -self._const_value(expr.operand, ty)
+        if isinstance(expr, ast.StrLit):
+            return self.string_label(expr.value)
+        raise CompileError("non-constant global initialiser", expr.line)
+
+
+def generate(sema: SemaResult) -> str:
+    """Generate assembly text for an analysed program."""
+    return ModuleCodegen(sema).run()

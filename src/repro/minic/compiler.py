@@ -1,0 +1,23 @@
+"""Compiler driver: source text -> assembly -> assembled program."""
+
+from __future__ import annotations
+
+from repro.asm import Program, assemble
+from repro.minic.codegen import generate
+from repro.minic.parser import parse
+from repro.minic.sema import analyze
+
+
+def compile_source(source: str) -> str:
+    """Compile mini-C ``source`` to assembly text.
+
+    Raises:
+        CompileError: on any lexical, syntactic or semantic error.
+    """
+    return generate(analyze(parse(source)))
+
+
+def compile_program(source: str) -> Program:
+    """Compile mini-C ``source`` straight to an assembled
+    :class:`repro.asm.Program` ready to run on the machine."""
+    return assemble(compile_source(source))

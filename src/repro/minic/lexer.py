@@ -1,0 +1,120 @@
+"""Tokenizer for mini-C."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "int", "float", "char", "void",
+    "if", "else", "while", "for", "do",
+    "switch", "case", "default",
+    "break", "continue", "return",
+}
+
+#: Multi-character operators, longest first so the lexer is greedy.
+_OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+    "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "?", ":",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<char>'(?:\\.|[^'\\])')
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>%s)
+    """
+    % "|".join(re.escape(op) for op in _OPERATORS),
+    re.VERBOSE | re.DOTALL,
+)
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0",
+    "\\": "\\", "'": "'", '"': '"',
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``"int"``, ``"float"``, ``"string"``, ``"name"``,
+    ``"kw"``, ``"op"``, ``"eof"``; ``value`` is the decoded payload
+    (int/float/str) and ``text`` the raw source text.
+    """
+
+    kind: str
+    value: object
+    text: str
+    line: int
+
+
+def _decode_escapes(body: str, line: int) -> str:
+    out = []
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "\\":
+            if index + 1 >= len(body):
+                raise CompileError("dangling escape", line)
+            escape = body[index + 1]
+            if escape not in _ESCAPES:
+                raise CompileError(f"unknown escape: \\{escape}", line)
+            out.append(_ESCAPES[escape])
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize mini-C ``source``; raises :class:`CompileError`."""
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    length = len(source)
+    while position < length:
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise CompileError(
+                f"unexpected character: {source[position]!r}", line
+            )
+        text = match.group()
+        kind = match.lastgroup
+        if kind == "ws" or kind == "comment":
+            pass
+        elif kind == "int":
+            tokens.append(Token("int", int(text, 0), text, line))
+        elif kind == "float":
+            tokens.append(Token("float", float(text), text, line))
+        elif kind == "char":
+            decoded = _decode_escapes(text[1:-1], line)
+            if len(decoded) != 1:
+                raise CompileError(f"bad character literal: {text}", line)
+            tokens.append(Token("int", ord(decoded), text, line))
+        elif kind == "string":
+            tokens.append(
+                Token("string", _decode_escapes(text[1:-1], line), text, line)
+            )
+        elif kind == "name":
+            token_kind = "kw" if text in KEYWORDS else "name"
+            tokens.append(Token(token_kind, text, text, line))
+        else:  # op
+            tokens.append(Token("op", text, text, line))
+        line += text.count("\n")
+        position = match.end()
+    tokens.append(Token("eof", None, "", line))
+    return tokens

@@ -1,0 +1,426 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.minic import astnodes as ast
+from repro.minic.lexer import Token, tokenize
+from repro.minic.types import Type
+
+#: Binary operator precedence levels, loosest first.
+_BINARY_LEVELS = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_ASSIGN_OPS = {
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+}
+
+_BASE_TYPES = {"int", "float", "char", "void"}
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.minic.astnodes.Program`."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers.
+    # ------------------------------------------------------------------
+
+    @property
+    def _tok(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, value=None) -> bool:
+        token = self._tok
+        return token.kind == kind and (value is None or token.value == value)
+
+    def _accept(self, kind: str, value=None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value=None) -> Token:
+        token = self._tok
+        if not self._check(kind, value):
+            want = value if value is not None else kind
+            raise CompileError(
+                f"expected {want!r}, got {token.text!r}", token.line
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> CompileError:
+        return CompileError(message, self._tok.line)
+
+    # ------------------------------------------------------------------
+    # Top level.
+    # ------------------------------------------------------------------
+
+    def parse(self) -> ast.Program:
+        program = ast.Program(line=1)
+        while not self._check("eof"):
+            self._parse_top_level(program)
+        return program
+
+    def _at_type(self) -> bool:
+        return self._tok.kind == "kw" and self._tok.value in _BASE_TYPES
+
+    def _parse_type(self) -> Type:
+        token = self._expect("kw")
+        if token.value not in _BASE_TYPES:
+            raise CompileError(f"expected a type, got {token.text!r}", token.line)
+        ptr = 0
+        while self._accept("op", "*"):
+            ptr += 1
+        return Type(token.value, ptr)
+
+    def _parse_top_level(self, program: ast.Program) -> None:
+        if not self._at_type():
+            raise self._error(f"expected declaration, got {self._tok.text!r}")
+        line = self._tok.line
+        ty = self._parse_type()
+        name = self._expect("name").value
+        if self._check("op", "("):
+            program.funcs.append(self._parse_func(ty, name, line))
+        else:
+            self._parse_global(program, ty, name, line)
+
+    def _parse_global(self, program, ty: Type, name: str, line: int) -> None:
+        while True:
+            array_len = None
+            if self._accept("op", "["):
+                array_len = self._expect("int").value
+                self._expect("op", "]")
+            init: list[ast.Expr] = []
+            if self._accept("op", "="):
+                if self._accept("op", "{"):
+                    if not self._check("op", "}"):
+                        init.append(self._parse_assignment())
+                        while self._accept("op", ","):
+                            init.append(self._parse_assignment())
+                    self._expect("op", "}")
+                else:
+                    init.append(self._parse_assignment())
+            program.globals.append(
+                ast.GlobalDecl(
+                    name=name, ty=ty, array_len=array_len, init=init, line=line
+                )
+            )
+            if self._accept("op", ","):
+                name = self._expect("name").value
+                continue
+            self._expect("op", ";")
+            return
+
+    def _parse_func(self, ret: Type, name: str, line: int) -> ast.FuncDef:
+        self._expect("op", "(")
+        params: list[ast.Param] = []
+        if not self._check("op", ")"):
+            if self._check("kw", "void") and self._tokens[self._pos + 1].value == ")":
+                self._advance()
+            else:
+                while True:
+                    param_line = self._tok.line
+                    param_ty = self._parse_type()
+                    param_name = self._expect("name").value
+                    params.append(
+                        ast.Param(name=param_name, ty=param_ty, line=param_line)
+                    )
+                    if not self._accept("op", ","):
+                        break
+        self._expect("op", ")")
+        body = self._parse_block()
+        return ast.FuncDef(name=name, ret=ret, params=params, body=body, line=line)
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        line = self._tok.line
+        self._expect("op", "{")
+        stmts: list[ast.Stmt] = []
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                raise self._error("unterminated block")
+            stmts.append(self._parse_stmt())
+        self._expect("op", "}")
+        return ast.Block(stmts=stmts, line=line)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._tok
+        line = token.line
+        if self._check("op", "{"):
+            return self._parse_block()
+        if self._check("op", ";"):
+            self._advance()
+            return ast.Block(stmts=[], line=line)
+        if token.kind == "kw":
+            keyword = token.value
+            if keyword == "if":
+                return self._parse_if()
+            if keyword == "while":
+                return self._parse_while()
+            if keyword == "do":
+                return self._parse_do_while()
+            if keyword == "for":
+                return self._parse_for()
+            if keyword == "switch":
+                return self._parse_switch()
+            if keyword == "break":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Break(line=line)
+            if keyword == "continue":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Continue(line=line)
+            if keyword == "return":
+                self._advance()
+                value = None
+                if not self._check("op", ";"):
+                    value = self._parse_expr()
+                self._expect("op", ";")
+                return ast.Return(value=value, line=line)
+            if keyword in _BASE_TYPES:
+                return self._parse_decl()
+        expr = self._parse_expr()
+        self._expect("op", ";")
+        return ast.ExprStmt(expr=expr, line=line)
+
+    def _parse_decl(self) -> ast.Stmt:
+        line = self._tok.line
+        base = self._expect("kw").value
+        decls: list[ast.Stmt] = []
+        while True:
+            ptr = 0
+            while self._accept("op", "*"):
+                ptr += 1
+            ty = Type(base, ptr)
+            name = self._expect("name").value
+            array_len = None
+            if self._accept("op", "["):
+                array_len = self._expect("int").value
+                self._expect("op", "]")
+            init = None
+            if self._accept("op", "="):
+                init = self._parse_assignment()
+            decls.append(
+                ast.Decl(name=name, ty=ty, array_len=array_len, init=init,
+                         line=line)
+            )
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.DeclGroup(decls=decls, line=line)
+
+    def _parse_switch(self) -> ast.Switch:
+        line = self._advance().line
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        self._expect("op", "{")
+        cases: list[ast.SwitchCase] = []
+        while not self._check("op", "}"):
+            token = self._tok
+            if self._accept("kw", "case"):
+                negative = self._accept("op", "-") is not None
+                value_token = self._expect("int")
+                value = -value_token.value if negative else value_token.value
+                self._expect("op", ":")
+                cases.append(ast.SwitchCase(value=value, line=token.line))
+            elif self._accept("kw", "default"):
+                self._expect("op", ":")
+                cases.append(ast.SwitchCase(value=None, line=token.line))
+            else:
+                if not cases:
+                    raise CompileError(
+                        "statement before the first case label", token.line
+                    )
+                cases[-1].stmts.append(self._parse_stmt())
+        self._expect("op", "}")
+        return ast.Switch(cond=cond, cases=cases, line=line)
+
+    def _parse_if(self) -> ast.If:
+        line = self._advance().line
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        then = self._parse_stmt()
+        orelse = None
+        if self._accept("kw", "else"):
+            orelse = self._parse_stmt()
+        return ast.If(cond=cond, then=then, orelse=orelse, line=line)
+
+    def _parse_while(self) -> ast.While:
+        line = self._advance().line
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        body = self._parse_stmt()
+        return ast.While(cond=cond, body=body, line=line)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        line = self._advance().line
+        body = self._parse_stmt()
+        self._expect("kw", "while")
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.DoWhile(body=body, cond=cond, line=line)
+
+    def _parse_for(self) -> ast.For:
+        line = self._advance().line
+        self._expect("op", "(")
+        init: ast.Stmt | None = None
+        if not self._check("op", ";"):
+            if self._at_type():
+                init = self._parse_decl()
+                # _parse_decl consumed the ';'
+            else:
+                init = ast.ExprStmt(expr=self._parse_expr(), line=line)
+                self._expect("op", ";")
+        else:
+            self._advance()
+        cond = None
+        if not self._check("op", ";"):
+            cond = self._parse_expr()
+        self._expect("op", ";")
+        step = None
+        if not self._check("op", ")"):
+            step = self._parse_expr()
+        self._expect("op", ")")
+        body = self._parse_stmt()
+        return ast.For(init=init, cond=cond, step=step, body=body, line=line)
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        lhs = self._parse_conditional()
+        token = self._tok
+        if token.kind == "op" and token.value in _ASSIGN_OPS:
+            self._advance()
+            rhs = self._parse_assignment()
+            return ast.Assign(op=token.value, target=lhs, value=rhs,
+                              line=token.line)
+        return lhs
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        question = self._accept("op", "?")
+        if question is None:
+            return cond
+        then = self._parse_expr()
+        self._expect("op", ":")
+        orelse = self._parse_conditional()
+        return ast.Conditional(cond=cond, then=then, orelse=orelse,
+                               line=question.line)
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        ops = _BINARY_LEVELS[level]
+        lhs = self._parse_binary(level + 1)
+        while self._tok.kind == "op" and self._tok.value in ops:
+            token = self._advance()
+            rhs = self._parse_binary(level + 1)
+            lhs = ast.Binary(op=token.value, lhs=lhs, rhs=rhs, line=token.line)
+        return lhs
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._tok
+        if token.kind == "op":
+            op = token.value
+            if op in ("-", "!", "~"):
+                self._advance()
+                return ast.Unary(op=op, operand=self._parse_unary(),
+                                 line=token.line)
+            if op == "*":
+                self._advance()
+                return ast.Deref(operand=self._parse_unary(), line=token.line)
+            if op == "&":
+                self._advance()
+                return ast.AddrOf(operand=self._parse_unary(), line=token.line)
+            if op in ("++", "--"):
+                self._advance()
+                return ast.IncDec(op=op, target=self._parse_unary(),
+                                  prefix=True, line=token.line)
+            if op == "+":
+                self._advance()
+                return self._parse_unary()
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._tok
+            if self._accept("op", "["):
+                index = self._parse_expr()
+                self._expect("op", "]")
+                expr = ast.Index(base=expr, index=index, line=token.line)
+            elif self._check("op", "(") and isinstance(expr, ast.Var):
+                self._advance()
+                args: list[ast.Expr] = []
+                if not self._check("op", ")"):
+                    args.append(self._parse_assignment())
+                    while self._accept("op", ","):
+                        args.append(self._parse_assignment())
+                self._expect("op", ")")
+                expr = ast.Call(name=expr.name, args=args, line=token.line)
+            elif self._check("op", "++") or self._check("op", "--"):
+                op_token = self._advance()
+                expr = ast.IncDec(op=op_token.value, target=expr,
+                                  prefix=False, line=op_token.line)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._tok
+        if token.kind == "int":
+            self._advance()
+            return ast.IntLit(value=token.value, line=token.line)
+        if token.kind == "float":
+            self._advance()
+            return ast.FloatLit(value=token.value, line=token.line)
+        if token.kind == "string":
+            self._advance()
+            return ast.StrLit(value=token.value, line=token.line)
+        if token.kind == "name":
+            self._advance()
+            return ast.Var(name=token.value, line=token.line)
+        if self._accept("op", "("):
+            expr = self._parse_expr()
+            self._expect("op", ")")
+            return expr
+        raise self._error(f"unexpected token: {token.text!r}")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse mini-C ``source`` into an AST."""
+    return Parser(tokenize(source)).parse()

@@ -1,0 +1,748 @@
+"""Semantic analysis for mini-C.
+
+Resolves names, checks types, and assigns storage.  Scalar locals and
+parameters that never have their address taken are allocated to
+callee-saved registers ($s0–$s7 for integers and pointers, $f20–$f27
+for floats) so the generated code has the register-resident loop
+variables of optimised compiler output; everything else lives in the
+stack frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.minic import astnodes as ast
+from repro.minic.types import CHAR, FLOAT, INT, Type, VOID, common_numeric
+
+#: Callee-saved integer registers available for scalar locals.
+S_REGS = tuple(range(16, 24))  # $s0 .. $s7
+#: Callee-saved floating-point registers (flat numbering).
+F_REGS = tuple(range(32 + 20, 32 + 28))  # $f20 .. $f27
+
+#: Maximum register arguments: 4 integer/pointer ($a0..$a3), 2 float.
+MAX_INT_ARGS = 4
+MAX_FLOAT_ARGS = 2
+
+
+@dataclass(slots=True)
+class Symbol:
+    """A resolved variable."""
+
+    name: str
+    ty: Type
+    kind: str                      # "local" | "param" | "global"
+    array_len: int | None = None
+    address_taken: bool = False
+    storage: str = ""              # "reg" | "frame" | "global"
+    reg: int | None = None         # register number when storage == "reg"
+    offset: int | None = None      # $fp-relative when storage == "frame"
+    label: str | None = None       # data label when storage == "global"
+    param_index: int | None = None
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_len is not None
+
+    def value_type(self) -> Type:
+        """Type of this symbol when used in an expression (arrays decay)."""
+        return self.ty.pointer() if self.is_array else self.ty
+
+
+@dataclass(slots=True)
+class Builtin:
+    """A built-in function provided by the runtime."""
+
+    name: str
+    ret: Type
+    params: tuple[Type, ...]
+
+
+BUILTINS = {
+    b.name: b
+    for b in (
+        Builtin("print_int", VOID, (INT,)),
+        Builtin("print_char", VOID, (INT,)),
+        Builtin("print_float", VOID, (FLOAT,)),
+        Builtin("exit", VOID, (INT,)),
+        Builtin("input_word", INT, (INT,)),
+        Builtin("input_count", INT, ()),
+        Builtin("input_float", FLOAT, (INT,)),
+        Builtin("input_float_count", INT, ()),
+    )
+}
+
+
+@dataclass(slots=True)
+class FuncInfo:
+    """Everything the code generator needs about one function."""
+
+    name: str
+    ret: Type
+    params: list[Symbol] = field(default_factory=list)
+    node: ast.FuncDef | None = None
+    symbols: list[Symbol] = field(default_factory=list)
+    used_s_regs: list[int] = field(default_factory=list)
+    used_f_regs: list[int] = field(default_factory=list)
+    frame_size: int = 0
+    save_area: int = 0             # bytes at the frame top for ra/fp/saves
+    has_call: bool = False
+    #: promoted constants: ("ga", label) | ("int", v) | ("float", v) -> reg
+    const_regs: dict = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class SemaResult:
+    """Output of semantic analysis."""
+
+    program: ast.Program
+    globals: dict[str, Symbol] = field(default_factory=dict)
+    functions: dict[str, FuncInfo] = field(default_factory=dict)
+
+
+def _align(value: int, boundary: int) -> int:
+    remainder = value % boundary
+    return value + (boundary - remainder) if remainder else value
+
+
+def _children(node: ast.Node):
+    """Yield the direct AST children of ``node``."""
+    import dataclasses
+
+    for field_info in dataclasses.fields(node):
+        value = getattr(node, field_info.name)
+        if isinstance(value, ast.Node):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.Node):
+                    yield item
+
+
+class _FunctionSema:
+    """Per-function resolution, type checking and storage assignment."""
+
+    def __init__(self, sema: "Sema", func: ast.FuncDef):
+        self.sema = sema
+        self.func = func
+        self.info = FuncInfo(name=func.name, ret=func.ret, node=func)
+        self.scopes: list[dict[str, Symbol]] = []
+        self.loop_depth = 0       # gates `continue`
+        self.break_depth = 0      # gates `break` (loops and switches)
+
+    # -- scope handling -------------------------------------------------
+
+    def _push(self) -> None:
+        self.scopes.append({})
+
+    def _pop(self) -> None:
+        self.scopes.pop()
+
+    def _declare(self, name, ty, kind, array_len, line) -> Symbol:
+        scope = self.scopes[-1]
+        if name in scope:
+            raise CompileError(f"duplicate declaration of {name!r}", line)
+        if ty.is_void and not ty.is_pointer:
+            raise CompileError(f"variable {name!r} cannot be void", line)
+        symbol = Symbol(name=name, ty=ty, kind=kind, array_len=array_len)
+        scope[name] = symbol
+        self.info.symbols.append(symbol)
+        return symbol
+
+    def _lookup(self, name: str, line: int) -> Symbol:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        symbol = self.sema.globals.get(name)
+        if symbol is None:
+            raise CompileError(f"undefined variable {name!r}", line)
+        return symbol
+
+    # -- driver ----------------------------------------------------------
+
+    def run(self) -> FuncInfo:
+        func = self.func
+        self._push()
+        int_args = 0
+        float_args = 0
+        for index, param in enumerate(func.params):
+            if param.ty.is_float:
+                float_args += 1
+                if float_args > MAX_FLOAT_ARGS:
+                    raise CompileError(
+                        f"{func.name}: more than {MAX_FLOAT_ARGS} float "
+                        "parameters are not supported",
+                        param.line,
+                    )
+            else:
+                int_args += 1
+                if int_args > MAX_INT_ARGS:
+                    raise CompileError(
+                        f"{func.name}: more than {MAX_INT_ARGS} integer "
+                        "parameters are not supported",
+                        param.line,
+                    )
+            symbol = self._declare(param.name, param.ty, "param", None,
+                                   param.line)
+            symbol.param_index = index
+            self.info.params.append(symbol)
+        self._stmt(func.body)
+        self._pop()
+        self._assign_storage()
+        return self.info
+
+    # -- statements -------------------------------------------------------
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._push()
+            for child in stmt.stmts:
+                self._stmt(child)
+            self._pop()
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self._stmt(decl)
+        elif isinstance(stmt, ast.Decl):
+            if stmt.array_len is not None and stmt.array_len <= 0:
+                raise CompileError("array length must be positive", stmt.line)
+            if stmt.init is not None:
+                if stmt.array_len is not None:
+                    raise CompileError(
+                        "local arrays cannot have initialisers", stmt.line
+                    )
+                init_ty = self._expr(stmt.init)
+                self._check_assignable(stmt.ty, init_ty, stmt.line)
+            stmt.sym = self._declare(
+                stmt.name, stmt.ty, "local", stmt.array_len, stmt.line
+            )
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._condition(stmt.cond)
+            self._stmt(stmt.then)
+            if stmt.orelse is not None:
+                self._stmt(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._condition(stmt.cond)
+            self.loop_depth += 1
+            self.break_depth += 1
+            self._stmt(stmt.body)
+            self.loop_depth -= 1
+            self.break_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            self.loop_depth += 1
+            self.break_depth += 1
+            self._stmt(stmt.body)
+            self.loop_depth -= 1
+            self.break_depth -= 1
+            self._condition(stmt.cond)
+        elif isinstance(stmt, ast.For):
+            self._push()
+            if stmt.init is not None:
+                self._stmt(stmt.init)
+            if stmt.cond is not None:
+                self._condition(stmt.cond)
+            if stmt.step is not None:
+                self._expr(stmt.step)
+            self.loop_depth += 1
+            self.break_depth += 1
+            self._stmt(stmt.body)
+            self.loop_depth -= 1
+            self.break_depth -= 1
+            self._pop()
+        elif isinstance(stmt, ast.Switch):
+            self._switch(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.break_depth:
+                raise CompileError("break outside a loop or switch",
+                                   stmt.line)
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_depth:
+                raise CompileError("continue outside a loop", stmt.line)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                if not self.info.ret.is_void:
+                    raise CompileError(
+                        f"{self.func.name} must return a value", stmt.line
+                    )
+            else:
+                if self.info.ret.is_void:
+                    raise CompileError(
+                        f"{self.func.name} returns void", stmt.line
+                    )
+                value_ty = self._expr(stmt.value)
+                self._check_assignable(self.info.ret, value_ty, stmt.line)
+        else:
+            raise CompileError(f"unhandled statement {type(stmt).__name__}",
+                               stmt.line)
+
+    def _switch(self, stmt: ast.Switch) -> None:
+        cond_ty = self._expr(stmt.cond)
+        if not cond_ty.is_integral:
+            raise CompileError("switch condition must be an integer",
+                               stmt.line)
+        seen_values: set[int] = set()
+        defaults = 0
+        for case in stmt.cases:
+            if case.value is None:
+                defaults += 1
+                if defaults > 1:
+                    raise CompileError("multiple default labels", case.line)
+            else:
+                if case.value in seen_values:
+                    raise CompileError(
+                        f"duplicate case value {case.value}", case.line
+                    )
+                seen_values.add(case.value)
+        self.break_depth += 1
+        self._push()
+        for case in stmt.cases:
+            for child in case.stmts:
+                self._stmt(child)
+        self._pop()
+        self.break_depth -= 1
+
+    def _condition(self, expr: ast.Expr) -> None:
+        ty = self._expr(expr)
+        if ty.is_void:
+            raise CompileError("condition cannot be void", expr.line)
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> Type:
+        ty = self._expr_inner(expr)
+        expr.ty = ty
+        return ty
+
+    def _expr_inner(self, expr: ast.Expr) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.FloatLit):
+            return FLOAT
+        if isinstance(expr, ast.StrLit):
+            return CHAR.pointer()
+        if isinstance(expr, ast.Var):
+            symbol = self._lookup(expr.name, expr.line)
+            expr.sym = symbol
+            return symbol.value_type()
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Deref):
+            inner = self._expr(expr.operand)
+            if not inner.is_pointer:
+                raise CompileError("cannot dereference a non-pointer",
+                                   expr.line)
+            element = inner.element()
+            if element.is_void:
+                raise CompileError("cannot dereference void*", expr.line)
+            return element
+        if isinstance(expr, ast.AddrOf):
+            return self._addr_of(expr)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._conditional(expr)
+        if isinstance(expr, ast.Assign):
+            return self._assign(expr)
+        if isinstance(expr, ast.IncDec):
+            target_ty = self._lvalue(expr.target)
+            if not (target_ty.is_integral or target_ty.is_pointer):
+                raise CompileError("++/-- needs an integer or pointer",
+                                   expr.line)
+            return target_ty
+        if isinstance(expr, ast.Index):
+            base_ty = self._expr(expr.base)
+            if not base_ty.is_pointer:
+                raise CompileError("indexing a non-pointer", expr.line)
+            index_ty = self._expr(expr.index)
+            if not index_ty.is_integral:
+                raise CompileError("array index must be an integer",
+                                   expr.line)
+            element = base_ty.element()
+            if element.is_void:
+                raise CompileError("cannot index void*", expr.line)
+            return element
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        raise CompileError(f"unhandled expression {type(expr).__name__}",
+                           expr.line)
+
+    def _unary(self, expr: ast.Unary) -> Type:
+        inner = self._expr(expr.operand)
+        if expr.op == "-":
+            if inner.is_float:
+                return FLOAT
+            if inner.is_integral:
+                return INT
+            raise CompileError("unary - needs a number", expr.line)
+        if expr.op == "!":
+            if inner.is_void:
+                raise CompileError("! needs a scalar", expr.line)
+            return INT
+        if expr.op == "~":
+            if not inner.is_integral:
+                raise CompileError("~ needs an integer", expr.line)
+            return INT
+        raise CompileError(f"unknown unary operator {expr.op!r}", expr.line)
+
+    def _addr_of(self, expr: ast.AddrOf) -> Type:
+        operand = expr.operand
+        if isinstance(operand, ast.Var):
+            symbol = self._lookup(operand.name, operand.line)
+            operand.sym = symbol
+            symbol.address_taken = True
+            if symbol.is_array:
+                operand.ty = symbol.value_type()
+                return symbol.value_type()
+            operand.ty = symbol.ty
+            return symbol.ty.pointer()
+        if isinstance(operand, ast.Index):
+            element = self._expr(operand)
+            return element.pointer()
+        if isinstance(operand, ast.Deref):
+            return self._expr(operand.operand)
+        raise CompileError("& needs an lvalue", expr.line)
+
+    def _binary(self, expr: ast.Binary) -> Type:
+        op = expr.op
+        lhs = self._expr(expr.lhs)
+        rhs = self._expr(expr.rhs)
+        if op in ("&&", "||"):
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if lhs.is_pointer and rhs.is_pointer:
+                return INT
+            if (lhs.is_integral or lhs.is_float) and (
+                rhs.is_integral or rhs.is_float
+            ):
+                return INT
+            raise CompileError(f"cannot compare {lhs} and {rhs}", expr.line)
+        if op in ("&", "|", "^", "<<", ">>", "%"):
+            if not (lhs.is_integral and rhs.is_integral):
+                raise CompileError(f"{op} needs integers", expr.line)
+            return INT
+        if op in ("+", "-"):
+            if lhs.is_pointer and rhs.is_integral:
+                return lhs
+            if op == "+" and lhs.is_integral and rhs.is_pointer:
+                return rhs
+            if op == "-" and lhs.is_pointer and rhs.is_pointer:
+                if lhs != rhs:
+                    raise CompileError("pointer subtraction of different "
+                                       "types", expr.line)
+                return INT
+        if op in ("+", "-", "*", "/"):
+            if (lhs.is_integral or lhs.is_float) and (
+                rhs.is_integral or rhs.is_float
+            ):
+                return common_numeric(lhs, rhs)
+            raise CompileError(f"{op} needs numbers", expr.line)
+        raise CompileError(f"unknown binary operator {op!r}", expr.line)
+
+    def _conditional(self, expr: ast.Conditional) -> Type:
+        self._condition(expr.cond)
+        then_ty = self._expr(expr.then)
+        else_ty = self._expr(expr.orelse)
+        if then_ty == else_ty:
+            return then_ty
+        if (then_ty.is_integral or then_ty.is_float) and (
+            else_ty.is_integral or else_ty.is_float
+        ):
+            return common_numeric(then_ty, else_ty)
+        raise CompileError(
+            f"incompatible ?: arms: {then_ty} and {else_ty}", expr.line
+        )
+
+    def _assign(self, expr: ast.Assign) -> Type:
+        target_ty = self._lvalue(expr.target)
+        value_ty = self._expr(expr.value)
+        if expr.op == "=":
+            self._check_assignable(target_ty, value_ty, expr.line)
+            return target_ty
+        base_op = expr.op[:-1]
+        if base_op in ("&", "|", "^", "<<", ">>", "%"):
+            if not (target_ty.is_integral and value_ty.is_integral):
+                raise CompileError(f"{expr.op} needs integers", expr.line)
+            return target_ty
+        if target_ty.is_pointer:
+            if base_op in ("+", "-") and value_ty.is_integral:
+                return target_ty
+            raise CompileError(f"{expr.op} invalid on a pointer", expr.line)
+        if not (target_ty.is_integral or target_ty.is_float):
+            raise CompileError(f"{expr.op} needs a numeric target", expr.line)
+        if not (value_ty.is_integral or value_ty.is_float):
+            raise CompileError(f"{expr.op} needs a numeric value", expr.line)
+        return target_ty
+
+    def _lvalue(self, expr: ast.Expr) -> Type:
+        if isinstance(expr, ast.Var):
+            ty = self._expr(expr)
+            if expr.sym.is_array:
+                raise CompileError("cannot assign to an array", expr.line)
+            return ty
+        if isinstance(expr, (ast.Deref, ast.Index)):
+            return self._expr(expr)
+        raise CompileError("not an lvalue", expr.line)
+
+    def _check_assignable(self, target: Type, value: Type, line: int) -> None:
+        if target == value:
+            return
+        if (target.is_integral or target.is_float) and (
+            value.is_integral or value.is_float
+        ):
+            return  # implicit numeric conversion
+        if target.is_pointer and value.is_pointer:
+            if target.element().is_void or value.element().is_void:
+                return
+            if target.base == value.base and target.ptr == value.ptr:
+                return
+        raise CompileError(f"cannot assign {value} to {target}", line)
+
+    def _call(self, expr: ast.Call) -> Type:
+        name = expr.name
+        builtin = BUILTINS.get(name)
+        if builtin is not None:
+            self.info.has_call = True
+            if len(expr.args) != len(builtin.params):
+                raise CompileError(
+                    f"{name} expects {len(builtin.params)} argument(s)",
+                    expr.line,
+                )
+            for arg, param_ty in zip(expr.args, builtin.params):
+                arg_ty = self._expr(arg)
+                self._check_assignable(param_ty, arg_ty, expr.line)
+            return builtin.ret
+        signature = self.sema.signatures.get(name)
+        if signature is None:
+            raise CompileError(f"call to undefined function {name!r}",
+                               expr.line)
+        ret, param_types = signature
+        if len(expr.args) != len(param_types):
+            raise CompileError(
+                f"{name} expects {len(param_types)} argument(s)", expr.line
+            )
+        for arg, param_ty in zip(expr.args, param_types):
+            arg_ty = self._expr(arg)
+            self._check_assignable(param_ty, arg_ty, expr.line)
+        self.info.has_call = True
+        return ret
+
+    # -- storage assignment -------------------------------------------------
+
+    def _assign_storage(self) -> None:
+        info = self.info
+        s_pool = list(S_REGS)
+        f_pool = list(F_REGS)
+        self._promote_constants(s_pool, f_pool)
+        frame_offset = 0
+        for symbol in info.symbols:
+            register_ok = (
+                not symbol.is_array
+                and not symbol.address_taken
+            )
+            if register_ok and symbol.ty.is_float and f_pool:
+                symbol.storage = "reg"
+                symbol.reg = f_pool.pop(0)
+                info.used_f_regs.append(symbol.reg)
+                continue
+            if register_ok and not symbol.ty.is_float and s_pool:
+                symbol.storage = "reg"
+                symbol.reg = s_pool.pop(0)
+                info.used_s_regs.append(symbol.reg)
+                continue
+            # Frame slot.
+            if symbol.is_array:
+                element_size = symbol.ty.size()
+                size = element_size * symbol.array_len
+                alignment = 8 if symbol.ty.is_float else 4
+            else:
+                size = max(symbol.ty.size(), 4)
+                alignment = 8 if symbol.ty.is_float else 4
+            frame_offset = _align(frame_offset, alignment)
+            symbol.storage = "frame"
+            symbol.offset = frame_offset
+            frame_offset += size
+        save = 8  # $ra + caller's $fp
+        save += 4 * len(info.used_s_regs)
+        save = _align(save, 8)
+        save += 8 * len(info.used_f_regs)
+        info.save_area = save
+        info.frame_size = _align(frame_offset, 8) + save
+        # Locals occupy [0, frame_size - save); saves sit at the top.
+
+    # -- constant register promotion ------------------------------------------
+    #
+    # An optimising compiler keeps hot loop-invariant constants -- global
+    # addresses, large literals, floating-point constants -- in registers
+    # instead of re-materialising them on every use.  This matters for
+    # the predictability model: a constant loaded once and *reused*
+    # creates the repeated-use <n,p> generate arcs the paper attributes
+    # to control flow, whereas per-use `li`/`la` sequences show up as
+    # all-immediate node generates.  Constants are function-level
+    # invariant by definition, so promotion needs no safety analysis.
+
+    MAX_CONST_REGS = 4
+    MIN_CONST_USES = 2
+
+    def _promote_constants(self, s_pool: list[int], f_pool: list[int]) -> None:
+        from collections import Counter
+
+        counts: Counter = Counter()
+        self._collect_consts(self.func.body, counts, 1)
+        int_candidates = [
+            (count, key) for key, count in counts.items()
+            if key[0] != "float" and count >= self.MIN_CONST_USES
+        ]
+        float_candidates = [
+            (count, key) for key, count in counts.items()
+            if key[0] == "float" and count >= self.MIN_CONST_USES
+        ]
+        info = self.info
+        for count, key in sorted(int_candidates, reverse=True)[
+            : self.MAX_CONST_REGS
+        ]:
+            if not s_pool:
+                break
+            reg = s_pool.pop(0)
+            info.const_regs[key] = reg
+            info.used_s_regs.append(reg)
+        for count, key in sorted(float_candidates, reverse=True)[
+            : self.MAX_CONST_REGS
+        ]:
+            if not f_pool:
+                break
+            reg = f_pool.pop(0)
+            info.const_regs[key] = reg
+            info.used_f_regs.append(reg)
+
+    #: Assumed trip count when weighting uses by loop depth.
+    LOOP_WEIGHT = 8
+
+    def _collect_consts(self, node, counts, weight: int) -> None:
+        """Count promotable-constant uses below ``node``.
+
+        Uses are weighted by loop depth (x8 per level, capped), the
+        way a register allocator prioritises loop-resident values.
+        """
+        from repro.isa.layout import (
+            INPUT_BASE,
+            INPUT_FLOAT_BASE,
+            INPUT_FLOAT_LEN_ADDR,
+            INPUT_LEN_ADDR,
+        )
+
+        if node is None:
+            return
+        if isinstance(node, ast.Var):
+            symbol = node.sym
+            if symbol is not None and symbol.kind == "global":
+                counts[("ga", symbol.label)] += weight
+            return
+        if isinstance(node, ast.IntLit):
+            if not -32768 <= node.value <= 0xFFFF:
+                counts[("int", node.value & 0xFFFFFFFF)] += weight
+            return
+        if isinstance(node, ast.FloatLit):
+            counts[("float", node.value)] += weight
+            return
+        if isinstance(node, ast.Call):
+            base = {
+                "input_word": INPUT_BASE,
+                "input_float": INPUT_FLOAT_BASE,
+                "input_count": INPUT_LEN_ADDR,
+                "input_float_count": INPUT_FLOAT_LEN_ADDR,
+            }.get(node.name)
+            if base is not None:
+                counts[("int", base)] += weight
+            for arg in node.args:
+                self._collect_consts(arg, counts, weight)
+            return
+        if isinstance(node, (ast.While, ast.DoWhile, ast.For)):
+            inner = min(weight * self.LOOP_WEIGHT, 1 << 20)
+            if isinstance(node, ast.For) and node.init is not None:
+                self._collect_consts(node.init, counts, weight)
+            for child in _children(node):
+                if isinstance(node, ast.For) and child is node.init:
+                    continue
+                self._collect_consts(child, counts, inner)
+            return
+        for child in _children(node):
+            self._collect_consts(child, counts, weight)
+
+
+class Sema:
+    """Whole-program semantic analysis."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.globals: dict[str, Symbol] = {}
+        self.signatures: dict[str, tuple[Type, tuple[Type, ...]]] = {}
+
+    def run(self) -> SemaResult:
+        program = self.program
+        result = SemaResult(program=program)
+        for decl in program.globals:
+            self._global(decl)
+        for func in program.funcs:
+            if func.name in self.signatures or func.name in BUILTINS:
+                raise CompileError(
+                    f"duplicate function {func.name!r}", func.line
+                )
+            if func.name in self.globals:
+                raise CompileError(
+                    f"{func.name!r} is already a global variable", func.line
+                )
+            self.signatures[func.name] = (
+                func.ret,
+                tuple(param.ty for param in func.params),
+            )
+        if "main" not in self.signatures:
+            raise CompileError("program has no main function")
+        for func in program.funcs:
+            result.functions[func.name] = _FunctionSema(self, func).run()
+        result.globals = self.globals
+        return result
+
+    def _global(self, decl: ast.GlobalDecl) -> None:
+        if decl.name in self.globals or decl.name in BUILTINS:
+            raise CompileError(f"duplicate global {decl.name!r}", decl.line)
+        if decl.ty.is_void and not decl.ty.is_pointer:
+            raise CompileError("global cannot be void", decl.line)
+        for init in decl.init:
+            self._check_const(init, decl.ty, decl)
+        if decl.array_len is None and len(decl.init) > 1:
+            raise CompileError("scalar global with list initialiser",
+                               decl.line)
+        if decl.array_len is not None and len(decl.init) > decl.array_len:
+            raise CompileError("too many initialisers", decl.line)
+        symbol = Symbol(
+            name=decl.name,
+            ty=decl.ty,
+            kind="global",
+            array_len=decl.array_len,
+            storage="global",
+            label=f"g_{decl.name}",
+        )
+        decl.sym = symbol
+        self.globals[decl.name] = symbol
+
+    def _check_const(self, expr: ast.Expr, ty: Type, decl) -> None:
+        if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+            expr.ty = FLOAT if isinstance(expr, ast.FloatLit) else INT
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "-" and isinstance(
+            expr.operand, (ast.IntLit, ast.FloatLit)
+        ):
+            return
+        if isinstance(expr, ast.StrLit) and ty.is_pointer:
+            return
+        raise CompileError(
+            f"global {decl.name!r} initialiser must be a constant literal",
+            decl.line,
+        )
+
+
+def analyze(program: ast.Program) -> SemaResult:
+    """Run semantic analysis over a parsed program."""
+    return Sema(program).run()

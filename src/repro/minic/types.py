@@ -1,0 +1,72 @@
+"""Type system for mini-C.
+
+Types are base scalars (``int``, ``char``, ``float``, ``void``) plus a
+pointer depth.  Arrays exist only in declarations; in expressions they
+decay to pointers, as in C.  ``char`` is a byte; ``float`` is the
+machine's 8-byte floating-point cell (doubles, matching the FP
+register file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_SIZES = {"int": 4, "char": 1, "float": 8, "void": 0}
+
+
+@dataclass(frozen=True, slots=True)
+class Type:
+    """A mini-C type: base scalar plus pointer depth."""
+
+    base: str
+    ptr: int = 0
+
+    def __post_init__(self):
+        if self.base not in _SIZES:
+            raise ValueError(f"unknown base type: {self.base!r}")
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.ptr > 0
+
+    @property
+    def is_float(self) -> bool:
+        return self.base == "float" and self.ptr == 0
+
+    @property
+    def is_integral(self) -> bool:
+        return self.base in ("int", "char") and self.ptr == 0
+
+    @property
+    def is_void(self) -> bool:
+        return self.base == "void" and self.ptr == 0
+
+    def size(self) -> int:
+        """Byte size of a value of this type."""
+        return 4 if self.ptr else _SIZES[self.base]
+
+    def element(self) -> "Type":
+        """The pointee type of a pointer."""
+        if not self.ptr:
+            raise ValueError(f"not a pointer: {self}")
+        return Type(self.base, self.ptr - 1)
+
+    def pointer(self) -> "Type":
+        """A pointer to this type."""
+        return Type(self.base, self.ptr + 1)
+
+    def __str__(self) -> str:
+        return self.base + "*" * self.ptr
+
+
+INT = Type("int")
+CHAR = Type("char")
+FLOAT = Type("float")
+VOID = Type("void")
+
+
+def common_numeric(lhs: Type, rhs: Type) -> Type:
+    """Usual arithmetic conversion: float wins, else int."""
+    if lhs.is_float or rhs.is_float:
+        return FLOAT
+    return INT

@@ -1,0 +1,36 @@
+"""Input/output predictor banks.
+
+The paper uses *separate but identical* predictors for instruction
+inputs and outputs, to prevent prediction "short circuits" where an
+instruction's output predictor has just seen the value its input
+predictor is about to be asked for.  :class:`PredictorBank` packages
+one predictor pair of a given kind.
+
+Output predictions are keyed by the producing instruction's PC.  Input
+predictions are keyed by ``(PC << 2) | operand_slot`` so that a
+two-source instruction does not alias its own operands (the paper
+indexes input predictors "by PC" without stating a slot rule; see
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import ValuePredictor, make_predictor
+
+
+class PredictorBank:
+    """One value-predictor pair (inputs + outputs) of a given kind."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.outputs: ValuePredictor = make_predictor(kind)
+        self.inputs: ValuePredictor = make_predictor(kind)
+        self.letter = self.outputs.letter
+
+    def see_output(self, pc: int, value) -> bool:
+        """Predict-and-learn an instruction result at production time."""
+        return self.outputs.see(pc, value)
+
+    def see_input(self, pc: int, slot: int, value) -> bool:
+        """Predict-and-learn a source operand at consumption time."""
+        return self.inputs.see((pc << 2) | slot, value)

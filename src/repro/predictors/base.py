@@ -1,0 +1,60 @@
+"""Common value-predictor interface and factory."""
+
+from __future__ import annotations
+
+import abc
+
+
+class ValuePredictor(abc.ABC):
+    """A finite-state next-value predictor.
+
+    Predictors are keyed by an integer (a PC, or a hash of PC and
+    operand slot for input predictors) and observe the sequence of
+    values presented for each key.  Tables are finite and untagged, so
+    different keys may alias — exactly as in the paper's simulations.
+    """
+
+    #: Short machine name ("last", "stride", "context").
+    kind: str = ""
+    #: Single-letter label used in the paper's figures (L / S / C).
+    letter: str = ""
+
+    @abc.abstractmethod
+    def see(self, key: int, value) -> bool:
+        """Predict the next value for ``key``, then learn ``value``.
+
+        Returns True when the prediction matched ``value``.  The
+        predictor state is updated immediately (paper Section 3).
+        """
+
+    @abc.abstractmethod
+    def peek(self, key: int):
+        """Return the value that ``see`` would predict, or None."""
+
+
+def make_predictor(kind: str) -> ValuePredictor:
+    """Create a fresh predictor of the given kind.
+
+    Args:
+        kind: ``"last"``, ``"stride"``, ``"context"``, or ``"hybrid"``
+            (the stride+context combination of paper ref [17]).
+    """
+    from repro.predictors.context import ContextPredictor
+    from repro.predictors.hybrid import HybridPredictor
+    from repro.predictors.last_value import LastValuePredictor
+    from repro.predictors.stride import StridePredictor
+
+    table = {
+        "last": LastValuePredictor,
+        "stride": StridePredictor,
+        "context": ContextPredictor,
+        "hybrid": HybridPredictor,
+    }
+    try:
+        return table[kind]()
+    except KeyError:
+        raise ValueError(f"unknown predictor kind: {kind!r}") from None
+
+
+#: Predictor kinds in the paper's presentation order (L, S, C).
+PREDICTOR_KINDS = ("last", "stride", "context")

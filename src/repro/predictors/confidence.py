@@ -1,0 +1,97 @@
+"""Prediction confidence estimation (paper ref [8]).
+
+The paper notes that misspeculation "can be mitigated somewhat with
+the use of confidence mechanisms; these are probably essential for
+effective value prediction and speculation".  This module provides the
+Jacobsen/Rotenberg/Smith-style estimator: a table of saturating
+counters indexed like the predictor, incremented on correct
+predictions and reset (or decremented) on mispredictions.  A
+prediction is *used* only when the counter is at or above a threshold.
+
+:class:`ConfidentPredictor` wraps any :class:`ValuePredictor`; its
+``see`` reports whether a *confident and correct* prediction was made,
+and it keeps the coverage/accuracy accounting speculation studies
+need:
+
+* ``used`` — predictions confident enough to act on;
+* ``used_correct`` — of those, the correct ones (accuracy = the
+  misspeculation exposure);
+* ``missed`` — correct predictions suppressed by low confidence
+  (lost coverage).
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import ValuePredictor
+
+
+class ConfidenceEstimator:
+    """Saturating-counter confidence table."""
+
+    def __init__(self, index_bits: int = 16, threshold: int = 4,
+                 maximum: int = 15, penalty: str = "reset"):
+        if penalty not in ("reset", "decrement"):
+            raise ValueError(f"unknown penalty policy: {penalty!r}")
+        self.threshold = threshold
+        self.maximum = maximum
+        self.penalty = penalty
+        self._mask = (1 << index_bits) - 1
+        self._counters = bytearray(1 << index_bits)
+
+    def confident(self, key: int) -> bool:
+        """Would a prediction for ``key`` be acted upon?"""
+        return self._counters[key & self._mask] >= self.threshold
+
+    def train(self, key: int, correct: bool) -> None:
+        index = key & self._mask
+        if correct:
+            if self._counters[index] < self.maximum:
+                self._counters[index] += 1
+        elif self.penalty == "reset":
+            self._counters[index] = 0
+        elif self._counters[index] > 0:
+            self._counters[index] -= 1
+
+
+class ConfidentPredictor(ValuePredictor):
+    """A value predictor gated by a confidence estimator."""
+
+    def __init__(self, inner: ValuePredictor, threshold: int = 4,
+                 index_bits: int = 16, penalty: str = "reset"):
+        self.inner = inner
+        self.kind = f"confident-{inner.kind}"
+        self.letter = inner.letter
+        self.estimator = ConfidenceEstimator(
+            index_bits=index_bits, threshold=threshold, penalty=penalty
+        )
+        self.used = 0
+        self.used_correct = 0
+        self.missed = 0
+        self.total = 0
+
+    def see(self, key: int, value) -> bool:
+        confident = self.estimator.confident(key)
+        correct = self.inner.see(key, value)
+        self.estimator.train(key, correct)
+        self.total += 1
+        if confident:
+            self.used += 1
+            if correct:
+                self.used_correct += 1
+        elif correct:
+            self.missed += 1
+        return confident and correct
+
+    def peek(self, key: int):
+        if not self.estimator.confident(key):
+            return None
+        return self.inner.peek(key)
+
+    def coverage(self) -> float:
+        """Fraction of all predictions acted upon."""
+        return self.used / self.total if self.total else 0.0
+
+    def accuracy(self) -> float:
+        """Accuracy of the predictions acted upon (1 - misspeculation
+        rate)."""
+        return self.used_correct / self.used if self.used else 0.0

@@ -1,0 +1,53 @@
+"""Delayed predictor update (the paper's Section 3 caveat, as an
+ablation).
+
+The paper updates predictors immediately after each prediction and
+notes that "introducing delayed update timing would have imposed
+particular implementation idiosyncrasies".  Real hardware cannot
+update instantly: the actual value is known only some pipeline depth
+after the prediction.  :class:`DelayedPredictor` models that with a
+FIFO of pending updates — a prediction for a key is made against state
+that has not yet absorbed the last ``delay`` observations.
+
+Used by the ablation benches to quantify how much the paper's
+immediate-update assumption flatters each predictor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.predictors.base import ValuePredictor, make_predictor
+
+
+class DelayedPredictor(ValuePredictor):
+    """Wraps a predictor, applying updates ``delay`` predictions late."""
+
+    def __init__(self, inner: ValuePredictor | str, delay: int = 8):
+        if isinstance(inner, str):
+            inner = make_predictor(inner)
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.inner = inner
+        self.kind = f"delayed-{inner.kind}"
+        self.letter = inner.letter
+        self.delay = delay
+        self._pending: deque = deque()
+
+    def see(self, key: int, value) -> bool:
+        predicted = self.inner.peek(key)
+        correct = predicted is not None and predicted == value
+        self._pending.append((key, value))
+        if len(self._pending) > self.delay:
+            update_key, update_value = self._pending.popleft()
+            self.inner.see(update_key, update_value)
+        return correct
+
+    def peek(self, key: int):
+        return self.inner.peek(key)
+
+    def flush(self) -> None:
+        """Apply all pending updates (end of trace)."""
+        while self._pending:
+            key, value = self._pending.popleft()
+            self.inner.see(key, value)

@@ -1,0 +1,59 @@
+"""Hybrid stride + context value predictor.
+
+The paper cites Wang & Franklin's "Highly Accurate Data Value
+Prediction using Hybrid Predictors" (ref [17]) among the predictors
+that pushed accuracy up.  This implementation combines the repo's
+2-delta stride and two-level context components with a per-entry
+2-bit *chooser* (as in combining branch predictors): the chooser is
+trained towards whichever component was correct when they disagree.
+
+This predictor is not part of the paper's three-way comparison; it is
+provided as the natural "better predictor" extension the paper's
+Section 6 anticipates, and can be selected anywhere a predictor kind
+is accepted (``make_predictor("hybrid")``, ``AnalysisConfig(
+predictors=(..., "hybrid"))``).
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import ValuePredictor
+from repro.predictors.context import ContextPredictor
+from repro.predictors.stride import StridePredictor
+
+
+class HybridPredictor(ValuePredictor):
+    """Chooser-combined stride and context prediction."""
+
+    kind = "hybrid"
+    letter = "H"
+
+    def __init__(self, index_bits: int = 16, l2_bits: int = 20):
+        self.stride = StridePredictor(index_bits)
+        self.context = ContextPredictor(index_bits, l2_bits)
+        self._mask = (1 << index_bits) - 1
+        #: 2-bit chooser per entry; >= 2 selects the context component.
+        self._chooser = bytearray([2]) * (1 << index_bits)
+
+    def see(self, key: int, value) -> bool:
+        index = key & self._mask
+        chooser = self._chooser[index]
+        stride_pred = self.stride.peek(key)
+        context_pred = self.context.peek(key)
+        chosen = context_pred if chooser >= 2 else stride_pred
+        correct = chosen is not None and chosen == value
+        # Components always train.
+        stride_hit = self.stride.see(key, value)
+        context_hit = self.context.see(key, value)
+        # The chooser trains only on disagreement.
+        if stride_hit != context_hit:
+            if context_hit:
+                if chooser < 3:
+                    self._chooser[index] = chooser + 1
+            elif chooser > 0:
+                self._chooser[index] = chooser - 1
+        return correct
+
+    def peek(self, key: int):
+        if self._chooser[key & self._mask] >= 2:
+            return self.context.peek(key)
+        return self.stride.peek(key)

@@ -1,0 +1,48 @@
+"""Last-value predictor with 2-bit saturating-counter replacement.
+
+Based on the predictor of Lipasti, Wilkerson and Shen (paper ref [10]):
+2^16 untagged entries, each holding a value and a 2-bit counter that
+provides hysteresis — the stored value is replaced only after the
+counter drains, i.e. after two bad predictions in a row from the
+half-confident state.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import ValuePredictor
+
+_EMPTY = object()
+
+
+class LastValuePredictor(ValuePredictor):
+    """Predicts that each key produces the same value as last time."""
+
+    kind = "last"
+    letter = "L"
+
+    def __init__(self, index_bits: int = 16):
+        self.index_bits = index_bits
+        self._mask = (1 << index_bits) - 1
+        self._values: list = [_EMPTY] * (1 << index_bits)
+        self._counters = bytearray(1 << index_bits)
+
+    def see(self, key: int, value) -> bool:
+        index = key & self._mask
+        values = self._values
+        stored = values[index]
+        correct = stored is not _EMPTY and stored == value
+        counters = self._counters
+        counter = counters[index]
+        if correct:
+            if counter < 3:
+                counters[index] = counter + 1
+        elif counter > 0:
+            counters[index] = counter - 1
+        else:
+            values[index] = value
+            counters[index] = 1
+        return correct
+
+    def peek(self, key: int):
+        stored = self._values[key & self._mask]
+        return None if stored is _EMPTY else stored

@@ -1,0 +1,68 @@
+"""The 2-delta stride predictor.
+
+First proposed for addresses by Eickemeyer and Vassiliadis (paper ref
+[5]): each of the 2^16 untagged entries holds the last value, the
+*prediction* stride, and the last *observed* stride.  The prediction
+stride is replaced only when a new stride is observed twice in a row,
+which keeps one-off irregularities from destroying a learned stride.
+
+Last-value prediction is the stride-0 special case, so everything a
+last-value predictor catches, this predictor catches too (modulo the
+different hysteresis).
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import ValuePredictor
+
+
+class StridePredictor(ValuePredictor):
+    """Predicts ``last + stride`` with 2-delta stride replacement."""
+
+    kind = "stride"
+    letter = "S"
+
+    def __init__(self, index_bits: int = 16):
+        self.index_bits = index_bits
+        self._mask = (1 << index_bits) - 1
+        #: entry: [last_value, prediction_stride, last_observed_stride]
+        self._entries: list = [None] * (1 << index_bits)
+
+    #: Strides on integer values are computed modulo 2^32, as a
+    #: hardware stride predictor over 32-bit registers would: the step
+    #: from 0 to 0xFFFFFFFF *is* stride -1.
+    _MASK32 = 0xFFFF_FFFF
+    _SIGN32 = 0x8000_0000
+
+    def see(self, key: int, value) -> bool:
+        index = key & self._mask
+        entry = self._entries[index]
+        if entry is None:
+            self._entries[index] = [value, 0, 0]
+            return False
+        last, stride, observed = entry
+        if type(value) is int and type(last) is int and type(stride) is int:
+            prediction = (last + stride) & self._MASK32
+            new_stride = (value - last) & self._MASK32
+            if new_stride & self._SIGN32:
+                new_stride -= 0x1_0000_0000
+        else:
+            # Floating-point values (or int/float aliasing in the
+            # untagged table) use exact arithmetic.
+            prediction = last + stride
+            new_stride = value - last
+        correct = prediction == value
+        if new_stride == observed:
+            entry[1] = new_stride
+        entry[2] = new_stride
+        entry[0] = value
+        return correct
+
+    def peek(self, key: int):
+        entry = self._entries[key & self._mask]
+        if entry is None:
+            return None
+        last, stride, __ = entry
+        if type(last) is int and type(stride) is int:
+            return (last + stride) & self._MASK32
+        return last + stride

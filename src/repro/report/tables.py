@@ -1,0 +1,108 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A titled, column-aligned text table.
+
+    Cells may be any object; floats are formatted with
+    :attr:`float_format`, everything else with ``str``.
+    """
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    float_format: str = "{:.2f}"
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def _format_cell(self, cell) -> str:
+        if isinstance(cell, float):
+            return self.float_format.format(cell)
+        return str(cell)
+
+    def render(self) -> str:
+        rendered = [
+            [self._format_cell(cell) for cell in row] for row in self.rows
+        ]
+        columns = len(self.headers)
+        widths = [len(header) for header in self.headers]
+        for row in rendered:
+            for index, cell in enumerate(row):
+                if index < columns:
+                    widths[index] = max(widths[index], len(cell))
+
+        def line(cells):
+            padded = []
+            for index, cell in enumerate(cells):
+                width = widths[index] if index < columns else len(cell)
+                # Left-align the first column, right-align the rest.
+                if index == 0:
+                    padded.append(cell.ljust(width))
+                else:
+                    padded.append(cell.rjust(width))
+            return "  ".join(padded).rstrip()
+
+        separator = "-" * (sum(widths) + 2 * (columns - 1))
+        out = [self.title, "=" * len(self.title), line(self.headers),
+               separator]
+        out.extend(line(row) for row in rendered)
+        for note in self.notes:
+            out.append(f"note: {note}")
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def percentage(count: int, total: int) -> float:
+    """``count`` as a percentage of ``total`` (0 when total is 0)."""
+    return 100.0 * count / total if total else 0.0
+
+
+def log2_bucket_edges(maximum: int) -> list[int]:
+    """Upper edges 1, 2, 4, 8, ... covering values up to ``maximum``."""
+    edges = [1]
+    while edges[-1] < maximum:
+        edges.append(edges[-1] * 2)
+    return edges
+
+
+def bucket_label(low: int, high: int) -> str:
+    """Human label for a [low, high] bucket."""
+    return str(high) if low == high else f"{low}-{high}"
+
+
+def cumulative_percent(histogram: dict[int, int], edges: list[int],
+                       weight=None) -> list[float]:
+    """Cumulative percentage of histogram mass at value <= each edge.
+
+    Args:
+        histogram: value -> count.
+        edges: ascending bucket edges.
+        weight: optional value -> weight multiplier (e.g. the value
+            itself, to weight by instructions rather than runs).
+    """
+    total = 0.0
+    for value, count in histogram.items():
+        total += count * (weight(value) if weight else 1)
+    out = []
+    running = 0.0
+    remaining = sorted(histogram.items())
+    index = 0
+    for edge in edges:
+        while index < len(remaining) and remaining[index][0] <= edge:
+            value, count = remaining[index]
+            running += count * (weight(value) if weight else 1)
+            index += 1
+        out.append(100.0 * running / total if total else 0.0)
+    return out

@@ -1,0 +1,26 @@
+"""SPEC95-analogue workload suite.
+
+The paper evaluates on the SPEC95 benchmarks (8 integer, 4 floating
+point).  Those binaries and inputs are proprietary, so this package
+provides analogues written in mini-C, each mimicking the dominant
+kernel and control structure of its namesake (see DESIGN.md for the
+substitution rationale).  Every workload is deterministic: inputs are
+generated from a fixed seed and loaded into the machine's ``D``-tagged
+input regions.
+"""
+
+from repro.workloads.suite import (
+    SUITE,
+    Workload,
+    float_workloads,
+    get_workload,
+    integer_workloads,
+)
+
+__all__ = [
+    "SUITE",
+    "Workload",
+    "float_workloads",
+    "get_workload",
+    "integer_workloads",
+]

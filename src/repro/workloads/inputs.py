@@ -1,0 +1,137 @@
+"""Deterministic synthetic input generation.
+
+Inputs play the role of the SPEC95 reference inputs: values the program
+did not compute, appearing in the DPG as ``D`` nodes.  All generators
+are seeded so every run of a workload sees identical data.
+
+A private linear congruential generator is used instead of
+:mod:`random` so the streams are stable across Python versions.
+"""
+
+from __future__ import annotations
+
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_MASK64 = (1 << 64) - 1
+
+
+class Rng:
+    """Small deterministic PRNG (64-bit LCG, high-bits output)."""
+
+    def __init__(self, seed: int):
+        self._state = (seed * 2654435769 + 0x9E3779B9) & _MASK64
+
+    def next_u32(self) -> int:
+        self._state = (self._state * _LCG_A + _LCG_C) & _MASK64
+        return (self._state >> 32) & 0xFFFFFFFF
+
+    def below(self, bound: int) -> int:
+        """Uniform integer in [0, bound)."""
+        return self.next_u32() % bound
+
+    def word(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi]."""
+        return lo + self.next_u32() % (hi - lo + 1)
+
+    def unit_float(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self.next_u32() / 4294967296.0
+
+
+def words(count: int, lo: int, hi: int, seed: int) -> list[int]:
+    """``count`` uniform words in [lo, hi]."""
+    rng = Rng(seed)
+    return [rng.word(lo, hi) for __ in range(count)]
+
+
+def bytes_with_runs(count: int, alphabet: int, run_bias: int,
+                    seed: int) -> list[int]:
+    """Byte stream with repeated runs (compressible, like text).
+
+    With probability ``run_bias``/8 the previous byte repeats,
+    otherwise a fresh symbol below ``alphabet`` is drawn.
+    """
+    rng = Rng(seed)
+    out: list[int] = []
+    prev = 0
+    for __ in range(count):
+        if out and rng.below(8) < run_bias:
+            out.append(prev)
+        else:
+            prev = rng.below(alphabet)
+            out.append(prev)
+    return out
+
+
+def floats(count: int, lo: float, hi: float, seed: int) -> list[float]:
+    """``count`` uniform floats in [lo, hi)."""
+    rng = Rng(seed)
+    span = hi - lo
+    return [lo + rng.unit_float() * span for __ in range(count)]
+
+
+def board(size: int, stones: int, seed: int) -> list[int]:
+    """A go-like board: 0 empty, 1 black, 2 white, ``stones`` placed."""
+    rng = Rng(seed)
+    cells = [0] * (size * size)
+    placed = 0
+    while placed < stones:
+        cell = rng.below(size * size)
+        if cells[cell] == 0:
+            cells[cell] = 1 + (placed & 1)
+            placed += 1
+    return cells
+
+
+def tiny_isa_program(count: int, seed: int) -> list[int]:
+    """Encoded instructions for the m88ksim-analogue interpreter.
+
+    Encoding: opcode*65536 + rd*4096 + rs*256 + imm, with opcodes
+    0..7 (add, sub, and, or, shift, load-imm, branch-if-zero, store).
+    Register fields are 0..15, immediates 0..255.  Branches jump
+    backwards by a small distance so the interpreted program loops.
+    """
+    rng = Rng(seed)
+    program: list[int] = []
+    for index in range(count):
+        opcode = rng.below(8)
+        rd = rng.below(16)
+        rs = rng.below(16)
+        imm = rng.below(256)
+        if opcode == 6:  # branch: bounded backward hop
+            imm = rng.below(min(index, 6) + 1)
+        program.append(opcode * 65536 + rd * 4096 + rs * 256 + imm)
+    return program
+
+
+def perl_text(count: int, seed: int) -> list[int]:
+    """Synthetic perl-ish source text as character codes.
+
+    Words are drawn from a ~100-entry dictionary (so interning hits),
+    separated by spaces and occasional statement-ending semicolons.
+    """
+    rng = Rng(seed)
+    dictionary = []
+    for __ in range(100):
+        length = rng.word(2, 8)
+        word = [ord("a") + rng.below(26) for _i in range(length)]
+        dictionary.append(word)
+    out: list[int] = []
+    while len(out) < count:
+        word = dictionary[rng.below(len(dictionary))]
+        out.extend(word)
+        if rng.below(8) == 0:
+            out.append(ord(";"))
+        out.append(ord(" "))
+    return out[:count]
+
+
+def packed_transactions(count: int, key_space: int, seed: int) -> list[int]:
+    """Vortex-analogue transaction stream: key | op << 16."""
+    rng = Rng(seed)
+    out = []
+    for __ in range(count):
+        key = rng.below(key_space)
+        op = rng.below(4)
+        out.append(key | (op << 16))
+    return out

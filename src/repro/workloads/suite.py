@@ -1,0 +1,205 @@
+"""The workload registry.
+
+Each :class:`Workload` pairs a mini-C program with a deterministic
+input generator.  ``scale`` multiplies the problem size roughly
+linearly in dynamic instruction count; the defaults give runs around
+1e5 dynamic instructions per workload, which is where the paper's
+fraction-based statistics have long since stabilised (see DESIGN.md's
+performance budget for why we do not trace billions of instructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.asm import Program
+from repro.cpu import Machine
+from repro.minic import compile_program
+from repro.workloads import inputs
+
+_PROGRAM_DIR = Path(__file__).parent / "programs"
+
+#: (input words, input floats)
+InputMaker = Callable[[int], tuple[list[int], list[float]]]
+
+
+@dataclass
+class Workload:
+    """One SPEC95-analogue benchmark.
+
+    Attributes:
+        name: short name used throughout the reports ("com", "gcc", ...).
+        spec_name: the SPEC95 benchmark this is an analogue of.
+        kind: "int" or "fp".
+        description: one-line description of the kernel.
+        make_inputs: scale -> (input words, input floats).
+    """
+
+    name: str
+    spec_name: str
+    kind: str
+    description: str
+    make_inputs: InputMaker
+    _program: Program | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def source_path(self) -> Path:
+        return _PROGRAM_DIR / f"{self.spec_name.split('.')[1]}.mc"
+
+    def source(self) -> str:
+        """The workload's mini-C source."""
+        return self.source_path.read_text()
+
+    def program(self) -> Program:
+        """The compiled program (cached per Workload instance)."""
+        if self._program is None:
+            self._program = compile_program(self.source())
+        return self._program
+
+    def machine(
+        self,
+        scale: int = 1,
+        max_instructions: int = 50_000_000,
+        tracing: bool = True,
+    ) -> Machine:
+        """A fresh machine loaded with this workload at ``scale``."""
+        words, fps = self.make_inputs(scale)
+        return Machine(
+            self.program(),
+            input_words=words,
+            input_floats=fps,
+            max_instructions=max_instructions,
+            tracing=tracing,
+        )
+
+
+def _compress_inputs(scale: int):
+    n = 3000 * scale
+    return [n] + inputs.bytes_with_runs(n, 64, 5, seed=101), []
+
+
+def _gcc_inputs(scale: int):
+    n = min(2048, 512 * scale)
+    functions = 3 * scale
+    stream = inputs.words(n, 0, 0x7FFFF, seed=202)
+    # The paper's Fig. 1 register masks, verbatim.
+    return [n] + stream + [0x8000BFFF, 0xFFFFFFF0, functions], []
+
+
+def _go_inputs(scale: int):
+    rounds = 2 * scale
+    return [rounds] + inputs.board(19, 90, seed=303), []
+
+
+def _ijpeg_inputs(scale: int):
+    blocks = 20 * scale
+    return [blocks] + inputs.words(blocks * 64, 0, 255, seed=404), []
+
+
+def _perl_inputs(scale: int):
+    n = min(16384, 4000 * scale)
+    return [n] + inputs.perl_text(n, seed=505), []
+
+
+def _m88ksim_inputs(scale: int):
+    count = 512
+    steps = 8000 * scale
+    return [count, steps] + inputs.tiny_isa_program(count, seed=606), []
+
+
+def _vortex_inputs(scale: int):
+    transactions = 2500 * scale
+    stream = inputs.packed_transactions(transactions, 4096, seed=707)
+    return [transactions] + stream, []
+
+
+def _li_inputs(scale: int):
+    rounds = 25 * scale
+    return [rounds] + inputs.words(200, 0, 999, seed=808), []
+
+
+def _applu_inputs(scale: int):
+    iterations = 2 * scale
+    return [iterations], inputs.floats(1024, 0.0, 1.0, seed=909)
+
+
+def _fpppp_inputs(scale: int):
+    quartets = 500 * scale
+    return [quartets], inputs.floats(256, 0.0, 1.0, seed=1010)
+
+
+def _mgrid_inputs(scale: int):
+    cycles = scale
+    return [cycles], inputs.floats(1089, 0.0, 1.0, seed=1111)
+
+
+def _swim_inputs(scale: int):
+    steps = 4 * scale
+    grid = 26
+    return [grid, steps], inputs.floats(grid * grid, -0.5, 0.5, seed=1212)
+
+
+#: The full suite, in the paper's presentation order
+#: (com gcc go ijp per m88 vor xli | app fpp mgr swm).
+SUITE: tuple[Workload, ...] = (
+    Workload("com", "129.compress", "int",
+             "LZW compression with a (prefix, char) hash table",
+             _compress_inputs),
+    Workload("gcc", "126.gcc", "int",
+             "compiler passes: value numbering, DCE, register masks",
+             _gcc_inputs),
+    Workload("go", "099.go", "int",
+             "board evaluation: liberties, influence, move scoring",
+             _go_inputs),
+    Workload("ijp", "132.ijpeg", "int",
+             "integer 8x8 DCT, quantisation and run-length coding",
+             _ijpeg_inputs),
+    Workload("per", "134.perl", "int",
+             "tokeniser and symbol-table interpreter",
+             _perl_inputs),
+    Workload("m88", "124.m88ksim", "int",
+             "fetch-decode-execute interpreter for a tiny ISA",
+             _m88ksim_inputs),
+    Workload("vor", "147.vortex", "int",
+             "in-memory object database transaction mix",
+             _vortex_inputs),
+    Workload("xli", "130.li", "int",
+             "cons-cell list processing with mark-sweep GC",
+             _li_inputs),
+    Workload("app", "110.applu", "fp",
+             "SSOR lower/upper sweeps for a coupled 5-field system",
+             _applu_inputs),
+    Workload("fpp", "145.fpppp", "fp",
+             "two-electron integral kernel, huge FP basic blocks",
+             _fpppp_inputs),
+    Workload("mgr", "107.mgrid", "fp",
+             "multigrid V-cycles on a 2D Poisson problem",
+             _mgrid_inputs),
+    Workload("swm", "102.swim", "fp",
+             "shallow-water stencil updates with periodic bounds",
+             _swim_inputs),
+)
+
+_BY_NAME = {workload.name: workload for workload in SUITE}
+_BY_NAME.update({workload.spec_name: workload for workload in SUITE})
+
+
+def get_workload(name: str) -> Workload:
+    """Look a workload up by short name or SPEC name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: "
+            f"{', '.join(sorted(w.name for w in SUITE))}"
+        ) from None
+
+
+def integer_workloads() -> tuple[Workload, ...]:
+    return tuple(w for w in SUITE if w.kind == "int")
+
+
+def float_workloads() -> tuple[Workload, ...]:
+    return tuple(w for w in SUITE if w.kind == "fp")

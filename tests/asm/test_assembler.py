@@ -1,0 +1,244 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.asm import AsmError, assemble
+from repro.isa import Category, REG_RA
+from repro.isa.layout import DATA_BASE
+
+
+class TestBasicAssembly:
+    def test_simple_instruction(self):
+        program = assemble("addu $t0, $t1, $t2")
+        assert len(program) == 1
+        instr = program.instructions[0]
+        assert instr.op == "addu"
+        assert instr.dest == 8
+        assert instr.src1 == 9
+        assert instr.src2 == 10
+
+    def test_immediate_instruction(self):
+        program = assemble("addiu $t0, $t1, -5")
+        instr = program.instructions[0]
+        assert instr.imm == -5
+
+    def test_comments_and_blank_lines(self):
+        program = assemble(
+            "# leading comment\n\naddu $t0, $t1, $t2  # trailing\n"
+        )
+        assert len(program) == 1
+
+    def test_labels_resolve_to_indices(self):
+        program = assemble(
+            "start:  addiu $t0, $zero, 1\n"
+            "        beq $t0, $zero, start\n"
+        )
+        assert program.labels["start"] == 0
+        assert program.instructions[1].target == 0
+
+    def test_forward_branch_target(self):
+        program = assemble(
+            "        beq $t0, $zero, done\n"
+            "        addiu $t0, $t0, 1\n"
+            "done:   halt\n"
+        )
+        assert program.instructions[0].target == 2
+
+    def test_entry_defaults(self):
+        program = assemble("main: halt")
+        assert program.entry == 0
+        program = assemble("nop\n__start: halt")
+        assert program.entry == 1
+
+    def test_memory_operand_forms(self):
+        program = assemble(
+            "lw $t0, 4($sp)\n"
+            "lw $t1, ($sp)\n"
+        )
+        assert program.instructions[0].imm == 4
+        assert program.instructions[1].imm == 0
+
+    def test_store_operand_roles(self):
+        program = assemble("sw $t0, 8($sp)")
+        instr = program.instructions[0]
+        assert instr.src1 == 29  # base ($sp)
+        assert instr.src2 == 8   # data ($t0)
+        assert instr.dest is None
+
+    def test_jal_writes_ra(self):
+        program = assemble("f: nop\nmain: jal f")
+        instr = program.instructions[1]
+        assert instr.dest == REG_RA
+        assert instr.category is Category.CALL
+
+
+class TestDataSegment:
+    def test_word_layout(self):
+        program = assemble(
+            "        .data\n"
+            "a:      .word 1, 2, 3\n"
+            "b:      .word 4\n"
+        )
+        assert program.symbols["a"] == DATA_BASE
+        assert program.symbols["b"] == DATA_BASE + 12
+        values = [item.value for item in program.data]
+        assert values == [1, 2, 3, 4]
+
+    def test_byte_and_alignment(self):
+        program = assemble(
+            "        .data\n"
+            "c:      .byte 1, 2, 3\n"
+            "w:      .word 7\n"
+        )
+        assert program.symbols["c"] == DATA_BASE
+        assert program.symbols["w"] == DATA_BASE + 4  # aligned past 3 bytes
+
+    def test_double_alignment(self):
+        program = assemble(
+            "        .data\n"
+            "pad:    .word 1\n"
+            "d:      .double 2.5\n"
+        )
+        assert program.symbols["d"] % 8 == 0
+        item = program.data[-1]
+        assert item.is_float and item.value == 2.5
+
+    def test_asciiz(self):
+        program = assemble('.data\ns: .asciiz "hi"\n')
+        values = [item.value for item in program.data]
+        assert values == [ord("h"), ord("i"), 0]
+
+    def test_space_advances_cursor(self):
+        program = assemble(
+            ".data\nbuf: .space 100\nnext: .word 1\n"
+        )
+        assert program.symbols["next"] >= program.symbols["buf"] + 100
+
+    def test_word_with_symbol_value(self):
+        program = assemble(
+            ".data\ntarget: .word 42\nptr: .word target\n"
+        )
+        assert program.data[-1].value == program.symbols["target"]
+
+    def test_escape_sequences_in_string(self):
+        program = assemble('.data\ns: .asciiz "a\\n\\t"\n')
+        values = [item.value for item in program.data]
+        assert values == [ord("a"), 10, 9, 0]
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(AsmError, match="unknown opcode"):
+            assemble("frobnicate $t0")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError, match="duplicate label"):
+            assemble("x: nop\nx: nop")
+
+    def test_undefined_branch_target(self):
+        with pytest.raises(AsmError, match="undefined branch target"):
+            assemble("beq $t0, $t1, nowhere")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AsmError, match="undefined symbol"):
+            assemble("la $t0, missing")
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError, match="invalid register"):
+            assemble("addu $t0, $bogus, $t2")
+
+    def test_shift_out_of_range(self):
+        with pytest.raises(AsmError, match="shift amount"):
+            assemble("sll $t0, $t1, 32")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AsmError, match="immediate out of range"):
+            assemble("addiu $t0, $t1, 70000")
+
+    def test_operand_count(self):
+        with pytest.raises(AsmError, match="expects"):
+            assemble("addu $t0, $t1")
+
+    def test_fp_register_where_int_expected(self):
+        with pytest.raises(AsmError, match="expected integer register"):
+            assemble("addu $t0, $f1, $t2")
+
+    def test_int_register_where_fp_expected(self):
+        with pytest.raises(AsmError, match="expected fp register"):
+            assemble("add.d $f0, $t1, $f2")
+
+    def test_error_reports_line(self):
+        with pytest.raises(AsmError) as excinfo:
+            assemble("nop\nnop\nbogus $t0\n")
+        assert excinfo.value.line == 3
+
+
+class TestPseudoInstructions:
+    def test_li_small(self):
+        program = assemble("li $t0, 42")
+        assert [i.op for i in program.instructions] == ["addiu"]
+
+    def test_li_negative(self):
+        program = assemble("li $t0, -1")
+        assert [i.op for i in program.instructions] == ["addiu"]
+        assert program.instructions[0].imm == -1
+
+    def test_li_unsigned_16(self):
+        program = assemble("li $t0, 0xFFFF")
+        assert [i.op for i in program.instructions] == ["ori"]
+
+    def test_li_large(self):
+        program = assemble("li $t0, 0x12345678")
+        assert [i.op for i in program.instructions] == ["lui", "ori"]
+        assert program.instructions[0].imm == 0x1234
+        assert program.instructions[1].imm == 0x5678
+
+    def test_li_lui_only(self):
+        program = assemble("li $t0, 0x10000")
+        assert [i.op for i in program.instructions] == ["lui"]
+
+    def test_la(self):
+        program = assemble(".data\nx: .word 0\n.text\nla $t0, x")
+        assert [i.op for i in program.instructions] == ["lui", "ori"]
+        address = program.symbols["x"]
+        assert program.instructions[0].imm == (address >> 16) & 0xFFFF
+        assert program.instructions[1].imm == address & 0xFFFF
+
+    def test_move(self):
+        program = assemble("move $t0, $t1")
+        instr = program.instructions[0]
+        assert instr.op == "addu" and instr.src2 == 0
+
+    def test_unconditional_b(self):
+        program = assemble("x: b x")
+        instr = program.instructions[0]
+        assert instr.op == "beq" and instr.target == 0
+
+    def test_compare_branches(self):
+        program = assemble("x: blt $t0, $t1, x\nbge $t0, $t1, x\n")
+        ops = [i.op for i in program.instructions]
+        assert ops == ["slt", "bne", "slt", "beq"]
+
+    def test_bgt_swaps_operands(self):
+        program = assemble("x: bgt $t0, $t1, x")
+        slt = program.instructions[0]
+        assert (slt.src1, slt.src2) == (9, 8)  # $t1, $t0 swapped
+
+    def test_symbolic_memory_operand(self):
+        program = assemble(".data\nv: .word 5\n.text\nlw $t0, v")
+        assert [i.op for i in program.instructions] == ["lui", "ori", "lw"]
+
+    def test_beqz_bnez(self):
+        program = assemble("x: beqz $t0, x\nbnez $t0, x")
+        ops = [i.op for i in program.instructions]
+        assert ops == ["beq", "bne"]
+
+    def test_label_count_stability(self):
+        # Pseudo expansion must keep label addresses consistent.
+        program = assemble(
+            "        li $t0, 0x12345678\n"
+            "target: addiu $t0, $t0, 1\n"
+            "        b target\n"
+        )
+        assert program.labels["target"] == 2
+        assert program.instructions[3].target == 2

@@ -1,0 +1,124 @@
+"""Unit tests for assembler operand parsing."""
+
+import pytest
+
+from repro.asm.operands import (
+    is_label,
+    is_register,
+    parse_hilo,
+    parse_int,
+    parse_mem_operand,
+    parse_register,
+    parse_symbol_ref,
+    split_operands,
+    try_parse_int,
+    unescape_char,
+    unescape_string,
+)
+from repro.errors import AsmError
+
+
+class TestSplitOperands:
+    def test_basic(self):
+        assert split_operands("$t0, $t1, 5") == ["$t0", "$t1", "5"]
+
+    def test_empty(self):
+        assert split_operands("") == []
+        assert split_operands("   ") == []
+
+    def test_whitespace_stripped(self):
+        assert split_operands(" a ,  b ") == ["a", "b"]
+
+
+class TestIntegers:
+    def test_decimal_and_hex(self):
+        assert try_parse_int("42") == 42
+        assert try_parse_int("-7") == -7
+        assert try_parse_int("0x10") == 16
+
+    def test_char_literal(self):
+        assert try_parse_int("'a'") == 97
+        assert try_parse_int("'\\n'") == 10
+
+    def test_not_an_int(self):
+        assert try_parse_int("label") is None
+        assert try_parse_int("") is None
+
+    def test_parse_int_raises(self):
+        with pytest.raises(AsmError, match="invalid integer"):
+            parse_int("xyz")
+
+
+class TestRegisters:
+    def test_is_register(self):
+        assert is_register("$t0")
+        assert is_register("$f4")
+        assert not is_register("t0")
+        assert not is_register("$nope")
+
+    def test_parse_register_error(self):
+        with pytest.raises(AsmError):
+            parse_register("$nope")
+
+
+class TestSymbols:
+    def test_is_label(self):
+        assert is_label("main")
+        assert is_label(".L1")
+        assert is_label("_under")
+        assert not is_label("$t0")
+        assert not is_label("1abc")
+
+    def test_symbol_ref_plain(self):
+        assert parse_symbol_ref("table") == ("table", 0)
+
+    def test_symbol_ref_with_offset(self):
+        assert parse_symbol_ref("table+8") == ("table", 8)
+        assert parse_symbol_ref("table-4") == ("table", -4)
+
+    def test_symbol_ref_invalid(self):
+        with pytest.raises(AsmError):
+            parse_symbol_ref("1+2")
+
+    def test_hilo(self):
+        assert parse_hilo("%hi(sym)") == ("hi", "sym")
+        assert parse_hilo("%lo(sym+4)") == ("lo", "sym+4")
+        assert parse_hilo("sym") is None
+
+
+class TestMemOperands:
+    def test_displacement_forms(self):
+        assert parse_mem_operand("8($sp)") == (8, 29)
+        assert parse_mem_operand("($sp)") == (0, 29)
+        assert parse_mem_operand("-4($fp)") == (-4, 30)
+
+    def test_lo_relocation_kept(self):
+        disp, base = parse_mem_operand("%lo(sym)($at)")
+        assert disp == "%lo(sym)" and base == 1
+
+    def test_bare_symbol_returns_none(self):
+        assert parse_mem_operand("globalvar") is None
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError):
+            parse_mem_operand("4($nope)")
+
+
+class TestStrings:
+    def test_unescape_char(self):
+        assert unescape_char("a") == "a"
+        assert unescape_char("\\t") == "\t"
+        assert unescape_char("\\\\") == "\\"
+
+    def test_unescape_char_invalid(self):
+        with pytest.raises(AsmError):
+            unescape_char("ab")
+        with pytest.raises(AsmError):
+            unescape_char("\\q")
+
+    def test_unescape_string(self):
+        assert unescape_string("a\\nb\\0") == "a\nb\0"
+
+    def test_dangling_escape(self):
+        with pytest.raises(AsmError, match="dangling"):
+            unescape_string("abc\\")

@@ -1,0 +1,80 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import assemble
+from repro.cpu import Machine
+from repro.minic import compile_program
+
+
+def run_asm(source: str, input_words=None, input_floats=None,
+            max_instructions: int = 2_000_000):
+    """Assemble and run ``source``; return the finished Machine."""
+    program = assemble(source)
+    machine = Machine(
+        program,
+        input_words=input_words,
+        input_floats=input_floats,
+        max_instructions=max_instructions,
+        tracing=False,
+    )
+    machine.run()
+    return machine
+
+
+def trace_asm(source: str, input_words=None, input_floats=None,
+              max_instructions: int = 2_000_000):
+    """Assemble and run ``source`` with tracing; return (machine, trace)."""
+    program = assemble(source)
+    machine = Machine(
+        program,
+        input_words=input_words,
+        input_floats=input_floats,
+        max_instructions=max_instructions,
+    )
+    records = list(machine.trace())
+    return machine, records
+
+
+def run_minic(source: str, input_words=None, input_floats=None,
+              max_instructions: int = 5_000_000):
+    """Compile and run mini-C ``source``; return the program's output."""
+    program = compile_program(source)
+    machine = Machine(
+        program,
+        input_words=input_words,
+        input_floats=input_floats,
+        max_instructions=max_instructions,
+        tracing=False,
+    )
+    machine.run()
+    return machine.output
+
+
+@pytest.fixture
+def gcc_loop_source() -> str:
+    """The paper's Fig. 1 loop (126.gcc, invalidate_for_call), adapted
+    to this repo's assembler syntax."""
+    return """
+        .data
+regs_ever_live:   .word 0x8000bfff, 0xfffffff0
+        .text
+__start:
+        add  $6, $0, $0
+LL1:    srl  $2, $6, 5
+        sll  $2, $2, 2
+        la   $19, regs_ever_live
+        addu $2, $2, $19
+        lw   $2, 0($2)
+        andi $3, $6, 31
+        srlv $2, $2, $3
+        andi $2, $2, 1
+        beq  $2, $0, LL2
+        nop
+LL2:    addiu $6, $6, 1
+        slti $2, $6, 64
+        bne  $2, $0, LL1
+        halt
+"""

@@ -1,0 +1,98 @@
+"""Tests for deferred arc use-group resolution."""
+
+from repro.core.arcs import ArcGroupTable
+from repro.core.events import ARC_NP, ARC_PP, UseClass
+from repro.core.stats import ArcStats
+
+
+def flush(table, static_counts, n_predictors=1):
+    stats = [ArcStats() for __ in range(n_predictors)]
+    table.flush(static_counts, stats)
+    return stats
+
+
+class TestArcGroupTable:
+    def test_single_use(self):
+        table = ArcGroupTable(n_static=10, n_predictors=1)
+        table.add(table.key(0, 2, 5), ARC_PP)
+        (stats,) = flush(table, [1] * 10)
+        assert stats.count(UseClass.SINGLE, ARC_PP) == 1
+        assert stats.total() == 1
+
+    def test_repeated_use(self):
+        table = ArcGroupTable(n_static=10, n_predictors=1)
+        key = table.key(0, 2, 5)
+        for __ in range(3):
+            table.add(key, ARC_NP)
+        counts = [0] * 10
+        counts[2] = 5  # producer executed 5 times: plain repeat
+        (stats,) = flush(table, counts)
+        assert stats.count(UseClass.REPEAT, ARC_NP) == 3
+
+    def test_write_once(self):
+        table = ArcGroupTable(n_static=10, n_predictors=1)
+        key = table.key(0, 2, 5)
+        table.add(key, ARC_NP)
+        table.add(key, ARC_NP)
+        counts = [0] * 10
+        counts[2] = 1  # producer executed exactly once in the program
+        (stats,) = flush(table, counts)
+        assert stats.count(UseClass.WRITE_ONCE, ARC_NP) == 2
+
+    def test_data_node_repeated(self):
+        table = ArcGroupTable(n_static=10, n_predictors=1)
+        key = table.d_key(0x10000000, 5)
+        table.add(key, ARC_NP)
+        table.add(key, ARC_NP)
+        (stats,) = flush(table, [9] * 10)
+        assert stats.count(UseClass.DATA, ARC_NP) == 2
+
+    def test_data_node_single_use_is_single(self):
+        table = ArcGroupTable(n_static=10, n_predictors=1)
+        table.add(table.d_key(0x10000000, 5), ARC_NP)
+        (stats,) = flush(table, [9] * 10)
+        assert stats.count(UseClass.SINGLE, ARC_NP) == 1
+
+    def test_different_consumers_are_different_groups(self):
+        table = ArcGroupTable(n_static=10, n_predictors=1)
+        table.add(table.key(0, 2, 5), ARC_PP)
+        table.add(table.key(0, 2, 6), ARC_PP)
+        (stats,) = flush(table, [5] * 10)
+        assert stats.count(UseClass.SINGLE, ARC_PP) == 2
+
+    def test_mixed_labels_within_group(self):
+        table = ArcGroupTable(n_static=10, n_predictors=1)
+        key = table.key(0, 2, 5)
+        table.add(key, ARC_NP)
+        table.add(key, ARC_PP)
+        table.add(key, ARC_PP)
+        (stats,) = flush(table, [5] * 10)
+        assert stats.count(UseClass.REPEAT, ARC_NP) == 1
+        assert stats.count(UseClass.REPEAT, ARC_PP) == 2
+
+    def test_multi_predictor_combo_decoding(self):
+        table = ArcGroupTable(n_static=10, n_predictors=3)
+        combo = ARC_NP | (ARC_PP << 2) | (ARC_PP << 4)
+        table.add(table.key(0, 2, 5), combo)
+        stats = flush(table, [5] * 10, n_predictors=3)
+        assert stats[0].count(UseClass.SINGLE, ARC_NP) == 1
+        assert stats[1].count(UseClass.SINGLE, ARC_PP) == 1
+        assert stats[2].count(UseClass.SINGLE, ARC_PP) == 1
+
+    def test_group_count(self):
+        table = ArcGroupTable(n_static=10, n_predictors=1)
+        table.add(table.key(0, 1, 2), 0)
+        table.add(table.key(0, 1, 2), 0)
+        table.add(table.key(1, 1, 3), 0)
+        assert table.groups() == 2
+
+    def test_totals_conserved(self):
+        table = ArcGroupTable(n_static=50, n_predictors=2)
+        total = 0
+        for producer in range(20):
+            for consumer in range(producer % 4 + 1):
+                table.add(table.key(producer, producer % 50, consumer), 0b0110)
+                total += 1
+        stats = flush(table, [3] * 50, n_predictors=2)
+        assert stats[0].total() == total
+        assert stats[1].total() == total

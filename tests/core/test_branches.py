@@ -1,0 +1,29 @@
+"""Tests for the branch study tracker."""
+
+from repro.core.branches import FIG13_ORDER, BranchTracker
+from repro.core.events import InKind
+
+
+class TestBranchTracker:
+    def test_counts(self):
+        tracker = BranchTracker()
+        tracker.on_branch(InKind.PI, True)
+        tracker.on_branch(InKind.PI, False)
+        tracker.on_branch(InKind.PP, False)
+        stats = tracker.stats
+        assert stats.total() == 3
+        assert stats.correct() == 1
+        assert stats.count(InKind.PI, False) == 1
+
+    def test_avoidable_mispredictions(self):
+        tracker = BranchTracker()
+        tracker.on_branch(InKind.PP, False)
+        tracker.on_branch(InKind.PI, False)
+        tracker.on_branch(InKind.NN, False)
+        assert tracker.mispredicted_with_predictable_inputs() == 2
+
+    def test_fig13_order_complete(self):
+        assert len(FIG13_ORDER) == 12
+        assert len(set(FIG13_ORDER)) == 12
+        predicted_half = FIG13_ORDER[:6]
+        assert all(flag for __, flag in predicted_half)

@@ -1,0 +1,146 @@
+"""Cross-validate the streaming analyzer against the explicit DPG.
+
+Two independent implementations of the model must agree: the explicit
+networkx graph built by :func:`repro.core.build_dpg` and the streaming
+:class:`repro.core.Analyzer`, fed the same trace with the same
+predictor configuration.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import (
+    AnalysisConfig,
+    Behavior,
+    analyze_machine,
+    behavior_counts,
+    build_dpg,
+)
+from repro.core.events import ARC_BEHAVIOR, UseClass
+from repro.cpu import Machine
+from repro.minic import compile_program
+
+PROGRAMS = {
+    "counter": """
+__start:
+        li   $s0, 0
+loop:   addiu $s0, $s0, 1
+        andi $t0, $s0, 7
+        slti $t1, $s0, 40
+        bne  $t1, $zero, loop
+        halt
+""",
+    "memory": """
+        .data
+buf:    .space 64
+        .text
+__start:
+        li   $s0, 0
+        la   $s1, buf
+fill:   sll  $t0, $s0, 2
+        addu $t0, $t0, $s1
+        mul  $t1, $s0, $s0
+        sw   $t1, 0($t0)
+        addiu $s0, $s0, 1
+        slti $t2, $s0, 16
+        bne  $t2, $zero, fill
+        li   $s0, 0
+sum:    sll  $t0, $s0, 2
+        addu $t0, $t0, $s1
+        lw   $t1, 0($t0)
+        addu $s2, $s2, $t1
+        addiu $s0, $s0, 1
+        slti $t2, $s0, 16
+        bne  $t2, $zero, sum
+        halt
+""",
+}
+
+MINIC = """
+int hist[16];
+int main() {
+    int i;
+    for (i = 0; i < 200; i++) {
+        hist[(i * 7) & 15] += 1;
+    }
+    int best = 0;
+    for (i = 1; i < 16; i++) {
+        if (hist[i] > hist[best]) best = i;
+    }
+    print_int(best);
+    return 0;
+}
+"""
+
+
+def cross_validate(program, kind):
+    machine_a = Machine(program)
+    graph = build_dpg(machine_a.trace(), predictor=kind)
+    graph_nodes, graph_arcs = behavior_counts(graph)
+
+    machine_b = Machine(program)
+    config = AnalysisConfig(predictors=(kind,), trees_for=())
+    result = analyze_machine(machine_b, "x", config)
+    pred = result.predictors[kind]
+
+    stream_nodes = pred.nodes.behavior_counts()
+    stream_arcs = pred.arcs.behavior_counts()
+    for behavior in Behavior:
+        assert graph_nodes.get(behavior, 0) == stream_nodes.get(behavior, 0), (
+            f"node {behavior.name} mismatch"
+        )
+        if behavior is not Behavior.OTHER:
+            assert graph_arcs.get(behavior, 0) == stream_arcs.get(
+                behavior, 0
+            ), f"arc {behavior.name} mismatch"
+    return graph, result
+
+
+@pytest.mark.parametrize("kind", ["last", "stride", "context"])
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_asm_programs_agree(kind, name):
+    cross_validate(assemble(PROGRAMS[name]), kind)
+
+
+@pytest.mark.parametrize("kind", ["last", "stride", "context"])
+def test_minic_program_agrees(kind):
+    cross_validate(compile_program(MINIC), kind)
+
+
+def test_use_classes_agree():
+    """Arc use-class totals from the graph match the streaming table."""
+    program = assemble(PROGRAMS["memory"])
+    machine_a = Machine(program)
+    graph = build_dpg(machine_a.trace(), predictor="stride")
+    graph_uses = Counter(
+        data["use"] for __, __, data in graph.edges(data=True)
+    )
+
+    machine_b = Machine(program)
+    config = AnalysisConfig(predictors=("stride",), trees_for=())
+    result = analyze_machine(machine_b, "x", config)
+    arcs = result.predictors["stride"].arcs
+    for use in UseClass:
+        stream_total = sum(arcs.count(use, xy) for xy in range(4))
+        assert graph_uses.get(use, 0) == stream_total, use.name
+
+
+def test_graph_arc_labels_consistent():
+    """Every <p,*> arc's producer has a predicted output in the graph."""
+    program = assemble(PROGRAMS["counter"])
+    graph = build_dpg(Machine(program).trace(), predictor="stride")
+    for producer, __, data in graph.edges(data=True):
+        if data["x"]:
+            assert graph.nodes[producer]["out_predicted"] is True
+
+
+def test_d_nodes_have_no_in_arcs():
+    program = assemble(PROGRAMS["memory"])
+    graph = build_dpg(Machine(program).trace(), predictor="last")
+    for node, data in graph.nodes(data=True):
+        if data.get("kind") == "data":
+            assert graph.in_degree(node) == 0
+            for __, __, edge in graph.out_edges(node, data=True):
+                assert edge["x"] is False  # D arcs are always <n,*>

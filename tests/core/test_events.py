@@ -1,0 +1,89 @@
+"""Tests for the node/arc label taxonomy."""
+
+from repro.core.events import (
+    ARC_BEHAVIOR,
+    ARC_NN,
+    ARC_NP,
+    ARC_PN,
+    ARC_PP,
+    Behavior,
+    GenClass,
+    InKind,
+    arc_code,
+    gen_mask_name,
+    in_kind,
+    node_behavior,
+    node_class_name,
+)
+
+
+class TestArcLabels:
+    def test_arc_code_encoding(self):
+        assert arc_code(False, False) == ARC_NN
+        assert arc_code(False, True) == ARC_NP
+        assert arc_code(True, False) == ARC_PN
+        assert arc_code(True, True) == ARC_PP
+
+    def test_arc_behaviors_match_paper_fig2(self):
+        assert ARC_BEHAVIOR[ARC_NP] is Behavior.GENERATE
+        assert ARC_BEHAVIOR[ARC_PP] is Behavior.PROPAGATE
+        assert ARC_BEHAVIOR[ARC_PN] is Behavior.TERMINATE
+        assert ARC_BEHAVIOR[ARC_NN] is Behavior.UNPRED
+
+
+class TestNodeKinds:
+    def test_pure_kinds(self):
+        assert in_kind(True, False, False) is InKind.PP
+        assert in_kind(False, True, False) is InKind.NN
+        assert in_kind(False, False, True) is InKind.II
+
+    def test_mixed_kinds(self):
+        assert in_kind(True, False, True) is InKind.PI
+        assert in_kind(True, True, False) is InKind.PN
+        assert in_kind(False, True, True) is InKind.IN
+
+    def test_three_kind_folds_to_pn(self):
+        assert in_kind(True, True, True) is InKind.PN
+
+    def test_no_inputs_folds_to_ii(self):
+        assert in_kind(False, False, False) is InKind.II
+
+    def test_class_names(self):
+        assert node_class_name(InKind.II, True) == "i,i->p"
+        assert node_class_name(InKind.PN, False) == "p,n->n"
+        assert node_class_name(InKind.PI, True) == "p,i->p"
+
+
+class TestNodeBehavior:
+    def test_generation_requires_no_predicted_inputs(self):
+        assert node_behavior(InKind.II, True) is Behavior.GENERATE
+        assert node_behavior(InKind.NN, True) is Behavior.GENERATE
+        assert node_behavior(InKind.IN, True) is Behavior.GENERATE
+
+    def test_propagation_requires_predicted_input_and_output(self):
+        for kind in (InKind.PP, InKind.PI, InKind.PN):
+            assert node_behavior(kind, True) is Behavior.PROPAGATE
+
+    def test_termination(self):
+        for kind in (InKind.PP, InKind.PI, InKind.PN):
+            assert node_behavior(kind, False) is Behavior.TERMINATE
+
+    def test_unpredictability_propagation(self):
+        for kind in (InKind.NN, InKind.IN, InKind.II):
+            assert node_behavior(kind, False) is Behavior.UNPRED
+
+
+class TestGenMaskNames:
+    def test_single_classes(self):
+        assert gen_mask_name(1 << GenClass.C) == "C"
+        assert gen_mask_name(1 << GenClass.I) == "I"
+
+    def test_combination_order(self):
+        mask = (1 << GenClass.C) | (1 << GenClass.I)
+        assert gen_mask_name(mask) == "CI"
+
+    def test_empty(self):
+        assert gen_mask_name(0) == "-"
+
+    def test_all(self):
+        assert gen_mask_name(0b111111) == "CDWINM"

@@ -1,0 +1,85 @@
+"""Tests for DPG export (DOT and flat records)."""
+
+from itertools import islice
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import build_dpg
+from repro.core.export import to_dot, to_records
+from repro.cpu import Machine
+
+SOURCE = """
+        .data
+v:      .word 3
+        .text
+__start:
+        li   $s0, 0
+loop:   lw   $t0, v
+        addu $s0, $s0, $t0
+        slti $t1, $s0, 30
+        bne  $t1, $zero, loop
+        halt
+"""
+
+
+@pytest.fixture(scope="module")
+def graph():
+    machine = Machine(assemble(SOURCE))
+    return build_dpg(islice(machine.trace(), 60), predictor="stride")
+
+
+class TestDot:
+    def test_valid_structure(self, graph):
+        dot = to_dot(graph, title="demo")
+        assert dot.startswith("digraph dpg {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="demo"' in dot
+
+    def test_every_node_and_edge_rendered(self, graph):
+        import re
+
+        dot = to_dot(graph)
+        node_lines = re.findall(r"^  (?:n\d+|D_\w+) \[label=", dot,
+                                flags=re.M)
+        edge_lines = re.findall(r"^  (?:n\d+|D_\w+) -> ", dot, flags=re.M)
+        assert len(node_lines) == graph.number_of_nodes()
+        assert len(edge_lines) == graph.number_of_edges()
+
+    def test_d_nodes_rendered_specially(self, graph):
+        dot = to_dot(graph)
+        assert "D@0x" in dot
+        assert "khaki" in dot
+
+    def test_arc_labels_present(self, graph):
+        dot = to_dot(graph)
+        assert "<p,p>" in dot or "<n,p>" in dot
+
+
+class TestRecords:
+    def test_counts_match(self, graph):
+        nodes, edges = to_records(graph)
+        assert len(nodes) == graph.number_of_nodes()
+        assert len(edges) == graph.number_of_edges()
+
+    def test_json_serialisable(self, graph):
+        import json
+
+        nodes, edges = to_records(graph)
+        text = json.dumps({"nodes": nodes, "edges": edges})
+        assert "instruction" in text
+
+    def test_instruction_record_fields(self, graph):
+        nodes, __ = to_records(graph)
+        instr = next(n for n in nodes if n["type"] == "instruction")
+        assert {"uid", "pc", "op", "behavior", "class"} <= set(instr)
+
+    def test_edge_use_classes_exported(self, graph):
+        __, edges = to_records(graph)
+        uses = {edge["use"] for edge in edges}
+        assert "SINGLE" in uses or "REPEAT" in uses
+
+    def test_data_record(self, graph):
+        nodes, __ = to_records(graph)
+        data_nodes = [n for n in nodes if n["type"] == "data"]
+        assert data_nodes and all("key" in n for n in data_nodes)

@@ -1,0 +1,143 @@
+"""Tests for the path/tree tracker on hand-built dataflows."""
+
+from repro.core.events import GenClass, InKind
+from repro.core.paths import PathTracker
+
+
+def make_tracker(trees=True):
+    return PathTracker(track_trees=trees)
+
+
+class TestGenerateNodes:
+    def test_generate_node_counted_per_class(self):
+        tracker = make_tracker()
+        tracker.begin_node()
+        tracker.end_node(True, InKind.II)       # uid 0: generate (I)
+        tracker.finalize()
+        assert tracker.stats.gen_counts[GenClass.I] == 1
+        assert tracker.stats.propagate_elements == 0
+
+    def test_generate_node_classes(self):
+        tracker = make_tracker()
+        for kind, cls in (
+            (InKind.II, GenClass.I),
+            (InKind.NN, GenClass.N),
+            (InKind.IN, GenClass.M),
+        ):
+            tracker.begin_node()
+            tracker.end_node(True, kind)
+            assert tracker.stats.gen_counts[cls] >= 1
+
+
+class TestPropagationChain:
+    def build_chain(self, length):
+        """uid 0 generates; uids 1..length each consume the previous."""
+        tracker = make_tracker()
+        tracker.begin_node()
+        tracker.end_node(True, InKind.II)
+        for uid in range(1, length + 1):
+            tracker.begin_node()
+            tracker.feed_propagate_arc(uid - 1)
+            tracker.end_node(True, InKind.PP)
+        tracker.finalize()
+        return tracker
+
+    def test_chain_counts_arcs_and_nodes(self):
+        tracker = self.build_chain(3)
+        # 3 propagate arcs + 3 propagate nodes.
+        assert tracker.stats.propagate_elements == 6
+
+    def test_chain_depth(self):
+        tracker = self.build_chain(3)
+        # Longest path: arc(1) node(2) arc(3) node(4) arc(5) node(6).
+        assert dict(tracker.trees.depth_hist) == {6: 1}
+        assert tracker.trees.aggregate_propagation() == 6
+
+    def test_chain_influence_single_generate(self):
+        tracker = self.build_chain(4)
+        assert dict(tracker.trees.influence_hist) == {1: 8}
+
+    def test_distance_histogram(self):
+        tracker = self.build_chain(2)
+        # Elements at distances 1,2 (first arc+node) and 3,4.
+        assert dict(tracker.trees.distance_hist) == {1: 1, 2: 1, 3: 1, 4: 1}
+
+    def test_class_mask_propagates(self):
+        tracker = self.build_chain(5)
+        assert tracker.stats.class_counts[GenClass.I] == 10
+        assert tracker.stats.combo_counts[1 << GenClass.I] == 10
+
+
+class TestMergingTrees:
+    def test_two_generates_merge_at_node(self):
+        tracker = make_tracker()
+        tracker.begin_node()
+        tracker.end_node(True, InKind.II)       # uid 0: generate I
+        tracker.begin_node()
+        tracker.end_node(True, InKind.NN)       # uid 1: generate N
+        tracker.begin_node()
+        tracker.feed_propagate_arc(0)
+        tracker.feed_propagate_arc(1)
+        tracker.end_node(True, InKind.PP)       # uid 2: merge node
+        tracker.finalize()
+        stats = tracker.stats
+        # 2 arcs + 1 node propagate.
+        assert stats.propagate_elements == 3
+        # The merge node is influenced by both classes.
+        mask = (1 << GenClass.I) | (1 << GenClass.N)
+        assert stats.combo_counts[mask] == 1
+        assert dict(tracker.trees.influence_hist)[2] == 1
+        # Each generate's tree contains 2 elements (its arc + the node).
+        assert tracker.trees.agg_hist[2] == 2 * 2
+
+    def test_generate_arc_starts_tree(self):
+        tracker = make_tracker()
+        tracker.begin_node()
+        tracker.end_node(False, InKind.NN)      # uid 0: unpredictable value
+        tracker.begin_node()
+        tracker.feed_generate_arc(GenClass.C)   # <n,p> arc into uid 1
+        tracker.end_node(True, InKind.PP)       # uid 1 propagates
+        tracker.finalize()
+        assert tracker.stats.gen_counts[GenClass.C] == 1
+        assert tracker.stats.propagate_elements == 1   # just the node
+        assert dict(tracker.trees.depth_hist) == {1: 1}
+
+    def test_unpredicted_output_breaks_path(self):
+        tracker = make_tracker()
+        tracker.begin_node()
+        tracker.end_node(True, InKind.II)       # uid 0 generate
+        tracker.begin_node()
+        tracker.feed_propagate_arc(0)
+        tracker.end_node(False, InKind.PP)      # uid 1: terminate
+        tracker.begin_node()
+        # uid 1's value is not predictable: no propagate arc possible.
+        tracker.end_node(False, InKind.NN)
+        tracker.finalize()
+        # Only the arc into uid 1 propagated.
+        assert tracker.stats.propagate_elements == 1
+
+    def test_gen_cap_truncates(self):
+        tracker = PathTracker(track_trees=True, gen_cap=2)
+        for __ in range(4):
+            tracker.begin_node()
+            tracker.end_node(True, InKind.II)
+        tracker.begin_node()
+        for uid in range(4):
+            tracker.feed_propagate_arc(uid)
+        tracker.end_node(True, InKind.PP)
+        tracker.finalize()
+        assert tracker.trees.truncated >= 1
+
+
+class TestMaskOnlyMode:
+    def test_no_tree_stats(self):
+        tracker = PathTracker(track_trees=False)
+        tracker.begin_node()
+        tracker.end_node(True, InKind.II)
+        tracker.begin_node()
+        tracker.feed_propagate_arc(0)
+        tracker.end_node(True, InKind.PP)
+        tracker.finalize()
+        assert tracker.trees is None
+        assert tracker.stats.propagate_elements == 2
+        assert tracker.stats.class_counts[GenClass.I] == 2

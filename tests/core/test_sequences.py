@@ -1,0 +1,44 @@
+"""Tests for contiguous predictable-sequence tracking."""
+
+from repro.core.sequences import SequenceTracker
+
+
+def runs_of(flags):
+    tracker = SequenceTracker()
+    for flag in flags:
+        tracker.on_node(flag)
+    tracker.finalize()
+    return dict(tracker.stats.lengths)
+
+
+class TestSequenceTracker:
+    def test_single_run(self):
+        assert runs_of([True, True, True]) == {3: 1}
+
+    def test_run_broken_by_misprediction(self):
+        assert runs_of([True, True, False, True]) == {2: 1, 1: 1}
+
+    def test_no_runs(self):
+        assert runs_of([False, False]) == {}
+
+    def test_empty_trace(self):
+        assert runs_of([]) == {}
+
+    def test_multiple_equal_runs(self):
+        flags = [True, False, True, False, True]
+        assert runs_of(flags) == {1: 3}
+
+    def test_trailing_run_closed_by_finalize(self):
+        tracker = SequenceTracker()
+        for flag in [False, True, True]:
+            tracker.on_node(flag)
+        assert dict(tracker.stats.lengths) == {}
+        tracker.finalize()
+        assert dict(tracker.stats.lengths) == {2: 1}
+
+    def test_instruction_count(self):
+        tracker = SequenceTracker()
+        for flag in [True] * 5 + [False] + [True] * 3:
+            tracker.on_node(flag)
+        tracker.finalize()
+        assert tracker.stats.instructions_in_runs() == 8

@@ -1,0 +1,127 @@
+"""Unit tests for the result containers."""
+
+from repro.core.events import Behavior, InKind, UseClass
+from repro.core.stats import (
+    AnalysisResult,
+    ArcStats,
+    BranchStats,
+    NodeStats,
+    SequenceStats,
+    TreeStats,
+)
+
+
+class TestNodeStats:
+    def test_add_and_count(self):
+        stats = NodeStats()
+        stats.add(InKind.II, True)
+        stats.add(InKind.II, True)
+        stats.add(InKind.PN, False)
+        assert stats.count(InKind.II, True) == 2
+        assert stats.count(InKind.PN, False) == 1
+        assert stats.classified() == 3
+
+    def test_no_output_in_total(self):
+        stats = NodeStats()
+        stats.add(InKind.PP, True)
+        stats.no_output = 4
+        assert stats.total() == 5
+
+    def test_behavior_counts(self):
+        stats = NodeStats()
+        stats.add(InKind.II, True)   # generate
+        stats.add(InKind.PP, True)   # propagate
+        stats.add(InKind.PI, False)  # terminate
+        stats.add(InKind.NN, False)  # unpred
+        stats.no_output = 2
+        behaviors = stats.behavior_counts()
+        assert behaviors[Behavior.GENERATE] == 1
+        assert behaviors[Behavior.PROPAGATE] == 1
+        assert behaviors[Behavior.TERMINATE] == 1
+        assert behaviors[Behavior.UNPRED] == 1
+        assert behaviors[Behavior.OTHER] == 2
+
+    def test_by_class_name(self):
+        stats = NodeStats()
+        stats.add(InKind.IN, True)
+        names = stats.by_class_name()
+        assert names["i,n->p"] == 1
+        assert names["p,p->n"] == 0
+        assert len(names) == 12
+
+
+class TestArcStats:
+    def test_grid(self):
+        stats = ArcStats()
+        stats.add(UseClass.SINGLE, 3, count=2)
+        stats.add(UseClass.REPEAT, 1)
+        assert stats.count(UseClass.SINGLE, 3) == 2
+        assert stats.total() == 3
+        assert stats.xy_total(3) == 2
+        assert stats.xy_total(1) == 1
+
+    def test_by_class_name(self):
+        stats = ArcStats()
+        stats.add(UseClass.WRITE_ONCE, 1)
+        names = stats.by_class_name()
+        assert names["<wl:n,p>"] == 1
+        assert len(names) == 16
+
+    def test_behavior_counts(self):
+        stats = ArcStats()
+        stats.add(UseClass.SINGLE, 3)  # pp
+        stats.add(UseClass.DATA, 1)    # np
+        behaviors = stats.behavior_counts()
+        assert behaviors[Behavior.PROPAGATE] == 1
+        assert behaviors[Behavior.GENERATE] == 1
+
+
+class TestSequenceStats:
+    def test_instruction_count(self):
+        stats = SequenceStats()
+        stats.add_run(3)
+        stats.add_run(3)
+        stats.add_run(10)
+        assert stats.instructions_in_runs() == 16
+        assert stats.lengths[3] == 2
+
+    def test_zero_run_ignored(self):
+        stats = SequenceStats()
+        stats.add_run(0)
+        assert not stats.lengths
+
+
+class TestBranchStats:
+    def test_accuracy(self):
+        stats = BranchStats()
+        stats.add(InKind.PP, True)
+        stats.add(InKind.PP, True)
+        stats.add(InKind.PI, False)
+        stats.add(InKind.NN, True)
+        assert stats.total() == 4
+        assert stats.correct() == 3
+        assert stats.accuracy() == 0.75
+
+    def test_empty_accuracy(self):
+        assert BranchStats().accuracy() == 0.0
+
+
+class TestTreeStats:
+    def test_totals(self):
+        stats = TreeStats()
+        stats.depth_hist[2] = 3
+        stats.agg_hist[2] = 12
+        stats.influence_hist[1] = 9
+        assert stats.total_generates() == 3
+        assert stats.aggregate_propagation() == 12
+        assert stats.total_propagates() == 9
+
+
+class TestAnalysisResult:
+    def test_elements_and_ratio(self):
+        result = AnalysisResult(name="x", nodes=100, arcs=150)
+        assert result.elements == 250
+        assert result.edge_node_ratio() == 1.5
+
+    def test_zero_nodes(self):
+        assert AnalysisResult(name="x").edge_node_ratio() == 0.0

@@ -1,0 +1,100 @@
+"""Direct tests of the ALU semantic table, including floating point."""
+
+import pytest
+
+from repro.cpu.alu import ALU_FUNCS, BRANCH_FUNCS
+from repro.errors import SimError
+from repro.isa.layout import to_unsigned
+
+
+class TestIntegerOps:
+    def test_logical(self):
+        assert ALU_FUNCS["and"](0b1100, 0b1010) == 0b1000
+        assert ALU_FUNCS["or"](0b1100, 0b1010) == 0b1110
+        assert ALU_FUNCS["xor"](0b1100, 0b1010) == 0b0110
+        assert ALU_FUNCS["nor"](0, 0) == 0xFFFFFFFF
+
+    def test_lui(self):
+        assert ALU_FUNCS["lui"](0, 0x1234) == 0x12340000
+
+    def test_immediate_variants_match_register_forms(self):
+        for imm_op, reg_op in (("addiu", "addu"), ("andi", "and"),
+                               ("ori", "or"), ("xori", "xor")):
+            assert ALU_FUNCS[imm_op](100, 7) == ALU_FUNCS[reg_op](100, 7)
+
+    def test_slti_with_negative_immediate(self):
+        assert ALU_FUNCS["slti"](to_unsigned(-10), -5) == 1
+        assert ALU_FUNCS["slti"](3, -5) == 0
+
+    def test_sltiu_wraps_immediate(self):
+        # -1 as an unsigned comparand is 0xFFFFFFFF.
+        assert ALU_FUNCS["sltiu"](5, -1) == 1
+
+    def test_div_rem_edge_int_min(self):
+        int_min = 0x80000000
+        assert ALU_FUNCS["div"](int_min, to_unsigned(-1)) == int_min
+        assert ALU_FUNCS["rem"](int_min, to_unsigned(-1)) == 0
+
+    def test_rem_by_zero_raises(self):
+        with pytest.raises(SimError):
+            ALU_FUNCS["rem"](5, 0)
+        with pytest.raises(SimError):
+            ALU_FUNCS["remu"](5, 0)
+        with pytest.raises(SimError):
+            ALU_FUNCS["divu"](5, 0)
+
+
+class TestFloatOps:
+    def test_arithmetic(self):
+        assert ALU_FUNCS["add.d"](1.5, 0.25) == 1.75
+        assert ALU_FUNCS["sub.d"](1.5, 0.25) == 1.25
+        assert ALU_FUNCS["mul.d"](1.5, 4.0) == 6.0
+        assert ALU_FUNCS["div.d"](1.5, 0.5) == 3.0
+
+    def test_unary(self):
+        assert ALU_FUNCS["neg.d"](2.5, None) == -2.5
+        assert ALU_FUNCS["abs.d"](-2.5, None) == 2.5
+        assert ALU_FUNCS["mov.d"](2.5, None) == 2.5
+        assert ALU_FUNCS["sqrt.d"](9.0, None) == 3.0
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(SimError):
+            ALU_FUNCS["sqrt.d"](-1.0, None)
+
+    def test_float_division_by_zero_raises(self):
+        with pytest.raises(SimError):
+            ALU_FUNCS["div.d"](1.0, 0.0)
+
+    def test_comparisons(self):
+        assert ALU_FUNCS["fslt"](1.0, 2.0) == 1
+        assert ALU_FUNCS["fslt"](2.0, 1.0) == 0
+        assert ALU_FUNCS["fsle"](2.0, 2.0) == 1
+        assert ALU_FUNCS["fseq"](2.0, 2.0) == 1
+        assert ALU_FUNCS["fseq"](2.0, 2.1) == 0
+
+
+class TestConversions:
+    def test_itof_signed(self):
+        assert ALU_FUNCS["itof"](to_unsigned(-3), None) == -3.0
+        assert ALU_FUNCS["itof"](7, None) == 7.0
+
+    def test_ftoi_truncates_toward_zero(self):
+        assert ALU_FUNCS["ftoi"](2.9, None) == 2
+        assert ALU_FUNCS["ftoi"](-2.9, None) == to_unsigned(-2)
+
+    def test_ftoi_out_of_range_raises(self):
+        with pytest.raises(SimError):
+            ALU_FUNCS["ftoi"](float("inf"), None)
+        with pytest.raises(SimError):
+            ALU_FUNCS["ftoi"](1e30, None)
+
+
+class TestBranchFuncs:
+    def test_zero_forms(self):
+        minus_one = to_unsigned(-1)
+        assert BRANCH_FUNCS["bltz"](minus_one, 0)
+        assert not BRANCH_FUNCS["bltz"](0, 0)
+        assert BRANCH_FUNCS["blez"](0, 0)
+        assert BRANCH_FUNCS["bgez"](0, 0)
+        assert BRANCH_FUNCS["bgtz"](1, 0)
+        assert not BRANCH_FUNCS["bgtz"](minus_one, 0)

@@ -1,0 +1,203 @@
+"""Behavioural tests for the tracing machine."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cpu import Machine
+from repro.errors import SimError
+from repro.isa import Category
+from repro.isa.layout import INPUT_BASE, to_signed
+
+from tests.conftest import run_asm, trace_asm
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        machine = run_asm(
+            "li $t0, 0x7fffffff\naddiu $t0, $t0, 1\n"
+            "move $a0, $t0\nli $v0, 1\nsyscall\nhalt\n"
+        )
+        assert machine.output == str(-0x80000000)
+
+    def test_signed_division_truncates(self):
+        machine = run_asm(
+            "li $t0, -7\nli $t1, 2\ndiv $t2, $t0, $t1\n"
+            "move $a0, $t2\nli $v0, 1\nsyscall\nhalt\n"
+        )
+        assert machine.output == "-3"
+
+    def test_remainder_sign_follows_dividend(self):
+        machine = run_asm(
+            "li $t0, -7\nli $t1, 2\nrem $t2, $t0, $t1\n"
+            "move $a0, $t2\nli $v0, 1\nsyscall\nhalt\n"
+        )
+        assert machine.output == "-1"
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(SimError, match="division by zero"):
+            run_asm("li $t0, 1\nli $t1, 0\ndiv $t2, $t0, $t1\nhalt\n")
+
+    def test_sra_sign_extends(self):
+        machine = run_asm(
+            "li $t0, -8\nsra $t0, $t0, 1\n"
+            "move $a0, $t0\nli $v0, 1\nsyscall\nhalt\n"
+        )
+        assert machine.output == "-4"
+
+    def test_slt_signed_vs_sltu(self):
+        machine = run_asm(
+            "li $t0, -1\nli $t1, 1\n"
+            "slt $t2, $t0, $t1\nsltu $t3, $t0, $t1\n"
+            "move $a0, $t2\nli $v0, 1\nsyscall\n"
+            "move $a0, $t3\nli $v0, 1\nsyscall\nhalt\n"
+        )
+        assert machine.output == "10"
+
+    def test_mul_wraps(self):
+        machine = run_asm(
+            "li $t0, 0x10000\nmul $t1, $t0, $t0\n"
+            "move $a0, $t1\nli $v0, 1\nsyscall\nhalt\n"
+        )
+        assert machine.output == "0"
+
+
+class TestMemoryOps:
+    def test_word_round_trip(self):
+        machine = run_asm(
+            ".data\nbuf: .space 16\n.text\n"
+            "la $t0, buf\nli $t1, 12345\nsw $t1, 4($t0)\n"
+            "lw $a0, 4($t0)\nli $v0, 1\nsyscall\nhalt\n"
+        )
+        assert machine.output == "12345"
+
+    def test_byte_ops_and_sign_extension(self):
+        machine = run_asm(
+            ".data\nbuf: .space 4\n.text\n"
+            "la $t0, buf\nli $t1, 0xFF\nsb $t1, 0($t0)\n"
+            "lb $a0, 0($t0)\nli $v0, 1\nsyscall\n"
+            "lbu $a0, 0($t0)\nli $v0, 1\nsyscall\nhalt\n"
+        )
+        assert machine.output == "-1255"
+
+    def test_float_round_trip(self):
+        machine = run_asm(
+            ".data\nval: .double 3.25\n.text\n"
+            "l.d $f12, val\nli $v0, 3\nsyscall\nhalt\n"
+        )
+        assert machine.output == "3.25"
+
+    def test_static_data_loaded(self):
+        machine = run_asm(
+            ".data\nx: .word 99\n.text\n"
+            "lw $a0, x\nli $v0, 1\nsyscall\nhalt\n"
+        )
+        assert machine.output == "99"
+
+    def test_input_words_visible(self):
+        machine = run_asm(
+            f"li $t0, {INPUT_BASE}\nlw $a0, 8($t0)\n"
+            "li $v0, 1\nsyscall\nhalt\n",
+            input_words=[7, 8, 9],
+        )
+        assert machine.output == "9"
+
+
+class TestControlFlow:
+    def test_loop_and_exit_code(self):
+        machine = run_asm(
+            "li $t0, 0\nli $t1, 0\n"
+            "loop: addu $t1, $t1, $t0\naddiu $t0, $t0, 1\n"
+            "slti $t2, $t0, 5\nbne $t2, $zero, loop\n"
+            "move $a0, $t1\nli $v0, 10\nsyscall\n"
+        )
+        assert machine.exit_code == 10  # 0+1+2+3+4
+
+    def test_call_and_return(self):
+        machine = run_asm(
+            "__start: jal double\nmove $a0, $v0\nli $v0, 1\nsyscall\nhalt\n"
+            "double: li $v0, 21\nsll $v0, $v0, 1\njr $ra\n"
+        )
+        assert machine.output == "42"
+
+    def test_return_to_sentinel_halts(self):
+        # main without explicit halt returns to the sentinel $ra.
+        machine = run_asm("main: li $v0, 7\njr $ra\n")
+        assert machine.halted
+
+    def test_instruction_limit(self):
+        with pytest.raises(SimError, match="instruction limit"):
+            run_asm("x: b x\n", max_instructions=100)
+
+    def test_bad_indirect_target(self):
+        with pytest.raises(SimError, match="bad target"):
+            run_asm("li $t0, 12345\njr $t0\n")
+
+
+class TestTraceRecords:
+    def test_uids_sequential(self):
+        __, records = trace_asm("li $t0, 1\nli $t1, 2\nhalt\n")
+        assert [dyn.uid for dyn in records] == [0, 1, 2]
+
+    def test_alu_sources_carry_producers(self):
+        __, records = trace_asm(
+            "li $t0, 5\nli $t1, 6\naddu $t2, $t0, $t1\nhalt\n"
+        )
+        add = records[2]
+        assert [src.producer for src in add.srcs] == [0, 1]
+        assert [src.value for src in add.srcs] == [5, 6]
+        assert add.out == 11
+
+    def test_zero_register_reads_are_immediates(self):
+        __, records = trace_asm("addu $t0, $zero, $zero\nhalt\n")
+        node = records[0]
+        assert node.srcs == ()
+        assert node.has_imm
+
+    def test_load_has_memory_source(self):
+        __, records = trace_asm(
+            ".data\nv: .word 7\n.text\n"
+            "la $t0, v\nlw $t1, 0($t0)\nhalt\n"
+        )
+        load = records[2]
+        assert load.category is Category.LOAD
+        mem = load.srcs[-1]
+        assert mem.is_mem and mem.producer is None  # static data = D
+        assert load.passthrough == len(load.srcs) - 1
+        assert load.out == 7
+
+    def test_store_load_dependence(self):
+        __, records = trace_asm(
+            ".data\nbuf: .space 4\n.text\n"
+            "la $t0, buf\nli $t1, 3\nsw $t1, 0($t0)\nlw $t2, 0($t0)\nhalt\n"
+        )
+        store = records[3]
+        load = records[4]
+        assert store.category is Category.STORE
+        assert load.srcs[-1].producer == store.uid
+
+    def test_branch_taken_flag(self):
+        __, records = trace_asm(
+            "li $t0, 1\nbne $t0, $zero, skip\nnop\nskip: halt\n"
+        )
+        branch = records[1]
+        assert branch.is_branch and branch.taken is True
+        assert branch.out is None
+
+    def test_static_counts(self):
+        machine, __ = trace_asm(
+            "li $t0, 0\nloop: addiu $t0, $t0, 1\nslti $t1, $t0, 3\n"
+            "bne $t1, $zero, loop\nhalt\n"
+        )
+        assert machine.static_counts[1] == 3
+        assert machine.static_counts[0] == 1
+
+    def test_syscall_consumes_inputs(self):
+        __, records = trace_asm("li $a0, 3\nli $v0, 1\nsyscall\nhalt\n")
+        syscall = records[2]
+        assert len(syscall.srcs) == 2  # $v0 then $a0
+        values = [src.value for src in syscall.srcs]
+        assert values == [1, 3]
+
+    def test_output_to_signed(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x7FFFFFFF) == 0x7FFFFFFF

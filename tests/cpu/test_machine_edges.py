@@ -1,0 +1,138 @@
+"""Edge-case tests for the machine: halfwords, jalr, syscalls, listings."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cpu import Machine
+from repro.errors import SimError
+
+from tests.conftest import run_asm, trace_asm
+
+
+class TestHalfwordOps:
+    def test_lh_sign_extends(self):
+        machine = run_asm(
+            ".data\nbuf: .space 4\n.text\n"
+            "la $t0, buf\nli $t1, 0x8000\nsh $t1, 0($t0)\n"
+            "lh $a0, 0($t0)\nli $v0, 1\nsyscall\nhalt\n"
+        )
+        assert machine.output == str(-0x8000)
+
+    def test_lhu_zero_extends(self):
+        machine = run_asm(
+            ".data\nbuf: .space 4\n.text\n"
+            "la $t0, buf\nli $t1, 0x8000\nsh $t1, 0($t0)\n"
+            "lhu $a0, 0($t0)\nli $v0, 1\nsyscall\nhalt\n"
+        )
+        assert machine.output == str(0x8000)
+
+    def test_half_data_directive(self):
+        machine = run_asm(
+            ".data\nh: .half 0x1234, 0x5678\n.text\n"
+            "la $t0, h\nlhu $a0, 2($t0)\nli $v0, 1\nsyscall\nhalt\n"
+        )
+        assert machine.output == str(0x5678)
+
+
+class TestIndirectJumps:
+    def test_jalr_calls_and_links(self):
+        machine = run_asm(
+            "__start:\n"
+            "        la $t0, target\n"
+            "        jalr $t0\n"
+            "        move $a0, $v0\nli $v0, 1\nsyscall\nhalt\n"
+            "target: li $v0, 55\n"
+            "        jr $ra\n"
+        )
+        assert machine.output == "55"
+
+    def test_jump_table_via_jr(self):
+        machine = run_asm(
+            "__start:\n"
+            "        li $t0, 1\n"              # select case 1
+            "        la $t1, table\n"
+            "        sll $t0, $t0, 2\n"
+            "        addu $t1, $t1, $t0\n"
+            "        lw $t2, 0($t1)\n"
+            "        jr $t2\n"
+            "case0:  li $a0, 100\n        b print\n"
+            "case1:  li $a0, 200\n        b print\n"
+            "print:  li $v0, 1\nsyscall\nhalt\n"
+            "        .data\n"
+            "table:  .word case0, case1\n"
+        )
+        assert machine.output == "200"
+
+    def test_jr_passthrough_in_trace(self):
+        __, records = trace_asm(
+            "__start: la $t0, done\njr $t0\nnop\ndone: halt\n"
+        )
+        jr = next(dyn for dyn in records if dyn.op == "jr")
+        assert jr.passthrough == 0
+        assert jr.out == jr.srcs[0].value
+
+
+class TestSyscalls:
+    def test_unknown_syscall_code_raises(self):
+        with pytest.raises(SimError, match="unknown syscall"):
+            run_asm("li $v0, 99\nsyscall\nhalt\n")
+
+    def test_print_float_formatting(self):
+        machine = run_asm(
+            ".data\nx: .double 0.5\n.text\n"
+            "l.d $f12, x\nli $v0, 3\nsyscall\nhalt\n"
+        )
+        assert machine.output == "0.5"
+
+    def test_exit_code_propagates(self):
+        machine = run_asm("li $a0, -7\nli $v0, 10\nsyscall\n")
+        assert machine.exit_code == -7
+
+    def test_trace_after_disabled_tracing_raises(self):
+        machine = Machine(assemble("halt"), tracing=False)
+        with pytest.raises(SimError, match="tracing disabled"):
+            list(machine.trace())
+
+
+class TestProgramListing:
+    def test_listing_shows_labels_and_indices(self):
+        program = assemble("main: addiu $t0, $zero, 1\nloop: b loop\n")
+        listing = program.listing()
+        assert "main:" in listing
+        assert "loop:" in listing
+        assert "addiu" in listing
+
+    def test_render_covers_formats(self):
+        program = assemble(
+            ".data\nv: .word 0\n.text\n"
+            "addu $t0, $t1, $t2\n"
+            "lw $t0, 4($sp)\n"
+            "sw $t0, 4($sp)\n"
+            "x: beq $t0, $t1, x\n"
+            "jal x\n"
+            "jr $ra\n"
+            "add.d $f0, $f2, $f4\n"
+            "nop\n"
+        )
+        rendered = [instr.render() for instr in program.instructions]
+        assert "addu $t0, $t1, $t2" in rendered
+        assert "lw $t0, 4($sp)" in rendered
+        assert "sw $t0, 4($sp)" in rendered
+        assert any(text.startswith("beq") for text in rendered)
+        assert "nop" in rendered
+
+
+class TestMachineResult:
+    def test_result_snapshot(self):
+        machine = Machine(assemble("li $a0, 1\nli $v0, 1\nsyscall\nhalt\n"),
+                          tracing=False)
+        result = machine.run()
+        assert result.halted
+        assert result.output == "1"
+        assert result.instructions == 4
+
+    def test_run_program_helper(self):
+        from repro.cpu import run_program
+
+        result = run_program(assemble("li $a0, 3\nli $v0, 10\nsyscall\n"))
+        assert result.exit_code == 3

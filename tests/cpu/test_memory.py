@@ -1,0 +1,104 @@
+"""Unit tests for the sparse memory model."""
+
+import pytest
+
+from repro.cpu import Memory
+from repro.errors import SimError
+
+
+class TestWordAccess:
+    def test_uninitialised_reads_zero(self):
+        assert Memory().read_word(0x1000) == 0
+
+    def test_round_trip(self):
+        memory = Memory()
+        memory.write_word(0x1000, 0xDEADBEEF)
+        assert memory.read_word(0x1000) == 0xDEADBEEF
+
+    def test_write_masks_to_32_bits(self):
+        memory = Memory()
+        memory.write_word(0x1000, 0x1_0000_0001)
+        assert memory.read_word(0x1000) == 1
+
+    def test_unaligned_word_raises(self):
+        memory = Memory()
+        with pytest.raises(SimError, match="unaligned"):
+            memory.read_word(0x1002)
+        with pytest.raises(SimError, match="unaligned"):
+            memory.write_word(0x1001, 5)
+
+
+class TestByteAccess:
+    def test_bytes_within_word(self):
+        memory = Memory()
+        for offset, value in enumerate((0x11, 0x22, 0x33, 0x44)):
+            memory.write_byte(0x2000 + offset, value)
+        assert memory.read_word(0x2000) == 0x44332211
+        for offset, value in enumerate((0x11, 0x22, 0x33, 0x44)):
+            assert memory.read_byte(0x2000 + offset) == value
+
+    def test_byte_write_preserves_neighbours(self):
+        memory = Memory()
+        memory.write_word(0x2000, 0xAABBCCDD)
+        memory.write_byte(0x2001, 0x00)
+        assert memory.read_word(0x2000) == 0xAABB00DD
+
+    def test_byte_value_masked(self):
+        memory = Memory()
+        memory.write_byte(0x2000, 0x1FF)
+        assert memory.read_byte(0x2000) == 0xFF
+
+
+class TestHalfAccess:
+    def test_half_round_trip(self):
+        memory = Memory()
+        memory.write_half(0x2000, 0xBEEF)
+        memory.write_half(0x2002, 0xDEAD)
+        assert memory.read_half(0x2000) == 0xBEEF
+        assert memory.read_word(0x2000) == 0xDEADBEEF
+
+    def test_unaligned_half_raises(self):
+        with pytest.raises(SimError, match="unaligned"):
+            Memory().read_half(0x2001)
+
+
+class TestFloatAccess:
+    def test_float_round_trip(self):
+        memory = Memory()
+        memory.write_float(0x3000, 2.5)
+        assert memory.read_float(0x3000) == 2.5
+
+    def test_uninitialised_float_is_zero(self):
+        assert Memory().read_float(0x3000) == 0.0
+
+    def test_unaligned_float_raises(self):
+        with pytest.raises(SimError, match="unaligned"):
+            Memory().write_float(0x3004, 1.0)
+
+
+class TestProducers:
+    def test_no_producer_initially(self):
+        assert Memory().producer(0x1000) is None
+
+    def test_producer_tracks_last_store(self):
+        memory = Memory()
+        memory.set_producer(0x1000, 5, 2)
+        memory.set_producer(0x1000, 9, 3)
+        assert memory.producer(0x1000) == (9, 3)
+
+    def test_producer_word_granularity(self):
+        memory = Memory()
+        memory.set_producer(0x1001, 5, 2)
+        assert memory.producer(0x1000) == (5, 2)
+        assert memory.producer(0x1003) == (5, 2)
+
+    def test_float_producer_separate_key(self):
+        memory = Memory()
+        memory.set_float_producer(0x3000, 7, 1)
+        assert memory.float_producer(0x3000) == (7, 1)
+
+    def test_footprint(self):
+        memory = Memory()
+        memory.write_word(0x1000, 1)
+        memory.write_float(0x3000, 1.0)
+        assert memory.footprint() == 2

@@ -1,0 +1,86 @@
+"""Tests for the synthetic input generators."""
+
+from repro.workloads import inputs
+
+
+class TestRng:
+    def test_deterministic(self):
+        a = inputs.Rng(42)
+        b = inputs.Rng(42)
+        assert [a.next_u32() for __ in range(10)] == [
+            b.next_u32() for __ in range(10)
+        ]
+
+    def test_seeds_differ(self):
+        a = [inputs.Rng(1).next_u32() for __ in range(5)]
+        b = [inputs.Rng(2).next_u32() for __ in range(5)]
+        assert a != b
+
+    def test_below_in_range(self):
+        rng = inputs.Rng(7)
+        for __ in range(1000):
+            assert 0 <= rng.below(10) < 10
+
+    def test_word_in_range(self):
+        rng = inputs.Rng(7)
+        for __ in range(1000):
+            assert -5 <= rng.word(-5, 5) <= 5
+
+    def test_unit_float_in_range(self):
+        rng = inputs.Rng(7)
+        for __ in range(1000):
+            assert 0.0 <= rng.unit_float() < 1.0
+
+
+class TestGenerators:
+    def test_words(self):
+        values = inputs.words(100, 10, 20, seed=1)
+        assert len(values) == 100
+        assert all(10 <= v <= 20 for v in values)
+
+    def test_bytes_with_runs_has_repeats(self):
+        stream = inputs.bytes_with_runs(2000, 64, 5, seed=3)
+        assert all(0 <= b < 64 for b in stream)
+        repeats = sum(
+            1 for a, b in zip(stream, stream[1:]) if a == b
+        )
+        # run_bias 5/8 makes repeats common — that's what makes the
+        # stream compressible.
+        assert repeats > 500
+
+    def test_floats_range(self):
+        values = inputs.floats(100, -1.0, 1.0, seed=4)
+        assert all(-1.0 <= v < 1.0 for v in values)
+
+    def test_board_stone_count(self):
+        cells = inputs.board(19, 50, seed=5)
+        assert len(cells) == 361
+        assert sum(1 for c in cells if c) == 50
+        assert set(cells) <= {0, 1, 2}
+
+    def test_board_alternates_colours(self):
+        cells = inputs.board(19, 50, seed=5)
+        blacks = sum(1 for c in cells if c == 1)
+        whites = sum(1 for c in cells if c == 2)
+        assert abs(blacks - whites) <= 1
+
+    def test_tiny_isa_program_encoding(self):
+        program = inputs.tiny_isa_program(200, seed=6)
+        for index, insn in enumerate(program):
+            opcode = (insn >> 16) & 7
+            imm = insn & 255
+            assert 0 <= opcode < 8
+            if opcode == 6:  # backward branches stay in range
+                assert imm <= max(index, 1)
+
+    def test_perl_text_is_printable(self):
+        text = inputs.perl_text(500, seed=7)
+        assert len(text) == 500
+        allowed = set(range(ord("a"), ord("z") + 1)) | {ord(";"), ord(" ")}
+        assert set(text) <= allowed
+
+    def test_packed_transactions(self):
+        stream = inputs.packed_transactions(100, 256, seed=8)
+        for packed in stream:
+            assert 0 <= (packed & 0xFFFF) < 256
+            assert 0 <= (packed >> 16) < 4

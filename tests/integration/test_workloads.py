@@ -1,0 +1,104 @@
+"""Integration tests for the SPEC95-analogue workload suite."""
+
+import pytest
+
+from repro.workloads import (
+    SUITE,
+    float_workloads,
+    get_workload,
+    integer_workloads,
+)
+
+#: Expected program output per workload at scale 1.  These pin down
+#: the *semantics* of every workload: an accidental change to the
+#: compiler, assembler, machine or input generators that alters any
+#: computed result fails here.
+GOLDEN_OUTPUTS = {
+    "com": "1370 1626 29290",
+    "gcc": "3 672",
+    "go": "720 4811",
+    "ijp": "8784",
+    "per": "101 597 26870",
+    "m88": "8000 2648 2647 34218",
+    "vor": "1221 83 78 988",
+    "xli": "564596 4800",
+    "app": "22.3541",
+    "fpp": "2.98259 2.23694",
+    "mgr": "19.6079",
+    "swm": "33793.1 1.36657",
+}
+
+
+class TestSuiteStructure:
+    def test_twelve_workloads(self):
+        assert len(SUITE) == 12
+
+    def test_eight_integer_four_float(self):
+        assert len(integer_workloads()) == 8
+        assert len(float_workloads()) == 4
+
+    def test_names_unique(self):
+        names = [w.name for w in SUITE]
+        assert len(set(names)) == len(names)
+
+    def test_lookup_by_both_names(self):
+        assert get_workload("com") is get_workload("129.compress")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("nope")
+
+    def test_sources_exist(self):
+        for workload in SUITE:
+            assert workload.source_path.exists(), workload.name
+            assert len(workload.source()) > 200
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_OUTPUTS))
+def test_golden_output(name):
+    workload = get_workload(name)
+    machine = workload.machine(scale=1, tracing=False)
+    result = machine.run()
+    assert result.halted
+    assert result.output.strip() == GOLDEN_OUTPUTS[name]
+
+
+@pytest.mark.parametrize("name", [w.name for w in SUITE])
+def test_determinism(name):
+    workload = get_workload(name)
+    first = [
+        (dyn.pc, dyn.out)
+        for __, dyn in zip(range(2000), workload.machine().trace())
+    ]
+    second = [
+        (dyn.pc, dyn.out)
+        for __, dyn in zip(range(2000), workload.machine().trace())
+    ]
+    assert first == second
+
+
+@pytest.mark.parametrize("name", ["com", "swm"])
+def test_scale_grows_work(name):
+    workload = get_workload(name)
+    small = workload.machine(scale=1, tracing=False)
+    small.run()
+    big = workload.machine(scale=2, tracing=False)
+    big.run()
+    assert big.uid > small.uid * 1.4
+
+
+def test_fp_workloads_touch_fp_inputs():
+    for workload in float_workloads():
+        words, floats = workload.make_inputs(1)
+        assert floats, workload.name
+
+
+def test_int_workloads_have_word_inputs():
+    for workload in integer_workloads():
+        words, floats = workload.make_inputs(1)
+        assert words, workload.name
+
+
+def test_gcc_inputs_use_paper_masks():
+    words, __ = get_workload("gcc").make_inputs(1)
+    assert 0x8000BFFF in words and 0xFFFFFFF0 in words

@@ -1,0 +1,55 @@
+"""Tests for the decoded instruction record."""
+
+from repro.isa import Category, Instruction
+
+
+class TestInstruction:
+    def test_sources_in_operand_order(self):
+        instr = Instruction("addu", dest=8, src1=9, src2=10)
+        assert instr.sources() == (9, 10)
+
+    def test_sources_single(self):
+        instr = Instruction("jr", src1=31)
+        assert instr.sources() == (31,)
+
+    def test_sources_empty(self):
+        assert Instruction("nop").sources() == ()
+
+    def test_spec_and_category(self):
+        instr = Instruction("lw", dest=8, src1=29, imm=4)
+        assert instr.category is Category.LOAD
+        assert instr.spec.uses_imm
+
+    def test_render_alu(self):
+        instr = Instruction("addu", dest=8, src1=9, src2=10)
+        assert instr.render() == "addu $t0, $t1, $t2"
+
+    def test_render_load_store(self):
+        load = Instruction("lw", dest=8, src1=29, imm=4)
+        assert load.render() == "lw $t0, 4($sp)"
+        store = Instruction("sw", src1=29, src2=8, imm=-8)
+        assert store.render() == "sw $t0, -8($sp)"
+
+    def test_render_branch_with_target(self):
+        instr = Instruction("beq", src1=8, src2=0, target=7)
+        assert instr.render() == "beq $t0, $zero, @7"
+
+    def test_render_immediate(self):
+        instr = Instruction("addiu", dest=8, src1=9, imm=-5)
+        assert instr.render() == "addiu $t0, $t1, -5"
+
+    def test_render_bare(self):
+        assert Instruction("halt").render() == "halt"
+
+    def test_equality_ignores_text(self):
+        a = Instruction("addu", dest=8, src1=9, src2=10, text="one")
+        b = Instruction("addu", dest=8, src1=9, src2=10, text="two")
+        assert a == b
+
+    def test_frozen(self):
+        import pytest
+        from dataclasses import FrozenInstanceError
+
+        instr = Instruction("nop")
+        with pytest.raises(FrozenInstanceError):
+            instr.op = "halt"

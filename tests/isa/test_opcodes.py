@@ -1,0 +1,58 @@
+"""Tests for the opcode table."""
+
+import pytest
+
+from repro.isa import Category, OPCODES, opcode_spec
+from repro.isa.opcodes import Format
+
+
+class TestOpcodeTable:
+    def test_all_specs_consistent(self):
+        for name, spec in OPCODES.items():
+            assert spec.name == name
+
+    def test_categories(self):
+        assert opcode_spec("addu").category is Category.ALU
+        assert opcode_spec("lw").category is Category.LOAD
+        assert opcode_spec("sw").category is Category.STORE
+        assert opcode_spec("beq").category is Category.BRANCH
+        assert opcode_spec("j").category is Category.JUMP
+        assert opcode_spec("jal").category is Category.CALL
+        assert opcode_spec("jr").category is Category.JUMP_REG
+        assert opcode_spec("syscall").category is Category.SYSCALL
+        assert opcode_spec("nop").category is Category.NOP
+
+    def test_stores_write_no_dest(self):
+        for name in ("sw", "sb", "sh", "s.d"):
+            assert not opcode_spec(name).writes_dest
+
+    def test_loads_write_dest(self):
+        for name in ("lw", "lb", "lbu", "lh", "lhu", "l.d"):
+            assert opcode_spec(name).writes_dest
+
+    def test_immediate_ops_flagged(self):
+        for name in ("addiu", "andi", "sll", "lui", "lw", "sw"):
+            assert opcode_spec(name).uses_imm
+        for name in ("addu", "and", "sllv", "beq", "jr"):
+            assert not opcode_spec(name).uses_imm
+
+    def test_unknown_opcode(self):
+        with pytest.raises(KeyError):
+            opcode_spec("bogus")
+
+    def test_fp_formats(self):
+        assert opcode_spec("add.d").fmt is Format.FRRR
+        assert opcode_spec("neg.d").fmt is Format.FRR
+        assert opcode_spec("fslt").fmt is Format.FCMP
+        assert opcode_spec("itof").fmt is Format.ITOF
+        assert opcode_spec("ftoi").fmt is Format.FTOI
+        assert opcode_spec("l.d").fmt is Format.FMEM
+
+    def test_branch_coverage(self):
+        branches = [
+            name for name, spec in OPCODES.items()
+            if spec.category is Category.BRANCH
+        ]
+        assert sorted(branches) == [
+            "beq", "bgez", "bgtz", "blez", "bltz", "bne",
+        ]

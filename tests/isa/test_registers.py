@@ -1,0 +1,70 @@
+"""Tests for register naming and numbering."""
+
+import pytest
+
+from repro.isa import (
+    FP_REG_BASE,
+    NUM_REGS,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    fp_reg,
+    is_fp_reg,
+    register_name,
+    register_number,
+)
+
+
+class TestRegisterNumber:
+    def test_symbolic_names(self):
+        assert register_number("$zero") == REG_ZERO
+        assert register_number("$sp") == REG_SP
+        assert register_number("$ra") == REG_RA
+        assert register_number("$t0") == 8
+        assert register_number("$s0") == 16
+
+    def test_numeric_aliases(self):
+        for number in range(32):
+            assert register_number(f"${number}") == number
+
+    def test_fp_registers(self):
+        assert register_number("$f0") == FP_REG_BASE
+        assert register_number("$f31") == FP_REG_BASE + 31
+
+    def test_without_dollar(self):
+        assert register_number("t0") == 8
+
+    def test_invalid_raises(self):
+        with pytest.raises(KeyError):
+            register_number("$t99")
+        with pytest.raises(KeyError):
+            register_number("$f32")
+
+
+class TestRegisterName:
+    def test_round_trip_all(self):
+        for number in range(NUM_REGS):
+            assert register_number(register_name(number)) == number
+
+    def test_fp_format(self):
+        assert register_name(FP_REG_BASE + 4) == "$f4"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            register_name(NUM_REGS)
+        with pytest.raises(ValueError):
+            register_name(-1)
+
+
+class TestFpHelpers:
+    def test_is_fp_reg(self):
+        assert not is_fp_reg(31)
+        assert is_fp_reg(32)
+        assert is_fp_reg(63)
+        assert not is_fp_reg(64)
+
+    def test_fp_reg(self):
+        assert fp_reg(0) == FP_REG_BASE
+        assert fp_reg(12) == FP_REG_BASE + 12
+        with pytest.raises(ValueError):
+            fp_reg(32)

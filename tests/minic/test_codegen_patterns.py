@@ -1,0 +1,183 @@
+"""Tests for the *shape* of generated code.
+
+The predictability statistics depend on the code having the idioms of
+optimised compiler output; these tests pin those idioms down at the
+assembly level.
+"""
+
+import re
+
+import pytest
+
+from repro.minic import compile_source
+
+
+def asm_for(source: str) -> str:
+    return compile_source(source)
+
+
+def body_of(asm: str, func: str) -> str:
+    """Extract the lines of one function from the module text."""
+    lines = asm.splitlines()
+    start = lines.index(f"{func}:")
+    out = []
+    for line in lines[start + 1:]:
+        if line and not line.startswith((" ", "\t", f".{func}")):
+            break
+        out.append(line)
+    return "\n".join(out)
+
+
+class TestImmediateFolding:
+    def test_add_constant_uses_addiu(self):
+        asm = asm_for("int main() { int x = 5; return x + 3; }")
+        assert "addiu" in asm
+        # No li for the 3: it folded into the add.
+        assert not re.search(r"li \$\w+, 3\b", asm)
+
+    def test_subtract_constant_negates(self):
+        asm = asm_for("int main() { int x = 5; return x - 3; }")
+        assert re.search(r"addiu \$\w+, \$\w+, -3", asm)
+
+    def test_and_constant_uses_andi(self):
+        asm = asm_for("int main() { int x = 255; return x & 15; }")
+        assert "andi" in asm
+
+    def test_shift_by_constant(self):
+        asm = asm_for("int main() { int x = 4; return x << 3; }")
+        assert re.search(r"sll \$\w+, \$\w+, 3", asm)
+
+    def test_multiply_by_power_of_two_becomes_shift(self):
+        asm = asm_for("int main() { int x = 4; return x * 8; }")
+        assert re.search(r"sll \$\w+, \$\w+, 3", asm)
+        assert "mul" not in asm
+
+    def test_multiply_by_non_power_stays_mul(self):
+        asm = asm_for("int main() { int x = 4; return x * 7; }")
+        assert "mul" in asm
+
+    def test_compare_with_small_constant_uses_slti(self):
+        asm = asm_for("int main() { int x = 4; return x < 10; }")
+        assert re.search(r"slti \$\w+, \$\w+, 10", asm)
+
+
+class TestBranchFusion:
+    def test_equality_condition_fuses_to_two_register_branch(self):
+        # `if (a == b)` branches on false, so the fused form is bne.
+        asm = asm_for(
+            "int main() { int a = 1; int b = 2; "
+            "if (a == b) return 1; return 0; }"
+        )
+        assert re.search(r"bne \$s\d, \$s\d, ", asm)
+        assert "xor" not in body_of(asm, "main")
+
+    def test_inequality_condition_fuses_to_bne(self):
+        asm = asm_for(
+            "int main() { int a = 1; int b = 2; "
+            "while (a != b) a++; return a; }"
+        )
+        assert re.search(r"bne \$s\d, \$s\d, ", asm)
+
+    def test_compare_to_zero_uses_zero_register(self):
+        asm = asm_for(
+            "int main() { int a = 3; if (a == 0) return 1; return 0; }"
+        )
+        assert re.search(r"bne \$s\d, \$zero, ", asm)
+        assert not re.search(r"li \$\w+, 0\b", body_of(asm, "main").split(
+            "bne")[0])
+
+    def test_materialised_equality_outside_conditions(self):
+        asm = asm_for(
+            "int main() { int a = 1; int eq = (a == 2); return eq; }"
+        )
+        assert "sltiu" in asm  # value form still materialises
+
+
+class TestLoopShape:
+    def test_while_is_bottom_tested(self):
+        asm = body_of(asm_for(
+            "int main() { int i = 0; while (i < 5) i++; return i; }"
+        ), "main")
+        lines = [line.strip() for line in asm.splitlines() if line.strip()]
+        # The conditional branch back to the body comes after the body.
+        branch_indices = [
+            index for index, line in enumerate(lines)
+            if line.startswith("bne") or line.startswith("beq")
+        ]
+        body_index = next(
+            index for index, line in enumerate(lines) if "addiu" in line
+        )
+        assert any(index > body_index for index in branch_indices)
+
+    def test_for_loop_structure(self):
+        asm = asm_for(
+            "int main() { int i; int s = 0; "
+            "for (i = 0; i < 8; i++) s += i; return s; }"
+        )
+        assert ".main_fcond" in asm and ".main_fbody" in asm
+
+
+class TestRegisterDiscipline:
+    def test_scalars_in_callee_saved_registers(self):
+        asm = body_of(asm_for(
+            "int main() { int a = 1; int b = 2; return a + b; }"
+        ), "main")
+        assert "$s0" in asm and "$s1" in asm
+        # No frame traffic for the scalars beyond the save area.
+        assert "($fp)" not in asm
+
+    def test_prologue_saves_used_registers(self):
+        asm = body_of(asm_for(
+            "int helper() { int a = 1; return a; } "
+            "int main() { return helper(); }"
+        ), "helper")
+        assert re.search(r"sw \$s0, \d+\(\$sp\)", asm)
+        assert re.search(r"lw \$s0, \d+\(\$sp\)", asm)
+
+    def test_promoted_global_address_loaded_once(self):
+        source = (
+            "int tab[64]; int main() { int i; int s = 0; "
+            "for (i = 0; i < 64; i++) s += tab[i]; return s; }"
+        )
+        asm = body_of(asm_for(source), "main")
+        # la of the table appears exactly once (in the prologue)...
+        assert len(re.findall(r"la \$s\d, g_tab", asm)) == 1
+        # ...and the loop body never re-materialises it.
+        assert "lui" not in asm.split("fbody")[-1].split("fcond")[0]
+
+    def test_call_spills_live_temporaries(self):
+        asm = body_of(asm_for(
+            "int g(int x) { return x; } "
+            "int main() { return 1 + g(2) + g(3); }"
+        ), "main")
+        assert re.search(r"sw \$t\d+, \d+\(\$sp\)", asm)
+
+    def test_float_constant_promoted(self):
+        source = (
+            "float acc; int main() { int i; "
+            "for (i = 0; i < 9; i++) acc = acc * 0.5 + 0.5; return 0; }"
+        )
+        asm = body_of(asm_for(source), "main")
+        # 0.5 is loaded into an $f2x register once, not l.d'd per use.
+        assert re.search(r"l\.d \$f2\d, \.fc\d", asm)
+
+
+class TestModuleLayout:
+    def test_startup_stub(self):
+        asm = asm_for("int main() { return 0; }")
+        assert "__start:" in asm
+        assert "jal main" in asm
+
+    def test_string_literals_deduplicated(self):
+        asm = asm_for(
+            'char *a; char *b; int main() { a = "hi"; b = "hi"; return 0; }'
+        )
+        assert asm.count('.asciiz "hi"') == 1
+
+    def test_global_array_initialiser_layout(self):
+        asm = asm_for("int t[4] = {1, 2}; int main() { return 0; }")
+        assert "g_t: .word 1, 2, 0, 0" in asm
+
+    def test_main_implicit_return_zero(self):
+        asm = body_of(asm_for("int main() { }"), "main")
+        assert "li $v0, 0" in asm

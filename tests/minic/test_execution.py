@@ -1,0 +1,664 @@
+"""End-to-end behavioural tests: compile mini-C, run, check output."""
+
+import pytest
+
+from repro.errors import CompileError, SimError
+
+from tests.conftest import run_minic
+
+
+def out(source, **kwargs):
+    return run_minic(source, **kwargs)
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        source = """
+        int main() {
+            print_int(7 + 3); print_char(' ');
+            print_int(7 - 10); print_char(' ');
+            print_int(6 * 7); print_char(' ');
+            print_int(-17 / 5); print_char(' ');
+            print_int(-17 % 5); print_char(' ');
+            print_int(13 & 6); print_char(' ');
+            print_int(13 | 6); print_char(' ');
+            print_int(13 ^ 6); print_char(' ');
+            print_int(1 << 10); print_char(' ');
+            print_int(-32 >> 2);
+            return 0;
+        }
+        """
+        assert out(source) == "10 -3 42 -3 -2 4 15 11 1024 -8"
+
+    def test_comparisons(self):
+        source = """
+        int main() {
+            print_int(3 < 5); print_int(5 < 3); print_int(3 <= 3);
+            print_int(4 > 9); print_int(9 >= 9); print_int(2 == 2);
+            print_int(2 != 2);
+            return 0;
+        }
+        """
+        assert out(source) == "1010110"
+
+    def test_unary(self):
+        source = """
+        int main() {
+            int a = 5;
+            print_int(-a); print_char(' ');
+            print_int(!a); print_char(' ');
+            print_int(!0); print_char(' ');
+            print_int(~a);
+            return 0;
+        }
+        """
+        assert out(source) == "-5 0 1 -6"
+
+    def test_wraparound(self):
+        source = """
+        int main() {
+            int big = 2147483647;
+            print_int(big + 1);
+            return 0;
+        }
+        """
+        assert out(source) == "-2147483648"
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(SimError, match="division"):
+            out("int main() { int z = 0; return 5 / z; }")
+
+    def test_float_arithmetic(self):
+        source = """
+        int main() {
+            float a = 1.5;
+            float b = 0.25;
+            print_float(a + b); print_char(' ');
+            print_float(a - b); print_char(' ');
+            print_float(a * b); print_char(' ');
+            print_float(a / b);
+            return 0;
+        }
+        """
+        assert out(source) == "1.75 1.25 0.375 6"
+
+    def test_float_comparisons(self):
+        source = """
+        int main() {
+            float a = 1.5;
+            print_int(a < 2.0); print_int(a > 2.0);
+            print_int(a <= 1.5); print_int(a >= 1.6);
+            print_int(a == 1.5); print_int(a != 1.5);
+            return 0;
+        }
+        """
+        assert out(source) == "101010"
+
+    def test_int_float_conversion(self):
+        source = """
+        int main() {
+            float f = 7;
+            int i = 2.9;
+            print_float(f); print_char(' '); print_int(i);
+            print_char(' '); print_int(-2.9);
+            return 0;
+        }
+        """
+        assert out(source) == "7 2 -2"
+
+
+class TestControlFlow:
+    def test_if_chains(self):
+        source = """
+        int classify(int x) {
+            if (x < 0) return -1;
+            else if (x == 0) return 0;
+            else if (x < 10) return 1;
+            return 2;
+        }
+        int main() {
+            print_int(classify(-5)); print_int(classify(0));
+            print_int(classify(5)); print_int(classify(50));
+            return 0;
+        }
+        """
+        assert out(source) == "-1012"
+
+    def test_while_and_break_continue(self):
+        source = """
+        int main() {
+            int i = 0;
+            int total = 0;
+            while (1) {
+                i++;
+                if (i > 10) break;
+                if (i % 2) continue;
+                total += i;
+            }
+            print_int(total);
+            return 0;
+        }
+        """
+        assert out(source) == "30"
+
+    def test_do_while_runs_once(self):
+        source = """
+        int main() {
+            int n = 0;
+            do { n++; } while (0);
+            print_int(n);
+            return 0;
+        }
+        """
+        assert out(source) == "1"
+
+    def test_nested_for(self):
+        source = """
+        int main() {
+            int count = 0;
+            int i, j;
+            for (i = 0; i < 5; i++)
+                for (j = i; j < 5; j++)
+                    count++;
+            print_int(count);
+            return 0;
+        }
+        """
+        assert out(source) == "15"
+
+    def test_short_circuit_evaluation(self):
+        source = """
+        int calls;
+        int bump() { calls++; return 1; }
+        int main() {
+            calls = 0;
+            int a = 0 && bump();
+            int b = 1 || bump();
+            print_int(calls); print_int(a); print_int(b);
+            return 0;
+        }
+        """
+        assert out(source) == "001"
+
+    def test_logical_values(self):
+        source = """
+        int main() {
+            print_int(3 && 4); print_int(0 && 4);
+            print_int(0 || 0); print_int(0 || 7);
+            return 0;
+        }
+        """
+        assert out(source) == "1001"
+
+
+class TestFunctions:
+    def test_recursion(self):
+        source = """
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { print_int(fib(12)); return 0; }
+        """
+        assert out(source) == "144"
+
+    def test_mutual_recursion(self):
+        source = """
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        int main() { print_int(is_even(10)); print_int(is_odd(7));
+                     return 0; }
+        """
+        # Forward declarations are not in the grammar; use definition
+        # order instead.
+        source = """
+        int is_even(int n);
+        int main() { return 0; }
+        """
+        source = """
+        int helper(int n, int odd) {
+            if (n == 0) return odd == 0;
+            return helper(n - 1, 1 - odd);
+        }
+        int main() { print_int(helper(10, 0)); print_int(helper(7, 1));
+                     return 0; }
+        """
+        assert out(source) == "11"
+
+    def test_four_int_args(self):
+        source = """
+        int sum4(int a, int b, int c, int d) { return a + b + c + d; }
+        int main() { print_int(sum4(1, 2, 3, 4)); return 0; }
+        """
+        assert out(source) == "10"
+
+    def test_float_args_and_return(self):
+        source = """
+        float mix(float a, float b) { return a * 2.0 + b; }
+        int main() { print_float(mix(1.5, 0.25)); return 0; }
+        """
+        assert out(source) == "3.25"
+
+    def test_calls_preserve_callee_saved_locals(self):
+        source = """
+        int noisy() { int x = 99; int y = 98; return x + y; }
+        int main() {
+            int keep = 7;
+            int other = 11;
+            noisy();
+            print_int(keep + other);
+            return 0;
+        }
+        """
+        assert out(source) == "18"
+
+    def test_call_in_expression_spills_temporaries(self):
+        source = """
+        int g(int x) { return x * 10; }
+        int main() {
+            int r = 3 + g(2) + g(1) * 2;
+            print_int(r);
+            return 0;
+        }
+        """
+        assert out(source) == "43"
+
+    def test_nested_calls_as_arguments(self):
+        source = """
+        int add(int a, int b) { return a + b; }
+        int main() { print_int(add(add(1, 2), add(3, 4))); return 0; }
+        """
+        assert out(source) == "10"
+
+    def test_exit_code(self):
+        from repro.cpu import Machine
+        from repro.minic import compile_program
+
+        machine = Machine(
+            compile_program("int main() { exit(42); return 0; }"),
+            tracing=False,
+        )
+        result = machine.run()
+        assert result.exit_code == 42
+
+
+class TestMemory:
+    def test_global_arrays(self):
+        source = """
+        int squares[10];
+        int main() {
+            int i;
+            for (i = 0; i < 10; i++) squares[i] = i * i;
+            print_int(squares[7]);
+            return 0;
+        }
+        """
+        assert out(source) == "49"
+
+    def test_global_initialisers(self):
+        source = """
+        int a = -3;
+        int tab[5] = {10, 20, 30};
+        float pi = 3.5;
+        int main() {
+            print_int(a); print_char(' ');
+            print_int(tab[0] + tab[2] + tab[4]); print_char(' ');
+            print_float(pi);
+            return 0;
+        }
+        """
+        assert out(source) == "-3 40 3.5"
+
+    def test_local_arrays(self):
+        source = """
+        int main() {
+            int buf[4];
+            int i;
+            for (i = 0; i < 4; i++) buf[i] = i + 1;
+            print_int(buf[0] + buf[1] + buf[2] + buf[3]);
+            return 0;
+        }
+        """
+        assert out(source) == "10"
+
+    def test_pointers_and_addresses(self):
+        source = """
+        int main() {
+            int x = 5;
+            int *p = &x;
+            *p = 9;
+            print_int(x);
+            print_int(*p);
+            return 0;
+        }
+        """
+        assert out(source) == "99"
+
+    def test_pointer_walk(self):
+        source = """
+        int data[5] = {1, 2, 3, 4, 5};
+        int main() {
+            int *p = data;
+            int total = 0;
+            int i;
+            for (i = 0; i < 5; i++) { total += *p; p++; }
+            print_int(total);
+            return 0;
+        }
+        """
+        assert out(source) == "15"
+
+    def test_pointer_difference(self):
+        source = """
+        int data[8];
+        int main() {
+            int *a = &data[1];
+            int *b = &data[6];
+            print_int(b - a);
+            return 0;
+        }
+        """
+        assert out(source) == "5"
+
+    def test_char_arrays_and_strings(self):
+        source = """
+        char buf[8];
+        int main() {
+            char *s = "abc";
+            int i = 0;
+            while (s[i]) { buf[i] = s[i] + 1; i++; }
+            buf[i] = 0;
+            i = 0;
+            while (buf[i]) { print_char(buf[i]); i++; }
+            return 0;
+        }
+        """
+        assert out(source) == "bcd"
+
+    def test_float_arrays(self):
+        source = """
+        float grid[4];
+        int main() {
+            int i;
+            for (i = 0; i < 4; i++) grid[i] = i * 0.5;
+            print_float(grid[3]);
+            return 0;
+        }
+        """
+        assert out(source) == "1.5"
+
+    def test_compound_assignment_on_memory(self):
+        source = """
+        int cell[1];
+        int main() {
+            cell[0] = 10;
+            cell[0] += 5;
+            cell[0] <<= 2;
+            print_int(cell[0]);
+            return 0;
+        }
+        """
+        assert out(source) == "60"
+
+    def test_incdec_semantics(self):
+        source = """
+        int main() {
+            int i = 5;
+            print_int(i++); print_int(i);
+            print_int(++i); print_int(i--);
+            print_int(--i);
+            return 0;
+        }
+        """
+        assert out(source) == "56775"
+
+
+class TestInputs:
+    def test_input_words(self):
+        source = """
+        int main() {
+            int i;
+            int total = 0;
+            for (i = 0; i < input_count(); i++) total += input_word(i);
+            print_int(total);
+            return 0;
+        }
+        """
+        assert out(source, input_words=[1, 2, 3, 4]) == "10"
+
+    def test_input_floats(self):
+        source = """
+        int main() {
+            int i;
+            float total = 0.0;
+            for (i = 0; i < input_float_count(); i++)
+                total = total + input_float(i);
+            print_float(total);
+            return 0;
+        }
+        """
+        assert out(source, input_floats=[0.5, 1.25, 3.25]) == "5"
+
+
+class TestCompileErrors:
+    def test_type_errors_surface(self):
+        with pytest.raises(CompileError):
+            out("int main() { int *p; p = p * 2; return 0; }")
+
+    def test_local_array_initialiser_rejected(self):
+        with pytest.raises(CompileError, match="initialisers"):
+            out("int main() { int a[2] = 5; return 0; }")
+
+
+class TestTernary:
+    def test_basic_selection(self):
+        source = """
+        int main() {
+            int a = 5;
+            print_int(a > 3 ? 10 : 20);
+            print_int(a > 9 ? 10 : 20);
+            return 0;
+        }
+        """
+        assert out(source) == "1020"
+
+    def test_nested_and_chained(self):
+        source = """
+        int grade(int score) {
+            return score >= 90 ? 4 : score >= 80 ? 3 : score >= 70 ? 2 : 0;
+        }
+        int main() {
+            print_int(grade(95)); print_int(grade(85));
+            print_int(grade(75)); print_int(grade(10));
+            return 0;
+        }
+        """
+        assert out(source) == "4320"
+
+    def test_only_taken_arm_evaluated(self):
+        source = """
+        int calls;
+        int bump() { calls++; return 7; }
+        int main() {
+            calls = 0;
+            int x = 1 ? 5 : bump();
+            print_int(calls); print_int(x);
+            return 0;
+        }
+        """
+        assert out(source) == "05"
+
+    def test_mixed_arm_types_promote_to_float(self):
+        source = """
+        int main() {
+            int flag = 0;
+            print_float(flag ? 1 : 2.5);
+            return 0;
+        }
+        """
+        assert out(source) == "2.5"
+
+    def test_ternary_below_assignment(self):
+        source = """
+        int main() {
+            int x;
+            x = 1 ? 2 : 3;
+            print_int(x);
+            return 0;
+        }
+        """
+        assert out(source) == "2"
+
+    def test_incompatible_arms_rejected(self):
+        with pytest.raises(CompileError, match="incompatible"):
+            out("int main() { int *p; int x = 1 ? p : 2.5; return 0; }")
+
+
+class TestSwitch:
+    def test_dense_switch_dispatch(self):
+        source = """
+        int pick(int op) {
+            switch (op) {
+                case 0: return 100;
+                case 1: return 101;
+                case 2: return 102;
+                case 3: return 103;
+                case 4: return 104;
+                default: return -1;
+            }
+        }
+        int main() {
+            int i;
+            for (i = -1; i <= 5; i++) { print_int(pick(i)); print_char(' '); }
+            return 0;
+        }
+        """
+        assert out(source).strip() == "-1 100 101 102 103 104 -1"
+
+    def test_dense_switch_uses_jump_table(self):
+        from repro.minic import compile_source
+
+        source = """
+        int main() {
+            int r = 0;
+            switch (input_word(0)) {
+                case 0: r = 1; break;
+                case 1: r = 2; break;
+                case 2: r = 3; break;
+                case 3: r = 4; break;
+            }
+            print_int(r);
+            return 0;
+        }
+        """
+        asm = compile_source(source)
+        assert ".jt0" in asm
+        assert "jr $t" in asm
+        assert out(source, input_words=[2]) == "3"
+
+    def test_sparse_switch_uses_compare_chain(self):
+        from repro.minic import compile_source
+
+        source = """
+        int main() {
+            switch (input_word(0)) {
+                case 5: print_int(1); break;
+                case 5000: print_int(2); break;
+                default: print_int(0);
+            }
+            return 0;
+        }
+        """
+        asm = compile_source(source)
+        assert ".jt" not in asm
+        assert out(source, input_words=[5000]) == "2"
+
+    def test_fallthrough(self):
+        source = """
+        int main() {
+            int r = 0;
+            switch (2) {
+                case 1: r += 1;
+                case 2: r += 2;
+                case 3: r += 4;
+                break;
+                case 4: r += 8;
+            }
+            print_int(r);
+            return 0;
+        }
+        """
+        assert out(source) == "6"
+
+    def test_no_default_falls_to_end(self):
+        source = """
+        int main() {
+            int r = 7;
+            switch (99) { case 1: r = 0; break; }
+            print_int(r);
+            return 0;
+        }
+        """
+        assert out(source) == "7"
+
+    def test_negative_case_values(self):
+        source = """
+        int main() {
+            switch (-3) {
+                case -3: print_int(1); break;
+                default: print_int(0);
+            }
+            return 0;
+        }
+        """
+        assert out(source) == "1"
+
+    def test_break_in_switch_inside_loop(self):
+        source = """
+        int main() {
+            int i;
+            int total = 0;
+            for (i = 0; i < 5; i++) {
+                switch (i & 1) {
+                    case 0: total += 10; break;
+                    default: total += 1;
+                }
+            }
+            print_int(total);
+            return 0;
+        }
+        """
+        assert out(source) == "32"
+
+    def test_continue_in_switch_targets_loop(self):
+        source = """
+        int main() {
+            int i;
+            int total = 0;
+            for (i = 0; i < 6; i++) {
+                switch (i & 1) {
+                    case 1: continue;
+                }
+                total += i;
+            }
+            print_int(total);
+            return 0;
+        }
+        """
+        assert out(source) == "6"
+
+    def test_duplicate_case_rejected(self):
+        with pytest.raises(CompileError, match="duplicate case"):
+            out("int main() { switch (1) { case 2: case 2: break; } "
+                "return 0; }")
+
+    def test_multiple_defaults_rejected(self):
+        with pytest.raises(CompileError, match="multiple default"):
+            out("int main() { switch (1) { default: default: break; } "
+                "return 0; }")
+
+    def test_float_condition_rejected(self):
+        with pytest.raises(CompileError, match="integer"):
+            out("int main() { float f = 0.0; switch (f) { case 1: break; } "
+                "return 0; }")

@@ -1,0 +1,73 @@
+"""Tests for the mini-C tokenizer."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minic.lexer import tokenize
+
+
+def kinds_and_values(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestLexer:
+    def test_integers(self):
+        assert kinds_and_values("0 42 0x1F") == [
+            ("int", 0), ("int", 42), ("int", 31),
+        ]
+
+    def test_floats(self):
+        tokens = kinds_and_values("1.5 0.25 2e3 1.0e-2")
+        assert tokens == [
+            ("float", 1.5), ("float", 0.25), ("float", 2000.0),
+            ("float", 0.01),
+        ]
+
+    def test_int_vs_float_disambiguation(self):
+        tokens = kinds_and_values("1.5")
+        assert tokens == [("float", 1.5)]
+        tokens = kinds_and_values("15")
+        assert tokens == [("int", 15)]
+
+    def test_char_literals(self):
+        assert kinds_and_values("'a' '\\n' '\\0'") == [
+            ("int", 97), ("int", 10), ("int", 0),
+        ]
+
+    def test_string_literal(self):
+        assert kinds_and_values('"hi\\n"') == [("string", "hi\n")]
+
+    def test_keywords_vs_names(self):
+        tokens = kinds_and_values("int foo while whilex")
+        assert tokens == [
+            ("kw", "int"), ("name", "foo"), ("kw", "while"),
+            ("name", "whilex"),
+        ]
+
+    def test_multichar_operators_greedy(self):
+        tokens = [t.value for t in tokenize("a <<= b >> c <= d < e")[:-1]]
+        assert tokens == ["a", "<<=", "b", ">>", "c", "<=", "d", "<", "e"]
+
+    def test_comments_stripped(self):
+        tokens = kinds_and_values("a // line comment\nb /* block\n */ c")
+        assert [v for __, v in tokens] == ["a", "b", "c"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        lines = {t.value: t.line for t in tokens if t.kind == "name"}
+        assert lines == {"a": 1, "b": 2, "c": 4}
+
+    def test_line_numbers_after_block_comment(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].line == 2
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError):
+            tokenize("a @ b")
+
+    def test_bad_escape(self):
+        with pytest.raises(CompileError):
+            tokenize("'\\q'")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"

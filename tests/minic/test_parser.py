@@ -1,0 +1,187 @@
+"""Tests for the mini-C parser."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minic import astnodes as ast
+from repro.minic.parser import parse
+from repro.minic.types import INT, Type
+
+
+def parse_expr(text):
+    program = parse(f"int main() {{ x = {text}; }}")
+    stmt = program.funcs[0].body.stmts[0]
+    return stmt.expr.value
+
+
+def parse_stmt(text):
+    program = parse(f"int main() {{ {text} }}")
+    return program.funcs[0].body.stmts[0]
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("a + b * c")
+        assert expr.op == "+"
+        assert expr.rhs.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr.op == "-"
+        assert expr.lhs.op == "-"
+
+    def test_parentheses(self):
+        expr = parse_expr("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.lhs.op == "+"
+
+    def test_comparison_below_logic(self):
+        expr = parse_expr("a < b && c > d")
+        assert expr.op == "&&"
+        assert expr.lhs.op == "<"
+
+    def test_shift_precedence(self):
+        expr = parse_expr("a << 2 + 1")
+        assert expr.op == "<<"
+        assert expr.rhs.op == "+"
+
+    def test_bitwise_layers(self):
+        expr = parse_expr("a | b ^ c & d")
+        assert expr.op == "|"
+        assert expr.rhs.op == "^"
+        assert expr.rhs.rhs.op == "&"
+
+    def test_assignment_right_associative(self):
+        program = parse("int main() { a = b = 1; }")
+        assign = program.funcs[0].body.stmts[0].expr
+        assert isinstance(assign.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        program = parse("int main() { a += 2; }")
+        assign = program.funcs[0].body.stmts[0].expr
+        assert assign.op == "+="
+
+    def test_unary_chain(self):
+        expr = parse_expr("-!~a")
+        assert expr.op == "-"
+        assert expr.operand.op == "!"
+        assert expr.operand.operand.op == "~"
+
+    def test_deref_and_addrof(self):
+        expr = parse_expr("*p + &q")
+        assert isinstance(expr.lhs, ast.Deref)
+        assert isinstance(expr.rhs, ast.AddrOf)
+
+    def test_index_chain(self):
+        expr = parse_expr("a[1]")
+        assert isinstance(expr, ast.Index)
+
+    def test_call_with_args(self):
+        expr = parse_expr("f(1, g(2), h())")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[1], ast.Call)
+
+    def test_postfix_increment(self):
+        expr = parse_expr("i++")
+        assert isinstance(expr, ast.IncDec) and not expr.prefix
+
+    def test_prefix_decrement(self):
+        expr = parse_expr("--i")
+        assert isinstance(expr, ast.IncDec) and expr.prefix
+
+
+class TestStatements:
+    def test_if_else(self):
+        stmt = parse_stmt("if (a) b = 1; else b = 2;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.orelse is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = parse_stmt("if (a) if (b) x = 1; else x = 2;")
+        assert stmt.orelse is None
+        assert stmt.then.orelse is not None
+
+    def test_while(self):
+        stmt = parse_stmt("while (a) a -= 1;")
+        assert isinstance(stmt, ast.While)
+
+    def test_do_while(self):
+        stmt = parse_stmt("do a -= 1; while (a);")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_for_with_decl(self):
+        stmt = parse_stmt("for (int i = 0; i < 3; i++) ;")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.Decl)
+
+    def test_for_empty_clauses(self):
+        stmt = parse_stmt("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_multi_declarator(self):
+        stmt = parse_stmt("int i, j = 2, k;")
+        assert isinstance(stmt, ast.DeclGroup)
+        assert [d.name for d in stmt.decls] == ["i", "j", "k"]
+        assert stmt.decls[1].init.value == 2
+
+    def test_array_decl(self):
+        stmt = parse_stmt("int buf[16];")
+        assert stmt.array_len == 16
+
+    def test_return_value(self):
+        stmt = parse_stmt("return 3;")
+        assert isinstance(stmt, ast.Return) and stmt.value.value == 3
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        program = parse(
+            "int g = 5;\n"
+            "float table[4] = {1.0, 2.0};\n"
+            "int main() { return g; }\n"
+        )
+        assert [g.name for g in program.globals] == ["g", "table"]
+        assert program.globals[1].array_len == 4
+        assert len(program.globals[1].init) == 2
+        assert program.funcs[0].name == "main"
+
+    def test_pointer_types(self):
+        program = parse("int *p; char **q; int main() { return 0; }")
+        assert program.globals[0].ty == Type("int", 1)
+        assert program.globals[1].ty == Type("char", 2)
+
+    def test_params(self):
+        program = parse("int f(int a, float b) { return a; } "
+                        "int main() { return 0; }")
+        params = program.funcs[0].params
+        assert [(p.name, p.ty.base) for p in params] == [
+            ("a", "int"), ("b", "float"),
+        ]
+
+    def test_void_param_list(self):
+        program = parse("int f(void) { return 1; } int main() { return 0; }")
+        assert program.funcs[0].params == []
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError):
+            parse("int main() { a = 1 }")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(CompileError):
+            parse("int main() { a = (1; }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(CompileError, match="unterminated|expected"):
+            parse("int main() {")
+
+    def test_garbage_toplevel(self):
+        with pytest.raises(CompileError, match="expected declaration"):
+            parse("42;")
+
+    def test_error_has_line(self):
+        with pytest.raises(CompileError) as excinfo:
+            parse("int main() {\n  a = ;\n}")
+        assert excinfo.value.line == 2

@@ -1,0 +1,181 @@
+"""Tests for mini-C semantic analysis."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minic.parser import parse
+from repro.minic.sema import S_REGS, analyze
+from repro.minic.types import FLOAT, INT
+
+
+def sema(source):
+    return analyze(parse(source))
+
+
+class TestTypeChecking:
+    def test_numeric_conversion_allowed(self):
+        sema("int main() { float f = 1; int i = 2.5; return i; }")
+
+    def test_pointer_int_assignment_rejected(self):
+        with pytest.raises(CompileError, match="cannot assign"):
+            sema("int main() { int *p = 1.5; return 0; }")
+
+    def test_deref_non_pointer_rejected(self):
+        with pytest.raises(CompileError, match="dereference"):
+            sema("int main() { int x; return *x; }")
+
+    def test_index_non_pointer_rejected(self):
+        with pytest.raises(CompileError, match="indexing"):
+            sema("int main() { int x; return x[0]; }")
+
+    def test_float_modulo_rejected(self):
+        with pytest.raises(CompileError, match="needs integers"):
+            sema("int main() { float f; return f % 2; }")
+
+    def test_float_shift_rejected(self):
+        with pytest.raises(CompileError, match="needs integers"):
+            sema("int main() { float f; f = f << 1; return 0; }")
+
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError, match="undefined variable"):
+            sema("int main() { return nothing; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            sema("int main() { return missing(); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CompileError, match="expects 1"):
+            sema("int f(int a) { return a; } int main() { return f(); }")
+
+    def test_void_return_with_value(self):
+        with pytest.raises(CompileError, match="returns void"):
+            sema("void f() { return 3; } int main() { return 0; }")
+
+    def test_missing_return_value(self):
+        with pytest.raises(CompileError, match="must return"):
+            sema("int f() { return; } int main() { return 0; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="outside a loop"):
+            sema("int main() { break; return 0; }")
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(CompileError, match="assign to an array"):
+            sema("int a[4]; int main() { a = 0; return 0; }")
+
+    def test_duplicate_local(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            sema("int main() { int x; int x; return 0; }")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        sema("int main() { int x = 1; { int x = 2; } return x; }")
+
+    def test_no_main_rejected(self):
+        with pytest.raises(CompileError, match="no main"):
+            sema("int f() { return 1; }")
+
+    def test_too_many_int_params(self):
+        with pytest.raises(CompileError, match="more than 4"):
+            sema("int f(int a, int b, int c, int d, int e) { return 0; } "
+                 "int main() { return 0; }")
+
+    def test_pointer_arith_types(self):
+        result = sema(
+            "int a[4]; int main() { int *p = a; int *q = p + 1; "
+            "return q - p; }"
+        )
+        assert "main" in result.functions
+
+    def test_global_initialiser_must_be_constant(self):
+        with pytest.raises(CompileError, match="constant"):
+            sema("int g = 1 + 2; int main() { return 0; }")
+
+
+class TestStorageAssignment:
+    def test_scalars_get_registers(self):
+        result = sema("int main() { int a; int b; float f; return 0; }")
+        symbols = {s.name: s for s in result.functions["main"].symbols}
+        assert symbols["a"].storage == "reg"
+        assert symbols["a"].reg in S_REGS
+        assert symbols["f"].storage == "reg"
+        assert symbols["f"].reg >= 32
+
+    def test_address_taken_goes_to_frame(self):
+        result = sema(
+            "int main() { int a; int *p = &a; return *p; }"
+        )
+        symbols = {s.name: s for s in result.functions["main"].symbols}
+        assert symbols["a"].storage == "frame"
+        assert symbols["a"].address_taken
+
+    def test_arrays_go_to_frame(self):
+        result = sema("int main() { int buf[8]; return 0; }")
+        symbols = {s.name: s for s in result.functions["main"].symbols}
+        assert symbols["buf"].storage == "frame"
+
+    def test_register_overflow_spills(self):
+        decls = " ".join(f"int v{i};" for i in range(12))
+        result = sema(f"int main() {{ {decls} return 0; }}")
+        storages = [s.storage for s in result.functions["main"].symbols]
+        assert "frame" in storages and "reg" in storages
+
+    def test_frame_size_8_aligned(self):
+        result = sema("int main() { int a[3]; float f[2]; return 0; }")
+        assert result.functions["main"].frame_size % 8 == 0
+
+    def test_float_frame_slots_8_aligned(self):
+        decls = " ".join(f"float f{i};" for i in range(12))
+        result = sema(f"int main() {{ int pad; {decls} return 0; }}")
+        for symbol in result.functions["main"].symbols:
+            if symbol.storage == "frame" and symbol.ty.is_float:
+                assert symbol.offset % 8 == 0
+
+    def test_params_resolved(self):
+        result = sema("int f(int a, float b) { return a; } "
+                      "int main() { return f(1, 2.0); }")
+        params = result.functions["f"].params
+        assert [p.ty for p in params] == [INT, FLOAT]
+
+
+class TestConstantPromotion:
+    def test_global_address_promoted(self):
+        result = sema(
+            "int tab[4]; int main() { int i; int s = 0; "
+            "for (i = 0; i < 4; i++) s += tab[i]; return s; }"
+        )
+        const_regs = result.functions["main"].const_regs
+        assert ("ga", "g_tab") in const_regs
+
+    def test_large_constant_promoted(self):
+        result = sema(
+            "int main() { int a = 0x123456 + 1; int b = 0x123456 + 2; "
+            "return a + b; }"
+        )
+        const_regs = result.functions["main"].const_regs
+        assert ("int", 0x123456) in const_regs
+
+    def test_single_use_not_promoted(self):
+        result = sema("int main() { return 0x123456; }")
+        assert not result.functions["main"].const_regs
+
+    def test_small_constants_not_promoted(self):
+        result = sema("int main() { int a = 5 + 5 + 5; return a; }")
+        const_regs = result.functions["main"].const_regs
+        assert ("int", 5) not in const_regs
+
+    def test_float_constant_promoted(self):
+        result = sema(
+            "float x; int main() { x = 0.5 * 0.5 + 0.5; return 0; }"
+        )
+        const_regs = result.functions["main"].const_regs
+        assert ("float", 0.5) in const_regs
+
+    def test_promoted_registers_are_saved(self):
+        result = sema(
+            "int tab[4]; int main() { int i; int s = 0; "
+            "for (i = 0; i < 4; i++) s += tab[i]; return s; }"
+        )
+        info = result.functions["main"]
+        for reg in info.const_regs.values():
+            assert reg in info.used_s_regs or reg in info.used_f_regs

@@ -1,0 +1,56 @@
+"""Tests for the mini-C type system."""
+
+import pytest
+
+from repro.minic.types import CHAR, FLOAT, INT, Type, VOID, common_numeric
+
+
+class TestTypeBasics:
+    def test_sizes(self):
+        assert INT.size() == 4
+        assert CHAR.size() == 1
+        assert FLOAT.size() == 8
+        assert VOID.size() == 0
+        assert INT.pointer().size() == 4
+        assert FLOAT.pointer().size() == 4
+
+    def test_predicates(self):
+        assert INT.is_integral and CHAR.is_integral
+        assert FLOAT.is_float
+        assert not FLOAT.pointer().is_float
+        assert VOID.is_void
+        assert INT.pointer().is_pointer
+        assert not INT.is_pointer
+
+    def test_pointer_round_trip(self):
+        pointer = INT.pointer().pointer()
+        assert pointer.ptr == 2
+        assert pointer.element().element() == INT
+
+    def test_element_of_non_pointer_raises(self):
+        with pytest.raises(ValueError):
+            INT.element()
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(ValueError):
+            Type("long")
+
+    def test_str(self):
+        assert str(INT) == "int"
+        assert str(CHAR.pointer()) == "char*"
+        assert str(Type("float", 2)) == "float**"
+
+    def test_equality_and_hash(self):
+        assert Type("int") == INT
+        assert Type("int", 1) != INT
+        assert len({INT, Type("int"), CHAR}) == 2
+
+
+class TestCommonNumeric:
+    def test_float_wins(self):
+        assert common_numeric(INT, FLOAT) == FLOAT
+        assert common_numeric(FLOAT, CHAR) == FLOAT
+
+    def test_integers_promote_to_int(self):
+        assert common_numeric(CHAR, CHAR) == INT
+        assert common_numeric(INT, CHAR) == INT

@@ -1,0 +1,159 @@
+"""Behavioural tests for the three value predictors."""
+
+from repro.predictors import (
+    ContextPredictor,
+    LastValuePredictor,
+    PredictorBank,
+    StridePredictor,
+    make_predictor,
+)
+
+
+def feed(predictor, key, values):
+    """Feed ``values`` for ``key``; return the list of hit flags."""
+    return [predictor.see(key, value) for value in values]
+
+
+class TestLastValue:
+    def test_constant_sequence_predicted_after_first(self):
+        hits = feed(LastValuePredictor(), 10, [7, 7, 7, 7])
+        assert hits == [False, True, True, True]
+
+    def test_stride_sequence_not_predicted(self):
+        hits = feed(LastValuePredictor(), 10, [1, 2, 3, 4, 5])
+        assert not any(hits)
+
+    def test_hysteresis_keeps_value_one_blip(self):
+        predictor = LastValuePredictor()
+        feed(predictor, 3, [5, 5, 5])          # confident in 5
+        assert predictor.see(3, 9) is False    # blip
+        assert predictor.see(3, 5) is True     # 5 survived the blip
+
+    def test_replacement_after_counter_drains(self):
+        predictor = LastValuePredictor()
+        feed(predictor, 3, [5, 5])
+        feed(predictor, 3, [9, 9, 9, 9, 9])
+        assert predictor.see(3, 9) is True
+
+    def test_aliasing_shares_entries(self):
+        predictor = LastValuePredictor(index_bits=4)
+        feed(predictor, 0, [1, 1, 1])
+        # Key 16 aliases key 0 in a 16-entry table.
+        assert predictor.peek(16) == 1
+
+    def test_peek_empty(self):
+        assert LastValuePredictor().peek(0) is None
+
+    def test_distinguishes_keys(self):
+        predictor = LastValuePredictor()
+        feed(predictor, 1, [10, 10])
+        feed(predictor, 2, [20, 20])
+        assert predictor.peek(1) == 10
+        assert predictor.peek(2) == 20
+
+
+class TestStride:
+    def test_learns_stride_after_two_deltas(self):
+        hits = feed(StridePredictor(), 5, [0, 1, 2, 3, 4])
+        # After seeing 0,1 the stride 1 appears once; after 1,2 it is
+        # confirmed, so 3 and 4 are predicted (2 was already last+stride).
+        assert hits[3:] == [True, True]
+
+    def test_includes_last_value_behaviour(self):
+        hits = feed(StridePredictor(), 5, [7, 7, 7])
+        assert hits == [False, True, True]
+
+    def test_two_delta_hysteresis(self):
+        predictor = StridePredictor()
+        feed(predictor, 1, [0, 10, 20, 30])    # learned stride 10
+        assert predictor.see(1, 99) is False   # irregularity
+        # Prediction stride stays 10: predicts 99 + 10.
+        assert predictor.peek(1) == 109
+
+    def test_stride_replaced_when_repeated(self):
+        predictor = StridePredictor()
+        feed(predictor, 1, [0, 10, 20])        # stride 10 confirmed
+        feed(predictor, 1, [23, 26])           # stride 3 appears twice
+        assert predictor.peek(1) == 29
+
+    def test_float_strides(self):
+        hits = feed(StridePredictor(), 2, [0.5, 1.0, 1.5, 2.0])
+        assert hits[3] is True
+
+    def test_paper_example_register_6(self):
+        # Fig. 1: register $6 takes values 0,1,...,64; a stride
+        # predictor locks on after the first two values.
+        hits = feed(StridePredictor(), 9, list(range(65)))
+        assert hits[0] is False
+        assert all(hits[3:])
+
+
+class TestContext:
+    def test_repeating_pattern_learned(self):
+        predictor = ContextPredictor()
+        pattern = [1, 2, 3, 4] * 20
+        hits = feed(predictor, 1, pattern)
+        # After warm-up, every value in the period-4 pattern is predicted.
+        assert all(hits[-8:])
+
+    def test_non_stride_pattern_beats_stride(self):
+        values = [5, 9, 2, 5, 9, 2] * 10
+        context_hits = feed(ContextPredictor(), 1, values)
+        stride_hits = feed(StridePredictor(), 1, values)
+        assert sum(context_hits) > sum(stride_hits)
+
+    def test_shared_second_level_constructive(self):
+        # Two PCs producing the same sequence share second-level entries,
+        # so the second PC benefits from the first PC's learning.
+        predictor = ContextPredictor()
+        pattern = [3, 1, 4, 1, 5] * 8
+        feed(predictor, 100, pattern)
+        hits = feed(predictor, 200, pattern)
+        assert sum(hits) >= sum(feed(ContextPredictor(), 200, pattern))
+
+    def test_counter_guards_replacement(self):
+        predictor = ContextPredictor()
+        pattern = [1, 2, 3, 4] * 10
+        feed(predictor, 1, pattern)
+        correct_before = sum(feed(predictor, 1, [1, 2, 3, 4]))
+        assert correct_before == 4
+
+    def test_limited_history_misses_long_period(self):
+        # Paper 4.4: an order-4 context cannot disambiguate a sequence
+        # whose repeating unit is longer than recent context reveals.
+        predictor = ContextPredictor()
+        masked = [0, 0, 0, 0, 0, 0, 0, 0, 1, 1] * 30
+        hits = feed(predictor, 1, masked)
+        assert not all(hits[40:])   # some mispredictions persist
+
+
+class TestFactoryAndBank:
+    def test_make_predictor(self):
+        assert isinstance(make_predictor("last"), LastValuePredictor)
+        assert isinstance(make_predictor("stride"), StridePredictor)
+        assert isinstance(make_predictor("context"), ContextPredictor)
+
+    def test_make_predictor_unknown(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            make_predictor("oracle")
+
+    def test_bank_separates_inputs_and_outputs(self):
+        bank = PredictorBank("last")
+        bank.see_output(10, 5)
+        # The input predictor saw nothing yet: no short circuit.
+        assert bank.see_input(10, 0, 5) is False
+
+    def test_bank_slot_separation(self):
+        bank = PredictorBank("last")
+        for __ in range(3):
+            bank.see_input(10, 0, 111)
+            bank.see_input(10, 1, 222)
+        assert bank.see_input(10, 0, 111) is True
+        assert bank.see_input(10, 1, 222) is True
+
+    def test_letters(self):
+        assert PredictorBank("last").letter == "L"
+        assert PredictorBank("stride").letter == "S"
+        assert PredictorBank("context").letter == "C"

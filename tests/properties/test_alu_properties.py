@@ -1,0 +1,106 @@
+"""Property tests for the ALU's 32-bit semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.cpu.alu import ALU_FUNCS, BRANCH_FUNCS
+from repro.isa.layout import WORD_MASK, to_signed, to_unsigned
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+shifts = st.integers(min_value=0, max_value=31)
+
+
+class TestSignConversion:
+    @given(words)
+    def test_round_trip(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_signed_round_trip(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+    @given(words)
+    def test_signed_range(self, value):
+        assert -(2**31) <= to_signed(value) < 2**31
+
+
+class TestArithmetic:
+    @given(words, words)
+    def test_results_stay_in_word_range(self, a, b):
+        for op in ("add", "addu", "sub", "subu", "and", "or", "xor",
+                   "nor", "mul", "slt", "sltu"):
+            result = ALU_FUNCS[op](a, b)
+            assert 0 <= result <= WORD_MASK, op
+
+    @given(words, words)
+    def test_add_matches_modular_arithmetic(self, a, b):
+        assert ALU_FUNCS["addu"](a, b) == (a + b) % 2**32
+
+    @given(words, words)
+    def test_sub_inverts_add(self, a, b):
+        total = ALU_FUNCS["addu"](a, b)
+        assert ALU_FUNCS["subu"](total, b) == a
+
+    @given(words)
+    def test_nor_with_zero_is_not(self, a):
+        assert ALU_FUNCS["nor"](a, 0) == (~a) & WORD_MASK
+
+    @given(words, words)
+    def test_slt_matches_signed_compare(self, a, b):
+        assert ALU_FUNCS["slt"](a, b) == int(to_signed(a) < to_signed(b))
+
+    @given(words, words.filter(lambda b: b != 0))
+    def test_division_identity(self, a, b):
+        quotient = to_signed(ALU_FUNCS["div"](a, b))
+        remainder = to_signed(ALU_FUNCS["rem"](a, b))
+        sa, sb = to_signed(a), to_signed(b)
+        # C semantics: truncation towards zero, remainder sign follows
+        # the dividend, and the Euclidean identity holds (modulo the
+        # INT_MIN/-1 overflow wrap).
+        assert to_unsigned(quotient * sb + remainder) == a
+        assert abs(remainder) < abs(sb)
+        if remainder:
+            assert (remainder < 0) == (sa < 0)
+
+    @given(words, words.filter(lambda b: b != 0))
+    def test_unsigned_division_identity(self, a, b):
+        quotient = ALU_FUNCS["divu"](a, b)
+        remainder = ALU_FUNCS["remu"](a, b)
+        assert quotient * b + remainder == a
+        assert remainder < b
+
+
+class TestShifts:
+    @given(words, shifts)
+    def test_srl_zero_fills(self, a, s):
+        assert ALU_FUNCS["srl"](a, s) == a >> s
+
+    @given(words, shifts)
+    def test_sra_sign_fills(self, a, s):
+        expected = to_unsigned(to_signed(a) >> s)
+        assert ALU_FUNCS["sra"](a, s) == expected
+
+    @given(words, shifts)
+    def test_sll_masks_to_word(self, a, s):
+        assert ALU_FUNCS["sll"](a, s) == (a << s) & WORD_MASK
+
+    @given(words, words)
+    def test_variable_shifts_use_low_5_bits(self, a, b):
+        assert ALU_FUNCS["sllv"](a, b) == ALU_FUNCS["sll"](a, b & 31)
+        assert ALU_FUNCS["srlv"](a, b) == ALU_FUNCS["srl"](a, b & 31)
+        assert ALU_FUNCS["srav"](a, b) == ALU_FUNCS["sra"](a, b & 31)
+
+
+class TestBranches:
+    @given(words)
+    def test_zero_compare_partition(self, a):
+        """Exactly one of <0, ==0, >0 holds, and blez/bgez agree."""
+        lt = BRANCH_FUNCS["bltz"](a, 0)
+        gt = BRANCH_FUNCS["bgtz"](a, 0)
+        eq = a == 0
+        assert lt + gt + eq == 1
+        assert BRANCH_FUNCS["blez"](a, 0) == (lt or eq)
+        assert BRANCH_FUNCS["bgez"](a, 0) == (gt or eq)
+
+    @given(words, words)
+    def test_beq_bne_complement(self, a, b):
+        assert BRANCH_FUNCS["beq"](a, b) != BRANCH_FUNCS["bne"](a, b)

@@ -1,0 +1,138 @@
+"""Property tests for the analysis engine on random programs.
+
+Random (but well-formed) straight-line/loop assembly programs are
+generated, executed and analysed.  The core invariants must hold for
+every program, and the streaming analyzer must agree exactly with the
+independent explicit-graph implementation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.core import (
+    AnalysisConfig,
+    Behavior,
+    analyze_machine,
+    behavior_counts,
+    build_dpg,
+)
+from repro.cpu import Machine
+
+_REGS = ["$t0", "$t1", "$t2", "$s0", "$s1"]
+_ALU3 = ["addu", "subu", "and", "or", "xor", "mul"]
+_ALU_IMM = ["addiu", "andi", "ori", "xori"]
+
+
+@st.composite
+def random_programs(draw):
+    """A random loop over random ALU/memory instructions."""
+    body = []
+    length = draw(st.integers(min_value=1, max_value=12))
+    for __ in range(length):
+        choice = draw(st.integers(min_value=0, max_value=3))
+        dest = draw(st.sampled_from(_REGS))
+        src1 = draw(st.sampled_from(_REGS))
+        if choice == 0:
+            op = draw(st.sampled_from(_ALU3))
+            src2 = draw(st.sampled_from(_REGS))
+            body.append(f"{op} {dest}, {src1}, {src2}")
+        elif choice == 1:
+            op = draw(st.sampled_from(_ALU_IMM))
+            imm = draw(st.integers(min_value=0, max_value=255))
+            body.append(f"{op} {dest}, {src1}, {imm}")
+        elif choice == 2:
+            slot = draw(st.integers(min_value=0, max_value=7))
+            body.append(f"sw {src1}, {4 * slot}($s7)")
+        else:
+            slot = draw(st.integers(min_value=0, max_value=7))
+            body.append(f"lw {dest}, {4 * slot}($s7)")
+    iterations = draw(st.integers(min_value=1, max_value=12))
+    lines = [
+        "        .data",
+        "buf:    .space 32",
+        "        .text",
+        "__start:",
+        "        la $s7, buf",
+        f"        li $s6, {iterations}",
+        "        li $s5, 0",
+        "loop:",
+    ]
+    lines.extend(f"        {instr}" for instr in body)
+    lines.extend([
+        "        addiu $s5, $s5, 1",
+        "        slt $at, $s5, $s6",
+        "        bne $at, $zero, loop",
+        "        halt",
+    ])
+    return "\n".join(lines)
+
+
+@given(random_programs())
+@settings(max_examples=30, deadline=None)
+def test_streaming_invariants(source):
+    program = assemble(source)
+    result = analyze_machine(Machine(program), "random")
+    assert result.nodes > 0
+    for pred in result.predictors.values():
+        # Node and arc totals are conserved.
+        assert pred.nodes.total() == result.nodes
+        assert pred.arcs.total() == result.arcs
+        # Behaviours partition the nodes.
+        assert sum(pred.nodes.behavior_counts().values()) == result.nodes
+        # Sequences cannot cover more instructions than exist.
+        assert pred.sequences.instructions_in_runs() <= result.nodes
+        # Path propagation cannot exceed the DPG size.
+        assert pred.paths.propagate_elements <= result.elements
+        arc_behaviors = pred.arcs.behavior_counts()
+        node_behaviors = pred.nodes.behavior_counts()
+        propagate_elements = (
+            arc_behaviors.get(Behavior.PROPAGATE, 0)
+            + node_behaviors.get(Behavior.PROPAGATE, 0)
+        )
+        assert pred.paths.propagate_elements == propagate_elements
+    assert result.d_arcs <= result.arcs
+
+
+@given(random_programs(),
+       st.sampled_from(["last", "stride", "context"]))
+@settings(max_examples=25, deadline=None)
+def test_streaming_matches_explicit_graph(source, kind):
+    program = assemble(source)
+    graph = build_dpg(Machine(program).trace(), predictor=kind)
+    graph_nodes, graph_arcs = behavior_counts(graph)
+
+    config = AnalysisConfig(predictors=(kind,), trees_for=())
+    result = analyze_machine(Machine(program), "random", config)
+    pred = result.predictors[kind]
+    stream_nodes = pred.nodes.behavior_counts()
+    stream_arcs = pred.arcs.behavior_counts()
+    for behavior in Behavior:
+        assert graph_nodes.get(behavior, 0) == stream_nodes.get(
+            behavior, 0
+        ), behavior
+        if behavior is not Behavior.OTHER:
+            assert graph_arcs.get(behavior, 0) == stream_arcs.get(
+                behavior, 0
+            ), behavior
+
+
+@given(random_programs())
+@settings(max_examples=15, deadline=None)
+def test_tree_histograms_consistent(source):
+    program = assemble(source)
+    config = AnalysisConfig(predictors=("context",),
+                            trees_for=("context",))
+    result = analyze_machine(Machine(program), "random", config)
+    trees = result.predictors["context"].trees
+    paths = result.predictors["context"].paths
+    # Every propagate element appears once in the influence histogram
+    # and once in the distance histogram.
+    assert trees.total_propagates() == paths.propagate_elements
+    assert sum(trees.distance_hist.values()) == paths.propagate_elements
+    # Aggregate propagation counts each (element, influencing gen) pair,
+    # so with capped sets it cannot exceed elements x generates.
+    if trees.truncated == 0:
+        per_element = sum(
+            count * size for size, count in trees.influence_hist.items()
+        )
+        assert trees.aggregate_propagation() == per_element

@@ -1,0 +1,88 @@
+"""Property tests for the predictor suite."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.predictors import GsharePredictor, make_predictor
+
+values = st.one_of(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+keys = st.integers(min_value=0, max_value=2**40)
+kinds = st.sampled_from(["last", "stride", "context"])
+
+
+class TestRobustness:
+    @given(kinds, st.lists(st.tuples(keys, values), max_size=200))
+    @settings(max_examples=50)
+    def test_never_crashes_and_returns_bool(self, kind, stream):
+        predictor = make_predictor(kind)
+        for key, value in stream:
+            assert make_predictor  # keep hypothesis happy about reuse
+            result = predictor.see(key, value)
+            assert isinstance(result, bool) or result in (0, 1)
+
+    @given(kinds, keys, st.lists(values, min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_peek_predicts_what_see_checks(self, kind, key, stream):
+        predictor = make_predictor(kind)
+        for value in stream:
+            predicted = predictor.peek(key)
+            correct = predictor.see(key, value)
+            if predicted is None:
+                assert not correct
+            else:
+                assert correct == (predicted == value)
+
+    @given(kinds, st.lists(st.tuples(keys, values), max_size=100))
+    @settings(max_examples=30)
+    def test_determinism(self, kind, stream):
+        first = [make_predictor(kind).see(k, v) for k, v in stream]
+        second = [make_predictor(kind).see(k, v) for k, v in stream]
+        assert first == second
+
+
+class TestConvergence:
+    @given(st.integers(min_value=-1000, max_value=1000),
+           st.integers(min_value=-100, max_value=100))
+    @settings(max_examples=30)
+    def test_stride_locks_onto_any_progression(self, start, stride):
+        predictor = make_predictor("stride")
+        sequence = [(start + i * stride) & 0xFFFFFFFF for i in range(20)]
+        hits = [predictor.see(7, value) for value in sequence]
+        assert all(hits[3:])
+
+    @given(values)
+    @settings(max_examples=30)
+    def test_last_value_locks_onto_constant(self, value):
+        predictor = make_predictor("last")
+        hits = [predictor.see(3, value) for __ in range(6)]
+        assert all(hits[1:])
+
+    @given(st.lists(st.integers(min_value=0, max_value=255),
+                    min_size=2, max_size=6, unique=True))
+    @settings(max_examples=30)
+    def test_context_locks_onto_repeating_pattern(self, pattern):
+        predictor = make_predictor("context")
+        hits = []
+        for __ in range(40):
+            for value in pattern:
+                hits.append(predictor.see(9, value))
+        tail = hits[-4 * len(pattern):]
+        assert sum(tail) >= len(tail) - 1
+
+
+class TestGshareProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**20),
+                              st.booleans()), max_size=300))
+    @settings(max_examples=30)
+    def test_gshare_never_crashes(self, stream):
+        predictor = GsharePredictor()
+        for pc, taken in stream:
+            assert predictor.see(pc, taken) in (True, False)
+
+    @given(st.booleans())
+    def test_constant_direction_learned(self, direction):
+        predictor = GsharePredictor(index_bits=8)
+        hits = [predictor.see(5, direction) for __ in range(40)]
+        assert all(hits[12:])

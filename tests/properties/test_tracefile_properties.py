@@ -1,0 +1,58 @@
+"""Property tests: trace serialisation round-trips arbitrary records."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.tracefile import load_trace, save_trace
+from repro.cpu.trace import DynInst, Source
+from repro.isa.opcodes import Category
+
+_values = st.one_of(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.floats(allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def dyn_insts(draw):
+    uid = draw(st.integers(min_value=0, max_value=10**6))
+    n_srcs = draw(st.integers(min_value=0, max_value=3))
+    srcs = []
+    for __ in range(n_srcs):
+        producer = draw(st.one_of(st.none(),
+                                  st.integers(min_value=0, max_value=uid)))
+        srcs.append(Source(
+            value=draw(_values),
+            producer=producer,
+            producer_pc=None if producer is None else draw(
+                st.integers(min_value=0, max_value=5000)
+            ),
+            is_mem=draw(st.booleans()),
+            loc=draw(st.integers(min_value=0, max_value=2**32)),
+        ))
+    category = draw(st.sampled_from(list(Category)))
+    return DynInst(
+        uid=uid,
+        pc=draw(st.integers(min_value=0, max_value=5000)),
+        op=draw(st.sampled_from(["addu", "lw", "beq", "mul.d"])),
+        category=category,
+        has_imm=draw(st.booleans()),
+        srcs=tuple(srcs),
+        out=draw(st.one_of(st.none(), _values)),
+        passthrough=draw(st.one_of(
+            st.none(),
+            st.integers(min_value=0, max_value=max(n_srcs - 1, 0)),
+        )) if n_srcs else None,
+        taken=draw(st.one_of(st.none(), st.booleans())),
+        target=draw(st.one_of(st.none(),
+                              st.integers(min_value=0, max_value=5000))),
+    )
+
+
+@given(st.lists(dyn_insts(), max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_round_trip_arbitrary_records(tmp_path_factory, records):
+    path = tmp_path_factory.mktemp("traces") / "t.trace"
+    count = save_trace(iter(records), path, n_static=5001)
+    assert count == len(records)
+    loaded = list(load_trace(path))
+    assert loaded == records
