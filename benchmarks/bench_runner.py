@@ -1,0 +1,67 @@
+"""Benchmarks the experiment runner itself.
+
+Measures the orchestration layer rather than any exhibit: serial vs
+parallel suite wall time (cold store) and cold vs warm cache.  On a
+multi-core machine the parallel cold run should land well under the
+serial one (the 12 workloads are independent); the warm run should be
+orders of magnitude faster than either, because nothing is re-traced.
+
+Worker count comes from ``REPRO_BENCH_JOBS`` (default: CPU count).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.runner import ExperimentConfig, ExperimentRunner, ResultStore
+
+#: Smaller budget than the exhibit benches: each round pays the full
+#: 12-workload trace cost from scratch.
+RUNNER_BUDGET = 6_000
+
+CONFIG = ExperimentConfig(max_instructions=RUNNER_BUDGET)
+
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", str(os.cpu_count() or 1)))
+
+
+def _cold_setup(tmp_path_factory, jobs):
+    def setup():
+        root = tmp_path_factory.mktemp("runner-cold")
+        return (ExperimentRunner(store=ResultStore(root), jobs=jobs),), {}
+
+    return setup
+
+
+def _run(runner):
+    return runner.run(CONFIG).require()
+
+
+def bench_suite_serial_cold(benchmark, tmp_path_factory):
+    results = benchmark.pedantic(
+        _run, setup=_cold_setup(tmp_path_factory, jobs=1),
+        rounds=2, iterations=1,
+    )
+    assert len(results) == 12
+
+
+def bench_suite_parallel_cold(benchmark, tmp_path_factory):
+    results = benchmark.pedantic(
+        _run, setup=_cold_setup(tmp_path_factory, jobs=JOBS),
+        rounds=2, iterations=1,
+    )
+    assert len(results) == 12
+
+
+def bench_suite_warm_cache(benchmark, tmp_path_factory):
+    root = tmp_path_factory.mktemp("runner-warm")
+    ExperimentRunner(store=ResultStore(root)).run(CONFIG).require()
+
+    def warm_run():
+        # A fresh runner each call: hits come from the disk store, not
+        # the in-process memo.
+        run = ExperimentRunner(store=ResultStore(root)).run(CONFIG)
+        assert run.metrics.count("computed") == 0
+        return run.require()
+
+    results = benchmark(warm_run)
+    assert len(results) == 12

@@ -1,11 +1,13 @@
 """Shared fixtures for the benchmark harness.
 
 Every ``bench_*`` module regenerates one of the paper's exhibits.  The
-underlying workload analyses are shared through a session-scoped suite
-run (cached in-process by :mod:`repro.report.experiments`), so the
-whole harness pays the trace-analysis cost once.  Rendered tables are
-written to ``benchmarks/results/`` so the regenerated exhibits persist
-as artifacts.
+underlying workload analyses flow through the shared experiment runner
+(:mod:`repro.runner`): the first harness run traces every workload
+(in parallel when ``REPRO_JOBS`` > 1) and writes the results into the
+persistent store, so later harness runs — and ``python -m repro.report``
+— start warm and re-trace nothing.  Rendered tables are written to
+``benchmarks/results/`` so the regenerated exhibits persist as
+artifacts, alongside the runner's metrics for the suite run.
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.report.experiments import ExperimentConfig, run_suite
+from repro.runner import ExperimentConfig, default_runner
 
 #: Dynamic-instruction budget per workload for the bench harness.  The
 #: paper-quality runs use the report CLI with a larger budget; the
@@ -25,9 +27,11 @@ BENCH_CONFIG = ExperimentConfig(max_instructions=BENCH_BUDGET)
 
 
 @pytest.fixture(scope="session")
-def suite_results():
+def suite_results(results_dir):
     """Per-workload analysis results for the whole suite."""
-    return run_suite(BENCH_CONFIG)
+    run = default_runner().run(BENCH_CONFIG)
+    run.metrics.dump(results_dir / "runner_metrics.json")
+    return run.require()
 
 
 @pytest.fixture(scope="session")

@@ -36,3 +36,15 @@ class CompileError(ReproError):
 class SimError(ReproError):
     """The simulated machine hit a fault (bad PC, unaligned access,
     division by zero, instruction limit, ...)."""
+
+
+class RunnerError(ReproError):
+    """An experiment suite run finished with failed jobs.
+
+    Attributes:
+        failures: workload name -> :class:`repro.runner.job.JobFailure`.
+    """
+
+    def __init__(self, message: str, failures=None):
+        self.failures = dict(failures or {})
+        super().__init__(message)

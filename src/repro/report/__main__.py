@@ -48,6 +48,9 @@ def main(argv=None) -> int:
                         help="dynamic-instruction budget per workload")
     parser.add_argument("--workloads", default=None,
                         help="comma-separated workload names (default: all)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the workload analyses "
+                             "(default: $REPRO_JOBS, else serial)")
     args = parser.parse_args(argv)
 
     workloads = tuple(args.workloads.split(",")) if args.workloads else None
@@ -57,7 +60,7 @@ def main(argv=None) -> int:
         workloads=workloads,
     )
     start = time.time()
-    results = run_suite(config)
+    results = run_suite(config, jobs=args.jobs)
     names = sorted(_EXHIBITS) if args.exhibit == "all" else [args.exhibit]
     for name in names:
         try:

@@ -10,9 +10,7 @@ Fig. 13 a percentage of dynamic conditional branches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.core import AnalysisConfig, AnalysisResult, analyze_machine
+from repro.core import AnalysisResult
 from repro.core.events import (
     ARC_NP,
     ARC_PN,
@@ -31,60 +29,36 @@ from repro.report.tables import (
     log2_bucket_edges,
     percentage,
 )
-from repro.workloads import SUITE, get_workload
+# Re-exported for backwards compatibility: the config type moved to
+# the runner subsystem, which owns experiment execution.
+from repro.runner.job import ExperimentConfig  # noqa: F401
+from repro.runner.api import default_runner
+from repro.workloads import get_workload
 
 #: Single-letter predictor labels in the paper's order.
 LETTERS = {"last": "L", "stride": "S", "context": "C"}
 
 
-@dataclass(frozen=True)
-class ExperimentConfig:
-    """Scope of one experiment run.
-
-    Attributes:
-        scale: workload problem-size multiplier.
-        max_instructions: dynamic-instruction budget per workload.
-        workloads: workload names to run (None = the full suite).
-        predictors: predictor kinds to analyse side by side.
-        trees_for: predictors with per-generate tree tracking.
-        gen_cap: generator-id cap for tree tracking.
-    """
-
-    scale: int = 1
-    max_instructions: int = 150_000
-    workloads: tuple[str, ...] | None = None
-    predictors: tuple[str, ...] = PREDICTOR_KINDS
-    trees_for: tuple[str, ...] = ("context",)
-    gen_cap: int = 64
-
-
-_CACHE: dict[tuple, AnalysisResult] = {}
-
-
 def run_workload(name: str, config: ExperimentConfig) -> AnalysisResult:
-    """Analyse one workload under ``config`` (cached per process)."""
-    key = (
-        name, config.scale, config.max_instructions, config.predictors,
-        config.trees_for, config.gen_cap,
-    )
-    if key not in _CACHE:
-        workload = get_workload(name)
-        machine = workload.machine(scale=config.scale)
-        analysis_config = AnalysisConfig(
-            predictors=config.predictors,
-            trees_for=config.trees_for,
-            gen_cap=config.gen_cap,
-            max_instructions=config.max_instructions,
-        )
-        _CACHE[key] = analyze_machine(machine, name, analysis_config)
-    return _CACHE[key]
+    """Analyse one workload under ``config``.
+
+    Delegates to the shared :class:`repro.runner.ExperimentRunner`:
+    repeat calls return the identical in-memory object, and results
+    persist in the disk store so later processes skip the trace
+    entirely (disable with ``REPRO_NO_CACHE=1``).
+    """
+    return default_runner().run_one(name, config)
 
 
-def run_suite(config: ExperimentConfig | None = None):
-    """Analyse all configured workloads; returns name -> result."""
+def run_suite(config: ExperimentConfig | None = None, jobs: int | None = None):
+    """Analyse all configured workloads; returns name -> result.
+
+    ``jobs`` > 1 fans workloads out over the runner's process pool
+    (default: the ``REPRO_JOBS`` environment variable, else serial).
+    Raises :class:`repro.errors.RunnerError` if any workload fails.
+    """
     config = config or ExperimentConfig()
-    names = config.workloads or tuple(w.name for w in SUITE)
-    return {name: run_workload(name, config) for name in names}
+    return default_runner().run(config, jobs=jobs).require()
 
 
 def _kinds(results):

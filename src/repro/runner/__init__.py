@@ -1,0 +1,61 @@
+"""Experiment orchestration: parallel, disk-cached, fault-tolerant.
+
+The runner is the layer between the analysis core and every consumer
+of suite results (the report exhibits, the benchmark harness, the
+CLIs).  It owns
+
+* the **job model** (:mod:`repro.runner.job`) — a deterministic
+  content hash per (workload, config) pair, derived from the compiled
+  program bytes, the generated inputs and the analysis configuration;
+* the **result store** (:mod:`repro.runner.cache`) — persistent,
+  content-addressed, checksummed, LRU-bounded;
+* the **pool** (:mod:`repro.runner.pool`) — per-job processes with
+  timeout, retry and crash isolation;
+* the **metrics** (:mod:`repro.runner.metrics`) — per-job wall time
+  and throughput, cache hit/miss counts, peak concurrency;
+* the **API** (:mod:`repro.runner.api`) tying them together, and a CLI
+  (``python -m repro.runner``).
+
+See docs/runner.md for the architecture and on-disk formats.
+"""
+
+from repro.runner.api import (
+    DEFAULT_CACHE_DIR,
+    ExperimentRun,
+    ExperimentRunner,
+    default_runner,
+    default_store,
+    reset_default_runner,
+)
+from repro.runner.cache import ResultStore
+from repro.runner.job import (
+    RESULT_SCHEMA,
+    ExperimentConfig,
+    Job,
+    JobFailure,
+    job_key,
+)
+from repro.runner.metrics import JobMetric, RunMetrics
+from repro.runner.pool import PoolRun, Task, TaskError, TaskPool, TaskResult
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ExperimentConfig",
+    "ExperimentRun",
+    "ExperimentRunner",
+    "Job",
+    "JobFailure",
+    "JobMetric",
+    "PoolRun",
+    "RESULT_SCHEMA",
+    "ResultStore",
+    "RunMetrics",
+    "Task",
+    "TaskError",
+    "TaskPool",
+    "TaskResult",
+    "default_runner",
+    "default_store",
+    "job_key",
+    "reset_default_runner",
+]

@@ -1,0 +1,345 @@
+"""Experiment orchestration: jobs -> pool -> store -> results.
+
+:class:`ExperimentRunner` is the one place experiment execution
+happens; the report layer, the benchmark harness and the CLI all
+delegate here, so they share a single warm store.  Resolution order
+for every job:
+
+1. **in-process memo** — same object back, zero cost (preserves the
+   old ``_CACHE`` identity semantics);
+2. **disk store** — deserialised via
+   :func:`repro.core.export.result_from_dict`; renders byte-identical
+   exhibits;
+3. **compute** — trace + analyse, then write through to both layers.
+
+Parallel runs ship nothing through pipes: each worker writes its
+result into the store (content-addressed by job key, atomic replace)
+and the parent reads it back.  The store *is* the transport, which is
+also why a ``--no-cache`` parallel run still uses one — a throwaway
+store in a temp directory.
+
+Environment knobs (read at :func:`default_runner` construction):
+
+* ``REPRO_CACHE_DIR`` — store location (default ``.repro-cache/``);
+* ``REPRO_NO_CACHE`` — set to disable the disk store entirely;
+* ``REPRO_JOBS`` — default worker count for suite runs.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro.core import analyze_machine
+from repro.core.export import result_from_dict, result_to_dict
+from repro.errors import RunnerError
+from repro.runner.cache import DEFAULT_MAX_BYTES, ResultStore
+from repro.runner.job import ExperimentConfig, Job, JobFailure, job_key
+from repro.runner.metrics import (
+    STATUS_CACHE_HIT,
+    STATUS_COMPUTED,
+    STATUS_FAILED,
+    STATUS_MEMO_HIT,
+    JobMetric,
+    RunMetrics,
+)
+from repro.runner.pool import Task, TaskError, TaskPool
+from repro.workloads import SUITE, get_workload
+
+#: Default store location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass
+class ExperimentRun:
+    """Outcome of one suite run.
+
+    ``results`` holds every successful workload in request order;
+    ``failures`` the rest.  ``metrics`` always covers both.
+    """
+
+    results: dict = field(default_factory=dict)
+    failures: dict = field(default_factory=dict)
+    metrics: RunMetrics = field(default_factory=RunMetrics)
+
+    def require(self) -> dict:
+        """The results, raising :class:`RunnerError` on any failure."""
+        if self.failures:
+            detail = "; ".join(
+                f"{name}: {failure.error.strip().splitlines()[-1]}"
+                for name, failure in self.failures.items()
+            )
+            raise RunnerError(
+                f"{len(self.failures)} job(s) failed: {detail}",
+                failures=self.failures,
+            )
+        return self.results
+
+
+def _analyze(name: str, config: ExperimentConfig):
+    workload = get_workload(name)
+    machine = workload.machine(scale=config.scale)
+    job = Job(name, config)
+    return analyze_machine(machine, name, job.analysis_config())
+
+
+def _execute_job(name: str, config: ExperimentConfig, key: str,
+                 store_root: str, max_bytes: int) -> str:
+    """Pool worker: compute one job and write it through the store.
+
+    Returns the key so the parent knows where to read the result.
+    Runs in a separate process; must stay picklable/module-level.
+    """
+    store = ResultStore(store_root, max_bytes=max_bytes)
+    if store.get(key) is None:
+        result = _analyze(name, config)
+        store.put(key, result_to_dict(result))
+    return key
+
+
+class ExperimentRunner:
+    """Owns the memo, the store and the pool for experiment suites.
+
+    Args:
+        store: a :class:`ResultStore`, or None to run without a disk
+            cache (in-process memo only).
+        jobs: default worker count for :meth:`run`.
+        timeout: per-job wall-clock limit in seconds (parallel runs).
+        retries: extra attempts for a failed job (parallel runs).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        jobs: int = 1,
+        timeout: float | None = None,
+        retries: int = 1,
+    ):
+        self.store = store
+        self.jobs = max(1, jobs)
+        self.timeout = timeout
+        self.retries = retries
+        self._memo: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Single-job path (the report layer's run_workload).
+    # ------------------------------------------------------------------
+
+    def run_one(self, name: str, config: ExperimentConfig):
+        """Analyse one workload in-process; exceptions propagate.
+
+        Repeat calls with an equal config return the identical object
+        (memo), so exhibit code can rely on result identity.
+        """
+        key = job_key(Job(name, config))
+        result = self._memo.get(key)
+        if result is not None:
+            return result
+        result = self._load(key)
+        if result is None:
+            result = _analyze(name, config)
+            if self.store is not None:
+                self.store.put(key, result_to_dict(result))
+        self._memo[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Suite path.
+    # ------------------------------------------------------------------
+
+    def run(self, config: ExperimentConfig | None = None,
+            jobs: int | None = None) -> ExperimentRun:
+        """Run every configured workload; never raises for job errors.
+
+        A job that fails to hash, times out, crashes or raises is
+        recorded as a :class:`JobFailure` in ``run.failures``; the
+        remaining jobs complete normally.
+        """
+        config = config or ExperimentConfig()
+        workers = max(1, jobs if jobs is not None else self.jobs)
+        names = config.workloads or tuple(w.name for w in SUITE)
+        run = ExperimentRun()
+        run.metrics.requested_workers = workers
+        start = time.monotonic()
+
+        # Hash every job; a workload whose compile/input generation
+        # blows up fails here without sinking the suite.  Unknown names
+        # still raise — that is a caller bug, not a job fault.
+        keyed: list[tuple[str, str]] = []
+        for name in names:
+            get_workload(name)
+            try:
+                keyed.append((name, job_key(Job(name, config))))
+            except Exception as error:
+                self._record_failure(run, name, "", JobFailure(
+                    workload=name, error=f"{type(error).__name__}: {error}",
+                ))
+
+        # Serve memo/store hits; collect the rest for execution.
+        misses: list[tuple[str, str]] = []
+        for name, key in keyed:
+            hit = self._memo.get(key)
+            status = STATUS_MEMO_HIT
+            if hit is None:
+                hit = self._load(key)
+                status = STATUS_CACHE_HIT
+            if hit is None:
+                misses.append((name, key))
+                continue
+            self._memo[key] = hit
+            run.results[name] = hit
+            run.metrics.add(JobMetric(workload=name, key=key, status=status))
+
+        if misses:
+            if workers == 1 or len(misses) == 1:
+                self._run_serial(run, config, misses)
+            else:
+                self._run_parallel(run, config, misses, workers)
+
+        # Present results in request order regardless of completion order.
+        run.results = {
+            name: run.results[name] for name in names if name in run.results
+        }
+        run.metrics.jobs.sort(key=lambda m: names.index(m.workload))
+        run.metrics.total_wall = time.monotonic() - start
+        return run
+
+    # ------------------------------------------------------------------
+    # Execution strategies.
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, run: ExperimentRun, config, misses) -> None:
+        run.metrics.peak_workers = max(run.metrics.peak_workers, 1)
+        for name, key in misses:
+            job_start = time.monotonic()
+            try:
+                result = _analyze(name, config)
+            except Exception as error:
+                self._record_failure(run, name, key, JobFailure(
+                    workload=name,
+                    error=f"{type(error).__name__}: {error}",
+                    wall_time=time.monotonic() - job_start,
+                ))
+                continue
+            if self.store is not None:
+                self.store.put(key, result_to_dict(result))
+            self._memo[key] = result
+            run.results[name] = result
+            run.metrics.add(JobMetric(
+                workload=name, key=key, status=STATUS_COMPUTED,
+                wall_time=time.monotonic() - job_start,
+                instructions=result.nodes, attempts=1,
+            ))
+
+    def _run_parallel(self, run: ExperimentRun, config, misses,
+                      workers: int) -> None:
+        # A disk store is the result channel; without one, use a
+        # throwaway store that only lives for this run.
+        scratch = None
+        store = self.store
+        if store is None:
+            scratch = tempfile.TemporaryDirectory(prefix="repro-runner-")
+            store = ResultStore(scratch.name)
+        try:
+            pool = TaskPool(max_workers=workers, timeout=self.timeout,
+                            retries=self.retries)
+            tasks = [
+                Task(key=key, fn=_execute_job,
+                     args=(name, config, key, str(store.root),
+                           store.max_bytes))
+                for name, key in misses
+            ]
+            pool_run = pool.run(tasks)
+            run.metrics.peak_workers = max(
+                run.metrics.peak_workers, pool_run.peak_workers
+            )
+            for name, key in misses:
+                outcome = pool_run.outcomes.get(key)
+                if isinstance(outcome, TaskError):
+                    self._record_failure(run, name, key, JobFailure(
+                        workload=name, error=outcome.error,
+                        attempts=outcome.attempts,
+                        wall_time=outcome.wall_time,
+                        timed_out=outcome.timed_out,
+                    ))
+                    continue
+                payload = store.get(key)
+                if payload is None:
+                    self._record_failure(run, name, key, JobFailure(
+                        workload=name,
+                        error="worker reported success but no stored "
+                              "result was found",
+                        attempts=outcome.attempts if outcome else 1,
+                    ))
+                    continue
+                result = result_from_dict(payload)
+                self._memo[key] = result
+                run.results[name] = result
+                run.metrics.add(JobMetric(
+                    workload=name, key=key, status=STATUS_COMPUTED,
+                    wall_time=outcome.wall_time, instructions=result.nodes,
+                    attempts=outcome.attempts,
+                ))
+        finally:
+            if scratch is not None:
+                scratch.cleanup()
+
+    # ------------------------------------------------------------------
+    # Helpers.
+    # ------------------------------------------------------------------
+
+    def _load(self, key: str):
+        if self.store is None:
+            return None
+        payload = self.store.get(key)
+        if payload is None:
+            return None
+        return result_from_dict(payload)
+
+    def _record_failure(self, run: ExperimentRun, name: str, key: str,
+                        failure: JobFailure) -> None:
+        run.failures[name] = failure
+        run.metrics.add(JobMetric(
+            workload=name, key=key, status=STATUS_FAILED,
+            wall_time=failure.wall_time, attempts=failure.attempts,
+            error=failure.error.strip().splitlines()[-1]
+            if failure.error else "",
+        ))
+
+    def clear_memo(self) -> None:
+        """Drop the in-process memo (the disk store is untouched)."""
+        self._memo.clear()
+
+
+# ----------------------------------------------------------------------
+# The shared default runner.
+# ----------------------------------------------------------------------
+
+_DEFAULT_RUNNER: ExperimentRunner | None = None
+
+
+def default_store() -> ResultStore | None:
+    """The store the default runner uses, honouring the environment."""
+    if os.environ.get("REPRO_NO_CACHE"):
+        return None
+    root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    return ResultStore(root, max_bytes=DEFAULT_MAX_BYTES)
+
+
+def default_runner() -> ExperimentRunner:
+    """The process-wide runner every consumer shares."""
+    global _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None:
+        _DEFAULT_RUNNER = ExperimentRunner(
+            store=default_store(),
+            jobs=int(os.environ.get("REPRO_JOBS", "1")),
+        )
+    return _DEFAULT_RUNNER
+
+
+def reset_default_runner() -> None:
+    """Forget the shared runner (tests re-read the environment)."""
+    global _DEFAULT_RUNNER
+    _DEFAULT_RUNNER = None

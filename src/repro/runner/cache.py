@@ -1,0 +1,181 @@
+"""Persistent content-addressed result store.
+
+Results live under ``<root>/results/<key[:2]>/<key>.json`` where
+``key`` is the job's content hash (:func:`repro.runner.job.job_key`).
+Each file is an envelope::
+
+    {"schema": 1, "key": "<hex>", "checksum": "<sha256>", "payload": {...}}
+
+``checksum`` is the sha256 of the canonical (sorted-keys, compact)
+JSON dump of ``payload``.  :meth:`ResultStore.get` validates both the
+schema version and the checksum; *any* problem — unreadable file,
+truncated JSON, wrong schema, checksum mismatch — is treated as a
+cache miss and the offending file is quietly removed.  Corruption can
+never crash a run.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent pool
+workers and parallel pytest sessions can share one store: the worst
+race is two workers computing the same job and one replace winning,
+which is harmless because both wrote identical bytes-for-key content.
+
+The store is bounded: after every write, least-recently-used entries
+(by file mtime; reads bump it) are evicted until total size is back
+under ``max_bytes``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+#: On-disk envelope version; bump on envelope layout changes.
+SCHEMA_VERSION = 1
+
+#: Default size cap for the store (bytes).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ResultStore:
+    """Disk-backed, content-addressed store of analysis payloads."""
+
+    def __init__(self, root: str | Path, max_bytes: int = DEFAULT_MAX_BYTES):
+        self.root = Path(root)
+        self.results_dir = self.root / "results"
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / insert.
+    # ------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.results_dir / key[:2] / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            envelope = json.loads(path.read_text())
+            if envelope["schema"] != SCHEMA_VERSION:
+                raise ValueError(f"schema {envelope['schema']}")
+            payload = envelope["payload"]
+            if _checksum(_canonical(payload)) != envelope["checksum"]:
+                raise ValueError("checksum mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated/garbled/stale file: drop it and treat as a miss.
+            self._remove(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touch(path)
+        return payload
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically store ``payload`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        canonical = _canonical(payload)
+        text = json.dumps({
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "checksum": _checksum(canonical),
+            "payload": payload,
+        })
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            self._remove(Path(tmp_name))
+            raise
+        self.evict()
+        return path
+
+    # ------------------------------------------------------------------
+    # Size management.
+    # ------------------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        if not self.results_dir.is_dir():
+            return []
+        return sorted(self.results_dir.glob("*/*.json"))
+
+    def size_bytes(self) -> int:
+        return sum(self._stat_size(path) for path in self.entries())
+
+    def evict(self) -> int:
+        """Remove least-recently-used entries until under ``max_bytes``.
+
+        The most recently written/read entry always survives, even when
+        it alone exceeds the cap.  Returns the number of evictions.
+        """
+        stats = []
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stats.append((stat.st_mtime, stat.st_size, path))
+        stats.sort()
+        total = sum(size for __, size, __ in stats)
+        evicted = 0
+        while total > self.max_bytes and len(stats) > 1:
+            __, size, path = stats.pop(0)
+            self._remove(path)
+            total -= size
+            evicted += 1
+        return evicted
+
+    def clear(self) -> int:
+        """Remove every stored result; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            self._remove(path)
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Helpers.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _stat_size(path: Path) -> int:
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _remove(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,137 @@
+"""The runner's job model.
+
+A :class:`Job` is the unit of orchestration: one workload analysed
+under one :class:`ExperimentConfig`.  Every job has a deterministic
+**content hash** (:func:`job_key`) derived from
+
+* the compiled program bytes (instruction listing, data segment and
+  entry point) — so recompiling after a mini-C source or compiler
+  change invalidates cached results;
+* the mini-C source hash itself (defence in depth: it also changes the
+  compiled bytes, but hashing it directly makes the invalidation
+  independent of listing formatting);
+* the generated input streams at the configured scale;
+* every field of the effective :class:`repro.core.AnalysisConfig`;
+* :data:`RESULT_SCHEMA`, bumped whenever analysis *semantics* change
+  without any input changing (see docs/runner.md).
+
+Two processes — or two sessions days apart — that build the same job
+therefore agree on its key, which is what lets the disk store double
+as the transport channel between pool workers and the parent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+
+from repro.core import AnalysisConfig
+from repro.predictors.base import PREDICTOR_KINDS
+from repro.workloads import get_workload
+
+#: Bump when the analyzer's semantics change in a way that should
+#: invalidate previously cached results (new statistic, changed
+#: classification rule, predictor behaviour fix, ...).
+RESULT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scope of one experiment run.
+
+    Attributes:
+        scale: workload problem-size multiplier.
+        max_instructions: dynamic-instruction budget per workload.
+        workloads: workload names to run (None = the full suite).
+        predictors: predictor kinds to analyse side by side.
+        trees_for: predictors with per-generate tree tracking.
+        gen_cap: generator-id cap for tree tracking.
+    """
+
+    scale: int = 1
+    max_instructions: int = 150_000
+    workloads: tuple[str, ...] | None = None
+    predictors: tuple[str, ...] = PREDICTOR_KINDS
+    trees_for: tuple[str, ...] = ("context",)
+    gen_cap: int = 64
+
+
+@dataclass(frozen=True)
+class Job:
+    """One (workload, config) pair — the unit the pool schedules."""
+
+    workload: str
+    config: ExperimentConfig
+
+    def analysis_config(self) -> AnalysisConfig:
+        """The analyzer knobs this job runs with."""
+        return AnalysisConfig(
+            predictors=self.config.predictors,
+            trees_for=self.config.trees_for,
+            gen_cap=self.config.gen_cap,
+            max_instructions=self.config.max_instructions,
+        )
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Record of a job that could not produce a result.
+
+    A failed job never aborts the suite; it is returned alongside the
+    successful results so callers can decide what a partial suite is
+    worth.
+
+    Attributes:
+        workload: the job's workload name.
+        error: human-readable error (exception repr or traceback tail).
+        attempts: how many times the job was attempted.
+        wall_time: seconds spent on the final attempt.
+        timed_out: True when the final attempt hit the per-job timeout.
+    """
+
+    workload: str
+    error: str
+    attempts: int = 1
+    wall_time: float = 0.0
+    timed_out: bool = False
+
+
+def program_bytes(program) -> bytes:
+    """Canonical bytes of a compiled program, for content hashing."""
+    parts = [f"entry={program.entry}", program.listing()]
+    for item in program.data:
+        parts.append(
+            f"{item.addr}:{item.size}:{item.value!r}:{int(item.is_float)}"
+        )
+    return "\n".join(parts).encode()
+
+
+def job_key(job: Job) -> str:
+    """Deterministic content hash of ``job`` (hex sha256).
+
+    Compiles the workload (cached per :class:`~repro.workloads.Workload`
+    instance) and generates its inputs, so the key reflects what would
+    actually run — not just the names on the label.
+    """
+    workload = get_workload(job.workload)
+    digest = hashlib.sha256()
+
+    def feed(*parts) -> None:
+        for part in parts:
+            digest.update(str(part).encode())
+            digest.update(b"\x00")
+
+    feed("repro-job", RESULT_SCHEMA, workload.name, workload.spec_name,
+         workload.kind)
+    feed("source", workload.source_hash())
+    digest.update(program_bytes(workload.program()))
+    words, floats = workload.make_inputs(job.config.scale)
+    feed("scale", job.config.scale, "words", len(words))
+    digest.update(",".join(map(str, words)).encode())
+    feed("floats", len(floats))
+    digest.update(",".join(repr(value) for value in floats).encode())
+    analysis = job.analysis_config()
+    for config_field in dataclasses.fields(analysis):
+        feed(config_field.name, getattr(analysis, config_field.name))
+    return digest.hexdigest()

@@ -1,0 +1,246 @@
+"""Fault-tolerant parallel task execution.
+
+The pool fans tasks out over one :class:`multiprocessing.Process` per
+running task (capped at ``max_workers`` concurrent), rather than a
+``multiprocessing.Pool`` — a dedicated process is the only way to
+enforce a *per-task timeout with teeth*: a hung or runaway worker is
+terminated without poisoning its siblings.
+
+Failure handling, per task:
+
+* the function raising → the traceback travels back over the task's
+  queue and is recorded;
+* the process dying without reporting (segfault, ``os._exit``,
+  OOM-kill) → detected by exit code, recorded;
+* the deadline passing → the process is terminated (then killed) and
+  the timeout recorded.
+
+Each failure mode consumes one attempt; a task gets ``1 + retries``
+attempts before it is recorded as a :class:`TaskError`.  Failures
+never abort the run — the remaining tasks keep flowing.
+
+The ``fork`` start method is preferred when the platform offers it:
+workers inherit the parent's (already-imported, already-monkeypatched)
+state, which keeps startup cheap and makes test fault-injection
+straightforward.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit: ``fn(*args)`` run in a worker process."""
+
+    key: str
+    fn: Callable
+    args: tuple = ()
+
+
+@dataclass
+class TaskResult:
+    """A task's successful outcome.
+
+    ``wall_time`` covers the successful attempt only; ``attempts``
+    counts every try including failed ones.
+    """
+
+    key: str
+    value: object
+    wall_time: float
+    attempts: int
+
+
+@dataclass
+class TaskError:
+    """A task that failed every attempt."""
+
+    key: str
+    error: str
+    wall_time: float
+    attempts: int
+    timed_out: bool = False
+
+
+@dataclass
+class PoolRun:
+    """Everything one :meth:`TaskPool.run` call produced."""
+
+    outcomes: dict[str, TaskResult | TaskError]
+    peak_workers: int
+    wall_time: float
+
+    def results(self) -> dict[str, TaskResult]:
+        return {key: out for key, out in self.outcomes.items()
+                if isinstance(out, TaskResult)}
+
+    def errors(self) -> dict[str, TaskError]:
+        return {key: out for key, out in self.outcomes.items()
+                if isinstance(out, TaskError)}
+
+
+def _worker_entry(result_queue, fn, args) -> None:
+    try:
+        value = fn(*args)
+    except BaseException:
+        result_queue.put(("error", traceback.format_exc()))
+    else:
+        result_queue.put(("ok", value))
+
+
+class _Running:
+    __slots__ = ("task", "process", "queue", "started", "deadline", "attempt")
+
+    def __init__(self, task, process, result_queue, started, deadline,
+                 attempt):
+        self.task = task
+        self.process = process
+        self.queue = result_queue
+        self.started = started
+        self.deadline = deadline
+        self.attempt = attempt
+
+
+class TaskPool:
+    """Bounded-concurrency process supervisor.
+
+    Args:
+        max_workers: concurrent worker cap (default: CPU count).
+        timeout: per-attempt wall-clock limit in seconds (None = no
+            limit).
+        retries: extra attempts after a failed one.
+        poll_interval: supervisor scan period in seconds.
+        start_method: multiprocessing start method; default prefers
+            ``fork`` where available.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
+        poll_interval: float = 0.02,
+        start_method: str | None = None,
+    ):
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+        self.max_workers = max(1, max_workers or os.cpu_count() or 1)
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.poll_interval = poll_interval
+
+    def run(self, tasks) -> PoolRun:
+        """Execute ``tasks``; returns outcomes keyed by task key."""
+        run_start = time.monotonic()
+        pending: list[tuple[Task, int]] = [(task, 1) for task in tasks]
+        pending.reverse()  # pop() from the end preserves input order
+        running: list[_Running] = []
+        outcomes: dict[str, TaskResult | TaskError] = {}
+        peak = 0
+
+        while pending or running:
+            while pending and len(running) < self.max_workers:
+                task, attempt = pending.pop()
+                running.append(self._launch(task, attempt))
+            peak = max(peak, len(running))
+
+            still_running = []
+            for entry in running:
+                finished = self._scan(entry, outcomes, pending)
+                if not finished:
+                    still_running.append(entry)
+            running = still_running
+            if running:
+                time.sleep(self.poll_interval)
+
+        return PoolRun(
+            outcomes=outcomes,
+            peak_workers=peak,
+            wall_time=time.monotonic() - run_start,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _launch(self, task: Task, attempt: int) -> _Running:
+        result_queue = self._ctx.Queue(maxsize=1)
+        process = self._ctx.Process(
+            target=_worker_entry,
+            args=(result_queue, task.fn, task.args),
+            daemon=True,
+        )
+        process.start()
+        now = time.monotonic()
+        deadline = now + self.timeout if self.timeout is not None else None
+        return _Running(task, process, result_queue, now, deadline, attempt)
+
+    def _scan(self, entry: _Running, outcomes, pending) -> bool:
+        """Check one running task; returns True when it left the pool."""
+        try:
+            status, value = entry.queue.get_nowait()
+        except queue_module.Empty:
+            pass
+        else:
+            self._join(entry)
+            self._settle(entry, status, value, outcomes, pending)
+            return True
+
+        if not entry.process.is_alive():
+            # Died without (yet) delivering: drain once more, then treat
+            # an empty queue as a hard crash.
+            try:
+                status, value = entry.queue.get(timeout=0.25)
+            except queue_module.Empty:
+                status, value = "error", (
+                    f"worker died with exit code {entry.process.exitcode}"
+                )
+            self._join(entry)
+            self._settle(entry, status, value, outcomes, pending)
+            return True
+
+        if entry.deadline is not None and time.monotonic() > entry.deadline:
+            entry.process.terminate()
+            entry.process.join(timeout=1.0)
+            if entry.process.is_alive():
+                entry.process.kill()
+                entry.process.join(timeout=1.0)
+            entry.queue.close()
+            error = f"timed out after {self.timeout:.1f}s"
+            self._settle(entry, "timeout", error, outcomes, pending)
+            return True
+        return False
+
+    def _settle(self, entry, status, value, outcomes, pending) -> None:
+        wall = time.monotonic() - entry.started
+        if status == "ok":
+            outcomes[entry.task.key] = TaskResult(
+                key=entry.task.key, value=value, wall_time=wall,
+                attempts=entry.attempt,
+            )
+            return
+        if entry.attempt <= self.retries:
+            pending.append((entry.task, entry.attempt + 1))
+            return
+        outcomes[entry.task.key] = TaskError(
+            key=entry.task.key, error=str(value), wall_time=wall,
+            attempts=entry.attempt, timed_out=(status == "timeout"),
+        )
+
+    @staticmethod
+    def _join(entry: _Running) -> None:
+        entry.process.join(timeout=5.0)
+        if entry.process.is_alive():
+            entry.process.kill()
+            entry.process.join(timeout=1.0)
+        entry.queue.close()

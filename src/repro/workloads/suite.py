@@ -10,6 +10,7 @@ performance budget for why we do not trace billions of instructions).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -35,6 +36,8 @@ class Workload:
         kind: "int" or "fp".
         description: one-line description of the kernel.
         make_inputs: scale -> (input words, input floats).
+        source_file: explicit mini-C source path; None derives the
+            path from ``spec_name`` under the bundled programs/ dir.
     """
 
     name: str
@@ -42,20 +45,35 @@ class Workload:
     kind: str
     description: str
     make_inputs: InputMaker
+    source_file: Path | None = field(default=None, compare=False)
     _program: Program | None = field(default=None, repr=False, compare=False)
+    _program_source_hash: str | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def source_path(self) -> Path:
+        if self.source_file is not None:
+            return self.source_file
         return _PROGRAM_DIR / f"{self.spec_name.split('.')[1]}.mc"
 
     def source(self) -> str:
         """The workload's mini-C source."""
         return self.source_path.read_text()
 
+    def source_hash(self) -> str:
+        """sha256 of the current mini-C source text."""
+        return hashlib.sha256(self.source().encode()).hexdigest()
+
     def program(self) -> Program:
-        """The compiled program (cached per Workload instance)."""
-        if self._program is None:
-            self._program = compile_program(self.source())
+        """The compiled program, cached per Workload instance and
+        keyed by the source hash — editing the ``.mc`` file mid-process
+        recompiles instead of serving a stale program."""
+        source = self.source()
+        digest = hashlib.sha256(source.encode()).hexdigest()
+        if self._program is None or self._program_source_hash != digest:
+            self._program = compile_program(source)
+            self._program_source_hash = digest
         return self._program
 
     def machine(

@@ -1,0 +1,143 @@
+"""Result store: round trips, corruption recovery, LRU bounding."""
+
+import json
+import os
+
+from repro.core.export import result_from_dict, result_to_dict
+from repro.runner import ExperimentConfig, ResultStore
+from repro.runner.api import _analyze
+from repro.runner.cache import SCHEMA_VERSION
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+KEY_C = "cc" + "0" * 62
+
+
+class TestStoreBasics:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(KEY_A) is None
+        store.put(KEY_A, {"x": 1})
+        assert store.get(KEY_A) == {"x": 1}
+        assert store.hits == 1 and store.misses == 1
+
+    def test_contains_and_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert not store.contains(KEY_A)
+        store.put(KEY_A, {"x": 1})
+        store.put(KEY_B, {"y": 2})
+        assert store.contains(KEY_A)
+        assert len(store.entries()) == 2
+
+    def test_put_overwrites_atomically(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        store.put(KEY_A, {"x": 2})
+        assert store.get(KEY_A) == {"x": 2}
+        assert len(store.entries()) == 1
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        store.put(KEY_B, {"y": 2})
+        assert store.clear() == 2
+        assert store.entries() == []
+
+
+class TestCorruptionRecovery:
+    def test_garbage_file_is_a_miss_and_removed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, {"x": 1})
+        path.write_text("not json at all {{{")
+        assert store.get(KEY_A) is None
+        assert not path.exists()
+
+    def test_truncated_file_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, {"x": 1})
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert store.get(KEY_A) is None
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, {"x": 1})
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["x"] = 999
+        path.write_text(json.dumps(envelope))
+        assert store.get(KEY_A) is None
+        assert not path.exists()
+
+    def test_old_schema_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, {"x": 1})
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(envelope))
+        assert store.get(KEY_A) is None
+
+    def test_recovery_after_corruption_via_put(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, {"x": 1})
+        path.write_text("garbage")
+        assert store.get(KEY_A) is None
+        store.put(KEY_A, {"x": 1})
+        assert store.get(KEY_A) == {"x": 1}
+
+
+class TestEviction:
+    def test_lru_evicts_oldest_first(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=10**9)
+        paths = {}
+        for age, key in ((300, KEY_A), (200, KEY_B), (100, KEY_C)):
+            paths[key] = store.put(key, {"k": key})
+            stamp = 1_600_000_000 - age
+            os.utime(paths[key], (stamp, stamp))
+        store.max_bytes = paths[KEY_C].stat().st_size * 2 + 1
+        store.evict()
+        assert not store.contains(KEY_A)
+        assert store.contains(KEY_B) and store.contains(KEY_C)
+
+    def test_newest_entry_always_survives(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=1)  # cap below one entry
+        store.put(KEY_A, {"x": 1})
+        assert store.contains(KEY_A)
+
+    def test_get_refreshes_recency(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=10**9)
+        path_a = store.put(KEY_A, {"k": KEY_A})
+        path_b = store.put(KEY_B, {"k": KEY_B})
+        for index, path in enumerate((path_a, path_b)):
+            stamp = 1_600_000_000 + index
+            os.utime(path, (stamp, stamp))
+        assert store.get(KEY_A) is not None  # bumps A past B
+        store.max_bytes = path_a.stat().st_size + 1
+        store.evict()
+        assert store.contains(KEY_A)
+        assert not store.contains(KEY_B)
+
+
+class TestResultRoundTrip:
+    def test_analysis_result_round_trips_exactly(self):
+        config = ExperimentConfig(max_instructions=2_000)
+        result = _analyze("com", config)
+        payload = result_to_dict(result)
+        # Force a real JSON round trip (str keys, no tuples).
+        payload = json.loads(json.dumps(payload))
+        assert result_from_dict(payload) == result
+
+    def test_round_trip_through_store(self, tmp_path):
+        config = ExperimentConfig(max_instructions=2_000)
+        result = _analyze("go", config)
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, result_to_dict(result))
+        assert result_from_dict(store.get(KEY_A)) == result
+
+    def test_round_trip_preserves_optional_none(self):
+        config = ExperimentConfig(max_instructions=1_000,
+                                  trees_for=())
+        result = _analyze("com", config)
+        restored = result_from_dict(
+            json.loads(json.dumps(result_to_dict(result)))
+        )
+        assert restored.predictors["last"].trees is None
+        assert restored == result

@@ -1,0 +1,194 @@
+"""End-to-end runner behaviour: suites, caching, faults, CLI parity."""
+
+import multiprocessing
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.report import experiments as report_experiments
+from repro.report.experiments import figure5, figure9, table1
+from repro.runner import (
+    ExperimentConfig,
+    ExperimentRunner,
+    ResultStore,
+)
+from repro.runner import api as runner_api
+from repro.runner.api import _analyze
+from repro.workloads import suite as suite_module
+from repro.workloads.suite import Workload
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+SMALL = ExperimentConfig(max_instructions=3_000, workloads=("com", "go"))
+
+
+def _crashing_analyze(name, config):
+    if name == "go":
+        raise RuntimeError("injected analysis fault")
+    return _analyze(name, config)
+
+
+@pytest.fixture
+def faulty_workload(monkeypatch):
+    """Registers 'bad': a workload whose input generator explodes."""
+
+    def explode(scale):
+        raise RuntimeError("injected input fault")
+
+    workload = Workload("bad", "999.bad", "int", "always fails", explode,
+                        source_file=suite_module.SUITE[0].source_path)
+    monkeypatch.setitem(suite_module._BY_NAME, "bad", workload)
+    return workload
+
+
+class TestSerialRunner:
+    def test_suite_run_and_memo_identity(self, tmp_path):
+        runner = ExperimentRunner(store=ResultStore(tmp_path))
+        first = runner.run(SMALL).require()
+        second = runner.run(SMALL).require()
+        assert list(first) == ["com", "go"]
+        assert first["com"] is second["com"]
+
+    def test_warm_store_skips_retracing(self, tmp_path):
+        store_root = tmp_path / "store"
+        cold = ExperimentRunner(store=ResultStore(store_root)).run(SMALL)
+        assert cold.metrics.count("computed") == 2
+        # A fresh runner (empty memo, same store) re-traces nothing.
+        warm = ExperimentRunner(store=ResultStore(store_root)).run(SMALL)
+        assert warm.metrics.count("computed") == 0
+        assert warm.metrics.count("cache-hit") == 2
+        assert warm.require()["com"] == cold.require()["com"]
+
+    def test_no_store_runner_still_memoises(self):
+        runner = ExperimentRunner(store=None)
+        first = runner.run(SMALL).require()
+        assert runner.run(SMALL).require()["go"] is first["go"]
+
+    def test_faulty_workload_does_not_sink_suite(self, faulty_workload):
+        config = ExperimentConfig(
+            max_instructions=2_000, workloads=("com", "bad", "go")
+        )
+        run = ExperimentRunner(store=None).run(config)
+        assert set(run.results) == {"com", "go"}
+        assert set(run.failures) == {"bad"}
+        assert "injected input fault" in run.failures["bad"].error
+        with pytest.raises(RunnerError, match="1 job\\(s\\) failed"):
+            run.require()
+
+    def test_unknown_workload_raises_immediately(self):
+        runner = ExperimentRunner(store=None)
+        config = ExperimentConfig(workloads=("com", "nope"))
+        with pytest.raises(KeyError, match="unknown workload"):
+            runner.run(config)
+
+
+@pytest.mark.slow
+class TestParallelRunner:
+    def test_parallel_matches_serial_byte_for_byte(self, tmp_path):
+        serial = {
+            name: _analyze(name, SMALL) for name in SMALL.workloads
+        }
+        runner = ExperimentRunner(store=ResultStore(tmp_path), jobs=2)
+        parallel = runner.run(SMALL).require()
+        assert table1(serial).render() == table1(parallel).render()
+        assert figure5(serial).render() == figure5(parallel).render()
+        # Figure 9 breaks ranking ties by Counter insertion order: the
+        # store round trip must preserve it, not just the counts.
+        for serial_table, parallel_table in zip(figure9(serial),
+                                                figure9(parallel)):
+            assert serial_table.render() == parallel_table.render()
+
+    def test_parallel_without_store_uses_scratch_transport(self):
+        runner = ExperimentRunner(store=None, jobs=2)
+        run = runner.run(SMALL)
+        assert set(run.require()) == {"com", "go"}
+        assert run.metrics.peak_workers >= 1
+
+    def test_per_job_timeout_records_failure(self, tmp_path):
+        config = ExperimentConfig(
+            max_instructions=200_000, workloads=("com", "go")
+        )
+        runner = ExperimentRunner(
+            store=ResultStore(tmp_path), jobs=2, timeout=0.05, retries=0,
+        )
+        run = runner.run(config)
+        assert run.failures
+        assert all(f.timed_out for f in run.failures.values())
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_injected_child_fault_spares_siblings(self, monkeypatch,
+                                                  tmp_path):
+        monkeypatch.setattr(runner_api, "_analyze", _crashing_analyze)
+        runner = ExperimentRunner(
+            store=ResultStore(tmp_path), jobs=2, retries=0,
+        )
+        run = runner.run(SMALL)
+        assert set(run.results) == {"com"}
+        assert set(run.failures) == {"go"}
+        assert "injected analysis fault" in run.failures["go"].error
+        assert run.metrics.failures == 1
+
+
+class TestReportIntegration:
+    def test_run_workload_uses_shared_runner(self):
+        config = ExperimentConfig(max_instructions=2_000)
+        first = report_experiments.run_workload("com", config)
+        second = report_experiments.run_workload("com", config)
+        assert first is second
+
+    def test_run_suite_order_matches_request(self):
+        config = ExperimentConfig(
+            max_instructions=2_000, workloads=("go", "com")
+        )
+        results = report_experiments.run_suite(config)
+        assert list(results) == ["go", "com"]
+
+
+class TestRunnerCli:
+    def test_cli_runs_and_writes_metrics(self, tmp_path, capsys):
+        from repro.runner.__main__ import main
+
+        cache = tmp_path / "cache"
+        code = main([
+            "--jobs", "2", "--workloads", "com,go",
+            "--max-instructions", "2000", "--cache-dir", str(cache),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "com" in out and "go" in out and "computed" in out
+        assert (cache / "metrics.json").is_file()
+
+    def test_cli_second_run_is_all_hits(self, tmp_path, capsys):
+        from repro.runner.__main__ import main
+
+        cache = tmp_path / "cache"
+        argv = ["--jobs", "2", "--workloads", "com,go",
+                "--max-instructions", "2000", "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache-hit" in out
+        assert "0 computed" in out
+
+    def test_cli_cache_info_and_clear(self, tmp_path, capsys):
+        from repro.runner.__main__ import main
+
+        cache = tmp_path / "cache"
+        main(["--workloads", "com", "--max-instructions", "1000",
+              "--cache-dir", str(cache), "--jobs", "1"])
+        capsys.readouterr()
+        assert main(["--cache-info", "--cache-dir", str(cache)]) == 0
+        assert "entries: 1" in capsys.readouterr().out
+        assert main(["--clear-cache", "--cache-dir", str(cache)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_report_cli_accepts_jobs_flag(self, capsys):
+        from repro.report.__main__ import main
+
+        code = main([
+            "--exhibit", "table1", "--max-instructions", "1000",
+            "--workloads", "com", "--jobs", "1",
+        ])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,130 @@
+"""Task pool: parallel execution, timeout, retry, crash isolation.
+
+Worker functions must be module-level so they survive the trip into a
+worker process under any start method.
+"""
+
+import os
+import time
+
+from repro.runner import Task, TaskError, TaskPool, TaskResult
+
+
+def _square(x):
+    return x * x
+
+
+def _raise(message):
+    raise ValueError(message)
+
+
+def _hard_exit(code):
+    os._exit(code)
+
+
+def _sleep(seconds):
+    time.sleep(seconds)
+    return "woke"
+
+
+def _fail_first_time(sentinel_path):
+    """Crashes on the first attempt, succeeds on the second."""
+    if os.path.exists(sentinel_path):
+        return "recovered"
+    with open(sentinel_path, "w") as handle:
+        handle.write("attempt 1")
+    os._exit(1)
+
+
+class TestHappyPath:
+    def test_results_keyed_and_ordered(self):
+        pool = TaskPool(max_workers=2, retries=0)
+        run = pool.run([Task(str(n), _square, (n,)) for n in range(5)])
+        assert set(run.outcomes) == {str(n) for n in range(5)}
+        for n in range(5):
+            outcome = run.outcomes[str(n)]
+            assert isinstance(outcome, TaskResult)
+            assert outcome.value == n * n
+            assert outcome.attempts == 1
+
+    def test_peak_workers_bounded(self):
+        pool = TaskPool(max_workers=2, retries=0)
+        run = pool.run([Task(str(n), _sleep, (0.05,)) for n in range(4)])
+        assert 1 <= run.peak_workers <= 2
+
+    def test_empty_task_list(self):
+        run = TaskPool(max_workers=2).run([])
+        assert run.outcomes == {}
+
+
+class TestFailureModes:
+    def test_exception_recorded_with_traceback(self):
+        pool = TaskPool(max_workers=2, retries=0)
+        run = pool.run([Task("bad", _raise, ("kaput",))])
+        outcome = run.outcomes["bad"]
+        assert isinstance(outcome, TaskError)
+        assert "ValueError: kaput" in outcome.error
+        assert outcome.attempts == 1
+
+    def test_hard_crash_recorded_not_raised(self):
+        pool = TaskPool(max_workers=2, retries=0)
+        run = pool.run([Task("crash", _hard_exit, (3,))])
+        outcome = run.outcomes["crash"]
+        assert isinstance(outcome, TaskError)
+        assert "exit code" in outcome.error
+
+    def test_one_failure_does_not_sink_the_rest(self):
+        pool = TaskPool(max_workers=2, retries=0)
+        tasks = [Task("ok1", _square, (3,)), Task("bad", _hard_exit, (1,)),
+                 Task("ok2", _square, (4,))]
+        run = pool.run(tasks)
+        assert isinstance(run.outcomes["bad"], TaskError)
+        assert run.outcomes["ok1"].value == 9
+        assert run.outcomes["ok2"].value == 16
+
+    def test_timeout_terminates_hung_worker(self):
+        pool = TaskPool(max_workers=1, timeout=0.3, retries=0)
+        start = time.monotonic()
+        run = pool.run([Task("hung", _sleep, (30.0,))])
+        elapsed = time.monotonic() - start
+        outcome = run.outcomes["hung"]
+        assert isinstance(outcome, TaskError)
+        assert outcome.timed_out
+        assert "timed out" in outcome.error
+        assert elapsed < 10.0  # nowhere near the 30s sleep
+
+
+class TestRetry:
+    def test_retry_recovers_transient_crash(self, tmp_path):
+        sentinel = str(tmp_path / "sentinel")
+        pool = TaskPool(max_workers=1, retries=1)
+        run = pool.run([Task("flaky", _fail_first_time, (sentinel,))])
+        outcome = run.outcomes["flaky"]
+        assert isinstance(outcome, TaskResult)
+        assert outcome.value == "recovered"
+        assert outcome.attempts == 2
+
+    def test_attempts_exhausted(self):
+        pool = TaskPool(max_workers=1, retries=2)
+        run = pool.run([Task("bad", _raise, ("always",))])
+        outcome = run.outcomes["bad"]
+        assert isinstance(outcome, TaskError)
+        assert outcome.attempts == 3
+
+    def test_timeout_consumes_attempts(self):
+        pool = TaskPool(max_workers=1, timeout=0.2, retries=1)
+        run = pool.run([Task("hung", _sleep, (30.0,))])
+        outcome = run.outcomes["hung"]
+        assert isinstance(outcome, TaskError)
+        assert outcome.timed_out
+        assert outcome.attempts == 2
+
+
+class TestPoolRunViews:
+    def test_results_and_errors_split(self):
+        pool = TaskPool(max_workers=2, retries=0)
+        run = pool.run([Task("ok", _square, (2,)),
+                        Task("bad", _raise, ("x",))])
+        assert set(run.results()) == {"ok"}
+        assert set(run.errors()) == {"bad"}
+        assert run.wall_time > 0.0
