@@ -1,0 +1,26 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast bench bench-smoke clean-cache
+
+## Tier-1 verification: the full test suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## The suite minus the slow end-to-end runs.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+## Full pytest-benchmark harness (regenerates exhibit artifacts).
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## Fast CI smoke: cold-vs-warm sweep through the two-tier cache;
+## writes BENCH_runner.json at the repo root and fails if a warm
+## sweep is not >= 3x faster than cold.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_runner.py
+
+## Drop both cache tiers of the default store.
+clean-cache:
+	$(PYTHON) -m repro cache clear

@@ -1,25 +1,52 @@
 """Benchmarks the experiment runner itself.
 
 Measures the orchestration layer rather than any exhibit: serial vs
-parallel suite wall time (cold store) and cold vs warm cache.  On a
-multi-core machine the parallel cold run should land well under the
-serial one (the 12 workloads are independent); the warm run should be
-orders of magnitude faster than either, because nothing is re-traced.
+parallel suite wall time (cold store), cold vs warm cache, and the
+two-tier sweep path — a 4-config sweep over all 12 workloads cold,
+with a warm trace store, and with both tiers warm.  On a multi-core
+machine the parallel cold run should land well under the serial one
+(the 12 workloads are independent); the warm runs should beat cold by
+a wide margin because nothing is re-simulated (trace tier) or even
+re-analysed (result tier).
 
-Worker count comes from ``REPRO_BENCH_JOBS`` (default: CPU count).
+Run under pytest for statistics, or directly for the CI smoke that
+records ``BENCH_runner.json`` at the repo root::
+
+    python benchmarks/bench_runner.py
+
+Worker count comes from ``REPRO_BENCH_JOBS`` (default: CPU count;
+the smoke always runs serial so its ratios are scheduling-free).
 """
 
 from __future__ import annotations
 
 import os
 
-from repro.runner import ExperimentConfig, ExperimentRunner, ResultStore
+from repro.runner import (
+    ExperimentConfig,
+    ExperimentRunner,
+    ResultStore,
+    TraceStore,
+)
 
 #: Smaller budget than the exhibit benches: each round pays the full
 #: 12-workload trace cost from scratch.
 RUNNER_BUDGET = 6_000
 
 CONFIG = ExperimentConfig(max_instructions=RUNNER_BUDGET)
+
+#: The sweep the acceptance benchmark measures: one full-predictor
+#: config plus three single-predictor variants, all sharing each
+#: workload's execution.
+SWEEP_CONFIGS = (
+    ExperimentConfig(max_instructions=RUNNER_BUDGET),
+    ExperimentConfig(max_instructions=RUNNER_BUDGET,
+                     predictors=("last",), trees_for=()),
+    ExperimentConfig(max_instructions=RUNNER_BUDGET,
+                     predictors=("stride",), trees_for=()),
+    ExperimentConfig(max_instructions=RUNNER_BUDGET,
+                     predictors=("context",), gen_cap=32),
+)
 
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", str(os.cpu_count() or 1)))
 
@@ -65,3 +92,169 @@ def bench_suite_warm_cache(benchmark, tmp_path_factory):
 
     results = benchmark(warm_run)
     assert len(results) == 12
+
+
+# ----------------------------------------------------------------------
+# The two-tier sweep path.
+# ----------------------------------------------------------------------
+
+def _two_tier(root) -> ExperimentRunner:
+    return ExperimentRunner(
+        store=ResultStore(root), trace_store=TraceStore(root)
+    )
+
+
+def _sweep(runner):
+    runs = runner.run_many(SWEEP_CONFIGS)
+    for run in runs:
+        run.require()
+    return runs
+
+
+def bench_sweep_cold(benchmark, tmp_path_factory):
+    def setup():
+        return (_two_tier(tmp_path_factory.mktemp("sweep-cold")),), {}
+
+    runs = benchmark.pedantic(_sweep, setup=setup, rounds=2, iterations=1)
+    assert len(runs) == len(SWEEP_CONFIGS)
+
+
+def bench_sweep_trace_warm(benchmark, tmp_path_factory):
+    """Warm trace tier, cold result tier: every job replays."""
+    root = tmp_path_factory.mktemp("sweep-tw")
+    _sweep(_two_tier(root))
+
+    counter = iter(range(1_000_000))
+
+    def setup():
+        runner = ExperimentRunner(
+            store=ResultStore(root / f"fresh{next(counter)}"),
+            trace_store=TraceStore(root),
+        )
+        return (runner,), {}
+
+    runs = benchmark.pedantic(_sweep, setup=setup, rounds=2, iterations=1)
+    assert all(
+        metric.status == "replayed"
+        for run in runs for metric in run.metrics.jobs
+    )
+
+
+def bench_sweep_full_warm(benchmark, tmp_path_factory):
+    """Both tiers warm: every job is a result-store hit."""
+    root = tmp_path_factory.mktemp("sweep-fw")
+    _sweep(_two_tier(root))
+
+    def warm_run():
+        runs = _sweep(_two_tier(root))
+        assert all(
+            metric.status == "cache-hit"
+            for run in runs for metric in run.metrics.jobs
+        )
+        return runs
+
+    runs = benchmark(warm_run)
+    assert len(runs) == len(SWEEP_CONFIGS)
+
+
+# ----------------------------------------------------------------------
+# CI smoke: cold vs warm sweep, recorded at the repo root.
+# ----------------------------------------------------------------------
+
+def smoke(output_path=None) -> dict:
+    """One serial cold-vs-warm sweep comparison; writes BENCH_runner.json.
+
+    Measured phases, all with ``jobs=1`` so the ratios are pure cache
+    effects rather than scheduling:
+
+    * ``naive`` — the pre-two-tier baseline: one independent
+      simulate-and-analyse suite run per config, no stores;
+    * ``cold`` — the two-tier sweep into empty stores (each workload
+      simulated once, analyzers fanned out over the single pass);
+    * ``trace_warm`` — warm trace store, empty result store (every job
+      replays the stored trace);
+    * ``full_warm`` — both tiers warm (every job is a store hit).
+    """
+    import json
+    import platform
+    import shutil
+    import sys
+    import tempfile
+    import time
+    from pathlib import Path
+
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-runner-"))
+    timings = {}
+    try:
+        def timed(label, fn):
+            start = time.perf_counter()
+            out = fn()
+            timings[label] = time.perf_counter() - start
+            return out
+
+        def naive():
+            runner = ExperimentRunner(store=None)
+            return [
+                runner.run(config).require() for config in SWEEP_CONFIGS
+            ]
+
+        timed("naive", naive)
+        timed("cold", lambda: _sweep(_two_tier(scratch)))
+        trace_warm_runner = ExperimentRunner(
+            store=ResultStore(scratch / "fresh-results"),
+            trace_store=TraceStore(scratch),
+        )
+        trace_warm = timed("trace_warm", lambda: _sweep(trace_warm_runner))
+        assert all(
+            metric.status == "replayed"
+            for run in trace_warm for metric in run.metrics.jobs
+        )
+        full_warm = timed("full_warm", lambda: _sweep(_two_tier(scratch)))
+        assert all(
+            metric.status == "cache-hit"
+            for run in full_warm for metric in run.metrics.jobs
+        )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    workloads = len(full_warm[0].results)
+    report = {
+        "benchmark": "4-config sweep over the full suite, serial",
+        "budget": RUNNER_BUDGET,
+        "configs": len(SWEEP_CONFIGS),
+        "workloads": workloads,
+        "seconds": {k: round(v, 3) for k, v in timings.items()},
+        "speedup": {
+            "cold_vs_naive": round(timings["naive"] / timings["cold"], 2),
+            "trace_warm_vs_cold": round(
+                timings["cold"] / timings["trace_warm"], 2
+            ),
+            "full_warm_vs_cold": round(
+                timings["cold"] / timings["full_warm"], 2
+            ),
+        },
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    if output_path is None:
+        output_path = Path(__file__).resolve().parent.parent \
+            / "BENCH_runner.json"
+    Path(output_path).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"{workloads} workloads x {len(SWEEP_CONFIGS)} configs "
+          f"@ {RUNNER_BUDGET} instructions:")
+    for label in ("naive", "cold", "trace_warm", "full_warm"):
+        print(f"  {label:<11} {timings[label]:>7.2f}s")
+    for label, value in report["speedup"].items():
+        print(f"  {label:<22} {value:>6.2f}x")
+    print(f"[written to {output_path}]", file=sys.stderr)
+    return report
+
+
+if __name__ == "__main__":
+    report = smoke()
+    # The acceptance bar: a warm trace store makes the sweep >= 3x
+    # faster than cold.
+    raise SystemExit(
+        0 if report["speedup"]["full_warm_vs_cold"] >= 3.0 else 1
+    )

@@ -1,0 +1,6 @@
+"""``python -m repro`` — the unified command line (see repro/cli.py)."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""The stable public API of the reproduction.
+
+Exhibits, benchmarks, notebooks and examples should import from here
+(or from the top-level :mod:`repro` package) rather than deep-importing
+internals; everything below is covered by the deprecation policy in
+docs/api.md, everything else is free to move between releases.
+
+Three execution entry points, all backed by the shared two-tier-cached
+:class:`~repro.runner.ExperimentRunner` (see docs/runner.md):
+
+* :func:`run_workload` — one workload, one config;
+* :func:`run_suite` — every configured workload under one config;
+* :func:`run_sweep` — many configs, each workload simulated at most
+  once and fanned out to one analyzer per config.
+
+plus :func:`analyze` for ad-hoc material (mini-C source, a compiled
+program, a live machine) that does not go through the workload suite
+or its caches.
+"""
+
+from __future__ import annotations
+
+from repro.asm import Program
+from repro.core import (
+    AnalysisConfig,
+    AnalysisResult,
+    Analyzer,
+    analyze_machine,
+    analyze_many,
+    analyze_trace,
+)
+from repro.cpu import Machine
+from repro.minic import compile_program
+from repro.runner import (
+    ExperimentConfig,
+    ExperimentRun,
+    ExperimentRunner,
+    ResultStore,
+    TraceStore,
+    default_runner,
+)
+from repro.workloads import SUITE, Workload, get_workload
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "Analyzer",
+    "ExperimentConfig",
+    "ExperimentRun",
+    "ExperimentRunner",
+    "ResultStore",
+    "SUITE",
+    "TraceStore",
+    "Workload",
+    "analyze",
+    "analyze_machine",
+    "analyze_many",
+    "analyze_trace",
+    "default_runner",
+    "get_workload",
+    "run_suite",
+    "run_sweep",
+    "run_workload",
+]
+
+
+def run_workload(name: str,
+                 config: ExperimentConfig | None = None) -> AnalysisResult:
+    """Analyse one workload under ``config``.
+
+    Delegates to the shared :class:`~repro.runner.ExperimentRunner`:
+    repeat calls return the identical in-memory object, and results
+    persist in the disk store so later processes replay the stored
+    trace — or skip execution entirely (disable with
+    ``REPRO_NO_CACHE=1``).
+    """
+    return default_runner().run_one(name, config or ExperimentConfig())
+
+
+def run_suite(config: ExperimentConfig | None = None,
+              jobs: int | None = None) -> dict[str, AnalysisResult]:
+    """Analyse all configured workloads; returns name -> result.
+
+    ``jobs`` > 1 fans workloads out over the runner's process pool
+    (default: the ``REPRO_JOBS`` environment variable, else serial).
+    Raises :class:`repro.errors.RunnerError` if any workload fails.
+    """
+    config = config or ExperimentConfig()
+    return default_runner().run(config, jobs=jobs).require()
+
+
+def run_sweep(configs, jobs: int | None = None,
+              ) -> list[dict[str, AnalysisResult]]:
+    """Analyse a sweep of configs; returns one mapping per config.
+
+    Each workload is simulated (or replayed from the trace store) at
+    most once for the whole sweep — the single pass feeds one analyzer
+    per config (:func:`repro.core.analyze_many`).  Raises
+    :class:`repro.errors.RunnerError` if any job fails.
+    """
+    return [
+        run.require()
+        for run in default_runner().run_many(configs, jobs=jobs)
+    ]
+
+
+def analyze(target, name: str = "program",
+            config: AnalysisConfig | None = None) -> AnalysisResult:
+    """Analyse ad-hoc material outside the workload suite.
+
+    ``target`` may be mini-C source text, a compiled
+    :class:`~repro.asm.Program`, or a ready :class:`~repro.cpu.Machine`
+    (useful for non-default memory or instruction budgets).  No cache
+    is involved — ad-hoc material has no content identity to key on.
+    """
+    if isinstance(target, str):
+        target = compile_program(target)
+    if isinstance(target, Program):
+        target = Machine(target)
+    return analyze_machine(target, name, config)

@@ -1,0 +1,334 @@
+"""The unified command line: ``python -m repro <command>``.
+
+Four subcommands over one shared flag vocabulary
+(``--jobs/--scale/--cache-dir/--no-cache``):
+
+* ``report`` — regenerate the paper's tables and figures;
+* ``run`` — run the experiment suite through the two-tier-cached
+  orchestrator and print per-job status;
+* ``workloads`` — list, run or disassemble the SPEC95-analogue suite;
+* ``cache`` — inspect or clear both cache tiers.
+
+The pre-existing module entry points (``python -m repro.report``,
+``-m repro.runner``, ``-m repro.workloads``) remain as deprecated
+wrappers that forward here; see docs/api.md for the deprecation
+policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.runner.api import (
+    DEFAULT_CACHE_DIR,
+    ExperimentRunner,
+    default_store,
+    default_trace_store,
+)
+from repro.runner.cache import DEFAULT_MAX_BYTES, ResultStore
+from repro.runner.job import ExperimentConfig
+from repro.runner.tracestore import DEFAULT_TRACE_MAX_BYTES, TraceStore
+
+
+def _default_jobs() -> int:
+    return int(os.environ.get("REPRO_JOBS", "0")) or (os.cpu_count() or 1)
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the persistent stores")
+    parser.add_argument("--cache-dir", default=None,
+                        help=f"store location (default: $REPRO_CACHE_DIR "
+                             f"or {DEFAULT_CACHE_DIR}/)")
+    parser.add_argument("--cache-cap-mb", type=int,
+                        default=DEFAULT_MAX_BYTES // (1024 * 1024),
+                        help="result-store size cap in MiB before LRU "
+                             "eviction")
+    parser.add_argument("--trace-cap-mb", type=int,
+                        default=DEFAULT_TRACE_MAX_BYTES // (1024 * 1024),
+                        help="trace-store size cap in MiB before LRU "
+                             "eviction")
+
+
+def _add_suite_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: $REPRO_JOBS, "
+                             "else CPU count for run / serial for report)")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated workload names (default: all)")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload problem-size multiplier")
+    parser.add_argument("--max-instructions", type=int, default=150_000,
+                        help="dynamic-instruction budget per workload")
+
+
+def _make_stores(args) -> tuple[ResultStore | None, TraceStore | None]:
+    """Both cache tiers, honouring the shared flags and environment."""
+    if args.no_cache:
+        return None, None
+    if args.cache_dir is not None:
+        store = ResultStore(
+            args.cache_dir, max_bytes=args.cache_cap_mb * 1024 * 1024
+        )
+        trace_store = TraceStore(
+            args.cache_dir, max_bytes=args.trace_cap_mb * 1024 * 1024
+        )
+        return store, trace_store
+    store = default_store()
+    if store is not None:
+        store.max_bytes = args.cache_cap_mb * 1024 * 1024
+    trace_store = default_trace_store()
+    if trace_store is not None:
+        trace_store.max_bytes = args.trace_cap_mb * 1024 * 1024
+    return store, trace_store
+
+
+def _workload_tuple(parser, value):
+    if value is None:
+        return None
+    names = tuple(name.strip() for name in value.split(",") if name.strip())
+    if not names:
+        parser.error("--workloads requires at least one workload name")
+    return names
+
+
+# ----------------------------------------------------------------------
+# repro run
+# ----------------------------------------------------------------------
+
+def cmd_run(parser, args) -> int:
+    store, trace_store = _make_stores(args)
+    config = ExperimentConfig(
+        scale=args.scale,
+        max_instructions=args.max_instructions,
+        workloads=_workload_tuple(parser, args.workloads),
+    )
+    runner = ExperimentRunner(
+        store=store, trace_store=trace_store,
+        jobs=args.jobs if args.jobs is not None else _default_jobs(),
+        timeout=args.timeout, retries=args.retries,
+    )
+    run = runner.run(config)
+
+    print(f"{'workload':<9} {'status':<10} {'wall':>8} {'instr':>9} "
+          f"{'instr/s':>11}")
+    print("-" * 52)
+    for metric in run.metrics.jobs:
+        rate = (f"{metric.instructions_per_second:,.0f}"
+                if metric.instructions else "-")
+        instr = f"{metric.instructions:,}" if metric.instructions else "-"
+        print(f"{metric.workload:<9} {metric.status:<10} "
+              f"{metric.wall_time:>7.2f}s {instr:>9} {rate:>11}")
+        if metric.error:
+            print(f"          !! {metric.error}")
+    print("-" * 52)
+    print(run.metrics.summary())
+
+    if args.metrics != "-":
+        if args.metrics is not None:
+            metrics_path = args.metrics
+        elif store is not None:
+            metrics_path = store.root / "metrics.json"
+        else:
+            metrics_path = None
+        if metrics_path is not None:
+            path = run.metrics.dump(metrics_path)
+            print(f"[metrics written to {path}]", file=sys.stderr)
+
+    return 1 if run.failures else 0
+
+
+# ----------------------------------------------------------------------
+# repro cache
+# ----------------------------------------------------------------------
+
+def cmd_cache(parser, args) -> int:
+    store, trace_store = _make_stores(args)
+    if store is None:
+        print("cache disabled", file=sys.stderr)
+        return 1
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.root}")
+        if trace_store is not None:
+            removed = trace_store.clear()
+            print(f"removed {removed} stored trace(s) from "
+                  f"{trace_store.root}")
+        return 0
+    entries = store.entries()
+    print(f"store: {store.root}")
+    print(f"entries: {len(entries)}")
+    print(f"size: {store.size_bytes() / 1024:.1f} KiB "
+          f"(cap {store.max_bytes / (1024 * 1024):.0f} MiB)")
+    if trace_store is not None:
+        print(f"traces: {len(trace_store.entries())}")
+        print(f"traces size: {trace_store.size_bytes() / 1024:.1f} KiB "
+              f"(cap {trace_store.max_bytes / (1024 * 1024):.0f} MiB)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro report
+# ----------------------------------------------------------------------
+
+def cmd_report(parser, args) -> int:
+    from repro.report import experiments
+
+    exhibits = {
+        "table1": lambda results: [experiments.table1(results)],
+        "fig5": lambda results: [experiments.figure5(results)],
+        "fig6": lambda results: list(experiments.figure6(results)),
+        "fig7": lambda results: list(experiments.figure7(results)),
+        "fig8": lambda results: list(experiments.figure8(results)),
+        "fig9": lambda results: list(experiments.figure9(results)),
+        "fig10": lambda results: [experiments.figure10(results)],
+        "fig11": lambda results: list(experiments.figure11(results)),
+        "fig12": lambda results: [experiments.figure12(results)],
+        "fig13": lambda results: list(experiments.figure13(results)),
+        # Extension exhibits (not paper figures).
+        "critical": lambda results: [experiments.critical_points(results)],
+    }
+    if args.exhibit != "all" and args.exhibit not in exhibits:
+        parser.error(f"unknown exhibit {args.exhibit!r}")
+
+    store, trace_store = _make_stores(args)
+    runner = ExperimentRunner(
+        store=store, trace_store=trace_store,
+        jobs=args.jobs if args.jobs is not None
+        else int(os.environ.get("REPRO_JOBS", "1")),
+    )
+    config = ExperimentConfig(
+        scale=args.scale,
+        max_instructions=args.max_instructions,
+        workloads=_workload_tuple(parser, args.workloads),
+    )
+    start = time.time()
+    results = runner.run(config).require()
+    names = sorted(exhibits) if args.exhibit == "all" else [args.exhibit]
+    for name in names:
+        try:
+            tables = exhibits[name](results)
+        except (KeyError, ValueError) as error:
+            print(f"[{name} skipped: {error}]", file=sys.stderr)
+            continue
+        for table in tables:
+            print(table.render())
+            print()
+    elapsed = time.time() - start
+    print(f"[analysed {len(results)} workloads in {elapsed:.1f}s]",
+          file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro workloads
+# ----------------------------------------------------------------------
+
+def cmd_workloads(parser, args) -> int:
+    from repro.minic import compile_source
+    from repro.workloads import SUITE, get_workload
+
+    if args.list or not args.run:
+        print(f"{'name':<5} {'spec':<14} {'kind':<5} description")
+        print("-" * 72)
+        for workload in SUITE:
+            print(f"{workload.name:<5} {workload.spec_name:<14} "
+                  f"{workload.kind:<5} {workload.description}")
+        return 0
+
+    try:
+        workload = get_workload(args.run)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 1
+    if args.emit_asm:
+        print(compile_source(workload.source()))
+        return 0
+    machine = workload.machine(scale=args.scale, tracing=False)
+    start = time.time()
+    result = machine.run()
+    elapsed = time.time() - start
+    print(result.output, end="")
+    print(
+        f"[{workload.spec_name} analogue: {result.instructions} "
+        f"instructions, exit {result.exit_code}, {elapsed:.2f}s]",
+        file=sys.stderr,
+    )
+    return result.exit_code
+
+
+# ----------------------------------------------------------------------
+# Parser assembly.
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description='Reproduction of "Modeling Program Predictability" '
+                    "(Sazeides & Smith, ISCA 1998).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run the experiment suite through the orchestrator",
+        description="Parallel, disk-cached experiment orchestration.",
+    )
+    _add_suite_flags(run)
+    _add_cache_flags(run)
+    run.add_argument("--timeout", type=float, default=None,
+                     help="per-job wall-clock limit in seconds")
+    run.add_argument("--retries", type=int, default=1,
+                     help="extra attempts for a failed job (default: 1)")
+    run.add_argument("--metrics", default=None,
+                     help="metrics JSON path (default: <cache>/"
+                          "metrics.json; '-' to skip)")
+    run.set_defaults(func=cmd_run)
+
+    report = sub.add_parser(
+        "report", help="regenerate the paper's tables and figures",
+        description="Regenerate the paper's tables and figures.",
+    )
+    report.add_argument("--exhibit", default="all",
+                        help="which exhibit to regenerate (default: all)")
+    _add_suite_flags(report)
+    _add_cache_flags(report)
+    report.set_defaults(func=cmd_report)
+
+    workloads = sub.add_parser(
+        "workloads", help="list, run or disassemble the workload suite",
+        description="Run or inspect the SPEC95-analogue workloads.",
+    )
+    workloads.add_argument("--list", action="store_true",
+                           help="list the suite and exit")
+    workloads.add_argument("--run", metavar="NAME",
+                           help="compile and run one workload")
+    workloads.add_argument("--scale", type=int, default=1,
+                           help="problem-size multiplier")
+    workloads.add_argument("--emit-asm", action="store_true",
+                           help="print the generated assembly instead of "
+                                "running")
+    workloads.set_defaults(func=cmd_workloads)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear both cache tiers",
+        description="Inspect or clear the result and trace stores.",
+    )
+    cache.add_argument("action", choices=("info", "clear"),
+                       help="print tier locations/sizes, or empty them")
+    _add_cache_flags(cache)
+    cache.set_defaults(func=cmd_cache)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(parser, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

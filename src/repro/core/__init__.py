@@ -17,6 +17,7 @@ from repro.core.analysis import (
     AnalysisConfig,
     Analyzer,
     analyze_machine,
+    analyze_many,
     analyze_trace,
 )
 from repro.core.dpg import behavior_counts, build_dpg, classify_uses
@@ -65,6 +66,7 @@ __all__ = [
     "CriticalSite",
     "UnpredTracker",
     "analyze_machine",
+    "analyze_many",
     "analyze_trace",
     "arc_code",
     "to_dot",

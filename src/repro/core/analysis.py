@@ -389,6 +389,65 @@ def analyze_trace(
     return analyzer.finalize(name, static_counts)
 
 
+def analyze_many(
+    trace,
+    n_static: int,
+    configs,
+    name: str = "trace",
+    profile_counts=None,
+    static_counts=None,
+) -> list[AnalysisResult]:
+    """Analyse one trace under many configs in a single pass.
+
+    The fan-out driver of the trace tier: one decode of ``trace`` feeds
+    one :class:`Analyzer` per config, and each result is exactly what
+    an independent :func:`analyze_trace` run with that config would
+    produce — including per-config ``max_instructions`` truncation,
+    which is why a config whose budget is exhausted stops being fed
+    mid-pass while larger-budget siblings keep consuming.
+    """
+    configs = [config or AnalysisConfig() for config in configs]
+    analyzers = [
+        Analyzer(n_static, config, profile_counts) for config in configs
+    ]
+    budgets = {config.max_instructions for config in configs}
+    if analyzers and len(budgets) == 1:
+        # Uniform budget: no per-record bookkeeping.
+        (budget,) = budgets
+        if budget is not None:
+            trace = islice(trace, budget)
+        feeds = [analyzer.feed for analyzer in analyzers]
+        for dyn in trace:
+            for feed in feeds:
+                feed(dyn)
+    elif analyzers:
+        # Mixed budgets, largest (None = unlimited) first so the next
+        # analyzer to retire is always at the end of the list.
+        live = sorted(
+            ((config.max_instructions, analyzer.feed)
+             for config, analyzer in zip(configs, analyzers)),
+            key=lambda item: _inf if item[0] is None else item[0],
+            reverse=True,
+        )
+        count = 0
+        while live and live[-1][0] == count:
+            live.pop()
+        for dyn in trace:
+            if not live:
+                break
+            for __, feed in live:
+                feed(dyn)
+            count += 1
+            while live and live[-1][0] == count:
+                live.pop()
+    return [
+        analyzer.finalize(name, static_counts) for analyzer in analyzers
+    ]
+
+
+_inf = float("inf")
+
+
 def analyze_machine(
     machine,
     name: str = "program",

@@ -1,80 +1,28 @@
-"""Command-line interface for regenerating the paper's exhibits.
+"""Deprecated entry point — use ``python -m repro report``.
 
-Examples::
+``python -m repro.report`` forwards to the unified CLI
+(:mod:`repro.cli`); every historical flag is accepted unchanged::
 
     python -m repro.report --exhibit table1
-    python -m repro.report --exhibit fig5 --scale 2
-    python -m repro.report --exhibit all --max-instructions 50000
+        ->  python -m repro report --exhibit table1
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-import time
-
-from repro.report import experiments
-from repro.report.experiments import ExperimentConfig, run_suite
-
-_EXHIBITS = {
-    "table1": lambda results: [experiments.table1(results)],
-    "fig5": lambda results: [experiments.figure5(results)],
-    "fig6": lambda results: list(experiments.figure6(results)),
-    "fig7": lambda results: list(experiments.figure7(results)),
-    "fig8": lambda results: list(experiments.figure8(results)),
-    "fig9": lambda results: list(experiments.figure9(results)),
-    "fig10": lambda results: [experiments.figure10(results)],
-    "fig11": lambda results: list(experiments.figure11(results)),
-    "fig12": lambda results: [experiments.figure12(results)],
-    "fig13": lambda results: [experiments.figure13(results)],
-    # Extension exhibits (not paper figures).
-    "critical": lambda results: [experiments.critical_points(results)],
-}
+import warnings
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.report",
-        description="Regenerate the paper's tables and figures.",
+    warnings.warn(
+        "python -m repro.report is deprecated; use "
+        "python -m repro report",
+        DeprecationWarning, stacklevel=2,
     )
-    parser.add_argument(
-        "--exhibit", default="all",
-        choices=["all", *sorted(_EXHIBITS)],
-        help="which exhibit to regenerate (default: all)",
-    )
-    parser.add_argument("--scale", type=int, default=1,
-                        help="workload problem-size multiplier")
-    parser.add_argument("--max-instructions", type=int, default=150_000,
-                        help="dynamic-instruction budget per workload")
-    parser.add_argument("--workloads", default=None,
-                        help="comma-separated workload names (default: all)")
-    parser.add_argument("--jobs", type=int, default=None,
-                        help="worker processes for the workload analyses "
-                             "(default: $REPRO_JOBS, else serial)")
-    args = parser.parse_args(argv)
+    from repro.cli import main as cli_main
 
-    workloads = tuple(args.workloads.split(",")) if args.workloads else None
-    config = ExperimentConfig(
-        scale=args.scale,
-        max_instructions=args.max_instructions,
-        workloads=workloads,
-    )
-    start = time.time()
-    results = run_suite(config, jobs=args.jobs)
-    names = sorted(_EXHIBITS) if args.exhibit == "all" else [args.exhibit]
-    for name in names:
-        try:
-            tables = _EXHIBITS[name](results)
-        except (KeyError, ValueError) as error:
-            print(f"[{name} skipped: {error}]", file=sys.stderr)
-            continue
-        for table in tables:
-            print(table.render())
-            print()
-    elapsed = time.time() - start
-    print(f"[analysed {len(results)} workloads in {elapsed:.1f}s]",
-          file=sys.stderr)
-    return 0
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return cli_main(["report", *argv])
 
 
 if __name__ == "__main__":

@@ -32,7 +32,6 @@ from repro.report.tables import (
 # Re-exported for backwards compatibility: the config type moved to
 # the runner subsystem, which owns experiment execution.
 from repro.runner.job import ExperimentConfig  # noqa: F401
-from repro.runner.api import default_runner
 from repro.workloads import get_workload
 
 #: Single-letter predictor labels in the paper's order.
@@ -40,25 +39,31 @@ LETTERS = {"last": "L", "stride": "S", "context": "C"}
 
 
 def run_workload(name: str, config: ExperimentConfig) -> AnalysisResult:
-    """Analyse one workload under ``config``.
+    """Deprecated alias of :func:`repro.api.run_workload`."""
+    import warnings
 
-    Delegates to the shared :class:`repro.runner.ExperimentRunner`:
-    repeat calls return the identical in-memory object, and results
-    persist in the disk store so later processes skip the trace
-    entirely (disable with ``REPRO_NO_CACHE=1``).
-    """
-    return default_runner().run_one(name, config)
+    from repro import api
+
+    warnings.warn(
+        "repro.report.experiments.run_workload is deprecated; "
+        "use repro.api.run_workload",
+        DeprecationWarning, stacklevel=2,
+    )
+    return api.run_workload(name, config)
 
 
 def run_suite(config: ExperimentConfig | None = None, jobs: int | None = None):
-    """Analyse all configured workloads; returns name -> result.
+    """Deprecated alias of :func:`repro.api.run_suite`."""
+    import warnings
 
-    ``jobs`` > 1 fans workloads out over the runner's process pool
-    (default: the ``REPRO_JOBS`` environment variable, else serial).
-    Raises :class:`repro.errors.RunnerError` if any workload fails.
-    """
-    config = config or ExperimentConfig()
-    return default_runner().run(config, jobs=jobs).require()
+    from repro import api
+
+    warnings.warn(
+        "repro.report.experiments.run_suite is deprecated; "
+        "use repro.api.run_suite",
+        DeprecationWarning, stacklevel=2,
+    )
+    return api.run_suite(config, jobs=jobs)
 
 
 def _kinds(results):

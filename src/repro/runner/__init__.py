@@ -9,6 +9,9 @@ CLIs).  It owns
   program bytes, the generated inputs and the analysis configuration;
 * the **result store** (:mod:`repro.runner.cache`) — persistent,
   content-addressed, checksummed, LRU-bounded;
+* the **trace store** (:mod:`repro.runner.tracestore`) — the execution
+  tier underneath it: one captured trace per (workload, scale),
+  replayed for every analysis configuration;
 * the **pool** (:mod:`repro.runner.pool`) — per-job processes with
   timeout, retry and crash isolation;
 * the **metrics** (:mod:`repro.runner.metrics`) — per-job wall time
@@ -25,16 +28,20 @@ from repro.runner.api import (
     ExperimentRunner,
     default_runner,
     default_store,
+    default_trace_store,
     reset_default_runner,
 )
 from repro.runner.cache import ResultStore
 from repro.runner.job import (
     RESULT_SCHEMA,
+    TRACE_SCHEMA,
     ExperimentConfig,
     Job,
     JobFailure,
     job_key,
+    trace_key,
 )
+from repro.runner.tracestore import TraceStore
 from repro.runner.metrics import JobMetric, RunMetrics
 from repro.runner.pool import PoolRun, Task, TaskError, TaskPool, TaskResult
 
@@ -50,12 +57,16 @@ __all__ = [
     "RESULT_SCHEMA",
     "ResultStore",
     "RunMetrics",
+    "TRACE_SCHEMA",
+    "TraceStore",
     "Task",
     "TaskError",
     "TaskPool",
     "TaskResult",
     "default_runner",
     "default_store",
+    "default_trace_store",
     "job_key",
     "reset_default_runner",
+    "trace_key",
 ]

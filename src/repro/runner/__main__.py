@@ -1,39 +1,29 @@
-"""Command-line experiment orchestrator.
+"""Deprecated entry point — use ``python -m repro run`` / ``repro cache``.
 
-Examples::
+``python -m repro.runner`` forwards to the unified CLI
+(:mod:`repro.cli`) with its historical flags intact::
 
-    python -m repro.runner --jobs 4
-    python -m repro.runner --jobs 4 --workloads com,gcc,go --scale 2
-    python -m repro.runner --no-cache --max-instructions 50000
-    python -m repro.runner --clear-cache
-    python -m repro.runner --cache-info
-
-Runs the configured workloads through the parallel, disk-cached
-executor and prints one status line per job plus a run summary.  A
-warm second run completes with every job served from the store and
-zero workloads re-traced.  Metrics are written as JSON next to the
-store (``--metrics`` overrides the path).
+    python -m repro.runner --jobs 4            ->  python -m repro run --jobs 4
+    python -m repro.runner --clear-cache       ->  python -m repro cache clear
+    python -m repro.runner --cache-info        ->  python -m repro cache info
 """
 
 from __future__ import annotations
 
 import argparse
 import os
-import sys
+import warnings
 
-from repro.runner.api import (
-    DEFAULT_CACHE_DIR,
-    ExperimentRunner,
-    default_store,
-)
-from repro.runner.cache import DEFAULT_MAX_BYTES, ResultStore
-from repro.runner.job import ExperimentConfig
+from repro.runner.api import DEFAULT_CACHE_DIR
+from repro.runner.cache import DEFAULT_MAX_BYTES
+from repro.runner.tracestore import DEFAULT_TRACE_MAX_BYTES
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runner",
-        description="Parallel, disk-cached experiment orchestration.",
+        description="Parallel, disk-cached experiment orchestration "
+                    "(deprecated; use python -m repro run).",
     )
     parser.add_argument("--jobs", type=int,
                         default=int(os.environ.get("REPRO_JOBS", "0")) or
@@ -50,100 +40,42 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--retries", type=int, default=1,
                         help="extra attempts for a failed job (default: 1)")
     parser.add_argument("--no-cache", action="store_true",
-                        help="skip the persistent result store")
+                        help="skip the persistent stores")
     parser.add_argument("--cache-dir", default=None,
                         help=f"store location (default: $REPRO_CACHE_DIR "
                              f"or {DEFAULT_CACHE_DIR}/)")
     parser.add_argument("--cache-cap-mb", type=int,
                         default=DEFAULT_MAX_BYTES // (1024 * 1024),
-                        help="store size cap in MiB before LRU eviction")
+                        help="result-store size cap in MiB before LRU "
+                             "eviction")
+    parser.add_argument("--trace-cap-mb", type=int,
+                        default=DEFAULT_TRACE_MAX_BYTES // (1024 * 1024),
+                        help="trace-store size cap in MiB before LRU "
+                             "eviction")
     parser.add_argument("--metrics", default=None,
                         help="metrics JSON path (default: <cache>/"
                              "metrics.json; '-' to skip)")
     parser.add_argument("--clear-cache", action="store_true",
-                        help="empty the store and exit")
+                        help="empty the stores and exit")
     parser.add_argument("--cache-info", action="store_true",
                         help="print store location/size and exit")
     return parser
 
 
-def _make_store(args) -> ResultStore | None:
-    if args.no_cache:
-        return None
-    if args.cache_dir is not None:
-        return ResultStore(
-            args.cache_dir, max_bytes=args.cache_cap_mb * 1024 * 1024
-        )
-    store = default_store()
-    if store is not None:
-        store.max_bytes = args.cache_cap_mb * 1024 * 1024
-    return store
-
-
 def main(argv=None) -> int:
+    warnings.warn(
+        "python -m repro.runner is deprecated; use "
+        "python -m repro run (or: python -m repro cache)",
+        DeprecationWarning, stacklevel=2,
+    )
+    from repro import cli
+
     parser = _build_parser()
     args = parser.parse_args(argv)
-    store = _make_store(args)
-
     if args.clear_cache or args.cache_info:
-        if store is None:
-            print("cache disabled", file=sys.stderr)
-            return 1
-        if args.clear_cache:
-            removed = store.clear()
-            print(f"removed {removed} cached result(s) from {store.root}")
-            return 0
-        entries = store.entries()
-        print(f"store: {store.root}")
-        print(f"entries: {len(entries)}")
-        print(f"size: {store.size_bytes() / 1024:.1f} KiB "
-              f"(cap {store.max_bytes / (1024 * 1024):.0f} MiB)")
-        return 0
-
-    workloads = None
-    if args.workloads is not None:
-        workloads = tuple(
-            name.strip() for name in args.workloads.split(",") if name.strip()
-        )
-        if not workloads:
-            parser.error("--workloads requires at least one workload name")
-    config = ExperimentConfig(
-        scale=args.scale,
-        max_instructions=args.max_instructions,
-        workloads=workloads,
-    )
-    runner = ExperimentRunner(
-        store=store, jobs=args.jobs,
-        timeout=args.timeout, retries=args.retries,
-    )
-    run = runner.run(config)
-
-    print(f"{'workload':<9} {'status':<10} {'wall':>8} {'instr':>9} "
-          f"{'instr/s':>11}")
-    print("-" * 52)
-    for metric in run.metrics.jobs:
-        rate = (f"{metric.instructions_per_second:,.0f}"
-                if metric.instructions else "-")
-        instr = f"{metric.instructions:,}" if metric.instructions else "-"
-        print(f"{metric.workload:<9} {metric.status:<10} "
-              f"{metric.wall_time:>7.2f}s {instr:>9} {rate:>11}")
-        if metric.error:
-            print(f"          !! {metric.error}")
-    print("-" * 52)
-    print(run.metrics.summary())
-
-    if args.metrics != "-":
-        if args.metrics is not None:
-            metrics_path = args.metrics
-        elif store is not None:
-            metrics_path = store.root / "metrics.json"
-        else:
-            metrics_path = None
-        if metrics_path is not None:
-            path = run.metrics.dump(metrics_path)
-            print(f"[metrics written to {path}]", file=sys.stderr)
-
-    return 1 if run.failures else 0
+        args.action = "clear" if args.clear_cache else "info"
+        return cli.cmd_cache(parser, args)
+    return cli.cmd_run(parser, args)
 
 
 if __name__ == "__main__":

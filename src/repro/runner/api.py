@@ -10,7 +10,17 @@ for every job:
 2. **disk store** — deserialised via
    :func:`repro.core.export.result_from_dict`; renders byte-identical
    exhibits;
-3. **compute** — trace + analyse, then write through to both layers.
+3. **trace replay** — a stored trace of the same *execution*
+   (:func:`repro.runner.job.trace_key`) is decoded and re-analysed
+   under the job's config, skipping simulation;
+4. **compute** — simulate, store the captured trace for the next
+   config, analyse, then write through to every layer.
+
+The sweep entry point :meth:`ExperimentRunner.run_many` goes further:
+jobs that miss both disk tiers are grouped by execution identity and
+each group is simulated (or replayed) exactly once, with
+:func:`repro.core.analyze_many` fanning the single pass out to one
+analyzer per config.
 
 Parallel runs ship nothing through pipes: each worker writes its
 result into the store (content-addressed by job key, atomic replace)
@@ -31,20 +41,29 @@ import os
 import tempfile
 import time
 from dataclasses import dataclass, field
+from itertools import islice
 
-from repro.core import analyze_machine
+from repro.core import analyze_machine, analyze_many, analyze_trace
 from repro.core.export import result_from_dict, result_to_dict
 from repro.errors import RunnerError
 from repro.runner.cache import DEFAULT_MAX_BYTES, ResultStore
-from repro.runner.job import ExperimentConfig, Job, JobFailure, job_key
+from repro.runner.job import (
+    ExperimentConfig,
+    Job,
+    JobFailure,
+    job_key,
+    trace_key,
+)
 from repro.runner.metrics import (
     STATUS_CACHE_HIT,
     STATUS_COMPUTED,
     STATUS_FAILED,
     STATUS_MEMO_HIT,
+    STATUS_REPLAYED,
     JobMetric,
     RunMetrics,
 )
+from repro.runner.tracestore import DEFAULT_TRACE_MAX_BYTES, TraceStore
 from repro.runner.pool import Task, TaskError, TaskPool
 from repro.workloads import SUITE, get_workload
 
@@ -68,7 +87,8 @@ class ExperimentRun:
         """The results, raising :class:`RunnerError` on any failure."""
         if self.failures:
             detail = "; ".join(
-                f"{name}: {failure.error.strip().splitlines()[-1]}"
+                f"{name}: "
+                f"{(failure.error.strip().splitlines() or ['unknown'])[-1]}"
                 for name, failure in self.failures.items()
             )
             raise RunnerError(
@@ -85,8 +105,66 @@ def _analyze(name: str, config: ExperimentConfig):
     return analyze_machine(machine, name, job.analysis_config())
 
 
+def _capture(name: str, config: ExperimentConfig, budget: int | None):
+    """Simulate and record: ``(n_static, records, complete)``.
+
+    ``budget`` bounds how much of the execution is captured (None =
+    run to halt); ``complete`` reports whether the machine halted
+    within it.
+    """
+    workload = get_workload(name)
+    machine = workload.machine(scale=config.scale)
+    stream = machine.trace()
+    if budget is not None:
+        stream = islice(stream, budget)
+    records = list(stream)
+    return len(machine.program.instructions), records, machine.halted
+
+
+def _resolve_trace(name: str, config: ExperimentConfig,
+                   trace_store: TraceStore | None, budget: int | None):
+    """Trace tier: ``(n_static, records, status)`` — replay or capture.
+
+    A stored trace that covers ``budget`` is replayed
+    (:data:`STATUS_REPLAYED`); otherwise the workload is simulated,
+    the capture written through the store for the next config, and
+    :data:`STATUS_COMPUTED` reported.
+    """
+    key = None
+    if trace_store is not None:
+        key = trace_key(name, config.scale)
+        stored = trace_store.get(key, budget)
+        if stored is not None:
+            header, records = stored
+            return header["n_static"], records, STATUS_REPLAYED
+    n_static, records, complete = _capture(name, config, budget)
+    if trace_store is not None:
+        trace_store.put(key, records, n_static, complete=complete)
+    return n_static, records, STATUS_COMPUTED
+
+
+def _analyze_two_tier(name: str, config: ExperimentConfig,
+                      trace_store: TraceStore):
+    """Compute one job through the trace tier: ``(result, status)``.
+
+    Byte-identical to :func:`_analyze`: the analyzer sees the same
+    record stream whether it comes from a live machine or a stored
+    trace (``analyze_trace`` re-truncates to the config's own budget).
+    """
+    job = Job(name, config)
+    n_static, records, status = _resolve_trace(
+        name, config, trace_store, config.max_instructions
+    )
+    result = analyze_trace(
+        records, n_static, name=name, config=job.analysis_config()
+    )
+    return result, status
+
+
 def _execute_job(name: str, config: ExperimentConfig, key: str,
-                 store_root: str, max_bytes: int) -> str:
+                 store_root: str, max_bytes: int,
+                 trace_root: str | None = None,
+                 trace_max_bytes: int = DEFAULT_TRACE_MAX_BYTES) -> str:
     """Pool worker: compute one job and write it through the store.
 
     Returns the key so the parent knows where to read the result.
@@ -94,9 +172,47 @@ def _execute_job(name: str, config: ExperimentConfig, key: str,
     """
     store = ResultStore(store_root, max_bytes=max_bytes)
     if store.get(key) is None:
-        result = _analyze(name, config)
+        if trace_root is not None:
+            trace_store = TraceStore(trace_root, max_bytes=trace_max_bytes)
+            result, __ = _analyze_two_tier(name, config, trace_store)
+        else:
+            result = _analyze(name, config)
         store.put(key, result_to_dict(result))
     return key
+
+
+def _execute_sweep(name: str, configs, keys, store_root: str,
+                   max_bytes: int, trace_root: str | None,
+                   trace_max_bytes: int) -> tuple:
+    """Pool worker: every sweep job of one workload in a single pass.
+
+    Resolves the workload's trace once (replay or capture) with a
+    budget covering the largest config, then fans it out to one
+    analyzer per still-missing config via :func:`analyze_many`.
+    """
+    store = ResultStore(store_root, max_bytes=max_bytes)
+    missing = [
+        (config, key) for config, key in zip(configs, keys)
+        if store.get(key) is None
+    ]
+    if missing:
+        budgets = [config.max_instructions for config, __ in missing]
+        budget = None if any(b is None for b in budgets) else max(budgets)
+        trace_store = (
+            TraceStore(trace_root, max_bytes=trace_max_bytes)
+            if trace_root is not None else None
+        )
+        n_static, records, __ = _resolve_trace(
+            name, missing[0][0], trace_store, budget
+        )
+        results = analyze_many(
+            records, n_static,
+            [Job(name, config).analysis_config() for config, __ in missing],
+            name=name,
+        )
+        for (__, key), result in zip(missing, results):
+            store.put(key, result_to_dict(result))
+    return tuple(keys)
 
 
 class ExperimentRunner:
@@ -108,6 +224,8 @@ class ExperimentRunner:
         jobs: default worker count for :meth:`run`.
         timeout: per-job wall-clock limit in seconds (parallel runs).
         retries: extra attempts for a failed job (parallel runs).
+        trace_store: a :class:`TraceStore`, or None to simulate on
+            every result-tier miss (no trace capture or replay).
     """
 
     def __init__(
@@ -116,12 +234,21 @@ class ExperimentRunner:
         jobs: int = 1,
         timeout: float | None = None,
         retries: int = 1,
+        trace_store: TraceStore | None = None,
     ):
         self.store = store
+        self.trace_store = trace_store
         self.jobs = max(1, jobs)
         self.timeout = timeout
         self.retries = retries
         self._memo: dict[str, object] = {}
+
+    def _compute(self, name: str, config: ExperimentConfig):
+        """Compute one job through whichever tiers exist:
+        ``(result, status)``."""
+        if self.trace_store is not None:
+            return _analyze_two_tier(name, config, self.trace_store)
+        return _analyze(name, config), STATUS_COMPUTED
 
     # ------------------------------------------------------------------
     # Single-job path (the report layer's run_workload).
@@ -139,7 +266,7 @@ class ExperimentRunner:
             return result
         result = self._load(key)
         if result is None:
-            result = _analyze(name, config)
+            result, __ = self._compute(name, config)
             if self.store is not None:
                 self.store.put(key, result_to_dict(result))
         self._memo[key] = result
@@ -207,15 +334,190 @@ class ExperimentRunner:
         return run
 
     # ------------------------------------------------------------------
+    # Sweep path: many configs over one trace capture per workload.
+    # ------------------------------------------------------------------
+
+    def run_many(self, configs, jobs: int | None = None,
+                 ) -> list[ExperimentRun]:
+        """Run a config sweep; each workload is simulated at most once.
+
+        Returns one :class:`ExperimentRun` per config, aligned with
+        ``configs``.  Jobs missing from both disk tiers are grouped by
+        execution identity (workload + scale), each group resolves its
+        trace once — stored replay or a single capture with a budget
+        covering the group's largest config — and
+        :func:`repro.core.analyze_many` fans the one pass out to every
+        config.  Failures follow :meth:`run` semantics: recorded per
+        job, never raised.
+        """
+        configs = list(configs)
+        workers = max(1, jobs if jobs is not None else self.jobs)
+        runs = [ExperimentRun() for __ in configs]
+        name_lists = []
+        start = time.monotonic()
+
+        # Serve memo/store hits; group the rest by execution identity.
+        groups: dict[tuple, list] = {}
+        for run, config in zip(runs, configs):
+            run.metrics.requested_workers = workers
+            names = config.workloads or tuple(w.name for w in SUITE)
+            name_lists.append(names)
+            for name in names:
+                get_workload(name)
+                try:
+                    key = job_key(Job(name, config))
+                except Exception as error:
+                    self._record_failure(run, name, "", JobFailure(
+                        workload=name,
+                        error=f"{type(error).__name__}: {error}",
+                    ))
+                    continue
+                hit = self._memo.get(key)
+                status = STATUS_MEMO_HIT
+                if hit is None:
+                    hit = self._load(key)
+                    status = STATUS_CACHE_HIT
+                if hit is None:
+                    groups.setdefault((name, config.scale), []).append(
+                        (run, config, key)
+                    )
+                    continue
+                self._memo[key] = hit
+                run.results[name] = hit
+                run.metrics.add(
+                    JobMetric(workload=name, key=key, status=status)
+                )
+
+        if groups:
+            if workers == 1 or len(groups) == 1:
+                self._sweep_serial(groups)
+            else:
+                self._sweep_parallel(groups, workers)
+
+        total = time.monotonic() - start
+        for run, names in zip(runs, name_lists):
+            run.results = {
+                name: run.results[name]
+                for name in names if name in run.results
+            }
+            run.metrics.jobs.sort(key=lambda m: names.index(m.workload))
+            run.metrics.total_wall = total
+        return runs
+
+    def _sweep_serial(self, groups) -> None:
+        for (name, __scale), entries in groups.items():
+            for run, __, __k in entries:
+                run.metrics.peak_workers = max(run.metrics.peak_workers, 1)
+            group_start = time.monotonic()
+            budgets = [config.max_instructions for __, config, __k in entries]
+            budget = (None if any(b is None for b in budgets)
+                      else max(budgets))
+            try:
+                n_static, records, status = _resolve_trace(
+                    name, entries[0][1], self.trace_store, budget
+                )
+                results = analyze_many(
+                    records, n_static,
+                    [Job(name, config).analysis_config()
+                     for __, config, __k in entries],
+                    name=name,
+                )
+            except Exception as error:
+                wall = time.monotonic() - group_start
+                for run, __, key in entries:
+                    self._record_failure(run, name, key, JobFailure(
+                        workload=name,
+                        error=f"{type(error).__name__}: {error}",
+                        wall_time=wall,
+                    ))
+                continue
+            # The group's one pass served every entry; split its cost.
+            wall = (time.monotonic() - group_start) / len(entries)
+            for (run, __, key), result in zip(entries, results):
+                if self.store is not None:
+                    self.store.put(key, result_to_dict(result))
+                self._memo[key] = result
+                run.results[name] = result
+                run.metrics.add(JobMetric(
+                    workload=name, key=key, status=status,
+                    wall_time=wall, instructions=result.nodes, attempts=1,
+                ))
+
+    def _sweep_parallel(self, groups, workers: int) -> None:
+        scratch = None
+        store = self.store
+        if store is None:
+            scratch = tempfile.TemporaryDirectory(prefix="repro-runner-")
+            store = ResultStore(scratch.name)
+        trace_root, trace_max = self._trace_store_args()
+        try:
+            pool = TaskPool(max_workers=workers, timeout=self.timeout,
+                            retries=self.retries)
+            tasks = [
+                Task(key=f"{name}@{scale}", fn=_execute_sweep,
+                     args=(name,
+                           tuple(config for __, config, __k in entries),
+                           tuple(key for __, __c, key in entries),
+                           str(store.root), store.max_bytes,
+                           trace_root, trace_max))
+                for (name, scale), entries in groups.items()
+            ]
+            pool_run = pool.run(tasks)
+            for (name, scale), entries in groups.items():
+                for run, __, __k in entries:
+                    run.metrics.peak_workers = max(
+                        run.metrics.peak_workers, pool_run.peak_workers
+                    )
+                outcome = pool_run.outcomes.get(f"{name}@{scale}")
+                if isinstance(outcome, TaskError):
+                    for run, __, key in entries:
+                        self._record_failure(run, name, key, JobFailure(
+                            workload=name, error=outcome.error,
+                            attempts=outcome.attempts,
+                            wall_time=outcome.wall_time,
+                            timed_out=outcome.timed_out,
+                        ))
+                    continue
+                wall = ((outcome.wall_time if outcome else 0.0)
+                        / len(entries))
+                for run, __, key in entries:
+                    payload = store.get(key)
+                    if payload is None:
+                        self._record_failure(run, name, key, JobFailure(
+                            workload=name,
+                            error="worker reported success but no stored "
+                                  "result was found",
+                            attempts=outcome.attempts if outcome else 1,
+                        ))
+                        continue
+                    result = result_from_dict(payload)
+                    self._memo[key] = result
+                    run.results[name] = result
+                    run.metrics.add(JobMetric(
+                        workload=name, key=key, status=STATUS_COMPUTED,
+                        wall_time=wall, instructions=result.nodes,
+                        attempts=outcome.attempts,
+                    ))
+        finally:
+            if scratch is not None:
+                scratch.cleanup()
+
+    # ------------------------------------------------------------------
     # Execution strategies.
     # ------------------------------------------------------------------
+
+    def _trace_store_args(self) -> tuple[str | None, int]:
+        """(root, max_bytes) of the trace tier, for pool workers."""
+        if self.trace_store is None:
+            return None, 0
+        return str(self.trace_store.root), self.trace_store.max_bytes
 
     def _run_serial(self, run: ExperimentRun, config, misses) -> None:
         run.metrics.peak_workers = max(run.metrics.peak_workers, 1)
         for name, key in misses:
             job_start = time.monotonic()
             try:
-                result = _analyze(name, config)
+                result, status = self._compute(name, config)
             except Exception as error:
                 self._record_failure(run, name, key, JobFailure(
                     workload=name,
@@ -228,7 +530,7 @@ class ExperimentRunner:
             self._memo[key] = result
             run.results[name] = result
             run.metrics.add(JobMetric(
-                workload=name, key=key, status=STATUS_COMPUTED,
+                workload=name, key=key, status=status,
                 wall_time=time.monotonic() - job_start,
                 instructions=result.nodes, attempts=1,
             ))
@@ -245,10 +547,11 @@ class ExperimentRunner:
         try:
             pool = TaskPool(max_workers=workers, timeout=self.timeout,
                             retries=self.retries)
+            trace_root, trace_max = self._trace_store_args()
             tasks = [
                 Task(key=key, fn=_execute_job,
                      args=(name, config, key, str(store.root),
-                           store.max_bytes))
+                           store.max_bytes, trace_root, trace_max))
                 for name, key in misses
             ]
             pool_run = pool.run(tasks)
@@ -328,12 +631,21 @@ def default_store() -> ResultStore | None:
     return ResultStore(root, max_bytes=DEFAULT_MAX_BYTES)
 
 
+def default_trace_store() -> TraceStore | None:
+    """The trace tier the default runner uses (same root, own cap)."""
+    if os.environ.get("REPRO_NO_CACHE"):
+        return None
+    root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    return TraceStore(root, max_bytes=DEFAULT_TRACE_MAX_BYTES)
+
+
 def default_runner() -> ExperimentRunner:
     """The process-wide runner every consumer shares."""
     global _DEFAULT_RUNNER
     if _DEFAULT_RUNNER is None:
         _DEFAULT_RUNNER = ExperimentRunner(
             store=default_store(),
+            trace_store=default_trace_store(),
             jobs=int(os.environ.get("REPRO_JOBS", "1")),
         )
     return _DEFAULT_RUNNER

@@ -20,7 +20,9 @@ which is harmless because both wrote identical bytes-for-key content.
 
 The store is bounded: after every write, least-recently-used entries
 (by file mtime; reads bump it) are evicted until total size is back
-under ``max_bytes``.
+under ``max_bytes``.  That LRU machinery lives in
+:class:`LRUFileStore`, shared with the trace tier
+(:class:`repro.runner.tracestore.TraceStore`).
 """
 
 from __future__ import annotations
@@ -46,15 +48,98 @@ def _checksum(text: str) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-class ResultStore:
+class LRUFileStore:
+    """Size management shared by the content-addressed stores.
+
+    Subclasses own a flat ``<dir>/<key[:2]>/<key><suffix>`` layout and
+    inherit the bounded-size behaviour: after every write,
+    least-recently-used entries (by file mtime; reads bump it) are
+    evicted until total size is back under ``max_bytes``.
+    """
+
+    def __init__(self, directory: Path, suffix: str, max_bytes: int):
+        self._dir = Path(directory)
+        self._suffix = suffix
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Size management.
+    # ------------------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        if not self._dir.is_dir():
+            return []
+        return sorted(self._dir.glob(f"*/*{self._suffix}"))
+
+    def size_bytes(self) -> int:
+        return sum(self._stat_size(path) for path in self.entries())
+
+    def evict(self) -> int:
+        """Remove least-recently-used entries until under ``max_bytes``.
+
+        The most recently written/read entry always survives, even when
+        it alone exceeds the cap.  Returns the number of evictions.
+        """
+        stats = []
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stats.append((stat.st_mtime, stat.st_size, path))
+        stats.sort()
+        total = sum(size for __, size, __ in stats)
+        evicted = 0
+        while total > self.max_bytes and len(stats) > 1:
+            __, size, path = stats.pop(0)
+            self._remove(path)
+            total -= size
+            evicted += 1
+        return evicted
+
+    def clear(self) -> int:
+        """Remove every stored entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            self._remove(path)
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Helpers.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _stat_size(path: Path) -> int:
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _remove(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+class ResultStore(LRUFileStore):
     """Disk-backed, content-addressed store of analysis payloads."""
 
     def __init__(self, root: str | Path, max_bytes: int = DEFAULT_MAX_BYTES):
         self.root = Path(root)
         self.results_dir = self.root / "results"
-        self.max_bytes = max_bytes
-        self.hits = 0
-        self.misses = 0
+        super().__init__(self.results_dir, ".json", max_bytes)
 
     # ------------------------------------------------------------------
     # Lookup / insert.
@@ -111,71 +196,3 @@ class ResultStore:
             raise
         self.evict()
         return path
-
-    # ------------------------------------------------------------------
-    # Size management.
-    # ------------------------------------------------------------------
-
-    def entries(self) -> list[Path]:
-        if not self.results_dir.is_dir():
-            return []
-        return sorted(self.results_dir.glob("*/*.json"))
-
-    def size_bytes(self) -> int:
-        return sum(self._stat_size(path) for path in self.entries())
-
-    def evict(self) -> int:
-        """Remove least-recently-used entries until under ``max_bytes``.
-
-        The most recently written/read entry always survives, even when
-        it alone exceeds the cap.  Returns the number of evictions.
-        """
-        stats = []
-        for path in self.entries():
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            stats.append((stat.st_mtime, stat.st_size, path))
-        stats.sort()
-        total = sum(size for __, size, __ in stats)
-        evicted = 0
-        while total > self.max_bytes and len(stats) > 1:
-            __, size, path = stats.pop(0)
-            self._remove(path)
-            total -= size
-            evicted += 1
-        return evicted
-
-    def clear(self) -> int:
-        """Remove every stored result; returns the number removed."""
-        removed = 0
-        for path in self.entries():
-            self._remove(path)
-            removed += 1
-        return removed
-
-    # ------------------------------------------------------------------
-    # Helpers.
-    # ------------------------------------------------------------------
-
-    @staticmethod
-    def _stat_size(path: Path) -> int:
-        try:
-            return path.stat().st_size
-        except OSError:
-            return 0
-
-    @staticmethod
-    def _touch(path: Path) -> None:
-        try:
-            os.utime(path)
-        except OSError:
-            pass
-
-    @staticmethod
-    def _remove(path: Path) -> None:
-        try:
-            path.unlink()
-        except OSError:
-            pass

@@ -35,6 +35,12 @@ from repro.workloads import get_workload
 #: classification rule, predictor behaviour fix, ...).
 RESULT_SCHEMA = 1
 
+#: Bump when the substrate's execution semantics change in a way that
+#: should invalidate stored traces (ISA behaviour fix, machine model
+#: change, ...).  Analysis-only changes must NOT bump this — that is
+#: the whole point of the two-tier split.
+TRACE_SCHEMA = 1
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -107,6 +113,24 @@ def program_bytes(program) -> bytes:
     return "\n".join(parts).encode()
 
 
+def _feed_execution(digest, workload, scale: int) -> None:
+    """Hash everything that determines what would actually execute:
+    program content, source hash, and the generated inputs at scale."""
+
+    def feed(*parts) -> None:
+        for part in parts:
+            digest.update(str(part).encode())
+            digest.update(b"\x00")
+
+    feed("source", workload.source_hash())
+    digest.update(program_bytes(workload.program()))
+    words, floats = workload.make_inputs(scale)
+    feed("scale", scale, "words", len(words))
+    digest.update(",".join(map(str, words)).encode())
+    feed("floats", len(floats))
+    digest.update(",".join(repr(value) for value in floats).encode())
+
+
 def job_key(job: Job) -> str:
     """Deterministic content hash of ``job`` (hex sha256).
 
@@ -124,14 +148,35 @@ def job_key(job: Job) -> str:
 
     feed("repro-job", RESULT_SCHEMA, workload.name, workload.spec_name,
          workload.kind)
-    feed("source", workload.source_hash())
-    digest.update(program_bytes(workload.program()))
-    words, floats = workload.make_inputs(job.config.scale)
-    feed("scale", job.config.scale, "words", len(words))
-    digest.update(",".join(map(str, words)).encode())
-    feed("floats", len(floats))
-    digest.update(",".join(repr(value) for value in floats).encode())
+    _feed_execution(digest, workload, job.config.scale)
     analysis = job.analysis_config()
     for config_field in dataclasses.fields(analysis):
         feed(config_field.name, getattr(analysis, config_field.name))
+    return digest.hexdigest()
+
+
+def trace_key(workload_name: str, scale: int = 1) -> str:
+    """Execution-identity hash of a workload run (hex sha256).
+
+    Deliberately narrower than :func:`job_key`: only what determines
+    the dynamic instruction stream — program bytes, source hash, inputs
+    at ``scale`` — plus the trace format version.  Every analyzer knob
+    *and the instruction budget* are excluded, so one stored trace
+    serves any analysis of the same execution (a shorter budget is a
+    prefix of a longer one; length adequacy is checked against the
+    stored header, see :class:`repro.runner.tracestore.TraceStore`).
+    """
+    from repro.cpu.tracefile import FORMAT as TRACE_FORMAT
+
+    workload = get_workload(workload_name)
+    digest = hashlib.sha256()
+
+    def feed(*parts) -> None:
+        for part in parts:
+            digest.update(str(part).encode())
+            digest.update(b"\x00")
+
+    feed("repro-trace", TRACE_SCHEMA, TRACE_FORMAT, workload.name,
+         workload.spec_name, workload.kind)
+    _feed_execution(digest, workload, scale)
     return digest.hexdigest()

@@ -18,6 +18,7 @@ from pathlib import Path
 STATUS_MEMO_HIT = "memo-hit"      #: served from the in-process memo
 STATUS_CACHE_HIT = "cache-hit"    #: deserialised from the disk store
 STATUS_COMPUTED = "computed"      #: traced and analysed this run
+STATUS_REPLAYED = "replayed"      #: analysed from a stored trace
 STATUS_FAILED = "failed"          #: all attempts failed
 
 
@@ -90,7 +91,14 @@ class RunMetrics:
 
     @property
     def cache_misses(self) -> int:
-        return self.count(STATUS_COMPUTED) + self.count(STATUS_FAILED)
+        return (self.count(STATUS_COMPUTED) + self.count(STATUS_REPLAYED)
+                + self.count(STATUS_FAILED))
+
+    @property
+    def replays(self) -> int:
+        """Jobs analysed by replaying a stored trace (trace-tier hit,
+        result-tier miss)."""
+        return self.count(STATUS_REPLAYED)
 
     @property
     def failures(self) -> int:
@@ -119,6 +127,7 @@ class RunMetrics:
             "total_wall": round(self.total_wall, 6),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "replays": self.replays,
             "failures": self.failures,
             "total_instructions": self.total_instructions,
             "instructions_per_second": round(self.throughput, 1),
@@ -137,5 +146,6 @@ class RunMetrics:
             f"{len(self.jobs)} jobs in {self.total_wall:.2f}s "
             f"({self.throughput:,.0f} instr/s): "
             f"{self.cache_hits} hit, {self.count(STATUS_COMPUTED)} computed, "
+            f"{self.replays} replayed, "
             f"{self.failures} failed; peak {self.peak_workers} worker(s)"
         )

@@ -1,0 +1,127 @@
+"""Persistent content-addressed trace store — tier 1 of the cache.
+
+Where the :class:`~repro.runner.cache.ResultStore` keys on the full
+*analysis* identity (workload content + every analyzer knob), the
+trace store keys on the *execution* identity alone
+(:func:`repro.runner.job.trace_key`: program bytes + inputs + scale).
+One stored trace therefore serves every analysis configuration of its
+workload: the runner simulates once, then replays.
+
+Traces live under ``<root>/traces/<key[:2]>/<key>.trace.gz`` in the
+binary v2 format of :mod:`repro.cpu.tracefile`.  The file's own header
+records how much execution it covers (``n_records``, ``complete``);
+:meth:`TraceStore.get` only reports a hit when the stored trace can
+serve the requested instruction budget — a truncated capture never
+silently shortens a larger analysis, it is simply re-captured with the
+bigger budget and overwritten.
+
+The same robustness rules as the result store apply: writes are atomic
+(temp file + ``os.replace``), any unreadable or corrupt file is
+removed and treated as a miss, and the store is LRU-bounded by its own
+``max_bytes`` cap (traces are ~50× larger than result payloads, so the
+tiers are budgeted independently).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro.cpu.tracefile import read_trace, save_trace, trace_header
+from repro.runner.cache import LRUFileStore
+
+#: Default size cap for the trace tier (bytes).  Traces dwarf result
+#: payloads, so the tier gets its own, larger budget.
+DEFAULT_TRACE_MAX_BYTES = 512 * 1024 * 1024
+
+#: Stored-trace filename suffix.
+TRACE_SUFFIX = ".trace.gz"
+
+
+class TraceStore(LRUFileStore):
+    """Disk-backed, content-addressed store of captured traces."""
+
+    def __init__(self, root: str | Path,
+                 max_bytes: int = DEFAULT_TRACE_MAX_BYTES):
+        self.root = Path(root)
+        self.traces_dir = self.root / "traces"
+        super().__init__(self.traces_dir, TRACE_SUFFIX, max_bytes)
+
+    # ------------------------------------------------------------------
+    # Lookup / insert.
+    # ------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.traces_dir / key[:2] / f"{key}{TRACE_SUFFIX}"
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def header(self, key: str) -> dict | None:
+        """The stored trace's header, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            return trace_header(path)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self._remove(path)
+            return None
+
+    def get(self, key: str, need: int | None = None):
+        """``(header, records)`` when the stored trace serves ``need``.
+
+        ``need`` is the analysis instruction budget; None demands a
+        complete trace.  A stored trace that is complete serves any
+        budget, an incomplete one only budgets within its length.
+        Corruption of any kind removes the file and reads as a miss.
+        """
+        path = self.path_for(key)
+        try:
+            header, records = read_trace(path)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated/garbled/stale file: drop it and treat as a miss.
+            self._remove(path)
+            self.misses += 1
+            return None
+        if not self._serves(header, need):
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touch(path)
+        return header, records
+
+    @staticmethod
+    def _serves(header: dict, need: int | None) -> bool:
+        if header.get("complete"):
+            return True
+        if need is None:
+            return False
+        return header.get("n_records", 0) >= need
+
+    def put(self, key: str, records, n_static: int,
+            complete: bool | None = None) -> Path:
+        """Atomically store ``records`` under ``key``; returns the path.
+
+        Overwrites an existing trace — the caller only re-captures when
+        the stored one could not serve, so the replacement is strictly
+        longer.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        os.close(fd)
+        try:
+            save_trace(records, tmp_name, n_static, complete=complete)
+            os.replace(tmp_name, path)
+        except BaseException:
+            self._remove(Path(tmp_name))
+            raise
+        self.evict()
+        return path

@@ -1,66 +1,28 @@
-"""Command-line runner for the workload suite.
+"""Deprecated entry point — use ``python -m repro workloads``.
 
-Examples::
+``python -m repro.workloads`` forwards to the unified CLI
+(:mod:`repro.cli`); every historical flag is accepted unchanged::
 
-    python -m repro.workloads --list
-    python -m repro.workloads --run com
-    python -m repro.workloads --run swm --scale 2
-    python -m repro.workloads --run gcc --emit-asm
+    python -m repro.workloads --run com --scale 2
+        ->  python -m repro workloads --run com --scale 2
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-import time
-
-from repro.minic import compile_source
-from repro.workloads import SUITE, get_workload
+import warnings
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.workloads",
-        description="Run or inspect the SPEC95-analogue workloads.",
+    warnings.warn(
+        "python -m repro.workloads is deprecated; use "
+        "python -m repro workloads",
+        DeprecationWarning, stacklevel=2,
     )
-    parser.add_argument("--list", action="store_true",
-                        help="list the suite and exit")
-    parser.add_argument("--run", metavar="NAME",
-                        help="compile and run one workload")
-    parser.add_argument("--scale", type=int, default=1,
-                        help="problem-size multiplier")
-    parser.add_argument("--emit-asm", action="store_true",
-                        help="print the generated assembly instead of "
-                             "running")
-    args = parser.parse_args(argv)
+    from repro.cli import main as cli_main
 
-    if args.list or not args.run:
-        print(f"{'name':<5} {'spec':<14} {'kind':<5} description")
-        print("-" * 72)
-        for workload in SUITE:
-            print(f"{workload.name:<5} {workload.spec_name:<14} "
-                  f"{workload.kind:<5} {workload.description}")
-        return 0
-
-    try:
-        workload = get_workload(args.run)
-    except KeyError as error:
-        print(error, file=sys.stderr)
-        return 1
-    if args.emit_asm:
-        print(compile_source(workload.source()))
-        return 0
-    machine = workload.machine(scale=args.scale, tracing=False)
-    start = time.time()
-    result = machine.run()
-    elapsed = time.time() - start
-    print(result.output, end="")
-    print(
-        f"[{workload.spec_name} analogue: {result.instructions} "
-        f"instructions, exit {result.exit_code}, {elapsed:.2f}s]",
-        file=sys.stderr,
-    )
-    return result.exit_code
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return cli_main(["workloads", *argv])
 
 
 if __name__ == "__main__":

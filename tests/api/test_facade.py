@@ -1,0 +1,140 @@
+"""The repro.api facade, the unified CLI and the deprecation shims."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.core.export import result_to_dict
+from repro.runner import ExperimentConfig
+from repro.runner.api import _analyze
+
+
+def _dump(result) -> str:
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+class TestFacadeSurface:
+    def test_public_names_resolve(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_configs_are_reexported(self):
+        from repro.core import AnalysisConfig
+
+        assert api.ExperimentConfig is ExperimentConfig
+        assert api.AnalysisConfig is AnalysisConfig
+
+
+class TestFacadeExecution:
+    def test_run_workload_memo_identity(self):
+        config = ExperimentConfig(max_instructions=1_500)
+        first = api.run_workload("com", config)
+        assert api.run_workload("com", config) is first
+
+    def test_run_suite(self):
+        config = ExperimentConfig(
+            max_instructions=1_500, workloads=("go", "com")
+        )
+        results = api.run_suite(config)
+        assert list(results) == ["go", "com"]
+
+    def test_run_sweep_matches_independent(self):
+        configs = [
+            ExperimentConfig(max_instructions=1_500, workloads=("com",)),
+            ExperimentConfig(max_instructions=1_500, workloads=("com",),
+                             predictors=("last",)),
+        ]
+        sweep = api.run_sweep(configs)
+        assert len(sweep) == 2
+        for config, results in zip(configs, sweep):
+            assert _dump(results["com"]) == _dump(_analyze("com", config))
+
+    def test_analyze_accepts_source_program_and_machine(self):
+        from repro import Machine, compile_program
+
+        source = "int main() { int i; for (i = 0; i < 5; i = i + 1) "\
+                 "{ print_int(i); } return 0; }"
+        from_source = api.analyze(source, name="mine")
+        program = compile_program(source)
+        from_program = api.analyze(program, name="mine")
+        from_machine = api.analyze(Machine(program), name="mine")
+        assert _dump(from_source) == _dump(from_program)
+        assert _dump(from_source) == _dump(from_machine)
+
+
+class TestDeprecatedPaths:
+    def test_report_experiments_run_workload_warns(self):
+        from repro.report import experiments
+
+        config = ExperimentConfig(max_instructions=1_500)
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            result = experiments.run_workload("com", config)
+        assert result is api.run_workload("com", config)
+
+    def test_report_experiments_run_suite_warns(self):
+        from repro.report import experiments
+
+        config = ExperimentConfig(
+            max_instructions=1_500, workloads=("com",)
+        )
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            results = experiments.run_suite(config)
+        assert list(results) == ["com"]
+
+    def test_old_module_entry_points_warn_and_forward(self, capsys):
+        from repro.workloads.__main__ import main as workloads_main
+
+        with pytest.warns(DeprecationWarning, match="python -m repro"):
+            assert workloads_main(["--list"]) == 0
+        assert "spec" in capsys.readouterr().out
+
+
+class TestUnifiedCli:
+    def test_workloads_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["workloads", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "com" in out and "swm" in out
+
+    def test_run_then_cache_info_and_clear(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = tmp_path / "cache"
+        assert main([
+            "run", "--workloads", "com", "--max-instructions", "1000",
+            "--jobs", "1", "--cache-dir", str(cache),
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert "traces: 1" in out
+
+        assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 cached result(s)" in out
+        assert "removed 1 stored trace(s)" in out
+
+    def test_second_run_hits_result_store(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = ["run", "--workloads", "com", "--max-instructions", "1000",
+                "--jobs", "1", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache-hit" in out and "0 computed" in out
+
+    def test_report_exhibit(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "report", "--exhibit", "table1", "--workloads", "com",
+            "--max-instructions", "1000", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        assert "Table 1" in capsys.readouterr().out

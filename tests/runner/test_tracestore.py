@@ -1,0 +1,123 @@
+"""Trace store: replay adequacy, corruption recovery, LRU bounding."""
+
+import gzip
+import os
+
+from repro.cpu.trace import DynInst, Source
+from repro.isa.opcodes import Category
+from repro.runner.tracestore import TraceStore
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+
+
+def _records(n, pc=3):
+    out = []
+    for uid in range(n):
+        out.append(DynInst(
+            uid=uid, pc=pc, op="addi", category=Category.ALU,
+            has_imm=True,
+            srcs=(Source(uid, uid - 1 if uid else None,
+                         pc if uid else None, False, 0),),
+            out=uid + 1,
+        ))
+    return out
+
+
+class TestStoreBasics:
+    def test_miss_then_hit(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.get(KEY_A, 2) is None
+        store.put(KEY_A, _records(5), n_static=8, complete=True)
+        header, records = store.get(KEY_A, 2)
+        assert records == _records(5)
+        assert header["n_static"] == 8
+        assert store.hits == 1 and store.misses == 1
+
+    def test_header_reports_counts_and_completeness(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.put(KEY_A, _records(4), n_static=6, complete=False)
+        header = store.header(KEY_A)
+        assert header["n_records"] == 4
+        assert header["complete"] is False
+        assert header["counts"][3] == 4
+        assert store.header(KEY_B) is None
+
+    def test_results_and_traces_do_not_collide(self, tmp_path):
+        # Both tiers share one root directory in the default layout.
+        from repro.runner import ResultStore
+
+        results = ResultStore(tmp_path)
+        traces = TraceStore(tmp_path)
+        results.put(KEY_A, {"x": 1})
+        traces.put(KEY_A, _records(2), n_static=4, complete=True)
+        assert len(results.entries()) == 1
+        assert len(traces.entries()) == 1
+        assert results.get(KEY_A) == {"x": 1}
+
+
+class TestAdequacy:
+    """A stored trace only replays when it covers the requested budget."""
+
+    def test_complete_trace_serves_any_budget(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.put(KEY_A, _records(5), n_static=8, complete=True)
+        assert store.get(KEY_A, 1_000_000) is not None
+        assert store.get(KEY_A, None) is not None
+
+    def test_incomplete_trace_serves_only_shorter_budgets(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.put(KEY_A, _records(5), n_static=8, complete=False)
+        assert store.get(KEY_A, 5) is not None
+        assert store.get(KEY_A, 6) is None
+        assert store.get(KEY_A, None) is None
+
+    def test_recapture_overwrites(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.put(KEY_A, _records(3), n_static=8, complete=False)
+        store.put(KEY_A, _records(7), n_static=8, complete=True)
+        header, records = store.get(KEY_A, None)
+        assert len(records) == 7
+        assert len(store.entries()) == 1
+
+
+class TestCorruption:
+    def test_truncated_file_is_a_miss_and_removed(self, tmp_path):
+        store = TraceStore(tmp_path)
+        path = store.put(KEY_A, _records(50), n_static=8, complete=True)
+        path.write_bytes(path.read_bytes()[:40])
+        assert store.get(KEY_A, 1) is None
+        assert not path.exists()
+
+    def test_garbage_file_is_a_miss_and_removed(self, tmp_path):
+        store = TraceStore(tmp_path)
+        path = store.path_for(KEY_A)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(gzip.compress(b"not a trace at all"))
+        assert store.get(KEY_A, 1) is None
+        assert not path.exists()
+        assert store.header(KEY_A) is None
+
+    def test_short_but_valid_trace_is_not_removed(self, tmp_path):
+        store = TraceStore(tmp_path)
+        path = store.put(KEY_A, _records(3), n_static=8, complete=False)
+        assert store.get(KEY_A, 100) is None
+        assert path.exists()
+
+
+class TestEviction:
+    def test_lru_bounded(self, tmp_path):
+        store = TraceStore(tmp_path, max_bytes=1)
+        store.put(KEY_A, _records(10), n_static=8, complete=True)
+        first = store.path_for(KEY_A)
+        os.utime(first, (1, 1))
+        store.put(KEY_B, _records(10), n_static=8, complete=True)
+        assert not first.exists()
+        assert store.get(KEY_B, 1) is not None
+
+    def test_clear(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.put(KEY_A, _records(2), n_static=4, complete=True)
+        store.put(KEY_B, _records(2), n_static=4, complete=True)
+        assert store.clear() == 2
+        assert store.entries() == []
