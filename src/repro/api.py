@@ -16,6 +16,13 @@ Three execution entry points, all backed by the shared two-tier-cached
 plus :func:`analyze` for ad-hoc material (mini-C source, a compiled
 program, a live machine) that does not go through the workload suite
 or its caches.
+
+Session-level settings go through :func:`configure` — cache location,
+worker count, observation — instead of environment variables, and the
+suite/sweep entry points return :class:`SuiteResult` /
+:class:`SweepResult`: drop-in dict/list values that additionally carry
+the run's metrics and (when observing) its profile.  See
+docs/observability.md for the profiling story.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from repro.core import (
 )
 from repro.cpu import Machine
 from repro.minic import compile_program
+from repro.obs import ObsConfig, Recorder, get_recorder, recording
 from repro.runner import (
     ExperimentConfig,
     ExperimentRun,
@@ -38,6 +46,7 @@ from repro.runner import (
     ResultStore,
     TraceStore,
     default_runner,
+    set_default_runner,
 )
 from repro.workloads import SUITE, Workload, get_workload
 
@@ -48,20 +57,123 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentRun",
     "ExperimentRunner",
+    "ObsConfig",
+    "Recorder",
     "ResultStore",
     "SUITE",
+    "SuiteResult",
+    "SweepResult",
     "TraceStore",
     "Workload",
     "analyze",
     "analyze_machine",
     "analyze_many",
     "analyze_trace",
+    "configure",
     "default_runner",
+    "get_recorder",
     "get_workload",
+    "recording",
     "run_suite",
     "run_sweep",
     "run_workload",
 ]
+
+#: Sentinel distinguishing "not passed" from an explicit None.
+_UNSET = object()
+
+
+def configure(
+    *,
+    cache_dir=_UNSET,
+    observe=_UNSET,
+    jobs=_UNSET,
+    timeout=_UNSET,
+    retries=_UNSET,
+) -> ExperimentRunner:
+    """Reconfigure the shared runner behind the ``run_*`` entry points.
+
+    Keyword-only; every setting not passed is inherited from the
+    current default runner, so ``configure(observe=True)`` flips
+    observation on without disturbing the cache setup.  No environment
+    variables are involved — this *is* the programmatic channel.
+
+    Args:
+        cache_dir: store root for both cache tiers; ``None`` disables
+            the disk caches entirely (in-process memo only).
+        observe: ``True``/``False`` or an :class:`repro.obs.ObsConfig`;
+            when on, results returned by :func:`run_workload` /
+            :func:`run_suite` / :func:`run_sweep` carry a profile.
+        jobs: default worker-process count for suite runs.
+        timeout: per-job wall-clock limit in seconds (parallel runs).
+        retries: extra attempts for a failed job (parallel runs).
+
+    Returns the newly installed :class:`ExperimentRunner` (also handy
+    for direct use).  Call ``repro.runner.reset_default_runner()`` to
+    fall back to the environment-derived defaults.
+    """
+    current = default_runner()
+    if cache_dir is _UNSET:
+        store, trace_store = current.store, current.trace_store
+    elif cache_dir is None:
+        store, trace_store = None, None
+    else:
+        store = ResultStore(cache_dir)
+        trace_store = TraceStore(cache_dir)
+    runner = ExperimentRunner(
+        store=store,
+        trace_store=trace_store,
+        jobs=current.jobs if jobs is _UNSET else jobs,
+        timeout=current.timeout if timeout is _UNSET else timeout,
+        retries=current.retries if retries is _UNSET else retries,
+        observe=current.obs if observe is _UNSET else observe,
+    )
+    set_default_runner(runner)
+    return runner
+
+
+class SuiteResult(dict):
+    """``name -> AnalysisResult`` mapping that also carries its run.
+
+    Behaves exactly like the plain dict :func:`run_suite` used to
+    return; additionally ``.run`` is the underlying
+    :class:`ExperimentRun`, ``.metrics`` its
+    :class:`~repro.runner.RunMetrics` and ``.profile`` the
+    observability snapshot (None unless the runner observed).
+    """
+
+    def __init__(self, run: ExperimentRun):
+        super().__init__(run.results)
+        self.run = run
+
+    @property
+    def metrics(self):
+        return self.run.metrics
+
+    @property
+    def profile(self) -> dict | None:
+        return self.run.metrics.profile
+
+
+class SweepResult(list):
+    """List of :class:`SuiteResult` (one per sweep config).
+
+    ``.runs`` holds the underlying :class:`ExperimentRun` objects and
+    ``.profile`` the sweep's shared observability snapshot (a sweep is
+    observed as a whole — every config's run carries the same one).
+    """
+
+    def __init__(self, runs):
+        runs = list(runs)
+        super().__init__(SuiteResult(run) for run in runs)
+        self.runs = runs
+
+    @property
+    def profile(self) -> dict | None:
+        for run in self.runs:
+            if run.metrics.profile is not None:
+                return run.metrics.profile
+        return None
 
 
 def run_workload(name: str,
@@ -78,30 +190,35 @@ def run_workload(name: str,
 
 
 def run_suite(config: ExperimentConfig | None = None,
-              jobs: int | None = None) -> dict[str, AnalysisResult]:
+              jobs: int | None = None) -> SuiteResult:
     """Analyse all configured workloads; returns name -> result.
 
     ``jobs`` > 1 fans workloads out over the runner's process pool
     (default: the ``REPRO_JOBS`` environment variable, else serial).
     Raises :class:`repro.errors.RunnerError` if any workload fails.
+    The returned :class:`SuiteResult` is a plain mapping that also
+    carries ``.metrics`` and (when observing) ``.profile``.
     """
     config = config or ExperimentConfig()
-    return default_runner().run(config, jobs=jobs).require()
+    run = default_runner().run(config, jobs=jobs)
+    run.require()
+    return SuiteResult(run)
 
 
-def run_sweep(configs, jobs: int | None = None,
-              ) -> list[dict[str, AnalysisResult]]:
+def run_sweep(configs, jobs: int | None = None) -> SweepResult:
     """Analyse a sweep of configs; returns one mapping per config.
 
     Each workload is simulated (or replayed from the trace store) at
     most once for the whole sweep — the single pass feeds one analyzer
     per config (:func:`repro.core.analyze_many`).  Raises
-    :class:`repro.errors.RunnerError` if any job fails.
+    :class:`repro.errors.RunnerError` if any job fails.  The returned
+    :class:`SweepResult` is a plain list of per-config mappings that
+    also carries ``.runs`` and (when observing) ``.profile``.
     """
-    return [
+    runs = default_runner().run_many(configs, jobs=jobs)
+    for run in runs:
         run.require()
-        for run in default_runner().run_many(configs, jobs=jobs)
-    ]
+    return SweepResult(runs)
 
 
 def analyze(target, name: str = "program",

@@ -1,27 +1,34 @@
 """The unified command line: ``python -m repro <command>``.
 
-Four subcommands over one shared flag vocabulary
+Five subcommands over one shared flag vocabulary
 (``--jobs/--scale/--cache-dir/--no-cache``):
 
 * ``report`` — regenerate the paper's tables and figures;
 * ``run`` — run the experiment suite through the two-tier-cached
-  orchestrator and print per-job status;
+  orchestrator and print per-job status (``--profile`` records and
+  prints a span/counter profile, see docs/observability.md);
 * ``workloads`` — list, run or disassemble the SPEC95-analogue suite;
-* ``cache`` — inspect or clear both cache tiers.
+* ``cache`` — inspect, prune or clear both cache tiers;
+* ``stats`` — render the profile recorded by an earlier
+  ``run --profile`` (text, JSON-lines or Prometheus format).
 
 The pre-existing module entry points (``python -m repro.report``,
 ``-m repro.runner``, ``-m repro.workloads``) remain as deprecated
-wrappers that forward here; see docs/api.md for the deprecation
-policy.
+wrappers that forward here — with their historical flag set frozen:
+new flags like ``--profile`` exist only on the unified CLI.  See
+docs/api.md for the deprecation policy.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
+from pathlib import Path
 
+from repro.obs.export import render_profile, to_jsonl, to_prometheus
 from repro.runner.api import (
     DEFAULT_CACHE_DIR,
     ExperimentRunner,
@@ -63,6 +70,9 @@ def _add_suite_flags(parser: argparse.ArgumentParser) -> None:
                         help="workload problem-size multiplier")
     parser.add_argument("--max-instructions", type=int, default=150_000,
                         help="dynamic-instruction budget per workload")
+    parser.add_argument("--profile", action="store_true",
+                        help="record spans/counters for the run and print "
+                             "the profile (also lands in the metrics JSON)")
 
 
 def _make_stores(args) -> tuple[ResultStore | None, TraceStore | None]:
@@ -110,6 +120,9 @@ def cmd_run(parser, args) -> int:
         store=store, trace_store=trace_store,
         jobs=args.jobs if args.jobs is not None else _default_jobs(),
         timeout=args.timeout, retries=args.retries,
+        # getattr: the deprecated ``python -m repro.runner`` forwarder's
+        # frozen flag set has no --profile.
+        observe=getattr(args, "profile", False),
     )
     run = runner.run(config)
 
@@ -126,6 +139,10 @@ def cmd_run(parser, args) -> int:
             print(f"          !! {metric.error}")
     print("-" * 52)
     print(run.metrics.summary())
+
+    if run.metrics.profile is not None:
+        print()
+        print(render_profile(run.metrics.profile))
 
     if args.metrics != "-":
         if args.metrics is not None:
@@ -145,6 +162,35 @@ def cmd_run(parser, args) -> int:
 # repro cache
 # ----------------------------------------------------------------------
 
+def _last_profile(store) -> dict | None:
+    """The profile of the last observed run against ``store``, if any.
+
+    ``repro run`` dumps its metrics (profile included, when observing)
+    to ``<cache>/metrics.json``; ``cache info`` mines it for hit-rate
+    reporting.  Anything unreadable simply reads as "no profile".
+    """
+    try:
+        payload = json.loads((store.root / "metrics.json").read_text())
+    except (OSError, ValueError):
+        return None
+    profile = payload.get("profile")
+    return profile if isinstance(profile, dict) else None
+
+
+def _tier_report(prefix: str, store, counters: dict) -> None:
+    """Print one tier's occupancy (always) and hit-rate (when known)."""
+    size = store.size_bytes()
+    print(f"{prefix}size: {size / 1024:.1f} KiB "
+          f"(cap {store.max_bytes / (1024 * 1024):.0f} MiB, "
+          f"{100.0 * size / store.max_bytes:.1f}% full)")
+    hits = counters.get(f"store.{store.metric}.hits", 0)
+    misses = counters.get(f"store.{store.metric}.misses", 0)
+    if hits or misses:
+        rate = 100.0 * hits / (hits + misses)
+        print(f"{prefix}hit-rate: {rate:.0f}% "
+              f"({hits} hit(s) / {misses} miss(es), last observed run)")
+
+
 def cmd_cache(parser, args) -> int:
     store, trace_store = _make_stores(args)
     if store is None:
@@ -158,15 +204,65 @@ def cmd_cache(parser, args) -> int:
             print(f"removed {removed} stored trace(s) from "
                   f"{trace_store.root}")
         return 0
+    if args.action == "prune":
+        # Evict down to the (possibly flag-lowered) caps right now
+        # instead of waiting for the next write.
+        evicted = store.evict()
+        print(f"evicted {evicted} cached result(s) from {store.root}")
+        if trace_store is not None:
+            evicted = trace_store.evict()
+            print(f"evicted {evicted} stored trace(s) from "
+                  f"{trace_store.root}")
+        return 0
+    profile = _last_profile(store)
+    counters = profile.get("counters", {}) if profile else {}
     entries = store.entries()
     print(f"store: {store.root}")
     print(f"entries: {len(entries)}")
-    print(f"size: {store.size_bytes() / 1024:.1f} KiB "
-          f"(cap {store.max_bytes / (1024 * 1024):.0f} MiB)")
+    _tier_report("", store, counters)
     if trace_store is not None:
         print(f"traces: {len(trace_store.entries())}")
-        print(f"traces size: {trace_store.size_bytes() / 1024:.1f} KiB "
-              f"(cap {trace_store.max_bytes / (1024 * 1024):.0f} MiB)")
+        _tier_report("traces ", trace_store, counters)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro stats
+# ----------------------------------------------------------------------
+
+def cmd_stats(parser, args) -> int:
+    """Render a recorded profile from a metrics JSON dump."""
+    path = args.metrics
+    if path is None:
+        store, __ = _make_stores(args)
+        if store is None:
+            print("cache disabled and no --metrics path given",
+                  file=sys.stderr)
+            return 1
+        path = store.root / "metrics.json"
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as error:
+        print(f"cannot read {path}: {error}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"{path} is not valid JSON: {error}", file=sys.stderr)
+        return 1
+    profile = payload.get("profile")
+    if not isinstance(profile, dict):
+        print(f"{path} has no profile section; re-run with "
+              f"python -m repro run --profile", file=sys.stderr)
+        return 1
+    if args.format == "jsonl":
+        print(to_jsonl(profile), end="")
+    elif args.format == "prom":
+        print(to_prometheus(profile), end="")
+    else:
+        jobs = payload.get("jobs", [])
+        print(f"profile of {path} ({len(jobs)} job(s), "
+              f"{payload.get('total_wall', 0.0):.2f}s total)")
+        print()
+        print(render_profile(profile))
     return 0
 
 
@@ -199,6 +295,7 @@ def cmd_report(parser, args) -> int:
         store=store, trace_store=trace_store,
         jobs=args.jobs if args.jobs is not None
         else int(os.environ.get("REPRO_JOBS", "1")),
+        observe=getattr(args, "profile", False),
     )
     config = ExperimentConfig(
         scale=args.scale,
@@ -206,7 +303,8 @@ def cmd_report(parser, args) -> int:
         workloads=_workload_tuple(parser, args.workloads),
     )
     start = time.time()
-    results = runner.run(config).require()
+    run = runner.run(config)
+    results = run.require()
     names = sorted(exhibits) if args.exhibit == "all" else [args.exhibit]
     for name in names:
         try:
@@ -220,6 +318,9 @@ def cmd_report(parser, args) -> int:
     elapsed = time.time() - start
     print(f"[analysed {len(results)} workloads in {elapsed:.1f}s]",
           file=sys.stderr)
+    if run.metrics.profile is not None:
+        # stderr: exhibit tables own stdout.
+        print(render_profile(run.metrics.profile), file=sys.stderr)
     return 0
 
 
@@ -313,13 +414,29 @@ def build_parser() -> argparse.ArgumentParser:
     workloads.set_defaults(func=cmd_workloads)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear both cache tiers",
-        description="Inspect or clear the result and trace stores.",
+        "cache", help="inspect, prune or clear both cache tiers",
+        description="Inspect, prune or clear the result and trace "
+                    "stores.",
     )
-    cache.add_argument("action", choices=("info", "clear"),
-                       help="print tier locations/sizes, or empty them")
+    cache.add_argument("action", choices=("info", "prune", "clear"),
+                       help="print tier occupancy and hit-rates, evict "
+                            "down to the caps, or empty the tiers")
     _add_cache_flags(cache)
     cache.set_defaults(func=cmd_cache)
+
+    stats = sub.add_parser(
+        "stats", help="render the profile of an observed run",
+        description="Render the span/counter profile recorded by "
+                    "python -m repro run --profile.",
+    )
+    stats.add_argument("--metrics", default=None,
+                       help="metrics JSON to read (default: "
+                            "<cache>/metrics.json)")
+    stats.add_argument("--format", choices=("text", "jsonl", "prom"),
+                       default="text",
+                       help="output format (default: text)")
+    _add_cache_flags(stats)
+    stats.set_defaults(func=cmd_stats)
 
     return parser
 

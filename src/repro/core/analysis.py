@@ -32,6 +32,7 @@ from repro.core.reuse import ReuseTracker
 from repro.core.unpred import CriticalPoints, UnpredTracker
 from repro.cpu.trace import DynInst
 from repro.isa.opcodes import Category
+from repro.obs import get_recorder
 from repro.predictors import PredictorBank, make_branch_predictor
 from repro.predictors.base import PREDICTOR_KINDS
 
@@ -344,6 +345,20 @@ class Analyzer:
             static_instructions=self._n_static,
             static_counts=list(static_counts),
         )
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("analyze.passes", 1)
+            recorder.count("analyze.nodes", self._node_count)
+            recorder.count("analyze.arcs", self._arc_count)
+            for k, bank in enumerate(self._banks):
+                for behavior, n in (
+                    self._node_stats[k].behavior_counts().items()
+                ):
+                    if n:
+                        recorder.count(
+                            f"analyze.pred.{bank.kind}."
+                            f"{behavior.name.lower()}", n,
+                        )
         for k, bank in enumerate(self._banks):
             pred = PredictorResult(kind=bank.kind, nodes=self._node_stats[k])
             arc_stats.append(pred.arcs)
@@ -379,14 +394,21 @@ def analyze_trace(
     profile_counts=None,
     static_counts=None,
 ) -> AnalysisResult:
-    """Analyse an iterable of :class:`DynInst` records."""
+    """Analyse an iterable of :class:`DynInst` records.
+
+    The whole pass runs under an ``"analyze"`` span.  When ``trace``
+    is a live machine generator the span necessarily includes the
+    interleaved simulation time; the runner's two-tier path feeds a
+    decoded record list here, so there the span is pure analysis.
+    """
     config = config or AnalysisConfig()
     analyzer = Analyzer(n_static, config, profile_counts)
     if config.max_instructions is not None:
         trace = islice(trace, config.max_instructions)
-    for dyn in trace:
-        analyzer.feed(dyn)
-    return analyzer.finalize(name, static_counts)
+    with get_recorder().span("analyze"):
+        for dyn in trace:
+            analyzer.feed(dyn)
+        return analyzer.finalize(name, static_counts)
 
 
 def analyze_many(
@@ -410,6 +432,13 @@ def analyze_many(
     analyzers = [
         Analyzer(n_static, config, profile_counts) for config in configs
     ]
+    with get_recorder().span("analyze"):
+        return _analyze_many_body(
+            trace, configs, analyzers, name, static_counts
+        )
+
+
+def _analyze_many_body(trace, configs, analyzers, name, static_counts):
     budgets = {config.max_instructions for config in configs}
     if analyzers and len(budgets) == 1:
         # Uniform budget: no per-record bookkeeping.

@@ -263,6 +263,11 @@ class AnalysisResult:
     #: instruction reuse measurement (when enabled); a
     #: :class:`repro.core.reuse.ReuseStats`
     reuse: object | None = None
+    #: observability snapshot attached by an observing runner's
+    #: ``run_one`` (see :mod:`repro.obs`); not part of the stored
+    #: payload — a cached result gets the profile of the run that
+    #: served it, not the one that computed it
+    profile: dict | None = field(default=None, repr=False, compare=False)
 
     @property
     def elements(self) -> int:

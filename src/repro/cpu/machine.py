@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.asm.program import Program
 from repro.cpu.alu import ALU_FUNCS, BRANCH_FUNCS
+from repro.obs import get_recorder
 from repro.cpu.memory import Memory
 from repro.cpu.trace import DynInst, Source
 from repro.errors import SimError
@@ -165,24 +166,36 @@ class Machine:
         if not self.tracing:
             raise SimError("machine was created with tracing disabled")
         limit = self.max_instructions
-        while not self.halted:
-            if self.uid >= limit:
-                raise SimError(
-                    f"instruction limit exceeded ({limit} instructions)"
-                )
-            record = self.step()
-            if record is not None:
-                yield record
+        started = self.uid
+        try:
+            while not self.halted:
+                if self.uid >= limit:
+                    raise SimError(
+                        f"instruction limit exceeded ({limit} instructions)"
+                    )
+                record = self.step()
+                if record is not None:
+                    yield record
+        finally:
+            # Interpreter-loop accounting: fires once per consumed
+            # trace, including truncated (islice'd) ones at close time.
+            recorder = get_recorder()
+            recorder.count("sim.instructions", self.uid - started)
+            recorder.count("sim.traces", 1)
 
     def run(self) -> MachineResult:
         """Run to completion without yielding trace records."""
         limit = self.max_instructions
+        started = self.uid
         while not self.halted:
             if self.uid >= limit:
                 raise SimError(
                     f"instruction limit exceeded ({limit} instructions)"
                 )
             self.step()
+        recorder = get_recorder()
+        recorder.count("sim.instructions", self.uid - started)
+        recorder.count("sim.runs", 1)
         return self.result()
 
     def result(self) -> MachineResult:

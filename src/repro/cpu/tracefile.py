@@ -30,11 +30,13 @@ from __future__ import annotations
 
 import gzip
 import json
+import os
 import struct
 from pathlib import Path
 
 from repro.cpu.trace import DynInst, Source
 from repro.errors import ReproError
+from repro.obs import get_recorder
 from repro.isa.opcodes import Category
 
 #: Format identifier of the binary format written by :func:`save_trace`.
@@ -90,6 +92,12 @@ def save_trace(trace, path, n_static: int, complete: bool | None = None) -> int:
     whole execution (None = unknown); the trace store uses it to decide
     replay eligibility.  Returns the number of records written.
     """
+    recorder = get_recorder()
+    with recorder.span("trace.encode"):
+        return _save_trace(trace, path, n_static, complete, recorder)
+
+
+def _save_trace(trace, path, n_static: int, complete, recorder) -> int:
     counts = [0] * max(n_static, 1)
     # Distinct (op, category value, has_imm) triples; records index it.
     op_table: dict[tuple[str, int, int], int] = {}
@@ -166,6 +174,12 @@ def save_trace(trace, path, n_static: int, complete: bool | None = None) -> int:
         handle.write(_U32.pack(len(header)))
         handle.write(header)
         handle.write(bytes(body))
+    recorder.count("trace.encode.records", count)
+    recorder.count("trace.encode.bytes", len(body) + len(header))
+    try:
+        recorder.count("trace.encode.file_bytes", os.stat(path).st_size)
+    except (OSError, TypeError):
+        pass
     return count
 
 
@@ -254,10 +268,19 @@ def _iter_v1(handle):
 
 
 def _decode_v2(handle, header, path) -> list[DynInst]:
+    recorder = get_recorder()
+    with recorder.span("trace.decode"):
+        records = _decode_v2_body(handle, header, path)
+    recorder.count("trace.decode.records", len(records))
+    return records
+
+
+def _decode_v2_body(handle, header, path) -> list[DynInst]:
     try:
         buf = handle.read()
     except (OSError, EOFError) as error:
         raise ReproError(f"truncated trace file: {path}") from error
+    get_recorder().count("trace.decode.bytes", len(buf))
     ops = [
         (entry[0], Category(entry[1]), bool(entry[2]))
         for entry in header["ops"]

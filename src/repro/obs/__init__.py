@@ -1,0 +1,72 @@
+"""repro.obs — observability: spans, counters and profiling hooks.
+
+The instrumentation layer every other subsystem reports into:
+
+* the **recorder** (:mod:`repro.obs.recorder`) — a hierarchical span
+  timer (wall + CPU) plus a counter/gauge registry, with a process-wide
+  *current recorder* that defaults to a no-op implementation so the
+  instrumented hot paths cost nothing when observation is off;
+* the **exporters** (:mod:`repro.obs.export`) — JSON-lines event logs,
+  Prometheus-style text dumps, and the human rendering used by
+  ``python -m repro stats`` and the ``--profile`` CLI flag.
+
+Instrumented layers (see docs/observability.md for the span/counter
+catalogue): the simulator (``sim.*``), trace codec (``trace.*``),
+analyzer (``analyze.*``), stores (``store.*``), pool (``pool.*``) and
+runner resolution tiers (``runner.*``).
+
+Enable observation through the facade::
+
+    from repro import api
+    api.configure(observe=True)
+    result = api.run_workload("com")
+    print(result.profile["counters"]["sim.instructions"])
+
+or scoped, library-style::
+
+    from repro.obs import Recorder, recording
+
+    with recording(Recorder()) as rec:
+        api.analyze(source)
+    print(rec.snapshot())
+"""
+
+from repro.obs.export import (
+    aggregate_spans,
+    from_jsonl,
+    iter_events,
+    render_profile,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    ObsConfig,
+    Recorder,
+    Span,
+    get_recorder,
+    recording,
+    set_recorder,
+    spanned,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "ObsConfig",
+    "Recorder",
+    "Span",
+    "aggregate_spans",
+    "from_jsonl",
+    "get_recorder",
+    "iter_events",
+    "recording",
+    "render_profile",
+    "set_recorder",
+    "spanned",
+    "to_jsonl",
+    "to_prometheus",
+    "write_jsonl",
+]

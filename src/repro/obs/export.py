@@ -1,0 +1,237 @@
+"""Profile exporters and renderers.
+
+A *profile* is the JSON-safe dict a :class:`repro.obs.Recorder`
+snapshot produces::
+
+    {"counters": {...}, "gauges": {...}, "spans": [<span tree>, ...]}
+
+Three output forms:
+
+* **JSON-lines events** (:func:`to_jsonl` / :func:`from_jsonl`) — one
+  event object per line (counters, gauges, then spans in pre-order
+  with an explicit ``depth``), loss-free in both directions so a
+  profile can be shipped through a log pipeline and reconstructed;
+* **Prometheus-style text** (:func:`to_prometheus`) — counters and
+  gauges as ``repro_<name>`` samples, span time aggregated per span
+  name into ``repro_span_wall_seconds`` / ``repro_span_cpu_seconds`` /
+  ``repro_span_calls`` with a ``{span="..."}`` label;
+* **human text** (:func:`render_profile`) — the span tree with
+  sibling spans of the same name aggregated, plus the counter table;
+  what ``python -m repro stats`` and ``--profile`` print.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+#: Event-stream schema version (the ``meta`` line of a JSONL export).
+EVENTS_VERSION = 1
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+# ----------------------------------------------------------------------
+# JSON-lines events.
+# ----------------------------------------------------------------------
+
+def iter_events(profile: dict):
+    """Yield the profile as JSON-safe event dicts (see :func:`to_jsonl`)."""
+    yield {"type": "meta", "version": EVENTS_VERSION}
+    for name, value in profile.get("counters", {}).items():
+        yield {"type": "counter", "name": name, "value": value}
+    for name, value in profile.get("gauges", {}).items():
+        yield {"type": "gauge", "name": name, "value": value}
+
+    def walk(span: dict, depth: int):
+        yield {
+            "type": "span",
+            "name": span["name"],
+            "depth": depth,
+            "wall": span.get("wall", 0.0),
+            "cpu": span.get("cpu", 0.0),
+        }
+        for child in span.get("children", ()):
+            yield from walk(child, depth + 1)
+
+    for root in profile.get("spans", ()):
+        yield from walk(root, 0)
+
+
+def to_jsonl(profile: dict) -> str:
+    """Serialise ``profile`` as one JSON event per line."""
+    return "\n".join(
+        json.dumps(event, sort_keys=True) for event in iter_events(profile)
+    ) + "\n"
+
+
+def from_jsonl(text: str) -> dict:
+    """Rebuild a profile dict from :func:`to_jsonl` output.
+
+    Exact inverse for any profile produced by a recorder snapshot:
+    counters, gauges and the full span tree (reconstructed from the
+    pre-order ``depth`` fields) survive the round trip.
+    """
+    profile: dict = {"counters": {}, "gauges": {}, "spans": []}
+    stack: list[dict] = []  # open spans by depth
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        event = json.loads(line)
+        kind = event.get("type")
+        if kind == "counter":
+            name = event["name"]
+            profile["counters"][name] = (
+                profile["counters"].get(name, 0) + event["value"]
+            )
+        elif kind == "gauge":
+            profile["gauges"][event["name"]] = event["value"]
+        elif kind == "span":
+            span = {
+                "name": event["name"],
+                "wall": event.get("wall", 0.0),
+                "cpu": event.get("cpu", 0.0),
+                "children": [],
+            }
+            depth = event.get("depth", 0)
+            del stack[depth:]
+            if depth == 0:
+                profile["spans"].append(span)
+            else:
+                stack[depth - 1]["children"].append(span)
+            stack.append(span)
+    return profile
+
+
+def write_jsonl(profile: dict, path, append: bool = True) -> Path:
+    """Write (or append) the profile's event stream to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a" if append else "w") as handle:
+        handle.write(to_jsonl(profile))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus-style text.
+# ----------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _PROM_BAD.sub("_", name)
+
+
+def aggregate_spans(spans, totals: dict | None = None) -> dict:
+    """Flatten a span forest into ``name -> {wall, cpu, calls}``.
+
+    Every span in the tree contributes to its own name's bucket;
+    nesting is preserved elsewhere (this is the exporter view, where a
+    flat per-name total is what a scraper wants).
+    """
+    if totals is None:
+        totals = {}
+    for span in spans:
+        bucket = totals.setdefault(
+            span["name"], {"wall": 0.0, "cpu": 0.0, "calls": 0}
+        )
+        bucket["wall"] += span.get("wall", 0.0)
+        bucket["cpu"] += span.get("cpu", 0.0)
+        bucket["calls"] += 1
+        aggregate_spans(span.get("children", ()), totals)
+    return totals
+
+
+def to_prometheus(profile: dict) -> str:
+    """Render the profile as Prometheus text-format samples."""
+    lines: list[str] = []
+    for name, value in profile.get("counters", {}).items():
+        metric = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in profile.get("gauges", {}).items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    totals = aggregate_spans(profile.get("spans", ()))
+    if totals:
+        lines.append("# TYPE repro_span_wall_seconds gauge")
+        for name, bucket in sorted(totals.items()):
+            lines.append(
+                f'repro_span_wall_seconds{{span="{name}"}} '
+                f"{bucket['wall']:.6f}"
+            )
+        lines.append("# TYPE repro_span_cpu_seconds gauge")
+        for name, bucket in sorted(totals.items()):
+            lines.append(
+                f'repro_span_cpu_seconds{{span="{name}"}} '
+                f"{bucket['cpu']:.6f}"
+            )
+        lines.append("# TYPE repro_span_calls gauge")
+        for name, bucket in sorted(totals.items()):
+            lines.append(
+                f'repro_span_calls{{span="{name}"}} {bucket["calls"]}'
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Human rendering.
+# ----------------------------------------------------------------------
+
+def _merge_siblings(spans) -> list[dict]:
+    """Aggregate same-named siblings (recursively) for display."""
+    merged: dict[str, dict] = {}
+    for span in spans:
+        bucket = merged.setdefault(span["name"], {
+            "name": span["name"], "wall": 0.0, "cpu": 0.0, "calls": 0,
+            "children": [],
+        })
+        bucket["wall"] += span.get("wall", 0.0)
+        bucket["cpu"] += span.get("cpu", 0.0)
+        bucket["calls"] += 1
+        bucket["children"].extend(span.get("children", ()))
+    for bucket in merged.values():
+        bucket["children"] = _merge_siblings(bucket["children"])
+    return list(merged.values())
+
+
+def render_profile(profile: dict, max_counters: int | None = None) -> str:
+    """Human-readable profile: span tree plus the counter table."""
+    lines: list[str] = []
+    merged = _merge_siblings(profile.get("spans", ()))
+    if merged:
+        lines.append(f"{'span':<42} {'calls':>6} {'wall':>10} {'cpu':>10}")
+        lines.append("-" * 71)
+
+        def emit(buckets, depth):
+            for bucket in buckets:
+                label = "  " * depth + bucket["name"]
+                lines.append(
+                    f"{label:<42} {bucket['calls']:>6} "
+                    f"{bucket['wall']:>9.3f}s {bucket['cpu']:>9.3f}s"
+                )
+                emit(bucket["children"], depth + 1)
+
+        emit(merged, 0)
+    counters = profile.get("counters", {})
+    if counters:
+        if lines:
+            lines.append("")
+        lines.append(f"{'counter':<48} {'value':>15}")
+        lines.append("-" * 64)
+        items = sorted(counters.items())
+        if max_counters is not None:
+            items = items[:max_counters]
+        for name, value in items:
+            lines.append(f"{name:<48} {value:>15,}")
+    gauges = profile.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<48} {'value':>15}")
+        lines.append("-" * 64)
+        for name, value in sorted(gauges.items()):
+            lines.append(f"{name:<48} {value:>15}")
+    if not lines:
+        return "(empty profile)"
+    return "\n".join(lines)

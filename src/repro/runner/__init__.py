@@ -30,6 +30,7 @@ from repro.runner.api import (
     default_store,
     default_trace_store,
     reset_default_runner,
+    set_default_runner,
 )
 from repro.runner.cache import ResultStore
 from repro.runner.job import (
@@ -68,5 +69,6 @@ __all__ = [
     "default_trace_store",
     "job_key",
     "reset_default_runner",
+    "set_default_runner",
     "trace_key",
 ]

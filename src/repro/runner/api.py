@@ -46,6 +46,14 @@ from itertools import islice
 from repro.core import analyze_machine, analyze_many, analyze_trace
 from repro.core.export import result_from_dict, result_to_dict
 from repro.errors import RunnerError
+from repro.obs import (
+    ObsConfig,
+    Recorder,
+    get_recorder,
+    recording,
+    set_recorder,
+    write_jsonl,
+)
 from repro.runner.cache import DEFAULT_MAX_BYTES, ResultStore
 from repro.runner.job import (
     ExperimentConfig,
@@ -114,10 +122,12 @@ def _capture(name: str, config: ExperimentConfig, budget: int | None):
     """
     workload = get_workload(name)
     machine = workload.machine(scale=config.scale)
-    stream = machine.trace()
-    if budget is not None:
-        stream = islice(stream, budget)
-    records = list(stream)
+    with get_recorder().span("simulate"):
+        stream = machine.trace()
+        if budget is not None:
+            stream = islice(stream, budget)
+        records = list(stream)
+        del stream  # close the generator: flush its sim.* counters
     return len(machine.program.instructions), records, machine.halted
 
 
@@ -164,55 +174,75 @@ def _analyze_two_tier(name: str, config: ExperimentConfig,
 def _execute_job(name: str, config: ExperimentConfig, key: str,
                  store_root: str, max_bytes: int,
                  trace_root: str | None = None,
-                 trace_max_bytes: int = DEFAULT_TRACE_MAX_BYTES) -> str:
+                 trace_max_bytes: int = DEFAULT_TRACE_MAX_BYTES,
+                 observe: bool = False) -> tuple:
     """Pool worker: compute one job and write it through the store.
 
-    Returns the key so the parent knows where to read the result.
-    Runs in a separate process; must stay picklable/module-level.
+    Returns ``(key, profile)`` — the key so the parent knows where to
+    read the result, and (when ``observe``) the worker's own recorder
+    snapshot for the parent to merge, else None.  Runs in a separate
+    process; must stay picklable/module-level.
     """
-    store = ResultStore(store_root, max_bytes=max_bytes)
-    if store.get(key) is None:
-        if trace_root is not None:
-            trace_store = TraceStore(trace_root, max_bytes=trace_max_bytes)
-            result, __ = _analyze_two_tier(name, config, trace_store)
-        else:
-            result = _analyze(name, config)
-        store.put(key, result_to_dict(result))
-    return key
+    with recording(Recorder() if observe else None) as rec:
+        store = ResultStore(store_root, max_bytes=max_bytes)
+        if store.get(key) is None:
+            if trace_root is not None:
+                trace_store = TraceStore(
+                    trace_root, max_bytes=trace_max_bytes
+                )
+                result, __ = _analyze_two_tier(name, config, trace_store)
+            else:
+                result = _analyze(name, config)
+            store.put(key, result_to_dict(result))
+    return key, (rec.snapshot() if observe else None)
 
 
 def _execute_sweep(name: str, configs, keys, store_root: str,
                    max_bytes: int, trace_root: str | None,
-                   trace_max_bytes: int) -> tuple:
+                   trace_max_bytes: int, observe: bool = False) -> tuple:
     """Pool worker: every sweep job of one workload in a single pass.
 
     Resolves the workload's trace once (replay or capture) with a
     budget covering the largest config, then fans it out to one
     analyzer per still-missing config via :func:`analyze_many`.
+    Returns ``(keys, profile)`` (profile as in :func:`_execute_job`).
     """
-    store = ResultStore(store_root, max_bytes=max_bytes)
-    missing = [
-        (config, key) for config, key in zip(configs, keys)
-        if store.get(key) is None
-    ]
-    if missing:
-        budgets = [config.max_instructions for config, __ in missing]
-        budget = None if any(b is None for b in budgets) else max(budgets)
-        trace_store = (
-            TraceStore(trace_root, max_bytes=trace_max_bytes)
-            if trace_root is not None else None
-        )
-        n_static, records, __ = _resolve_trace(
-            name, missing[0][0], trace_store, budget
-        )
-        results = analyze_many(
-            records, n_static,
-            [Job(name, config).analysis_config() for config, __ in missing],
-            name=name,
-        )
-        for (__, key), result in zip(missing, results):
-            store.put(key, result_to_dict(result))
-    return tuple(keys)
+    with recording(Recorder() if observe else None) as rec:
+        store = ResultStore(store_root, max_bytes=max_bytes)
+        missing = [
+            (config, key) for config, key in zip(configs, keys)
+            if store.get(key) is None
+        ]
+        if missing:
+            budgets = [config.max_instructions for config, __ in missing]
+            budget = (None if any(b is None for b in budgets)
+                      else max(budgets))
+            trace_store = (
+                TraceStore(trace_root, max_bytes=trace_max_bytes)
+                if trace_root is not None else None
+            )
+            n_static, records, __ = _resolve_trace(
+                name, missing[0][0], trace_store, budget
+            )
+            results = analyze_many(
+                records, n_static,
+                [Job(name, config).analysis_config()
+                 for config, __ in missing],
+                name=name,
+            )
+            for (__, key), result in zip(missing, results):
+                store.put(key, result_to_dict(result))
+    return tuple(keys), (rec.snapshot() if observe else None)
+
+
+def _note(run: ExperimentRun, metric: JobMetric) -> None:
+    """Record a job outcome in the run metrics *and* the recorder.
+
+    Every resolution lands here, so ``runner.resolve.<status>``
+    counters always reconcile with the :class:`RunMetrics` job list.
+    """
+    get_recorder().count(f"runner.resolve.{metric.status}", 1)
+    run.metrics.add(metric)
 
 
 class ExperimentRunner:
@@ -226,6 +256,9 @@ class ExperimentRunner:
         retries: extra attempts for a failed job (parallel runs).
         trace_store: a :class:`TraceStore`, or None to simulate on
             every result-tier miss (no trace capture or replay).
+        observe: ``True`` or an :class:`repro.obs.ObsConfig` to record
+            a profile (spans + counters) per run and attach it to the
+            run's metrics; ``False`` (default) records nothing.
     """
 
     def __init__(
@@ -235,13 +268,57 @@ class ExperimentRunner:
         timeout: float | None = None,
         retries: int = 1,
         trace_store: TraceStore | None = None,
+        observe: bool | ObsConfig = False,
     ):
         self.store = store
         self.trace_store = trace_store
         self.jobs = max(1, jobs)
         self.timeout = timeout
         self.retries = retries
+        self.obs = self._normalize_obs(observe)
         self._memo: dict[str, object] = {}
+
+    @staticmethod
+    def _normalize_obs(observe: bool | ObsConfig) -> ObsConfig:
+        if isinstance(observe, ObsConfig):
+            return observe
+        return ObsConfig(enabled=bool(observe))
+
+    # ------------------------------------------------------------------
+    # Observation lifecycle.
+    # ------------------------------------------------------------------
+
+    def _begin_observation(self):
+        """Start observing this run if configured; returns a token.
+
+        When an *enabled* recorder is already installed (the caller is
+        running inside :func:`repro.obs.recording`), it is borrowed —
+        its snapshot is then cumulative and the caller keeps ownership.
+        Otherwise a fresh :class:`Recorder` is installed for the run
+        and the previous (no-op) recorder restored afterwards.
+        """
+        if not self.obs.enabled:
+            return None
+        current = get_recorder()
+        if current.enabled:
+            return (current, None, False)
+        rec = Recorder()
+        return (rec, set_recorder(rec), True)
+
+    def _finish_observation(self, token) -> dict | None:
+        """End observation; returns the profile snapshot (or None)."""
+        if token is None:
+            return None
+        rec, previous, owned = token
+        if owned:
+            set_recorder(previous)
+        profile = rec.snapshot()
+        if self.obs.events_path:
+            try:
+                write_jsonl(profile, self.obs.events_path)
+            except OSError:
+                pass  # observation must never sink a run
+        return profile
 
     def _compute(self, name: str, config: ExperimentConfig):
         """Compute one job through whichever tiers exist:
@@ -258,15 +335,36 @@ class ExperimentRunner:
         """Analyse one workload in-process; exceptions propagate.
 
         Repeat calls with an equal config return the identical object
-        (memo), so exhibit code can rely on result identity.
+        (memo), so exhibit code can rely on result identity.  When the
+        runner observes, the call's profile is attached to the result
+        (``result.profile``).
         """
+        token = self._begin_observation()
+        try:
+            with get_recorder().span("runner.run_one"):
+                result = self._run_one_impl(name, config)
+        finally:
+            profile = self._finish_observation(token)
+        if profile is not None:
+            result.profile = profile
+        return result
+
+    def _run_one_impl(self, name: str, config: ExperimentConfig):
         key = job_key(Job(name, config))
         result = self._memo.get(key)
         if result is not None:
+            get_recorder().count(
+                f"runner.resolve.{STATUS_MEMO_HIT}", 1
+            )
             return result
         result = self._load(key)
-        if result is None:
-            result, __ = self._compute(name, config)
+        if result is not None:
+            get_recorder().count(
+                f"runner.resolve.{STATUS_CACHE_HIT}", 1
+            )
+        else:
+            result, status = self._compute(name, config)
+            get_recorder().count(f"runner.resolve.{status}", 1)
             if self.store is not None:
                 self.store.put(key, result_to_dict(result))
         self._memo[key] = result
@@ -282,8 +380,20 @@ class ExperimentRunner:
 
         A job that fails to hash, times out, crashes or raises is
         recorded as a :class:`JobFailure` in ``run.failures``; the
-        remaining jobs complete normally.
+        remaining jobs complete normally.  When the runner observes,
+        the run's profile lands in ``run.metrics.profile``.
         """
+        token = self._begin_observation()
+        try:
+            with get_recorder().span("runner.run"):
+                run = self._run_impl(config, jobs)
+        finally:
+            profile = self._finish_observation(token)
+        run.metrics.profile = profile
+        return run
+
+    def _run_impl(self, config: ExperimentConfig | None,
+                  jobs: int | None) -> ExperimentRun:
         config = config or ExperimentConfig()
         workers = max(1, jobs if jobs is not None else self.jobs)
         names = config.workloads or tuple(w.name for w in SUITE)
@@ -317,7 +427,7 @@ class ExperimentRunner:
                 continue
             self._memo[key] = hit
             run.results[name] = hit
-            run.metrics.add(JobMetric(workload=name, key=key, status=status))
+            _note(run, JobMetric(workload=name, key=key, status=status))
 
         if misses:
             if workers == 1 or len(misses) == 1:
@@ -348,8 +458,22 @@ class ExperimentRunner:
         covering the group's largest config — and
         :func:`repro.core.analyze_many` fans the one pass out to every
         config.  Failures follow :meth:`run` semantics: recorded per
-        job, never raised.
+        job, never raised.  When the runner observes, the sweep's one
+        shared profile is attached to every run's metrics.
         """
+        token = self._begin_observation()
+        try:
+            with get_recorder().span("runner.sweep"):
+                runs = self._run_many_impl(configs, jobs)
+        finally:
+            profile = self._finish_observation(token)
+        if profile is not None:
+            for run in runs:
+                run.metrics.profile = profile
+        return runs
+
+    def _run_many_impl(self, configs, jobs: int | None,
+                       ) -> list[ExperimentRun]:
         configs = list(configs)
         workers = max(1, jobs if jobs is not None else self.jobs)
         runs = [ExperimentRun() for __ in configs]
@@ -384,9 +508,7 @@ class ExperimentRunner:
                     continue
                 self._memo[key] = hit
                 run.results[name] = hit
-                run.metrics.add(
-                    JobMetric(workload=name, key=key, status=status)
-                )
+                _note(run, JobMetric(workload=name, key=key, status=status))
 
         if groups:
             if workers == 1 or len(groups) == 1:
@@ -438,7 +560,7 @@ class ExperimentRunner:
                     self.store.put(key, result_to_dict(result))
                 self._memo[key] = result
                 run.results[name] = result
-                run.metrics.add(JobMetric(
+                _note(run, JobMetric(
                     workload=name, key=key, status=status,
                     wall_time=wall, instructions=result.nodes, attempts=1,
                 ))
@@ -453,16 +575,18 @@ class ExperimentRunner:
         try:
             pool = TaskPool(max_workers=workers, timeout=self.timeout,
                             retries=self.retries)
+            observing = get_recorder().enabled
             tasks = [
                 Task(key=f"{name}@{scale}", fn=_execute_sweep,
                      args=(name,
                            tuple(config for __, config, __k in entries),
                            tuple(key for __, __c, key in entries),
                            str(store.root), store.max_bytes,
-                           trace_root, trace_max))
+                           trace_root, trace_max, observing))
                 for (name, scale), entries in groups.items()
             ]
             pool_run = pool.run(tasks)
+            self._merge_worker_profiles(pool_run)
             for (name, scale), entries in groups.items():
                 for run, __, __k in entries:
                     run.metrics.peak_workers = max(
@@ -493,7 +617,7 @@ class ExperimentRunner:
                     result = result_from_dict(payload)
                     self._memo[key] = result
                     run.results[name] = result
-                    run.metrics.add(JobMetric(
+                    _note(run, JobMetric(
                         workload=name, key=key, status=STATUS_COMPUTED,
                         wall_time=wall, instructions=result.nodes,
                         attempts=outcome.attempts,
@@ -512,6 +636,24 @@ class ExperimentRunner:
             return None, 0
         return str(self.trace_store.root), self.trace_store.max_bytes
 
+    @staticmethod
+    def _merge_worker_profiles(pool_run) -> None:
+        """Fold observing workers' snapshots into the parent recorder.
+
+        Workers return ``(payload, profile)``; a worker that ran
+        unobserved (or failed) contributes nothing.
+        """
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return
+        for outcome in pool_run.outcomes.values():
+            if isinstance(outcome, TaskError):
+                continue
+            value = outcome.value
+            if (isinstance(value, tuple) and len(value) == 2
+                    and value[1] is not None):
+                recorder.merge(value[1])
+
     def _run_serial(self, run: ExperimentRun, config, misses) -> None:
         run.metrics.peak_workers = max(run.metrics.peak_workers, 1)
         for name, key in misses:
@@ -529,7 +671,7 @@ class ExperimentRunner:
                 self.store.put(key, result_to_dict(result))
             self._memo[key] = result
             run.results[name] = result
-            run.metrics.add(JobMetric(
+            _note(run, JobMetric(
                 workload=name, key=key, status=status,
                 wall_time=time.monotonic() - job_start,
                 instructions=result.nodes, attempts=1,
@@ -548,13 +690,16 @@ class ExperimentRunner:
             pool = TaskPool(max_workers=workers, timeout=self.timeout,
                             retries=self.retries)
             trace_root, trace_max = self._trace_store_args()
+            observing = get_recorder().enabled
             tasks = [
                 Task(key=key, fn=_execute_job,
                      args=(name, config, key, str(store.root),
-                           store.max_bytes, trace_root, trace_max))
+                           store.max_bytes, trace_root, trace_max,
+                           observing))
                 for name, key in misses
             ]
             pool_run = pool.run(tasks)
+            self._merge_worker_profiles(pool_run)
             run.metrics.peak_workers = max(
                 run.metrics.peak_workers, pool_run.peak_workers
             )
@@ -580,7 +725,7 @@ class ExperimentRunner:
                 result = result_from_dict(payload)
                 self._memo[key] = result
                 run.results[name] = result
-                run.metrics.add(JobMetric(
+                _note(run, JobMetric(
                     workload=name, key=key, status=STATUS_COMPUTED,
                     wall_time=outcome.wall_time, instructions=result.nodes,
                     attempts=outcome.attempts,
@@ -604,7 +749,7 @@ class ExperimentRunner:
     def _record_failure(self, run: ExperimentRun, name: str, key: str,
                         failure: JobFailure) -> None:
         run.failures[name] = failure
-        run.metrics.add(JobMetric(
+        _note(run, JobMetric(
             workload=name, key=key, status=STATUS_FAILED,
             wall_time=failure.wall_time, attempts=failure.attempts,
             error=failure.error.strip().splitlines()[-1]
@@ -651,7 +796,15 @@ def default_runner() -> ExperimentRunner:
     return _DEFAULT_RUNNER
 
 
+def set_default_runner(runner: ExperimentRunner | None) -> None:
+    """Install ``runner`` as the process-wide default (None = rebuild
+    from the environment on next use).  This is how
+    :func:`repro.api.configure` swaps cache/observation settings in
+    without environment-variable side channels."""
+    global _DEFAULT_RUNNER
+    _DEFAULT_RUNNER = runner
+
+
 def reset_default_runner() -> None:
     """Forget the shared runner (tests re-read the environment)."""
-    global _DEFAULT_RUNNER
-    _DEFAULT_RUNNER = None
+    set_default_runner(None)

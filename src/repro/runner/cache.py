@@ -33,6 +33,8 @@ import os
 import tempfile
 from pathlib import Path
 
+from repro.obs import get_recorder
+
 #: On-disk envelope version; bump on envelope layout changes.
 SCHEMA_VERSION = 1
 
@@ -57,12 +59,24 @@ class LRUFileStore:
     evicted until total size is back under ``max_bytes``.
     """
 
+    #: obs counter/span namespace segment ("result"/"trace"), set by
+    #: subclasses: counters land under ``store.<metric>.*``.
+    metric = "store"
+
     def __init__(self, directory: Path, suffix: str, max_bytes: int):
         self._dir = Path(directory)
         self._suffix = suffix
         self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+
+    def _hit(self) -> None:
+        self.hits += 1
+        get_recorder().count(f"store.{self.metric}.hits", 1)
+
+    def _miss(self) -> None:
+        self.misses += 1
+        get_recorder().count(f"store.{self.metric}.misses", 1)
 
     # ------------------------------------------------------------------
     # Size management.
@@ -97,6 +111,8 @@ class LRUFileStore:
             self._remove(path)
             total -= size
             evicted += 1
+        if evicted:
+            get_recorder().count(f"store.{self.metric}.evictions", evicted)
         return evicted
 
     def clear(self) -> int:
@@ -136,6 +152,8 @@ class LRUFileStore:
 class ResultStore(LRUFileStore):
     """Disk-backed, content-addressed store of analysis payloads."""
 
+    metric = "result"
+
     def __init__(self, root: str | Path, max_bytes: int = DEFAULT_MAX_BYTES):
         self.root = Path(root)
         self.results_dir = self.root / "results"
@@ -153,46 +171,49 @@ class ResultStore(LRUFileStore):
 
     def get(self, key: str) -> dict | None:
         """The stored payload for ``key``, or None on miss/corruption."""
-        path = self.path_for(key)
-        try:
-            envelope = json.loads(path.read_text())
-            if envelope["schema"] != SCHEMA_VERSION:
-                raise ValueError(f"schema {envelope['schema']}")
-            payload = envelope["payload"]
-            if _checksum(_canonical(payload)) != envelope["checksum"]:
-                raise ValueError("checksum mismatch")
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except Exception:
-            # Truncated/garbled/stale file: drop it and treat as a miss.
-            self._remove(path)
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._touch(path)
-        return payload
+        with get_recorder().span("store.result.get"):
+            path = self.path_for(key)
+            try:
+                envelope = json.loads(path.read_text())
+                if envelope["schema"] != SCHEMA_VERSION:
+                    raise ValueError(f"schema {envelope['schema']}")
+                payload = envelope["payload"]
+                if _checksum(_canonical(payload)) != envelope["checksum"]:
+                    raise ValueError("checksum mismatch")
+            except FileNotFoundError:
+                self._miss()
+                return None
+            except Exception:
+                # Truncated/garbled/stale file: drop it, treat as a miss.
+                self._remove(path)
+                self._miss()
+                return None
+            self._hit()
+            self._touch(path)
+            return payload
 
     def put(self, key: str, payload: dict) -> Path:
         """Atomically store ``payload`` under ``key``; returns the path."""
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        canonical = _canonical(payload)
-        text = json.dumps({
-            "schema": SCHEMA_VERSION,
-            "key": key,
-            "checksum": _checksum(canonical),
-            "payload": payload,
-        })
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp_name, path)
-        except BaseException:
-            self._remove(Path(tmp_name))
-            raise
-        self.evict()
-        return path
+        with get_recorder().span("store.result.put"):
+            path = self.path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            canonical = _canonical(payload)
+            text = json.dumps({
+                "schema": SCHEMA_VERSION,
+                "key": key,
+                "checksum": _checksum(canonical),
+                "payload": payload,
+            })
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                os.replace(tmp_name, path)
+            except BaseException:
+                self._remove(Path(tmp_name))
+                raise
+            get_recorder().count("store.result.puts", 1)
+            self.evict()
+            return path

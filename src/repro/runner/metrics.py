@@ -68,12 +68,19 @@ class JobMetric:
 
 @dataclass
 class RunMetrics:
-    """Whole-run measurements."""
+    """Whole-run measurements.
+
+    ``profile`` is the structured observability section — a recorder
+    snapshot (``{"counters", "gauges", "spans"}``, see
+    :mod:`repro.obs`) attached when the producing runner ran with
+    observation enabled, None otherwise.
+    """
 
     jobs: list[JobMetric] = field(default_factory=list)
     requested_workers: int = 1
     peak_workers: int = 0
     total_wall: float = 0.0
+    profile: dict | None = None
 
     def add(self, metric: JobMetric) -> None:
         self.jobs.append(metric)
@@ -120,7 +127,7 @@ class RunMetrics:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "jobs": [job.to_dict() for job in self.jobs],
             "requested_workers": self.requested_workers,
             "peak_workers": self.peak_workers,
@@ -132,6 +139,9 @@ class RunMetrics:
             "total_instructions": self.total_instructions,
             "instructions_per_second": round(self.throughput, 1),
         }
+        if self.profile is not None:
+            payload["profile"] = self.profile
+        return payload
 
     def dump(self, path: str | Path) -> Path:
         """Write the metrics as JSON; returns the path written."""

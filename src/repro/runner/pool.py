@@ -35,6 +35,8 @@ import traceback
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs import get_recorder
+
 
 @dataclass(frozen=True)
 class Task:
@@ -174,6 +176,7 @@ class TaskPool:
     # ------------------------------------------------------------------
 
     def _launch(self, task: Task, attempt: int) -> _Running:
+        get_recorder().count("pool.launches", 1)
         result_queue = self._ctx.Queue(maxsize=1)
         process = self._ctx.Process(
             target=_worker_entry,
@@ -223,15 +226,20 @@ class TaskPool:
 
     def _settle(self, entry, status, value, outcomes, pending) -> None:
         wall = time.monotonic() - entry.started
+        recorder = get_recorder()
         if status == "ok":
             outcomes[entry.task.key] = TaskResult(
                 key=entry.task.key, value=value, wall_time=wall,
                 attempts=entry.attempt,
             )
             return
+        if status == "timeout":
+            recorder.count("pool.timeouts", 1)
         if entry.attempt <= self.retries:
+            recorder.count("pool.retries", 1)
             pending.append((entry.task, entry.attempt + 1))
             return
+        recorder.count("pool.failures", 1)
         outcomes[entry.task.key] = TaskError(
             key=entry.task.key, error=str(value), wall_time=wall,
             attempts=entry.attempt, timed_out=(status == "timeout"),

@@ -29,6 +29,7 @@ import tempfile
 from pathlib import Path
 
 from repro.cpu.tracefile import read_trace, save_trace, trace_header
+from repro.obs import get_recorder
 from repro.runner.cache import LRUFileStore
 
 #: Default size cap for the trace tier (bytes).  Traces dwarf result
@@ -41,6 +42,8 @@ TRACE_SUFFIX = ".trace.gz"
 
 class TraceStore(LRUFileStore):
     """Disk-backed, content-addressed store of captured traces."""
+
+    metric = "trace"
 
     def __init__(self, root: str | Path,
                  max_bytes: int = DEFAULT_TRACE_MAX_BYTES):
@@ -77,23 +80,24 @@ class TraceStore(LRUFileStore):
         budget, an incomplete one only budgets within its length.
         Corruption of any kind removes the file and reads as a miss.
         """
-        path = self.path_for(key)
-        try:
-            header, records = read_trace(path)
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except Exception:
-            # Truncated/garbled/stale file: drop it and treat as a miss.
-            self._remove(path)
-            self.misses += 1
-            return None
-        if not self._serves(header, need):
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._touch(path)
-        return header, records
+        with get_recorder().span("store.trace.get"):
+            path = self.path_for(key)
+            try:
+                header, records = read_trace(path)
+            except FileNotFoundError:
+                self._miss()
+                return None
+            except Exception:
+                # Truncated/garbled/stale file: drop it, treat as a miss.
+                self._remove(path)
+                self._miss()
+                return None
+            if not self._serves(header, need):
+                self._miss()
+                return None
+            self._hit()
+            self._touch(path)
+            return header, records
 
     @staticmethod
     def _serves(header: dict, need: int | None) -> bool:
@@ -111,17 +115,19 @@ class TraceStore(LRUFileStore):
         the stored one could not serve, so the replacement is strictly
         longer.
         """
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
-        os.close(fd)
-        try:
-            save_trace(records, tmp_name, n_static, complete=complete)
-            os.replace(tmp_name, path)
-        except BaseException:
-            self._remove(Path(tmp_name))
-            raise
-        self.evict()
-        return path
+        with get_recorder().span("store.trace.put"):
+            path = self.path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
+            os.close(fd)
+            try:
+                save_trace(records, tmp_name, n_static, complete=complete)
+                os.replace(tmp_name, path)
+            except BaseException:
+                self._remove(Path(tmp_name))
+                raise
+            get_recorder().count("store.trace.puts", 1)
+            self.evict()
+            return path
