@@ -43,8 +43,11 @@ from repro.runner import (
     ExperimentConfig,
     ExperimentRun,
     ExperimentRunner,
+    FaultPlan,
+    FaultSpec,
     ResultStore,
     TraceStore,
+    default_chaos_plan,
     default_runner,
     set_default_runner,
 )
@@ -57,6 +60,8 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentRun",
     "ExperimentRunner",
+    "FaultPlan",
+    "FaultSpec",
     "ObsConfig",
     "Recorder",
     "ResultStore",
@@ -70,6 +75,7 @@ __all__ = [
     "analyze_many",
     "analyze_trace",
     "configure",
+    "default_chaos_plan",
     "default_runner",
     "get_recorder",
     "get_workload",
@@ -90,6 +96,7 @@ def configure(
     jobs=_UNSET,
     timeout=_UNSET,
     retries=_UNSET,
+    faults=_UNSET,
 ) -> ExperimentRunner:
     """Reconfigure the shared runner behind the ``run_*`` entry points.
 
@@ -107,6 +114,9 @@ def configure(
         jobs: default worker-process count for suite runs.
         timeout: per-job wall-clock limit in seconds (parallel runs).
         retries: extra attempts for a failed job (parallel runs).
+        faults: a :class:`repro.runner.FaultPlan` installed during each
+            run — the chaos-testing channel (see docs/robustness.md);
+            ``None`` injects nothing.
 
     Returns the newly installed :class:`ExperimentRunner` (also handy
     for direct use).  Call ``repro.runner.reset_default_runner()`` to
@@ -127,6 +137,7 @@ def configure(
         timeout=current.timeout if timeout is _UNSET else timeout,
         retries=current.retries if retries is _UNSET else retries,
         observe=current.obs if observe is _UNSET else observe,
+        faults=current.faults if faults is _UNSET else faults,
     )
     set_default_runner(runner)
     return runner
@@ -190,32 +201,41 @@ def run_workload(name: str,
 
 
 def run_suite(config: ExperimentConfig | None = None,
-              jobs: int | None = None) -> SuiteResult:
+              jobs: int | None = None, resume: bool = False,
+              cancel=None) -> SuiteResult:
     """Analyse all configured workloads; returns name -> result.
 
     ``jobs`` > 1 fans workloads out over the runner's process pool
     (default: the ``REPRO_JOBS`` environment variable, else serial).
-    Raises :class:`repro.errors.RunnerError` if any workload fails.
-    The returned :class:`SuiteResult` is a plain mapping that also
-    carries ``.metrics`` and (when observing) ``.profile``.
+    Raises :class:`repro.errors.RunnerError` (the ``kind``-specific
+    subclass when every failure agrees) if any workload fails, and
+    :class:`repro.errors.RunnerInterrupted` when a ``cancel`` event
+    stopped the run mid-way — completed jobs are journaled and a
+    ``resume=True`` re-run serves them from the cache.  The returned
+    :class:`SuiteResult` is a plain mapping that also carries
+    ``.metrics`` and (when observing) ``.profile``.
     """
     config = config or ExperimentConfig()
-    run = default_runner().run(config, jobs=jobs)
+    run = default_runner().run(config, jobs=jobs, resume=resume,
+                               cancel=cancel)
     run.require()
     return SuiteResult(run)
 
 
-def run_sweep(configs, jobs: int | None = None) -> SweepResult:
+def run_sweep(configs, jobs: int | None = None, resume: bool = False,
+              cancel=None) -> SweepResult:
     """Analyse a sweep of configs; returns one mapping per config.
 
     Each workload is simulated (or replayed from the trace store) at
     most once for the whole sweep — the single pass feeds one analyzer
     per config (:func:`repro.core.analyze_many`).  Raises
-    :class:`repro.errors.RunnerError` if any job fails.  The returned
+    :class:`repro.errors.RunnerError` if any job fails;
+    ``resume``/``cancel`` follow :func:`run_suite`.  The returned
     :class:`SweepResult` is a plain list of per-config mappings that
     also carries ``.runs`` and (when observing) ``.profile``.
     """
-    runs = default_runner().run_many(configs, jobs=jobs)
+    runs = default_runner().run_many(configs, jobs=jobs, resume=resume,
+                                     cancel=cancel)
     for run in runs:
         run.require()
     return SweepResult(runs)

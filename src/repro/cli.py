@@ -1,16 +1,24 @@
 """The unified command line: ``python -m repro <command>``.
 
-Five subcommands over one shared flag vocabulary
+Six subcommands over one shared flag vocabulary
 (``--jobs/--scale/--cache-dir/--no-cache``):
 
 * ``report`` — regenerate the paper's tables and figures;
 * ``run`` — run the experiment suite through the two-tier-cached
   orchestrator and print per-job status (``--profile`` records and
-  prints a span/counter profile, see docs/observability.md);
+  prints a span/counter profile, see docs/observability.md;
+  ``--resume`` picks an interrupted sweep back up from its journal);
 * ``workloads`` — list, run or disassemble the SPEC95-analogue suite;
 * ``cache`` — inspect, prune or clear both cache tiers;
 * ``stats`` — render the profile recorded by an earlier
-  ``run --profile`` (text, JSON-lines or Prometheus format).
+  ``run --profile`` (text, JSON-lines or Prometheus format);
+* ``chaos`` — run the suite under seeded fault injection and verify
+  the robustness invariants (see docs/robustness.md).
+
+Exit codes: :data:`EXIT_OK` (0) on success, :data:`EXIT_JOB_FAILURE`
+(1) when jobs failed, :data:`EXIT_INTERRUPTED` (3) when a run was
+stopped by SIGINT/SIGTERM after checkpointing — distinct so wrappers
+and CI can tell "rerun with --resume" from "investigate a failure".
 
 The pre-existing module entry points (``python -m repro.report``,
 ``-m repro.runner``, ``-m repro.workloads``) remain as deprecated
@@ -22,12 +30,17 @@ docs/api.md for the deprecation policy.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
+import signal
 import sys
+import tempfile
+import threading
 import time
 from pathlib import Path
 
+from repro.core.export import result_to_dict
 from repro.obs.export import render_profile, to_jsonl, to_prometheus
 from repro.runner.api import (
     DEFAULT_CACHE_DIR,
@@ -36,8 +49,42 @@ from repro.runner.api import (
     default_trace_store,
 )
 from repro.runner.cache import DEFAULT_MAX_BYTES, ResultStore
+from repro.runner.faults import FaultSpec, default_chaos_plan
 from repro.runner.job import ExperimentConfig
 from repro.runner.tracestore import DEFAULT_TRACE_MAX_BYTES, TraceStore
+
+#: Process exit codes (see module docstring).
+EXIT_OK = 0
+EXIT_JOB_FAILURE = 1
+EXIT_INTERRUPTED = 3
+
+
+@contextlib.contextmanager
+def _cancel_on_signals():
+    """A cancel event wired to SIGINT/SIGTERM for the block's duration.
+
+    The first signal sets the event — the runner drains in-flight
+    jobs, checkpoints the journal and returns with
+    ``metrics.interrupted`` — instead of unwinding mid-write.  Handlers
+    are restored on exit; outside the main thread (embedded use) the
+    event is simply never signal-driven.
+    """
+    cancel = threading.Event()
+    previous = {}
+
+    def handler(signum, frame):
+        cancel.set()
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except (ValueError, OSError):
+            pass  # not the main thread: run uncancellable
+    try:
+        yield cancel
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
 
 
 def _default_jobs() -> int:
@@ -121,10 +168,12 @@ def cmd_run(parser, args) -> int:
         jobs=args.jobs if args.jobs is not None else _default_jobs(),
         timeout=args.timeout, retries=args.retries,
         # getattr: the deprecated ``python -m repro.runner`` forwarder's
-        # frozen flag set has no --profile.
+        # frozen flag set has no --profile (nor --resume below).
         observe=getattr(args, "profile", False),
     )
-    run = runner.run(config)
+    with _cancel_on_signals() as cancel:
+        run = runner.run(config, resume=getattr(args, "resume", False),
+                         cancel=cancel)
 
     print(f"{'workload':<9} {'status':<10} {'wall':>8} {'instr':>9} "
           f"{'instr/s':>11}")
@@ -155,7 +204,12 @@ def cmd_run(parser, args) -> int:
             path = run.metrics.dump(metrics_path)
             print(f"[metrics written to {path}]", file=sys.stderr)
 
-    return 1 if run.failures else 0
+    if run.metrics.interrupted:
+        if run.journal_path:
+            print(f"[interrupted; journal at {run.journal_path} — "
+                  f"re-run with --resume]", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    return EXIT_JOB_FAILURE if run.failures else EXIT_OK
 
 
 # ----------------------------------------------------------------------
@@ -362,6 +416,159 @@ def cmd_workloads(parser, args) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro chaos
+# ----------------------------------------------------------------------
+
+def _canonical_results(results) -> dict:
+    """``name -> canonical JSON`` of each result, for byte comparison."""
+    return {
+        name: json.dumps(result_to_dict(result), sort_keys=True,
+                         separators=(",", ":"))
+        for name, result in results.items()
+    }
+
+
+def _parse_fault_overrides(parser, pairs):
+    """``SITE=RATE`` flags -> ``{site: FaultSpec}`` overrides."""
+    overrides = {}
+    for pair in pairs or ():
+        site, __, rate = pair.partition("=")
+        if not site or not rate:
+            parser.error(f"--fault needs SITE=RATE, got {pair!r}")
+        try:
+            overrides[site] = FaultSpec(rate=float(rate))
+        except ValueError:
+            parser.error(f"--fault rate must be a float, got {rate!r}")
+    return overrides
+
+
+def _fired_sites(plan, profile) -> dict:
+    """``site -> fire count`` from the plan and worker counters combined.
+
+    Parent-side decisions (worker.crash, pool.spawn, store reads in
+    the parent) land in ``plan.fired``; faults fired *inside* worker
+    processes only surface through their merged obs snapshots — both
+    views are needed for the full tally.
+    """
+    fired = dict(plan.fired)
+    prefix = "faults.injected."
+    for counter, count in (profile or {}).get("counters", {}).items():
+        if counter.startswith(prefix):
+            site = counter[len(prefix):]
+            fired[site] = max(fired.get(site, 0), count)
+    return {site: count for site, count in fired.items() if count}
+
+
+def cmd_chaos(parser, args) -> int:
+    """Chaos smoke test: a faulted sweep must equal a fault-free one.
+
+    Runs the same suite twice in throwaway cache directories — once
+    clean, once under a seeded :func:`default_chaos_plan` — and checks
+    the robustness invariants (docs/robustness.md): byte-identical
+    results, several distinct fault kinds actually fired, no orphaned
+    temp files, and job metrics that reconcile with the obs counters.
+    """
+    config = ExperimentConfig(
+        scale=args.scale,
+        max_instructions=args.max_instructions,
+        workloads=_workload_tuple(parser, args.workloads),
+    )
+
+    print(f"[chaos] baseline: fault-free run ({args.jobs} worker(s))")
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-base-") as base:
+        baseline = ExperimentRunner(
+            store=ResultStore(base), trace_store=TraceStore(base),
+            jobs=args.jobs, timeout=args.timeout, retries=args.retries,
+        ).run(config)
+    if baseline.failures:
+        for name, failure in baseline.failures.items():
+            print(f"[chaos] baseline failure: {name}: {failure.error}",
+                  file=sys.stderr)
+        print("[chaos] FAIL: the fault-free baseline itself failed",
+              file=sys.stderr)
+        return EXIT_JOB_FAILURE
+    expected = _canonical_results(baseline.results)
+
+    plan = default_chaos_plan(seed=args.seed, timeout=args.timeout)
+    plan.specs.update(_parse_fault_overrides(parser, args.fault))
+    sites = ", ".join(sorted(plan.specs))
+    print(f"[chaos] injecting (seed {args.seed}): {sites}")
+
+    keep = Path(args.keep) if args.keep else None
+    scratch = None
+    if keep is not None:
+        keep.mkdir(parents=True, exist_ok=True)
+        chaos_dir = keep
+    else:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        chaos_dir = Path(scratch.name)
+    try:
+        runner = ExperimentRunner(
+            store=ResultStore(chaos_dir), trace_store=TraceStore(chaos_dir),
+            jobs=args.jobs, timeout=args.timeout, retries=args.retries,
+            observe=True, faults=plan,
+        )
+        run = runner.run(config)
+        profile = run.metrics.profile
+
+        failed = False
+
+        def check(label: str, ok: bool, detail: str = "") -> None:
+            nonlocal failed
+            mark = "ok" if ok else "FAIL"
+            suffix = f" ({detail})" if detail else ""
+            print(f"[chaos] {mark}: {label}{suffix}")
+            failed = failed or not ok
+
+        fired = _fired_sites(plan, profile)
+        fired_text = ", ".join(
+            f"{site}x{count}" for site, count in sorted(fired.items())
+        )
+        check("injected >= 3 distinct fault kinds", len(fired) >= 3,
+              fired_text or "nothing fired")
+
+        check("no job failed under chaos", not run.failures,
+              "; ".join(f"{name}: {f.error}"
+                        for name, f in run.failures.items()))
+
+        actual = _canonical_results(run.results)
+        identical = actual == expected
+        if not identical:
+            differing = sorted(
+                set(expected) ^ set(actual)
+                | {name for name in set(expected) & set(actual)
+                   if expected[name] != actual[name]}
+            )
+            check("results byte-identical to fault-free run", False,
+                  f"differ: {', '.join(differing)}")
+        else:
+            check("results byte-identical to fault-free run", True,
+                  f"{len(actual)} workload(s)")
+
+        orphans = sorted(str(p.relative_to(chaos_dir))
+                         for p in chaos_dir.rglob("*.tmp"))
+        check("no orphaned temp files", not orphans, ", ".join(orphans))
+
+        resolved = sum(
+            count for counter, count in
+            (profile or {}).get("counters", {}).items()
+            if counter.startswith("runner.resolve.")
+        )
+        check("obs counters reconcile with job metrics",
+              resolved == len(run.metrics.jobs),
+              f"runner.resolve.* = {resolved}, "
+              f"jobs = {len(run.metrics.jobs)}")
+
+        print(f"[chaos] {run.metrics.summary()}")
+        if keep is not None:
+            print(f"[chaos] artifacts kept in {keep}")
+        return EXIT_JOB_FAILURE if failed else EXIT_OK
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+
+
+# ----------------------------------------------------------------------
 # Parser assembly.
 # ----------------------------------------------------------------------
 
@@ -386,7 +593,44 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics", default=None,
                      help="metrics JSON path (default: <cache>/"
                           "metrics.json; '-' to skip)")
+    run.add_argument("--resume", action="store_true",
+                     help="replay the journal of an interrupted run and "
+                          "re-execute only the jobs it missed")
     run.set_defaults(func=cmd_run)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the suite under seeded fault injection",
+        description="Chaos smoke test: run the suite under a seeded "
+                    "fault-injection plan and verify the robustness "
+                    "invariants (byte-identical results, no orphaned "
+                    "temp files, reconciling counters).",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed (default: 0)")
+    chaos.add_argument("--workloads", default="com,go",
+                       help="comma-separated workload names "
+                            "(default: com,go)")
+    chaos.add_argument("--scale", type=int, default=1,
+                       help="workload problem-size multiplier")
+    chaos.add_argument("--max-instructions", type=int, default=20_000,
+                       help="dynamic-instruction budget per workload "
+                            "(default: 20000 — chaos is a smoke test)")
+    chaos.add_argument("--jobs", type=int, default=2,
+                       help="worker processes (default: 2; worker-level "
+                            "faults only fire in parallel runs)")
+    chaos.add_argument("--retries", type=int, default=6,
+                       help="extra attempts per failed job (default: 6 — "
+                            "high enough to outlast the injected faults)")
+    chaos.add_argument("--timeout", type=float, default=None,
+                       help="per-job timeout in seconds (also arms the "
+                            "worker.hang fault)")
+    chaos.add_argument("--keep", metavar="DIR", default=None,
+                       help="keep the chaos run's cache dir (journal "
+                            "included) at DIR instead of deleting it")
+    chaos.add_argument("--fault", action="append", metavar="SITE=RATE",
+                       help="override/add an injection site with a "
+                            "probabilistic rate (repeatable)")
+    chaos.set_defaults(func=cmd_chaos)
 
     report = sub.add_parser(
         "report", help="regenerate the paper's tables and figures",

@@ -41,6 +41,11 @@ class SimError(ReproError):
 class RunnerError(ReproError):
     """An experiment suite run finished with failed jobs.
 
+    Base of the structured runner-failure taxonomy: callers that need
+    to react to *how* something failed catch the subclass (or inspect
+    :attr:`repro.runner.job.JobFailure.kind`) instead of string-matching
+    error text.
+
     Attributes:
         failures: workload name -> :class:`repro.runner.job.JobFailure`.
     """
@@ -48,3 +53,62 @@ class RunnerError(ReproError):
     def __init__(self, message: str, failures=None):
         self.failures = dict(failures or {})
         super().__init__(message)
+
+
+class TimeoutExceeded(RunnerError):
+    """A job exhausted its attempts by hitting the per-job timeout."""
+
+
+class WorkerCrash(RunnerError):
+    """A worker process died without reporting (segfault, ``os._exit``,
+    OOM-kill) on every attempt."""
+
+
+class PoolSpawnError(RunnerError):
+    """A worker process could not be spawned (fork/exec failure,
+    resource exhaustion, or an injected ``pool.spawn`` fault)."""
+
+
+class StoreCorruption(RunnerError):
+    """A cache-store entry failed validation (checksum mismatch,
+    truncated envelope, garbled trace framing).
+
+    The stores themselves *recover* from corruption — they drop the
+    entry, count it and treat it as a miss — so this is raised only
+    where corruption cannot be transparently recovered (e.g. the chaos
+    harness verifying invariants)."""
+
+
+class JournalConflict(RunnerError):
+    """The sweep journal is owned by another live process, or its
+    contents contradict the store it describes."""
+
+
+class RunnerInterrupted(RunnerError):
+    """A run was interrupted (SIGINT/SIGTERM): in-flight jobs were
+    drained and checkpointed to the journal, the rest never ran.
+
+    Attributes:
+        journal_path: journal to pass back via ``resume=`` (or the
+            CLI's ``--resume``) to pick the sweep up where it stopped;
+            None when the run had no journal.
+    """
+
+    def __init__(self, message: str, failures=None, journal_path=None):
+        self.journal_path = journal_path
+        super().__init__(message, failures=failures)
+
+
+#: ``JobFailure.kind`` / ``TaskError.kind`` -> exception class, the
+#: structured replacement for matching substrings of error text.
+FAILURE_KINDS: dict = {
+    "timeout": TimeoutExceeded,
+    "crash": WorkerCrash,
+    "spawn": PoolSpawnError,
+    "error": RunnerError,
+}
+
+
+def error_for_kind(kind: str) -> type:
+    """The :class:`RunnerError` subclass for a failure ``kind``."""
+    return FAILURE_KINDS.get(kind, RunnerError)

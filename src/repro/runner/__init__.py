@@ -13,7 +13,13 @@ CLIs).  It owns
   tier underneath it: one captured trace per (workload, scale),
   replayed for every analysis configuration;
 * the **pool** (:mod:`repro.runner.pool`) — per-job processes with
-  timeout, retry and crash isolation;
+  timeout, retry with exponential backoff, crash isolation and
+  serial fallback when process spawning itself keeps failing;
+* the **journal** (:mod:`repro.runner.journal`) — a write-ahead,
+  fsync'd record of job fates that makes interrupted sweeps resumable;
+* the **fault plan** (:mod:`repro.runner.faults`) — deterministic
+  seeded fault injection for chaos-testing all of the above
+  (``python -m repro chaos``);
 * the **metrics** (:mod:`repro.runner.metrics`) — per-job wall time
   and throughput, cache hit/miss counts, peak concurrency;
 * the **API** (:mod:`repro.runner.api`) tying them together, and a CLI
@@ -33,6 +39,16 @@ from repro.runner.api import (
     set_default_runner,
 )
 from repro.runner.cache import ResultStore
+from repro.runner.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    default_chaos_plan,
+    get_fault_plan,
+    injecting,
+    set_fault_plan,
+)
+from repro.runner.journal import RunJournal
 from repro.runner.job import (
     RESULT_SCHEMA,
     TRACE_SCHEMA,
@@ -51,12 +67,16 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentRun",
     "ExperimentRunner",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "Job",
     "JobFailure",
     "JobMetric",
     "PoolRun",
     "RESULT_SCHEMA",
     "ResultStore",
+    "RunJournal",
     "RunMetrics",
     "TRACE_SCHEMA",
     "TraceStore",
@@ -64,11 +84,15 @@ __all__ = [
     "TaskError",
     "TaskPool",
     "TaskResult",
+    "default_chaos_plan",
     "default_runner",
     "default_store",
     "default_trace_store",
+    "get_fault_plan",
+    "injecting",
     "job_key",
     "reset_default_runner",
     "set_default_runner",
+    "set_fault_plan",
     "trace_key",
 ]

@@ -72,10 +72,15 @@ def main(argv=None) -> int:
 
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.clear_cache or args.cache_info:
-        args.action = "clear" if args.clear_cache else "info"
-        return cli.cmd_cache(parser, args)
-    return cli.cmd_run(parser, args)
+    try:
+        if args.clear_cache or args.cache_info:
+            args.action = "clear" if args.clear_cache else "info"
+            return cli.cmd_cache(parser, args)
+        return cli.cmd_run(parser, args)
+    except KeyboardInterrupt:
+        # Interrupted outside cmd_run's signal-handling window: still
+        # exit with the distinct interrupted code, not a traceback.
+        return cli.EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":

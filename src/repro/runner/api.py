@@ -37,6 +37,7 @@ Environment knobs (read at :func:`default_runner` construction):
 
 from __future__ import annotations
 
+import logging
 import os
 import tempfile
 import time
@@ -45,7 +46,12 @@ from itertools import islice
 
 from repro.core import analyze_machine, analyze_many, analyze_trace
 from repro.core.export import result_from_dict, result_to_dict
-from repro.errors import RunnerError
+from repro.errors import (
+    JournalConflict,
+    RunnerError,
+    RunnerInterrupted,
+    error_for_kind,
+)
 from repro.obs import (
     ObsConfig,
     Recorder,
@@ -55,6 +61,13 @@ from repro.obs import (
     write_jsonl,
 )
 from repro.runner.cache import DEFAULT_MAX_BYTES, ResultStore
+from repro.runner.faults import FaultPlan, set_fault_plan
+from repro.runner.journal import (
+    JOURNAL_NAME,
+    STATUS_DONE,
+    STATUS_FAILED as JOURNAL_FAILED,
+    RunJournal,
+)
 from repro.runner.job import (
     ExperimentConfig,
     Job,
@@ -75,8 +88,27 @@ from repro.runner.tracestore import DEFAULT_TRACE_MAX_BYTES, TraceStore
 from repro.runner.pool import Task, TaskError, TaskPool
 from repro.workloads import SUITE, get_workload
 
+_log = logging.getLogger(__name__)
+
 #: Default store location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _store_put_safe(store: ResultStore, key: str, payload: dict) -> bool:
+    """Write through the store, degrading gracefully on I/O failure.
+
+    A result that cannot be cached is still a result: the caller keeps
+    the in-memory object (serial paths) or recomputes inline (parallel
+    read-back), so a sick disk slows the run instead of sinking it.
+    """
+    try:
+        store.put(key, payload)
+        return True
+    except OSError as error:
+        get_recorder().count("store.result.write_errors", 1)
+        _log.warning("result store write failed (%s); continuing "
+                     "without the cached copy", error)
+        return False
 
 
 @dataclass
@@ -90,16 +122,37 @@ class ExperimentRun:
     results: dict = field(default_factory=dict)
     failures: dict = field(default_factory=dict)
     metrics: RunMetrics = field(default_factory=RunMetrics)
+    journal_path: str | None = None
 
     def require(self) -> dict:
-        """The results, raising :class:`RunnerError` on any failure."""
+        """The results, raising on interruption or any failure.
+
+        An interrupted (checkpointed) run raises
+        :class:`~repro.errors.RunnerInterrupted`.  Failures raise the
+        :class:`~repro.errors.RunnerError` subclass matching the
+        failures' ``kind`` when they all agree (e.g. every job timed
+        out → :class:`~repro.errors.TimeoutExceeded`), the plain base
+        class otherwise.
+        """
+        if self.metrics.interrupted:
+            raise RunnerInterrupted(
+                f"run interrupted: {len(self.results)} job(s) "
+                f"checkpointed, the rest never ran; re-run with "
+                f"resume=True (CLI: --resume) to pick up from the "
+                f"journal",
+                failures=self.failures,
+                journal_path=self.journal_path,
+            )
         if self.failures:
             detail = "; ".join(
                 f"{name}: "
                 f"{(failure.error.strip().splitlines() or ['unknown'])[-1]}"
                 for name, failure in self.failures.items()
             )
-            raise RunnerError(
+            kinds = {failure.kind for failure in self.failures.values()}
+            error_class = (error_for_kind(next(iter(kinds)))
+                           if len(kinds) == 1 else RunnerError)
+            raise error_class(
                 f"{len(self.failures)} job(s) failed: {detail}",
                 failures=self.failures,
             )
@@ -149,7 +202,14 @@ def _resolve_trace(name: str, config: ExperimentConfig,
             return header["n_static"], records, STATUS_REPLAYED
     n_static, records, complete = _capture(name, config, budget)
     if trace_store is not None:
-        trace_store.put(key, records, n_static, complete=complete)
+        try:
+            trace_store.put(key, records, n_static, complete=complete)
+        except OSError as error:
+            # A trace that cannot be stored only costs the *next*
+            # config a re-simulation; never fail the current job.
+            get_recorder().count("store.trace.write_errors", 1)
+            _log.warning("trace store write failed (%s); continuing "
+                         "without the stored trace", error)
     return n_static, records, STATUS_COMPUTED
 
 
@@ -193,7 +253,7 @@ def _execute_job(name: str, config: ExperimentConfig, key: str,
                 result, __ = _analyze_two_tier(name, config, trace_store)
             else:
                 result = _analyze(name, config)
-            store.put(key, result_to_dict(result))
+            _store_put_safe(store, key, result_to_dict(result))
     return key, (rec.snapshot() if observe else None)
 
 
@@ -231,7 +291,7 @@ def _execute_sweep(name: str, configs, keys, store_root: str,
                 name=name,
             )
             for (__, key), result in zip(missing, results):
-                store.put(key, result_to_dict(result))
+                _store_put_safe(store, key, result_to_dict(result))
     return tuple(keys), (rec.snapshot() if observe else None)
 
 
@@ -259,6 +319,9 @@ class ExperimentRunner:
         observe: ``True`` or an :class:`repro.obs.ObsConfig` to record
             a profile (spans + counters) per run and attach it to the
             run's metrics; ``False`` (default) records nothing.
+        faults: a :class:`repro.runner.faults.FaultPlan` installed for
+            the duration of each run — the chaos-testing channel; None
+            (default) injects nothing.
     """
 
     def __init__(
@@ -269,6 +332,7 @@ class ExperimentRunner:
         retries: int = 1,
         trace_store: TraceStore | None = None,
         observe: bool | ObsConfig = False,
+        faults: FaultPlan | None = None,
     ):
         self.store = store
         self.trace_store = trace_store
@@ -276,7 +340,12 @@ class ExperimentRunner:
         self.timeout = timeout
         self.retries = retries
         self.obs = self._normalize_obs(observe)
+        self.faults = faults
         self._memo: dict[str, object] = {}
+        #: run-scoped state (set by run()/run_many(), read by the
+        #: serial/parallel strategies; the runner is not thread-safe).
+        self._journal: RunJournal | None = None
+        self._cancel = None
 
     @staticmethod
     def _normalize_obs(observe: bool | ObsConfig) -> ObsConfig:
@@ -320,6 +389,66 @@ class ExperimentRunner:
                 pass  # observation must never sink a run
         return profile
 
+    # ------------------------------------------------------------------
+    # Fault-injection and journal lifecycle.
+    # ------------------------------------------------------------------
+
+    def _begin_faults(self):
+        """Install this runner's fault plan for the run; returns a
+        restore token (None when the runner injects nothing)."""
+        if self.faults is None:
+            return None
+        return (set_fault_plan(self.faults),)
+
+    def _finish_faults(self, token) -> None:
+        if token is not None:
+            set_fault_plan(token[0])
+
+    def _open_journal(self, resume: bool) -> RunJournal | None:
+        """The run's crash-safety journal (``<cache>/journal.jsonl``).
+
+        Journaling needs a disk store (the journal records that a
+        result was durably published *there*).  An unavailable journal
+        — locked by a live sibling process, unwritable directory —
+        degrades to running without checkpointing rather than failing
+        the run.
+        """
+        if self.store is None:
+            return None
+        journal = RunJournal(self.store.root / JOURNAL_NAME, resume=resume)
+        try:
+            return journal.open()
+        except JournalConflict as error:
+            get_recorder().count("journal.conflicts", 1)
+            _log.warning("journal unavailable (%s); running without "
+                         "crash-safe checkpointing", error)
+            return None
+        except OSError as error:
+            _log.warning("journal unwritable (%s); running without "
+                         "crash-safe checkpointing", error)
+            return None
+
+    def _journal_record(self, key: str, workload: str,
+                        status: str) -> None:
+        if self._journal is not None and key:
+            self._journal.record(key, workload, status)
+
+    def _journal_check(self, key: str, name: str, hit) -> None:
+        """Reconcile a journaled-done job against the store."""
+        if self._journal is None or not self._journal.completed(key):
+            return
+        if hit is None:
+            self._journal.conflict(key, name)
+        else:
+            get_recorder().count("journal.skips", 1)
+
+    def _cancelled(self) -> bool:
+        return self._cancel is not None and self._cancel.is_set()
+
+    def _safe_put(self, key: str, result) -> None:
+        if self.store is not None:
+            _store_put_safe(self.store, key, result_to_dict(result))
+
     def _compute(self, name: str, config: ExperimentConfig):
         """Compute one job through whichever tiers exist:
         ``(result, status)``."""
@@ -340,10 +469,12 @@ class ExperimentRunner:
         (``result.profile``).
         """
         token = self._begin_observation()
+        fault_token = self._begin_faults()
         try:
             with get_recorder().span("runner.run_one"):
                 result = self._run_one_impl(name, config)
         finally:
+            self._finish_faults(fault_token)
             profile = self._finish_observation(token)
         if profile is not None:
             result.profile = profile
@@ -375,19 +506,37 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
 
     def run(self, config: ExperimentConfig | None = None,
-            jobs: int | None = None) -> ExperimentRun:
+            jobs: int | None = None, resume: bool = False,
+            cancel=None) -> ExperimentRun:
         """Run every configured workload; never raises for job errors.
 
         A job that fails to hash, times out, crashes or raises is
         recorded as a :class:`JobFailure` in ``run.failures``; the
         remaining jobs complete normally.  When the runner observes,
         the run's profile lands in ``run.metrics.profile``.
+
+        When a disk store is configured the run keeps a write-ahead
+        journal next to it; ``resume=True`` replays a previous
+        (interrupted) run's journal.  ``cancel`` is an optional
+        :class:`threading.Event`: once set, in-flight jobs drain and
+        are checkpointed, the rest never start, and the returned run
+        has ``metrics.interrupted`` set.
         """
         token = self._begin_observation()
+        fault_token = self._begin_faults()
+        self._journal = self._open_journal(resume)
+        self._cancel = cancel
         try:
             with get_recorder().span("runner.run"):
                 run = self._run_impl(config, jobs)
+            if self._journal is not None:
+                run.journal_path = str(self._journal.path)
         finally:
+            if self._journal is not None:
+                self._journal.close()
+            self._journal = None
+            self._cancel = None
+            self._finish_faults(fault_token)
             profile = self._finish_observation(token)
         run.metrics.profile = profile
         return run
@@ -422,6 +571,7 @@ class ExperimentRunner:
             if hit is None:
                 hit = self._load(key)
                 status = STATUS_CACHE_HIT
+                self._journal_check(key, name, hit)
             if hit is None:
                 misses.append((name, key))
                 continue
@@ -429,11 +579,14 @@ class ExperimentRunner:
             run.results[name] = hit
             _note(run, JobMetric(workload=name, key=key, status=status))
 
-        if misses:
+        if misses and not self._cancelled():
             if workers == 1 or len(misses) == 1:
                 self._run_serial(run, config, misses)
             else:
                 self._run_parallel(run, config, misses, workers)
+
+        if self._cancelled():
+            run.metrics.interrupted = True
 
         # Present results in request order regardless of completion order.
         run.results = {
@@ -448,6 +601,7 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
 
     def run_many(self, configs, jobs: int | None = None,
+                 resume: bool = False, cancel=None,
                  ) -> list[ExperimentRun]:
         """Run a config sweep; each workload is simulated at most once.
 
@@ -460,12 +614,29 @@ class ExperimentRunner:
         config.  Failures follow :meth:`run` semantics: recorded per
         job, never raised.  When the runner observes, the sweep's one
         shared profile is attached to every run's metrics.
+
+        ``resume`` / ``cancel`` follow :meth:`run`: each job's
+        terminal state is journaled (fsync'd) before its result is
+        published, a set ``cancel`` event drains in-flight work and
+        checkpoints, and a resumed sweep re-executes only the jobs not
+        journaled as complete.
         """
         token = self._begin_observation()
+        fault_token = self._begin_faults()
+        self._journal = self._open_journal(resume)
+        self._cancel = cancel
         try:
             with get_recorder().span("runner.sweep"):
                 runs = self._run_many_impl(configs, jobs)
+            if self._journal is not None:
+                for run in runs:
+                    run.journal_path = str(self._journal.path)
         finally:
+            if self._journal is not None:
+                self._journal.close()
+            self._journal = None
+            self._cancel = None
+            self._finish_faults(fault_token)
             profile = self._finish_observation(token)
         if profile is not None:
             for run in runs:
@@ -501,6 +672,7 @@ class ExperimentRunner:
                 if hit is None:
                     hit = self._load(key)
                     status = STATUS_CACHE_HIT
+                    self._journal_check(key, name, hit)
                 if hit is None:
                     groups.setdefault((name, config.scale), []).append(
                         (run, config, key)
@@ -510,13 +682,14 @@ class ExperimentRunner:
                 run.results[name] = hit
                 _note(run, JobMetric(workload=name, key=key, status=status))
 
-        if groups:
+        if groups and not self._cancelled():
             if workers == 1 or len(groups) == 1:
                 self._sweep_serial(groups)
             else:
                 self._sweep_parallel(groups, workers)
 
         total = time.monotonic() - start
+        interrupted = self._cancelled()
         for run, names in zip(runs, name_lists):
             run.results = {
                 name: run.results[name]
@@ -524,10 +697,13 @@ class ExperimentRunner:
             }
             run.metrics.jobs.sort(key=lambda m: names.index(m.workload))
             run.metrics.total_wall = total
+            run.metrics.interrupted = interrupted
         return runs
 
     def _sweep_serial(self, groups) -> None:
         for (name, __scale), entries in groups.items():
+            if self._cancelled():
+                return
             for run, __, __k in entries:
                 run.metrics.peak_workers = max(run.metrics.peak_workers, 1)
             group_start = time.monotonic()
@@ -556,8 +732,8 @@ class ExperimentRunner:
             # The group's one pass served every entry; split its cost.
             wall = (time.monotonic() - group_start) / len(entries)
             for (run, __, key), result in zip(entries, results):
-                if self.store is not None:
-                    self.store.put(key, result_to_dict(result))
+                self._safe_put(key, result)
+                self._journal_record(key, name, STATUS_DONE)
                 self._memo[key] = result
                 run.results[name] = result
                 _note(run, JobMetric(
@@ -585,7 +761,7 @@ class ExperimentRunner:
                            trace_root, trace_max, observing))
                 for (name, scale), entries in groups.items()
             ]
-            pool_run = pool.run(tasks)
+            pool_run = pool.run(tasks, cancel=self._cancel)
             self._merge_worker_profiles(pool_run)
             for (name, scale), entries in groups.items():
                 for run, __, __k in entries:
@@ -593,38 +769,69 @@ class ExperimentRunner:
                         run.metrics.peak_workers, pool_run.peak_workers
                     )
                 outcome = pool_run.outcomes.get(f"{name}@{scale}")
+                if outcome is None and pool_run.cancelled:
+                    continue  # never launched: not a failure, just unrun
                 if isinstance(outcome, TaskError):
                     for run, __, key in entries:
-                        self._record_failure(run, name, key, JobFailure(
+                        failure = JobFailure(
                             workload=name, error=outcome.error,
                             attempts=outcome.attempts,
                             wall_time=outcome.wall_time,
                             timed_out=outcome.timed_out,
-                        ))
+                            kind=outcome.kind,
+                        )
+                        self._journal_record(key, name, JOURNAL_FAILED)
+                        self._record_failure(run, name, key, failure)
                     continue
                 wall = ((outcome.wall_time if outcome else 0.0)
                         / len(entries))
-                for run, __, key in entries:
+                attempts = outcome.attempts if outcome else 1
+                for run, config, key in entries:
                     payload = store.get(key)
                     if payload is None:
-                        self._record_failure(run, name, key, JobFailure(
-                            workload=name,
-                            error="worker reported success but no stored "
-                                  "result was found",
-                            attempts=outcome.attempts if outcome else 1,
-                        ))
-                        continue
-                    result = result_from_dict(payload)
+                        # The worker reported success but its stored
+                        # result is unreadable (torn write, eviction
+                        # race, corruption): recompute in-process
+                        # rather than failing a job that already ran.
+                        result = self._recover_inline(run, name, config,
+                                                      key, attempts)
+                        if result is None:
+                            continue
+                    else:
+                        result = result_from_dict(payload)
+                    self._journal_record(key, name, STATUS_DONE)
                     self._memo[key] = result
                     run.results[name] = result
                     _note(run, JobMetric(
                         workload=name, key=key, status=STATUS_COMPUTED,
                         wall_time=wall, instructions=result.nodes,
-                        attempts=outcome.attempts,
+                        attempts=attempts,
                     ))
         finally:
             if scratch is not None:
                 scratch.cleanup()
+
+    def _recover_inline(self, run, name: str, config, key: str,
+                        attempts: int):
+        """Recompute a job in-process after its stored result vanished.
+
+        Returns the result, or None after recording the failure.
+        """
+        get_recorder().count("runner.recovered", 1)
+        _log.warning("runner: %s completed in a worker but its stored "
+                     "result is unreadable; recomputing in-process", name)
+        try:
+            result, __ = self._compute(name, config)
+        except Exception as error:
+            self._journal_record(key, name, JOURNAL_FAILED)
+            self._record_failure(run, name, key, JobFailure(
+                workload=name,
+                error=f"{type(error).__name__}: {error}",
+                attempts=attempts,
+            ))
+            return None
+        self._safe_put(key, result)
+        return result
 
     # ------------------------------------------------------------------
     # Execution strategies.
@@ -657,18 +864,21 @@ class ExperimentRunner:
     def _run_serial(self, run: ExperimentRun, config, misses) -> None:
         run.metrics.peak_workers = max(run.metrics.peak_workers, 1)
         for name, key in misses:
+            if self._cancelled():
+                return
             job_start = time.monotonic()
             try:
                 result, status = self._compute(name, config)
             except Exception as error:
+                self._journal_record(key, name, JOURNAL_FAILED)
                 self._record_failure(run, name, key, JobFailure(
                     workload=name,
                     error=f"{type(error).__name__}: {error}",
                     wall_time=time.monotonic() - job_start,
                 ))
                 continue
-            if self.store is not None:
-                self.store.put(key, result_to_dict(result))
+            self._safe_put(key, result)
+            self._journal_record(key, name, STATUS_DONE)
             self._memo[key] = result
             run.results[name] = result
             _note(run, JobMetric(
@@ -698,37 +908,44 @@ class ExperimentRunner:
                            observing))
                 for name, key in misses
             ]
-            pool_run = pool.run(tasks)
+            pool_run = pool.run(tasks, cancel=self._cancel)
             self._merge_worker_profiles(pool_run)
             run.metrics.peak_workers = max(
                 run.metrics.peak_workers, pool_run.peak_workers
             )
             for name, key in misses:
                 outcome = pool_run.outcomes.get(key)
+                if outcome is None and pool_run.cancelled:
+                    continue  # never launched: not a failure, just unrun
                 if isinstance(outcome, TaskError):
-                    self._record_failure(run, name, key, JobFailure(
+                    failure = JobFailure(
                         workload=name, error=outcome.error,
                         attempts=outcome.attempts,
                         wall_time=outcome.wall_time,
                         timed_out=outcome.timed_out,
-                    ))
+                        kind=outcome.kind,
+                    )
+                    self._journal_record(key, name, JOURNAL_FAILED)
+                    self._record_failure(run, name, key, failure)
                     continue
                 payload = store.get(key)
                 if payload is None:
-                    self._record_failure(run, name, key, JobFailure(
-                        workload=name,
-                        error="worker reported success but no stored "
-                              "result was found",
-                        attempts=outcome.attempts if outcome else 1,
-                    ))
-                    continue
-                result = result_from_dict(payload)
+                    result = self._recover_inline(
+                        run, name, config, key,
+                        outcome.attempts if outcome else 1,
+                    )
+                    if result is None:
+                        continue
+                else:
+                    result = result_from_dict(payload)
+                self._journal_record(key, name, STATUS_DONE)
                 self._memo[key] = result
                 run.results[name] = result
                 _note(run, JobMetric(
                     workload=name, key=key, status=STATUS_COMPUTED,
-                    wall_time=outcome.wall_time, instructions=result.nodes,
-                    attempts=outcome.attempts,
+                    wall_time=outcome.wall_time if outcome else 0.0,
+                    instructions=result.nodes,
+                    attempts=outcome.attempts if outcome else 1,
                 ))
         finally:
             if scratch is not None:

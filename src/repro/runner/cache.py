@@ -8,10 +8,13 @@ Each file is an envelope::
 
 ``checksum`` is the sha256 of the canonical (sorted-keys, compact)
 JSON dump of ``payload``.  :meth:`ResultStore.get` validates both the
-schema version and the checksum; *any* problem — unreadable file,
-truncated JSON, wrong schema, checksum mismatch — is treated as a
-cache miss and the offending file is quietly removed.  Corruption can
-never crash a run.
+schema version and the checksum; any problem is treated as a cache
+miss, so corruption can never crash a run — but recovery is no longer
+*silent*: a corrupt entry (truncated JSON, wrong schema, checksum
+mismatch) is removed with a ``store.<tier>.corruption`` counter and a
+one-line warning log, while a transient read error (``OSError``)
+leaves the file in place and counts ``store.<tier>.read_errors``, so
+operators can tell "cache miss" from "cache rot" from "disk trouble".
 
 Writes are atomic (temp file + ``os.replace``) so concurrent pool
 workers and parallel pytest sessions can share one store: the worst
@@ -29,11 +32,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 
 from repro.obs import get_recorder
+from repro.runner.faults import fault_io, maybe_fault
+
+_log = logging.getLogger(__name__)
 
 #: On-disk envelope version; bump on envelope layout changes.
 SCHEMA_VERSION = 1
@@ -77,6 +84,23 @@ class LRUFileStore:
     def _miss(self) -> None:
         self.misses += 1
         get_recorder().count(f"store.{self.metric}.misses", 1)
+
+    def _corrupt(self, path: Path, reason) -> None:
+        """Drop a corrupt entry — counted and logged, never raised.
+
+        Distinct from a read error: corruption means the bytes were
+        readable but wrong, so the entry is unrecoverable and removed.
+        """
+        get_recorder().count(f"store.{self.metric}.corruption", 1)
+        _log.warning("store: dropping corrupt %s entry %s (%s)",
+                     self.metric, path.name, reason)
+        self._remove(path)
+
+    def _read_error(self, reason) -> None:
+        """Note a transient read failure (the entry is left on disk)."""
+        get_recorder().count(f"store.{self.metric}.read_errors", 1)
+        _log.warning("store: %s read failed (%s); treating as miss",
+                     self.metric, reason)
 
     # ------------------------------------------------------------------
     # Size management.
@@ -174,18 +198,27 @@ class ResultStore(LRUFileStore):
         with get_recorder().span("store.result.get"):
             path = self.path_for(key)
             try:
-                envelope = json.loads(path.read_text())
+                fault_io("store.read")
+                text = path.read_text()
+            except FileNotFoundError:
+                self._miss()
+                return None
+            except OSError as error:
+                # Transient I/O failure: the entry may be fine — leave
+                # it on disk and read as a miss.
+                self._read_error(error)
+                self._miss()
+                return None
+            try:
+                envelope = json.loads(text)
                 if envelope["schema"] != SCHEMA_VERSION:
                     raise ValueError(f"schema {envelope['schema']}")
                 payload = envelope["payload"]
                 if _checksum(_canonical(payload)) != envelope["checksum"]:
                     raise ValueError("checksum mismatch")
-            except FileNotFoundError:
-                self._miss()
-                return None
-            except Exception:
+            except Exception as error:
                 # Truncated/garbled/stale file: drop it, treat as a miss.
-                self._remove(path)
+                self._corrupt(path, error)
                 self._miss()
                 return None
             self._hit()
@@ -193,8 +226,14 @@ class ResultStore(LRUFileStore):
             return payload
 
     def put(self, key: str, payload: dict) -> Path:
-        """Atomically store ``payload`` under ``key``; returns the path."""
+        """Atomically store ``payload`` under ``key``; returns the path.
+
+        Raises :class:`OSError` on write failure — callers that can
+        proceed without the cached copy (the runner) catch it and
+        degrade; see ``_safe_put`` in :mod:`repro.runner.api`.
+        """
         with get_recorder().span("store.result.put"):
+            fault_io("store.write")
             path = self.path_for(key)
             path.parent.mkdir(parents=True, exist_ok=True)
             canonical = _canonical(payload)
@@ -204,6 +243,10 @@ class ResultStore(LRUFileStore):
                 "checksum": _checksum(canonical),
                 "payload": payload,
             })
+            if maybe_fault("store.truncate"):
+                # Injected torn write: publish only half the envelope.
+                # The checksum validation in :meth:`get` must catch it.
+                text = text[: len(text) // 2]
             fd, tmp_name = tempfile.mkstemp(
                 dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
             )

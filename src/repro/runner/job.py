@@ -94,6 +94,11 @@ class JobFailure:
         attempts: how many times the job was attempted.
         wall_time: seconds spent on the final attempt.
         timed_out: True when the final attempt hit the per-job timeout.
+        kind: failure taxonomy tag — one of the
+            :data:`repro.errors.FAILURE_KINDS` keys ("timeout",
+            "crash", "spawn", "error"); drives which
+            :class:`~repro.errors.RunnerError` subclass
+            ``ExperimentRun.require`` raises.
     """
 
     workload: str
@@ -101,6 +106,7 @@ class JobFailure:
     attempts: int = 1
     wall_time: float = 0.0
     timed_out: bool = False
+    kind: str = "error"
 
 
 def program_bytes(program) -> bytes:

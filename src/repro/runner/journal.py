@@ -1,0 +1,219 @@
+"""Crash-safe sweep journal: a write-ahead JSONL record of job fates.
+
+The journal lives next to the cache tiers (``<cache>/journal.jsonl``)
+and records one line per *executed* job as it reaches a terminal
+state::
+
+    {"journal": 1, "pid": 1234, "started": ...}        # header
+    {"key": "<job hash>", "workload": "com", "status": "done"}
+    {"key": "<job hash>", "workload": "go", "status": "failed"}
+
+Each record is flushed **and fsync'd before the result is published**
+to the caller, so a run killed at any instant — SIGKILL included —
+leaves a journal describing exactly which jobs completed.  A later run
+opened with ``resume=True`` replays the journal: jobs recorded as
+``done`` are served from the result store (their results were written
+before the journal line), everything else re-executes.  A journaled
+``done`` whose store entry has vanished (pruned, corrupted) is a
+*journal conflict*: counted (``journal.conflicts``), logged, and the
+job simply re-executes — the journal never blocks progress.
+
+Single-writer locking: opening the journal takes ``journal.jsonl.lock``
+(``O_CREAT | O_EXCL``, pid inside).  A second live process raises
+:class:`repro.errors.JournalConflict`; a stale lock whose pid is dead
+is broken and taken over.  Garbled lines (torn writes from a previous
+crash) are skipped and counted, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+
+from repro.errors import JournalConflict
+from repro.obs import get_recorder
+
+_log = logging.getLogger(__name__)
+
+#: Journal line-format version (header field ``journal``).
+JOURNAL_VERSION = 1
+
+#: Default journal filename inside a cache root.
+JOURNAL_NAME = "journal.jsonl"
+
+#: Job terminal states recorded in the journal.
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+
+class RunJournal:
+    """Append-only, fsync'd journal of job terminal states.
+
+    Use as a context manager; ``resume=True`` replays an existing file
+    into :attr:`entries` and appends, ``resume=False`` (default)
+    truncates and starts fresh.
+    """
+
+    def __init__(self, path: str | Path, resume: bool = False):
+        self.path = Path(path)
+        self.resume = resume
+        self.entries: dict[str, str] = {}
+        self.bad_lines = 0
+        self._fh = None
+        self._locked = False
+        self._lock_path = Path(str(self.path) + ".lock")
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def open(self) -> "RunJournal":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._acquire_lock()
+        try:
+            if self.resume and self.path.exists():
+                self.entries = self._replay()
+            self._fh = open(self.path, "a" if self.resume else "w")
+            header = {"journal": JOURNAL_VERSION, "pid": os.getpid()}
+            self._append(header)
+        except BaseException:
+            self._release_lock()
+            raise
+        return self
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+        self._release_lock()
+
+    def __enter__(self) -> "RunJournal":
+        return self.open()
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Recording / replay.
+    # ------------------------------------------------------------------
+
+    def record(self, key: str, workload: str, status: str) -> None:
+        """Durably record ``key``'s terminal ``status``.
+
+        Returns only after the line is flushed and fsync'd — callers
+        publish the corresponding result *after* this, so a journaled
+        ``done`` always implies the store write already happened.
+        """
+        if self._fh is None:
+            return
+        self._append({"key": key, "workload": workload, "status": status})
+        self.entries[key] = status
+        get_recorder().count("journal.records", 1)
+
+    def completed(self, key: str) -> bool:
+        """True when ``key`` is journaled as successfully finished."""
+        return self.entries.get(key) == STATUS_DONE
+
+    def conflict(self, key: str, workload: str) -> None:
+        """Note a journal/store disagreement (journaled done, store
+        miss): counted and logged, then the job re-executes."""
+        get_recorder().count("journal.conflicts", 1)
+        _log.warning(
+            "journal: %s (%s) recorded done but the store has no result; "
+            "re-executing", workload, key[:12],
+        )
+
+    def _append(self, payload: dict) -> None:
+        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def _replay(self) -> dict[str, str]:
+        entries: dict[str, str] = {}
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return entries
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                if "journal" in payload:  # header line
+                    continue
+                key, status = payload["key"], payload["status"]
+            except (ValueError, KeyError, TypeError):
+                # Torn write from a crash mid-append: skip, count.
+                self.bad_lines += 1
+                get_recorder().count("journal.bad_lines", 1)
+                continue
+            entries[key] = status
+        if entries:
+            get_recorder().count("journal.replayed", len(entries))
+        return entries
+
+    # ------------------------------------------------------------------
+    # Locking.
+    # ------------------------------------------------------------------
+
+    def _acquire_lock(self) -> None:
+        for attempt in (1, 2):
+            try:
+                fd = os.open(self._lock_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(str(os.getpid()))
+                self._locked = True
+                return
+            except FileExistsError:
+                owner = self._lock_owner()
+                if owner is not None and _pid_alive(owner):
+                    raise JournalConflict(
+                        f"journal {self.path} is locked by live "
+                        f"process {owner}"
+                    )
+                # Stale lock from a dead process: break it and retry.
+                _log.warning("journal: breaking stale lock %s (pid %s)",
+                             self._lock_path, owner)
+                try:
+                    os.unlink(self._lock_path)
+                except OSError:
+                    pass
+        raise JournalConflict(
+            f"could not acquire journal lock {self._lock_path}"
+        )
+
+    def _lock_owner(self) -> int | None:
+        try:
+            return int(self._lock_path.read_text().strip())
+        except (OSError, ValueError):
+            return None
+
+    def _release_lock(self) -> None:
+        if self._locked:
+            try:
+                os.unlink(self._lock_path)
+            except OSError:
+                pass
+            self._locked = False
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True

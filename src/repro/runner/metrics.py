@@ -81,6 +81,9 @@ class RunMetrics:
     peak_workers: int = 0
     total_wall: float = 0.0
     profile: dict | None = None
+    #: True when the run was cancelled (SIGINT/SIGTERM) and checkpointed
+    #: mid-way: completed jobs are journaled, the rest never ran.
+    interrupted: bool = False
 
     def add(self, metric: JobMetric) -> None:
         self.jobs.append(metric)
@@ -138,6 +141,7 @@ class RunMetrics:
             "failures": self.failures,
             "total_instructions": self.total_instructions,
             "instructions_per_second": round(self.throughput, 1),
+            "interrupted": self.interrupted,
         }
         if self.profile is not None:
             payload["profile"] = self.profile
@@ -152,10 +156,13 @@ class RunMetrics:
 
     def summary(self) -> str:
         """One-line human summary for CLI/bench output."""
-        return (
+        text = (
             f"{len(self.jobs)} jobs in {self.total_wall:.2f}s "
             f"({self.throughput:,.0f} instr/s): "
             f"{self.cache_hits} hit, {self.count(STATUS_COMPUTED)} computed, "
             f"{self.replays} replayed, "
             f"{self.failures} failed; peak {self.peak_workers} worker(s)"
         )
+        if self.interrupted:
+            text += " [interrupted: checkpointed, resume with --resume]"
+        return text

@@ -9,15 +9,39 @@ terminated without poisoning its siblings.
 Failure handling, per task:
 
 * the function raising → the traceback travels back over the task's
-  queue and is recorded;
+  queue and is recorded (``kind="error"``);
 * the process dying without reporting (segfault, ``os._exit``,
-  OOM-kill) → detected by exit code, recorded;
+  OOM-kill) → detected by exit code, recorded (``kind="crash"``);
 * the deadline passing → the process is terminated (then killed) and
-  the timeout recorded.
+  the timeout recorded (``kind="timeout"``);
+* the process failing to *spawn* at all → recorded (``kind="spawn"``).
 
 Each failure mode consumes one attempt; a task gets ``1 + retries``
-attempts before it is recorded as a :class:`TaskError`.  Failures
+attempts before it is recorded as a :class:`TaskError`.  Retries are
+spaced by **exponential backoff with full jitter** (``backoff_base *
+2^(attempt-1)`` capped at ``backoff_cap``, plus a uniform jitter of up
+to the same again) so a struggling machine is not hammered.  Failures
 never abort the run — the remaining tasks keep flowing.
+
+**Graceful degradation**: ``degrade_after`` consecutive *pool-level*
+failures (spawn failures or crash-deaths — not task exceptions or
+timeouts) flip the pool into serial fallback: the remaining tasks run
+inline in the parent process, trading isolation and timeouts for
+certain progress.  The switch is counted (``pool.serial_fallback``)
+and reported on the returned :class:`PoolRun`.
+
+**Cancellation**: ``run(tasks, cancel=event)`` checks the event every
+scan; once set, no new task starts, in-flight workers drain to
+completion, and un-launched tasks are simply absent from the outcomes
+(``PoolRun.cancelled`` is True).  This is the SIGINT/SIGTERM
+checkpoint path of the runner.
+
+Fault injection (:mod:`repro.runner.faults`) hooks in at three points,
+all decided in the *parent* so counters and determinism survive a
+dying child: ``pool.spawn`` (spawn failure), and the worker directives
+``worker.crash`` / ``worker.hang`` / ``worker.slow`` shipped into the
+child to execute before its task.  The installed plan itself also
+rides along so store/trace sites keep firing inside workers.
 
 The ``fork`` start method is preferred when the platform offers it:
 workers inherit the parent's (already-imported, already-monkeypatched)
@@ -27,15 +51,27 @@ straightforward.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import queue as queue_module
+import random
 import time
 import traceback
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.errors import PoolSpawnError
 from repro.obs import get_recorder
+from repro.runner.faults import get_fault_plan, set_fault_plan
+
+_log = logging.getLogger(__name__)
+
+#: TaskError.kind values (see also repro.errors.FAILURE_KINDS).
+KIND_ERROR = "error"      #: the task function raised
+KIND_CRASH = "crash"      #: the worker process died without reporting
+KIND_TIMEOUT = "timeout"  #: the per-attempt deadline passed
+KIND_SPAWN = "spawn"      #: the worker process could not be started
 
 
 @dataclass(frozen=True)
@@ -63,13 +99,18 @@ class TaskResult:
 
 @dataclass
 class TaskError:
-    """A task that failed every attempt."""
+    """A task that failed every attempt.
+
+    ``kind`` is the structured failure class (one of the ``KIND_*``
+    constants) — match on it, not on the error text.
+    """
 
     key: str
     error: str
     wall_time: float
     attempts: int
     timed_out: bool = False
+    kind: str = KIND_ERROR
 
 
 @dataclass
@@ -79,6 +120,8 @@ class PoolRun:
     outcomes: dict[str, TaskResult | TaskError]
     peak_workers: int
     wall_time: float
+    degraded: bool = False
+    cancelled: bool = False
 
     def results(self) -> dict[str, TaskResult]:
         return {key: out for key, out in self.outcomes.items()
@@ -89,7 +132,18 @@ class PoolRun:
                 if isinstance(out, TaskError)}
 
 
-def _worker_entry(result_queue, fn, args) -> None:
+def _worker_entry(result_queue, fn, args, directive=None,
+                  plan=None) -> None:
+    if plan is not None:
+        set_fault_plan(plan)
+    if directive is not None:
+        kind, value = directive
+        if kind == "crash":
+            os._exit(int(value))
+        elif kind == "hang":
+            time.sleep(float(value))
+        elif kind == "slow":
+            time.sleep(float(value))
     try:
         value = fn(*args)
     except BaseException:
@@ -111,17 +165,34 @@ class _Running:
         self.attempt = attempt
 
 
+class _Pending:
+    __slots__ = ("task", "attempt", "ready_at")
+
+    def __init__(self, task, attempt, ready_at=0.0):
+        self.task = task
+        self.attempt = attempt
+        self.ready_at = ready_at
+
+
 class TaskPool:
     """Bounded-concurrency process supervisor.
 
     Args:
         max_workers: concurrent worker cap (default: CPU count).
         timeout: per-attempt wall-clock limit in seconds (None = no
-            limit).
+            limit; unenforceable in serial-fallback mode).
         retries: extra attempts after a failed one.
         poll_interval: supervisor scan period in seconds.
         start_method: multiprocessing start method; default prefers
             ``fork`` where available.
+        backoff_base: first-retry backoff in seconds; attempt ``n``
+            waits ``base * 2^(n-1)`` (capped) plus full jitter.
+        backoff_cap: upper bound on the deterministic part of the
+            backoff.
+        degrade_after: consecutive pool-level failures (spawn/crash)
+            that trip serial fallback.
+        clock / sleep / rng: injectable time source, sleeper and
+            jitter RNG (tests drive the backoff with a fake clock).
     """
 
     def __init__(
@@ -131,6 +202,12 @@ class TaskPool:
         retries: int = 1,
         poll_interval: float = 0.02,
         start_method: str | None = None,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        degrade_after: int = 3,
+        clock: Callable[[], float] | None = None,
+        sleep: Callable[[float], None] | None = None,
+        rng: random.Random | None = None,
     ):
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
@@ -140,20 +217,50 @@ class TaskPool:
         self.timeout = timeout
         self.retries = max(0, retries)
         self.poll_interval = poll_interval
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.degrade_after = max(1, degrade_after)
+        self._clock = clock or time.monotonic
+        self._sleep = sleep or time.sleep
+        self._rng = rng or random.Random()
+        self._degraded = False
+        self._consecutive_pool_failures = 0
 
-    def run(self, tasks) -> PoolRun:
-        """Execute ``tasks``; returns outcomes keyed by task key."""
-        run_start = time.monotonic()
-        pending: list[tuple[Task, int]] = [(task, 1) for task in tasks]
+    def run(self, tasks, cancel=None) -> PoolRun:
+        """Execute ``tasks``; returns outcomes keyed by task key.
+
+        ``cancel``: an optional :class:`threading.Event`-like object;
+        once set, pending tasks are abandoned and in-flight workers
+        drained (their outcomes still land).
+        """
+        run_start = self._clock()
+        self._degraded = False
+        self._consecutive_pool_failures = 0
+        plan = get_fault_plan()
+        pending: list[_Pending] = [_Pending(task, 1) for task in tasks]
         pending.reverse()  # pop() from the end preserves input order
         running: list[_Running] = []
         outcomes: dict[str, TaskResult | TaskError] = {}
         peak = 0
+        cancelled = False
 
         while pending or running:
-            while pending and len(running) < self.max_workers:
-                task, attempt = pending.pop()
-                running.append(self._launch(task, attempt))
+            if (cancel is not None and not cancelled
+                    and cancel.is_set()):
+                cancelled = True
+                pending.clear()
+
+            if self._degraded:
+                while pending:
+                    entry = pending.pop()
+                    self._run_inline(entry.task, entry.attempt, outcomes,
+                                     pending)
+                    if (cancel is not None and not cancelled
+                            and cancel.is_set()):
+                        cancelled = True
+                        pending.clear()
+            else:
+                self._launch_ready(pending, running, outcomes, plan)
             peak = max(peak, len(running))
 
             still_running = []
@@ -162,29 +269,71 @@ class TaskPool:
                 if not finished:
                     still_running.append(entry)
             running = still_running
-            if running:
-                time.sleep(self.poll_interval)
+            if running or (pending and not self._degraded):
+                self._sleep(self.poll_interval)
 
         return PoolRun(
             outcomes=outcomes,
             peak_workers=peak,
-            wall_time=time.monotonic() - run_start,
+            wall_time=self._clock() - run_start,
+            degraded=self._degraded,
+            cancelled=cancelled,
         )
 
     # ------------------------------------------------------------------
     # Internals.
     # ------------------------------------------------------------------
 
-    def _launch(self, task: Task, attempt: int) -> _Running:
+    def _launch_ready(self, pending, running, outcomes, plan) -> None:
+        """Start every ready pending task while capacity remains."""
+        now = self._clock()
+        index = len(pending) - 1
+        while index >= 0 and len(running) < self.max_workers:
+            entry = pending[index]
+            if entry.ready_at <= now:
+                del pending[index]
+                started = self._try_launch(entry.task, entry.attempt,
+                                           plan, outcomes, pending)
+                if started is not None:
+                    running.append(started)
+                if self._degraded:
+                    return
+            index -= 1
+
+    def _try_launch(self, task, attempt, plan, outcomes,
+                    pending) -> _Running | None:
+        try:
+            if plan is not None and plan.should_fire("pool.spawn"):
+                raise PoolSpawnError("injected fault at pool.spawn")
+            return self._launch(task, attempt, plan)
+        except (PoolSpawnError, OSError) as error:
+            get_recorder().count("pool.spawn_failures", 1)
+            self._note_pool_failure()
+            self._settle(task, attempt, self._clock(), KIND_SPAWN,
+                         f"could not spawn worker: {error}", outcomes,
+                         pending)
+            return None
+
+    def _launch(self, task: Task, attempt: int, plan) -> _Running:
         get_recorder().count("pool.launches", 1)
+        directive = None
+        if plan is not None:
+            if plan.should_fire("worker.crash"):
+                directive = ("crash", 32)
+            elif (self.timeout is not None
+                    and plan.should_fire("worker.hang")):
+                directive = ("hang", max(30.0, self.timeout * 20.0))
+            elif plan.should_fire("worker.slow"):
+                spec = plan.spec("worker.slow")
+                directive = ("slow", spec.delay if spec else 0.05)
         result_queue = self._ctx.Queue(maxsize=1)
         process = self._ctx.Process(
             target=_worker_entry,
-            args=(result_queue, task.fn, task.args),
+            args=(result_queue, task.fn, task.args, directive, plan),
             daemon=True,
         )
         process.start()
-        now = time.monotonic()
+        now = self._clock()
         deadline = now + self.timeout if self.timeout is not None else None
         return _Running(task, process, result_queue, now, deadline, attempt)
 
@@ -196,7 +345,9 @@ class TaskPool:
             pass
         else:
             self._join(entry)
-            self._settle(entry, status, value, outcomes, pending)
+            self._consecutive_pool_failures = 0
+            self._settle(entry.task, entry.attempt, entry.started,
+                         status, value, outcomes, pending)
             return True
 
         if not entry.process.is_alive():
@@ -205,50 +356,126 @@ class TaskPool:
             try:
                 status, value = entry.queue.get(timeout=0.25)
             except queue_module.Empty:
-                status, value = "error", (
+                status, value = KIND_CRASH, (
                     f"worker died with exit code {entry.process.exitcode}"
                 )
+                self._note_pool_failure()
+            else:
+                self._consecutive_pool_failures = 0
             self._join(entry)
-            self._settle(entry, status, value, outcomes, pending)
+            self._settle(entry.task, entry.attempt, entry.started,
+                         status, value, outcomes, pending)
             return True
 
-        if entry.deadline is not None and time.monotonic() > entry.deadline:
-            entry.process.terminate()
-            entry.process.join(timeout=1.0)
-            if entry.process.is_alive():
-                entry.process.kill()
-                entry.process.join(timeout=1.0)
-            entry.queue.close()
+        if entry.deadline is not None and self._clock() > entry.deadline:
+            self._reap(entry.process, graceful=False)
+            self._drain_queue(entry.queue)
             error = f"timed out after {self.timeout:.1f}s"
-            self._settle(entry, "timeout", error, outcomes, pending)
+            self._settle(entry.task, entry.attempt, entry.started,
+                         KIND_TIMEOUT, error, outcomes, pending)
             return True
         return False
 
-    def _settle(self, entry, status, value, outcomes, pending) -> None:
-        wall = time.monotonic() - entry.started
+    def _note_pool_failure(self) -> None:
+        """Count a spawn/crash failure; degrade when they repeat."""
+        self._consecutive_pool_failures += 1
+        if (self._consecutive_pool_failures >= self.degrade_after
+                and not self._degraded):
+            self._degraded = True
+            get_recorder().count("pool.serial_fallback", 1)
+            _log.warning(
+                "pool: %d consecutive spawn/crash failures; degrading "
+                "to serial in-process execution",
+                self._consecutive_pool_failures,
+            )
+
+    def _run_inline(self, task: Task, attempt: int, outcomes,
+                    pending) -> None:
+        """Serial-fallback execution: run the task in this process.
+
+        No crash isolation and no timeout enforcement — certain
+        progress is the trade.  Worker fault directives do not apply
+        (they would take the parent down with them).
+        """
+        get_recorder().count("pool.inline_runs", 1)
+        started = self._clock()
+        try:
+            value = task.fn(*task.args)
+        except Exception:
+            self._settle(task, attempt, started, KIND_ERROR,
+                         traceback.format_exc(), outcomes, pending)
+        else:
+            self._settle(task, attempt, started, "ok", value, outcomes,
+                         pending)
+
+    def _backoff(self, attempt: int) -> float:
+        """Retry delay before attempt ``attempt + 1`` (full jitter)."""
+        base = min(self.backoff_cap,
+                   self.backoff_base * (2 ** (attempt - 1)))
+        return base + self._rng.uniform(0.0, base)
+
+    def _settle(self, task, attempt, started, status, value, outcomes,
+                pending) -> None:
+        wall = self._clock() - started
         recorder = get_recorder()
         if status == "ok":
-            outcomes[entry.task.key] = TaskResult(
-                key=entry.task.key, value=value, wall_time=wall,
-                attempts=entry.attempt,
+            outcomes[task.key] = TaskResult(
+                key=task.key, value=value, wall_time=wall,
+                attempts=attempt,
             )
             return
-        if status == "timeout":
+        if status == KIND_TIMEOUT:
             recorder.count("pool.timeouts", 1)
-        if entry.attempt <= self.retries:
+        if attempt <= self.retries:
+            delay = self._backoff(attempt)
             recorder.count("pool.retries", 1)
-            pending.append((entry.task, entry.attempt + 1))
+            recorder.count("pool.backoff_seconds", delay)
+            pending.append(_Pending(task, attempt + 1,
+                                    self._clock() + delay))
             return
         recorder.count("pool.failures", 1)
-        outcomes[entry.task.key] = TaskError(
-            key=entry.task.key, error=str(value), wall_time=wall,
-            attempts=entry.attempt, timed_out=(status == "timeout"),
+        outcomes[task.key] = TaskError(
+            key=task.key, error=str(value), wall_time=wall,
+            attempts=attempt, timed_out=(status == KIND_TIMEOUT),
+            kind=status if status in (KIND_CRASH, KIND_TIMEOUT,
+                                      KIND_SPAWN) else KIND_ERROR,
         )
 
+    def _join(self, entry: _Running) -> None:
+        self._reap(entry.process)
+        self._drain_queue(entry.queue)
+
     @staticmethod
-    def _join(entry: _Running) -> None:
-        entry.process.join(timeout=5.0)
-        if entry.process.is_alive():
-            entry.process.kill()
-            entry.process.join(timeout=1.0)
-        entry.queue.close()
+    def _reap(process, graceful: bool = True) -> None:
+        """Make sure ``process`` is gone: join, then escalate
+        terminate → kill in a bounded loop so a stuck worker can never
+        linger as a zombie.  ``graceful=False`` (the timeout path)
+        skips the initial wait — the worker is known to be hung."""
+        if graceful:
+            process.join(timeout=1.0)
+        for stop in (process.terminate, process.kill, process.kill):
+            if not process.is_alive():
+                return
+            try:
+                stop()
+            except OSError:
+                pass
+            process.join(timeout=1.0)
+        if process.is_alive():  # pragma: no cover - last resort
+            get_recorder().count("pool.zombies", 1)
+            _log.warning("pool: worker pid %s survived kill escalation",
+                         process.pid)
+
+    @staticmethod
+    def _drain_queue(result_queue) -> None:
+        """Release the queue and its feeder thread unconditionally.
+
+        ``cancel_join_thread`` matters: without it a queue whose feeder
+        thread still holds buffered data keeps the (dead) worker's
+        resources pinned and can hang interpreter shutdown.
+        """
+        try:
+            result_queue.close()
+            result_queue.cancel_join_thread()
+        except OSError:  # pragma: no cover - queue already torn down
+            pass

@@ -31,6 +31,7 @@ from pathlib import Path
 from repro.cpu.tracefile import read_trace, save_trace, trace_header
 from repro.obs import get_recorder
 from repro.runner.cache import LRUFileStore
+from repro.runner.faults import InjectedFault, fault_io, maybe_fault
 
 #: Default size cap for the trace tier (bytes).  Traces dwarf result
 #: payloads, so the tier gets its own, larger budget.
@@ -83,13 +84,19 @@ class TraceStore(LRUFileStore):
         with get_recorder().span("store.trace.get"):
             path = self.path_for(key)
             try:
+                fault_io("trace.read")
                 header, records = read_trace(path)
             except FileNotFoundError:
                 self._miss()
                 return None
-            except Exception:
+            except InjectedFault as error:
+                # Transient I/O failure: leave the file, read as a miss.
+                self._read_error(error)
+                self._miss()
+                return None
+            except Exception as error:
                 # Truncated/garbled/stale file: drop it, treat as a miss.
-                self._remove(path)
+                self._corrupt(path, error)
                 self._miss()
                 return None
             if not self._serves(header, need):
@@ -116,6 +123,7 @@ class TraceStore(LRUFileStore):
         longer.
         """
         with get_recorder().span("store.trace.put"):
+            fault_io("trace.write")
             path = self.path_for(key)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
@@ -128,6 +136,19 @@ class TraceStore(LRUFileStore):
             except BaseException:
                 self._remove(Path(tmp_name))
                 raise
+            if maybe_fault("trace.corrupt"):
+                # Injected bit rot: truncate the published file so the
+                # next read must take the corruption-recovery path.
+                self._rot(path)
             get_recorder().count("store.trace.puts", 1)
             self.evict()
             return path
+
+    @staticmethod
+    def _rot(path: Path) -> None:
+        try:
+            size = path.stat().st_size
+            with open(path, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
+        except OSError:
+            pass

@@ -19,10 +19,13 @@ def main(argv=None) -> int:
         "python -m repro workloads",
         DeprecationWarning, stacklevel=2,
     )
-    from repro.cli import main as cli_main
+    from repro.cli import EXIT_INTERRUPTED, main as cli_main
 
     argv = list(sys.argv[1:] if argv is None else argv)
-    return cli_main(["workloads", *argv])
+    try:
+        return cli_main(["workloads", *argv])
+    except KeyboardInterrupt:
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":

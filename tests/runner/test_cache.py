@@ -1,9 +1,11 @@
 """Result store: round trips, corruption recovery, LRU bounding."""
 
 import json
+import logging
 import os
 
 from repro.core.export import result_from_dict, result_to_dict
+from repro.obs import Recorder, recording
 from repro.runner import ExperimentConfig, ResultStore
 from repro.runner.api import _analyze
 from repro.runner.cache import SCHEMA_VERSION
@@ -82,6 +84,46 @@ class TestCorruptionRecovery:
         assert store.get(KEY_A) is None
         store.put(KEY_A, {"x": 1})
         assert store.get(KEY_A) == {"x": 1}
+
+
+class TestCorruptionObservability:
+    """Recovery is graceful but no longer *silent*: every dropped
+    entry is counted and logged."""
+
+    def test_corruption_counts_and_warns(self, tmp_path, caplog):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, {"x": 1})
+        path.write_text("garbage")
+        with recording(Recorder()) as rec, \
+                caplog.at_level(logging.WARNING, "repro.runner.cache"):
+            assert store.get(KEY_A) is None
+        counters = rec.snapshot()["counters"]
+        assert counters["store.result.corruption"] == 1
+        assert counters["store.result.misses"] == 1
+        assert any("corrupt" in record.message
+                   for record in caplog.records)
+
+    def test_checksum_mismatch_counts_as_corruption(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, {"x": 1})
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["x"] = 999
+        path.write_text(json.dumps(envelope))
+        with recording(Recorder()) as rec:
+            assert store.get(KEY_A) is None
+        assert rec.snapshot()["counters"]["store.result.corruption"] == 1
+
+    def test_clean_hits_and_misses_count_no_corruption(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        with recording(Recorder()) as rec:
+            assert store.get(KEY_A) == {"x": 1}
+            assert store.get(KEY_B) is None
+        counters = rec.snapshot()["counters"]
+        assert "store.result.corruption" not in counters
+        assert "store.result.read_errors" not in counters
+        assert counters["store.result.hits"] == 1
+        assert counters["store.result.misses"] == 1
 
 
 class TestEviction:

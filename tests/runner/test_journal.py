@@ -1,0 +1,200 @@
+"""Write-ahead journal: durability, replay, locking, runner resume."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import JournalConflict
+from repro.obs import Recorder, recording
+from repro.runner import (
+    ExperimentConfig,
+    ExperimentRunner,
+    ResultStore,
+    RunJournal,
+    TraceStore,
+)
+from repro.runner.journal import STATUS_DONE, STATUS_FAILED
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+
+
+class TestRecordReplay:
+    def test_replay_round_trips(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path) as journal:
+            journal.record(KEY_A, "com", STATUS_DONE)
+            journal.record(KEY_B, "go", STATUS_FAILED)
+        with RunJournal(path, resume=True) as journal:
+            assert journal.completed(KEY_A)
+            assert not journal.completed(KEY_B)
+            assert journal.entries == {KEY_A: STATUS_DONE,
+                                       KEY_B: STATUS_FAILED}
+
+    def test_open_without_resume_truncates(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path) as journal:
+            journal.record(KEY_A, "com", STATUS_DONE)
+        with RunJournal(path) as journal:
+            assert not journal.completed(KEY_A)
+            assert journal.entries == {}
+
+    def test_last_status_wins_on_replay(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path) as journal:
+            journal.record(KEY_A, "com", STATUS_FAILED)
+            journal.record(KEY_A, "com", STATUS_DONE)
+        with RunJournal(path, resume=True) as journal:
+            assert journal.completed(KEY_A)
+
+    def test_garbled_lines_are_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path) as journal:
+            journal.record(KEY_A, "com", STATUS_DONE)
+        # Simulate a torn write from a crash mid-append.
+        with open(path, "a") as handle:
+            handle.write('{"key": "' + KEY_B)
+        journal = RunJournal(path, resume=True)
+        with journal:
+            assert journal.completed(KEY_A)
+            assert journal.bad_lines == 1
+            assert KEY_B not in journal.entries
+
+    def test_records_survive_a_hard_kill(self, tmp_path):
+        """fsync means the journal is readable even after SIGKILL."""
+        script = (
+            "import os, sys\n"
+            "sys.path.insert(0, %r)\n"
+            "from repro.runner import RunJournal\n"
+            "journal = RunJournal(%r).open()\n"
+            "journal.record(%r, 'com', 'done')\n"
+            "os.kill(os.getpid(), 9)\n"
+        ) % (os.path.join(os.getcwd(), "src"),
+             str(tmp_path / "journal.jsonl"), KEY_A)
+        process = subprocess.run([sys.executable, "-c", script])
+        assert process.returncode == -9
+        # The killed process never released the lock: the stale lock
+        # must be broken, not honoured.
+        with RunJournal(tmp_path / "journal.jsonl", resume=True) as journal:
+            assert journal.completed(KEY_A)
+
+
+class TestLocking:
+    def test_live_lock_raises_conflict(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path):
+            with pytest.raises(JournalConflict):
+                RunJournal(path).open()
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        # A pid that is certainly dead: a just-reaped child's.
+        child = subprocess.run([sys.executable, "-c", "pass"])
+        (tmp_path / "journal.jsonl.lock").write_text("99999999")
+        with RunJournal(path) as journal:
+            journal.record(KEY_A, "com", STATUS_DONE)
+        assert not (tmp_path / "journal.jsonl.lock").exists()
+        assert child.returncode == 0
+
+    def test_close_releases_the_lock(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path):
+            pass
+        with RunJournal(path):  # re-acquirable immediately
+            pass
+
+
+class _CancelAfterStoreHas:
+    """Cancel 'event' that trips once the store holds >= n results."""
+
+    def __init__(self, store, n):
+        self.store = store
+        self.n = n
+
+    def is_set(self) -> bool:
+        return len(self.store.entries()) >= self.n
+
+
+CONFIG = ExperimentConfig(workloads=("com", "go", "ijp"),
+                          max_instructions=1_500)
+
+
+def _runner(root, **kwargs) -> ExperimentRunner:
+    return ExperimentRunner(
+        store=ResultStore(root), trace_store=TraceStore(root), **kwargs
+    )
+
+
+class TestRunnerResume:
+    def test_interrupted_run_checkpoints_then_resumes(self, tmp_path):
+        root = tmp_path / "cache"
+        runner = _runner(root)
+        cancel = _CancelAfterStoreHas(runner.store, 1)
+        run = runner.run(CONFIG, cancel=cancel)
+        assert run.metrics.interrupted
+        assert run.journal_path == str(root / "journal.jsonl")
+        assert 1 <= len(run.results) < len(CONFIG.workloads)
+        with pytest.raises(Exception) as info:
+            run.require()
+        assert "resume" in str(info.value)
+
+        # A fresh runner (fresh memo) resumes from the journal: the
+        # checkpointed jobs are cache hits it can trust.
+        resumed = _runner(root, observe=True)
+        run2 = resumed.run(CONFIG, resume=True)
+        assert not run2.failures
+        assert not run2.metrics.interrupted
+        assert set(run2.results) == set(CONFIG.workloads)
+        counters = run2.metrics.profile["counters"]
+        assert counters["journal.skips"] >= 1
+
+    def test_journaled_done_with_missing_store_entry_reexecutes(
+            self, tmp_path):
+        root = tmp_path / "cache"
+        run = _runner(root).run(CONFIG)
+        assert not run.failures
+        # Vandalise the store behind the journal's back.
+        ResultStore(root).clear()
+        resumed = _runner(root, observe=True)
+        run2 = resumed.run(CONFIG, resume=True)
+        assert not run2.failures
+        assert set(run2.results) == set(CONFIG.workloads)
+        counters = run2.metrics.profile["counters"]
+        assert counters["journal.conflicts"] == len(CONFIG.workloads)
+
+    def test_journal_lines_are_valid_jsonl(self, tmp_path):
+        root = tmp_path / "cache"
+        run = _runner(root).run(CONFIG)
+        assert not run.failures
+        lines = [json.loads(line) for line in
+                 (root / "journal.jsonl").read_text().splitlines()]
+        header, records = lines[0], lines[1:]
+        assert header["journal"] == 1
+        assert header["pid"] == os.getpid()
+        assert {record["workload"] for record in records} == \
+            set(CONFIG.workloads)
+        assert all(record["status"] == STATUS_DONE for record in records)
+
+    def test_no_store_means_no_journal(self, tmp_path):
+        runner = ExperimentRunner(store=None)
+        run = runner.run(ExperimentConfig(workloads=("com",),
+                                          max_instructions=1_000))
+        assert not run.failures
+        assert run.journal_path is None
+
+    def test_sibling_lock_degrades_gracefully(self, tmp_path):
+        root = tmp_path / "cache"
+        root.mkdir()
+        with RunJournal(root / "journal.jsonl"):
+            # A live sibling holds the journal; the run proceeds
+            # without checkpointing instead of failing.
+            with recording(Recorder()) as rec:
+                run = _runner(root).run(
+                    ExperimentConfig(workloads=("com",),
+                                     max_instructions=1_000))
+        assert not run.failures
+        assert run.journal_path is None
+        assert rec.snapshot()["counters"]["journal.conflicts"] == 1

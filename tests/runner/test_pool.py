@@ -1,12 +1,15 @@
-"""Task pool: parallel execution, timeout, retry, crash isolation.
+"""Task pool: parallel execution, timeout, retry with backoff, crash
+isolation, serial fallback.
 
 Worker functions must be module-level so they survive the trip into a
 worker process under any start method.
 """
 
+import multiprocessing
 import os
 import time
 
+from repro.obs import Recorder, recording
 from repro.runner import Task, TaskError, TaskPool, TaskResult
 
 
@@ -128,3 +131,144 @@ class TestPoolRunViews:
         assert set(run.results()) == {"ok"}
         assert set(run.errors()) == {"bad"}
         assert run.wall_time > 0.0
+
+
+class _FakeClock:
+    """Deterministic time source; sleeping advances it."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += max(seconds, 0.001)
+
+
+class _ZeroJitter:
+    @staticmethod
+    def uniform(low, high):
+        return 0.0
+
+
+class _FullJitter:
+    @staticmethod
+    def uniform(low, high):
+        return high
+
+
+class TestBackoff:
+    def test_delays_double_up_to_the_cap(self):
+        pool = TaskPool(max_workers=1, backoff_base=0.5, backoff_cap=4.0,
+                        rng=_ZeroJitter())
+        assert [pool._backoff(n) for n in (1, 2, 3, 4, 5)] == \
+            [0.5, 1.0, 2.0, 4.0, 4.0]
+
+    def test_jitter_adds_at_most_the_base_again(self):
+        pool = TaskPool(max_workers=1, backoff_base=0.5, backoff_cap=4.0,
+                        rng=_FullJitter())
+        assert pool._backoff(1) == 1.0
+        assert pool._backoff(3) == 4.0
+
+    def test_retries_are_spaced_by_backoff(self):
+        """Fake-clock run: total backoff = base + 2*base, no jitter."""
+        clock = _FakeClock()
+        pool = TaskPool(
+            max_workers=1, retries=2, backoff_base=1.0, backoff_cap=8.0,
+            clock=clock, sleep=clock.sleep, rng=_ZeroJitter(),
+        )
+        with recording(Recorder()) as rec:
+            run = pool.run([Task("bad", _raise, ("always",))])
+        outcome = run.outcomes["bad"]
+        assert isinstance(outcome, TaskError)
+        assert outcome.attempts == 3
+        counters = rec.snapshot()["counters"]
+        assert counters["pool.retries"] == 2
+        assert counters["pool.backoff_seconds"] == 1.0 + 2.0
+        # The fake clock really waited out both delays.
+        assert clock.now >= 3.0
+
+
+_PARENT_PID = os.getpid()
+
+
+def _crash_unless_inline():
+    """Dies in a worker process; succeeds when run in the parent."""
+    if os.getpid() == _PARENT_PID:
+        return "inline"
+    os._exit(9)
+
+
+class TestSerialFallback:
+    def test_repeated_crashes_degrade_to_inline(self):
+        pool = TaskPool(max_workers=2, retries=4, degrade_after=2,
+                        backoff_base=0.001)
+        with recording(Recorder()) as rec:
+            run = pool.run([Task(f"t{n}", _crash_unless_inline)
+                            for n in range(3)])
+        assert run.degraded
+        for n in range(3):
+            outcome = run.outcomes[f"t{n}"]
+            assert isinstance(outcome, TaskResult)
+            assert outcome.value == "inline"
+        counters = rec.snapshot()["counters"]
+        assert counters["pool.serial_fallback"] == 1
+        assert counters["pool.inline_runs"] >= 3
+
+    def test_healthy_pool_never_degrades(self):
+        run = TaskPool(max_workers=2, retries=0).run(
+            [Task(str(n), _square, (n,)) for n in range(4)]
+        )
+        assert not run.degraded
+
+
+class TestNoZombies:
+    def test_workers_are_reaped_after_crashes_and_timeouts(self):
+        pool = TaskPool(max_workers=2, timeout=0.3, retries=1,
+                        backoff_base=0.001)
+        pool.run([
+            Task("crash", _hard_exit, (1,)),
+            Task("hung", _sleep, (30.0,)),
+            Task("ok", _square, (2,)),
+        ])
+        leftover = multiprocessing.active_children()
+        for process in leftover:  # pragma: no cover - cleanup on failure
+            process.kill()
+        assert leftover == []
+
+
+class _SetAfterCalls:
+    """Event-alike that trips after ``n`` is_set() polls."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def is_set(self) -> bool:
+        self.n -= 1
+        return self.n < 0
+
+
+class TestCancellation:
+    def test_preset_cancel_runs_nothing(self):
+        class _Set:
+            @staticmethod
+            def is_set():
+                return True
+
+        run = TaskPool(max_workers=2).run(
+            [Task(str(n), _square, (n,)) for n in range(4)], cancel=_Set()
+        )
+        assert run.cancelled
+        assert run.outcomes == {}
+
+    def test_cancel_mid_run_drains_in_flight(self):
+        run = TaskPool(max_workers=1, poll_interval=0.01).run(
+            [Task(str(n), _sleep, (0.1,)) for n in range(6)],
+            cancel=_SetAfterCalls(2),
+        )
+        assert run.cancelled
+        # Something finished (drained), something never launched.
+        assert 0 < len(run.outcomes) < 6
+        assert all(isinstance(outcome, TaskResult)
+                   for outcome in run.outcomes.values())

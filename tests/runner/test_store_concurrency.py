@@ -1,0 +1,111 @@
+"""Concurrent multi-process store access: readers racing writers
+racing the LRU pruner must never corrupt, crash or leak temp files.
+
+Worker functions are module-level so they survive the trip into a
+worker process under any start method.
+"""
+
+import multiprocessing
+import os
+
+from repro.runner import ResultStore
+
+KEYS = [f"{index:02x}" + "0" * 62 for index in range(8)]
+
+
+def _hammer_writer(root, worker_id, rounds, error_queue):
+    """Re-put every key, forcing eviction churn on a tiny cap."""
+    try:
+        store = ResultStore(root, max_bytes=4096)
+        for round_no in range(rounds):
+            for key in KEYS:
+                store.put(key, {"worker": worker_id, "round": round_no,
+                                "key": key, "pad": "x" * 256})
+    except Exception as error:  # pragma: no cover - the assertion target
+        error_queue.put(f"writer {worker_id}: {type(error).__name__}: "
+                        f"{error}")
+
+
+def _hammer_reader(root, rounds, error_queue):
+    """Read every key; each get must be a valid payload or a miss."""
+    try:
+        store = ResultStore(root, max_bytes=4096)
+        for __ in range(rounds):
+            for key in KEYS:
+                payload = store.get(key)
+                if payload is not None and payload["key"] != key:
+                    error_queue.put(f"reader: wrong payload under {key}")
+                    return
+    except Exception as error:  # pragma: no cover - the assertion target
+        error_queue.put(f"reader: {type(error).__name__}: {error}")
+
+
+def _hammer_pruner(root, rounds, error_queue):
+    """Evict aggressively while the others churn."""
+    try:
+        store = ResultStore(root, max_bytes=1024)
+        for __ in range(rounds):
+            store.evict()
+    except Exception as error:  # pragma: no cover - the assertion target
+        error_queue.put(f"pruner: {type(error).__name__}: {error}")
+
+
+def _spawn_all(targets):
+    context = multiprocessing.get_context()
+    errors = context.Queue()
+    processes = [
+        context.Process(target=fn, args=(*args, errors), daemon=True)
+        for fn, args in targets
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=120)
+    failures = []
+    while not errors.empty():
+        failures.append(errors.get())
+    return processes, failures
+
+
+class TestConcurrentAccess:
+    def test_writers_readers_and_pruner_coexist(self, tmp_path):
+        root = str(tmp_path)
+        ResultStore(root).put(KEYS[0], {"key": KEYS[0], "seed": True})
+        processes, failures = _spawn_all([
+            (_hammer_writer, (root, 1, 30)),
+            (_hammer_writer, (root, 2, 30)),
+            (_hammer_reader, (root, 60)),
+            (_hammer_pruner, (root, 120)),
+        ])
+        assert failures == []
+        assert all(process.exitcode == 0 for process in processes)
+        # Atomic replace means no partially-written temp files survive.
+        assert list(tmp_path.rglob("*.tmp")) == []
+        # Whatever survived the churn still round-trips.
+        store = ResultStore(root)
+        for key in KEYS:
+            payload = store.get(key)
+            assert payload is None or payload["key"] == key
+
+    def test_prune_racing_a_reader_never_corrupts(self, tmp_path):
+        root = str(tmp_path)
+        store = ResultStore(root)
+        for key in KEYS:
+            store.put(key, {"key": key, "pad": "y" * 128})
+        processes, failures = _spawn_all([
+            (_hammer_reader, (root, 200)),
+            (_hammer_pruner, (root, 200)),
+        ])
+        assert failures == []
+        assert all(process.exitcode == 0 for process in processes)
+
+    def test_eviction_keeps_the_newest_entry(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=512)
+        last = None
+        for index, key in enumerate(KEYS):
+            path = store.put(key, {"key": key, "pad": "z" * 200})
+            stamp = 1_600_000_000 + index
+            os.utime(path, (stamp, stamp))
+            last = key
+        store.evict()
+        assert store.contains(last)
