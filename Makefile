@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke clean-cache
+.PHONY: test test-fast bench bench-smoke service-smoke clean-cache
 
 ## Tier-1 verification: the full test suite.
 test:
@@ -20,6 +20,13 @@ bench:
 ## sweep is not >= 3x faster than cold.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_runner.py
+
+## Service load smoke: zipf-skewed concurrent clients against a
+## fresh server; writes BENCH_service.json at the repo root and
+## fails on any 5xx, a zero coalesce rate, warm p50 < 5x cold, or
+## an unclean drain.
+service-smoke:
+	$(PYTHON) benchmarks/bench_service.py --smoke
 
 ## Drop both cache tiers of the default store.
 clean-cache:

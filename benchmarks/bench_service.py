@@ -1,0 +1,348 @@
+"""Load generator and benchmark for the analysis service.
+
+Hosts the full service stack (:class:`repro.service.BackgroundServer`)
+and drives it with concurrent blocking clients whose job popularity is
+zipf-skewed — a few hot jobs dominate, a long tail stays cold — which
+is exactly the distribution request coalescing and the warm tier are
+built for.  Three phases:
+
+* **burst** — every client simultaneously requests the same cold job:
+  the single-flight guarantee means one computation serves them all
+  (this is what pins the coalesce rate above zero even in the smoke);
+* **mixed** — each client issues a stream of zipf-sampled requests:
+  head jobs go warm almost immediately, tail jobs trickle in cold;
+* **warm sweep** — every catalogue job once more, all answered from
+  the memo/store without touching the pool.
+
+The report (``BENCH_service.json``) records throughput, p50/p99
+latency split by how the request was served, the coalesce and shed
+rates, and the server-side counter reconciliation proving warm and
+coalesced requests never reached the pool (``pool_jobs`` equals the
+number of distinct computations).  The run ends with a drain
+(:meth:`BackgroundServer.stop`) and records that it exited cleanly.
+
+CI smoke::
+
+    python benchmarks/bench_service.py --smoke
+
+exits non-zero if any request got a 5xx, the coalesce rate was zero,
+or the warm path failed the acceptance bar (warm p50 at least 5x
+better than cold p50).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.runner import ExperimentConfig, ResultStore, TraceStore
+from repro.service import (
+    BackgroundServer,
+    BrokerConfig,
+    ServiceClient,
+    ServiceError,
+)
+
+#: Default load shape (the smoke shrinks all of these).
+CLIENTS = 6
+REQUESTS_PER_CLIENT = 20
+BUDGET = 6_000
+ZIPF_ALPHA = 1.2
+
+#: Workloads the catalogue cycles through (cheap, diverse kinds).
+CATALOG_WORKLOADS = ("com", "go", "ijp")
+
+
+def build_catalog(budget: int, entries: int) -> list[tuple[str, dict]]:
+    """``entries`` distinct (workload, config-dict) jobs.
+
+    Configs vary the analysis knobs, not the budget, so every job of
+    one workload shares a trace — batching then collapses concurrent
+    cold tail jobs into single simulations.
+    """
+    variants = (
+        {},
+        {"predictors": ["last"], "trees_for": []},
+        {"predictors": ["stride"], "trees_for": []},
+        {"predictors": ["context"], "gen_cap": 32},
+        {"predictors": ["last", "stride"], "trees_for": []},
+        {"gen_cap": 16},
+    )
+    catalog = []
+    for rank in range(entries):
+        name = CATALOG_WORKLOADS[rank % len(CATALOG_WORKLOADS)]
+        config = dict(variants[rank % len(variants)])
+        config["max_instructions"] = budget
+        catalog.append((name, config))
+    return catalog
+
+
+def zipf_weights(entries: int, alpha: float = ZIPF_ALPHA) -> list[float]:
+    return [1.0 / (rank + 1) ** alpha for rank in range(entries)]
+
+
+class LoadStats:
+    """Thread-safe accumulator of per-request outcomes."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.latencies: dict[str, list[float]] = {}
+        self.errors: list[str] = []
+        self.http_5xx = 0
+
+    def record(self, status: str, seconds: float) -> None:
+        with self.lock:
+            self.latencies.setdefault(status, []).append(seconds)
+
+    def record_error(self, error: Exception) -> None:
+        with self.lock:
+            self.errors.append(f"{type(error).__name__}: {error}")
+            status = getattr(error, "status",
+                             getattr(error, "last_status", None))
+            if status is not None and status >= 500:
+                self.http_5xx += 1
+
+    def all_latencies(self) -> list[float]:
+        return [value for values in self.latencies.values()
+                for value in values]
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _timed_analyze(client: ServiceClient, stats: LoadStats,
+                   name: str, config: dict) -> None:
+    start = time.perf_counter()
+    try:
+        response = client.analyze(name, config)
+    except ServiceError as error:
+        stats.record_error(error)
+    else:
+        stats.record(response["status"], time.perf_counter() - start)
+
+
+def run_load(port: int, catalog, clients: int, requests_each: int,
+             stats: LoadStats) -> float:
+    """Burst + mixed phases; returns the load's wall-clock seconds."""
+    weights = zipf_weights(len(catalog))
+    barrier = threading.Barrier(clients)
+    hot_name, hot_config = catalog[0]
+
+    def worker(index: int) -> None:
+        rng = random.Random(1000 + index)
+        client = ServiceClient(port=port, retries=2, timeout=300.0)
+        # Burst: everyone hits the cold zipf-head job at once.
+        barrier.wait()
+        _timed_analyze(client, stats, hot_name, hot_config)
+        # Mixed: zipf-sampled stream.
+        for __ in range(requests_each):
+            name, config = rng.choices(catalog, weights=weights)[0]
+            _timed_analyze(client, stats, name, config)
+
+    threads = [threading.Thread(target=worker, args=(index,))
+               for index in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start
+
+
+def warm_sweep(port: int, catalog, stats: LoadStats) -> None:
+    client = ServiceClient(port=port, retries=2, timeout=300.0)
+    for name, config in catalog:
+        _timed_analyze(client, stats, name, config)
+
+
+def parse_counters(metrics_text: str) -> dict[str, float]:
+    counters = {}
+    for line in metrics_text.splitlines():
+        if line.startswith("repro_service_") and " " in line:
+            name, value = line.rsplit(" ", 1)
+            try:
+                counters[name] = float(value)
+            except ValueError:
+                pass
+    return counters
+
+
+def smoke(clients: int = CLIENTS,
+          requests_each: int = REQUESTS_PER_CLIENT,
+          budget: int = BUDGET, catalog_size: int = 12,
+          output_path=None) -> dict:
+    """One full load run against a fresh server; writes the report."""
+    catalog = build_catalog(budget, catalog_size)
+    stats = LoadStats()
+    scratch = tempfile.TemporaryDirectory(prefix="repro-bench-service-")
+    server = BackgroundServer(
+        store=ResultStore(scratch.name),
+        trace_store=TraceStore(scratch.name),
+        broker_config=BrokerConfig(workers=2, batch_window=0.02),
+    ).start()
+    try:
+        load_wall = run_load(server.port, catalog, clients,
+                             requests_each, stats)
+        warm_sweep(server.port, catalog, stats)
+        counters = parse_counters(
+            ServiceClient(port=server.port, retries=2).metrics()
+        )
+    finally:
+        exit_code = server.stop()
+        scratch.cleanup()
+
+    total = len(stats.all_latencies()) + len(stats.errors)
+    cold = stats.latencies.get("computed", [])
+    warm = (stats.latencies.get("warm", [])
+            + stats.latencies.get("coalesced", []))
+    warm_only = stats.latencies.get("warm", [])
+    requests_seen = counters.get("repro_service_requests_total", 0)
+    coalesced = counters.get("repro_service_coalesced_total", 0)
+    shed = counters.get("repro_service_shed_total", 0)
+    pool_jobs = counters.get("repro_service_batch_jobs_total", 0)
+
+    cold_p50 = percentile(cold, 0.50)
+    warm_p50 = percentile(warm_only, 0.50)
+    report = {
+        "benchmark": "zipf-skewed concurrent load against repro serve",
+        "clients": clients,
+        "requests_per_client": requests_each + 1,
+        "catalog_jobs": len(catalog),
+        "budget": budget,
+        "requests": {
+            "total": total,
+            "by_status": {status: len(values)
+                          for status, values in stats.latencies.items()},
+            "errors": len(stats.errors),
+            "http_5xx": stats.http_5xx,
+        },
+        "throughput_rps": round(
+            (total - len(catalog)) / load_wall, 2
+        ) if load_wall else 0.0,
+        "latency_seconds": {
+            "overall": {
+                "p50": round(percentile(stats.all_latencies(), 0.50), 4),
+                "p99": round(percentile(stats.all_latencies(), 0.99), 4),
+            },
+            "cold_p50": round(cold_p50, 4),
+            "cold_p99": round(percentile(cold, 0.99), 4),
+            "warm_p50": round(warm_p50, 4),
+            "warm_p99": round(percentile(warm_only, 0.99), 4),
+            "warm_speedup_p50": round(cold_p50 / warm_p50, 2)
+            if warm_p50 else None,
+        },
+        "coalesce_rate": round(coalesced / requests_seen, 4)
+        if requests_seen else 0.0,
+        "shed_rate": round(shed / requests_seen, 4)
+        if requests_seen else 0.0,
+        "pool_jobs": int(pool_jobs),
+        "computed": int(counters.get("repro_service_computed_total", 0)),
+        "warm_hits": int(counters.get("repro_service_warm_total", 0)),
+        "drain_exit_code": exit_code,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    if output_path is None:
+        output_path = (Path(__file__).resolve().parent.parent
+                       / "BENCH_service.json")
+    Path(output_path).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"{total} requests from {clients} client(s) over "
+          f"{len(catalog)} jobs @ {budget} instructions:")
+    print(f"  throughput     {report['throughput_rps']:>8.2f} req/s")
+    print(f"  cold p50/p99   {report['latency_seconds']['cold_p50']:>8.4f}s"
+          f" / {report['latency_seconds']['cold_p99']:.4f}s")
+    print(f"  warm p50/p99   {report['latency_seconds']['warm_p50']:>8.4f}s"
+          f" / {report['latency_seconds']['warm_p99']:.4f}s")
+    print(f"  warm speedup   "
+          f"{report['latency_seconds']['warm_speedup_p50']}x (p50)")
+    print(f"  coalesce rate  {report['coalesce_rate']:>8.2%}")
+    print(f"  shed rate      {report['shed_rate']:>8.2%}")
+    print(f"  pool jobs      {report['pool_jobs']:>8d} "
+          f"(of {int(requests_seen)} requests)")
+    print(f"  drain exit     {exit_code}")
+    if stats.errors:
+        print(f"  errors: {stats.errors[:5]}", file=sys.stderr)
+    print(f"[written to {output_path}]", file=sys.stderr)
+    return report
+
+
+def check(report: dict) -> list[str]:
+    """The acceptance bars; returns human-readable violations."""
+    problems = []
+    if report["requests"]["http_5xx"]:
+        problems.append(
+            f"{report['requests']['http_5xx']} request(s) got a 5xx"
+        )
+    if report["requests"]["errors"]:
+        problems.append(
+            f"{report['requests']['errors']} request(s) errored"
+        )
+    if report["coalesce_rate"] <= 0:
+        problems.append("coalesce rate was zero (single-flight broken?)")
+    speedup = report["latency_seconds"]["warm_speedup_p50"]
+    if speedup is None or speedup < 5.0:
+        problems.append(
+            f"warm p50 speedup {speedup}x below the 5x acceptance bar"
+        )
+    if report["pool_jobs"] > report["computed"]:
+        problems.append(
+            f"pool ran {report['pool_jobs']} job(s) for only "
+            f"{report['computed']} computed response(s) — warm or "
+            f"coalesced requests reached the pool"
+        )
+    if report["drain_exit_code"] != 0:
+        problems.append(
+            f"drain exited {report['drain_exit_code']}, expected 0"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small load for CI (fewer clients/requests, "
+                             "smaller budget)")
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--budget", type=int, default=None)
+    parser.add_argument("--output", default=None,
+                        help="report path (default: BENCH_service.json "
+                             "at the repo root)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        defaults = dict(clients=4, requests_each=6, budget=3_000,
+                        catalog_size=6)
+    else:
+        defaults = dict(clients=CLIENTS,
+                        requests_each=REQUESTS_PER_CLIENT,
+                        budget=BUDGET, catalog_size=12)
+    if args.clients is not None:
+        defaults["clients"] = args.clients
+    if args.requests is not None:
+        defaults["requests_each"] = args.requests
+    if args.budget is not None:
+        defaults["budget"] = args.budget
+
+    report = smoke(output_path=args.output, **defaults)
+    problems = check(report)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

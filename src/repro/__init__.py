@@ -51,7 +51,35 @@ from repro.predictors import (
 )
 from repro.workloads import SUITE, Workload, get_workload
 
-__version__ = "1.0.0"
+
+def _resolve_version() -> str:
+    """The package version, from metadata rather than a constant.
+
+    Installed (even editable) distributions answer via
+    ``importlib.metadata``; a plain ``PYTHONPATH=src`` checkout — the
+    supported no-install mode — falls back to parsing the adjacent
+    ``pyproject.toml``, so there is exactly one place the version
+    lives.
+    """
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:
+        pass
+    try:
+        import pathlib
+        import tomllib
+
+        pyproject = (pathlib.Path(__file__).resolve().parents[2]
+                     / "pyproject.toml")
+        with open(pyproject, "rb") as handle:
+            return tomllib.load(handle)["project"]["version"]
+    except (OSError, KeyError, ImportError, ValueError):
+        return "0+unknown"
+
+
+__version__ = _resolve_version()
 
 __all__ = [
     "AnalysisConfig",

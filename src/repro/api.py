@@ -50,6 +50,7 @@ from repro.runner import (
     default_chaos_plan,
     default_runner,
     set_default_runner,
+    swap_default_runner,
 )
 from repro.workloads import SUITE, Workload, get_workload
 
@@ -120,27 +121,30 @@ def configure(
 
     Returns the newly installed :class:`ExperimentRunner` (also handy
     for direct use).  Call ``repro.runner.reset_default_runner()`` to
-    fall back to the environment-derived defaults.
+    fall back to the environment-derived defaults.  Thread-safe: the
+    read-modify-install is atomic, so concurrent ``configure`` calls
+    serialise instead of silently dropping one another's settings.
     """
-    current = default_runner()
-    if cache_dir is _UNSET:
-        store, trace_store = current.store, current.trace_store
-    elif cache_dir is None:
-        store, trace_store = None, None
-    else:
-        store = ResultStore(cache_dir)
-        trace_store = TraceStore(cache_dir)
-    runner = ExperimentRunner(
-        store=store,
-        trace_store=trace_store,
-        jobs=current.jobs if jobs is _UNSET else jobs,
-        timeout=current.timeout if timeout is _UNSET else timeout,
-        retries=current.retries if retries is _UNSET else retries,
-        observe=current.obs if observe is _UNSET else observe,
-        faults=current.faults if faults is _UNSET else faults,
-    )
-    set_default_runner(runner)
-    return runner
+
+    def build(current: ExperimentRunner) -> ExperimentRunner:
+        if cache_dir is _UNSET:
+            store, trace_store = current.store, current.trace_store
+        elif cache_dir is None:
+            store, trace_store = None, None
+        else:
+            store = ResultStore(cache_dir)
+            trace_store = TraceStore(cache_dir)
+        return ExperimentRunner(
+            store=store,
+            trace_store=trace_store,
+            jobs=current.jobs if jobs is _UNSET else jobs,
+            timeout=current.timeout if timeout is _UNSET else timeout,
+            retries=current.retries if retries is _UNSET else retries,
+            observe=current.obs if observe is _UNSET else observe,
+            faults=current.faults if faults is _UNSET else faults,
+        )
+
+    return swap_default_runner(build)
 
 
 class SuiteResult(dict):

@@ -1,6 +1,6 @@
 """The unified command line: ``python -m repro <command>``.
 
-Six subcommands over one shared flag vocabulary
+Eight subcommands over one shared flag vocabulary
 (``--jobs/--scale/--cache-dir/--no-cache``):
 
 * ``report`` — regenerate the paper's tables and figures;
@@ -13,7 +13,10 @@ Six subcommands over one shared flag vocabulary
 * ``stats`` — render the profile recorded by an earlier
   ``run --profile`` (text, JSON-lines or Prometheus format);
 * ``chaos`` — run the suite under seeded fault injection and verify
-  the robustness invariants (see docs/robustness.md).
+  the robustness invariants (see docs/robustness.md);
+* ``serve`` — host the analysis service (request coalescing, batching,
+  backpressure, graceful SIGTERM drain — see docs/service.md);
+* ``query`` — ask a running service for one workload's analysis.
 
 Exit codes: :data:`EXIT_OK` (0) on success, :data:`EXIT_JOB_FAILURE`
 (1) when jobs failed, :data:`EXIT_INTERRUPTED` (3) when a run was
@@ -569,6 +572,63 @@ def cmd_chaos(parser, args) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro serve / repro query
+# ----------------------------------------------------------------------
+
+def cmd_serve(parser, args) -> int:
+    """Host the analysis service until SIGTERM/SIGINT, then drain."""
+    from repro.service import BrokerConfig, run_server
+
+    store, trace_store = _make_stores(args)
+    broker_config = BrokerConfig(
+        workers=args.workers,
+        jobs=args.jobs if args.jobs is not None else 1,
+        max_queue=args.max_queue,
+        max_wait=args.max_wait,
+        batch_window=args.batch_window,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    print(f"serving on http://{args.host}:{args.port} "
+          f"({args.workers} batch worker(s); SIGTERM drains)",
+          file=sys.stderr)
+    return run_server(host=args.host, port=args.port,
+                      broker_config=broker_config,
+                      store=store, trace_store=trace_store)
+
+
+def cmd_query(parser, args) -> int:
+    """One ``/v1/analyze`` round trip against a running service."""
+    from repro.service import (
+        RequestFailed,
+        ServiceClient,
+        ServiceUnavailable,
+    )
+
+    client = ServiceClient(host=args.host, port=args.port,
+                           timeout=args.timeout, retries=args.retries)
+    config = {"scale": args.scale,
+              "max_instructions": args.max_instructions}
+    try:
+        response = client.analyze(args.workload, config)
+    except RequestFailed as error:
+        print(f"query failed: {error}", file=sys.stderr)
+        return EXIT_JOB_FAILURE
+    except ServiceUnavailable as error:
+        print(f"service unreachable: {error}", file=sys.stderr)
+        return EXIT_JOB_FAILURE
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return EXIT_OK
+    result = response["result"]
+    print(f"{response['workload']}: served {response['status']}, "
+          f"{result['nodes']:,} node(s), {result['arcs']:,} arc(s)")
+    for kind in sorted(result.get("predictors", {})):
+        print(f"  predictor: {kind}")
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
 # Parser assembly.
 # ----------------------------------------------------------------------
 
@@ -578,6 +638,10 @@ def build_parser() -> argparse.ArgumentParser:
         description='Reproduction of "Modeling Program Predictability" '
                     "(Sazeides & Smith, ISCA 1998).",
     )
+    import repro
+
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {repro.__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser(
@@ -681,6 +745,57 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output format (default: text)")
     _add_cache_flags(stats)
     stats.set_defaults(func=cmd_stats)
+
+    serve = sub.add_parser(
+        "serve", help="host the analysis service over HTTP",
+        description="Serve repro.api over HTTP: request coalescing, "
+                    "batched execution, 429 load shedding and a "
+                    "graceful SIGTERM drain (docs/service.md).",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="bind port, 0 for ephemeral (default: 8642)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent batch executors (default: 2)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="worker processes per batch (default: 1)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="queued jobs before shedding with 429 "
+                            "(default: 64)")
+    serve.add_argument("--max-wait", type=float, default=30.0,
+                       help="estimated wait (s) before shedding "
+                            "(default: 30)")
+    serve.add_argument("--batch-window", type=float, default=0.02,
+                       help="seconds to gather a batch (default: 0.02)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock limit in seconds")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="extra attempts for a failed job (default: 1)")
+    _add_cache_flags(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    query = sub.add_parser(
+        "query", help="query a running analysis service",
+        description="POST /v1/analyze against a running "
+                    "`python -m repro serve` and print the answer.",
+    )
+    query.add_argument("workload", help="workload name (see `workloads`)")
+    query.add_argument("--host", default="127.0.0.1",
+                       help="service address (default: 127.0.0.1)")
+    query.add_argument("--port", type=int, default=8642,
+                       help="service port (default: 8642)")
+    query.add_argument("--scale", type=int, default=1,
+                       help="workload problem-size multiplier")
+    query.add_argument("--max-instructions", type=int, default=150_000,
+                       help="dynamic-instruction budget")
+    query.add_argument("--timeout", type=float, default=120.0,
+                       help="per-attempt socket timeout (default: 120)")
+    query.add_argument("--retries", type=int, default=3,
+                       help="client retry attempts (default: 3)")
+    query.add_argument("--json", action="store_true",
+                       help="print the full JSON response body")
+    query.set_defaults(func=cmd_query)
 
     return parser
 

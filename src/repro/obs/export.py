@@ -11,10 +11,15 @@ Three output forms:
   event object per line (counters, gauges, then spans in pre-order
   with an explicit ``depth``), loss-free in both directions so a
   profile can be shipped through a log pipeline and reconstructed;
-* **Prometheus-style text** (:func:`to_prometheus`) — counters and
-  gauges as ``repro_<name>`` samples, span time aggregated per span
-  name into ``repro_span_wall_seconds`` / ``repro_span_cpu_seconds`` /
-  ``repro_span_calls`` with a ``{span="..."}`` label;
+* **Prometheus text** (:func:`to_prometheus`) — valid exposition
+  format (text format 0.0.4, what ``GET /metrics`` must serve to be
+  scrapeable): counters and gauges as ``repro_<name>`` samples with
+  dots sanitised to underscores and ``# HELP``/``# TYPE`` lines per
+  family, span time aggregated per span name into
+  ``repro_span_wall_seconds`` / ``repro_span_cpu_seconds`` /
+  ``repro_span_calls`` with an escaped ``{span="..."}`` label
+  (``legacy=True`` reproduces the pre-service output: no HELP lines,
+  profile-order counters, unescaped labels);
 * **human text** (:func:`render_profile`) — the span tree with
   sibling spans of the same name aggregated, plus the counter table;
   what ``python -m repro stats`` and ``--profile`` print.
@@ -119,7 +124,30 @@ def write_jsonl(profile: dict, path, append: bool = True) -> Path:
 # ----------------------------------------------------------------------
 
 def _prom_name(name: str) -> str:
+    """Sanitise a dotted counter/gauge name into a valid metric name.
+
+    Dots (the obs namespace separator) and every other character
+    outside ``[a-zA-Z0-9_]`` become underscores; the ``repro_`` prefix
+    guarantees the result never starts with a digit.
+    """
     return "repro_" + _PROM_BAD.sub("_", name)
+
+
+def _prom_label(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _prom_value(value) -> str:
+    """Render a sample value (integers stay integral)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
 
 
 def aggregate_spans(spans, totals: dict | None = None) -> dict:
@@ -142,8 +170,55 @@ def aggregate_spans(spans, totals: dict | None = None) -> dict:
     return totals
 
 
-def to_prometheus(profile: dict) -> str:
-    """Render the profile as Prometheus text-format samples."""
+def to_prometheus(profile: dict, legacy: bool = False) -> str:
+    """Render the profile in Prometheus exposition format.
+
+    The default output is scrapeable text format 0.0.4: every metric
+    family gets one ``# HELP`` and one ``# TYPE`` line, names are
+    sanitised (dots → underscores), families are sorted, and label
+    values are escaped.  ``legacy=True`` keeps the pre-service output
+    (no HELP lines, counters in profile order, raw labels) for anything
+    that parsed the old dump line-by-line.
+    """
+    if legacy:
+        return _to_prometheus_legacy(profile)
+    lines: list[str] = []
+
+    def family(metric: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} {kind}")
+
+    for name, value in sorted(profile.get("counters", {}).items()):
+        metric = _prom_name(name) + "_total"
+        family(metric, "counter",
+               f"repro.obs counter {_prom_label(name)}.")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, value in sorted(profile.get("gauges", {}).items()):
+        metric = _prom_name(name)
+        family(metric, "gauge", f"repro.obs gauge {_prom_label(name)}.")
+        lines.append(f"{metric} {_prom_value(value)}")
+    totals = aggregate_spans(profile.get("spans", ()))
+    if totals:
+        span_families = (
+            ("repro_span_wall_seconds", "Wall-clock seconds per span name.",
+             lambda b: f"{b['wall']:.6f}"),
+            ("repro_span_cpu_seconds", "CPU seconds per span name.",
+             lambda b: f"{b['cpu']:.6f}"),
+            ("repro_span_calls", "Times each span name was entered.",
+             lambda b: str(b["calls"])),
+        )
+        for metric, help_text, render in span_families:
+            family(metric, "gauge", help_text)
+            for name, bucket in sorted(totals.items()):
+                lines.append(
+                    f'{metric}{{span="{_prom_label(name)}"}} '
+                    f"{render(bucket)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _to_prometheus_legacy(profile: dict) -> str:
+    """The pre-service dump (kept verbatim for line-oriented parsers)."""
     lines: list[str] = []
     for name, value in profile.get("counters", {}).items():
         metric = _prom_name(name) + "_total"

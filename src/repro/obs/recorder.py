@@ -25,11 +25,23 @@ Two primitives:
 :mod:`repro.obs.export` consume); :meth:`Recorder.merge` folds such a
 snapshot back in, which is how profiles recorded inside pool worker
 processes are combined into the parent's recorder.
+
+**Thread-safety** (the analysis server runs the runner from concurrent
+executor threads): counter/gauge updates, merges and snapshots are
+guarded by a per-recorder lock, and each thread keeps its *own* span
+stack — spans opened by different threads nest correctly within their
+thread and land as separate roots/children rather than corrupting one
+shared stack.  Installing/replacing the process-wide recorder
+(:func:`set_recorder`) is an atomic swap under a module lock.  The one
+caveat that remains: the current recorder is process-global, so enter
+a :func:`recording` context *before* fanning work out to threads (the
+threads then all report into it), not per-thread.
 """
 
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from dataclasses import dataclass
 
@@ -98,8 +110,13 @@ class _SpanHandle:
         span = self._span
         stack = recorder._stack
         parent = stack[-1] if stack else None
-        (parent.children if parent is not None
-         else recorder.roots).append(span)
+        if parent is not None:
+            # The parent span is open on *this* thread's stack, so its
+            # children list is only ever touched from here.
+            parent.children.append(span)
+        else:
+            with recorder._lock:
+                recorder.roots.append(span)
         stack.append(span)
         span._c0 = time.process_time()
         span._t0 = time.perf_counter()
@@ -166,7 +183,12 @@ NULL_RECORDER = NullRecorder()
 
 
 class Recorder:
-    """Live recorder: hierarchical spans plus counter/gauge registry."""
+    """Live recorder: hierarchical spans plus counter/gauge registry.
+
+    Safe to report into from multiple threads: counters/gauges/merges
+    are lock-guarded and the span stack is thread-local (each thread
+    nests its own spans; cross-thread spans become separate roots).
+    """
 
     enabled = True
 
@@ -177,7 +199,16 @@ class Recorder:
         #: total primitive calls made against this recorder; the
         #: overhead-guard test uses it to bound disabled-mode cost.
         self.calls = 0
-        self._stack: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> list[Span]:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     # Primitives.
@@ -191,13 +222,15 @@ class Recorder:
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to counter ``name`` (created at 0)."""
         self.calls += 1
-        counters = self.counters
-        counters[name] = counters.get(name, 0) + n
+        with self._lock:
+            counters = self.counters
+            counters[name] = counters.get(name, 0) + n
 
     def gauge(self, name: str, value) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
         self.calls += 1
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     # ------------------------------------------------------------------
     # Snapshots.
@@ -205,28 +238,31 @@ class Recorder:
 
     def snapshot(self) -> dict:
         """Freeze the recorded state into a JSON-safe profile dict."""
-        return {
-            "counters": dict(sorted(self.counters.items())),
-            "gauges": dict(sorted(self.gauges.items())),
-            "spans": [span.to_dict() for span in self.roots],
-        }
+        with self._lock:
+            return {
+                "counters": dict(sorted(self.counters.items())),
+                "gauges": dict(sorted(self.gauges.items())),
+                "spans": [span.to_dict() for span in self.roots],
+            }
 
     def merge(self, profile: dict) -> None:
         """Fold a profile snapshot into this recorder.
 
         Counters add, gauges overwrite, and the snapshot's span trees
-        attach under the currently open span (or as new roots) — this
-        is how worker-process profiles join the parent's timeline.
+        attach under the calling thread's currently open span (or as
+        new roots) — this is how worker-process profiles join the
+        parent's timeline.
         """
-        for name, value in profile.get("counters", {}).items():
-            self.counters[name] = self.counters.get(name, 0) + value
-        for name, value in profile.get("gauges", {}).items():
-            self.gauges[name] = value
         spans = [Span.from_dict(d) for d in profile.get("spans", ())]
-        if spans:
-            target = (self._stack[-1].children if self._stack
-                      else self.roots)
-            target.extend(spans)
+        stack = self._stack
+        with self._lock:
+            for name, value in profile.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, value in profile.get("gauges", {}).items():
+                self.gauges[name] = value
+            if spans:
+                target = stack[-1].children if stack else self.roots
+                target.extend(spans)
 
 
 # ----------------------------------------------------------------------
@@ -234,6 +270,10 @@ class Recorder:
 # ----------------------------------------------------------------------
 
 _CURRENT: Recorder | NullRecorder = NULL_RECORDER
+
+#: Guards the swap in :func:`set_recorder` so concurrent installers
+#: each see a consistent "previous" recorder to restore.
+_CURRENT_LOCK = threading.Lock()
 
 
 def get_recorder() -> Recorder | NullRecorder:
@@ -243,11 +283,14 @@ def get_recorder() -> Recorder | NullRecorder:
 
 def set_recorder(recorder: Recorder | NullRecorder | None):
     """Install ``recorder`` (None = the no-op default); returns the
-    previously installed one so callers can restore it."""
+    previously installed one so callers can restore it.  The swap is
+    atomic: two threads installing concurrently never read the same
+    "previous" recorder (which would lose one of them on restore)."""
     global _CURRENT
-    previous = _CURRENT
-    _CURRENT = recorder if recorder is not None else NULL_RECORDER
-    return previous
+    with _CURRENT_LOCK:
+        previous = _CURRENT
+        _CURRENT = recorder if recorder is not None else NULL_RECORDER
+        return previous
 
 
 class _RecordingContext:

@@ -37,6 +37,7 @@ from repro.runner.api import (
     default_trace_store,
     reset_default_runner,
     set_default_runner,
+    swap_default_runner,
 )
 from repro.runner.cache import ResultStore
 from repro.runner.faults import (
@@ -60,7 +61,14 @@ from repro.runner.job import (
 )
 from repro.runner.tracestore import TraceStore
 from repro.runner.metrics import JobMetric, RunMetrics
-from repro.runner.pool import PoolRun, Task, TaskError, TaskPool, TaskResult
+from repro.runner.pool import (
+    PoolRun,
+    Task,
+    TaskError,
+    TaskPool,
+    TaskResult,
+    backoff_delay,
+)
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -84,6 +92,7 @@ __all__ = [
     "TaskError",
     "TaskPool",
     "TaskResult",
+    "backoff_delay",
     "default_chaos_plan",
     "default_runner",
     "default_store",
@@ -94,5 +103,6 @@ __all__ = [
     "reset_default_runner",
     "set_default_runner",
     "set_fault_plan",
+    "swap_default_runner",
     "trace_key",
 ]

@@ -40,6 +40,7 @@ from __future__ import annotations
 import logging
 import os
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from itertools import islice
@@ -984,6 +985,11 @@ class ExperimentRunner:
 
 _DEFAULT_RUNNER: ExperimentRunner | None = None
 
+#: Guards the lazy construction/replacement of the shared runner —
+#: concurrent first callers (server threads) must agree on one
+#: instance rather than each building (and caching into) their own.
+_DEFAULT_RUNNER_LOCK = threading.RLock()
+
 
 def default_store() -> ResultStore | None:
     """The store the default runner uses, honouring the environment."""
@@ -1002,15 +1008,20 @@ def default_trace_store() -> TraceStore | None:
 
 
 def default_runner() -> ExperimentRunner:
-    """The process-wide runner every consumer shares."""
+    """The process-wide runner every consumer shares.
+
+    Thread-safe: concurrent first callers race to construct, but all
+    of them leave with the *same* instance.
+    """
     global _DEFAULT_RUNNER
-    if _DEFAULT_RUNNER is None:
-        _DEFAULT_RUNNER = ExperimentRunner(
-            store=default_store(),
-            trace_store=default_trace_store(),
-            jobs=int(os.environ.get("REPRO_JOBS", "1")),
-        )
-    return _DEFAULT_RUNNER
+    with _DEFAULT_RUNNER_LOCK:
+        if _DEFAULT_RUNNER is None:
+            _DEFAULT_RUNNER = ExperimentRunner(
+                store=default_store(),
+                trace_store=default_trace_store(),
+                jobs=int(os.environ.get("REPRO_JOBS", "1")),
+            )
+        return _DEFAULT_RUNNER
 
 
 def set_default_runner(runner: ExperimentRunner | None) -> None:
@@ -1019,7 +1030,22 @@ def set_default_runner(runner: ExperimentRunner | None) -> None:
     :func:`repro.api.configure` swaps cache/observation settings in
     without environment-variable side channels."""
     global _DEFAULT_RUNNER
-    _DEFAULT_RUNNER = runner
+    with _DEFAULT_RUNNER_LOCK:
+        _DEFAULT_RUNNER = runner
+
+
+def swap_default_runner(make) -> ExperimentRunner:
+    """Atomically replace the default runner.
+
+    ``make(current)`` builds the replacement while the lock is held,
+    so concurrent ``repro.api.configure`` calls serialise instead of
+    both deriving from the same "current" and losing one update.
+    """
+    global _DEFAULT_RUNNER
+    with _DEFAULT_RUNNER_LOCK:
+        runner = make(default_runner())
+        _DEFAULT_RUNNER = runner
+        return runner
 
 
 def reset_default_runner() -> None:

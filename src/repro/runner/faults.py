@@ -25,6 +25,8 @@ site                      effect when it fires
 ``worker.hang``           the next worker sleeps far past any timeout
 ``worker.slow``           the next worker sleeps ``delay`` seconds first
 ``pool.spawn``            the pool fails to spawn a worker process
+``service.accept``        the analysis server drops a fresh connection
+``service.handler``       the analysis server 500s an otherwise-fine request
 ========================  ====================================================
 
 Firing is **deterministic**: each site draws from its own

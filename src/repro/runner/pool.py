@@ -67,6 +67,19 @@ from repro.runner.faults import get_fault_plan, set_fault_plan
 
 _log = logging.getLogger(__name__)
 
+def backoff_delay(attempt: int, base: float, cap: float,
+                  rng: random.Random) -> float:
+    """Exponential backoff with full jitter, shared retry policy.
+
+    The delay before attempt ``attempt + 1``: ``base * 2^(attempt-1)``
+    capped at ``cap``, plus a uniform jitter of up to the same again.
+    Used by the pool between task attempts and by the service client
+    between HTTP retries (see docs/service.md).
+    """
+    deterministic = min(cap, base * (2 ** (attempt - 1)))
+    return deterministic + rng.uniform(0.0, deterministic)
+
+
 #: TaskError.kind values (see also repro.errors.FAILURE_KINDS).
 KIND_ERROR = "error"      #: the task function raised
 KIND_CRASH = "crash"      #: the worker process died without reporting
@@ -410,9 +423,8 @@ class TaskPool:
 
     def _backoff(self, attempt: int) -> float:
         """Retry delay before attempt ``attempt + 1`` (full jitter)."""
-        base = min(self.backoff_cap,
-                   self.backoff_base * (2 ** (attempt - 1)))
-        return base + self._rng.uniform(0.0, base)
+        return backoff_delay(attempt, self.backoff_base,
+                             self.backoff_cap, self._rng)
 
     def _settle(self, task, attempt, started, status, value, outcomes,
                 pending) -> None:

@@ -1,0 +1,65 @@
+"""repro.service — the analysis server and its client.
+
+``repro.api`` over the wire: a stdlib-only asyncio HTTP server
+(``python -m repro serve``) whose request broker coalesces identical
+in-flight requests, batches cold work onto the experiment runner,
+sheds load with HTTP 429 when saturated, and drains gracefully on
+SIGTERM.  See docs/service.md for the architecture, the endpoint
+contract and the operational story; ``benchmarks/bench_service.py``
+measures it.
+
+Layering: protocol (wire format) → broker (scheduling) → server
+(HTTP) / client (blocking caller side).  The broker reuses the
+runner's stores, journal and fault plumbing — the service adds no
+second cache or execution path.
+"""
+
+from repro.service.broker import (
+    AnalysisBroker,
+    BrokerClosed,
+    BrokerConfig,
+    JobError,
+    Overloaded,
+)
+from repro.service.client import (
+    RequestFailed,
+    ServiceClient,
+    ServiceError,
+    ServiceResponse,
+    ServiceUnavailable,
+)
+from repro.service.protocol import (
+    ProtocolError,
+    config_from_dict,
+    config_to_dict,
+    parse_analyze_request,
+    parse_sweep_request,
+)
+from repro.service.server import (
+    BackgroundServer,
+    MAX_BODY,
+    ServiceServer,
+    run_server,
+)
+
+__all__ = [
+    "AnalysisBroker",
+    "BackgroundServer",
+    "BrokerClosed",
+    "BrokerConfig",
+    "JobError",
+    "MAX_BODY",
+    "Overloaded",
+    "ProtocolError",
+    "RequestFailed",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceResponse",
+    "ServiceServer",
+    "ServiceUnavailable",
+    "config_from_dict",
+    "config_to_dict",
+    "parse_analyze_request",
+    "parse_sweep_request",
+    "run_server",
+]

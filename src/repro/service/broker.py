@@ -1,0 +1,423 @@
+"""The request broker: coalescing, batching, backpressure, drain.
+
+The broker sits between the HTTP layer and the experiment runner and
+enforces the service's three invariants (docs/service.md):
+
+* **warm requests never touch the pool** — a job whose result is in
+  the broker memo or the disk store is answered directly, the only
+  thread hop being the store read;
+* **identical in-flight requests run once** — cold submissions are
+  keyed by :func:`repro.runner.job_key` and coalesced onto a single
+  future (single-flight), so a stampede of equal requests costs one
+  computation;
+* **the event loop never blocks** — cold jobs queue, a dispatcher
+  gathers everything that arrives within ``batch_window`` into one
+  batch, and each batch runs on an executor thread through a fresh
+  :class:`~repro.runner.ExperimentRunner` (the runner is not
+  thread-safe; the *stores* are shared and safe).  Batching matters:
+  the runner's sweep path groups batch jobs by execution identity, so
+  N configs of one workload cost one simulation
+  (:func:`repro.core.analyze_many` fan-out).
+
+Admission is bounded: when the queue is full or the EWMA-estimated
+wait exceeds ``max_wait``, :meth:`AnalysisBroker.submit` raises
+:exc:`Overloaded` carrying a ``retry_after`` hint, which the server
+turns into HTTP 429.  :meth:`AnalysisBroker.drain` stops admission,
+finishes every admitted job (each batch journals through the runner)
+and only then returns — the graceful-shutdown half of the contract.
+
+Concurrent batches sharing one store root race for the run journal's
+lock; the loser degrades to running without checkpointing (a logged
+warning, not an error) — see docs/robustness.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import logging
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.export import result_to_dict
+from repro.obs import get_recorder
+from repro.runner import (
+    ExperimentConfig,
+    ExperimentRunner,
+    Job,
+    ResultStore,
+    TraceStore,
+    job_key,
+)
+
+__all__ = [
+    "AnalysisBroker",
+    "BrokerClosed",
+    "BrokerConfig",
+    "JobError",
+    "Overloaded",
+    "STATUS_COALESCED",
+    "STATUS_COMPUTED",
+    "STATUS_WARM",
+]
+
+_log = logging.getLogger(__name__)
+
+#: How a submission was served (the ``status`` half of ``submit``'s
+#: return value; also echoed to clients in the response body).
+STATUS_WARM = "warm"            #: memo/store hit, no pool involved
+STATUS_COALESCED = "coalesced"  #: joined an identical in-flight job
+STATUS_COMPUTED = "computed"    #: queued, batched and executed
+
+
+class Overloaded(Exception):
+    """Admission refused: the queue is full or the wait too long.
+
+    ``retry_after`` is the server's backoff hint in seconds (the
+    ``Retry-After`` header of the resulting HTTP 429).
+    """
+
+    def __init__(self, retry_after: float, reason: str):
+        super().__init__(reason)
+        self.retry_after = max(1, round(retry_after))
+
+
+class BrokerClosed(RuntimeError):
+    """Submission after drain began (HTTP 503 at the server)."""
+
+
+class JobError(RuntimeError):
+    """An admitted job ran and failed; carries the runner's failure.
+
+    ``detail`` is JSON-safe (workload, error text, kind, attempts,
+    timed_out) and goes into the HTTP 500 body verbatim.
+    """
+
+    def __init__(self, detail: dict):
+        super().__init__(detail.get("error", "job failed"))
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Tuning knobs of one :class:`AnalysisBroker`.
+
+    Attributes:
+        workers: concurrent batches (executor threads); each batch may
+            itself fan out over ``jobs`` runner processes.
+        jobs: worker-process count each batch's runner uses.
+        max_queue: admission bound — queued (not yet dispatched) jobs
+            beyond this are shed with :exc:`Overloaded`.
+        max_wait: admission bound — estimated seconds until a new job
+            would finish, beyond which it is shed.
+        batch_window: seconds the dispatcher waits after the first
+            queued job for stragglers to join the batch.
+        memo_entries: broker-level LRU of decoded result payloads (the
+            warmest tier, above the disk store).
+        timeout: per-job wall-clock limit handed to the runner.
+        retries: extra attempts for failed jobs (parallel runs).
+    """
+
+    workers: int = 2
+    jobs: int = 1
+    max_queue: int = 64
+    max_wait: float = 30.0
+    batch_window: float = 0.02
+    memo_entries: int = 1024
+    timeout: float | None = None
+    retries: int = 1
+
+
+@dataclass
+class _Pending:
+    """One admitted cold job waiting for its batch."""
+
+    key: str
+    name: str
+    config: ExperimentConfig
+    future: asyncio.Future
+
+
+class AnalysisBroker:
+    """Single-flight, batching, backpressured front of the runner.
+
+    Args:
+        store: shared :class:`~repro.runner.ResultStore` (or None for
+            memo-only operation — every cold job recomputes).
+        trace_store: shared :class:`~repro.runner.TraceStore` for the
+            execution tier (or None to simulate on every miss).
+        config: a :class:`BrokerConfig`.
+        batch_runner: test seam — a callable ``(pairs) -> outcomes``
+            run on the executor, where ``pairs`` is a list of
+            ``(name, config)`` and each outcome is a payload dict or
+            an Exception.  Default: :meth:`_run_batch_in_thread`.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        trace_store: TraceStore | None = None,
+        config: BrokerConfig | None = None,
+        batch_runner=None,
+    ):
+        self._store = store
+        self._trace_store = trace_store
+        self.config = config or BrokerConfig()
+        self._batch_runner = batch_runner or self._run_batch_in_thread
+        self._memo: OrderedDict[str, dict] = OrderedDict()
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._queue: deque[_Pending] = deque()
+        self._batches: set[asyncio.Task] = set()
+        self._wake = asyncio.Event()
+        self._slots = asyncio.Semaphore(max(1, self.config.workers))
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, self.config.workers),
+            thread_name_prefix="repro-batch",
+        )
+        self._dispatcher: asyncio.Task | None = None
+        self._closed = False
+        #: EWMA of per-job batch latency, seeding the admission
+        #: estimate before the first batch lands.
+        self._job_seconds = 0.5
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the dispatcher (must run inside the event loop)."""
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.create_task(
+                self._dispatch_loop(), name="repro-broker-dispatch"
+            )
+
+    @property
+    def draining(self) -> bool:
+        return self._closed
+
+    def stats(self) -> dict:
+        """Point-in-time load view (the ``/readyz`` body)."""
+        return {
+            "queue_depth": len(self._queue),
+            "inflight": len(self._inflight),
+            "batches": len(self._batches),
+            "memo_entries": len(self._memo),
+            "draining": self._closed,
+            "est_job_seconds": round(self._job_seconds, 4),
+        }
+
+    async def drain(self) -> None:
+        """Stop admission, finish every admitted job, then return.
+
+        Idempotent.  Queued jobs still execute — their clients were
+        admitted and are awaiting futures; "drain" means no *new*
+        work, not dropped work.
+        """
+        self._closed = True
+        self._wake.set()
+        while self._inflight or self._queue or self._batches:
+            waits = list(self._inflight.values()) + list(self._batches)
+            if waits:
+                await asyncio.gather(*waits, return_exceptions=True)
+            # Let done-callbacks (inflight cleanup, batch discard) run.
+            await asyncio.sleep(0)
+            self._wake.set()
+        if self._dispatcher is not None:
+            self._wake.set()
+            await self._dispatcher
+            self._dispatcher = None
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Submission.
+    # ------------------------------------------------------------------
+
+    async def submit(self, name: str,
+                     config: ExperimentConfig | None = None,
+                     ) -> tuple[dict, str]:
+        """Resolve one job: ``(payload, status)``.
+
+        ``payload`` is the JSON-safe result dict
+        (:func:`repro.core.export.result_to_dict` shape); ``status``
+        is one of :data:`STATUS_WARM` / :data:`STATUS_COALESCED` /
+        :data:`STATUS_COMPUTED`.  Raises :exc:`Overloaded`,
+        :exc:`BrokerClosed` or :exc:`JobError`.
+        """
+        recorder = get_recorder()
+        recorder.count("service.requests", 1)
+        if self._closed:
+            raise BrokerClosed("broker is draining")
+        config = config or ExperimentConfig()
+        key = await asyncio.to_thread(job_key, Job(name, config))
+
+        payload = await self._resolve_warm(key)
+        if payload is not None:
+            recorder.count("service.warm", 1)
+            return payload, STATUS_WARM
+
+        # Coalesce onto an identical in-flight job.  Checked *after*
+        # the warm path's awaits so two racing cold submissions cannot
+        # both miss it; no await point between here and registration.
+        existing = self._inflight.get(key)
+        if existing is not None:
+            recorder.count("service.coalesced", 1)
+            payload = await asyncio.shield(existing)
+            return payload, STATUS_COALESCED
+
+        if self._closed:
+            raise BrokerClosed("broker is draining")
+        self._check_admission(recorder)
+
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        future.add_done_callback(
+            lambda fut, key=key: self._inflight.pop(key, None)
+        )
+        self._queue.append(_Pending(key, name, config, future))
+        recorder.gauge("service.queue_depth", len(self._queue))
+        self._wake.set()
+        payload = await asyncio.shield(future)
+        recorder.count("service.computed", 1)
+        return payload, STATUS_COMPUTED
+
+    async def _resolve_warm(self, key: str) -> dict | None:
+        """Memo then disk store; never touches the queue or pool."""
+        payload = self._memo.get(key)
+        if payload is not None:
+            self._memo.move_to_end(key)
+            return payload
+        if self._store is None:
+            return None
+        payload = await asyncio.to_thread(self._store.get, key)
+        if payload is not None:
+            self._memo_put(key, payload)
+        return payload
+
+    def _memo_put(self, key: str, payload: dict) -> None:
+        self._memo[key] = payload
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.config.memo_entries:
+            self._memo.popitem(last=False)
+
+    def _check_admission(self, recorder) -> None:
+        """Shed when the queue is full or the estimated wait too long."""
+        depth = len(self._queue)
+        estimate = ((depth + 1) * self._job_seconds
+                    / max(1, self.config.workers))
+        if depth >= self.config.max_queue:
+            recorder.count("service.shed", 1)
+            raise Overloaded(
+                estimate,
+                f"queue full ({depth} >= {self.config.max_queue})",
+            )
+        if estimate > self.config.max_wait:
+            recorder.count("service.shed", 1)
+            raise Overloaded(
+                estimate,
+                f"estimated wait {estimate:.1f}s exceeds "
+                f"{self.config.max_wait:.1f}s",
+            )
+
+    # ------------------------------------------------------------------
+    # Dispatch.
+    # ------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            if not self._queue:
+                if self._closed:
+                    return
+                continue
+            if self.config.batch_window > 0 and not self._closed:
+                # Let a burst of submissions join this batch; the
+                # runner turns same-workload members into one
+                # simulation, so a wider batch is a cheaper batch.
+                await asyncio.sleep(self.config.batch_window)
+            entries = list(self._queue)
+            self._queue.clear()
+            get_recorder().gauge("service.queue_depth", 0)
+            await self._slots.acquire()
+            task = asyncio.create_task(self._execute_batch(entries))
+            self._batches.add(task)
+            task.add_done_callback(self._batches.discard)
+            if self._queue:
+                self._wake.set()
+
+    async def _execute_batch(self, entries: list[_Pending]) -> None:
+        recorder = get_recorder()
+        recorder.count("service.batches", 1)
+        recorder.count("service.batch_jobs", len(entries))
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        pairs = [(entry.name, entry.config) for entry in entries]
+        try:
+            outcomes = await loop.run_in_executor(
+                self._executor, self._batch_runner, pairs
+            )
+        except Exception as error:  # noqa: BLE001 — resolve, don't leak
+            _log.exception("service batch failed outright")
+            for entry in entries:
+                if not entry.future.done():
+                    entry.future.set_exception(JobError({
+                        "workload": entry.name,
+                        "error": f"{type(error).__name__}: {error}",
+                        "kind": "error",
+                    }))
+            return
+        finally:
+            self._slots.release()
+            per_job = (loop.time() - start) / max(1, len(entries))
+            self._job_seconds = 0.7 * self._job_seconds + 0.3 * per_job
+        for entry, outcome in zip(entries, outcomes):
+            if entry.future.done():
+                continue
+            if isinstance(outcome, Exception):
+                entry.future.set_exception(outcome)
+            else:
+                self._memo_put(entry.key, outcome)
+                entry.future.set_result(outcome)
+
+    def _run_batch_in_thread(self, pairs) -> list:
+        """Executor-side batch execution (no event-loop state here).
+
+        A fresh :class:`ExperimentRunner` per batch: the runner keeps
+        run-scoped state and documents itself as not thread-safe, but
+        the stores it shares with every other batch are multi-writer
+        safe (atomic replace).  Per-pair configs pin ``workloads`` to
+        the one requested name so ``run_many`` sees exactly the
+        batch's jobs and can group same-execution members.
+        """
+        runner = ExperimentRunner(
+            store=self._store,
+            trace_store=self._trace_store,
+            jobs=self.config.jobs,
+            timeout=self.config.timeout,
+            retries=self.config.retries,
+        )
+        configs = [
+            dataclasses.replace(config, workloads=(name,))
+            for name, config in pairs
+        ]
+        runs = runner.run_many(configs, jobs=self.config.jobs)
+        outcomes: list = []
+        for (name, __), run in zip(pairs, runs):
+            result = run.results.get(name)
+            if result is not None:
+                outcomes.append(result_to_dict(result))
+                continue
+            failure = run.failures.get(name)
+            detail = {"workload": name, "error": "job produced no result",
+                      "kind": "error"}
+            if failure is not None:
+                detail = {
+                    "workload": name,
+                    "error": failure.error,
+                    "kind": failure.kind,
+                    "attempts": failure.attempts,
+                    "timed_out": failure.timed_out,
+                }
+            outcomes.append(JobError(detail))
+        return outcomes

@@ -1,0 +1,228 @@
+"""Blocking client for the analysis service (stdlib ``http.client``).
+
+The client owns the retry story so callers do not have to: transport
+errors (connection refused/reset — e.g. a ``service.accept`` fault or
+a restarting server), HTTP 5xx and HTTP 429 are retried with the same
+full-jitter exponential backoff the pool uses between task attempts
+(:func:`repro.runner.backoff_delay`); a 429's ``Retry-After`` hint is
+honoured when it is larger than the computed delay.  4xx other than
+429 are *not* retried — the request itself is wrong, and repeating it
+cannot help.
+
+Each request opens a fresh connection: reconnect-per-attempt is what
+makes retrying through a flapping server safe, and the service's cost
+profile is dominated by analysis, not TCP handshakes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import logging
+import random
+import socket
+import time
+from dataclasses import dataclass
+
+from repro.runner import backoff_delay
+
+__all__ = [
+    "RequestFailed",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceResponse",
+    "ServiceUnavailable",
+]
+
+_log = logging.getLogger(__name__)
+
+#: HTTP statuses worth retrying (the server may recover).
+_RETRY_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+
+class ServiceError(Exception):
+    """Base of everything the client raises."""
+
+
+class ServiceUnavailable(ServiceError):
+    """Retries exhausted without a non-retryable answer.
+
+    ``last_error`` is the final transport exception (or None when the
+    last attempt reached the server and got a retryable status, in
+    which case ``last_status`` is set).
+    """
+
+    def __init__(self, message: str, last_error=None,
+                 last_status: int | None = None, attempts: int = 0):
+        super().__init__(message)
+        self.last_error = last_error
+        self.last_status = last_status
+        self.attempts = attempts
+
+
+class RequestFailed(ServiceError):
+    """The server answered with a non-retryable error status.
+
+    ``status`` is the HTTP status, ``payload`` the decoded JSON body
+    (``{"error": ...}`` shape, possibly with a ``detail`` object).
+    """
+
+    def __init__(self, status: int, payload):
+        if isinstance(payload, dict) and payload.get("error"):
+            message = f"HTTP {status}: {payload['error']}"
+        else:
+            message = f"HTTP {status}"
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One successful exchange: decoded body plus transport facts."""
+
+    status: int
+    payload: object
+    attempts: int
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client with retry/backoff.
+
+    Args:
+        host, port: where the service listens.
+        timeout: per-attempt socket timeout in seconds.
+        retries: extra attempts after the first (so ``retries=3`` is
+            at most four requests on the wire).
+        backoff_base, backoff_cap: the :func:`repro.runner.backoff_delay`
+            parameters.
+        rng, sleep: injection seams for deterministic tests.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 60.0, retries: int = 3,
+                 backoff_base: float = 0.05, backoff_cap: float = 2.0,
+                 rng: random.Random | None = None, sleep=None):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng or random.Random()
+        self._sleep = sleep if sleep is not None else time.sleep
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+
+    def _attempt(self, method: str, path: str, body: bytes | None):
+        """One request on a fresh connection: ``(status, headers, raw)``."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            headers = {"Accept": "application/json",
+                       "Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            return response.status, dict(response.getheaders()), raw
+        finally:
+            conn.close()
+
+    def request(self, method: str, path: str,
+                payload=None) -> ServiceResponse:
+        """Send one logical request, retrying per the policy above."""
+        body = (json.dumps(payload).encode()
+                if payload is not None else None)
+        last_error: Exception | None = None
+        last_status: int | None = None
+        attempts = 0
+        for attempt in range(1, self.retries + 2):
+            attempts = attempt
+            retry_after = 0.0
+            try:
+                status, headers, raw = self._attempt(method, path, body)
+            except (OSError, http.client.HTTPException,
+                    socket.timeout) as error:
+                last_error, last_status = error, None
+            else:
+                decoded = self._decode(raw)
+                if status < 400:
+                    return ServiceResponse(status=status, payload=decoded,
+                                           attempts=attempt)
+                if status not in _RETRY_STATUSES:
+                    raise RequestFailed(status, decoded)
+                last_error, last_status = None, status
+                try:
+                    retry_after = float(headers.get("Retry-After", 0))
+                except (TypeError, ValueError):
+                    retry_after = 0.0
+            if attempt <= self.retries:
+                delay = max(
+                    backoff_delay(attempt, self.backoff_base,
+                                  self.backoff_cap, self._rng),
+                    retry_after,
+                )
+                _log.debug("retrying %s %s in %.3fs (attempt %d: %s)",
+                           method, path, delay, attempt,
+                           last_error or f"HTTP {last_status}")
+                self._sleep(delay)
+        detail = (f"HTTP {last_status}" if last_status is not None
+                  else repr(last_error))
+        raise ServiceUnavailable(
+            f"{method} {path} failed after {attempts} attempt(s): {detail}",
+            last_error=last_error, last_status=last_status,
+            attempts=attempts,
+        )
+
+    @staticmethod
+    def _decode(raw: bytes):
+        if not raw:
+            return None
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError:
+            return raw.decode("utf-8", "replace")
+
+    # ------------------------------------------------------------------
+    # Endpoints.
+    # ------------------------------------------------------------------
+
+    def analyze(self, workload: str, config: dict | None = None) -> dict:
+        """``POST /v1/analyze``; the response body dict
+        (``{"workload", "status", "result"}``)."""
+        body = {"workload": workload}
+        if config is not None:
+            body["config"] = config
+        return self.request("POST", "/v1/analyze", body).payload
+
+    def sweep(self, configs: list, workloads: list | None = None) -> dict:
+        """``POST /v1/sweep``; the response body dict
+        (``{"jobs", "failed"}``)."""
+        body: dict = {"configs": configs}
+        if workloads is not None:
+            body["workloads"] = workloads
+        return self.request("POST", "/v1/sweep", body).payload
+
+    def workloads(self) -> list:
+        """``GET /v1/workloads``; the catalogue list."""
+        return self.request("GET", "/v1/workloads").payload["workloads"]
+
+    def health(self) -> dict:
+        return self.request("GET", "/healthz").payload
+
+    def ready(self) -> dict:
+        """``GET /readyz`` without retries (a 503 *is* the answer)."""
+        status, __, raw = self._attempt("GET", "/readyz", None)
+        payload = self._decode(raw)
+        if not isinstance(payload, dict):
+            payload = {"ready": False}
+        payload.setdefault("ready", status == 200)
+        return payload
+
+    def metrics(self) -> str:
+        """``GET /metrics``; raw Prometheus exposition text."""
+        return self.request("GET", "/metrics").payload

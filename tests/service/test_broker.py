@@ -1,0 +1,278 @@
+"""Broker semantics: single-flight, batching, shedding, drain.
+
+These tests drive :class:`AnalysisBroker` directly on an event loop
+with an injected ``batch_runner``, so scheduling behaviour is checked
+without simulating a single instruction (the real runner path is
+covered by the server tests).
+"""
+
+import asyncio
+import dataclasses
+import time
+
+import pytest
+
+from repro.runner import ExperimentConfig, Job, ResultStore, job_key
+from repro.service import (
+    AnalysisBroker,
+    BrokerClosed,
+    BrokerConfig,
+    JobError,
+    Overloaded,
+)
+
+CONFIG = ExperimentConfig(max_instructions=1_000)
+
+
+class RecordingRunner:
+    """batch_runner seam: records calls, answers with stub payloads.
+
+    ``delay`` holds the batch open on the executor thread, so a test
+    can guarantee later submissions find the job still in flight.
+    """
+
+    def __init__(self, outcome=None, delay: float = 0.0):
+        self.calls: list[list] = []
+        self.outcome = outcome
+        self.delay = delay
+
+    def __call__(self, pairs):
+        self.calls.append(list(pairs))
+        if self.delay:
+            time.sleep(self.delay)
+        if self.outcome is not None:
+            return [self.outcome for __ in pairs]
+        return [{"workload": name, "call": len(self.calls)}
+                for name, __ in pairs]
+
+    @property
+    def jobs_run(self) -> int:
+        return sum(len(call) for call in self.calls)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_broker(batch_runner, store=None, **overrides):
+    defaults = dict(workers=2, batch_window=0.05)
+    defaults.update(overrides)
+    return AnalysisBroker(store=store, config=BrokerConfig(**defaults),
+                          batch_runner=batch_runner)
+
+
+class TestSingleFlight:
+    def test_identical_concurrent_requests_run_once(self):
+        # The batch out-lives every submission's admission, so each
+        # joiner must coalesce rather than sneak a warm memo hit.
+        runner = RecordingRunner(delay=0.3)
+
+        async def main():
+            broker = make_broker(runner)
+            broker.start()
+            results = await asyncio.gather(
+                *(broker.submit("com", CONFIG) for __ in range(8))
+            )
+            await broker.drain()
+            return results
+
+        results = run(main())
+        # One pool job total, every caller answered.
+        assert runner.jobs_run == 1
+        assert len(results) == 8
+        payloads = {id(payload) for payload, __ in results}
+        assert len(payloads) == 1
+        statuses = [status for __, status in results]
+        assert statuses.count("computed") == 1
+        assert statuses.count("coalesced") == 7
+
+    def test_distinct_requests_are_not_coalesced(self):
+        runner = RecordingRunner()
+
+        async def main():
+            broker = make_broker(runner)
+            broker.start()
+            configs = [dataclasses.replace(CONFIG, scale=s)
+                       for s in (1, 2, 3)]
+            results = await asyncio.gather(
+                *(broker.submit("com", config) for config in configs)
+            )
+            await broker.drain()
+            return results
+
+        results = run(main())
+        assert runner.jobs_run == 3
+        assert [status for __, status in results] == ["computed"] * 3
+
+
+class TestBatching:
+    def test_burst_lands_in_one_batch(self):
+        runner = RecordingRunner()
+
+        async def main():
+            broker = make_broker(runner, batch_window=0.2)
+            broker.start()
+            configs = [dataclasses.replace(CONFIG, scale=s)
+                       for s in (1, 2, 3, 4)]
+            await asyncio.gather(
+                *(broker.submit("com", config) for config in configs)
+            )
+            await broker.drain()
+
+        run(main())
+        assert len(runner.calls) == 1
+        assert len(runner.calls[0]) == 4
+
+    def test_batch_failure_resolves_every_member(self):
+        def exploding(pairs):
+            raise RuntimeError("executor died")
+
+        async def main():
+            broker = make_broker(exploding)
+            broker.start()
+            with pytest.raises(JobError, match="executor died"):
+                await broker.submit("com", CONFIG)
+            await broker.drain()
+
+        run(main())
+
+    def test_per_job_failure_raises_job_error(self):
+        detail = {"workload": "com", "error": "boom", "kind": "error"}
+        runner = RecordingRunner(outcome=JobError(detail))
+
+        async def main():
+            broker = make_broker(runner)
+            broker.start()
+            with pytest.raises(JobError) as excinfo:
+                await broker.submit("com", CONFIG)
+            await broker.drain()
+            return excinfo.value
+
+        error = run(main())
+        assert error.detail["error"] == "boom"
+
+
+class TestWarmPath:
+    def test_store_hit_skips_the_pool(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = job_key(Job("com", CONFIG))
+        store.put(key, {"canned": True})
+        runner = RecordingRunner()
+
+        async def main():
+            broker = make_broker(runner, store=store)
+            broker.start()
+            first = await broker.submit("com", CONFIG)
+            second = await broker.submit("com", CONFIG)
+            await broker.drain()
+            return first, second
+
+        (payload1, status1), (payload2, status2) = run(main())
+        assert runner.calls == []          # never touched the pool
+        assert (status1, status2) == ("warm", "warm")
+        assert payload1 == {"canned": True}
+
+    def test_computed_results_warm_the_memo(self):
+        runner = RecordingRunner()
+
+        async def main():
+            broker = make_broker(runner)
+            broker.start()
+            __, first = await broker.submit("com", CONFIG)
+            __, second = await broker.submit("com", CONFIG)
+            await broker.drain()
+            return first, second
+
+        first, second = run(main())
+        assert (first, second) == ("computed", "warm")
+        assert runner.jobs_run == 1
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_with_retry_after(self):
+        runner = RecordingRunner()
+
+        async def main():
+            broker = make_broker(runner, max_queue=0)
+            broker.start()
+            with pytest.raises(Overloaded) as excinfo:
+                await broker.submit("com", CONFIG)
+            await broker.drain()
+            return excinfo.value
+
+        error = run(main())
+        assert error.retry_after >= 1
+        assert "queue full" in str(error)
+
+    def test_excess_wait_estimate_sheds(self):
+        runner = RecordingRunner()
+
+        async def main():
+            broker = make_broker(runner, max_wait=0.0001)
+            broker.start()
+            with pytest.raises(Overloaded, match="estimated wait"):
+                await broker.submit("com", CONFIG)
+            await broker.drain()
+
+        run(main())
+
+    def test_queued_depth_counts_toward_the_bound(self):
+        runner = RecordingRunner()
+
+        async def main():
+            # A wide batch window parks the first job in the queue.
+            broker = make_broker(runner, max_queue=1, batch_window=1.0)
+            broker.start()
+            first = asyncio.create_task(broker.submit("com", CONFIG))
+            await asyncio.sleep(0.05)
+            other = dataclasses.replace(CONFIG, scale=2)
+            with pytest.raises(Overloaded):
+                await broker.submit("com", other)
+            await broker.drain()
+            return await first
+
+        payload, status = run(main())
+        assert status == "computed"
+        assert payload["workload"] == "com"
+
+
+class TestDrain:
+    def test_drain_finishes_queued_work(self):
+        runner = RecordingRunner()
+
+        async def main():
+            broker = make_broker(runner, batch_window=0.5)
+            broker.start()
+            pending = asyncio.create_task(broker.submit("com", CONFIG))
+            await asyncio.sleep(0.05)      # admitted, still queued
+            await broker.drain()
+            assert pending.done()
+            return await pending
+
+        payload, status = run(main())
+        assert status == "computed"
+        assert runner.jobs_run == 1
+
+    def test_submit_after_drain_is_refused(self):
+        runner = RecordingRunner()
+
+        async def main():
+            broker = make_broker(runner)
+            broker.start()
+            await broker.drain()
+            with pytest.raises(BrokerClosed):
+                await broker.submit("com", CONFIG)
+
+        run(main())
+
+    def test_drain_is_idempotent(self):
+        runner = RecordingRunner()
+
+        async def main():
+            broker = make_broker(runner)
+            broker.start()
+            await broker.submit("com", CONFIG)
+            await broker.drain()
+            await broker.drain()
+
+        run(main())

@@ -1,0 +1,122 @@
+"""Wire-format validation: the protocol module is the trust boundary."""
+
+import pytest
+
+from repro.runner import ExperimentConfig
+from repro.service import (
+    ProtocolError,
+    config_from_dict,
+    config_to_dict,
+    parse_analyze_request,
+    parse_sweep_request,
+)
+from repro.workloads import SUITE
+
+
+class TestConfigRoundTrip:
+    def test_default_config_round_trips(self):
+        config = ExperimentConfig()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_custom_config_round_trips(self):
+        config = ExperimentConfig(
+            scale=3, max_instructions=9_999, workloads=("com", "go"),
+            predictors=("last", "stride"), trees_for=("context",),
+            gen_cap=16,
+        )
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_none_payload_is_the_default_config(self):
+        assert config_from_dict(None) == ExperimentConfig()
+
+    def test_missing_keys_inherit_defaults(self):
+        config = config_from_dict({"scale": 2})
+        assert config.scale == 2
+        assert config.max_instructions == ExperimentConfig().max_instructions
+
+    def test_sequences_become_tuples(self):
+        config = config_from_dict({"workloads": ["com"]})
+        assert config.workloads == ("com",)
+        assert isinstance(config.predictors, tuple)
+
+    def test_unbounded_budget_survives(self):
+        config = config_from_dict({"max_instructions": None})
+        assert config.max_instructions is None
+
+
+class TestConfigRejection:
+    def test_unknown_field_is_an_error(self):
+        with pytest.raises(ProtocolError, match="unknown config field"):
+            config_from_dict({"max_instrs": 10})
+
+    def test_non_object_is_an_error(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            config_from_dict([1, 2])
+
+    def test_string_where_array_expected(self):
+        with pytest.raises(ProtocolError, match="array of strings"):
+            config_from_dict({"workloads": "com"})
+
+    def test_non_string_array_members(self):
+        with pytest.raises(ProtocolError, match="array of strings"):
+            config_from_dict({"predictors": [1, 2]})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(ProtocolError, match="integer"):
+            config_from_dict({"scale": True})
+
+    def test_float_scale_is_an_error(self):
+        with pytest.raises(ProtocolError, match="integer"):
+            config_from_dict({"scale": 1.5})
+
+
+class TestAnalyzeRequest:
+    def test_minimal_request(self):
+        name, config = parse_analyze_request({"workload": "com"})
+        assert name == "com"
+        assert config == ExperimentConfig()
+
+    def test_request_with_config(self):
+        name, config = parse_analyze_request(
+            {"workload": "go", "config": {"max_instructions": 500}}
+        )
+        assert (name, config.max_instructions) == ("go", 500)
+
+    def test_unknown_workload(self):
+        with pytest.raises(ProtocolError, match="unknown workload"):
+            parse_analyze_request({"workload": "nope"})
+
+    def test_missing_workload(self):
+        with pytest.raises(ProtocolError, match="workload"):
+            parse_analyze_request({})
+
+    def test_unknown_request_field(self):
+        with pytest.raises(ProtocolError, match="unknown request field"):
+            parse_analyze_request({"workload": "com", "extra": 1})
+
+    def test_non_object_body(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_analyze_request("com")
+
+
+class TestSweepRequest:
+    def test_explicit_workloads_cross_configs(self):
+        pairs = parse_sweep_request({
+            "workloads": ["com", "go"],
+            "configs": [{"scale": 1}, {"scale": 2}],
+        })
+        assert len(pairs) == 4
+        assert {name for name, __ in pairs} == {"com", "go"}
+        assert {config.scale for __, config in pairs} == {1, 2}
+
+    def test_default_workloads_is_the_suite(self):
+        pairs = parse_sweep_request({"configs": [{}]})
+        assert [name for name, __ in pairs] == [w.name for w in SUITE]
+
+    def test_empty_configs_rejected(self):
+        with pytest.raises(ProtocolError, match="configs"):
+            parse_sweep_request({"configs": []})
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown workload"):
+            parse_sweep_request({"workloads": ["zzz"], "configs": [{}]})
