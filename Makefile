@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke service-smoke clean-cache
+.PHONY: test test-fast bench bench-smoke service-smoke campaign-smoke \
+        clean-cache
 
 ## Tier-1 verification: the full test suite.
 test:
@@ -27,6 +28,14 @@ bench-smoke:
 ## an unclean drain.
 service-smoke:
 	$(PYTHON) benchmarks/bench_service.py --smoke
+
+## Campaign smoke: the 2x2 generated-workload campaign end-to-end,
+## cold then warm (a fresh runner over the same store must touch 0
+## pool jobs, checked via the runner.resolve.* counters); emits the
+## registry-complete report to campaign-report/ and cold-vs-warm
+## wall times to BENCH_campaign.json at the repo root.
+campaign-smoke:
+	$(PYTHON) benchmarks/bench_campaign.py
 
 ## Drop both cache tiers of the default store.
 clean-cache:

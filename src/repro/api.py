@@ -17,6 +17,15 @@ plus :func:`analyze` for ad-hoc material (mini-C source, a compiled
 program, a live machine) that does not go through the workload suite
 or its caches.
 
+Two synthesis entry points (see docs/generator.md and
+docs/campaign.md):
+
+* :func:`generate` — resolve/synthesize a seeded workload
+  (``gen:<preset>@<seed>``) as a first-class suite member;
+* :func:`run_campaign` — run a declarative workloads x predictor-bank
+  design-space campaign and (optionally) emit its registry-driven
+  report.
+
 Session-level settings go through :func:`configure` — cache location,
 worker count, observation — instead of environment variables, and the
 suite/sweep entry points return :class:`SuiteResult` /
@@ -78,9 +87,11 @@ __all__ = [
     "configure",
     "default_chaos_plan",
     "default_runner",
+    "generate",
     "get_recorder",
     "get_workload",
     "recording",
+    "run_campaign",
     "run_suite",
     "run_sweep",
     "run_workload",
@@ -243,6 +254,78 @@ def run_sweep(configs, jobs: int | None = None, resume: bool = False,
     for run in runs:
         run.require()
     return SweepResult(runs)
+
+
+def generate(preset: str, seed: int | None = None, **knobs) -> Workload:
+    """Synthesize (or resolve) a seeded workload.
+
+    Two call shapes::
+
+        generate("gen:graph-walk@7")               # full name
+        generate("graph-walk", 7, imm_mix=6)       # parts + overrides
+
+    The returned workload is a first-class suite member: pass its
+    ``.name`` to :func:`run_workload`, an
+    :class:`ExperimentConfig`, or a campaign spec, and the two-tier
+    cache, pool workers and exhibits all resolve it from the name
+    alone.  Same ``(preset, seed, knobs)`` -> byte-identical source in
+    any process.
+
+    Raises:
+        ValueError: unknown preset/knob, out-of-range value, or a
+            malformed ``gen:`` name.
+    """
+    from repro.gen import canonical_gen_name, generated_workload
+
+    if preset.startswith("gen:"):
+        if seed is not None or knobs:
+            raise ValueError(
+                "pass either a full gen: name or (preset, seed, knobs),"
+                " not both"
+            )
+        return generated_workload(preset)
+    if seed is None:
+        raise ValueError("generate(preset, ...) needs a seed")
+    return generated_workload(canonical_gen_name(preset, seed, knobs))
+
+
+def run_campaign(spec, jobs: int | None = None,
+                 report_dir=None):
+    """Run a design-space campaign; returns its
+    :class:`~repro.campaign.CampaignResult`.
+
+    ``spec`` may be a :class:`~repro.campaign.CampaignSpec`, a plain
+    dict in the spec shape, or a path to a ``.toml``/``.json`` spec
+    file.  Execution goes through the shared runner's sweep path: each
+    workload is simulated at most once across all variants, and an
+    unchanged re-run is served entirely from the cache
+    (``result.fully_warm``).  When ``report_dir`` is given, the
+    registry-driven report is emitted there
+    (:func:`repro.campaign.create_report`).
+    """
+    from pathlib import Path
+
+    from repro.campaign import (
+        CampaignSpec,
+        create_report,
+        load_spec,
+        spec_from_dict,
+    )
+    from repro.campaign import run_campaign as _run
+
+    if isinstance(spec, (str, Path)):
+        spec = load_spec(spec)
+    elif isinstance(spec, dict):
+        spec = spec_from_dict(spec)
+    elif not isinstance(spec, CampaignSpec):
+        raise ValueError(
+            f"spec must be a CampaignSpec, dict or path, got "
+            f"{type(spec).__name__}"
+        )
+    result = _run(spec, runner=default_runner(), jobs=jobs)
+    if report_dir is not None:
+        create_report(result, report_dir)
+    return result
 
 
 def analyze(target, name: str = "program",

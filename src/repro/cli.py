@@ -1,6 +1,6 @@
 """The unified command line: ``python -m repro <command>``.
 
-Eight subcommands over one shared flag vocabulary
+Ten subcommands over one shared flag vocabulary
 (``--jobs/--scale/--cache-dir/--no-cache``):
 
 * ``report`` — regenerate the paper's tables and figures;
@@ -8,7 +8,13 @@ Eight subcommands over one shared flag vocabulary
   orchestrator and print per-job status (``--profile`` records and
   prints a span/counter profile, see docs/observability.md;
   ``--resume`` picks an interrupted sweep back up from its journal);
-* ``workloads`` — list, run or disassemble the SPEC95-analogue suite;
+* ``workloads`` — list, run or disassemble the SPEC95-analogue suite
+  (``--generated`` lists cached synthesized workloads with their
+  ``(seed, knobs)`` provenance);
+* ``gen`` — synthesize, inspect or run a seeded ``gen:`` workload
+  (see docs/generator.md);
+* ``campaign`` — run/report/validate a predictor design-space
+  campaign spec (see docs/campaign.md);
 * ``cache`` — inspect, prune or clear both cache tiers;
 * ``stats`` — render the profile recorded by an earlier
   ``run --profile`` (text, JSON-lines or Prometheus format);
@@ -275,12 +281,53 @@ def cmd_cache(parser, args) -> int:
     counters = profile.get("counters", {}) if profile else {}
     entries = store.entries()
     print(f"store: {store.root}")
-    print(f"entries: {len(entries)}")
+    print(f"entries: {len(entries)} ({_occupancy(store, trace_store)})")
     _tier_report("", store, counters)
     if trace_store is not None:
-        print(f"traces: {len(trace_store.entries())}")
+        trace_entries = trace_store.entries()
+        print(f"traces: {len(trace_entries)} "
+              f"({_occupancy(store, trace_store, tier='traces')})")
         _tier_report("traces ", trace_store, counters)
     return 0
+
+
+def _occupancy(store, trace_store, tier: str = "results") -> str:
+    """``fixed N, generated M[, unknown K]`` for one cache tier.
+
+    Results are classified by the envelope's ``payload["name"]``,
+    traces by the ``workload`` header field (absent on traces written
+    before the annotation existed — those count as unknown).
+    """
+    from repro.cpu.tracefile import trace_header
+
+    fixed = generated = unknown = 0
+    if tier == "results":
+        for path in store.entries():
+            try:
+                name = json.loads(path.read_text())["payload"]["name"]
+            except (OSError, ValueError, KeyError, TypeError):
+                unknown += 1
+                continue
+            if isinstance(name, str) and name.startswith("gen:"):
+                generated += 1
+            else:
+                fixed += 1
+    else:
+        for path in trace_store.entries():
+            try:
+                name = trace_header(path).get("workload")
+            except Exception:
+                name = None
+            if name is None:
+                unknown += 1
+            elif name.startswith("gen:"):
+                generated += 1
+            else:
+                fixed += 1
+    text = f"fixed {fixed}, generated {generated}"
+    if unknown:
+        text += f", unknown {unknown}"
+    return text
 
 
 # ----------------------------------------------------------------------
@@ -385,9 +432,70 @@ def cmd_report(parser, args) -> int:
 # repro workloads
 # ----------------------------------------------------------------------
 
+def _generated_names(store, trace_store) -> dict[str, set[str]]:
+    """``gen: name -> {tier, ...}`` mined from both cache tiers.
+
+    Generated workloads have no files of their own — their identity
+    lives in the cache: result envelopes carry ``payload["name"]`` and
+    stored traces a ``workload`` header field.  Unreadable entries and
+    pre-annotation traces are simply skipped.
+    """
+    from repro.cpu.tracefile import trace_header
+
+    names: dict[str, set[str]] = {}
+    if store is not None:
+        for path in store.entries():
+            try:
+                payload = json.loads(path.read_text())["payload"]
+                name = payload.get("name", "")
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+            if isinstance(name, str) and name.startswith("gen:"):
+                names.setdefault(name, set()).add("results")
+    if trace_store is not None:
+        for path in trace_store.entries():
+            try:
+                name = trace_header(path).get("workload") or ""
+            except Exception:
+                continue
+            if name.startswith("gen:"):
+                names.setdefault(name, set()).add("traces")
+    return names
+
+
+def _workloads_generated(args) -> int:
+    """``workloads --generated``: cached synthesized workloads."""
+    from repro.gen import PRESETS, parse_gen_name
+
+    store, trace_store = _make_stores(args)
+    names = _generated_names(store, trace_store)
+    print(f"{'name':<36} {'preset':<13} {'seed':>9} "
+          f"{'overrides':<18} tiers")
+    print("-" * 88)
+    for name in sorted(names):
+        try:
+            preset, seed, overrides = parse_gen_name(name)
+        except ValueError:
+            preset, seed, overrides = "?", "?", {}
+        knob_text = ",".join(
+            f"{key}={value}" for key, value in sorted(overrides.items())
+        ) or "-"
+        print(f"{name:<36} {preset:<13} {seed:>9} {knob_text:<18} "
+              f"{','.join(sorted(names[name]))}")
+    if not names:
+        print("(no synthesized workloads in the cache)")
+    print(f"\npresets: {', '.join(sorted(PRESETS))}")
+    print("any gen:<preset>@<seed>[:knob=value,...] name regenerates "
+          "its workload byte-identically")
+    return 0
+
+
 def cmd_workloads(parser, args) -> int:
     from repro.minic import compile_source
     from repro.workloads import SUITE, get_workload
+
+    if args.generated:
+        return _workloads_generated(args)
 
     if args.list or not args.run:
         print(f"{'name':<5} {'spec':<14} {'kind':<5} description")
@@ -416,6 +524,130 @@ def cmd_workloads(parser, args) -> int:
         file=sys.stderr,
     )
     return result.exit_code
+
+
+# ----------------------------------------------------------------------
+# repro gen
+# ----------------------------------------------------------------------
+
+def _print_presets() -> int:
+    from repro.gen import PRESETS
+    from repro.gen.knobs import GenKnobs
+
+    defaults = GenKnobs()
+    print(f"{'preset':<13} knobs (differences from defaults)")
+    print("-" * 72)
+    for name in sorted(PRESETS):
+        overrides = PRESETS[name].overrides_from(defaults)
+        text = ", ".join(f"{key}={value}"
+                         for key, value in sorted(overrides.items()))
+        print(f"{name:<13} {text or '(defaults)'}")
+    print(f"\ndefaults: {defaults}")
+    return 0
+
+
+def cmd_gen(parser, args) -> int:
+    """Synthesize one seeded workload: print, inspect, compile or run."""
+    import hashlib
+
+    from repro.gen import generated_workload
+    from repro.minic import compile_source
+    from repro.runner.job import trace_key
+
+    if args.presets:
+        return _print_presets()
+    if not args.name:
+        parser.error("gen needs a gen:<preset>@<seed> name "
+                     "(or --presets)")
+    try:
+        workload = generated_workload(args.name)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 1
+    if args.info:
+        source = workload.source()
+        digest = hashlib.sha256(source.encode()).hexdigest()
+        print(f"name:        {workload.name}")
+        print(f"preset:      {workload.preset}")
+        print(f"seed:        {workload.seed}")
+        print(f"kind:        {workload.kind}")
+        print(f"knobs:       {workload.knobs}")
+        print(f"source:      {len(source.splitlines())} lines, "
+              f"sha256 {digest[:16]}")
+        print(f"trace key:   {trace_key(workload.name, args.scale)} "
+              f"(scale {args.scale})")
+        return 0
+    if args.emit_asm:
+        print(compile_source(workload.source()))
+        return 0
+    if args.run:
+        machine = workload.machine(scale=args.scale, tracing=False)
+        start = time.time()
+        result = machine.run()
+        elapsed = time.time() - start
+        print(result.output, end="")
+        print(f"[{workload.name}: {result.instructions} instructions, "
+              f"exit {result.exit_code}, {elapsed:.2f}s]",
+              file=sys.stderr)
+        return result.exit_code
+    print(workload.source(), end="")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro campaign
+# ----------------------------------------------------------------------
+
+def cmd_campaign(parser, args) -> int:
+    """Run, report on, or validate a design-space campaign spec."""
+    from repro.campaign import create_report, load_spec, run_campaign
+    from repro.errors import RunnerError
+
+    try:
+        spec = load_spec(args.spec)
+    except (OSError, ValueError) as error:
+        print(f"cannot load {args.spec}: {error}", file=sys.stderr)
+        return 1
+    try:
+        spec.validate()
+    except (ValueError, KeyError) as error:
+        print(f"invalid spec {args.spec}: {error}", file=sys.stderr)
+        return 1
+    grid = (f"{len(spec.workloads)} workload(s) x "
+            f"{len(spec.variants)} variant(s) = {spec.jobs()} jobs")
+    if args.action == "validate":
+        print(f"{args.spec}: ok — campaign '{spec.name}', {grid}")
+        return 0
+    if args.action == "report" and args.out is None:
+        parser.error("campaign report requires --out DIR")
+
+    store, trace_store = _make_stores(args)
+    runner = ExperimentRunner(
+        store=store, trace_store=trace_store,
+        jobs=args.jobs if args.jobs is not None
+        else int(os.environ.get("REPRO_JOBS", "1")),
+    )
+    try:
+        campaign = run_campaign(spec, runner=runner, jobs=args.jobs)
+    except RunnerError as error:
+        print(f"campaign failed: {error}", file=sys.stderr)
+        return EXIT_JOB_FAILURE
+    resolution = ", ".join(
+        f"{status}={count}" for status, count
+        in sorted(campaign.resolve_counts.items())
+    )
+    print(f"campaign '{spec.name}': {grid}")
+    print(f"cache resolution: {resolution or 'none'}")
+    print(f"pool jobs: {campaign.pool_jobs}"
+          + (" (fully warm)" if campaign.fully_warm else ""))
+    print(f"wall: {campaign.wall:.2f}s")
+    if args.out is not None:
+        out = create_report(campaign, args.out)
+        from repro.campaign import plot_registry, table_registry
+        print(f"report written to {out} "
+              f"({len(table_registry)} table(s), "
+              f"{len(plot_registry)} plot(s))")
+    return EXIT_OK
 
 
 # ----------------------------------------------------------------------
@@ -719,7 +951,56 @@ def build_parser() -> argparse.ArgumentParser:
     workloads.add_argument("--emit-asm", action="store_true",
                            help="print the generated assembly instead of "
                                 "running")
+    workloads.add_argument("--generated", action="store_true",
+                           help="list cached synthesized (gen:) "
+                                "workloads with their (seed, knobs) "
+                                "provenance")
+    _add_cache_flags(workloads)
     workloads.set_defaults(func=cmd_workloads)
+
+    gen = sub.add_parser(
+        "gen", help="synthesize, inspect or run a seeded workload",
+        description="Seeded workload synthesis: any "
+                    "gen:<preset>@<seed>[:knob=value,...] name "
+                    "regenerates the same mini-C program "
+                    "byte-identically in any process "
+                    "(docs/generator.md).",
+    )
+    gen.add_argument("name", nargs="?",
+                     help="workload name, e.g. gen:graph-walk@7")
+    gen.add_argument("--presets", action="store_true",
+                     help="list the named presets and exit")
+    gen.add_argument("--info", action="store_true",
+                     help="print provenance (preset, seed, knobs, "
+                          "source hash, trace key) instead of source")
+    gen.add_argument("--emit-asm", action="store_true",
+                     help="print the compiled assembly")
+    gen.add_argument("--run", action="store_true",
+                     help="compile and execute the workload")
+    gen.add_argument("--scale", type=int, default=1,
+                     help="problem-size multiplier (for --run/--info)")
+    gen.set_defaults(func=cmd_gen)
+
+    campaign = sub.add_parser(
+        "campaign", help="run a predictor design-space campaign",
+        description="Expand a declarative TOML/JSON campaign spec "
+                    "(workloads x predictor-bank variants) into a "
+                    "cached job grid and emit its registry-driven "
+                    "report (docs/campaign.md).",
+    )
+    campaign.add_argument("action", choices=("run", "report", "validate"),
+                          help="execute the grid, execute + emit the "
+                               "report (from cached results when warm), "
+                               "or just check the spec")
+    campaign.add_argument("spec", help="campaign spec (.toml or .json)")
+    campaign.add_argument("--out", default=None, metavar="DIR",
+                          help="report output directory (required for "
+                               "report, optional for run)")
+    campaign.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default: $REPRO_JOBS, "
+                               "else serial)")
+    _add_cache_flags(campaign)
+    campaign.set_defaults(func=cmd_campaign)
 
     cache = sub.add_parser(
         "cache", help="inspect, prune or clear both cache tiers",

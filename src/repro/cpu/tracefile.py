@@ -85,19 +85,25 @@ def _open_read(path):
     return handle
 
 
-def save_trace(trace, path, n_static: int, complete: bool | None = None) -> int:
+def save_trace(trace, path, n_static: int, complete: bool | None = None,
+               workload: str | None = None) -> int:
     """Write ``trace`` (an iterable of :class:`DynInst`) to ``path``.
 
     ``complete`` records whether the iterable covered the workload's
     whole execution (None = unknown); the trace store uses it to decide
-    replay eligibility.  Returns the number of records written.
+    replay eligibility.  ``workload`` annotates the header with the
+    originating workload name (purely informational — it is not part
+    of the content address; ``cache info`` uses it to break occupancy
+    out fixed-vs-generated).  Returns the number of records written.
     """
     recorder = get_recorder()
     with recorder.span("trace.encode"):
-        return _save_trace(trace, path, n_static, complete, recorder)
+        return _save_trace(trace, path, n_static, complete, workload,
+                           recorder)
 
 
-def _save_trace(trace, path, n_static: int, complete, recorder) -> int:
+def _save_trace(trace, path, n_static: int, complete, workload,
+                recorder) -> int:
     counts = [0] * max(n_static, 1)
     # Distinct (op, category value, has_imm) triples; records index it.
     op_table: dict[tuple[str, int, int], int] = {}
@@ -166,6 +172,7 @@ def _save_trace(trace, path, n_static: int, complete, recorder) -> int:
         "n_static": n_static,
         "n_records": count,
         "complete": complete,
+        "workload": workload,
         "counts": counts,
         "ops": [list(entry) for entry in op_table],
     }).encode()

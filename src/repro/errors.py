@@ -20,17 +20,45 @@ class AsmError(ReproError):
         super().__init__(prefix + message)
 
 
-class CompileError(ReproError):
+class MinicError(ReproError):
+    """Base of every diagnostic the mini-C toolchain raises.
+
+    The generator fuzz harness (tests/gen/test_fuzz.py) holds the
+    toolchain to this contract: feeding it arbitrary source — garbled,
+    truncated, machine-generated — may raise MinicError subclasses and
+    nothing else (no bare ``KeyError``/``IndexError`` escaping an
+    internal table lookup).
+    """
+
+
+class CompileError(MinicError):
     """A mini-C source could not be compiled.
 
     Attributes:
         line: 1-based source line number, when known.
+        col: 1-based source column, when known.
     """
 
-    def __init__(self, message: str, line: int | None = None):
+    def __init__(self, message: str, line: int | None = None,
+                 col: int | None = None):
         self.line = line
-        prefix = f"line {line}: " if line is not None else ""
+        self.col = col
+        if line is not None and col is not None:
+            prefix = f"line {line}, col {col}: "
+        elif line is not None:
+            prefix = f"line {line}: "
+        else:
+            prefix = ""
         super().__init__(prefix + message)
+
+
+class InternalCompilerError(CompileError):
+    """An unexpected exception escaped a compiler pass.
+
+    The driver (:mod:`repro.minic.compiler`) converts stray
+    ``KeyError``/``IndexError``/... into this so callers — fuzzers
+    included — always see a :class:`MinicError`; the original
+    exception is chained as ``__cause__`` for debugging."""
 
 
 class SimError(ReproError):

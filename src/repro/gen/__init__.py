@@ -1,0 +1,52 @@
+"""Seeded synthesis of mini-C workloads.
+
+The paper studies predictability over a fixed SPEC95 suite; this
+package provides the complementary axis: *families* of programs whose
+structural properties — loop-nest depth, branch density, immediate
+mix, pointer-chase intensity, call depth — are knobs rather than
+accidents of the benchmark set.  Every program is produced by a
+grammar-directed emitter driven entirely by the repo's deterministic
+:class:`repro.workloads.inputs.Rng`, so a ``(preset, seed, overrides)``
+triple reproduces the same source text byte for byte, on any machine,
+in any process.
+
+Generated programs are first-class workloads: the name
+``gen:<preset>@<seed>`` (optionally ``:knob=value,...``) resolves
+through :func:`repro.workloads.get_workload` like any suite member,
+which means the two-tier runner cache, the parallel pool workers and
+the campaign engine all work on them unchanged.
+
+Entry points:
+
+* :func:`generate_source` — knobs + seed -> mini-C text.
+* :func:`generated_workload` — ``gen:`` name -> a registered-style
+  :class:`~repro.workloads.suite.Workload`.
+* :func:`parse_gen_name` / :func:`canonical_gen_name` — the name
+  grammar.
+* :func:`shrink` / :func:`save_triage` — minimise and persist sources
+  that expose toolchain bugs (used by the fuzz harness).
+"""
+
+from repro.gen.knobs import (
+    GenKnobs,
+    PRESETS,
+    canonical_gen_name,
+    knobs_for,
+    parse_gen_name,
+)
+from repro.gen.emitter import generate_source
+from repro.gen.shrink import save_triage, shrink
+from repro.gen.workload import GeneratedWorkload, generated_workload
+
+__all__ = [
+    "GenKnobs",
+    "GeneratedWorkload",
+    "PRESETS",
+    "canonical_gen_name",
+    "generate_source",
+    "generated_workload",
+    "knobs_for",
+    "parse_gen_name",
+    "save_triage",
+    "shrink",
+]

@@ -1,0 +1,375 @@
+"""Grammar-directed emission of valid, terminating mini-C.
+
+The emitter walks a statement/expression grammar with every choice
+drawn from the repo's deterministic :class:`~repro.workloads.inputs.Rng`
+— no :mod:`random`, no iteration-order dependence — so the output is a
+pure function of ``(knobs, seed)``.
+
+Validity and termination are guaranteed *by construction* rather than
+checked after the fact:
+
+* every loop is counted (``for (i = 0; i < trip; i++)``) with a trip
+  count that is either a small emitted constant or the scale word
+  ``input_word(0)``; loop counters are reserved names never assigned
+  inside bodies, and ``continue`` is only emitted inside ``for`` loops
+  (where the step still runs);
+* array indices are always masked with the power-of-two array size;
+* division and modulus denominators are forced non-zero
+  (``| 1`` / ``+ 1`` after masking), shift amounts are literal 1..7;
+* helper calls form a DAG (``f0 -> f1 -> ...``), so no recursion;
+* every variable is initialised at declaration.
+
+The produced programs therefore differ only in the *structure* the
+knobs dial in — which is the point: they are probes for the
+predictability model, not fuzz inputs (the fuzzer feeds the toolchain
+broken source on purpose; see tests/gen/test_fuzz.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.gen.knobs import GenKnobs
+from repro.workloads.inputs import Rng
+
+#: Every generated data array has this many elements; indices are
+#: masked with ``ARRAY_MASK`` so any int expression is a safe index.
+ARRAY_SIZE = 256
+ARRAY_MASK = ARRAY_SIZE - 1
+
+#: Integer scratch variables available to expressions in main.
+_N_VARS = 4
+
+_INT_OPS = ("+", "-", "*", "&", "|", "^")
+_FLOAT_OPS = ("+", "-", "*")
+
+
+def generate_source(knobs: GenKnobs, seed: int, name: str = "") -> str:
+    """Emit a complete mini-C program for ``(knobs, seed)``.
+
+    ``name`` is recorded in the provenance header only; it does not
+    influence generation, so the same ``(knobs, seed)`` pair yields the
+    same program body under any name.
+    """
+    knobs.validate()
+    return _Emitter(knobs, seed, name).emit()
+
+
+def input_layout(knobs: GenKnobs) -> tuple[int, int]:
+    """(input words needed after the scale word, input floats needed).
+
+    The word stream seeds the integer arrays; the float stream seeds
+    the float array when ``float_ops`` is nonzero.
+    """
+    words = knobs.arrays * ARRAY_SIZE
+    floats = ARRAY_SIZE if knobs.float_ops else 0
+    return words, floats
+
+
+class _Emitter:
+    def __init__(self, knobs: GenKnobs, seed: int, name: str):
+        self.knobs = knobs
+        self.rng = Rng(seed ^ 0x5EED_C0DE)
+        self.name = name
+        self.seed = seed
+        self.lines: list[str] = []
+        self.indent = 0
+        #: structural nesting budget: loops + branches + switches.
+        self.max_depth = knobs.loop_depth + 2
+
+    # -- low-level emission helpers ------------------------------------
+
+    def _put(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text if text else "")
+
+    def _chance(self, eighths: int) -> bool:
+        return self.rng.below(8) < eighths
+
+    # -- expressions ---------------------------------------------------
+
+    def _imm(self) -> str:
+        kind = self.rng.below(4)
+        if kind == 0:
+            return str(self.rng.below(16))
+        if kind == 1:
+            return str(self.rng.word(16, 4095))
+        if kind == 2:
+            return str(self.rng.word(4096, 65535))
+        return hex(self.rng.word(0x10000, 0xFFFFF))
+
+    def _leaf(self, ints: list[str]) -> str:
+        if self._chance(self.knobs.imm_mix) or not ints:
+            return self._imm()
+        if self.rng.below(8) < 2:
+            return self._array_read(ints)
+        return ints[self.rng.below(len(ints))]
+
+    def _array_read(self, ints: list[str]) -> str:
+        array = self.rng.below(self.knobs.arrays)
+        index = self._leaf([v for v in ints if not v.startswith("arr")])
+        return f"arr{array}[({index}) & {ARRAY_MASK}]"
+
+    def _int_expr(self, ints: list[str], depth: int = 2) -> str:
+        if depth <= 0 or self.rng.below(8) < 2:
+            return self._leaf(ints)
+        roll = self.rng.below(10)
+        lhs = self._int_expr(ints, depth - 1)
+        if roll < 6:
+            op = _INT_OPS[self.rng.below(len(_INT_OPS))]
+            rhs = self._int_expr(ints, depth - 1)
+            return f"({lhs} {op} {rhs})"
+        if roll < 7:
+            return f"({lhs} << {self.rng.word(1, 7)})"
+        if roll < 8:
+            return f"({lhs} >> {self.rng.word(1, 7)})"
+        if roll < 9:
+            rhs = self._leaf(ints)
+            return f"({lhs} / (({rhs} & {ARRAY_MASK}) | 1))"
+        rhs = self._leaf(ints)
+        return f"({lhs} % ((({rhs}) & 63) + 1))"
+
+    def _float_expr(self, floats: list[str], ints: list[str],
+                    depth: int = 2) -> str:
+        if depth <= 0 or self.rng.below(8) < 3:
+            kind = self.rng.below(3)
+            if kind == 0 and floats:
+                return floats[self.rng.below(len(floats))]
+            if kind == 1:
+                index = self._leaf(ints)
+                return f"farr0[({index}) & {ARRAY_MASK}]"
+            return f"{self.rng.word(1, 9999) / 1000.0:.3f}"
+        op = _FLOAT_OPS[self.rng.below(len(_FLOAT_OPS))]
+        lhs = self._float_expr(floats, ints, depth - 1)
+        rhs = self._float_expr(floats, ints, depth - 1)
+        return f"({lhs} {op} {rhs})"
+
+    def _cond_expr(self, ints: list[str]) -> str:
+        lhs = self._int_expr(ints, 1)
+        op = ("<", ">", "<=", ">=", "==", "!=")[self.rng.below(6)]
+        rhs = self._imm() if self._chance(5) else self._leaf(ints)
+        return f"({lhs} & {ARRAY_MASK}) {op} (({rhs}) & {ARRAY_MASK})"
+
+    # -- statements ----------------------------------------------------
+
+    def _simple_stmt(self, ints: list[str], floats: list[str],
+                     targets: list[str]) -> None:
+        knobs = self.knobs
+        if knobs.float_ops and floats and self._chance(knobs.float_ops):
+            target = floats[self.rng.below(len(floats))]
+            self._put(f"{target} = {self._float_expr(floats, ints)};")
+            return
+        if knobs.chase_ratio and self._chance(knobs.chase_ratio):
+            array = self.rng.below(knobs.arrays)
+            self._put(f"cur = arr{array}[cur & {ARRAY_MASK}]"
+                      f" & {ARRAY_MASK};")
+            return
+        roll = self.rng.below(8)
+        if roll < 2:
+            array = self.rng.below(knobs.arrays)
+            index = self._leaf(ints)
+            value = self._int_expr(ints)
+            self._put(f"arr{array}[({index}) & {ARRAY_MASK}]"
+                      f" = {value};")
+            return
+        target = targets[self.rng.below(len(targets))]
+        if roll < 4:
+            op = ("+=", "-=", "^=", "|=", "&=")[self.rng.below(5)]
+            self._put(f"{target} {op} {self._int_expr(ints, 1)};")
+            return
+        if roll < 5 and knobs.call_depth and knobs.funcs:
+            callee = self.rng.below(min(knobs.funcs, 2))
+            a = self._int_expr(ints, 1)
+            b = self._leaf(ints)
+            self._put(f"{target} = f{callee}({a}, {b});")
+            return
+        self._put(f"{target} = {self._int_expr(ints)};")
+
+    def _if_stmt(self, depth: int, loop_level: int, ints: list[str],
+                 floats: list[str], targets: list[str],
+                 in_for: bool) -> None:
+        self._put(f"if ({self._cond_expr(ints)}) {{")
+        self.indent += 1
+        if in_for and self.rng.below(8) == 0:
+            self._put("continue;")
+        else:
+            self._block(depth + 1, loop_level, ints, floats, targets,
+                        in_for, count=2)
+        self.indent -= 1
+        if self._chance(4):
+            self._put("} else {")
+            self.indent += 1
+            self._block(depth + 1, loop_level, ints, floats, targets,
+                        in_for, count=2)
+            self.indent -= 1
+        self._put("}")
+
+    def _switch_stmt(self, depth: int, loop_level: int, ints: list[str],
+                     floats: list[str], targets: list[str]) -> None:
+        arms = self.rng.word(2, 4)
+        self._put(f"switch (({self._int_expr(ints, 1)}) & 3) {{")
+        for value in range(arms):
+            self._put(f"case {value}:")
+            self.indent += 1
+            self._simple_stmt(ints, floats, targets)
+            self._put("break;")
+            self.indent -= 1
+        self._put("default:")
+        self.indent += 1
+        self._simple_stmt(ints, floats, targets)
+        self._put("break;")
+        self.indent -= 1
+        self._put("}")
+
+    def _loop_stmt(self, depth: int, loop_level: int, ints: list[str],
+                   floats: list[str], targets: list[str]) -> None:
+        counter = f"i{loop_level}"
+        trip = self.rng.word(2, 4) if loop_level > 1 else self.rng.word(3, 6)
+        body_ints = ints + [counter]
+        if self._chance(6):
+            self._put(f"for ({counter} = 0; {counter} < {trip}; "
+                      f"{counter}++) {{")
+            self.indent += 1
+            self._block(depth + 1, loop_level + 1, body_ints, floats,
+                        targets, in_for=True)
+            self.indent -= 1
+            self._put("}")
+        else:
+            self._put(f"{counter} = 0;")
+            self._put(f"do {{")
+            self.indent += 1
+            self._block(depth + 1, loop_level + 1, body_ints, floats,
+                        targets, in_for=False)
+            self._put(f"{counter}++;")
+            self.indent -= 1
+            self._put(f"}} while ({counter} < {trip});")
+
+    def _block(self, depth: int, loop_level: int, ints: list[str],
+               floats: list[str], targets: list[str], in_for: bool,
+               count: int | None = None) -> None:
+        knobs = self.knobs
+        statements = count if count is not None else knobs.stmts_per_block
+        loop_done = False
+        for __ in range(statements):
+            if depth < self.max_depth and self._chance(knobs.branch_density):
+                self._if_stmt(depth, loop_level, ints, floats, targets,
+                              in_for)
+                continue
+            if depth < self.max_depth and self._chance(knobs.switch_density):
+                self._switch_stmt(depth, loop_level, ints, floats, targets)
+                continue
+            if (not loop_done and loop_level < knobs.loop_depth
+                    and depth < self.max_depth and self._chance(3)):
+                self._loop_stmt(depth, loop_level, ints, floats, targets)
+                loop_done = True
+                continue
+            self._simple_stmt(ints, floats, targets)
+
+    # -- helper functions ----------------------------------------------
+
+    def _helper(self, index: int) -> None:
+        knobs = self.knobs
+        self._put(f"int f{index}(int a, int b) {{")
+        self.indent += 1
+        ints = ["a", "b", "t0"]
+        self._put(f"int t0 = {self._int_expr(['a', 'b'], 1)};")
+        self._put(f"int t1 = {self._int_expr(['a', 'b', 't0'], 1)};")
+        for __ in range(self.rng.word(1, 3)):
+            if self._chance(knobs.branch_density):
+                self._put(f"if ({self._cond_expr(ints)}) {{")
+                self.indent += 1
+                self._put(f"t1 = {self._int_expr(ints, 1)};")
+                self.indent -= 1
+                self._put("} else {")
+                self.indent += 1
+                self._put(f"t1 ^= {self._int_expr(ints, 1)};")
+                self.indent -= 1
+                self._put("}")
+            else:
+                op = ("+=", "^=", "-=")[self.rng.below(3)]
+                self._put(f"t1 {op} {self._int_expr(ints, 1)};")
+        chains = index + 1 < min(knobs.funcs, knobs.call_depth)
+        if chains:
+            a = self._int_expr(ints, 1)
+            self._put(f"return t1 + f{index + 1}(({a}) & 65535, t0);")
+        else:
+            self._put(f"return (t1 ^ t0) & 0xFFFFFF;")
+        self.indent -= 1
+        self._put("}")
+        self._put("")
+
+    # -- top level -----------------------------------------------------
+
+    def emit(self) -> str:
+        knobs = self.knobs
+        self._header()
+        for array in range(knobs.arrays):
+            self._put(f"int arr{array}[{ARRAY_SIZE}];")
+        if knobs.float_ops:
+            self._put(f"float farr0[{ARRAY_SIZE}];")
+        self._put("")
+        if knobs.call_depth:
+            for index in reversed(range(knobs.funcs)):
+                self._helper(index)
+        self._main()
+        return "\n".join(self.lines) + "\n"
+
+    def _header(self) -> None:
+        knobs_desc = " ".join(
+            f"{f.name}={getattr(self.knobs, f.name)}"
+            for f in fields(self.knobs)
+        )
+        self._put("// synthesized by repro.gen -- do not edit;")
+        self._put("// regenerate from the provenance line below.")
+        if self.name:
+            self._put(f"// name: {self.name}")
+        self._put(f"// seed: {self.seed}")
+        self._put(f"// knobs: {knobs_desc}")
+        self._put("")
+
+    def _main(self) -> None:
+        knobs = self.knobs
+        self._put("int main(void) {")
+        self.indent += 1
+        self._put("int n = input_word(0);")
+        self._put("int acc = 0;")
+        self._put(f"int cur = input_word(1) & {ARRAY_MASK};")
+        for var in range(_N_VARS):
+            self._put(f"int v{var} = input_word({var + 2}) & 65535;")
+        for counter in range(max(1, knobs.loop_depth)):
+            self._put(f"int i{counter} = 0;")
+        floats: list[str] = []
+        if knobs.float_ops:
+            floats = ["x0", "x1"]
+            self._put("float x0 = 0.25;")
+            self._put("float x1 = 1.5;")
+        self._put("")
+        for array in range(knobs.arrays):
+            base = 1 + array * ARRAY_SIZE
+            self._put(f"for (i0 = 0; i0 < {ARRAY_SIZE}; i0++) {{")
+            self.indent += 1
+            self._put(f"arr{array}[i0] = input_word({base} + i0)"
+                      " & 65535;")
+            self.indent -= 1
+            self._put("}")
+        if knobs.float_ops:
+            self._put(f"for (i0 = 0; i0 < {ARRAY_SIZE}; i0++) {{")
+            self.indent += 1
+            self._put("farr0[i0] = input_float(i0);")
+            self.indent -= 1
+            self._put("}")
+        self._put("")
+        ints = ["cur"] + [f"v{v}" for v in range(_N_VARS)]
+        targets = [f"v{v}" for v in range(_N_VARS)] + ["acc"]
+        self._put("for (i0 = 0; i0 < n; i0++) {")
+        self.indent += 1
+        self._block(1, 1, ints + ["i0"], floats, targets, in_for=True)
+        self._put("acc += (v0 ^ v1) + (v2 ^ v3) + cur;")
+        self.indent -= 1
+        self._put("}")
+        self._put("")
+        self._put("print_int(acc ^ ((v0 + v2) & 0xFFFFFF));")
+        if knobs.float_ops:
+            self._put("print_float(x0 + x1);")
+        self._put("return 0;")
+        self.indent -= 1
+        self._put("}")

@@ -1,0 +1,196 @@
+"""Generator knobs, presets and the ``gen:`` name grammar.
+
+A generated workload is identified by a name of the form::
+
+    gen:<preset>@<seed>
+    gen:<preset>@<seed>:knob=value,knob=value
+
+The canonical form sorts override keys, so two names describing the
+same program compare equal after :func:`canonical_gen_name`.  The name
+*is* the provenance: everything needed to rebuild the program byte for
+byte is in it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, fields, replace
+
+#: (lo, hi) inclusive bounds per knob; densities are eighths.
+_KNOB_BOUNDS: dict[str, tuple[int, int]] = {
+    "loop_depth": (1, 4),
+    "branch_density": (0, 8),
+    "imm_mix": (0, 8),
+    "chase_ratio": (0, 8),
+    "call_depth": (0, 3),
+    "arrays": (1, 4),
+    "stmts_per_block": (2, 12),
+    "float_ops": (0, 8),
+    "switch_density": (0, 8),
+    "funcs": (1, 4),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class GenKnobs:
+    """Structural parameters of a synthesized program.
+
+    Densities (``branch_density``, ``imm_mix``, ``chase_ratio``,
+    ``float_ops``, ``switch_density``) are eighths: 0 = never,
+    8 = always, matching the bias convention of
+    :func:`repro.workloads.inputs.bytes_with_runs`.
+    """
+
+    #: maximum loop-nest depth (1..4)
+    loop_depth: int = 2
+    #: probability/8 that a block statement is an ``if``
+    branch_density: int = 3
+    #: probability/8 that a binary operand is an immediate
+    imm_mix: int = 4
+    #: probability/8 that an array access is a pointer chase step
+    chase_ratio: int = 0
+    #: depth of the helper-function call chain (0..3)
+    call_depth: int = 1
+    #: number of global data arrays (1..4)
+    arrays: int = 2
+    #: statements per generated block (2..12)
+    stmts_per_block: int = 5
+    #: probability/8 that arithmetic is floating point
+    float_ops: int = 0
+    #: probability/8 that a block statement is a ``switch``
+    switch_density: int = 0
+    #: number of helper functions to draw calls from (1..4)
+    funcs: int = 2
+
+    def validate(self) -> None:
+        for name, (lo, hi) in _KNOB_BOUNDS.items():
+            value = getattr(self, name)
+            if not isinstance(value, int) or not lo <= value <= hi:
+                raise ValueError(
+                    f"knob {name}={value!r} out of range [{lo}, {hi}]"
+                )
+
+    def overrides_from(self, base: "GenKnobs") -> dict[str, int]:
+        """The knobs on which ``self`` differs from ``base``."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if getattr(self, f.name) != getattr(base, f.name)
+        }
+
+
+#: Named starting points covering the structural corners the paper's
+#: workload taxonomy cares about.  ``graph-walk`` and ``pointer-chase``
+#: stress the hardest-to-predict load-address behaviour; ``arith`` is
+#: the immediate-heavy, highly predictable opposite corner.
+PRESETS: dict[str, GenKnobs] = {
+    "loopy": GenKnobs(loop_depth=4, branch_density=1, imm_mix=5,
+                      stmts_per_block=4),
+    "branchy": GenKnobs(loop_depth=2, branch_density=7, switch_density=3,
+                        imm_mix=3),
+    "arith": GenKnobs(loop_depth=1, branch_density=1, imm_mix=8,
+                      stmts_per_block=10, call_depth=0, funcs=1),
+    "pointer-chase": GenKnobs(loop_depth=1, branch_density=1, chase_ratio=8,
+                              imm_mix=2, arrays=2, call_depth=0, funcs=1),
+    "graph-walk": GenKnobs(loop_depth=2, branch_density=5, chase_ratio=6,
+                           imm_mix=2, arrays=3),
+    "callgraph": GenKnobs(loop_depth=2, branch_density=3, call_depth=3,
+                          funcs=4, stmts_per_block=4),
+    "float-kernel": GenKnobs(loop_depth=3, branch_density=2, float_ops=8,
+                             imm_mix=4, call_depth=0, funcs=1),
+    "mixed": GenKnobs(loop_depth=3, branch_density=4, imm_mix=4,
+                      chase_ratio=3, switch_density=2),
+}
+
+_NAME_RE = re.compile(
+    r"^gen:(?P<preset>[a-z][a-z0-9-]*)@(?P<seed>\d+)"
+    r"(?::(?P<overrides>[a-z_]+=\d+(?:,[a-z_]+=\d+)*))?$"
+)
+
+#: Generated seeds live in a bounded space so names stay short and the
+#: campaign grid axes are enumerable.
+MAX_SEED = 10**9
+
+
+def parse_gen_name(name: str) -> tuple[str, int, dict[str, int]]:
+    """Split ``gen:<preset>@<seed>[:k=v,...]`` into its parts.
+
+    Raises:
+        ValueError: malformed name, unknown preset or knob, seed or
+            knob value out of range.
+    """
+    match = _NAME_RE.match(name)
+    if match is None:
+        raise ValueError(
+            f"malformed generated-workload name {name!r}; expected "
+            "gen:<preset>@<seed>[:knob=value,...]"
+        )
+    preset = match.group("preset")
+    if preset not in PRESETS:
+        raise ValueError(
+            f"unknown preset {preset!r}; known: "
+            f"{', '.join(sorted(PRESETS))}"
+        )
+    seed = int(match.group("seed"))
+    if seed >= MAX_SEED:
+        raise ValueError(f"seed {seed} out of range [0, {MAX_SEED})")
+    overrides: dict[str, int] = {}
+    raw = match.group("overrides")
+    if raw:
+        for pair in raw.split(","):
+            key, value = pair.split("=")
+            if key not in _KNOB_BOUNDS:
+                raise ValueError(
+                    f"unknown knob {key!r}; known: "
+                    f"{', '.join(sorted(_KNOB_BOUNDS))}"
+                )
+            if key in overrides:
+                raise ValueError(f"duplicate knob {key!r} in {name!r}")
+            overrides[key] = int(value)
+    knobs_for(preset, overrides)  # bounds-check the combination
+    return preset, seed, overrides
+
+
+def knobs_for(preset: str, overrides: dict[str, int] | None = None
+              ) -> GenKnobs:
+    """The effective :class:`GenKnobs` for a preset plus overrides."""
+    try:
+        base = PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {preset!r}; known: "
+            f"{', '.join(sorted(PRESETS))}"
+        ) from None
+    for key in overrides or {}:
+        if key not in _KNOB_BOUNDS:
+            raise ValueError(
+                f"unknown knob {key!r}; known: "
+                f"{', '.join(sorted(_KNOB_BOUNDS))}"
+            )
+    knobs = replace(base, **(overrides or {}))
+    knobs.validate()
+    return knobs
+
+
+def canonical_gen_name(preset: str, seed: int,
+                       overrides: dict[str, int] | None = None) -> str:
+    """The canonical ``gen:`` name (override keys sorted).
+
+    Overrides equal to the preset's own value are dropped, so the
+    canonical name is minimal as well as sorted.
+    """
+    base = PRESETS.get(preset)
+    if base is None:
+        raise ValueError(f"unknown preset {preset!r}")
+    if not 0 <= seed < MAX_SEED:
+        raise ValueError(f"seed {seed} out of range [0, {MAX_SEED})")
+    knobs_for(preset, overrides)  # key + bounds check before getattr
+    effective = {
+        key: value for key, value in sorted((overrides or {}).items())
+        if getattr(base, key) != value
+    }
+    name = f"gen:{preset}@{seed}"
+    if effective:
+        pairs = ",".join(f"{k}={v}" for k, v in effective.items())
+        name = f"{name}:{pairs}"
+    return name

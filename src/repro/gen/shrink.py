@@ -1,0 +1,70 @@
+"""Minimise mini-C sources that expose toolchain bugs.
+
+When the fuzz harness finds a source on which the toolchain violates
+its error contract (anything escaping that is not a
+:class:`~repro.errors.MinicError`), the interesting artefact is the
+*smallest* such source.  :func:`shrink` is a line-granular
+delta-debugger: it repeatedly removes chunks of lines, halving the
+chunk size when no removal reproduces, until the source is 1-minimal
+with respect to whole lines.  :func:`save_triage` persists the result
+where a human will find it (``reports/triage/``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Callable
+
+#: Hard cap on predicate evaluations, so shrinking a pathological
+#: input cannot hang a fuzz run.
+MAX_PROBES = 2000
+
+
+def shrink(source: str, predicate: Callable[[str], bool]) -> str:
+    """Return a smaller source on which ``predicate`` still holds.
+
+    ``predicate(source)`` must be True on entry; the result is
+    guaranteed to satisfy it too.  The predicate must be deterministic
+    (compile attempts are; anything time-dependent is not).
+    """
+    if not predicate(source):
+        raise ValueError("predicate does not hold on the input source")
+    lines = source.split("\n")
+    probes = 0
+    chunk = max(1, len(lines) // 2)
+    while chunk >= 1 and probes < MAX_PROBES:
+        removed_any = False
+        start = 0
+        while start < len(lines) and probes < MAX_PROBES:
+            candidate = lines[:start] + lines[start + chunk:]
+            probes += 1
+            if candidate and predicate("\n".join(candidate)):
+                lines = candidate
+                removed_any = True
+                # re-test the same start: the next chunk slid into it
+            else:
+                start += chunk
+        if not removed_any:
+            chunk //= 2
+    return "\n".join(lines)
+
+
+def save_triage(source: str, error: BaseException,
+                directory: str | Path = "reports/triage") -> Path:
+    """Write a failing source (plus the error) for later triage.
+
+    The file name is content-derived, so re-running the fuzzer on the
+    same failure overwrites rather than accumulates.  Returns the path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    digest = hashlib.sha256(source.encode()).hexdigest()[:12]
+    path = directory / f"minic-{digest}.mc"
+    header = (
+        f"// triage: {type(error).__name__}: {error}\n"
+        "// minimised by repro.gen.shrink; reproduce with\n"
+        "//   repro.minic.compile_program(path.read_text())\n"
+    )
+    path.write_text(header + source)
+    return path

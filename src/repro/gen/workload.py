@@ -1,0 +1,101 @@
+"""Generated programs as first-class workloads.
+
+A :class:`GeneratedWorkload` is a :class:`~repro.workloads.suite.Workload`
+whose source text comes from the emitter instead of a ``.mc`` file.
+Because the runner's job and trace keys hash ``source_hash()`` and the
+input streams — never a file path — a generated workload flows through
+the two-tier cache, the parallel pool and the campaign engine exactly
+like a suite member.  The name (``gen:<preset>@<seed>[:k=v,...]``)
+carries the full provenance, so a pool worker in a fresh process can
+rebuild the identical program from the name alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.gen.emitter import generate_source, input_layout
+from repro.gen.knobs import (
+    GenKnobs,
+    canonical_gen_name,
+    knobs_for,
+    parse_gen_name,
+)
+from repro.workloads import inputs
+from repro.workloads.suite import Workload
+
+#: Outer-loop trips per unit of ``scale``; sized so a scale-1 run lands
+#: in the same 1e5-dynamic-instruction regime as the fixed suite.
+TRIPS_PER_SCALE = 24
+
+
+@dataclass
+class GeneratedWorkload(Workload):
+    """A workload synthesized from ``(preset, seed, overrides)``."""
+
+    preset: str = ""
+    seed: int = 0
+    knobs: GenKnobs = field(default_factory=GenKnobs)
+    _source_text: str | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def source_path(self) -> Path:
+        raise NotImplementedError(
+            f"{self.name} is synthesized; it has no source file "
+            "(use .source())"
+        )
+
+    def source(self) -> str:
+        """The generated mini-C text (emitted once, then cached)."""
+        if self._source_text is None:
+            self._source_text = generate_source(
+                self.knobs, self.seed, name=self.name
+            )
+        return self._source_text
+
+
+def _make_input_maker(knobs: GenKnobs, seed: int):
+    words_needed, floats_needed = input_layout(knobs)
+
+    def make_inputs(scale: int):
+        trips = TRIPS_PER_SCALE * scale
+        stream = inputs.words(words_needed, 0, 0xFFFF, seed=seed ^ 0xDA7A)
+        fps = (
+            inputs.floats(floats_needed, -1.0, 1.0, seed=seed ^ 0xF10A7)
+            if floats_needed else []
+        )
+        return [trips] + stream, fps
+
+    return make_inputs
+
+
+_MEMO: dict[str, GeneratedWorkload] = {}
+
+
+def generated_workload(name: str) -> GeneratedWorkload:
+    """Resolve a ``gen:`` name to a (memoised) workload.
+
+    Raises:
+        ValueError: malformed name / unknown preset / bad knobs.
+    """
+    preset, seed, overrides = parse_gen_name(name)
+    canonical = canonical_gen_name(preset, seed, overrides)
+    cached = _MEMO.get(canonical)
+    if cached is not None:
+        return cached
+    knobs = knobs_for(preset, overrides)
+    workload = GeneratedWorkload(
+        name=canonical,
+        spec_name=canonical,
+        kind="fp" if knobs.float_ops else "int",
+        description=f"synthesized {preset} program, seed {seed}",
+        make_inputs=_make_input_maker(knobs, seed),
+        preset=preset,
+        seed=seed,
+        knobs=knobs,
+    )
+    _MEMO[canonical] = workload
+    return workload

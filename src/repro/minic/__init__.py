@@ -19,7 +19,13 @@ Entry points: :func:`compile_source` (to assembly text) and
 :class:`repro.asm.Program`).
 """
 
-from repro.errors import CompileError
+from repro.errors import CompileError, InternalCompilerError, MinicError
 from repro.minic.compiler import compile_program, compile_source
 
-__all__ = ["CompileError", "compile_program", "compile_source"]
+__all__ = [
+    "CompileError",
+    "InternalCompilerError",
+    "MinicError",
+    "compile_program",
+    "compile_source",
+]

@@ -16,6 +16,8 @@ from repro.minic.types import Type
 @dataclass(slots=True)
 class Node:
     line: int = field(default=0, kw_only=True)
+    #: 1-based source column (0 = unknown); carried into diagnostics.
+    col: int = field(default=0, kw_only=True)
 
 
 # ----------------------------------------------------------------------

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.asm import Program, assemble
+from repro.errors import InternalCompilerError, MinicError
 from repro.minic.codegen import generate
 from repro.minic.parser import parse
 from repro.minic.sema import analyze
@@ -13,8 +14,20 @@ def compile_source(source: str) -> str:
 
     Raises:
         CompileError: on any lexical, syntactic or semantic error.
+
+    Any other exception escaping a compiler pass is a bug in the
+    compiler, not the program; it is re-raised as
+    :class:`InternalCompilerError` (with the original chained as
+    ``__cause__``) so callers only ever see :class:`MinicError`.
     """
-    return generate(analyze(parse(source)))
+    try:
+        return generate(analyze(parse(source)))
+    except (MinicError, RecursionError, MemoryError, KeyboardInterrupt):
+        raise
+    except Exception as exc:
+        raise InternalCompilerError(
+            f"internal error: {type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def compile_program(source: str) -> Program:

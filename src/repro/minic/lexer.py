@@ -59,19 +59,21 @@ class Token:
     value: object
     text: str
     line: int
+    #: 1-based column of the token's first character.
+    col: int = 1
 
 
-def _decode_escapes(body: str, line: int) -> str:
+def _decode_escapes(body: str, line: int, col: int | None = None) -> str:
     out = []
     index = 0
     while index < len(body):
         char = body[index]
         if char == "\\":
             if index + 1 >= len(body):
-                raise CompileError("dangling escape", line)
+                raise CompileError("dangling escape", line, col)
             escape = body[index + 1]
             if escape not in _ESCAPES:
-                raise CompileError(f"unknown escape: \\{escape}", line)
+                raise CompileError(f"unknown escape: \\{escape}", line, col)
             out.append(_ESCAPES[escape])
             index += 2
         else:
@@ -85,36 +87,43 @@ def tokenize(source: str) -> list[Token]:
     tokens: list[Token] = []
     position = 0
     line = 1
+    line_start = 0
     length = len(source)
     while position < length:
+        col = position - line_start + 1
         match = _TOKEN_RE.match(source, position)
         if match is None:
             raise CompileError(
-                f"unexpected character: {source[position]!r}", line
+                f"unexpected character: {source[position]!r}", line, col
             )
         text = match.group()
         kind = match.lastgroup
         if kind == "ws" or kind == "comment":
             pass
         elif kind == "int":
-            tokens.append(Token("int", int(text, 0), text, line))
+            tokens.append(Token("int", int(text, 0), text, line, col))
         elif kind == "float":
-            tokens.append(Token("float", float(text), text, line))
+            tokens.append(Token("float", float(text), text, line, col))
         elif kind == "char":
-            decoded = _decode_escapes(text[1:-1], line)
+            decoded = _decode_escapes(text[1:-1], line, col)
             if len(decoded) != 1:
-                raise CompileError(f"bad character literal: {text}", line)
-            tokens.append(Token("int", ord(decoded), text, line))
+                raise CompileError(f"bad character literal: {text}",
+                                   line, col)
+            tokens.append(Token("int", ord(decoded), text, line, col))
         elif kind == "string":
             tokens.append(
-                Token("string", _decode_escapes(text[1:-1], line), text, line)
+                Token("string", _decode_escapes(text[1:-1], line, col),
+                      text, line, col)
             )
         elif kind == "name":
             token_kind = "kw" if text in KEYWORDS else "name"
-            tokens.append(Token(token_kind, text, text, line))
+            tokens.append(Token(token_kind, text, text, line, col))
         else:  # op
-            tokens.append(Token("op", text, text, line))
-        line += text.count("\n")
+            tokens.append(Token("op", text, text, line, col))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rindex("\n") + 1
         position = match.end()
-    tokens.append(Token("eof", None, "", line))
+    tokens.append(Token("eof", None, "", line, length - line_start + 1))
     return tokens

@@ -63,12 +63,12 @@ class Parser:
         if not self._check(kind, value):
             want = value if value is not None else kind
             raise CompileError(
-                f"expected {want!r}, got {token.text!r}", token.line
+                f"expected {want!r}, got {token.text!r}", token.line, token.col
             )
         return self._advance()
 
     def _error(self, message: str) -> CompileError:
-        return CompileError(message, self._tok.line)
+        return CompileError(message, self._tok.line, self._tok.col)
 
     # ------------------------------------------------------------------
     # Top level.
@@ -86,7 +86,10 @@ class Parser:
     def _parse_type(self) -> Type:
         token = self._expect("kw")
         if token.value not in _BASE_TYPES:
-            raise CompileError(f"expected a type, got {token.text!r}", token.line)
+            raise CompileError(
+                f"expected a type, got {token.text!r}", token.line,
+                token.col
+            )
         ptr = 0
         while self._accept("op", "*"):
             ptr += 1
@@ -95,15 +98,16 @@ class Parser:
     def _parse_top_level(self, program: ast.Program) -> None:
         if not self._at_type():
             raise self._error(f"expected declaration, got {self._tok.text!r}")
-        line = self._tok.line
+        line, col = self._tok.line, self._tok.col
         ty = self._parse_type()
         name = self._expect("name").value
         if self._check("op", "("):
-            program.funcs.append(self._parse_func(ty, name, line))
+            program.funcs.append(self._parse_func(ty, name, line, col))
         else:
-            self._parse_global(program, ty, name, line)
+            self._parse_global(program, ty, name, line, col)
 
-    def _parse_global(self, program, ty: Type, name: str, line: int) -> None:
+    def _parse_global(self, program, ty: Type, name: str, line: int,
+                      col: int = 0) -> None:
         while True:
             array_len = None
             if self._accept("op", "["):
@@ -121,7 +125,8 @@ class Parser:
                     init.append(self._parse_assignment())
             program.globals.append(
                 ast.GlobalDecl(
-                    name=name, ty=ty, array_len=array_len, init=init, line=line
+                    name=name, ty=ty, array_len=array_len, init=init,
+                    line=line, col=col
                 )
             )
             if self._accept("op", ","):
@@ -130,32 +135,37 @@ class Parser:
             self._expect("op", ";")
             return
 
-    def _parse_func(self, ret: Type, name: str, line: int) -> ast.FuncDef:
+    def _parse_func(self, ret: Type, name: str, line: int,
+                    col: int = 0) -> ast.FuncDef:
         self._expect("op", "(")
         params: list[ast.Param] = []
         if not self._check("op", ")"):
-            if self._check("kw", "void") and self._tokens[self._pos + 1].value == ")":
+            is_void = self._check("kw", "void")
+            if is_void and self._tokens[self._pos + 1].value == ")":
                 self._advance()
             else:
                 while True:
                     param_line = self._tok.line
+                    param_col = self._tok.col
                     param_ty = self._parse_type()
                     param_name = self._expect("name").value
                     params.append(
-                        ast.Param(name=param_name, ty=param_ty, line=param_line)
+                        ast.Param(name=param_name, ty=param_ty,
+                                  line=param_line, col=param_col)
                     )
                     if not self._accept("op", ","):
                         break
         self._expect("op", ")")
         body = self._parse_block()
-        return ast.FuncDef(name=name, ret=ret, params=params, body=body, line=line)
+        return ast.FuncDef(name=name, ret=ret, params=params, body=body,
+                           line=line, col=col)
 
     # ------------------------------------------------------------------
     # Statements.
     # ------------------------------------------------------------------
 
     def _parse_block(self) -> ast.Block:
-        line = self._tok.line
+        line, col = self._tok.line, self._tok.col
         self._expect("op", "{")
         stmts: list[ast.Stmt] = []
         while not self._check("op", "}"):
@@ -163,16 +173,16 @@ class Parser:
                 raise self._error("unterminated block")
             stmts.append(self._parse_stmt())
         self._expect("op", "}")
-        return ast.Block(stmts=stmts, line=line)
+        return ast.Block(stmts=stmts, line=line, col=col)
 
     def _parse_stmt(self) -> ast.Stmt:
         token = self._tok
-        line = token.line
+        line, col = token.line, token.col
         if self._check("op", "{"):
             return self._parse_block()
         if self._check("op", ";"):
             self._advance()
-            return ast.Block(stmts=[], line=line)
+            return ast.Block(stmts=[], line=line, col=col)
         if token.kind == "kw":
             keyword = token.value
             if keyword == "if":
@@ -188,26 +198,26 @@ class Parser:
             if keyword == "break":
                 self._advance()
                 self._expect("op", ";")
-                return ast.Break(line=line)
+                return ast.Break(line=line, col=col)
             if keyword == "continue":
                 self._advance()
                 self._expect("op", ";")
-                return ast.Continue(line=line)
+                return ast.Continue(line=line, col=col)
             if keyword == "return":
                 self._advance()
                 value = None
                 if not self._check("op", ";"):
                     value = self._parse_expr()
                 self._expect("op", ";")
-                return ast.Return(value=value, line=line)
+                return ast.Return(value=value, line=line, col=col)
             if keyword in _BASE_TYPES:
                 return self._parse_decl()
         expr = self._parse_expr()
         self._expect("op", ";")
-        return ast.ExprStmt(expr=expr, line=line)
+        return ast.ExprStmt(expr=expr, line=line, col=col)
 
     def _parse_decl(self) -> ast.Stmt:
-        line = self._tok.line
+        line, col = self._tok.line, self._tok.col
         base = self._expect("kw").value
         decls: list[ast.Stmt] = []
         while True:
@@ -225,17 +235,18 @@ class Parser:
                 init = self._parse_assignment()
             decls.append(
                 ast.Decl(name=name, ty=ty, array_len=array_len, init=init,
-                         line=line)
+                         line=line, col=col)
             )
             if not self._accept("op", ","):
                 break
         self._expect("op", ";")
         if len(decls) == 1:
             return decls[0]
-        return ast.DeclGroup(decls=decls, line=line)
+        return ast.DeclGroup(decls=decls, line=line, col=col)
 
     def _parse_switch(self) -> ast.Switch:
-        line = self._advance().line
+        start = self._advance()
+        line, col = start.line, start.col
         self._expect("op", "(")
         cond = self._parse_expr()
         self._expect("op", ")")
@@ -248,21 +259,27 @@ class Parser:
                 value_token = self._expect("int")
                 value = -value_token.value if negative else value_token.value
                 self._expect("op", ":")
-                cases.append(ast.SwitchCase(value=value, line=token.line))
+                cases.append(ast.SwitchCase(
+                    value=value, line=token.line, col=token.col
+                ))
             elif self._accept("kw", "default"):
                 self._expect("op", ":")
-                cases.append(ast.SwitchCase(value=None, line=token.line))
+                cases.append(ast.SwitchCase(
+                    value=None, line=token.line, col=token.col
+                ))
             else:
                 if not cases:
                     raise CompileError(
-                        "statement before the first case label", token.line
+                        "statement before the first case label", token.line,
+                        token.col
                     )
                 cases[-1].stmts.append(self._parse_stmt())
         self._expect("op", "}")
-        return ast.Switch(cond=cond, cases=cases, line=line)
+        return ast.Switch(cond=cond, cases=cases, line=line, col=col)
 
     def _parse_if(self) -> ast.If:
-        line = self._advance().line
+        start = self._advance()
+        line, col = start.line, start.col
         self._expect("op", "(")
         cond = self._parse_expr()
         self._expect("op", ")")
@@ -270,28 +287,32 @@ class Parser:
         orelse = None
         if self._accept("kw", "else"):
             orelse = self._parse_stmt()
-        return ast.If(cond=cond, then=then, orelse=orelse, line=line)
+        return ast.If(cond=cond, then=then, orelse=orelse, line=line,
+                      col=col)
 
     def _parse_while(self) -> ast.While:
-        line = self._advance().line
+        start = self._advance()
+        line, col = start.line, start.col
         self._expect("op", "(")
         cond = self._parse_expr()
         self._expect("op", ")")
         body = self._parse_stmt()
-        return ast.While(cond=cond, body=body, line=line)
+        return ast.While(cond=cond, body=body, line=line, col=col)
 
     def _parse_do_while(self) -> ast.DoWhile:
-        line = self._advance().line
+        start = self._advance()
+        line, col = start.line, start.col
         body = self._parse_stmt()
         self._expect("kw", "while")
         self._expect("op", "(")
         cond = self._parse_expr()
         self._expect("op", ")")
         self._expect("op", ";")
-        return ast.DoWhile(body=body, cond=cond, line=line)
+        return ast.DoWhile(body=body, cond=cond, line=line, col=col)
 
     def _parse_for(self) -> ast.For:
-        line = self._advance().line
+        start = self._advance()
+        line, col = start.line, start.col
         self._expect("op", "(")
         init: ast.Stmt | None = None
         if not self._check("op", ";"):
@@ -299,7 +320,8 @@ class Parser:
                 init = self._parse_decl()
                 # _parse_decl consumed the ';'
             else:
-                init = ast.ExprStmt(expr=self._parse_expr(), line=line)
+                init = ast.ExprStmt(expr=self._parse_expr(), line=line,
+                                    col=col)
                 self._expect("op", ";")
         else:
             self._advance()
@@ -312,7 +334,8 @@ class Parser:
             step = self._parse_expr()
         self._expect("op", ")")
         body = self._parse_stmt()
-        return ast.For(init=init, cond=cond, step=step, body=body, line=line)
+        return ast.For(init=init, cond=cond, step=step, body=body,
+                       line=line, col=col)
 
     # ------------------------------------------------------------------
     # Expressions.
@@ -328,7 +351,7 @@ class Parser:
             self._advance()
             rhs = self._parse_assignment()
             return ast.Assign(op=token.value, target=lhs, value=rhs,
-                              line=token.line)
+                              line=token.line, col=token.col)
         return lhs
 
     def _parse_conditional(self) -> ast.Expr:
@@ -340,7 +363,7 @@ class Parser:
         self._expect("op", ":")
         orelse = self._parse_conditional()
         return ast.Conditional(cond=cond, then=then, orelse=orelse,
-                               line=question.line)
+                               line=question.line, col=question.col)
 
     def _parse_binary(self, level: int) -> ast.Expr:
         if level >= len(_BINARY_LEVELS):
@@ -350,7 +373,8 @@ class Parser:
         while self._tok.kind == "op" and self._tok.value in ops:
             token = self._advance()
             rhs = self._parse_binary(level + 1)
-            lhs = ast.Binary(op=token.value, lhs=lhs, rhs=rhs, line=token.line)
+            lhs = ast.Binary(op=token.value, lhs=lhs, rhs=rhs,
+                             line=token.line, col=token.col)
         return lhs
 
     def _parse_unary(self) -> ast.Expr:
@@ -360,17 +384,19 @@ class Parser:
             if op in ("-", "!", "~"):
                 self._advance()
                 return ast.Unary(op=op, operand=self._parse_unary(),
-                                 line=token.line)
+                                 line=token.line, col=token.col)
             if op == "*":
                 self._advance()
-                return ast.Deref(operand=self._parse_unary(), line=token.line)
+                return ast.Deref(operand=self._parse_unary(),
+                                 line=token.line, col=token.col)
             if op == "&":
                 self._advance()
-                return ast.AddrOf(operand=self._parse_unary(), line=token.line)
+                return ast.AddrOf(operand=self._parse_unary(),
+                                  line=token.line, col=token.col)
             if op in ("++", "--"):
                 self._advance()
                 return ast.IncDec(op=op, target=self._parse_unary(),
-                                  prefix=True, line=token.line)
+                                  prefix=True, line=token.line, col=token.col)
             if op == "+":
                 self._advance()
                 return self._parse_unary()
@@ -383,7 +409,8 @@ class Parser:
             if self._accept("op", "["):
                 index = self._parse_expr()
                 self._expect("op", "]")
-                expr = ast.Index(base=expr, index=index, line=token.line)
+                expr = ast.Index(base=expr, index=index,
+                                 line=token.line, col=token.col)
             elif self._check("op", "(") and isinstance(expr, ast.Var):
                 self._advance()
                 args: list[ast.Expr] = []
@@ -392,11 +419,13 @@ class Parser:
                     while self._accept("op", ","):
                         args.append(self._parse_assignment())
                 self._expect("op", ")")
-                expr = ast.Call(name=expr.name, args=args, line=token.line)
+                expr = ast.Call(name=expr.name, args=args,
+                                line=token.line, col=token.col)
             elif self._check("op", "++") or self._check("op", "--"):
                 op_token = self._advance()
                 expr = ast.IncDec(op=op_token.value, target=expr,
-                                  prefix=False, line=op_token.line)
+                                  prefix=False, line=op_token.line,
+                                  col=op_token.col)
             else:
                 return expr
 
@@ -404,16 +433,20 @@ class Parser:
         token = self._tok
         if token.kind == "int":
             self._advance()
-            return ast.IntLit(value=token.value, line=token.line)
+            return ast.IntLit(value=token.value, line=token.line,
+                              col=token.col)
         if token.kind == "float":
             self._advance()
-            return ast.FloatLit(value=token.value, line=token.line)
+            return ast.FloatLit(value=token.value, line=token.line,
+                                col=token.col)
         if token.kind == "string":
             self._advance()
-            return ast.StrLit(value=token.value, line=token.line)
+            return ast.StrLit(value=token.value, line=token.line,
+                              col=token.col)
         if token.kind == "name":
             self._advance()
-            return ast.Var(name=token.value, line=token.line)
+            return ast.Var(name=token.value, line=token.line,
+                           col=token.col)
         if self._accept("op", "("):
             expr = self._parse_expr()
             self._expect("op", ")")

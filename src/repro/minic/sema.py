@@ -139,24 +139,27 @@ class _FunctionSema:
     def _pop(self) -> None:
         self.scopes.pop()
 
-    def _declare(self, name, ty, kind, array_len, line) -> Symbol:
+    def _declare(self, name, ty, kind, array_len, line,
+                 col=0) -> Symbol:
         scope = self.scopes[-1]
         if name in scope:
-            raise CompileError(f"duplicate declaration of {name!r}", line)
+            raise CompileError(f"duplicate declaration of {name!r}",
+                               line, col)
         if ty.is_void and not ty.is_pointer:
-            raise CompileError(f"variable {name!r} cannot be void", line)
+            raise CompileError(f"variable {name!r} cannot be void",
+                               line, col)
         symbol = Symbol(name=name, ty=ty, kind=kind, array_len=array_len)
         scope[name] = symbol
         self.info.symbols.append(symbol)
         return symbol
 
-    def _lookup(self, name: str, line: int) -> Symbol:
+    def _lookup(self, name: str, line: int, col: int = 0) -> Symbol:
         for scope in reversed(self.scopes):
             if name in scope:
                 return scope[name]
         symbol = self.sema.globals.get(name)
         if symbol is None:
-            raise CompileError(f"undefined variable {name!r}", line)
+            raise CompileError(f"undefined variable {name!r}", line, col)
         return symbol
 
     # -- driver ----------------------------------------------------------
@@ -173,7 +176,7 @@ class _FunctionSema:
                     raise CompileError(
                         f"{func.name}: more than {MAX_FLOAT_ARGS} float "
                         "parameters are not supported",
-                        param.line,
+                        param.line, param.col,
                     )
             else:
                 int_args += 1
@@ -181,10 +184,10 @@ class _FunctionSema:
                     raise CompileError(
                         f"{func.name}: more than {MAX_INT_ARGS} integer "
                         "parameters are not supported",
-                        param.line,
+                        param.line, param.col,
                     )
             symbol = self._declare(param.name, param.ty, "param", None,
-                                   param.line)
+                                   param.line, param.col)
             symbol.param_index = index
             self.info.params.append(symbol)
         self._stmt(func.body)
@@ -205,16 +208,19 @@ class _FunctionSema:
                 self._stmt(decl)
         elif isinstance(stmt, ast.Decl):
             if stmt.array_len is not None and stmt.array_len <= 0:
-                raise CompileError("array length must be positive", stmt.line)
+                raise CompileError("array length must be positive",
+                                   stmt.line, stmt.col)
             if stmt.init is not None:
                 if stmt.array_len is not None:
                     raise CompileError(
-                        "local arrays cannot have initialisers", stmt.line
+                        "local arrays cannot have initialisers",
+                        stmt.line, stmt.col
                     )
                 init_ty = self._expr(stmt.init)
-                self._check_assignable(stmt.ty, init_ty, stmt.line)
+                self._check_assignable(stmt.ty, init_ty, stmt.line, stmt.col)
             stmt.sym = self._declare(
-                stmt.name, stmt.ty, "local", stmt.array_len, stmt.line
+                stmt.name, stmt.ty, "local", stmt.array_len,
+                stmt.line, stmt.col
             )
         elif isinstance(stmt, ast.ExprStmt):
             self._expr(stmt.expr)
@@ -256,43 +262,48 @@ class _FunctionSema:
         elif isinstance(stmt, ast.Break):
             if not self.break_depth:
                 raise CompileError("break outside a loop or switch",
-                                   stmt.line)
+                                   stmt.line, stmt.col)
         elif isinstance(stmt, ast.Continue):
             if not self.loop_depth:
-                raise CompileError("continue outside a loop", stmt.line)
+                raise CompileError("continue outside a loop",
+                                   stmt.line, stmt.col)
         elif isinstance(stmt, ast.Return):
             if stmt.value is None:
                 if not self.info.ret.is_void:
                     raise CompileError(
-                        f"{self.func.name} must return a value", stmt.line
+                        f"{self.func.name} must return a value",
+                        stmt.line, stmt.col
                     )
             else:
                 if self.info.ret.is_void:
                     raise CompileError(
-                        f"{self.func.name} returns void", stmt.line
+                        f"{self.func.name} returns void", stmt.line, stmt.col
                     )
                 value_ty = self._expr(stmt.value)
-                self._check_assignable(self.info.ret, value_ty, stmt.line)
+                self._check_assignable(self.info.ret, value_ty,
+                                       stmt.line, stmt.col)
         else:
             raise CompileError(f"unhandled statement {type(stmt).__name__}",
-                               stmt.line)
+                               stmt.line, stmt.col)
 
     def _switch(self, stmt: ast.Switch) -> None:
         cond_ty = self._expr(stmt.cond)
         if not cond_ty.is_integral:
             raise CompileError("switch condition must be an integer",
-                               stmt.line)
+                               stmt.line, stmt.col)
         seen_values: set[int] = set()
         defaults = 0
         for case in stmt.cases:
             if case.value is None:
                 defaults += 1
                 if defaults > 1:
-                    raise CompileError("multiple default labels", case.line)
+                    raise CompileError("multiple default labels",
+                                       case.line, case.col)
             else:
                 if case.value in seen_values:
                     raise CompileError(
-                        f"duplicate case value {case.value}", case.line
+                        f"duplicate case value {case.value}",
+                        case.line, case.col
                     )
                 seen_values.add(case.value)
         self.break_depth += 1
@@ -306,7 +317,7 @@ class _FunctionSema:
     def _condition(self, expr: ast.Expr) -> None:
         ty = self._expr(expr)
         if ty.is_void:
-            raise CompileError("condition cannot be void", expr.line)
+            raise CompileError("condition cannot be void", expr.line, expr.col)
 
     # -- expressions -------------------------------------------------------
 
@@ -323,7 +334,7 @@ class _FunctionSema:
         if isinstance(expr, ast.StrLit):
             return CHAR.pointer()
         if isinstance(expr, ast.Var):
-            symbol = self._lookup(expr.name, expr.line)
+            symbol = self._lookup(expr.name, expr.line, expr.col)
             expr.sym = symbol
             return symbol.value_type()
         if isinstance(expr, ast.Unary):
@@ -332,10 +343,11 @@ class _FunctionSema:
             inner = self._expr(expr.operand)
             if not inner.is_pointer:
                 raise CompileError("cannot dereference a non-pointer",
-                                   expr.line)
+                                   expr.line, expr.col)
             element = inner.element()
             if element.is_void:
-                raise CompileError("cannot dereference void*", expr.line)
+                raise CompileError("cannot dereference void*",
+                                   expr.line, expr.col)
             return element
         if isinstance(expr, ast.AddrOf):
             return self._addr_of(expr)
@@ -349,24 +361,25 @@ class _FunctionSema:
             target_ty = self._lvalue(expr.target)
             if not (target_ty.is_integral or target_ty.is_pointer):
                 raise CompileError("++/-- needs an integer or pointer",
-                                   expr.line)
+                                   expr.line, expr.col)
             return target_ty
         if isinstance(expr, ast.Index):
             base_ty = self._expr(expr.base)
             if not base_ty.is_pointer:
-                raise CompileError("indexing a non-pointer", expr.line)
+                raise CompileError("indexing a non-pointer",
+                                   expr.line, expr.col)
             index_ty = self._expr(expr.index)
             if not index_ty.is_integral:
                 raise CompileError("array index must be an integer",
-                                   expr.line)
+                                   expr.line, expr.col)
             element = base_ty.element()
             if element.is_void:
-                raise CompileError("cannot index void*", expr.line)
+                raise CompileError("cannot index void*", expr.line, expr.col)
             return element
         if isinstance(expr, ast.Call):
             return self._call(expr)
         raise CompileError(f"unhandled expression {type(expr).__name__}",
-                           expr.line)
+                           expr.line, expr.col)
 
     def _unary(self, expr: ast.Unary) -> Type:
         inner = self._expr(expr.operand)
@@ -375,21 +388,22 @@ class _FunctionSema:
                 return FLOAT
             if inner.is_integral:
                 return INT
-            raise CompileError("unary - needs a number", expr.line)
+            raise CompileError("unary - needs a number", expr.line, expr.col)
         if expr.op == "!":
             if inner.is_void:
-                raise CompileError("! needs a scalar", expr.line)
+                raise CompileError("! needs a scalar", expr.line, expr.col)
             return INT
         if expr.op == "~":
             if not inner.is_integral:
-                raise CompileError("~ needs an integer", expr.line)
+                raise CompileError("~ needs an integer", expr.line, expr.col)
             return INT
-        raise CompileError(f"unknown unary operator {expr.op!r}", expr.line)
+        raise CompileError(f"unknown unary operator {expr.op!r}",
+                           expr.line, expr.col)
 
     def _addr_of(self, expr: ast.AddrOf) -> Type:
         operand = expr.operand
         if isinstance(operand, ast.Var):
-            symbol = self._lookup(operand.name, operand.line)
+            symbol = self._lookup(operand.name, operand.line, operand.col)
             operand.sym = symbol
             symbol.address_taken = True
             if symbol.is_array:
@@ -402,7 +416,7 @@ class _FunctionSema:
             return element.pointer()
         if isinstance(operand, ast.Deref):
             return self._expr(operand.operand)
-        raise CompileError("& needs an lvalue", expr.line)
+        raise CompileError("& needs an lvalue", expr.line, expr.col)
 
     def _binary(self, expr: ast.Binary) -> Type:
         op = expr.op
@@ -417,10 +431,11 @@ class _FunctionSema:
                 rhs.is_integral or rhs.is_float
             ):
                 return INT
-            raise CompileError(f"cannot compare {lhs} and {rhs}", expr.line)
+            raise CompileError(f"cannot compare {lhs} and {rhs}",
+                               expr.line, expr.col)
         if op in ("&", "|", "^", "<<", ">>", "%"):
             if not (lhs.is_integral and rhs.is_integral):
-                raise CompileError(f"{op} needs integers", expr.line)
+                raise CompileError(f"{op} needs integers", expr.line, expr.col)
             return INT
         if op in ("+", "-"):
             if lhs.is_pointer and rhs.is_integral:
@@ -430,15 +445,16 @@ class _FunctionSema:
             if op == "-" and lhs.is_pointer and rhs.is_pointer:
                 if lhs != rhs:
                     raise CompileError("pointer subtraction of different "
-                                       "types", expr.line)
+                                       "types", expr.line, expr.col)
                 return INT
         if op in ("+", "-", "*", "/"):
             if (lhs.is_integral or lhs.is_float) and (
                 rhs.is_integral or rhs.is_float
             ):
                 return common_numeric(lhs, rhs)
-            raise CompileError(f"{op} needs numbers", expr.line)
-        raise CompileError(f"unknown binary operator {op!r}", expr.line)
+            raise CompileError(f"{op} needs numbers", expr.line, expr.col)
+        raise CompileError(f"unknown binary operator {op!r}",
+                           expr.line, expr.col)
 
     def _conditional(self, expr: ast.Conditional) -> Type:
         self._condition(expr.cond)
@@ -451,41 +467,48 @@ class _FunctionSema:
         ):
             return common_numeric(then_ty, else_ty)
         raise CompileError(
-            f"incompatible ?: arms: {then_ty} and {else_ty}", expr.line
+            f"incompatible ?: arms: {then_ty} and {else_ty}",
+            expr.line, expr.col
         )
 
     def _assign(self, expr: ast.Assign) -> Type:
         target_ty = self._lvalue(expr.target)
         value_ty = self._expr(expr.value)
         if expr.op == "=":
-            self._check_assignable(target_ty, value_ty, expr.line)
+            self._check_assignable(target_ty, value_ty, expr.line, expr.col)
             return target_ty
         base_op = expr.op[:-1]
         if base_op in ("&", "|", "^", "<<", ">>", "%"):
             if not (target_ty.is_integral and value_ty.is_integral):
-                raise CompileError(f"{expr.op} needs integers", expr.line)
+                raise CompileError(f"{expr.op} needs integers",
+                                   expr.line, expr.col)
             return target_ty
         if target_ty.is_pointer:
             if base_op in ("+", "-") and value_ty.is_integral:
                 return target_ty
-            raise CompileError(f"{expr.op} invalid on a pointer", expr.line)
+            raise CompileError(f"{expr.op} invalid on a pointer",
+                               expr.line, expr.col)
         if not (target_ty.is_integral or target_ty.is_float):
-            raise CompileError(f"{expr.op} needs a numeric target", expr.line)
+            raise CompileError(f"{expr.op} needs a numeric target",
+                               expr.line, expr.col)
         if not (value_ty.is_integral or value_ty.is_float):
-            raise CompileError(f"{expr.op} needs a numeric value", expr.line)
+            raise CompileError(f"{expr.op} needs a numeric value",
+                               expr.line, expr.col)
         return target_ty
 
     def _lvalue(self, expr: ast.Expr) -> Type:
         if isinstance(expr, ast.Var):
             ty = self._expr(expr)
             if expr.sym.is_array:
-                raise CompileError("cannot assign to an array", expr.line)
+                raise CompileError("cannot assign to an array",
+                                   expr.line, expr.col)
             return ty
         if isinstance(expr, (ast.Deref, ast.Index)):
             return self._expr(expr)
-        raise CompileError("not an lvalue", expr.line)
+        raise CompileError("not an lvalue", expr.line, expr.col)
 
-    def _check_assignable(self, target: Type, value: Type, line: int) -> None:
+    def _check_assignable(self, target: Type, value: Type, line: int,
+                          col: int = 0) -> None:
         if target == value:
             return
         if (target.is_integral or target.is_float) and (
@@ -497,7 +520,8 @@ class _FunctionSema:
                 return
             if target.base == value.base and target.ptr == value.ptr:
                 return
-        raise CompileError(f"cannot assign {value} to {target}", line)
+        raise CompileError(f"cannot assign {value} to {target}",
+                           line, col)
 
     def _call(self, expr: ast.Call) -> Type:
         name = expr.name
@@ -507,24 +531,25 @@ class _FunctionSema:
             if len(expr.args) != len(builtin.params):
                 raise CompileError(
                     f"{name} expects {len(builtin.params)} argument(s)",
-                    expr.line,
+                    expr.line, expr.col,
                 )
             for arg, param_ty in zip(expr.args, builtin.params):
                 arg_ty = self._expr(arg)
-                self._check_assignable(param_ty, arg_ty, expr.line)
+                self._check_assignable(param_ty, arg_ty, expr.line, expr.col)
             return builtin.ret
         signature = self.sema.signatures.get(name)
         if signature is None:
             raise CompileError(f"call to undefined function {name!r}",
-                               expr.line)
+                               expr.line, expr.col)
         ret, param_types = signature
         if len(expr.args) != len(param_types):
             raise CompileError(
-                f"{name} expects {len(param_types)} argument(s)", expr.line
+                f"{name} expects {len(param_types)} argument(s)",
+                expr.line, expr.col
             )
         for arg, param_ty in zip(expr.args, param_types):
             arg_ty = self._expr(arg)
-            self._check_assignable(param_ty, arg_ty, expr.line)
+            self._check_assignable(param_ty, arg_ty, expr.line, expr.col)
         self.info.has_call = True
         return ret
 
@@ -687,11 +712,12 @@ class Sema:
         for func in program.funcs:
             if func.name in self.signatures or func.name in BUILTINS:
                 raise CompileError(
-                    f"duplicate function {func.name!r}", func.line
+                    f"duplicate function {func.name!r}", func.line, func.col
                 )
             if func.name in self.globals:
                 raise CompileError(
-                    f"{func.name!r} is already a global variable", func.line
+                    f"{func.name!r} is already a global variable",
+                    func.line, func.col
                 )
             self.signatures[func.name] = (
                 func.ret,
@@ -706,16 +732,17 @@ class Sema:
 
     def _global(self, decl: ast.GlobalDecl) -> None:
         if decl.name in self.globals or decl.name in BUILTINS:
-            raise CompileError(f"duplicate global {decl.name!r}", decl.line)
+            raise CompileError(f"duplicate global {decl.name!r}",
+                               decl.line, decl.col)
         if decl.ty.is_void and not decl.ty.is_pointer:
-            raise CompileError("global cannot be void", decl.line)
+            raise CompileError("global cannot be void", decl.line, decl.col)
         for init in decl.init:
             self._check_const(init, decl.ty, decl)
         if decl.array_len is None and len(decl.init) > 1:
             raise CompileError("scalar global with list initialiser",
-                               decl.line)
+                               decl.line, decl.col)
         if decl.array_len is not None and len(decl.init) > decl.array_len:
-            raise CompileError("too many initialisers", decl.line)
+            raise CompileError("too many initialisers", decl.line, decl.col)
         symbol = Symbol(
             name=decl.name,
             ty=decl.ty,
@@ -739,7 +766,7 @@ class Sema:
             return
         raise CompileError(
             f"global {decl.name!r} initialiser must be a constant literal",
-            decl.line,
+            decl.line, decl.col,
         )
 
 

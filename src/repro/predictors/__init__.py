@@ -19,7 +19,13 @@ immediately (the paper's immediate-update caveat), and report whether
 the prediction was correct.
 """
 
-from repro.predictors.base import ValuePredictor, make_predictor, PREDICTOR_KINDS
+from repro.predictors.base import (
+    PREDICTOR_KINDS,
+    PREDICTOR_PARAMS,
+    ValuePredictor,
+    make_predictor,
+    parse_predictor_spec,
+)
 from repro.predictors.bank import PredictorBank
 from repro.predictors.confidence import ConfidenceEstimator, ConfidentPredictor
 from repro.predictors.context import ContextPredictor
@@ -43,9 +49,11 @@ __all__ = [
     "LastValuePredictor",
     "LocalBranchPredictor",
     "PREDICTOR_KINDS",
+    "PREDICTOR_PARAMS",
     "PredictorBank",
     "StridePredictor",
     "ValuePredictor",
     "make_branch_predictor",
     "make_predictor",
+    "parse_predictor_spec",
 ]

@@ -42,19 +42,28 @@ class ContextPredictor(ValuePredictor):
     kind = "context"
     letter = "C"
 
-    #: Bits of hashed history per value in the context signature.
+    #: Bits of hashed history per value in the context signature
+    #: (the default ``l2_bits // order``).
     HASH_BITS = 5
-    #: Number of values forming the context.
+    #: Number of values forming the context (the default ``order``).
     ORDER = 4
 
-    def __init__(self, l1_bits: int = 16, l2_bits: int = 20):
+    def __init__(self, l1_bits: int = 16, l2_bits: int = 20,
+                 order: int = 4, hysteresis: int = 7):
         self.l1_bits = l1_bits
         self.l2_bits = l2_bits
+        #: history depth: how many values form the context signature.
+        self.order = order
+        #: saturating-counter ceiling (7 = the paper's 3-bit counter).
+        self.hysteresis = hysteresis
+        #: per-value shift keeping ``order`` values alive in the
+        #: signature; 20/4 reproduces the class-level default of 5.
+        self._hash_bits = max(1, l2_bits // order)
         self._l1_mask = (1 << l1_bits) - 1
         self._l2_mask = (1 << l2_bits) - 1
-        #: first level: rolling 20-bit context signature per entry.
+        #: first level: rolling context signature per entry.
         self._contexts = [0] * (1 << l1_bits)
-        #: shared second level: predicted value + 3-bit counter.
+        #: shared second level: predicted value + saturating counter.
         self._values: list = [_EMPTY] * (1 << l2_bits)
         self._counters = bytearray(1 << l2_bits)
 
@@ -67,18 +76,18 @@ class ContextPredictor(ValuePredictor):
         counters = self._counters
         counter = counters[context]
         if correct:
-            if counter < 7:
+            if counter < self.hysteresis:
                 counters[context] = counter + 1
         elif counter > 0:
             counters[context] = counter - 1
         else:
             values[context] = value
-            counters[context] = 1
+            counters[context] = min(1, self.hysteresis)
         raw = hash(value)
         l2_mask = self._l2_mask
         folded = (raw ^ (raw >> 20) ^ (raw >> 40)) & l2_mask
         self._contexts[l1_index] = (
-            ((context << self.HASH_BITS) ^ folded) & l2_mask
+            ((context << self._hash_bits) ^ folded) & l2_mask
         )
         return correct
 

@@ -27,12 +27,15 @@ class HybridPredictor(ValuePredictor):
     kind = "hybrid"
     letter = "H"
 
-    def __init__(self, index_bits: int = 16, l2_bits: int = 20):
+    def __init__(self, index_bits: int = 16, l2_bits: int = 20,
+                 chooser_init: int = 2):
         self.stride = StridePredictor(index_bits)
         self.context = ContextPredictor(index_bits, l2_bits)
         self._mask = (1 << index_bits) - 1
         #: 2-bit chooser per entry; >= 2 selects the context component.
-        self._chooser = bytearray([2]) * (1 << index_bits)
+        #: ``chooser_init`` sets the mix's starting bias (0/1 favours
+        #: stride, 2/3 context).
+        self._chooser = bytearray([chooser_init]) * (1 << index_bits)
 
     def see(self, key: int, value) -> bool:
         index = key & self._mask

@@ -20,8 +20,11 @@ class LastValuePredictor(ValuePredictor):
     kind = "last"
     letter = "L"
 
-    def __init__(self, index_bits: int = 16):
+    def __init__(self, index_bits: int = 16, hysteresis: int = 3):
         self.index_bits = index_bits
+        #: saturating-counter ceiling; 3 is the paper's 2-bit counter,
+        #: 0 disables hysteresis entirely (always-replace).
+        self.hysteresis = hysteresis
         self._mask = (1 << index_bits) - 1
         self._values: list = [_EMPTY] * (1 << index_bits)
         self._counters = bytearray(1 << index_bits)
@@ -34,13 +37,13 @@ class LastValuePredictor(ValuePredictor):
         counters = self._counters
         counter = counters[index]
         if correct:
-            if counter < 3:
+            if counter < self.hysteresis:
                 counters[index] = counter + 1
         elif counter > 0:
             counters[index] = counter - 1
         else:
             values[index] = value
-            counters[index] = 1
+            counters[index] = min(1, self.hysteresis)
         return correct
 
     def peek(self, key: int):

@@ -204,7 +204,8 @@ def _resolve_trace(name: str, config: ExperimentConfig,
     n_static, records, complete = _capture(name, config, budget)
     if trace_store is not None:
         try:
-            trace_store.put(key, records, n_static, complete=complete)
+            trace_store.put(key, records, n_static, complete=complete,
+                            workload=name)
         except OSError as error:
             # A trace that cannot be stored only costs the *next*
             # config a re-simulation; never fail the current job.

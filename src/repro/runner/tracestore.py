@@ -115,12 +115,15 @@ class TraceStore(LRUFileStore):
         return header.get("n_records", 0) >= need
 
     def put(self, key: str, records, n_static: int,
-            complete: bool | None = None) -> Path:
+            complete: bool | None = None,
+            workload: str | None = None) -> Path:
         """Atomically store ``records`` under ``key``; returns the path.
 
         Overwrites an existing trace — the caller only re-captures when
         the stored one could not serve, so the replacement is strictly
-        longer.
+        longer.  ``workload`` annotates the header for ``cache info``'s
+        fixed-vs-generated occupancy breakdown; it is not part of the
+        content address.
         """
         with get_recorder().span("store.trace.put"):
             fault_io("trace.write")
@@ -131,7 +134,8 @@ class TraceStore(LRUFileStore):
             )
             os.close(fd)
             try:
-                save_trace(records, tmp_name, n_static, complete=complete)
+                save_trace(records, tmp_name, n_static, complete=complete,
+                           workload=workload)
                 os.replace(tmp_name, path)
             except BaseException:
                 self._remove(Path(tmp_name))

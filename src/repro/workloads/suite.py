@@ -205,13 +205,27 @@ _BY_NAME.update({workload.spec_name: workload for workload in SUITE})
 
 
 def get_workload(name: str) -> Workload:
-    """Look a workload up by short name or SPEC name."""
+    """Look a workload up by short name or SPEC name.
+
+    Names starting with ``gen:`` resolve to synthesized workloads
+    (:mod:`repro.gen`): the name encodes ``(preset, seed, knobs)``, so
+    resolution works in any process — pool workers rebuild the same
+    program from the name alone.
+    """
+    if name.startswith("gen:"):
+        from repro.gen.workload import generated_workload
+
+        try:
+            return generated_workload(name)
+        except ValueError as exc:
+            raise KeyError(str(exc)) from None
     try:
         return _BY_NAME[name]
     except KeyError:
         raise KeyError(
             f"unknown workload {name!r}; known: "
-            f"{', '.join(sorted(w.name for w in SUITE))}"
+            f"{', '.join(sorted(w.name for w in SUITE))} "
+            "(or gen:<preset>@<seed>)"
         ) from None
 
 

@@ -1,0 +1,90 @@
+"""The facade's synthesis entry points: generate() / run_campaign()."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.runner import reset_default_runner
+
+_SPEC = {
+    "name": "facade",
+    "max_instructions": 20_000,
+    "workloads": ["gen:loopy@1", "gen:arith@2"],
+    "variants": [
+        {"name": "baseline", "predictors": ["last"]},
+        {"name": "pair", "predictors": ["last", "stride"]},
+    ],
+}
+
+
+@pytest.fixture(autouse=True)
+def fresh_runner():
+    reset_default_runner()
+    yield
+    reset_default_runner()
+
+
+class TestGenerate:
+    def test_full_name(self):
+        workload = api.generate("gen:graph-walk@7")
+        assert workload.name == "gen:graph-walk@7"
+        assert workload.preset == "graph-walk"
+
+    def test_parts_and_overrides(self):
+        workload = api.generate("graph-walk", 7, imm_mix=6)
+        assert workload.name == "gen:graph-walk@7:imm_mix=6"
+        assert workload.knobs.imm_mix == 6
+
+    def test_both_shapes_agree(self):
+        assert api.generate("loopy", 3) is api.generate("gen:loopy@3")
+
+    def test_name_and_parts_is_an_error(self):
+        with pytest.raises(ValueError, match="not both"):
+            api.generate("gen:loopy@3", 3)
+
+    def test_missing_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            api.generate("loopy")
+
+    def test_runs_through_the_facade(self, tmp_path):
+        api.configure(cache_dir=tmp_path)
+        workload = api.generate("loopy", 5)
+        result = api.run_workload(
+            workload.name,
+            api.ExperimentConfig(max_instructions=20_000),
+        )
+        assert result.nodes > 0
+
+
+class TestRunCampaign:
+    def test_dict_spec_with_report(self, tmp_path):
+        api.configure(cache_dir=tmp_path / "cache")
+        out = tmp_path / "report"
+        campaign = api.run_campaign(_SPEC, report_dir=out)
+        assert campaign.spec.name == "facade"
+        assert sum(campaign.resolve_counts.values()) == 4
+        assert (out / "index.md").is_file()
+        assert (out / "campaign.json").is_file()
+
+    def test_path_spec(self, tmp_path):
+        import json
+
+        api.configure(cache_dir=tmp_path / "cache")
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(_SPEC))
+        campaign = api.run_campaign(path)
+        assert campaign.spec.jobs() == 4
+
+    def test_warm_re_run(self, tmp_path):
+        api.configure(cache_dir=tmp_path / "cache")
+        api.run_campaign(_SPEC)
+        # Fresh runner over the same store: everything from disk.
+        api.configure(cache_dir=tmp_path / "cache")
+        warm = api.run_campaign(_SPEC)
+        assert warm.fully_warm
+        assert warm.pool_jobs == 0
+
+    def test_bad_spec_type(self):
+        with pytest.raises(ValueError, match="CampaignSpec"):
+            api.run_campaign(42)

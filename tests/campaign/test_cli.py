@@ -1,0 +1,136 @@
+"""The ``gen``/``campaign`` CLI surface plus the provenance listings."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+_SPEC_TOML = """
+name = "cli-e2e"
+scale = 1
+max_instructions = 20000
+workloads = ["gen:loopy@1", "gen:graph-walk@2"]
+
+[[variants]]
+name = "baseline"
+predictors = ["last", "stride"]
+
+[[variants]]
+name = "small"
+predictors = ["last(bits=8)"]
+"""
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "spec.toml"
+    path.write_text(_SPEC_TOML)
+    return path
+
+
+class TestGen:
+    def test_prints_source(self, capsys):
+        assert main(["gen", "gen:loopy@1"]) == 0
+        out = capsys.readouterr().out
+        assert "int main(" in out
+        assert "gen:loopy@1" in out
+
+    def test_info(self, capsys):
+        assert main(["gen", "gen:graph-walk@7", "--info"]) == 0
+        out = capsys.readouterr().out
+        assert "preset:      graph-walk" in out
+        assert "seed:        7" in out
+        assert "trace key:" in out
+
+    def test_presets(self, capsys):
+        assert main(["gen", "--presets"]) == 0
+        out = capsys.readouterr().out
+        for preset in ("loopy", "pointer-chase", "graph-walk"):
+            assert preset in out
+
+    def test_run(self, capsys):
+        assert main(["gen", "gen:arith@3", "--run"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_emit_asm(self, capsys):
+        assert main(["gen", "gen:loopy@1", "--emit-asm"]) == 0
+        assert "__start" in capsys.readouterr().out
+
+    def test_bad_name(self, capsys):
+        assert main(["gen", "gen:nope@1"]) == 1
+        assert "unknown preset" in capsys.readouterr().err
+
+
+class TestCampaign:
+    def test_validate(self, spec_path, capsys):
+        assert main(["campaign", "validate", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "4 jobs" in out
+
+    def test_validate_rejects_bad_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text('name = "x"\nworkloads = ["nope"]\n'
+                        '[[variants]]\nname = "v"\npredictors = ["last"]\n')
+        assert main(["campaign", "validate", str(path)]) == 1
+        assert "invalid spec" in capsys.readouterr().err
+
+    def test_run_then_warm_report(self, spec_path, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "run", str(spec_path),
+                     "--cache-dir", cache]) == 0
+        cold = capsys.readouterr().out
+        assert "computed=4" in cold
+
+        out_dir = tmp_path / "report"
+        assert main(["campaign", "report", str(spec_path),
+                     "--cache-dir", cache, "--out", str(out_dir)]) == 0
+        warm = capsys.readouterr().out
+        assert "pool jobs: 0 (fully warm)" in warm
+        assert (out_dir / "index.md").is_file()
+        manifest = json.loads((out_dir / "campaign.json").read_text())
+        assert manifest["fully_warm"] is True
+
+    def test_report_requires_out(self, spec_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "report", str(spec_path)])
+
+    def test_missing_spec_file(self, tmp_path, capsys):
+        assert main(["campaign", "run", str(tmp_path / "nope.toml")]) == 1
+        assert "cannot load" in capsys.readouterr().err
+
+
+class TestProvenanceListings:
+    def test_workloads_generated_and_cache_info(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "listing",
+            "max_instructions": 20_000,
+            "workloads": ["gen:loopy@1", "com"],
+            "variants": [{"name": "v", "predictors": ["last"]}],
+        }))
+        assert main(["campaign", "run", str(spec),
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+
+        assert main(["workloads", "--generated",
+                     "--cache-dir", cache]) == 0
+        listing = capsys.readouterr().out
+        assert "gen:loopy@1" in listing
+        assert "loopy" in listing
+        assert "com" not in listing.split("presets:")[0]
+
+        assert main(["cache", "info", "--cache-dir", cache]) == 0
+        info = capsys.readouterr().out
+        assert "fixed 1, generated 1" in info
+
+    def test_workloads_generated_empty_cache(self, tmp_path, capsys):
+        assert main(["workloads", "--generated",
+                     "--cache-dir", str(tmp_path / "empty")]) == 0
+        out = capsys.readouterr().out
+        assert "no synthesized workloads" in out
+        assert "presets:" in out

@@ -1,0 +1,86 @@
+"""End-to-end campaign execution against a real cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import run_campaign, spec_from_dict
+from repro.runner import ExperimentRunner, ResultStore, TraceStore
+from repro.runner.metrics import STATUS_CACHE_HIT, STATUS_COMPUTED
+
+_SPEC = {
+    "name": "engine-e2e",
+    "scale": 1,
+    "max_instructions": 20_000,
+    "workloads": ["gen:loopy@1", "gen:pointer-chase@2"],
+    "variants": [
+        {"name": "baseline", "predictors": ["last", "stride"]},
+        {"name": "small", "predictors": ["last(bits=8)"]},
+    ],
+}
+
+
+@pytest.fixture
+def spec():
+    return spec_from_dict(_SPEC)
+
+
+def _runner(root) -> ExperimentRunner:
+    return ExperimentRunner(store=ResultStore(root),
+                            trace_store=TraceStore(root))
+
+
+def test_cold_then_warm(tmp_path, spec):
+    cold = run_campaign(spec, runner=_runner(tmp_path))
+    assert cold.resolve_counts == {STATUS_COMPUTED: 4}
+    assert cold.pool_jobs == 4
+    assert not cold.fully_warm
+
+    # A fresh runner over the same store must not touch the pool.
+    warm = run_campaign(spec, runner=_runner(tmp_path))
+    assert warm.resolve_counts == {STATUS_CACHE_HIT: 4}
+    assert warm.pool_jobs == 0
+    assert warm.fully_warm
+
+    # Cached results are the same analyses.
+    for variant, name, result in cold.iter_cells():
+        again = warm.results[variant.name][name]
+        assert again.nodes == result.nodes
+        assert again.arcs == result.arcs
+        assert set(again.predictors) == set(result.predictors)
+
+
+def test_grid_shape_and_order(tmp_path, spec):
+    campaign = run_campaign(spec, runner=_runner(tmp_path))
+    assert campaign.variant_names() == ["baseline", "small"]
+    cells = list(campaign.iter_cells())
+    assert [(v.name, name) for v, name, __ in cells] == [
+        ("baseline", "gen:loopy@1"),
+        ("baseline", "gen:pointer-chase@2"),
+        ("small", "gen:loopy@1"),
+        ("small", "gen:pointer-chase@2"),
+    ]
+    for variant, __, result in cells:
+        assert set(result.predictors) == set(variant.predictors)
+
+
+def test_variants_share_one_simulation(tmp_path, spec):
+    """The sweep path simulates each workload once for all variants."""
+    campaign = run_campaign(spec, runner=_runner(tmp_path))
+    total = sum(campaign.resolve_counts.values())
+    assert total == spec.jobs()  # one resolution per grid cell ...
+    traces = list(TraceStore(tmp_path).entries())
+    assert len(traces) == len(spec.workloads)  # ... one trace per workload
+
+
+def test_invalid_spec_refused(tmp_path, spec):
+    from dataclasses import replace
+
+    bad = replace(spec, workloads=("gen:nope@1",))
+    with pytest.raises(ValueError, match="unknown preset"):
+        run_campaign(bad, runner=_runner(tmp_path))
+
+
+def test_wall_clock_recorded(tmp_path, spec):
+    campaign = run_campaign(spec, runner=_runner(tmp_path))
+    assert campaign.wall > 0

@@ -1,0 +1,85 @@
+"""Cross-process reproducibility: the name is the whole identity."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.gen import generated_workload
+from repro.runner.job import trace_key
+
+_SRC = str(Path(repro.__file__).resolve().parents[1])
+
+_PROBE = (
+    "import hashlib, json;"
+    "from repro.gen import generated_workload;"
+    "from repro.runner.job import trace_key;"
+    "w = generated_workload({name!r});"
+    "print(json.dumps({{"
+    "'source': hashlib.sha256(w.source().encode()).hexdigest(),"
+    "'source_hash': w.source_hash(),"
+    "'trace_key': trace_key(w.name, 1)}}))"
+)
+
+
+def _probe(name: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", _PROBE.format(name=name)],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def test_two_fresh_processes_agree():
+    name = "gen:graph-walk@11:imm_mix=6"
+    first = _probe(name)
+    second = _probe(name)
+    assert first == second
+    # ... and both agree with this process.
+    workload = generated_workload(name)
+    assert first["source_hash"] == workload.source_hash()
+    assert first["trace_key"] == trace_key(workload.name, 1)
+
+
+def test_distinct_seeds_distinct_trace_keys():
+    keys = {
+        trace_key(generated_workload(f"gen:pointer-chase@{seed}").name, 1)
+        for seed in (1, 2, 3, 4)
+    }
+    assert len(keys) == 4
+
+
+def test_memoized_instance_identity():
+    assert (generated_workload("gen:loopy@1")
+            is generated_workload("gen:loopy@1"))
+
+
+def test_noop_override_resolves_to_same_instance():
+    from repro.gen import PRESETS
+
+    value = PRESETS["loopy"].imm_mix
+    assert (generated_workload(f"gen:loopy@1:imm_mix={value}")
+            is generated_workload("gen:loopy@1"))
+
+
+def test_get_workload_resolves_gen_names():
+    from repro.workloads import get_workload
+
+    workload = get_workload("gen:arith@6")
+    assert workload.preset == "arith"
+    assert workload.seed == 6
+
+
+def test_get_workload_bad_gen_name_is_key_error():
+    import pytest
+
+    from repro.workloads import get_workload
+
+    with pytest.raises(KeyError):
+        get_workload("gen:nope@1")

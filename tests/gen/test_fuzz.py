@@ -1,0 +1,131 @@
+"""Generator-driven fuzzing of the mini-C frontend.
+
+Two contracts:
+
+* every generated program compiles — the emitter is correct by
+  construction, so a compile failure on generator output is a bug in
+  one of the two;
+* a *garbled* program may fail to compile, but only ever with a
+  :class:`~repro.errors.MinicError` — never a bare ``KeyError``/
+  ``IndexError``/``AttributeError`` escaping the frontend.
+
+The quick versions run in tier 1; the 1000-seed sweep is marked slow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MinicError
+from repro.gen import PRESETS, generate_source, save_triage, shrink
+from repro.minic import compile_program
+from repro.workloads.inputs import Rng
+
+_PRESETS = sorted(PRESETS)
+
+
+def _knobs_for_seed(seed: int):
+    return PRESETS[_PRESETS[seed % len(_PRESETS)]]
+
+
+def _compile_seeds(seeds, tmp_path):
+    """Compile one generated program per seed; return failures."""
+    failures = []
+    for seed in seeds:
+        source = generate_source(_knobs_for_seed(seed), seed=seed)
+        try:
+            compile_program(source)
+        except MinicError as error:
+            # Valid-by-construction output must compile; keep the
+            # reproducer (shrunk) for triage instead of just a seed.
+            def still_fails(candidate: str) -> bool:
+                try:
+                    compile_program(candidate)
+                except MinicError:
+                    return True
+                except Exception:
+                    return False
+                return False
+
+            small = shrink(source, still_fails)
+            path = save_triage(small, error, directory=tmp_path)
+            failures.append((seed, error, path))
+        except Exception as error:  # non-MinicError: always a bug
+            failures.append((seed, error, None))
+    return failures
+
+
+def test_generated_programs_compile_quick(tmp_path):
+    failures = _compile_seeds(range(40), tmp_path)
+    assert not failures, failures[:3]
+
+
+@pytest.mark.slow
+def test_generated_programs_compile_1000_seeds(tmp_path):
+    failures = _compile_seeds(range(1000), tmp_path)
+    assert not failures, failures[:3]
+
+
+def _garble(source: str, rng: Rng) -> str:
+    """One deterministic mutation: delete/dup/truncate/splice."""
+    lines = source.splitlines()
+    kind = rng.word(0, 3)
+    if kind == 0 and len(lines) > 1:  # drop a line
+        del lines[rng.word(0, len(lines) - 1)]
+        return "\n".join(lines)
+    if kind == 1:  # duplicate a line
+        index = rng.word(0, len(lines) - 1)
+        lines.insert(index, lines[index])
+        return "\n".join(lines)
+    if kind == 2:  # truncate mid-file
+        return "\n".join(lines[: max(1, rng.word(1, len(lines)))])
+    # splice garbage into a line
+    index = rng.word(0, len(lines) - 1)
+    junk = "{}()=;+*@#"[rng.word(0, 9)]
+    pos = rng.word(0, max(0, len(lines[index]) - 1))
+    lines[index] = lines[index][:pos] + junk + lines[index][pos:]
+    return "\n".join(lines)
+
+
+def _mutation_sweep(count: int) -> None:
+    rng = Rng(0xF022)
+    for trial in range(count):
+        source = generate_source(_knobs_for_seed(trial), seed=trial)
+        for _ in range(rng.word(1, 4)):
+            source = _garble(source, rng)
+        try:
+            compile_program(source)
+        except MinicError:
+            pass  # rejecting garbage is the job
+        except RecursionError:
+            pass  # pathological nesting from splices; not a frontend bug
+        # anything else propagates and fails the test
+
+
+def test_mutation_fuzz_only_minic_errors_quick():
+    _mutation_sweep(60)
+
+
+@pytest.mark.slow
+def test_mutation_fuzz_only_minic_errors_1000():
+    _mutation_sweep(1000)
+
+
+def test_diagnostics_carry_position():
+    """Frontend rejections point at a line (and usually a column)."""
+    rng = Rng(0xD1A6)
+    positioned = 0
+    rejected = 0
+    for trial in range(80):
+        source = generate_source(_knobs_for_seed(trial), seed=trial)
+        source = _garble(source, rng)
+        try:
+            compile_program(source)
+        except MinicError as error:
+            rejected += 1
+            if "line " in str(error):
+                positioned += 1
+        except RecursionError:
+            pass
+    assert rejected > 5  # the mutations do bite
+    assert positioned >= rejected * 3 // 4

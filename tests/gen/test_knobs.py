@@ -1,0 +1,96 @@
+"""Name grammar, presets and knob bounds of the generator."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.gen import (
+    PRESETS,
+    canonical_gen_name,
+    knobs_for,
+    parse_gen_name,
+)
+from repro.gen.knobs import MAX_SEED, GenKnobs
+
+
+class TestParseGenName:
+    def test_plain(self):
+        assert parse_gen_name("gen:loopy@5") == ("loopy", 5, {})
+
+    def test_overrides(self):
+        preset, seed, overrides = parse_gen_name(
+            "gen:graph-walk@12:imm_mix=6,loop_depth=3"
+        )
+        assert preset == "graph-walk"
+        assert seed == 12
+        assert overrides == {"imm_mix": 6, "loop_depth": 3}
+
+    @pytest.mark.parametrize("bad", [
+        "loopy@5",                 # no gen: prefix
+        "gen:loopy",               # no seed
+        "gen:loopy@",              # empty seed
+        "gen:loopy@-3",            # negative seed
+        "gen:loopy@5:",            # empty overrides
+        "gen:loopy@5:imm_mix=",    # empty value
+        "gen:loopy@5:imm_mix=6,",  # trailing comma
+        "gen:Loopy@5",             # uppercase preset
+        "gen:loopy@5:IMM=6",       # uppercase knob
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_gen_name(bad)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            knobs_for("nope")
+
+    def test_unknown_knob(self):
+        with pytest.raises(ValueError, match="unknown knob"):
+            parse_gen_name("gen:loopy@1:bogus=1")
+
+    def test_seed_bound(self):
+        with pytest.raises(ValueError):
+            canonical_gen_name("loopy", MAX_SEED + 1, {})
+
+
+class TestCanonicalName:
+    def test_sorted_keys(self):
+        name = canonical_gen_name(
+            "loopy", 3, {"stmts_per_block": 6, "imm_mix": 2}
+        )
+        assert name == "gen:loopy@3:imm_mix=2,stmts_per_block=6"
+
+    def test_noop_override_dropped(self):
+        loopy = PRESETS["loopy"]
+        name = canonical_gen_name("loopy", 3, {"imm_mix": loopy.imm_mix})
+        assert name == "gen:loopy@3"
+
+    def test_round_trip(self):
+        name = canonical_gen_name("mixed", 9, {"funcs": 1})
+        assert canonical_gen_name(*parse_gen_name(name)) == name
+
+
+class TestKnobs:
+    def test_presets_validate(self):
+        for name, knobs in PRESETS.items():
+            knobs.validate()
+
+    def test_knobs_for_applies_overrides(self):
+        knobs = knobs_for("loopy", {"imm_mix": 2})
+        assert knobs.imm_mix == 2
+        assert knobs.loop_depth == PRESETS["loopy"].loop_depth
+
+    def test_bounds_rejected(self):
+        for field in dataclasses.fields(GenKnobs):
+            bad = dataclasses.replace(GenKnobs(), **{field.name: 99})
+            with pytest.raises(ValueError, match=field.name):
+                bad.validate()
+
+    def test_overrides_from(self):
+        base = GenKnobs()
+        same = dataclasses.replace(base)
+        assert same.overrides_from(base) == {}
+        bumped = dataclasses.replace(base, arrays=3)
+        assert bumped.overrides_from(base) == {"arrays": 3}

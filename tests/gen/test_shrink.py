@@ -1,0 +1,61 @@
+"""The line-granular ddmin shrinker and the triage dropbox."""
+
+from __future__ import annotations
+
+from repro.gen import save_triage, shrink
+
+
+def test_shrink_isolates_the_bad_line():
+    lines = [f"int x{i} = {i};" for i in range(64)]
+    lines.insert(37, "BAD LINE")
+    source = "\n".join(lines)
+
+    shrunk = shrink(source, lambda s: "BAD" in s)
+    assert "BAD" in shrunk
+    assert shrunk.strip() == "BAD LINE"
+
+
+def test_shrink_keeps_interacting_lines():
+    source = "\n".join(["alpha", "filler1", "beta", "filler2"])
+
+    def predicate(text: str) -> bool:
+        return "alpha" in text and "beta" in text
+
+    shrunk = shrink(source, predicate)
+    assert predicate(shrunk)
+    assert "filler1" not in shrunk
+    assert "filler2" not in shrunk
+
+
+def test_shrink_rejects_a_predicate_that_does_not_hold():
+    import pytest
+
+    with pytest.raises(ValueError, match="predicate"):
+        shrink("one\ntwo", lambda s: False)
+
+
+def test_shrink_is_deterministic():
+    source = "\n".join(f"line {i}" for i in range(40)) + "\nBAD"
+    predicate = lambda s: "BAD" in s  # noqa: E731
+    assert shrink(source, predicate) == shrink(source, predicate)
+
+
+def test_save_triage_writes_reproducer(tmp_path):
+    error = ValueError("synthetic failure")
+    path = save_triage("int main() { return 0; }", error,
+                       directory=tmp_path)
+    assert path.parent == tmp_path
+    assert path.name.startswith("minic-")
+    assert path.suffix == ".mc"
+    text = path.read_text()
+    assert "synthetic failure" in text
+    assert "int main() { return 0; }" in text
+
+
+def test_save_triage_is_content_addressed(tmp_path):
+    error = ValueError("boom")
+    first = save_triage("source A", error, directory=tmp_path)
+    again = save_triage("source A", error, directory=tmp_path)
+    other = save_triage("source B", error, directory=tmp_path)
+    assert first == again
+    assert first != other

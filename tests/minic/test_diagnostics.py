@@ -1,0 +1,66 @@
+"""Frontend error contract: positioned messages, no stray exceptions."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.errors import CompileError, InternalCompilerError, MinicError
+from repro.minic import compile_source
+
+_POSITIONED = re.compile(r"line \d+, col \d+: ")
+
+
+def _error(source: str) -> CompileError:
+    with pytest.raises(CompileError) as info:
+        compile_source(source)
+    return info.value
+
+
+class TestPositions:
+    def test_lexer_error(self):
+        error = _error("int main() { int x = `; }")
+        assert _POSITIONED.match(str(error))
+
+    def test_parser_error(self):
+        error = _error("int main( { return 0; }")
+        assert _POSITIONED.match(str(error))
+        assert error.line == 1
+
+    def test_parser_error_line_tracks_input(self):
+        error = _error("int main() {\n  int x = 1;\n  x ++ +;\n}\n")
+        assert error.line == 3
+
+    def test_semantic_error(self):
+        error = _error("int main() {\n  return missing;\n}\n")
+        assert _POSITIONED.match(str(error))
+        assert error.line == 2
+
+    def test_type_error(self):
+        error = _error(
+            "int main() {\n  float f = 1.0;\n  f[0] = 1;\n  return 0;\n}\n"
+        )
+        assert _POSITIONED.match(str(error))
+
+
+class TestHierarchy:
+    def test_compile_error_is_minic_error(self):
+        assert issubclass(CompileError, MinicError)
+        assert issubclass(InternalCompilerError, CompileError)
+
+    def test_internal_error_net(self, monkeypatch):
+        from repro.minic import compiler
+
+        def boom(ast):
+            raise KeyError("synthetic")
+
+        monkeypatch.setattr(compiler, "analyze", boom)
+        with pytest.raises(InternalCompilerError) as info:
+            compile_source("int main() { return 0; }")
+        assert "KeyError" in str(info.value)
+        assert isinstance(info.value.__cause__, KeyError)
+
+    def test_real_errors_pass_through_unwrapped(self):
+        error = _error("int main() { return missing; }")
+        assert not isinstance(error, InternalCompilerError)
