@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke service-smoke campaign-smoke \
-        clean-cache
+.PHONY: test test-fast bench bench-smoke kernel-parity service-smoke \
+        campaign-smoke clean-cache
 
 ## Tier-1 verification: the full test suite.
 test:
@@ -21,6 +21,15 @@ bench:
 ## sweep is not >= 3x faster than cold.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_runner.py
+
+## Columnar-kernel parity gate: the differential test suites (fast
+## fuzz tier included) plus the full parity matrix, which writes
+## reports/kernel_parity.json and fails on any byte-level divergence
+## between the columnar and reference engines (see docs/kernel.md).
+kernel-parity:
+	$(PYTHON) -m pytest -x -q tests/core/test_kernel_parity.py \
+		tests/properties/test_kernel_fuzz.py tests/runner/test_engine.py
+	$(PYTHON) benchmarks/bench_kernel.py
 
 ## Service load smoke: zipf-skewed concurrent clients against a
 ## fresh server; writes BENCH_service.json at the repo root and

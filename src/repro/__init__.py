@@ -28,6 +28,7 @@ Quick start::
 from repro.asm import AsmError, Program, assemble
 from repro.core import (
     AnalysisConfig,
+    AnalysisEngine,
     AnalysisResult,
     Analyzer,
     Behavior,
@@ -83,6 +84,7 @@ __version__ = _resolve_version()
 
 __all__ = [
     "AnalysisConfig",
+    "AnalysisEngine",
     "AnalysisResult",
     "Analyzer",
     "AsmError",

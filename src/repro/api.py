@@ -39,11 +39,14 @@ from __future__ import annotations
 from repro.asm import Program
 from repro.core import (
     AnalysisConfig,
+    AnalysisEngine,
     AnalysisResult,
     Analyzer,
     analyze_machine,
     analyze_many,
     analyze_trace,
+    get_default_engine,
+    set_default_engine,
 )
 from repro.cpu import Machine
 from repro.minic import compile_program
@@ -65,6 +68,7 @@ from repro.workloads import SUITE, Workload, get_workload
 
 __all__ = [
     "AnalysisConfig",
+    "AnalysisEngine",
     "AnalysisResult",
     "Analyzer",
     "ExperimentConfig",
@@ -88,8 +92,10 @@ __all__ = [
     "default_chaos_plan",
     "default_runner",
     "generate",
+    "get_default_engine",
     "get_recorder",
     "get_workload",
+    "set_default_engine",
     "recording",
     "run_campaign",
     "run_suite",
@@ -109,6 +115,7 @@ def configure(
     timeout=_UNSET,
     retries=_UNSET,
     faults=_UNSET,
+    engine=_UNSET,
 ) -> ExperimentRunner:
     """Reconfigure the shared runner behind the ``run_*`` entry points.
 
@@ -129,6 +136,14 @@ def configure(
         faults: a :class:`repro.runner.FaultPlan` installed during each
             run — the chaos-testing channel (see docs/robustness.md);
             ``None`` injects nothing.
+        engine: analysis engine for the runner *and* the process-wide
+            default behind direct :func:`analyze` calls —
+            ``"auto"`` (columnar where supported, reference otherwise),
+            ``"columnar"`` (forced; unsupported configs raise
+            :class:`repro.core.KernelUnsupportedError`) or
+            ``"reference"`` (the original per-instruction loop).  The
+            engine never enters job keys, so switching it hits the same
+            caches; see docs/kernel.md.
 
     Returns the newly installed :class:`ExperimentRunner` (also handy
     for direct use).  Call ``repro.runner.reset_default_runner()`` to
@@ -136,6 +151,14 @@ def configure(
     read-modify-install is atomic, so concurrent ``configure`` calls
     serialise instead of silently dropping one another's settings.
     """
+
+    if engine is not _UNSET:
+        # The engine is both a runner setting and the process default
+        # behind direct analyze()/analyze_trace() calls; None restores
+        # the built-in "auto".
+        set_default_engine(
+            AnalysisEngine.AUTO if engine is None else engine
+        )
 
     def build(current: ExperimentRunner) -> ExperimentRunner:
         if cache_dir is _UNSET:
@@ -153,6 +176,7 @@ def configure(
             retries=current.retries if retries is _UNSET else retries,
             observe=current.obs if observe is _UNSET else observe,
             faults=current.faults if faults is _UNSET else faults,
+            engine=current.engine if engine is _UNSET else engine,
         )
 
     return swap_default_runner(build)
@@ -329,16 +353,19 @@ def run_campaign(spec, jobs: int | None = None,
 
 
 def analyze(target, name: str = "program",
-            config: AnalysisConfig | None = None) -> AnalysisResult:
+            config: AnalysisConfig | None = None,
+            engine=None) -> AnalysisResult:
     """Analyse ad-hoc material outside the workload suite.
 
     ``target`` may be mini-C source text, a compiled
     :class:`~repro.asm.Program`, or a ready :class:`~repro.cpu.Machine`
     (useful for non-default memory or instruction budgets).  No cache
     is involved — ad-hoc material has no content identity to key on.
+    ``engine`` overrides the process-wide analysis engine for this
+    call (see :func:`configure`); None follows the default.
     """
     if isinstance(target, str):
         target = compile_program(target)
     if isinstance(target, Program):
         target = Machine(target)
-    return analyze_machine(target, name, config)
+    return analyze_machine(target, name, config, engine=engine)

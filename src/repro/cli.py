@@ -50,6 +50,7 @@ import time
 from pathlib import Path
 
 from repro.core.export import result_to_dict
+from repro.core.kernel import ENGINE_CHOICES
 from repro.obs.export import render_profile, to_jsonl, to_prometheus
 from repro.runner.api import (
     DEFAULT_CACHE_DIR,
@@ -129,6 +130,16 @@ def _add_suite_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", action="store_true",
                         help="record spans/counters for the run and print "
                              "the profile (also lands in the metrics JSON)")
+    _add_engine_flag(parser)
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=ENGINE_CHOICES, default=None,
+                        help="analysis engine: auto (columnar where "
+                             "supported; default), columnar (forced), or "
+                             "reference (the original per-instruction "
+                             "loop); results are byte-identical and the "
+                             "caches are shared (see docs/kernel.md)")
 
 
 def _make_stores(args) -> tuple[ResultStore | None, TraceStore | None]:
@@ -177,8 +188,9 @@ def cmd_run(parser, args) -> int:
         jobs=args.jobs if args.jobs is not None else _default_jobs(),
         timeout=args.timeout, retries=args.retries,
         # getattr: the deprecated ``python -m repro.runner`` forwarder's
-        # frozen flag set has no --profile (nor --resume below).
+        # frozen flag set has no --profile (nor --resume/--engine).
         observe=getattr(args, "profile", False),
+        engine=getattr(args, "engine", None),
     )
     with _cancel_on_signals() as cancel:
         run = runner.run(config, resume=getattr(args, "resume", False),
@@ -400,6 +412,7 @@ def cmd_report(parser, args) -> int:
         jobs=args.jobs if args.jobs is not None
         else int(os.environ.get("REPRO_JOBS", "1")),
         observe=getattr(args, "profile", False),
+        engine=getattr(args, "engine", None),
     )
     config = ExperimentConfig(
         scale=args.scale,
@@ -626,6 +639,7 @@ def cmd_campaign(parser, args) -> int:
         store=store, trace_store=trace_store,
         jobs=args.jobs if args.jobs is not None
         else int(os.environ.get("REPRO_JOBS", "1")),
+        engine=getattr(args, "engine", None),
     )
     try:
         campaign = run_campaign(spec, runner=runner, jobs=args.jobs)
@@ -996,6 +1010,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--out", default=None, metavar="DIR",
                           help="report output directory (required for "
                                "report, optional for run)")
+    _add_engine_flag(campaign)
     campaign.add_argument("--jobs", type=int, default=None,
                           help="worker processes (default: $REPRO_JOBS, "
                                "else serial)")

@@ -22,6 +22,14 @@ from repro.core.analysis import (
 )
 from repro.core.dpg import behavior_counts, build_dpg, classify_uses
 from repro.core.export import to_dot, to_records
+from repro.core.kernel import (
+    AnalysisEngine,
+    KernelUnsupportedError,
+    TraceColumns,
+    columnar_unsupported,
+    get_default_engine,
+    set_default_engine,
+)
 from repro.core.events import (
     ARC_LABELS,
     Behavior,
@@ -49,8 +57,14 @@ from repro.core.stats import (
 __all__ = [
     "ARC_LABELS",
     "AnalysisConfig",
+    "AnalysisEngine",
     "AnalysisResult",
     "Analyzer",
+    "KernelUnsupportedError",
+    "TraceColumns",
+    "columnar_unsupported",
+    "get_default_engine",
+    "set_default_engine",
     "ArcStats",
     "Behavior",
     "BranchStats",

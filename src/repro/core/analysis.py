@@ -25,6 +25,13 @@ from itertools import islice
 from repro.core.arcs import ArcGroupTable
 from repro.core.branches import BranchTracker
 from repro.core.events import GenClass, InKind, in_kind
+from repro.core.kernel import (
+    AnalysisEngine,
+    TraceColumns,
+    analyze_columns,
+    analyze_columns_many,
+    resolve_engine,
+)
 from repro.core.paths import PathTracker
 from repro.core.sequences import SequenceTracker
 from repro.core.stats import AnalysisResult, NodeStats, PredictorResult
@@ -386,6 +393,14 @@ class Analyzer:
         return result
 
 
+def _as_columns(trace, n_static: int, limit) -> TraceColumns:
+    """View ``trace`` as columns, building them if records came in."""
+    if isinstance(trace, TraceColumns):
+        return trace
+    with get_recorder().span("analyze.kernel.layout"):
+        return TraceColumns.from_records(trace, n_static, limit=limit)
+
+
 def analyze_trace(
     trace,
     n_static: int,
@@ -393,15 +408,30 @@ def analyze_trace(
     config: AnalysisConfig | None = None,
     profile_counts=None,
     static_counts=None,
+    engine=None,
 ) -> AnalysisResult:
-    """Analyse an iterable of :class:`DynInst` records.
+    """Analyse an iterable of :class:`DynInst` records (or a
+    pre-decoded :class:`~repro.core.kernel.TraceColumns`).
 
     The whole pass runs under an ``"analyze"`` span.  When ``trace``
     is a live machine generator the span necessarily includes the
     interleaved simulation time; the runner's two-tier path feeds a
-    decoded record list here, so there the span is pure analysis.
+    decoded record list (or columns) here, so there the span is pure
+    analysis.
+
+    ``engine`` selects the implementation (None = the process default,
+    normally ``auto``); results are byte-identical either way — see
+    :mod:`repro.core.kernel`.
     """
     config = config or AnalysisConfig()
+    if resolve_engine(engine, (config,)) is AnalysisEngine.COLUMNAR:
+        with get_recorder().span("analyze"):
+            columns = _as_columns(trace, n_static, config.max_instructions)
+            return analyze_columns(
+                columns, config, name, profile_counts, static_counts
+            )
+    if isinstance(trace, TraceColumns):
+        trace = trace.to_records()
     analyzer = Analyzer(n_static, config, profile_counts)
     if config.max_instructions is not None:
         trace = islice(trace, config.max_instructions)
@@ -418,6 +448,7 @@ def analyze_many(
     name: str = "trace",
     profile_counts=None,
     static_counts=None,
+    engine=None,
 ) -> list[AnalysisResult]:
     """Analyse one trace under many configs in a single pass.
 
@@ -427,8 +458,26 @@ def analyze_many(
     produce — including per-config ``max_instructions`` truncation,
     which is why a config whose budget is exhausted stops being fed
     mid-pass while larger-budget siblings keep consuming.
+
+    On the columnar engine the trace is decoded once into columns and
+    predictor passes are cached per spec, so configs sharing predictor
+    specs pay for each bank pass once.  ``auto`` falls back to the
+    reference loop for the whole call if *any* config is unsupported,
+    keeping the single-pass accounting uniform.
     """
     configs = [config or AnalysisConfig() for config in configs]
+    if not configs:
+        return []
+    if resolve_engine(engine, configs) is AnalysisEngine.COLUMNAR:
+        budgets = [config.max_instructions for config in configs]
+        limit = None if None in budgets else max(budgets)
+        with get_recorder().span("analyze"):
+            columns = _as_columns(trace, n_static, limit)
+            return analyze_columns_many(
+                columns, configs, name, profile_counts, static_counts
+            )
+    if isinstance(trace, TraceColumns):
+        trace = trace.to_records()
     analyzers = [
         Analyzer(n_static, config, profile_counts) for config in configs
     ]
@@ -482,6 +531,7 @@ def analyze_machine(
     name: str = "program",
     config: AnalysisConfig | None = None,
     profile_counts=None,
+    engine=None,
 ) -> AnalysisResult:
     """Run ``machine`` to completion (or the configured instruction
     budget) and analyse its trace."""
@@ -492,4 +542,5 @@ def analyze_machine(
         config=config,
         profile_counts=profile_counts,
         static_counts=None,
+        engine=engine,
     )

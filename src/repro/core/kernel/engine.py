@@ -1,0 +1,634 @@
+"""The columnar analysis engine.
+
+Produces, for one :class:`~repro.core.kernel.columns.TraceColumns`
+object and one :class:`~repro.core.analysis.AnalysisConfig`, an
+:class:`~repro.core.stats.AnalysisResult` whose ``result_to_dict``
+export is byte-identical to the reference analyzer's — the differential
+suite in tests/core/test_kernel_parity.py enforces this for every
+fixed workload and a fuzzed ``gen:`` grid.
+
+The work is organised as batched passes instead of per-record dispatch:
+
+1. **bank passes** — each predictor bank's hit stream is replayed in
+   one tight loop per (spec, tier) by :mod:`repro.core.kernel.passes`,
+   cached on the columns object and shared across configs and budgets;
+2. **bit assembly** — per-bank hit streams are combined into per-arc
+   ``Y`` and per-record ``O``/``U``/``I``/``X`` byte columns with
+   big-integer bitwise arithmetic (each byte holds one element's
+   per-bank bits, so shifts below 8 never carry across elements);
+3. **classification** — a composite byte per (record, bank) encoding
+   (has_p, has_n, has_imm, out_p, has_out, is_branch, has_src) is
+   mapped through precomputed 256-entry ``bytes.translate`` tables and
+   tallied with ``collections.Counter`` at C speed; run-length stats
+   come from splitting the translated selector on zero bytes, which
+   visits runs in stream order so Counter insertion order (part of the
+   export contract) matches the streaming trackers;
+4. **paths** — the generator-influence walk is inherently sequential
+   (each value's influence feeds its consumers'), so it remains a
+   Python loop, but one that touches only predicted arcs and reads
+   precomputed byte columns instead of driving five predictors.
+
+Everything is stdlib-only; see docs/kernel.md for the full layout.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import Counter
+from itertools import compress, count
+
+from repro.core.arcs import ArcGroupTable
+from repro.core.events import InKind, _KIND_TABLE
+from repro.core.paths import _MASK_BITS, _EMPTY_SET
+from repro.core.stats import (
+    AnalysisResult,
+    BranchStats,
+    NodeStats,
+    PathStats,
+    PredictorResult,
+    SequenceStats,
+    TreeStats,
+)
+from repro.core.unpred import CriticalPoints
+from repro.obs import get_recorder
+
+# ----------------------------------------------------------------------
+# Composite-byte layout: one byte per (record, bank) holding every flag
+# node classification needs.  hn is derived from the intersection
+# column (``I`` stores the full mask for 0-source records, mirroring
+# the reference's ``inter_y`` initialisation), so ``not hn`` is exactly
+# "all sources predicted or no sources".
+# ----------------------------------------------------------------------
+
+_HP = 0x01   # union bit: >= 1 correctly predicted data input
+_HN = 0x02   # >= 1 incorrectly predicted data input
+_HI = 0x04   # has an immediate input
+_OP = 0x08   # output predicted (this bank's out bit)
+_HO = 0x10   # has a classifiable output
+_BR = 0x20   # conditional branch
+_HS = 0x40   # has data sources
+
+_NO_OUTPUT = 12  # node code for "no classifiable output"
+
+
+def _build_tables():
+    node = bytearray(256)
+    branch = bytearray(256)
+    seq = bytearray(256)
+    unpred = bytearray(256)
+    miss = bytearray(256)
+    term = bytearray(256)
+    for v in range(128):
+        hp = v & _HP
+        hn = v & _HN
+        hi = v & _HI
+        op = v & _OP
+        ho = v & _HO
+        br = v & _BR
+        hs = v & _HS
+        kind = _KIND_TABLE[
+            (4 if hp else 0) | (2 if hn else 0) | (1 if hi else 0)
+        ]
+        code = kind * 2 + (1 if op else 0)
+        node[v] = code if ho else _NO_OUTPUT
+        branch[v] = code if br else _NO_OUTPUT
+        # Fully predicted: every source predicted (or none) and the
+        # output predicted (or absent).
+        seq[v] = 1 if not hn and (not ho or op) else 0
+        # Fully mispredicted: no predicted source, no predicted
+        # output, and at least one actual prediction made.
+        unpred[v] = 1 if (not hp and not (op and ho)
+                          and (hs or ho)) else 0
+        miss[v] = 1 if ho and not op else 0
+        term[v] = 1 if ho and not op and hp else 0
+    return (bytes(node), bytes(branch), bytes(seq), bytes(unpred),
+            bytes(miss), bytes(term))
+
+
+(_NODE_T, _BRANCH_T, _SEQ_T, _UNPRED_T, _MISS_T, _TERM_T) = _build_tables()
+
+#: node kind -> GenClass when a generate node (paths.NODE_GEN_CLASS).
+_NODE_GC = {int(InKind.II): 3, int(InKind.NN): 4, int(InKind.IN): 5}
+
+
+# ----------------------------------------------------------------------
+# Derived bit columns (cached per (specs, branch predictor) on the
+# columns object; prefix-closed, recomputed only when a larger budget
+# is requested).
+# ----------------------------------------------------------------------
+
+def _ones(n: int) -> int:
+    return int.from_bytes(b"\x01" * n, "little") if n else 0
+
+
+def _derived(columns, specs, br_kind, br_bits, m, A):
+    key = ("derived", specs, br_kind, br_bits)
+    cached = columns._pred_cache.get(key)
+    if cached is not None and cached["m"] >= m:
+        return cached
+    nk = len(specs)
+    full_mask = (1 << nk) - 1
+    # Per-arc Y: each arc's byte holds every bank's input-hit bit.
+    y_int = 0
+    for k, spec in enumerate(specs):
+        hits = columns.input_hits(spec, A)
+        y_int |= int.from_bytes(memoryview(hits)[:A], "little") << k
+    yb = y_int.to_bytes(A, "little")
+    # Per-record O: the reference's out_flags byte stream.
+    out = bytearray(m)
+    br_cnt = bisect_left(columns.br_idx, m)
+    if br_cnt and full_mask:
+        hits = memoryview(columns.branch_hits(br_kind, br_bits,
+                                              br_cnt))[:br_cnt]
+        br_idx = columns.br_idx
+        for i, hit in zip(br_idx, hits):
+            if hit:
+                out[i] = full_mask
+    ov_cnt = bisect_left(columns.ov_idx, m)
+    if ov_cnt and nk:
+        o_int = 0
+        for k, spec in enumerate(specs):
+            hits = columns.output_hits(spec, ov_cnt)
+            o_int |= int.from_bytes(
+                memoryview(hits)[:ov_cnt], "little"
+            ) << k
+        for i, value in zip(columns.ov_idx, o_int.to_bytes(ov_cnt,
+                                                           "little")):
+            if value:
+                out[i] = value
+    for i, arc in zip(columns.pt_idx, columns.pt_arc):
+        if i >= m:
+            break
+        value = yb[arc]
+        if value:
+            out[i] = value
+    # Per-record U (union) and I (intersection; full mask when the
+    # record has no sources) folds over the record's arcs.
+    union = bytearray(m)
+    inter = bytearray(m)
+    starts = columns.src_start
+    a = 0
+    for r in range(m):
+        b = starts[r + 1]
+        if b == a:
+            inter[r] = full_mask
+        else:
+            u = yb[a]
+            i_ = u
+            for j in range(a + 1, b):
+                v = yb[j]
+                u |= v
+                i_ &= v
+            union[r] = u
+            inter[r] = i_
+        a = b
+    # Per-arc X: the producer's O byte (0 for D arcs).
+    x = bytearray(A)
+    prods = columns.src_prod
+    for j in range(A):
+        p = prods[j]
+        if p >= 0:
+            x[j] = out[p]
+    entry = {"m": m, "A": A, "yb": yb, "out": out,
+             "union": union, "inter": inter, "x": x}
+    columns._pred_cache[key] = entry
+    return entry
+
+
+def _comp_base(columns, m):
+    """Bank-independent composite bits (him | ho | br | hs), cached."""
+    cached = columns._pred_cache.get("comp_base")
+    if cached is None:
+        n = columns.n_records
+        base = (
+            (int.from_bytes(columns.has_imm, "little") << 2)
+            | (int.from_bytes(columns.has_out, "little") << 4)
+            | (int.from_bytes(columns.is_branch, "little") << 5)
+            | (int.from_bytes(columns.has_src, "little") << 6)
+        )
+        cached = base.to_bytes(n, "little") if n else b""
+        columns._pred_cache["comp_base"] = cached
+    return cached[:m]
+
+
+# ----------------------------------------------------------------------
+# The sequential paths walk (PathTracker, array-ported).
+# ----------------------------------------------------------------------
+
+def _paths_pass(m, starts, ybk, xbk, prods, gcol, codes,
+                track_trees, gen_cap, stats, trees):
+    # Order-sensitive tallies (combo_counts and the tree histograms
+    # export in first-seen order) are collected as plain lists in
+    # stream order and folded with ``Counter.update`` at the end —
+    # same insertion order as the reference's per-element increments,
+    # counted at C speed.  The walk itself visits only predicted arcs:
+    # ``pred_idx`` is the compressed index list of ybk's set bits, and
+    # ``nxt`` leapfrogs whole records without predicted inputs.
+    gen_counts = stats.gen_counts
+    node_gc = _NODE_GC
+    end = starts[m]
+    pred_idx = list(compress(count(), ybk))
+    pred_idx.append(end)  # sentinel: never < any record bound
+    counted = []          # every count_propagate call's mask, in order
+    count_mask = counted.append
+    masks = []
+    store_mask = masks.append
+    pi = 0
+    nxt = pred_idx[0]
+    if track_trees:
+        sets_ = []
+        dists = []
+        gens = []
+        store_set = sets_.append
+        store_dist = dists.append
+        inf_list = []     # len(gen_set) per count_propagate, in order
+        dist_list = []    # dist per count_propagate, in order
+        count_inf = inf_list.append
+        count_dist = dist_list.append
+        empty = _EMPTY_SET
+        truncated = 0
+        for r in range(m):
+            b = starts[r + 1]
+            cur_mask = 0
+            cur_set = empty
+            cur_dist = -1
+            while nxt < b:
+                j = nxt
+                pi += 1
+                nxt = pred_idx[pi]
+                if xbk[j]:
+                    p = prods[j]
+                    pmask = masks[p]
+                    if not pmask:
+                        continue
+                    gen_set = sets_[p]
+                    dist = dists[p] + 1
+                    count_mask(pmask)
+                    count_inf(len(gen_set))
+                    count_dist(dist)
+                    for gid in gen_set:
+                        record = gens[gid]
+                        if dist > record[0]:
+                            record[0] = dist
+                        record[1] += 1
+                    cur_mask |= pmask
+                    if gen_set:
+                        if cur_set:
+                            merged = cur_set | gen_set
+                            if len(merged) > gen_cap:
+                                merged = frozenset(
+                                    sorted(merged)[:gen_cap]
+                                )
+                                truncated += 1
+                            cur_set = merged
+                        else:
+                            cur_set = gen_set
+                    if dist > cur_dist:
+                        cur_dist = dist
+                else:
+                    gc = gcol[j]
+                    gen_counts[gc] += 1
+                    gens.append([0, 0])
+                    gen_set = frozenset((len(gens) - 1,))
+                    cur_mask |= 1 << gc
+                    if cur_set:
+                        merged = cur_set | gen_set
+                        if len(merged) > gen_cap:
+                            merged = frozenset(sorted(merged)[:gen_cap])
+                            truncated += 1
+                        cur_set = merged
+                    else:
+                        cur_set = gen_set
+                    if cur_dist < 0:
+                        cur_dist = 0
+            code = codes[r]
+            if code == _NO_OUTPUT or not code & 1:
+                store_mask(0)
+                store_set(empty)
+                store_dist(0)
+            elif cur_mask:
+                dist = cur_dist + 1
+                count_mask(cur_mask)
+                count_inf(len(cur_set))
+                count_dist(dist)
+                for gid in cur_set:
+                    record = gens[gid]
+                    if dist > record[0]:
+                        record[0] = dist
+                    record[1] += 1
+                store_mask(cur_mask)
+                store_set(cur_set)
+                store_dist(dist)
+            else:
+                gc = node_gc.get(code >> 1)
+                if gc is None:
+                    store_mask(0)
+                    store_set(empty)
+                    store_dist(0)
+                else:
+                    gen_counts[gc] += 1
+                    gens.append([0, 0])
+                    store_mask(1 << gc)
+                    store_set(frozenset((len(gens) - 1,)))
+                    store_dist(0)
+        trees.truncated = truncated
+        trees.influence_hist.update(inf_list)
+        trees.distance_hist.update(dist_list)
+        depth_hist = trees.depth_hist
+        agg_hist = trees.agg_hist
+        for depth, n in gens:
+            depth_hist[depth] += 1
+            agg_hist[depth] += n
+    else:
+        for r in range(m):
+            b = starts[r + 1]
+            cur_mask = 0
+            while nxt < b:
+                j = nxt
+                pi += 1
+                nxt = pred_idx[pi]
+                if xbk[j]:
+                    pmask = masks[prods[j]]
+                    if pmask:
+                        count_mask(pmask)
+                        cur_mask |= pmask
+                else:
+                    gc = gcol[j]
+                    gen_counts[gc] += 1
+                    cur_mask |= 1 << gc
+            code = codes[r]
+            if code == _NO_OUTPUT or not code & 1:
+                store_mask(0)
+            elif cur_mask:
+                count_mask(cur_mask)
+                store_mask(cur_mask)
+            else:
+                gc = node_gc.get(code >> 1)
+                if gc is None:
+                    store_mask(0)
+                else:
+                    gen_counts[gc] += 1
+                    store_mask(1 << gc)
+    stats.propagate_elements = len(counted)
+    stats.combo_counts.update(counted)
+    class_counts = stats.class_counts
+    mask_bits = _MASK_BITS
+    for mask, n in stats.combo_counts.items():
+        for bit in mask_bits[mask]:
+            class_counts[bit] += n
+
+
+# ----------------------------------------------------------------------
+# Run-length tallies: split the 0/1 selector on zero bytes; parts
+# arrive in stream order, so Counter insertion order matches the
+# streaming trackers' first-seen order (an export contract).
+# ----------------------------------------------------------------------
+
+def _run_lengths(selector: bytes) -> SequenceStats:
+    stats = SequenceStats()
+    stats.lengths.update(
+        len(part) for part in selector.split(b"\x00") if part
+    )
+    return stats
+
+
+# ----------------------------------------------------------------------
+# The engine proper.
+# ----------------------------------------------------------------------
+
+def analyze_columns(columns, config, name="trace", profile_counts=None,
+                    static_counts=None) -> AnalysisResult:
+    """Analyse one budget-sliced view of ``columns`` under ``config``.
+
+    Equivalent to feeding the first ``config.max_instructions`` records
+    through a reference :class:`~repro.core.analysis.Analyzer`.  The
+    caller is responsible for engine resolution (this function assumes
+    the config is columnar-supported) and for the enclosing
+    ``"analyze"`` span.
+    """
+    cfg = config
+    n_records = columns.n_records
+    m = (n_records if cfg.max_instructions is None
+         else min(cfg.max_instructions, n_records))
+    A = columns.src_start[m]
+    n_static = columns.n_static
+    specs = cfg.predictors
+    nk = len(specs)
+    recorder = get_recorder()
+
+    with recorder.span("analyze.kernel.banks"):
+        derived = _derived(
+            columns, specs, cfg.branch_predictor, cfg.gshare_bits, m, A
+        )
+
+    with recorder.span("analyze.kernel.classify"):
+        yb = derived["yb"][:A]
+        out_col = derived["out"]
+        union_col = derived["union"]
+        inter_col = derived["inter"]
+        x_col = derived["x"]
+        if derived["m"] > m:
+            out_col = out_col[:m]
+            union_col = union_col[:m]
+            inter_col = inter_col[:m]
+            x_col = x_col[:A]
+        out_v = int.from_bytes(out_col, "little")
+        union_v = int.from_bytes(union_col, "little")
+        inter_v = int.from_bytes(inter_col, "little")
+        y_v = int.from_bytes(yb, "little")
+        x_v = int.from_bytes(x_col, "little")
+        ones_m = _ones(m)
+        ones_a = _ones(A)
+        base_v = int.from_bytes(_comp_base(columns, m), "little")
+
+        if static_counts is None:
+            final_counts = columns.counts_for(m)
+        else:
+            final_counts = static_counts
+        gcol = (
+            columns.genclass_so_far() if profile_counts is None
+            else columns.genclass_profiled(profile_counts)
+        )
+
+        result = AnalysisResult(
+            name=name,
+            nodes=m,
+            arcs=A,
+            d_nodes=len(set(columns.d_ids[:columns.d_prefix[m]])),
+            d_arcs=columns.d_prefix[m],
+            static_instructions=n_static,
+            static_counts=list(final_counts),
+        )
+
+        # --- per-bank composite classification -------------------------
+        # Everything a bank's PredictorResult contains derives from its
+        # composite stream (plus spec-determined hit columns and
+        # columns-determined layout), so a finished result can be cached
+        # on the columns object keyed by (spec, comp, tracking flags)
+        # and reused verbatim when another config in the sweep runs the
+        # same bank — e.g. a single-bank ablation of the default tuple.
+        # External per-PC counts change gcol / final_counts without
+        # touching the key, so those calls bypass the cache entirely.
+        op_col = columns.op_index
+        pcs = columns.pc
+        ops = columns.ops
+        starts = columns.src_start
+        prods = columns.src_prod
+        cacheable = profile_counts is None and static_counts is None
+        bank_cache = columns._pred_cache
+        preds = []
+        comp_list = []
+        bank_keys = [None] * nk
+        fresh = []
+        for k in range(nk):
+            hp = (union_v >> k) & ones_m
+            hn = ((inter_v >> k) & ones_m) ^ ones_m
+            op = (out_v >> k) & ones_m
+            comp = (base_v | hp | (hn << 1) | (op << 3)).to_bytes(
+                m, "little"
+            )
+            comp_list.append(comp)
+            if cacheable:
+                tracked = specs[k] in cfg.trees_for
+                bkey = (
+                    "bankres", specs[k], comp,
+                    cfg.track_ops, cfg.track_branches,
+                    cfg.track_sequences, cfg.track_unpred,
+                    cfg.track_critical, cfg.track_paths,
+                    tracked, cfg.gen_cap if tracked else None,
+                )
+                cached = bank_cache.get(bkey)
+                if cached is not None:
+                    preds.append(cached)
+                    continue
+                bank_keys[k] = bkey
+            fresh.append(k)
+            node_codes = comp.translate(_NODE_T)
+            node_stats = NodeStats()
+            class_counts = node_stats.class_counts
+            for code, count in Counter(node_codes).items():
+                if code == _NO_OUTPUT:
+                    node_stats.no_output = count
+                else:
+                    class_counts[code >> 1][code & 1] = count
+            pred = PredictorResult(kind=specs[k], nodes=node_stats)
+            if cfg.track_ops:
+                node_ops = Counter()
+                for (code, opx), count in Counter(
+                    zip(node_codes, op_col)
+                ).items():
+                    if code != _NO_OUTPUT:
+                        node_ops[
+                            (InKind(code >> 1), bool(code & 1),
+                             ops[opx][0])
+                        ] = count
+                pred.node_ops = node_ops
+            if cfg.track_branches:
+                branches = BranchStats()
+                for code, count in Counter(
+                    comp.translate(_BRANCH_T)
+                ).items():
+                    if code != _NO_OUTPUT:
+                        branches.class_counts[code >> 1][code & 1] = count
+                pred.branches = branches
+            if cfg.track_sequences:
+                pred.sequences = _run_lengths(comp.translate(_SEQ_T))
+            if cfg.track_unpred:
+                pred.unpred = _run_lengths(comp.translate(_UNPRED_T))
+            if cfg.track_critical:
+                critical = CriticalPoints(n_static)
+                misses = critical.output_misses
+                for pc, count in Counter(
+                    compress(pcs, comp.translate(_MISS_T))
+                ).items():
+                    misses[pc] = count
+                terms = critical.terminations
+                for pc, count in Counter(
+                    compress(pcs, comp.translate(_TERM_T))
+                ).items():
+                    terms[pc] = count
+                pred.critical = critical
+            preds.append(pred)
+
+        # --- paths ------------------------------------------------------
+        if cfg.track_paths:
+            for k in fresh:
+                pred = preds[k]
+                track_trees = specs[k] in cfg.trees_for
+                stats = PathStats()
+                trees = TreeStats() if track_trees else None
+                ybk = ((y_v >> k) & ones_a).to_bytes(A, "little")
+                xbk = ((x_v >> k) & ones_a).to_bytes(A, "little")
+                codes = comp_list[k].translate(_NODE_T)
+                _paths_pass(
+                    m, starts, ybk, xbk, prods, gcol, codes,
+                    track_trees, cfg.gen_cap, stats, trees,
+                )
+                pred.paths = stats
+                pred.trees = trees
+
+        # --- arcs -------------------------------------------------------
+        if fresh:
+            group_keys = columns.group_key
+            group_slice = (group_keys if A == len(group_keys)
+                           else group_keys[:A])
+            uses = (bank_cache.get(("uses", m))
+                    if static_counts is None else None)
+            if uses is None:
+                use_class = ArcGroupTable._use_class
+                uses = {
+                    key: use_class(key, size, final_counts, n_static)
+                    for key, size in Counter(group_slice).items()
+                }
+                if static_counts is None:
+                    bank_cache[("uses", m)] = uses
+            for k in fresh:
+                xk = (x_v >> k) & ones_a
+                yk = (y_v >> k) & ones_a
+                # Each byte of xk/yk is 0 or 1, so the shift cannot
+                # carry across byte lanes.
+                combo_bytes = ((xk << 1) | yk).to_bytes(A, "little")
+                counts_k = preds[k].arcs.counts
+                for (key, combo), count in Counter(
+                    zip(group_slice, combo_bytes)
+                ).items():
+                    counts_k[uses[key]][combo] += count
+
+        if cacheable:
+            for k in fresh:
+                bank_cache[bank_keys[k]] = preds[k]
+
+        # --- recorder counters (mirrors Analyzer.finalize) --------------
+        if recorder.enabled:
+            recorder.count("analyze.passes", 1)
+            recorder.count("analyze.nodes", m)
+            recorder.count("analyze.arcs", A)
+            for k, pred in enumerate(preds):
+                for behavior, count in (
+                    pred.nodes.behavior_counts().items()
+                ):
+                    if count:
+                        recorder.count(
+                            f"analyze.pred.{specs[k]}."
+                            f"{behavior.name.lower()}", count,
+                        )
+        for pred in preds:
+            result.predictors[pred.kind] = pred
+    return result
+
+
+def analyze_columns_many(columns, configs, name="trace",
+                         profile_counts=None,
+                         static_counts=None) -> list[AnalysisResult]:
+    """Analyse ``columns`` under many configs, sharing bank passes.
+
+    Hit streams (and the derived bit columns) are cached on the columns
+    object keyed by predictor spec, so configs that share specs pay for
+    each predictor pass once — the multi-config analogue of the
+    reference path's ``analyze_many`` single decode.
+    """
+    return [
+        analyze_columns(columns, config, name, profile_counts,
+                        static_counts)
+        for config in configs
+    ]

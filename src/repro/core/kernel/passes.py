@@ -1,0 +1,332 @@
+"""Batched predictor passes over trace columns.
+
+Each pass replays one predictor's full ``see()`` stream over a
+(key, value) column pair in a single tight loop — table cells, masks
+and update rules inlined as locals instead of per-element method
+dispatch through :mod:`repro.predictors`.  The update rules are
+transcribed line-for-line from the predictor classes (the differential
+suite in tests/core/test_kernel_parity.py holds them identical), so a
+pass returns exactly the hit/miss bytestream the reference analyzer
+would have observed calling ``predictor.see()`` per element.
+
+Because each predictor's verdict at element ``i`` depends only on
+elements ``< i``, every returned stream is prefix-closed; the
+:class:`~repro.core.kernel.columns.TraceColumns` hit cache exploits
+this to share one pass across all configs and budgets using the same
+spec.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import parse_predictor_spec
+
+_EMPTY = object()
+
+_MASK32 = 0xFFFF_FFFF
+_SIGN32 = 0x8000_0000
+
+
+def _slice(keys, values, limit: int):
+    if limit < len(keys):
+        return keys[:limit], values[:limit]
+    return keys, values
+
+
+# ----------------------------------------------------------------------
+# Value predictors (repro.predictors.last_value / stride / context /
+# hybrid, inlined).
+# ----------------------------------------------------------------------
+
+def _last_pass(keys, values, limit, index_bits=16, hysteresis=3):
+    keys, values = _slice(keys, values, limit)
+    mask = (1 << index_bits) - 1
+    table = [_EMPTY] * (1 << index_bits)
+    counters = bytearray(1 << index_bits)
+    replace = min(1, hysteresis)
+    empty = _EMPTY
+    hits = bytearray()
+    hit = hits.append
+    for key, value in zip(keys, values):
+        index = key & mask
+        stored = table[index]
+        if stored is not empty and stored == value:
+            hit(1)
+            counter = counters[index]
+            if counter < hysteresis:
+                counters[index] = counter + 1
+        else:
+            hit(0)
+            counter = counters[index]
+            if counter > 0:
+                counters[index] = counter - 1
+            else:
+                table[index] = value
+                counters[index] = replace
+    return hits
+
+
+def _stride_pass(keys, values, limit, index_bits=16):
+    keys, values = _slice(keys, values, limit)
+    mask = (1 << index_bits) - 1
+    entries = [None] * (1 << index_bits)
+    hits = bytearray()
+    hit = hits.append
+    int_t = int
+    for key, value in zip(keys, values):
+        index = key & mask
+        entry = entries[index]
+        if entry is None:
+            entries[index] = [value, 0, 0]
+            hit(0)
+            continue
+        last = entry[0]
+        stride = entry[1]
+        if (type(value) is int_t and type(last) is int_t
+                and type(stride) is int_t):
+            prediction = (last + stride) & _MASK32
+            new_stride = (value - last) & _MASK32
+            if new_stride & _SIGN32:
+                new_stride -= 0x1_0000_0000
+        else:
+            prediction = last + stride
+            new_stride = value - last
+        hit(1 if prediction == value else 0)
+        if new_stride == entry[2]:
+            entry[1] = new_stride
+        entry[2] = new_stride
+        entry[0] = value
+    return hits
+
+
+def _context_pass(keys, values, limit, l1_bits=16, l2_bits=20,
+                  order=4, hysteresis=7):
+    keys, values = _slice(keys, values, limit)
+    hash_bits = max(1, l2_bits // order)
+    l1_mask = (1 << l1_bits) - 1
+    l2_mask = (1 << l2_bits) - 1
+    contexts = [0] * (1 << l1_bits)
+    replace = min(1, hysteresis)
+    empty = _EMPTY
+    hits = bytearray()
+    hit = hits.append
+    if len(keys) * 8 < (1 << l2_bits):
+        # Short stream, huge table: a sparse dict beats allocating (and
+        # mostly never touching) a 2^l2-entry value table.  Untouched
+        # cells read as (empty, counter 0) either way, so the two
+        # variants replay identical update streams.
+        table = {}
+        table_get = table.get
+        counters = {}
+        counters_get = counters.get
+        for key, value in zip(keys, values):
+            l1_index = key & l1_mask
+            context = contexts[l1_index]
+            stored = table_get(context, empty)
+            if stored is not empty and stored == value:
+                hit(1)
+                counter = counters_get(context, 0)
+                if counter < hysteresis:
+                    counters[context] = counter + 1
+            else:
+                hit(0)
+                counter = counters_get(context, 0)
+                if counter > 0:
+                    counters[context] = counter - 1
+                else:
+                    table[context] = value
+                    counters[context] = replace
+            raw = hash(value)
+            folded = (raw ^ (raw >> 20) ^ (raw >> 40)) & l2_mask
+            contexts[l1_index] = ((context << hash_bits) ^ folded) \
+                & l2_mask
+        return hits
+    table = [_EMPTY] * (1 << l2_bits)
+    counters = bytearray(1 << l2_bits)
+    for key, value in zip(keys, values):
+        l1_index = key & l1_mask
+        context = contexts[l1_index]
+        stored = table[context]
+        if stored is not empty and stored == value:
+            hit(1)
+            counter = counters[context]
+            if counter < hysteresis:
+                counters[context] = counter + 1
+        else:
+            hit(0)
+            counter = counters[context]
+            if counter > 0:
+                counters[context] = counter - 1
+            else:
+                table[context] = value
+                counters[context] = replace
+        raw = hash(value)
+        folded = (raw ^ (raw >> 20) ^ (raw >> 40)) & l2_mask
+        contexts[l1_index] = ((context << hash_bits) ^ folded) & l2_mask
+    return hits
+
+
+def _hybrid_pass(keys, values, limit, index_bits=16, l2_bits=20,
+                 chooser_init=2):
+    keys, values = _slice(keys, values, limit)
+    mask = (1 << index_bits) - 1
+    # Stride component (StridePredictor(index_bits)).
+    entries = [None] * (1 << index_bits)
+    # Context component (ContextPredictor(index_bits, l2_bits):
+    # l1_bits = index_bits, order = 4, hysteresis = 7).
+    hash_bits = max(1, l2_bits // 4)
+    l2_mask = (1 << l2_bits) - 1
+    contexts = [0] * (1 << index_bits)
+    c_table = [_EMPTY] * (1 << l2_bits)
+    c_counters = bytearray(1 << l2_bits)
+    chooser_tab = bytearray([chooser_init]) * (1 << index_bits)
+    empty = _EMPTY
+    hits = bytearray()
+    hit = hits.append
+    int_t = int
+    for key, value in zip(keys, values):
+        index = key & mask
+        chooser = chooser_tab[index]
+        # --- peeks (before either component trains) -------------------
+        entry = entries[index]
+        if chooser >= 2:
+            context = contexts[index]
+            stored = c_table[context]
+            chosen = None if stored is empty else stored
+        elif entry is None:
+            chosen = None
+        else:
+            last = entry[0]
+            stride = entry[1]
+            # peek() checks only last/stride types, unlike see().
+            if type(last) is int_t and type(stride) is int_t:
+                chosen = (last + stride) & _MASK32
+            else:
+                chosen = last + stride
+        hit(1 if chosen is not None and chosen == value else 0)
+        # --- stride component trains ----------------------------------
+        if entry is None:
+            entries[index] = [value, 0, 0]
+            stride_hit = False
+        else:
+            last = entry[0]
+            stride = entry[1]
+            if (type(value) is int_t and type(last) is int_t
+                    and type(stride) is int_t):
+                prediction = (last + stride) & _MASK32
+                new_stride = (value - last) & _MASK32
+                if new_stride & _SIGN32:
+                    new_stride -= 0x1_0000_0000
+            else:
+                prediction = last + stride
+                new_stride = value - last
+            stride_hit = prediction == value
+            if new_stride == entry[2]:
+                entry[1] = new_stride
+            entry[2] = new_stride
+            entry[0] = value
+        # --- context component trains ---------------------------------
+        context = contexts[index]
+        stored = c_table[context]
+        context_hit = stored is not empty and stored == value
+        counter = c_counters[context]
+        if context_hit:
+            if counter < 7:
+                c_counters[context] = counter + 1
+        elif counter > 0:
+            c_counters[context] = counter - 1
+        else:
+            c_table[context] = value
+            c_counters[context] = 1
+        raw = hash(value)
+        folded = (raw ^ (raw >> 20) ^ (raw >> 40)) & l2_mask
+        contexts[index] = ((context << hash_bits) ^ folded) & l2_mask
+        # --- chooser trains on disagreement ---------------------------
+        if stride_hit != context_hit:
+            if context_hit:
+                if chooser < 3:
+                    chooser_tab[index] = chooser + 1
+            elif chooser > 0:
+                chooser_tab[index] = chooser - 1
+    return hits
+
+
+_VALUE_PASSES = {
+    "last": _last_pass,
+    "stride": _stride_pass,
+    "context": _context_pass,
+    "hybrid": _hybrid_pass,
+}
+
+
+def run_value_pass(spec: str, keys, values, limit: int) -> bytearray:
+    """Replay one value predictor over a key/value column prefix."""
+    kind, kwargs = parse_predictor_spec(spec)
+    return _VALUE_PASSES[kind](keys, values, limit, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Branch predictors (repro.predictors.gshare / local_branch, inlined).
+#
+# The taken column is TAKEN_FALSE/TAKEN_TRUE/TAKEN_NONE; a None
+# direction can never be predicted correctly but still trains the
+# counter and history as not-taken, exactly as `see(pc, None)` does.
+# ----------------------------------------------------------------------
+
+def _gshare_pass(pcs, takens, limit, index_bits=16):
+    pcs, takens = _slice(pcs, takens, limit)
+    mask = (1 << index_bits) - 1
+    counters = bytearray([1]) * (1 << index_bits)
+    history = 0
+    hits = bytearray()
+    hit = hits.append
+    for pc, taken in zip(pcs, takens):
+        index = (pc ^ history) & mask
+        counter = counters[index]
+        if taken == 1:
+            hit(1 if counter >= 2 else 0)
+            if counter < 3:
+                counters[index] = counter + 1
+            history = ((history << 1) | 1) & mask
+        else:
+            hit(1 if counter < 2 and taken == 0 else 0)
+            if counter > 0:
+                counters[index] = counter - 1
+            history = (history << 1) & mask
+    return hits
+
+
+def _local_pass(pcs, takens, limit, history_bits=12, table_bits=14):
+    pcs, takens = _slice(pcs, takens, limit)
+    history_mask = (1 << history_bits) - 1
+    table_mask = (1 << table_bits) - 1
+    histories = [0] * (1 << table_bits)
+    counters = bytearray([1]) * (1 << table_bits)
+    hits = bytearray()
+    hit = hits.append
+    for pc, taken in zip(pcs, takens):
+        slot = pc & table_mask
+        history = histories[slot]
+        index = (history ^ (pc << 2)) & table_mask
+        counter = counters[index]
+        if taken == 1:
+            hit(1 if counter >= 2 else 0)
+            if counter < 3:
+                counters[index] = counter + 1
+            histories[slot] = ((history << 1) | 1) & history_mask
+        else:
+            hit(1 if counter < 2 and taken == 0 else 0)
+            if counter > 0:
+                counters[index] = counter - 1
+            histories[slot] = (history << 1) & history_mask
+    return hits
+
+
+def run_branch_pass(kind: str, index_bits: int, pcs, takens,
+                    limit: int) -> bytearray:
+    """Replay the shared direction predictor over a branch subset."""
+    if kind == "gshare":
+        return _gshare_pass(pcs, takens, limit, index_bits)
+    if kind == "local":
+        # make_branch_predictor("local") ignores index_bits.
+        return _local_pass(pcs, takens, limit)
+    raise ValueError(f"unknown branch predictor kind: {kind!r}")

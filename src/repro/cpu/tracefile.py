@@ -350,6 +350,41 @@ def _decode_v2_body(handle, header, path) -> list[DynInst]:
     return records
 
 
+def read_trace_columns(path):
+    """Decode a whole trace file into columns: ``(header, columns)``.
+
+    The columnar engine's replay fast path: the v2 byte stream is
+    parsed straight into :class:`~repro.core.kernel.TraceColumns` flat
+    arrays without materialising a ``DynInst`` per record.  Legacy v1
+    files decode through :func:`read_trace` first and are re-packed.
+    Decode errors raise :class:`ReproError`, same as :func:`read_trace`.
+    """
+    from repro.core.kernel import TraceColumns
+
+    recorder = get_recorder()
+    with _open_read(path) as handle:
+        header = _read_header(handle, path)
+        if header["format"] == FORMAT_V1:
+            columns = TraceColumns.from_records(
+                _iter_v1(handle), header["n_static"]
+            )
+            recorder.count("trace.decode.records", columns.n_records)
+            recorder.count("trace.decode.columnar", 1)
+            return header, columns
+        with recorder.span("trace.decode"):
+            try:
+                buf = handle.read()
+            except (OSError, EOFError) as error:
+                raise ReproError(
+                    f"truncated trace file: {path}"
+                ) from error
+            recorder.count("trace.decode.bytes", len(buf))
+            columns = TraceColumns.from_v2(buf, header, path=path)
+    recorder.count("trace.decode.records", columns.n_records)
+    recorder.count("trace.decode.columnar", 1)
+    return header, columns
+
+
 def analyze_trace_file(path, name=None, config=None, profile_counts=None,
                        stored_profile: bool = False):
     """Analyse a saved trace end to end.

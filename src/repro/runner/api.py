@@ -47,6 +47,13 @@ from itertools import islice
 
 from repro.core import analyze_machine, analyze_many, analyze_trace
 from repro.core.export import result_from_dict, result_to_dict
+from repro.core.kernel import (
+    AnalysisEngine,
+    TraceColumns,
+    coerce_engine,
+    get_default_engine,
+    resolve_engine,
+)
 from repro.errors import (
     JournalConflict,
     RunnerError,
@@ -160,11 +167,12 @@ class ExperimentRun:
         return self.results
 
 
-def _analyze(name: str, config: ExperimentConfig):
+def _analyze(name: str, config: ExperimentConfig, engine=None):
     workload = get_workload(name)
     machine = workload.machine(scale=config.scale)
     job = Job(name, config)
-    return analyze_machine(machine, name, job.analysis_config())
+    return analyze_machine(machine, name, job.analysis_config(),
+                           engine=engine)
 
 
 def _capture(name: str, config: ExperimentConfig, budget: int | None):
@@ -186,49 +194,76 @@ def _capture(name: str, config: ExperimentConfig, budget: int | None):
 
 
 def _resolve_trace(name: str, config: ExperimentConfig,
-                   trace_store: TraceStore | None, budget: int | None):
+                   trace_store: TraceStore | None, budget: int | None,
+                   columns: bool = False):
     """Trace tier: ``(n_static, records, status)`` — replay or capture.
 
     A stored trace that covers ``budget`` is replayed
     (:data:`STATUS_REPLAYED`); otherwise the workload is simulated,
     the capture written through the store for the next config, and
-    :data:`STATUS_COMPUTED` reported.
+    :data:`STATUS_COMPUTED` reported.  ``columns=True`` replays the
+    stored trace as :class:`~repro.core.kernel.TraceColumns` (the
+    columnar engine's format) instead of a ``DynInst`` list, so a warm
+    replay skips per-record object construction entirely; a cold
+    capture persists the records first, then hands back (and memoizes
+    on the store) their columnar layout.
     """
     key = None
     if trace_store is not None:
         key = trace_key(name, config.scale)
-        stored = trace_store.get(key, budget)
+        stored = trace_store.get(key, budget, columns=columns)
         if stored is not None:
             header, records = stored
             return header["n_static"], records, STATUS_REPLAYED
     n_static, records, complete = _capture(name, config, budget)
+    stored_ok = False
     if trace_store is not None:
         try:
             trace_store.put(key, records, n_static, complete=complete,
                             workload=name)
+            stored_ok = True
         except OSError as error:
             # A trace that cannot be stored only costs the *next*
             # config a re-simulation; never fail the current job.
             get_recorder().count("store.trace.write_errors", 1)
             _log.warning("trace store write failed (%s); continuing "
                          "without the stored trace", error)
+    if columns:
+        recorder = get_recorder()
+        with recorder.span("trace.decode"):
+            records = TraceColumns.from_records(records, n_static)
+        recorder.count("trace.decode.records", records.n_records)
+        recorder.count("trace.decode.columnar", 1)
+        if stored_ok:
+            trace_store.memoize_columns(
+                key,
+                {"n_static": n_static, "n_records": records.n_records,
+                 "complete": complete},
+                records,
+            )
     return n_static, records, STATUS_COMPUTED
 
 
 def _analyze_two_tier(name: str, config: ExperimentConfig,
-                      trace_store: TraceStore):
+                      trace_store: TraceStore, engine=None):
     """Compute one job through the trace tier: ``(result, status)``.
 
     Byte-identical to :func:`_analyze`: the analyzer sees the same
     record stream whether it comes from a live machine or a stored
     trace (``analyze_trace`` re-truncates to the config's own budget).
+    The engine is resolved up front so a columnar analysis can ask the
+    trace store for columns directly.
     """
     job = Job(name, config)
+    analysis_config = job.analysis_config()
+    resolved = resolve_engine(engine, (analysis_config,))
     n_static, records, status = _resolve_trace(
-        name, config, trace_store, config.max_instructions
+        name, config, trace_store, config.max_instructions,
+        columns=resolved is AnalysisEngine.COLUMNAR,
     )
     result = analyze_trace(
-        records, n_static, name=name, config=job.analysis_config()
+        records, n_static, name=name, config=analysis_config,
+        engine=resolved,
     )
     return result, status
 
@@ -237,13 +272,14 @@ def _execute_job(name: str, config: ExperimentConfig, key: str,
                  store_root: str, max_bytes: int,
                  trace_root: str | None = None,
                  trace_max_bytes: int = DEFAULT_TRACE_MAX_BYTES,
-                 observe: bool = False) -> tuple:
+                 observe: bool = False, engine: str | None = None) -> tuple:
     """Pool worker: compute one job and write it through the store.
 
     Returns ``(key, profile)`` — the key so the parent knows where to
     read the result, and (when ``observe``) the worker's own recorder
     snapshot for the parent to merge, else None.  Runs in a separate
-    process; must stay picklable/module-level.
+    process; must stay picklable/module-level — which is why
+    ``engine`` travels as its string value.
     """
     with recording(Recorder() if observe else None) as rec:
         store = ResultStore(store_root, max_bytes=max_bytes)
@@ -252,16 +288,18 @@ def _execute_job(name: str, config: ExperimentConfig, key: str,
                 trace_store = TraceStore(
                     trace_root, max_bytes=trace_max_bytes
                 )
-                result, __ = _analyze_two_tier(name, config, trace_store)
+                result, __ = _analyze_two_tier(name, config, trace_store,
+                                               engine=engine)
             else:
-                result = _analyze(name, config)
+                result = _analyze(name, config, engine=engine)
             _store_put_safe(store, key, result_to_dict(result))
     return key, (rec.snapshot() if observe else None)
 
 
 def _execute_sweep(name: str, configs, keys, store_root: str,
                    max_bytes: int, trace_root: str | None,
-                   trace_max_bytes: int, observe: bool = False) -> tuple:
+                   trace_max_bytes: int, observe: bool = False,
+                   engine: str | None = None) -> tuple:
     """Pool worker: every sweep job of one workload in a single pass.
 
     Resolves the workload's trace once (replay or capture) with a
@@ -283,14 +321,16 @@ def _execute_sweep(name: str, configs, keys, store_root: str,
                 TraceStore(trace_root, max_bytes=trace_max_bytes)
                 if trace_root is not None else None
             )
+            analysis_configs = [Job(name, config).analysis_config()
+                                for config, __ in missing]
+            resolved = resolve_engine(engine, analysis_configs)
             n_static, records, __ = _resolve_trace(
-                name, missing[0][0], trace_store, budget
+                name, missing[0][0], trace_store, budget,
+                columns=resolved is AnalysisEngine.COLUMNAR,
             )
             results = analyze_many(
-                records, n_static,
-                [Job(name, config).analysis_config()
-                 for config, __ in missing],
-                name=name,
+                records, n_static, analysis_configs, name=name,
+                engine=resolved,
             )
             for (__, key), result in zip(missing, results):
                 _store_put_safe(store, key, result_to_dict(result))
@@ -324,6 +364,13 @@ class ExperimentRunner:
         faults: a :class:`repro.runner.faults.FaultPlan` installed for
             the duration of each run — the chaos-testing channel; None
             (default) injects nothing.
+        engine: which analysis implementation executes jobs — an
+            :class:`repro.core.AnalysisEngine` or its string value
+            (``auto``/``columnar``/``reference``); None (default)
+            follows the process-wide default
+            (:func:`repro.core.set_default_engine`, usually ``auto``).
+            The engine is an execution detail: job keys exclude it, so
+            every engine reads and writes the same caches.
     """
 
     def __init__(
@@ -335,6 +382,7 @@ class ExperimentRunner:
         trace_store: TraceStore | None = None,
         observe: bool | ObsConfig = False,
         faults: FaultPlan | None = None,
+        engine: AnalysisEngine | str | None = None,
     ):
         self.store = store
         self.trace_store = trace_store
@@ -343,6 +391,7 @@ class ExperimentRunner:
         self.retries = retries
         self.obs = self._normalize_obs(observe)
         self.faults = faults
+        self.engine = None if engine is None else coerce_engine(engine)
         self._memo: dict[str, object] = {}
         #: run-scoped state (set by run()/run_many(), read by the
         #: serial/parallel strategies; the runner is not thread-safe).
@@ -451,12 +500,24 @@ class ExperimentRunner:
         if self.store is not None:
             _store_put_safe(self.store, key, result_to_dict(result))
 
+    def _effective_engine(self) -> AnalysisEngine:
+        """This runner's engine, falling back to the process default.
+
+        Resolved eagerly when handing work to pool workers: a fresh
+        worker process starts with the built-in default, so the
+        parent's configured default must travel with the task.
+        """
+        if self.engine is not None:
+            return self.engine
+        return get_default_engine()
+
     def _compute(self, name: str, config: ExperimentConfig):
         """Compute one job through whichever tiers exist:
         ``(result, status)``."""
         if self.trace_store is not None:
-            return _analyze_two_tier(name, config, self.trace_store)
-        return _analyze(name, config), STATUS_COMPUTED
+            return _analyze_two_tier(name, config, self.trace_store,
+                                     engine=self.engine)
+        return _analyze(name, config, engine=self.engine), STATUS_COMPUTED
 
     # ------------------------------------------------------------------
     # Single-job path (the report layer's run_workload).
@@ -713,14 +774,16 @@ class ExperimentRunner:
             budget = (None if any(b is None for b in budgets)
                       else max(budgets))
             try:
+                analysis_configs = [Job(name, config).analysis_config()
+                                    for __, config, __k in entries]
+                resolved = resolve_engine(self.engine, analysis_configs)
                 n_static, records, status = _resolve_trace(
-                    name, entries[0][1], self.trace_store, budget
+                    name, entries[0][1], self.trace_store, budget,
+                    columns=resolved is AnalysisEngine.COLUMNAR,
                 )
                 results = analyze_many(
-                    records, n_static,
-                    [Job(name, config).analysis_config()
-                     for __, config, __k in entries],
-                    name=name,
+                    records, n_static, analysis_configs, name=name,
+                    engine=resolved,
                 )
             except Exception as error:
                 wall = time.monotonic() - group_start
@@ -760,7 +823,8 @@ class ExperimentRunner:
                            tuple(config for __, config, __k in entries),
                            tuple(key for __, __c, key in entries),
                            str(store.root), store.max_bytes,
-                           trace_root, trace_max, observing))
+                           trace_root, trace_max, observing,
+                           self._effective_engine().value))
                 for (name, scale), entries in groups.items()
             ]
             pool_run = pool.run(tasks, cancel=self._cancel)
@@ -907,7 +971,7 @@ class ExperimentRunner:
                 Task(key=key, fn=_execute_job,
                      args=(name, config, key, str(store.root),
                            store.max_bytes, trace_root, trace_max,
-                           observing))
+                           observing, self._effective_engine().value))
                 for name, key in misses
             ]
             pool_run = pool.run(tasks, cancel=self._cancel)

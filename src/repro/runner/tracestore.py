@@ -28,7 +28,12 @@ import os
 import tempfile
 from pathlib import Path
 
-from repro.cpu.tracefile import read_trace, save_trace, trace_header
+from repro.cpu.tracefile import (
+    read_trace,
+    read_trace_columns,
+    save_trace,
+    trace_header,
+)
 from repro.obs import get_recorder
 from repro.runner.cache import LRUFileStore
 from repro.runner.faults import InjectedFault, fault_io, maybe_fault
@@ -46,10 +51,17 @@ class TraceStore(LRUFileStore):
 
     metric = "trace"
 
+    #: In-memory columns memo bound (entry count, LRU).  Decoded
+    #: :class:`TraceColumns` are prefix-closed and carry per-bank hit
+    #: and result caches, so handing every sweep config the *same*
+    #: object lets those caches compound across configs and budgets.
+    columns_memo_entries = 16
+
     def __init__(self, root: str | Path,
                  max_bytes: int = DEFAULT_TRACE_MAX_BYTES):
         self.root = Path(root)
         self.traces_dir = self.root / "traces"
+        self._columns_memo: dict = {}
         super().__init__(self.traces_dir, TRACE_SUFFIX, max_bytes)
 
     # ------------------------------------------------------------------
@@ -73,19 +85,46 @@ class TraceStore(LRUFileStore):
             self._remove(path)
             return None
 
-    def get(self, key: str, need: int | None = None):
+    def get(self, key: str, need: int | None = None,
+            columns: bool = False):
         """``(header, records)`` when the stored trace serves ``need``.
 
         ``need`` is the analysis instruction budget; None demands a
         complete trace.  A stored trace that is complete serves any
         budget, an incomplete one only budgets within its length.
         Corruption of any kind removes the file and reads as a miss.
+
+        ``columns=True`` decodes straight into
+        :class:`~repro.core.kernel.TraceColumns` for the columnar
+        engine, skipping per-record ``DynInst`` construction entirely.
         """
         with get_recorder().span("store.trace.get"):
             path = self.path_for(key)
+            if columns:
+                memo = self._columns_memo.get(key)
+                if memo is not None and self._serves(memo[0], need):
+                    try:
+                        # The memo is content-addressed so the copy is
+                        # always valid, but a read still goes through
+                        # fault injection: a store whose disk reads are
+                        # failing should degrade, not hide behind RAM.
+                        fault_io("trace.read")
+                    except InjectedFault as error:
+                        self._read_error(error)
+                        self._miss()
+                        return None
+                    self._columns_memo.pop(key)
+                    self._memoize(key, memo)
+                    self._hit()
+                    get_recorder().count("store.trace.columns_memo", 1)
+                    self._touch(path)
+                    return memo
             try:
                 fault_io("trace.read")
-                header, records = read_trace(path)
+                if columns:
+                    header, records = read_trace_columns(path)
+                else:
+                    header, records = read_trace(path)
             except FileNotFoundError:
                 self._miss()
                 return None
@@ -104,7 +143,27 @@ class TraceStore(LRUFileStore):
                 return None
             self._hit()
             self._touch(path)
+            if columns:
+                self._memoize(key, (header, records))
             return header, records
+
+    def _memoize(self, key: str, entry) -> None:
+        self._columns_memo[key] = entry
+        while len(self._columns_memo) > self.columns_memo_entries:
+            self._columns_memo.pop(next(iter(self._columns_memo)))
+
+    def memoize_columns(self, key: str, header: dict, columns) -> None:
+        """Seed the columns memo with a freshly built object.
+
+        Called by the runner right after a cold capture is persisted,
+        so sibling configs replay the very object whose bank caches the
+        first analysis already warmed.
+        """
+        self._memoize(key, (header, columns))
+
+    def clear(self) -> int:
+        self._columns_memo.clear()
+        return super().clear()
 
     @staticmethod
     def _serves(header: dict, need: int | None) -> bool:
@@ -127,6 +186,7 @@ class TraceStore(LRUFileStore):
         """
         with get_recorder().span("store.trace.put"):
             fault_io("trace.write")
+            self._columns_memo.pop(key, None)
             path = self.path_for(key)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(

@@ -1,0 +1,92 @@
+"""Differential fuzzing: columnar kernel vs reference analyzer.
+
+Seeded ``gen:`` workloads give unbounded, reproducible program
+diversity; each seed also derives a random predictor-bank/analysis
+variant, so the pair (program, config) sweeps the kernel's input space
+far beyond the fixed suite.  The invariant is total: serialized
+results must match byte for byte.
+
+The fast tier runs a small seed set on every test run; the ``slow``
+marked sweep covers 200 seeds for release-grade confidence
+(``pytest -m slow tests/properties/test_kernel_fuzz.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core import AnalysisConfig, analyze_trace
+from repro.core.export import result_to_dict
+from repro.gen import PRESETS, generated_workload
+
+FAST_SEEDS = 10
+SLOW_SEEDS = 200
+
+#: Kept small: the point is breadth of (program, config) pairs, not
+#: trace length.
+BUDGET = 1_500
+
+_SPEC_POOL = (
+    "last",
+    "stride",
+    "context",
+    "hybrid",
+    "last(bits=6,hysteresis=1)",
+    "stride(bits=7)",
+    "context(l1=7,l2=9,order=3)",
+    "hybrid(bits=7,l2=9)",
+)
+
+
+def _variant_for(seed: int) -> AnalysisConfig:
+    """A reproducible analysis-config variant derived from ``seed``."""
+    rng = random.Random(0xC0DE ^ seed)
+    predictors = tuple(
+        rng.sample(_SPEC_POOL, rng.randint(1, 4))
+    )
+    trees_for = tuple(
+        spec for spec in predictors if rng.random() < 0.4
+    )
+    return AnalysisConfig(
+        predictors=predictors,
+        trees_for=trees_for,
+        gen_cap=rng.choice((2, 8, 64)),
+        branch_predictor=rng.choice(("gshare", "local")),
+        gshare_bits=rng.choice((8, 12, 16)),
+        track_sequences=rng.random() < 0.9,
+        track_branches=rng.random() < 0.9,
+        track_unpred=rng.random() < 0.9,
+        track_paths=rng.random() < 0.9,
+        max_instructions=rng.choice((200, BUDGET)),
+    )
+
+
+def _check_seed(seed: int) -> None:
+    presets = sorted(PRESETS)
+    preset = presets[seed % len(presets)]
+    machine = generated_workload(f"gen:{preset}@{seed}").machine()
+    records = list(machine.trace())
+    n_static = len(machine.program.instructions)
+    config = _variant_for(seed)
+    reference = analyze_trace(records, n_static, name=preset,
+                              config=config, engine="reference")
+    columnar = analyze_trace(records, n_static, name=preset,
+                             config=config, engine="columnar")
+    assert (json.dumps(result_to_dict(columnar))
+            == json.dumps(result_to_dict(reference))), (
+        f"engines diverge for gen:{preset}@{seed} with {config}"
+    )
+
+
+@pytest.mark.parametrize("seed", range(FAST_SEEDS))
+def test_differential_fast(seed):
+    _check_seed(seed)
+
+
+@pytest.mark.slow
+def test_differential_sweep():
+    for seed in range(FAST_SEEDS, SLOW_SEEDS):
+        _check_seed(seed)

@@ -1,0 +1,156 @@
+"""Engine selection through the runner and the public API.
+
+The analysis engine is an execution detail: it must never enter job
+identity (switching engines hits the same caches), a configured
+default must reach both serial paths and pool workers, and fallback /
+forced-failure semantics must surface exactly as documented in
+docs/kernel.md.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.core import AnalysisEngine, KernelUnsupportedError
+from repro.core.export import result_to_dict
+from repro.core.kernel import TraceColumns, set_default_engine
+from repro.runner import (
+    ExperimentConfig,
+    ExperimentRunner,
+    Job,
+    ResultStore,
+    TraceStore,
+    job_key,
+    reset_default_runner,
+    trace_key,
+)
+
+CONFIG = ExperimentConfig(workloads=("com",), max_instructions=3_000)
+
+#: Five banks overflow the kernel's combo byte — the one unsupported
+#: shape reachable through ExperimentConfig.
+FIVE_BANKS = ExperimentConfig(
+    workloads=("com",), max_instructions=3_000,
+    predictors=("last", "stride", "context", "hybrid", "last(bits=8)"),
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_engine_default():
+    yield
+    set_default_engine(AnalysisEngine.AUTO)
+    reset_default_runner()
+
+
+def _dump(result) -> str:
+    return json.dumps(result_to_dict(result))
+
+
+def test_engine_not_part_of_job_identity():
+    key = job_key(Job("com", CONFIG))
+    for engine in ("auto", "columnar", "reference", None):
+        runner = ExperimentRunner(engine=engine)
+        assert job_key(Job("com", CONFIG)) == key, engine
+
+
+def test_cross_engine_cache_sharing(tmp_path):
+    producer = ExperimentRunner(
+        store=ResultStore(tmp_path), trace_store=TraceStore(tmp_path),
+        engine="columnar",
+    )
+    run = producer.run(CONFIG)
+    assert not run.failures
+    consumer = ExperimentRunner(
+        store=ResultStore(tmp_path), trace_store=TraceStore(tmp_path),
+        engine="reference",
+    )
+    warm = consumer.run(CONFIG)
+    assert [m.status for m in warm.metrics.jobs] == ["cache-hit"]
+    assert _dump(warm.results["com"]) == _dump(run.results["com"])
+
+
+def test_engines_agree_through_runner(tmp_path):
+    results = {}
+    for engine in ("columnar", "reference"):
+        runner = ExperimentRunner(
+            store=None, trace_store=TraceStore(tmp_path / engine),
+            engine=engine,
+        )
+        run = runner.run(CONFIG)
+        assert not run.failures, run.failures
+        results[engine] = _dump(run.results["com"])
+    assert results["columnar"] == results["reference"]
+
+
+def test_warm_replay_feeds_columns(tmp_path):
+    trace_store = TraceStore(tmp_path)
+    runner = ExperimentRunner(store=None, trace_store=trace_store,
+                              engine="columnar")
+    cold = runner.run(CONFIG)
+    assert not cold.failures
+    key = trace_key("com", CONFIG.scale)
+    stored = trace_store.get(key, CONFIG.max_instructions, columns=True)
+    assert stored is not None
+    __, columns = stored
+    assert isinstance(columns, TraceColumns)
+    runner.clear_memo()
+    warm = runner.run(CONFIG)
+    assert [m.status for m in warm.metrics.jobs] == ["replayed"]
+    assert _dump(warm.results["com"]) == _dump(cold.results["com"])
+
+
+def test_auto_falls_back_for_unsupported_config(tmp_path):
+    auto = ExperimentRunner(store=None,
+                            trace_store=TraceStore(tmp_path / "a"),
+                            engine="auto", observe=True)
+    run = auto.run(FIVE_BANKS)
+    assert not run.failures, run.failures
+    assert run.metrics.profile["counters"].get("analyze.fallback", 0) >= 1
+    reference = ExperimentRunner(store=None,
+                                 trace_store=TraceStore(tmp_path / "b"),
+                                 engine="reference")
+    ref_run = reference.run(FIVE_BANKS)
+    assert _dump(run.results["com"]) == _dump(ref_run.results["com"])
+
+
+def test_forced_columnar_fails_unsupported_job():
+    runner = ExperimentRunner(engine="columnar")
+    run = runner.run(FIVE_BANKS)
+    assert "com" in run.failures
+    assert "KernelUnsupportedError" in run.failures["com"].error
+
+
+def test_parallel_workers_inherit_engine(tmp_path):
+    config = ExperimentConfig(workloads=("com", "go"),
+                              max_instructions=3_000)
+    runner = ExperimentRunner(
+        store=ResultStore(tmp_path), trace_store=TraceStore(tmp_path),
+        jobs=2, engine="reference",
+    )
+    run = runner.run(config, jobs=2)
+    assert not run.failures, run.failures
+    serial = ExperimentRunner(store=None, engine="columnar")
+    for name in ("com", "go"):
+        assert _dump(run.results[name]) == _dump(
+            serial.run_one(name, ExperimentConfig(workloads=(name,),
+                                                  max_instructions=3_000))
+        )
+
+
+def test_configure_sets_engine(tmp_path):
+    runner = api.configure(cache_dir=tmp_path, engine="reference")
+    assert runner.engine is AnalysisEngine.REFERENCE
+    from repro.core import get_default_engine
+    assert get_default_engine() is AnalysisEngine.REFERENCE
+    # Settings not passed are inherited; engine=None restores auto.
+    runner = api.configure(engine=None)
+    assert runner.engine is None
+    assert get_default_engine() is AnalysisEngine.AUTO
+
+
+def test_runner_rejects_unknown_engine():
+    with pytest.raises(ValueError):
+        ExperimentRunner(engine="simd")

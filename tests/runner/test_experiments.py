@@ -22,10 +22,10 @@ HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
 SMALL = ExperimentConfig(max_instructions=3_000, workloads=("com", "go"))
 
 
-def _crashing_analyze(name, config):
+def _crashing_analyze(name, config, engine=None):
     if name == "go":
         raise RuntimeError("injected analysis fault")
-    return _analyze(name, config)
+    return _analyze(name, config, engine)
 
 
 @pytest.fixture
