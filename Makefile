@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke kernel-parity service-smoke \
-        campaign-smoke clean-cache
+.PHONY: test test-fast bench bench-smoke kernel-parity shard-parity \
+        service-smoke campaign-smoke clean-cache
 
 ## Tier-1 verification: the full test suite.
 test:
@@ -30,6 +30,16 @@ kernel-parity:
 	$(PYTHON) -m pytest -x -q tests/core/test_kernel_parity.py \
 		tests/properties/test_kernel_fuzz.py tests/runner/test_engine.py
 	$(PYTHON) benchmarks/bench_kernel.py
+
+## Segment-parallel parity gate: adversarial boundary tests, the
+## runner's segmented/chaos/reindex suite, policy semantics, and the
+## segmented differential tier (the parity suite runs every case at
+## segments>1 too).  See docs/sharding.md.
+shard-parity:
+	$(PYTHON) -m pytest -x -q tests/core/test_shard.py \
+		tests/runner/test_segmented.py tests/runner/test_policy.py \
+		tests/core/test_kernel_parity.py \
+		tests/properties/test_kernel_fuzz.py
 
 ## Service load smoke: zipf-skewed concurrent clients against a
 ## fresh server; writes BENCH_service.json at the repo root and

@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 
 from repro.runner import (
+    ExecutionPolicy,
     ExperimentConfig,
     ExperimentRunner,
     ResultStore,
@@ -49,6 +50,16 @@ SWEEP_CONFIGS = (
 )
 
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", str(os.cpu_count() or 1)))
+
+#: Segment-parallel smoke: one large stored trace, serial vs sharded
+#: replay.  ~1e6 records is the paper-scale regime the segment index
+#: was designed for; ``REPRO_PARALLEL_RECORDS`` shrinks it for quick
+#: local runs.
+PARALLEL_RECORDS = int(os.environ.get("REPRO_PARALLEL_RECORDS",
+                                      "1000000"))
+PARALLEL_SCALE = int(os.environ.get("REPRO_PARALLEL_SCALE", "4"))
+PARALLEL_JOBS = int(os.environ.get("REPRO_PARALLEL_JOBS",
+                                   str(os.cpu_count() or 1)))
 
 
 def _cold_setup(tmp_path_factory, jobs):
@@ -159,6 +170,81 @@ def bench_sweep_full_warm(benchmark, tmp_path_factory):
 
 
 # ----------------------------------------------------------------------
+# Segment-parallel single-trace smoke.
+# ----------------------------------------------------------------------
+
+def parallel_smoke() -> dict:
+    """Serial vs segment-parallel replay of one large stored trace.
+
+    Captures a ``PARALLEL_RECORDS``-record ``com`` trace once (writing
+    its segment-index sidecar), then times two trace-warm replays from
+    a cold result tier: serial, and segment-parallel over
+    ``PARALLEL_JOBS`` workers.  The two results must serialize to the
+    same bytes; ``analyze_parallel_speedup`` is their wall ratio.  On
+    a single-core host the ratio is honestly ~1x (worker startup
+    dominates) — the >= 2.5x acceptance gate only arms with 4+ cores
+    (the CI shard-parity job), see :func:`check`.
+    """
+    import json
+    import shutil
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from repro.core.export import result_to_dict
+
+    jobs = max(1, PARALLEL_JOBS)
+    segments = max(4, jobs)
+    spacing = max(1, PARALLEL_RECORDS // (2 * segments))
+    policy = ExecutionPolicy(jobs=jobs, segments=segments,
+                             segment_records=spacing)
+    config = ExperimentConfig(max_instructions=PARALLEL_RECORDS,
+                              workloads=("com",), scale=PARALLEL_SCALE)
+    seconds = {}
+
+    def timed(label, fn):
+        start = time.perf_counter()
+        out = fn()
+        seconds[label] = round(time.perf_counter() - start, 3)
+        return out
+
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-shard-"))
+    try:
+        trace_store = TraceStore(scratch)
+        capture = ExperimentRunner(store=ResultStore(scratch),
+                                   trace_store=trace_store,
+                                   policy=policy)
+        timed("capture", lambda: capture.run_one("com", config))
+
+        def replay(replay_policy, tag):
+            runner = ExperimentRunner(store=ResultStore(scratch / tag),
+                                      trace_store=TraceStore(scratch),
+                                      policy=replay_policy)
+            return timed(tag, lambda: runner.run_one("com", config))
+
+        serial = replay(ExecutionPolicy(), "serial_replay")
+        sharded = replay(policy, "segmented_replay")
+        assert (json.dumps(result_to_dict(sharded))
+                == json.dumps(result_to_dict(serial))), \
+            "segment-parallel replay diverged from the serial engine"
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return {
+        "records": PARALLEL_RECORDS,
+        "scale": PARALLEL_SCALE,
+        "jobs": jobs,
+        "segments": segments,
+        "segment_records": spacing,
+        "cores": os.cpu_count() or 1,
+        "seconds": seconds,
+        "analyze_parallel_speedup": round(
+            seconds["serial_replay"]
+            / max(seconds["segmented_replay"], 1e-9), 2
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
 # CI smoke: cold vs warm sweep, recorded at the repo root.
 # ----------------------------------------------------------------------
 
@@ -266,6 +352,8 @@ def smoke(output_path=None) -> dict:
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
 
+    parallel = parallel_smoke()
+
     col, ref = phases["columnar"], phases["reference"]
     analyze_speedup = round(
         ref["cold"]["analyze"] / max(col["cold"]["analyze"], 1e-9), 2
@@ -298,6 +386,8 @@ def smoke(output_path=None) -> dict:
             "analyze_columnar_vs_reference": analyze_speedup,
         },
         "analyze_speedup": analyze_speedup,
+        "analyze_parallel_speedup": parallel["analyze_parallel_speedup"],
+        "parallel": parallel,
         "phases": phases,
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -321,6 +411,13 @@ def smoke(output_path=None) -> dict:
                 for name, seconds in phases[engine][label].items()
             )
             print(f"  {engine}/{label} phases: {parts}")
+    print(f"  segment-parallel replay of {parallel['records']:,} "
+          f"records ({parallel['jobs']} worker(s), "
+          f"{parallel['segments']} segments, "
+          f"{parallel['cores']} core(s)): "
+          f"serial {parallel['seconds']['serial_replay']}s vs "
+          f"sharded {parallel['seconds']['segmented_replay']}s "
+          f"({parallel['analyze_parallel_speedup']}x)")
     print(f"[written to {output_path}]", file=sys.stderr)
     return report
 
@@ -344,6 +441,15 @@ def check(report) -> list[str]:
             "warm replay analyze "
             f"({columnar['trace_warm']['analyze']}s) exceeds cold "
             f"analyze ({columnar['cold']['analyze']}s)"
+        )
+    # The segment-parallel gate needs real cores to mean anything:
+    # on a 1-2 core host the number is recorded but not enforced.
+    parallel = report.get("parallel", {})
+    speedup = parallel.get("analyze_parallel_speedup", 0.0)
+    if parallel.get("cores", 0) >= 4 and speedup < 2.5:
+        failures.append(
+            f"analyze_parallel_speedup {speedup}x < 2.5x "
+            f"on {parallel['cores']} cores"
         )
     return failures
 

@@ -52,6 +52,7 @@ from repro.cpu import Machine
 from repro.minic import compile_program
 from repro.obs import ObsConfig, Recorder, get_recorder, recording
 from repro.runner import (
+    ExecutionPolicy,
     ExperimentConfig,
     ExperimentRun,
     ExperimentRunner,
@@ -71,6 +72,7 @@ __all__ = [
     "AnalysisEngine",
     "AnalysisResult",
     "Analyzer",
+    "ExecutionPolicy",
     "ExperimentConfig",
     "ExperimentRun",
     "ExperimentRunner",
@@ -116,6 +118,7 @@ def configure(
     retries=_UNSET,
     faults=_UNSET,
     engine=_UNSET,
+    policy=_UNSET,
 ) -> ExperimentRunner:
     """Reconfigure the shared runner behind the ``run_*`` entry points.
 
@@ -130,20 +133,28 @@ def configure(
         observe: ``True``/``False`` or an :class:`repro.obs.ObsConfig`;
             when on, results returned by :func:`run_workload` /
             :func:`run_suite` / :func:`run_sweep` carry a profile.
-        jobs: default worker-process count for suite runs.
-        timeout: per-job wall-clock limit in seconds (parallel runs).
-        retries: extra attempts for a failed job (parallel runs).
+        policy: an :class:`~repro.runner.ExecutionPolicy` — the one
+            object carrying every execution knob (engine, jobs,
+            timeout, retries, segments, segment_records); see
+            docs/sharding.md for the segment-parallel knobs.  Policy
+            is execution, never identity: it never enters job keys, so
+            changing it hits the same caches.
+        jobs: **deprecated** — use ``policy``.  Default worker-process
+            count for suite runs.
+        timeout: **deprecated** — use ``policy``.  Per-job wall-clock
+            limit in seconds (parallel runs).
+        retries: **deprecated** — use ``policy``.  Extra attempts for
+            a failed job (parallel runs).
         faults: a :class:`repro.runner.FaultPlan` installed during each
             run — the chaos-testing channel (see docs/robustness.md);
             ``None`` injects nothing.
-        engine: analysis engine for the runner *and* the process-wide
-            default behind direct :func:`analyze` calls —
-            ``"auto"`` (columnar where supported, reference otherwise),
-            ``"columnar"`` (forced; unsupported configs raise
+        engine: **deprecated** — use ``policy``.  Analysis engine for
+            the runner *and* the process-wide default behind direct
+            :func:`analyze` calls — ``"auto"`` (columnar where
+            supported, reference otherwise), ``"columnar"`` (forced;
+            unsupported configs raise
             :class:`repro.core.KernelUnsupportedError`) or
-            ``"reference"`` (the original per-instruction loop).  The
-            engine never enters job keys, so switching it hits the same
-            caches; see docs/kernel.md.
+            ``"reference"`` (the original per-instruction loop).
 
     Returns the newly installed :class:`ExperimentRunner` (also handy
     for direct use).  Call ``repro.runner.reset_default_runner()`` to
@@ -151,6 +162,18 @@ def configure(
     read-modify-install is atomic, so concurrent ``configure`` calls
     serialise instead of silently dropping one another's settings.
     """
+    import warnings
+
+    legacy = {"jobs": jobs, "timeout": timeout, "retries": retries,
+              "engine": engine}
+    used = sorted(key for key, value in legacy.items()
+                  if value is not _UNSET)
+    if used:
+        warnings.warn(
+            f"configure({', '.join(used)}=...) is deprecated; pass "
+            f"policy=ExecutionPolicy(...) instead (see docs/api.md)",
+            DeprecationWarning, stacklevel=2,
+        )
 
     if engine is not _UNSET:
         # The engine is both a runner setting and the process default
@@ -159,6 +182,8 @@ def configure(
         set_default_engine(
             AnalysisEngine.AUTO if engine is None else engine
         )
+    elif policy is not _UNSET and policy is not None and policy.engine:
+        set_default_engine(policy.engine)
 
     def build(current: ExperimentRunner) -> ExperimentRunner:
         if cache_dir is _UNSET:
@@ -168,15 +193,30 @@ def configure(
         else:
             store = ResultStore(cache_dir)
             trace_store = TraceStore(cache_dir)
+        if policy is _UNSET:
+            new_policy = current.policy
+        elif policy is None:
+            new_policy = ExecutionPolicy()
+        else:
+            new_policy = policy
+        overrides = {}
+        if jobs is not _UNSET:
+            overrides["jobs"] = jobs
+        if timeout is not _UNSET:
+            overrides["timeout"] = timeout
+        if retries is not _UNSET:
+            overrides["retries"] = retries
+        if engine is not _UNSET:
+            # ExecutionPolicy normalizes enum/string via coerce_engine.
+            overrides["engine"] = engine
+        if overrides:
+            new_policy = new_policy.merged(**overrides)
         return ExperimentRunner(
             store=store,
             trace_store=trace_store,
-            jobs=current.jobs if jobs is _UNSET else jobs,
-            timeout=current.timeout if timeout is _UNSET else timeout,
-            retries=current.retries if retries is _UNSET else retries,
             observe=current.obs if observe is _UNSET else observe,
             faults=current.faults if faults is _UNSET else faults,
-            engine=current.engine if engine is _UNSET else engine,
+            policy=new_policy,
         )
 
     return swap_default_runner(build)

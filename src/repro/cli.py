@@ -61,6 +61,11 @@ from repro.runner.api import (
 from repro.runner.cache import DEFAULT_MAX_BYTES, ResultStore
 from repro.runner.faults import FaultSpec, default_chaos_plan
 from repro.runner.job import ExperimentConfig
+from repro.runner.policy import (
+    DEFAULT_SEGMENT_RECORDS,
+    ExecutionPolicy,
+    PolicyError,
+)
 from repro.runner.tracestore import DEFAULT_TRACE_MAX_BYTES, TraceStore
 
 #: Process exit codes (see module docstring).
@@ -140,6 +145,45 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
                              "reference (the original per-instruction "
                              "loop); results are byte-identical and the "
                              "caches are shared (see docs/kernel.md)")
+    _add_policy_flag(parser)
+
+
+def _add_policy_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--policy", default=None, metavar="K=V,...",
+                        help="execution-policy overrides as key=val "
+                             "pairs (engine, jobs, timeout, retries, "
+                             "segments, segment_records); applied over "
+                             "the individual flags, e.g. "
+                             "--policy segments=4,jobs=4 enables "
+                             "segment-parallel single-trace analysis "
+                             "(docs/sharding.md)")
+
+
+def _policy_from_args(parser, args, jobs: int = 1):
+    """The run's :class:`ExecutionPolicy` from flags.
+
+    The legacy per-knob flags (``--jobs``/``--timeout``/``--retries``/
+    ``--engine``) seed the policy; a ``--policy key=val,...`` string is
+    parsed on top and wins where both are given.
+    """
+    try:
+        base = ExecutionPolicy(
+            engine=getattr(args, "engine", None),
+            jobs=max(1, jobs),
+            timeout=getattr(args, "timeout", None),
+            retries=getattr(args, "retries", 1) or 1,
+        )
+        text = getattr(args, "policy", None)
+        if text:
+            base = ExecutionPolicy.parse(text, base=base)
+    except PolicyError as error:
+        parser.error(str(error))
+    return base
+
+
+def _policy_line(desc: dict) -> str:
+    """``key=value`` rendering of ``ExecutionPolicy.describe()``."""
+    return " ".join(f"{key}={value}" for key, value in desc.items())
 
 
 def _make_stores(args) -> tuple[ResultStore | None, TraceStore | None]:
@@ -183,14 +227,16 @@ def cmd_run(parser, args) -> int:
         max_instructions=args.max_instructions,
         workloads=_workload_tuple(parser, args.workloads),
     )
+    policy = _policy_from_args(
+        parser, args,
+        jobs=args.jobs if args.jobs is not None else _default_jobs(),
+    )
     runner = ExperimentRunner(
         store=store, trace_store=trace_store,
-        jobs=args.jobs if args.jobs is not None else _default_jobs(),
-        timeout=args.timeout, retries=args.retries,
         # getattr: the deprecated ``python -m repro.runner`` forwarder's
         # frozen flag set has no --profile (nor --resume/--engine).
         observe=getattr(args, "profile", False),
-        engine=getattr(args, "engine", None),
+        policy=policy,
     )
     with _cancel_on_signals() as cancel:
         run = runner.run(config, resume=getattr(args, "resume", False),
@@ -271,6 +317,11 @@ def cmd_cache(parser, args) -> int:
     if store is None:
         print("cache disabled", file=sys.stderr)
         return 1
+    if args.action == "reindex":
+        if trace_store is None:
+            print("trace store disabled", file=sys.stderr)
+            return 1
+        return _reindex(trace_store, args.segment_records)
     if args.action == "clear":
         removed = store.clear()
         print(f"removed {removed} cached result(s) from {store.root}")
@@ -300,7 +351,126 @@ def cmd_cache(parser, args) -> int:
         print(f"traces: {len(trace_entries)} "
               f"({_occupancy(store, trace_store, tier='traces')})")
         _tier_report("traces ", trace_store, counters)
+        _segidx_report(trace_store, trace_entries)
     return 0
+
+
+def _segidx_report(trace_store, trace_entries) -> None:
+    """Per-trace segment-index presence and coverage.
+
+    Loading each sidecar through :meth:`TraceStore.get_segindex` also
+    validates it, so corrupt or stale indexes are pruned as a side
+    effect of ``cache info``.
+    """
+    from repro.cpu.tracefile import trace_header
+    from repro.runner.tracestore import TRACE_SUFFIX
+
+    if not trace_entries:
+        return
+    indexed = 0
+    lines = []
+    for path in trace_entries:
+        key = path.name[: -len(TRACE_SUFFIX)]
+        try:
+            workload = trace_header(path).get("workload") or "?"
+        except Exception:
+            workload = "?"
+        index = trace_store.get_segindex(key)
+        if index is None:
+            lines.append(f"  {key[:12]} [{workload}]: no segment index")
+            continue
+        indexed += 1
+        segs = max(1, len(index.bounds) - 1)
+        spacing = index.n_records // segs if segs else index.n_records
+        lines.append(f"  {key[:12]} [{workload}]: {segs} segment(s), "
+                     f"~{spacing:,} record(s) each")
+    print(f"segment indexes: {indexed}/{len(trace_entries)} trace(s) "
+          f"indexed" +
+          ("" if indexed == len(trace_entries)
+           else " (backfill with `python -m repro cache reindex`)"))
+    for line in lines:
+        print(line)
+
+
+def _reindex(trace_store, segment_records: int) -> int:
+    """Backfill segment-index sidecars for every stored trace.
+
+    Idempotent and resumable: a trace that already carries a sidecar
+    is skipped, and a journal beside the trace tier records each key
+    as it is indexed so a killed reindex picks up where it stopped.
+    The journal is removed once a pass completes cleanly — it is a
+    resume point for interrupted runs, not a permanent ledger, so a
+    trace that is later evicted and re-captured is indexed again.
+    Traces too short to span two segments are skipped *without* being
+    journaled: a longer recapture under the same key must still be
+    eligible.
+    """
+    from repro.core.shard import build_index, plan_bounds
+    from repro.cpu.tracefile import read_trace_columns
+    from repro.runner.journal import STATUS_DONE, RunJournal
+    from repro.runner.tracestore import TRACE_SUFFIX
+
+    if segment_records < 1:
+        print("--segment-records must be >= 1", file=sys.stderr)
+        return 1
+    journal_path = trace_store.root / "reindex.journal.jsonl"
+    try:
+        journal = RunJournal(journal_path, resume=True).open()
+    except Exception as error:
+        # Journal-less reindex still works (sidecar presence is the
+        # authoritative skip) -- it just cannot resume a killed run.
+        print(f"reindex journal unavailable ({error}); "
+              f"continuing without resume support", file=sys.stderr)
+        journal = None
+    indexed = present = short = failed = 0
+    try:
+        for path in trace_store.entries():
+            key = path.name[: -len(TRACE_SUFFIX)]
+            if trace_store.has_segindex(key):
+                present += 1
+                continue
+            if journal is not None and journal.completed(key):
+                present += 1
+                continue
+            header = trace_store.header(key)
+            if header is None:
+                failed += 1
+                continue
+            workload = header.get("workload") or "?"
+            n = header.get("n_records", 0)
+            spans = n // segment_records
+            if spans < 2:
+                short += 1
+                continue
+            try:
+                __, columns = read_trace_columns(path)
+                index = build_index(columns, plan_bounds(n, spans))
+                written = trace_store.put_segindex(key, index)
+            except Exception as error:
+                failed += 1
+                print(f"  {key[:12]} [{workload}]: reindex failed "
+                      f"({error})", file=sys.stderr)
+                continue
+            if written is None:
+                failed += 1
+                continue
+            indexed += 1
+            if journal is not None:
+                journal.record(key, workload, STATUS_DONE)
+            print(f"  {key[:12]} [{workload}]: indexed "
+                  f"{len(index.bounds) - 1} segment(s) over {n:,} "
+                  f"record(s)")
+    finally:
+        if journal is not None:
+            journal.close()
+    if failed == 0 and journal is not None:
+        try:
+            journal_path.unlink()
+        except OSError:
+            pass
+    print(f"reindexed {indexed} trace(s); {present} already indexed, "
+          f"{short} too short, {failed} failed")
+    return 0 if failed == 0 else 1
 
 
 def _occupancy(store, trace_store, tier: str = "results") -> str:
@@ -366,6 +536,10 @@ def cmd_stats(parser, args) -> int:
         return 1
     profile = payload.get("profile")
     if not isinstance(profile, dict):
+        # Still worth a line: the execution policy is recorded even
+        # on unprofiled runs.
+        if args.format == "text" and payload.get("policy"):
+            print(f"policy: {_policy_line(payload['policy'])}")
         print(f"{path} has no profile section; re-run with "
               f"python -m repro run --profile", file=sys.stderr)
         return 1
@@ -377,6 +551,8 @@ def cmd_stats(parser, args) -> int:
         jobs = payload.get("jobs", [])
         print(f"profile of {path} ({len(jobs)} job(s), "
               f"{payload.get('total_wall', 0.0):.2f}s total)")
+        if payload.get("policy"):
+            print(f"policy: {_policy_line(payload['policy'])}")
         print()
         print(render_profile(profile))
     return 0
@@ -407,12 +583,15 @@ def cmd_report(parser, args) -> int:
         parser.error(f"unknown exhibit {args.exhibit!r}")
 
     store, trace_store = _make_stores(args)
-    runner = ExperimentRunner(
-        store=store, trace_store=trace_store,
+    policy = _policy_from_args(
+        parser, args,
         jobs=args.jobs if args.jobs is not None
         else int(os.environ.get("REPRO_JOBS", "1")),
+    )
+    runner = ExperimentRunner(
+        store=store, trace_store=trace_store,
         observe=getattr(args, "profile", False),
-        engine=getattr(args, "engine", None),
+        policy=policy,
     )
     config = ExperimentConfig(
         scale=args.scale,
@@ -635,11 +814,13 @@ def cmd_campaign(parser, args) -> int:
         parser.error("campaign report requires --out DIR")
 
     store, trace_store = _make_stores(args)
-    runner = ExperimentRunner(
-        store=store, trace_store=trace_store,
+    policy = _policy_from_args(
+        parser, args,
         jobs=args.jobs if args.jobs is not None
         else int(os.environ.get("REPRO_JOBS", "1")),
-        engine=getattr(args, "engine", None),
+    )
+    runner = ExperimentRunner(
+        store=store, trace_store=trace_store, policy=policy,
     )
     try:
         campaign = run_campaign(spec, runner=runner, jobs=args.jobs)
@@ -723,11 +904,12 @@ def cmd_chaos(parser, args) -> int:
         workloads=_workload_tuple(parser, args.workloads),
     )
 
+    policy = _policy_from_args(parser, args, jobs=args.jobs)
     print(f"[chaos] baseline: fault-free run ({args.jobs} worker(s))")
     with tempfile.TemporaryDirectory(prefix="repro-chaos-base-") as base:
         baseline = ExperimentRunner(
             store=ResultStore(base), trace_store=TraceStore(base),
-            jobs=args.jobs, timeout=args.timeout, retries=args.retries,
+            policy=policy,
         ).run(config)
     if baseline.failures:
         for name, failure in baseline.failures.items():
@@ -826,17 +1008,22 @@ def cmd_serve(parser, args) -> int:
     from repro.service import BrokerConfig, run_server
 
     store, trace_store = _make_stores(args)
+    policy = _policy_from_args(
+        parser, args, jobs=args.jobs if args.jobs is not None else 1,
+    )
     broker_config = BrokerConfig(
         workers=args.workers,
-        jobs=args.jobs if args.jobs is not None else 1,
+        jobs=policy.jobs,
         max_queue=args.max_queue,
         max_wait=args.max_wait,
         batch_window=args.batch_window,
-        timeout=args.timeout,
-        retries=args.retries,
+        timeout=policy.timeout,
+        retries=policy.retries,
+        policy=policy,
     )
     print(f"serving on http://{args.host}:{args.port} "
-          f"({args.workers} batch worker(s); SIGTERM drains)",
+          f"({args.workers} batch worker(s); "
+          f"policy {_policy_line(policy.describe())}; SIGTERM drains)",
           file=sys.stderr)
     return run_server(host=args.host, port=args.port,
                       broker_config=broker_config,
@@ -1022,9 +1209,16 @@ def build_parser() -> argparse.ArgumentParser:
         description="Inspect, prune or clear the result and trace "
                     "stores.",
     )
-    cache.add_argument("action", choices=("info", "prune", "clear"),
+    cache.add_argument("action",
+                       choices=("info", "prune", "clear", "reindex"),
                        help="print tier occupancy and hit-rates, evict "
-                            "down to the caps, or empty the tiers")
+                            "down to the caps, empty the tiers, or "
+                            "backfill segment-index sidecars for "
+                            "stored traces (docs/sharding.md)")
+    cache.add_argument("--segment-records", type=int,
+                       default=DEFAULT_SEGMENT_RECORDS, metavar="N",
+                       help="checkpoint spacing for reindex (default: "
+                            f"{DEFAULT_SEGMENT_RECORDS})")
     _add_cache_flags(cache)
     cache.set_defaults(func=cmd_cache)
 
@@ -1068,6 +1262,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-job wall-clock limit in seconds")
     serve.add_argument("--retries", type=int, default=1,
                        help="extra attempts for a failed job (default: 1)")
+    _add_policy_flag(serve)
     _add_cache_flags(serve)
     serve.set_defaults(func=cmd_serve)
 

@@ -219,13 +219,30 @@ class TraceColumns:
     @classmethod
     def from_v2(cls, buf, header: dict, path="<trace>") -> "TraceColumns":
         """Build columns straight from a v2 trace body (no DynInst)."""
+        return cls.from_v2_range(
+            buf, header, 0, header["n_records"], 0, path)
+
+    @classmethod
+    def from_v2_range(cls, buf, header: dict, r0: int, r1: int,
+                      byte_off: int, path="<trace>") -> "TraceColumns":
+        """Build columns for records ``[r0, r1)`` of a v2 trace body.
+
+        ``byte_off`` is the body offset of record ``r0`` (the layout is
+        fixed-width: ``23*r + 25*arcs_before_r``, so a segment index
+        only needs the arc count at each boundary).  The resulting
+        columns are *local* — record/arc indices start at zero — but
+        producer uids and ``group_key`` stay global because the v2
+        format stores producers as absolute uids.  This is what lets a
+        segment worker decode only its own byte range
+        (:mod:`repro.core.shard`).
+        """
         self = cls()
         self.n_static = n = max(header["n_static"], 1)
         self.ops = [
             (entry[0], Category(entry[1]), bool(entry[2]))
             for entry in header["ops"]
         ]
-        n_records = header["n_records"]
+        n_records = r1 - r0
         rec_head = _REC_HEAD.unpack_from
         src_groups = _SRC_GROUPS
         pack_i64 = _I64.pack
@@ -248,7 +265,7 @@ class TraceColumns:
         d_ids = self.d_ids
         d_count = 0
         arc_total = 0
-        pos = 0
+        pos = byte_off
         try:
             for _ in range(n_records):
                 __, pc, flags, op_index, passthrough, out_bits, __t = \

@@ -1,0 +1,1091 @@
+"""Segment-parallel analysis of a single trace.
+
+The columnar engine (:mod:`repro.core.kernel.engine`) analyzes one
+trace on one core.  This module splits the record stream into
+contiguous **segments** at checkpointed boundaries and runs the
+kernel's batched passes per segment — in-process threads for traces
+already decoded in memory, the runner's :class:`TaskPool` for big
+stored traces — then merges the per-segment partials into an
+:class:`~repro.core.stats.AnalysisResult` **byte-identical** to the
+serial engine's (enforced by tests/core/test_shard.py, the extended
+kernel-parity suite, and the ``segments>1`` fuzz).
+
+What a boundary must carry
+--------------------------
+Predictors are stateful, so segment ``i`` cannot replay its slice from
+scratch.  A :class:`SegmentIndex` checkpoint at record ``r`` carries:
+
+* sparse **state deltas** for every predictor stream (per-bank input
+  and output value predictors plus the shared branch predictor) as
+  written by :mod:`repro.core.kernel.state` — folding deltas
+  ``0..i-1`` reconstructs each table exactly;
+* the **arc index** at ``r`` (which also yields the v2 byte offset:
+  the record layout is fixed-width, ``23*r + 25*arcs``);
+* cumulative **per-PC execution counts** before ``r``, so the
+  count-so-far write-once classification resumes mid-stream.
+
+Producer state needs no snapshot: the v2 format stores producers as
+absolute uids, so a segment's arc group keys are correct as decoded,
+and the one cross-segment read — arc predictability ``X``, the
+producer's output byte — is returned as a patch list the merge applies
+once the producer's segment has landed.
+
+Why the merge is exact
+----------------------
+Node/branch/arc class counts are fixed-size additive tallies.  The
+order-sensitive exports (run lengths, path combo counts, tree
+histograms) are never merged as Counters: selectors are concatenated
+and split once, and the generator-influence walk itself is resumed
+across segments (:class:`_ResumableWalk`), so every Counter is built
+in exactly the serial insertion order.  See docs/sharding.md.
+"""
+
+from __future__ import annotations
+
+import pickle
+from bisect import bisect_left
+from collections import Counter
+from itertools import compress, count
+
+from repro.core.arcs import ArcGroupTable
+from repro.core.events import InKind
+from repro.core.kernel.columns import TraceColumns
+from repro.core.kernel.engine import (
+    _BRANCH_T,
+    _MISS_T,
+    _NODE_GC,
+    _NODE_T,
+    _NO_OUTPUT,
+    _SEQ_T,
+    _TERM_T,
+    _UNPRED_T,
+    _comp_base,
+    _ones,
+    _run_lengths,
+)
+from repro.core.kernel.state import (
+    fold_deltas,
+    new_branch_state,
+    new_touched,
+    run_branch_slice,
+    run_value_slice,
+    snapshot_delta,
+    value_state_for,
+)
+from repro.core.paths import _EMPTY_SET, _MASK_BITS
+from repro.core.stats import (
+    AnalysisResult,
+    BranchStats,
+    NodeStats,
+    PathStats,
+    PredictorResult,
+    TreeStats,
+)
+from repro.core.unpred import CriticalPoints
+from repro.errors import ReproError
+from repro.obs import get_recorder
+
+#: v2 fixed record layout: head bytes + bytes per source (see
+#: repro.cpu.tracefile).  Byte offset of record r with a arcs before
+#: it is exactly _REC_BYTES*r + _SRC_BYTES*a.
+_REC_BYTES = 23
+_SRC_BYTES = 25
+
+SEGIDX_VERSION = 1
+SEGIDX_MAGIC = b"RPRSIDX1"
+
+
+class ShardError(ReproError):
+    """Segment-parallel analysis could not run or a segment failed."""
+
+
+# ======================================================================
+# Segment index (checkpoints).
+# ======================================================================
+
+class SegmentIndex:
+    """Checkpoints every N records of one trace (see module doc).
+
+    ``bounds[t]`` is the record index of boundary ``t`` (``bounds[0]``
+    is 0, ``bounds[-1]`` is ``n_records``); ``arc_bounds[t]`` the arc
+    count before it.  ``deltas[t]`` holds the state written by segment
+    ``t`` (records ``bounds[t]:bounds[t+1]``) keyed ``{"in": {spec:
+    delta}, "out": {spec: delta}, "br": delta}``; the last segment
+    needs no delta.  ``counts[t]`` is the sparse per-PC record tally of
+    segment ``t``.
+    """
+
+    __slots__ = ("n_records", "n_static", "specs", "branch", "bounds",
+                 "arc_bounds", "counts", "deltas")
+
+    def __init__(self, n_records, n_static, specs, branch, bounds,
+                 arc_bounds, counts, deltas):
+        self.n_records = n_records
+        self.n_static = n_static
+        self.specs = tuple(specs)
+        self.branch = tuple(branch)
+        self.bounds = list(bounds)
+        self.arc_bounds = list(arc_bounds)
+        self.counts = counts
+        self.deltas = deltas
+
+    # -- compatibility -------------------------------------------------
+
+    def supports(self, config) -> str | None:
+        """Why this index cannot serve ``config`` (None = it can)."""
+        missing = set(config.predictors) - set(self.specs)
+        if missing:
+            return (f"predictor {sorted(missing)[0]!r} not in the "
+                    f"index's checkpoint family")
+        kind = config.branch_predictor
+        if kind != self.branch[0]:
+            return (f"branch predictor {kind!r} != indexed "
+                    f"{self.branch[0]!r}")
+        if kind == "gshare" and config.gshare_bits != self.branch[1]:
+            return (f"gshare_bits {config.gshare_bits} != indexed "
+                    f"{self.branch[1]}")
+        return None
+
+    # -- resume inputs -------------------------------------------------
+
+    def counts_at(self, t: int) -> list:
+        """Dense per-PC counts of records before boundary ``t``."""
+        dense = [0] * self.n_static
+        for part in self.counts[:t]:
+            for pc, n in part.items():
+                dense[pc] += n
+        return dense
+
+    def states_at(self, t: int, specs, br_kind, br_bits) -> dict:
+        """Folded predictor states at boundary ``t`` for ``specs``."""
+        states = {
+            "in": {spec: value_state_for(spec) for spec in specs},
+            "out": {spec: value_state_for(spec) for spec in specs},
+            "br": new_branch_state(br_kind),
+        }
+        for delta in self.deltas[:t]:
+            for spec in specs:
+                fold_deltas(states["in"][spec], (delta["in"][spec],))
+                fold_deltas(states["out"][spec], (delta["out"][spec],))
+            fold_deltas(states["br"], (delta["br"],))
+        return states
+
+    # -- serialization (the .segidx sidecar) ---------------------------
+
+    def to_bytes(self) -> bytes:
+        payload = {
+            "n_records": self.n_records, "n_static": self.n_static,
+            "specs": self.specs, "branch": self.branch,
+            "bounds": self.bounds, "arc_bounds": self.arc_bounds,
+            "counts": self.counts, "deltas": self.deltas,
+        }
+        return (SEGIDX_MAGIC + bytes([SEGIDX_VERSION])
+                + pickle.dumps(payload, protocol=4))
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "SegmentIndex":
+        if raw[:8] != SEGIDX_MAGIC:
+            raise ShardError("not a segment index (bad magic)")
+        if raw[8] != SEGIDX_VERSION:
+            raise ShardError(
+                f"unsupported segment index version {raw[8]}")
+        payload = pickle.loads(raw[9:])
+        return cls(payload["n_records"], payload["n_static"],
+                   payload["specs"], payload["branch"],
+                   payload["bounds"], payload["arc_bounds"],
+                   payload["counts"], payload["deltas"])
+
+
+def default_family(config=None) -> tuple[tuple, tuple]:
+    """The (specs, branch) checkpoint family for an index.
+
+    ``None`` means the capture-time default: every default predictor
+    spec plus the default branch predictor, so any default-config
+    analysis can resume from a stored sidecar.
+    """
+    from repro.core.analysis import AnalysisConfig
+
+    config = config if config is not None else AnalysisConfig()
+    return (tuple(config.predictors),
+            (config.branch_predictor, config.gshare_bits))
+
+
+def plan_bounds(m: int, segments: int) -> list[int]:
+    """Near-equal record bounds: ``[0, ..., m]``, each segment >= 1
+    record (so ``segments > m`` degrades to 1-record segments)."""
+    k = max(1, min(segments, m))
+    return [i * m // k for i in range(k + 1)]
+
+
+def build_index(columns, bounds, specs=None, branch=None) -> SegmentIndex:
+    """Build checkpoints for ``columns`` at ``bounds``.
+
+    Runs every predictor stream once through the resumable passes of
+    :mod:`repro.core.kernel.state`, snapshotting each segment's state
+    delta and per-PC record tally at the boundary.  Used both by the
+    in-memory segmented path (per-call, for the exact config) and by
+    capture/reindex (default family, persisted as the sidecar).
+    """
+    if specs is None or branch is None:
+        d_specs, d_branch = default_family()
+        specs = d_specs if specs is None else tuple(specs)
+        branch = d_branch if branch is None else tuple(branch)
+    else:
+        specs = tuple(specs)
+        branch = tuple(branch)
+    br_kind, br_bits = branch
+    m = bounds[-1]
+    starts = columns.src_start
+    arc_bounds = [starts[r] for r in bounds]
+    ov_idx = columns.ov_idx
+    br_idx = columns.br_idx
+    ov_bounds = [bisect_left(ov_idx, r) for r in bounds]
+    br_bounds = [bisect_left(br_idx, r) for r in bounds]
+    in_states = {spec: value_state_for(spec) for spec in specs}
+    out_states = {spec: value_state_for(spec) for spec in specs}
+    br_state = new_branch_state(br_kind)
+    sink = bytearray()
+    counts: list[dict] = []
+    deltas: list[dict] = []
+    pcs = columns.pc
+    for t in range(len(bounds) - 1):
+        r0, r1 = bounds[t], bounds[t + 1]
+        a0, a1 = arc_bounds[t], arc_bounds[t + 1]
+        o0, o1 = ov_bounds[t], ov_bounds[t + 1]
+        b0, b1 = br_bounds[t], br_bounds[t + 1]
+        counts.append(dict(Counter(pcs[r0:r1])))
+        if t == len(bounds) - 2:
+            break  # the last segment's delta is never resumed from
+        delta = {"in": {}, "out": {}, "br": None}
+        for spec in specs:
+            touched = new_touched(in_states[spec])
+            run_value_slice(spec, in_states[spec],
+                            columns.in_key[a0:a1],
+                            columns.src_value[a0:a1], sink, touched)
+            delta["in"][spec] = snapshot_delta(in_states[spec], touched)
+            touched = new_touched(out_states[spec])
+            run_value_slice(spec, out_states[spec],
+                            columns.ov_pc[o0:o1],
+                            columns.ov_val[o0:o1], sink, touched)
+            delta["out"][spec] = snapshot_delta(out_states[spec],
+                                                touched)
+        touched = new_touched(br_state)
+        run_branch_slice(br_kind, br_bits, br_state,
+                         columns.br_pc[b0:b1],
+                         columns.br_taken[b0:b1], sink, touched)
+        delta["br"] = snapshot_delta(br_state, touched)
+        deltas.append(delta)
+        sink.clear()
+    return SegmentIndex(m, columns.n_static, specs, branch, bounds,
+                        arc_bounds, counts, deltas)
+
+
+def select_segments(index: SegmentIndex, m: int, segments: int) -> list:
+    """Choose up to ``segments`` cut points from an index for a budget
+    of ``m`` records.
+
+    Returns ``[(r0, r1, arc0, t0), ...]`` where ``t0`` is the index
+    boundary position of ``r0`` (states/counts are resumed from
+    ``t0``).  Fewer segments come back when the index has too few
+    usable boundaries below ``m``; one segment means "run serial".
+    """
+    bounds = index.bounds
+    cands = [t for t in range(1, len(bounds) - 1) if 0 < bounds[t] < m]
+    k = max(1, min(segments, m))
+    picked: set[int] = set()
+    for j in range(1, k):
+        ideal = j * m / k
+        best = None
+        best_d = None
+        for t in cands:
+            if t in picked:
+                continue
+            d = abs(bounds[t] - ideal)
+            if best_d is None or d < best_d:
+                best, best_d = t, d
+        if best is not None:
+            picked.add(best)
+    cuts = sorted(picked)
+    edges = [(0, 0, 0)] + [(bounds[t], index.arc_bounds[t], t)
+                           for t in cuts]
+    out = []
+    for i, (r0, arc0, t0) in enumerate(edges):
+        r1 = edges[i + 1][0] if i + 1 < len(edges) else m
+        out.append((r0, r1, arc0, t0))
+    return out
+
+
+# ======================================================================
+# Per-segment compute (runs in a worker process, a thread, or inline).
+# ======================================================================
+
+def _slice_columns(columns, r0: int, r1: int) -> TraceColumns:
+    """A local TraceColumns over records ``[r0, r1)`` of ``columns``.
+
+    Record/arc indexing is rebased to zero; producer uids and group
+    keys stay absolute (they are stored absolute).  Derived flag
+    columns and record subsets are recomputed by ``_finish`` on the
+    slice — the same code path the full decode uses.
+    """
+    starts = columns.src_start
+    a0, a1 = starts[r0], starts[r1]
+    d0, d1 = columns.d_prefix[r0], columns.d_prefix[r1]
+    seg = TraceColumns()
+    seg.n_static = columns.n_static
+    seg.ops = columns.ops
+    seg.pc = columns.pc[r0:r1]
+    seg.op_index = columns.op_index[r0:r1]
+    seg.out = columns.out[r0:r1]
+    seg.passthrough = columns.passthrough[r0:r1]
+    seg.taken = columns.taken[r0:r1]
+    seg.nsrc = columns.nsrc[r0:r1]
+    seg.src_start = [s - a0 for s in starts[r0:r1 + 1]]
+    seg.src_value = columns.src_value[a0:a1]
+    seg.src_prod = columns.src_prod[a0:a1]
+    seg.src_ppc = columns.src_ppc[a0:a1]
+    seg.src_mem = columns.src_mem[a0:a1]
+    seg.src_loc = columns.src_loc[a0:a1]
+    seg.in_key = columns.in_key[a0:a1]
+    seg.group_key = columns.group_key[a0:a1]
+    seg.d_prefix = [d - d0 for d in columns.d_prefix[r0:r1 + 1]]
+    seg.d_ids = columns.d_ids[d0:d1]
+    seg.n_records = r1 - r0
+    seg._finish()
+    return seg
+
+
+def _genclass_resumed(cols, counts_start) -> bytearray:
+    """Count-so-far GenClass codes for a segment, seeded with the
+    per-PC counts accumulated before it (mirrors
+    ``TraceColumns.genclass_so_far`` restricted to the slice)."""
+    counts = list(counts_start)
+    out = bytearray(cols.src_start[-1])
+    pcs = cols.pc
+    starts = cols.src_start
+    prods = cols.src_prod
+    ppcs = cols.src_ppc
+    for r in range(cols.n_records):
+        counts[pcs[r]] += 1
+        for a in range(starts[r], starts[r + 1]):
+            if prods[a] < 0:
+                out[a] = 1                      # GenClass.D
+            elif counts[ppcs[a]] == 1:
+                out[a] = 2                      # GenClass.W
+    return out
+
+
+def compute_segment(cols, r0: int, states: dict, counts_start, config,
+                    profile_counts=None) -> dict:
+    """Analyse one segment's local columns into a mergeable payload.
+
+    ``cols`` is a *local* TraceColumns (record 0 = global ``r0``);
+    ``states`` the folded predictor states at ``r0``.  The payload
+    mirrors everything ``analyze_columns`` derives per element, plus
+    the ``x_patches`` list for arcs whose producer lives in an earlier
+    segment (their X bit is unknowable locally).
+    """
+    cfg = config
+    m = cols.n_records
+    A = cols.src_start[-1]
+    specs = cfg.predictors
+    nk = len(specs)
+    full_mask = (1 << nk) - 1
+    br_kind = cfg.branch_predictor
+    br_bits = cfg.gshare_bits
+
+    # --- resumed predictor passes ------------------------------------
+    in_hits = []
+    for spec in specs:
+        hits = bytearray()
+        run_value_slice(spec, states["in"][spec], cols.in_key,
+                        cols.src_value, hits)
+        in_hits.append(hits)
+    ov_cnt = len(cols.ov_idx)
+    out_hits = []
+    for spec in specs:
+        hits = bytearray()
+        run_value_slice(spec, states["out"][spec], cols.ov_pc,
+                        cols.ov_val, hits)
+        out_hits.append(hits)
+    br_cnt = len(cols.br_idx)
+    br_hits = bytearray()
+    run_branch_slice(br_kind, br_bits, states["br"], cols.br_pc,
+                     cols.br_taken, br_hits)
+
+    # --- derived bit columns (mirrors engine._derived, local) --------
+    y_int = 0
+    for k in range(nk):
+        y_int |= int.from_bytes(in_hits[k], "little") << k
+    yb = y_int.to_bytes(A, "little")
+    out = bytearray(m)
+    if br_cnt and full_mask:
+        for i, hit in zip(cols.br_idx, br_hits):
+            if hit:
+                out[i] = full_mask
+    if ov_cnt and nk:
+        o_int = 0
+        for k in range(nk):
+            o_int |= int.from_bytes(out_hits[k], "little") << k
+        for i, value in zip(cols.ov_idx,
+                            o_int.to_bytes(ov_cnt, "little")):
+            if value:
+                out[i] = value
+    for i, arc in zip(cols.pt_idx, cols.pt_arc):
+        value = yb[arc]
+        if value:
+            out[i] = value
+    union = bytearray(m)
+    inter = bytearray(m)
+    starts = cols.src_start
+    a = 0
+    for r in range(m):
+        b = starts[r + 1]
+        if b == a:
+            inter[r] = full_mask
+        else:
+            u = yb[a]
+            i_ = u
+            for j in range(a + 1, b):
+                v = yb[j]
+                u |= v
+                i_ &= v
+            union[r] = u
+            inter[r] = i_
+        a = b
+    # Per-arc X: the producer's O byte.  Producers inside the segment
+    # resolve locally; earlier producers become patches the merge
+    # applies once their segment's O column has landed.
+    x = bytearray(A)
+    x_patches = []
+    prods = cols.src_prod
+    for j in range(A):
+        p = prods[j]
+        if p >= r0:
+            x[j] = out[p - r0]
+        elif p >= 0:
+            x_patches.append((j, p))
+
+    # --- composite classification per bank ---------------------------
+    out_v = int.from_bytes(out, "little")
+    union_v = int.from_bytes(union, "little")
+    inter_v = int.from_bytes(inter, "little")
+    y_v = y_int
+    x_v = int.from_bytes(x, "little")
+    ones_m = _ones(m)
+    ones_a = _ones(A)
+    base_v = int.from_bytes(_comp_base(cols, m), "little")
+    gcol = (
+        _genclass_resumed(cols, counts_start) if profile_counts is None
+        else cols.genclass_profiled(profile_counts)
+    )
+    op_col = cols.op_index
+    pcs = cols.pc
+
+    banks = []
+    for k in range(nk):
+        hp = (union_v >> k) & ones_m
+        hn = ((inter_v >> k) & ones_m) ^ ones_m
+        op = (out_v >> k) & ones_m
+        comp = (base_v | hp | (hn << 1) | (op << 3)).to_bytes(
+            m, "little")
+        node_codes = comp.translate(_NODE_T)
+        bank = {
+            "node": Counter(node_codes),
+            "ybk": ((y_v >> k) & ones_a).to_bytes(A, "little"),
+            "xbk": bytearray(
+                ((x_v >> k) & ones_a).to_bytes(A, "little")),
+        }
+        if cfg.track_paths:
+            bank["codes"] = node_codes
+        if cfg.track_ops:
+            bank["ops"] = Counter(zip(node_codes, bytes(op_col)))
+        if cfg.track_branches:
+            bank["branch"] = Counter(comp.translate(_BRANCH_T))
+        if cfg.track_sequences:
+            bank["seq"] = comp.translate(_SEQ_T)
+        if cfg.track_unpred:
+            bank["unpred"] = comp.translate(_UNPRED_T)
+        if cfg.track_critical:
+            bank["miss"] = Counter(
+                compress(pcs, comp.translate(_MISS_T)))
+            bank["term"] = Counter(
+                compress(pcs, comp.translate(_TERM_T)))
+        banks.append(bank)
+
+    return {
+        "r0": r0,
+        "n": m,
+        "A": A,
+        "starts": starts,
+        "prods": prods,
+        "out": bytes(out),
+        "x_patches": x_patches,
+        "gcol": gcol,
+        "pc_counts": Counter(pcs),
+        "d_ids": set(cols.d_ids),
+        "d_arcs": len(cols.d_ids),
+        "group_key": cols.group_key,
+        "banks": banks,
+    }
+
+
+# ======================================================================
+# The resumable generator-influence walk (engine._paths_pass, split at
+# segment boundaries: masks/sets/distances index records globally and
+# survive across feed() calls).
+# ======================================================================
+
+class _ResumableWalk:
+    __slots__ = ("track_trees", "gen_cap", "gen_counts", "counted",
+                 "masks", "sets_", "dists", "gens", "inf_list",
+                 "dist_list", "truncated")
+
+    def __init__(self, track_trees: bool, gen_cap: int):
+        self.track_trees = track_trees
+        self.gen_cap = gen_cap
+        self.gen_counts = [0] * 6
+        self.counted = []
+        self.masks = []
+        self.truncated = 0
+        if track_trees:
+            self.sets_ = []
+            self.dists = []
+            self.gens = []
+            self.inf_list = []
+            self.dist_list = []
+
+    def feed(self, m, starts, ybk, xbk, prods, gcol, codes) -> None:
+        gen_counts = self.gen_counts
+        node_gc = _NODE_GC
+        end = starts[m]
+        pred_idx = list(compress(count(), ybk))
+        pred_idx.append(end)  # sentinel: never < any record bound
+        count_mask = self.counted.append
+        masks = self.masks
+        store_mask = masks.append
+        pi = 0
+        nxt = pred_idx[0]
+        gen_cap = self.gen_cap
+        if self.track_trees:
+            sets_ = self.sets_
+            dists = self.dists
+            gens = self.gens
+            store_set = sets_.append
+            store_dist = dists.append
+            count_inf = self.inf_list.append
+            count_dist = self.dist_list.append
+            empty = _EMPTY_SET
+            truncated = self.truncated
+            for r in range(m):
+                b = starts[r + 1]
+                cur_mask = 0
+                cur_set = empty
+                cur_dist = -1
+                while nxt < b:
+                    j = nxt
+                    pi += 1
+                    nxt = pred_idx[pi]
+                    if xbk[j]:
+                        p = prods[j]
+                        pmask = masks[p]
+                        if not pmask:
+                            continue
+                        gen_set = sets_[p]
+                        dist = dists[p] + 1
+                        count_mask(pmask)
+                        count_inf(len(gen_set))
+                        count_dist(dist)
+                        for gid in gen_set:
+                            record = gens[gid]
+                            if dist > record[0]:
+                                record[0] = dist
+                            record[1] += 1
+                        cur_mask |= pmask
+                        if gen_set:
+                            if cur_set:
+                                merged = cur_set | gen_set
+                                if len(merged) > gen_cap:
+                                    merged = frozenset(
+                                        sorted(merged)[:gen_cap]
+                                    )
+                                    truncated += 1
+                                cur_set = merged
+                            else:
+                                cur_set = gen_set
+                        if dist > cur_dist:
+                            cur_dist = dist
+                    else:
+                        gc = gcol[j]
+                        gen_counts[gc] += 1
+                        gens.append([0, 0])
+                        gen_set = frozenset((len(gens) - 1,))
+                        cur_mask |= 1 << gc
+                        if cur_set:
+                            merged = cur_set | gen_set
+                            if len(merged) > gen_cap:
+                                merged = frozenset(
+                                    sorted(merged)[:gen_cap])
+                                truncated += 1
+                            cur_set = merged
+                        else:
+                            cur_set = gen_set
+                        if cur_dist < 0:
+                            cur_dist = 0
+                code = codes[r]
+                if code == _NO_OUTPUT or not code & 1:
+                    store_mask(0)
+                    store_set(empty)
+                    store_dist(0)
+                elif cur_mask:
+                    dist = cur_dist + 1
+                    count_mask(cur_mask)
+                    count_inf(len(cur_set))
+                    count_dist(dist)
+                    for gid in cur_set:
+                        record = gens[gid]
+                        if dist > record[0]:
+                            record[0] = dist
+                        record[1] += 1
+                    store_mask(cur_mask)
+                    store_set(cur_set)
+                    store_dist(dist)
+                else:
+                    gc = node_gc.get(code >> 1)
+                    if gc is None:
+                        store_mask(0)
+                        store_set(empty)
+                        store_dist(0)
+                    else:
+                        gen_counts[gc] += 1
+                        gens.append([0, 0])
+                        store_mask(1 << gc)
+                        store_set(frozenset((len(gens) - 1,)))
+                        store_dist(0)
+            self.truncated = truncated
+        else:
+            for r in range(m):
+                b = starts[r + 1]
+                cur_mask = 0
+                while nxt < b:
+                    j = nxt
+                    pi += 1
+                    nxt = pred_idx[pi]
+                    if xbk[j]:
+                        pmask = masks[prods[j]]
+                        if pmask:
+                            count_mask(pmask)
+                            cur_mask |= pmask
+                    else:
+                        gc = gcol[j]
+                        gen_counts[gc] += 1
+                        cur_mask |= 1 << gc
+                code = codes[r]
+                if code == _NO_OUTPUT or not code & 1:
+                    store_mask(0)
+                elif cur_mask:
+                    count_mask(cur_mask)
+                    store_mask(cur_mask)
+                else:
+                    gc = node_gc.get(code >> 1)
+                    if gc is None:
+                        store_mask(0)
+                    else:
+                        gen_counts[gc] += 1
+                        store_mask(1 << gc)
+
+    def finalize(self) -> tuple[PathStats, TreeStats | None]:
+        stats = PathStats()
+        stats.gen_counts = self.gen_counts
+        stats.propagate_elements = len(self.counted)
+        stats.combo_counts.update(self.counted)
+        class_counts = stats.class_counts
+        for mask, n in stats.combo_counts.items():
+            for bit in _MASK_BITS[mask]:
+                class_counts[bit] += n
+        if not self.track_trees:
+            return stats, None
+        trees = TreeStats()
+        trees.truncated = self.truncated
+        trees.influence_hist.update(self.inf_list)
+        trees.distance_hist.update(self.dist_list)
+        depth_hist = trees.depth_hist
+        agg_hist = trees.agg_hist
+        for depth, n in self.gens:
+            depth_hist[depth] += 1
+            agg_hist[depth] += n
+        return stats, trees
+
+
+# ======================================================================
+# Merge: consume payloads in segment order, finalize to a result.
+# ======================================================================
+
+class SegmentMerge:
+    """Accumulates segment payloads (in order) into one result."""
+
+    def __init__(self, config, name, n_static, ops,
+                 profile_counts=None, static_counts=None):
+        self.cfg = config
+        self.name = name
+        self.n_static = n_static
+        self.ops = ops
+        self.static_counts = static_counts
+        self.specs = config.predictors
+        nk = len(self.specs)
+        self.m = 0
+        self.A = 0
+        self.segments = 0
+        self.out_global = bytearray()
+        self.pc_counts: Counter = Counter()
+        self.d_ids: set = set()
+        self.d_arcs = 0
+        self.group_parts: list = []
+        cfg = config
+        self.banks = []
+        for k in range(nk):
+            bank = {
+                "node": Counter(),
+                "y_parts": [],
+                "x_parts": [],
+                "walk": None,
+            }
+            if cfg.track_paths:
+                bank["walk"] = _ResumableWalk(
+                    self.specs[k] in cfg.trees_for, cfg.gen_cap)
+            if cfg.track_ops:
+                bank["ops"] = Counter()
+            if cfg.track_branches:
+                bank["branch"] = Counter()
+            if cfg.track_sequences:
+                bank["seq_parts"] = []
+            if cfg.track_unpred:
+                bank["unpred_parts"] = []
+            if cfg.track_critical:
+                bank["miss"] = Counter()
+                bank["term"] = Counter()
+            self.banks.append(bank)
+
+    def add(self, payload: dict) -> None:
+        if payload["r0"] != self.m:
+            raise ShardError(
+                f"segment merged out of order: got r0={payload['r0']}, "
+                f"expected {self.m}")
+        cfg = self.cfg
+        banks = payload["banks"]
+        # Resolve cross-segment X bits now: every producer < r0 has
+        # already landed in out_global.
+        patches = payload["x_patches"]
+        if patches:
+            out_global = self.out_global
+            for j, p in patches:
+                ob = out_global[p]
+                if ob:
+                    for k, bank in enumerate(banks):
+                        if (ob >> k) & 1:
+                            bank["xbk"][j] = 1
+        self.out_global.extend(payload["out"])
+        m = payload["n"]
+        for k, acc in enumerate(self.banks):
+            bank = banks[k]
+            acc["node"].update(bank["node"])
+            acc["y_parts"].append(bank["ybk"])
+            acc["x_parts"].append(bytes(bank["xbk"]))
+            if acc["walk"] is not None:
+                acc["walk"].feed(
+                    m, payload["starts"], bank["ybk"], bank["xbk"],
+                    payload["prods"], payload["gcol"], bank["codes"])
+            if cfg.track_ops:
+                acc["ops"].update(bank["ops"])
+            if cfg.track_branches:
+                acc["branch"].update(bank["branch"])
+            if cfg.track_sequences:
+                acc["seq_parts"].append(bank["seq"])
+            if cfg.track_unpred:
+                acc["unpred_parts"].append(bank["unpred"])
+            if cfg.track_critical:
+                acc["miss"].update(bank["miss"])
+                acc["term"].update(bank["term"])
+        self.m += m
+        self.A += payload["A"]
+        self.segments += 1
+        self.pc_counts.update(payload["pc_counts"])
+        self.d_ids |= payload["d_ids"]
+        self.d_arcs += payload["d_arcs"]
+        self.group_parts.append(payload["group_key"])
+
+    def finalize(self) -> AnalysisResult:
+        cfg = self.cfg
+        n_static = self.n_static
+        m, A = self.m, self.A
+        if self.static_counts is None:
+            final_counts = [0] * n_static
+            for pc, n in self.pc_counts.items():
+                final_counts[pc] = n
+        else:
+            final_counts = self.static_counts
+        result = AnalysisResult(
+            name=self.name,
+            nodes=m,
+            arcs=A,
+            d_nodes=len(self.d_ids),
+            d_arcs=self.d_arcs,
+            static_instructions=n_static,
+            static_counts=list(final_counts),
+        )
+        group_all: list = []
+        for part in self.group_parts:
+            group_all.extend(part)
+        use_class = ArcGroupTable._use_class
+        uses = {
+            key: use_class(key, size, final_counts, n_static)
+            for key, size in Counter(group_all).items()
+        }
+        preds = []
+        for k, acc in enumerate(self.banks):
+            node_stats = NodeStats()
+            class_counts = node_stats.class_counts
+            for code, n in acc["node"].items():
+                if code == _NO_OUTPUT:
+                    node_stats.no_output = n
+                else:
+                    class_counts[code >> 1][code & 1] = n
+            pred = PredictorResult(kind=self.specs[k], nodes=node_stats)
+            if cfg.track_ops:
+                # Counter.update preserves global first-occurrence
+                # order across segments, so assigning (like the serial
+                # engine) resolves op-name collisions identically.
+                node_ops = Counter()
+                for (code, opx), n in acc["ops"].items():
+                    if code != _NO_OUTPUT:
+                        node_ops[
+                            (InKind(code >> 1), bool(code & 1),
+                             self.ops[opx][0])
+                        ] = n
+                pred.node_ops = node_ops
+            if cfg.track_branches:
+                branches = BranchStats()
+                for code, n in acc["branch"].items():
+                    if code != _NO_OUTPUT:
+                        branches.class_counts[code >> 1][code & 1] = n
+                pred.branches = branches
+            if cfg.track_sequences:
+                pred.sequences = _run_lengths(
+                    b"".join(acc["seq_parts"]))
+            if cfg.track_unpred:
+                pred.unpred = _run_lengths(
+                    b"".join(acc["unpred_parts"]))
+            if cfg.track_critical:
+                critical = CriticalPoints(n_static)
+                misses = critical.output_misses
+                for pc, n in acc["miss"].items():
+                    misses[pc] = n
+                terms = critical.terminations
+                for pc, n in acc["term"].items():
+                    terms[pc] = n
+                pred.critical = critical
+            if acc["walk"] is not None:
+                pred.paths, pred.trees = acc["walk"].finalize()
+            # Arc fold over the whole trace at once: the combo byte is
+            # (x<<1)|y, every byte 0..3, grouped with one C-speed
+            # Counter (ArcStats cells are purely additive).
+            xk = int.from_bytes(b"".join(acc["x_parts"]), "little")
+            yk = int.from_bytes(b"".join(acc["y_parts"]), "little")
+            combo_bytes = ((xk << 1) | yk).to_bytes(A, "little")
+            counts_k = pred.arcs.counts
+            for (key, combo), n in Counter(
+                zip(group_all, combo_bytes)
+            ).items():
+                counts_k[uses[key]][combo] += n
+            preds.append(pred)
+
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("analyze.passes", 1)
+            recorder.count("analyze.nodes", m)
+            recorder.count("analyze.arcs", A)
+            recorder.count("analyze.segments", self.segments)
+            for k, pred in enumerate(preds):
+                for behavior, n in (
+                    pred.nodes.behavior_counts().items()
+                ):
+                    if n:
+                        recorder.count(
+                            f"analyze.pred.{self.specs[k]}."
+                            f"{behavior.name.lower()}", n,
+                        )
+        for pred in preds:
+            result.predictors[pred.kind] = pred
+        return result
+
+
+# ======================================================================
+# In-memory segmented analysis (threads or inline) — the parity/fuzz
+# vehicle, and the small-trace path.
+# ======================================================================
+
+def analyze_columns_segmented(columns, config, name="trace",
+                              segments=2, profile_counts=None,
+                              static_counts=None, index=None,
+                              executor="thread",
+                              max_workers=None) -> AnalysisResult:
+    """Segment-parallel twin of ``analyze_columns``.
+
+    Splits ``columns`` at checkpoint boundaries (building an in-memory
+    index for exactly this config when none is given — deliberately
+    exercising the same resume machinery the sidecar path uses), runs
+    :func:`compute_segment` per segment, and merges in order.  Byte-
+    identical to the serial engine for every config the kernel
+    supports.
+    """
+    cfg = config
+    n_records = columns.n_records
+    m = (n_records if cfg.max_instructions is None
+         else min(cfg.max_instructions, n_records))
+    family = ((cfg.predictors,
+               (cfg.branch_predictor, cfg.gshare_bits))
+              if index is None else (index.specs, index.branch))
+    if index is None:
+        bounds = plan_bounds(m, segments)
+        if len(bounds) > 2:
+            index = build_index(columns, bounds, family[0], family[1])
+            plan = select_segments(index, m, segments)
+        else:
+            plan = [(0, m, 0, 0)]
+    else:
+        reason = index.supports(cfg)
+        if reason is not None:
+            raise ShardError(f"segment index unusable: {reason}")
+        plan = select_segments(index, m, segments)
+    if len(plan) < 2:
+        from repro.core.kernel.engine import analyze_columns
+
+        return analyze_columns(columns, cfg, name, profile_counts,
+                               static_counts)
+
+    br_kind, br_bits = cfg.branch_predictor, cfg.gshare_bits
+
+    def run_one(seg):
+        r0, r1, __arc0, t0 = seg
+        cols = _slice_columns(columns, r0, r1)
+        states = index.states_at(t0, cfg.predictors, br_kind, br_bits)
+        counts_start = index.counts_at(t0)
+        return compute_segment(cols, r0, states, counts_start, cfg,
+                               profile_counts)
+
+    merge = SegmentMerge(cfg, name, columns.n_static, columns.ops,
+                         profile_counts, static_counts)
+    if executor == "thread":
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers = max_workers or min(len(plan), 8)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for payload in pool.map(run_one, plan):
+                merge.add(payload)
+    else:
+        for seg in plan:
+            merge.add(run_one(seg))
+    return merge.finalize()
+
+
+# ======================================================================
+# Stored-trace segmented analysis: TaskPool workers decode their own
+# byte range, the parent merges (and walks) as payloads stream back.
+# ======================================================================
+
+def _segment_task(body, header, index, seg, config, profile_counts):
+    """Worker entry: decode one record range and analyse it."""
+    r0, r1, arc0, t0 = seg
+    byte_off = _REC_BYTES * r0 + _SRC_BYTES * arc0
+    cols = TraceColumns.from_v2_range(body, header, r0, r1, byte_off)
+    states = index.states_at(t0, config.predictors,
+                             config.branch_predictor,
+                             config.gshare_bits)
+    counts_start = index.counts_at(t0)
+    return compute_segment(cols, r0, states, counts_start, config,
+                           profile_counts)
+
+
+def prepare_file_segments(path, config, index, segments, name="trace",
+                          profile_counts=None, static_counts=None):
+    """Plan a stored v2 trace for segment-parallel execution.
+
+    Returns ``(task_args, merge)``: one positional-args tuple per
+    segment for :func:`_segment_task` (schedule them on any
+    :class:`~repro.runner.pool.TaskPool` — the runner mixes them with
+    whole-job tasks) and the :class:`SegmentMerge` to feed payloads in
+    segment order.  Raises :class:`ShardError` when the trace cannot
+    be segmented (stale/unsupported index, budget below the first
+    checkpoint).
+    """
+    from repro.cpu.tracefile import read_trace_raw
+
+    header, body = read_trace_raw(path)
+    n_records = header["n_records"]
+    if index.n_records != n_records:
+        raise ShardError(
+            f"segment index is stale: indexed {index.n_records} "
+            f"records, trace has {n_records}")
+    reason = index.supports(config)
+    if reason is not None:
+        raise ShardError(f"segment index unusable: {reason}")
+    m = (n_records if config.max_instructions is None
+         else min(config.max_instructions, n_records))
+    plan = select_segments(index, m, segments)
+    if len(plan) < 2:
+        raise ShardError("no usable checkpoint below the budget")
+    task_args = [
+        (body, header, index, seg, config, profile_counts)
+        for seg in plan
+    ]
+    # ops entries from the header are (op, category_value, has_imm);
+    # finalize only reads [0], the op name, so the raw tuples serve.
+    merge = SegmentMerge(config, name, max(header["n_static"], 1),
+                         [tuple(entry) for entry in header["ops"]],
+                         profile_counts, static_counts)
+    return task_args, merge
+
+
+def analyze_trace_file_segmented(path, config, index, pool,
+                                 name="trace", segments=2,
+                                 profile_counts=None,
+                                 static_counts=None) -> AnalysisResult:
+    """Analyse a stored v2 trace segment-parallel across ``pool``.
+
+    The parent un-gzips the body once; each :class:`TaskPool` worker
+    decodes only its own byte range (fork shares the body copy-on-
+    write) and streams its payload back, so decode — the dominant
+    serial cost — parallelizes too.  Payloads merge in segment order
+    as they arrive; the parent's sequential paths walk overlaps the
+    workers' compute.  Any segment task that exhausts its retries
+    raises :class:`ShardError` (callers fall back to serial analysis,
+    which is byte-identical by construction).
+    """
+    from repro.runner.pool import Task, TaskError
+
+    task_args, merge = prepare_file_segments(
+        path, config, index, segments, name=name,
+        profile_counts=profile_counts, static_counts=static_counts,
+    )
+    recorder = get_recorder()
+    tasks = [
+        Task(key=f"seg{i}", fn=_segment_task, args=args)
+        for i, args in enumerate(task_args)
+    ]
+    plan = [args[3] for args in task_args]
+    pending = {}
+    next_seg = 0
+    with recorder.span("analyze"):
+        for key, outcome in pool.run_stream(tasks):
+            if isinstance(outcome, TaskError):
+                raise ShardError(
+                    f"segment task {key} failed after "
+                    f"{outcome.attempts} attempts ({outcome.kind}): "
+                    f"{outcome.error}")
+            pending[int(key[3:])] = outcome.value
+            while next_seg in pending:
+                merge.add(pending.pop(next_seg))
+                next_seg += 1
+        if next_seg != len(plan):
+            raise ShardError(
+                f"segment merge incomplete: {next_seg}/{len(plan)}")
+        return merge.finalize()

@@ -385,6 +385,29 @@ def read_trace_columns(path):
     return header, columns
 
 
+def read_trace_raw(path) -> tuple[dict, bytes]:
+    """Read a v2 trace's header and **undecoded** body bytes.
+
+    The segment-parallel path (:mod:`repro.core.shard`) un-gzips once
+    in the parent and lets each worker decode only its own byte range
+    — decode is the dominant serial cost, so it must happen in the
+    workers.  v1 files have no fixed-width body; callers fall back to
+    the serial columnar path for them (:class:`ReproError` here).
+    """
+    recorder = get_recorder()
+    with _open_read(path) as handle:
+        header = _read_header(handle, path)
+        if header["format"] == FORMAT_V1:
+            raise ReproError(
+                f"v1 trace has no byte-addressable body: {path}")
+        try:
+            body = handle.read()
+        except (OSError, EOFError) as error:
+            raise ReproError(f"truncated trace file: {path}") from error
+    recorder.count("trace.decode.bytes", len(body))
+    return header, body
+
+
 def analyze_trace_file(path, name=None, config=None, profile_counts=None,
                        stored_profile: bool = False):
     """Analyse a saved trace end to end.

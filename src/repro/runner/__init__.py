@@ -59,6 +59,12 @@ from repro.runner.job import (
     job_key,
     trace_key,
 )
+from repro.runner.policy import (
+    DEFAULT_SEGMENT_RECORDS,
+    ExecutionPolicy,
+    PolicyError,
+    resolve_policy,
+)
 from repro.runner.tracestore import TraceStore
 from repro.runner.metrics import JobMetric, RunMetrics
 from repro.runner.pool import (
@@ -72,6 +78,8 @@ from repro.runner.pool import (
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_SEGMENT_RECORDS",
+    "ExecutionPolicy",
     "ExperimentConfig",
     "ExperimentRun",
     "ExperimentRunner",
@@ -81,6 +89,7 @@ __all__ = [
     "Job",
     "JobFailure",
     "JobMetric",
+    "PolicyError",
     "PoolRun",
     "RESULT_SCHEMA",
     "ResultStore",
@@ -101,6 +110,7 @@ __all__ = [
     "injecting",
     "job_key",
     "reset_default_runner",
+    "resolve_policy",
     "set_default_runner",
     "set_fault_plan",
     "swap_default_runner",

@@ -92,6 +92,11 @@ from repro.runner.metrics import (
     JobMetric,
     RunMetrics,
 )
+from repro.runner.policy import (
+    ExecutionPolicy,
+    assert_excluded_from_identity,
+    resolve_policy,
+)
 from repro.runner.tracestore import DEFAULT_TRACE_MAX_BYTES, TraceStore
 from repro.runner.pool import Task, TaskError, TaskPool
 from repro.workloads import SUITE, get_workload
@@ -193,9 +198,77 @@ def _capture(name: str, config: ExperimentConfig, budget: int | None):
     return len(machine.program.instructions), records, machine.halted
 
 
+def _maybe_write_segindex(trace_store: TraceStore, key: str, columns,
+                          policy: ExecutionPolicy | None) -> None:
+    """Persist a segment-index sidecar for a stored columnar trace.
+
+    Only when the policy opts into sharding (``segments > 1``), the
+    trace is long enough for at least two ``segment_records`` spans,
+    and no sidecar exists yet (the build costs about one analysis
+    pass, so it runs once per stored trace).  Failure is never fatal:
+    an unwritable sidecar just means serial analysis.
+    """
+    if policy is None or policy.segments <= 1:
+        return
+    if trace_store.has_segindex(key):
+        return
+    from repro.core.shard import build_index, plan_bounds
+
+    n = columns.n_records
+    spans = n // policy.segment_records
+    if spans < 2:
+        return
+    try:
+        with get_recorder().span("shard.index.build"):
+            index = build_index(columns, plan_bounds(n, spans))
+        trace_store.put_segindex(key, index)
+        get_recorder().count("shard.index.built", 1)
+    except Exception as error:  # derived data: degrade, don't fail
+        _log.warning("segment index build failed (%s); trace stays "
+                     "serial", error)
+
+
+def _try_segmented(name: str, analysis_config, config: ExperimentConfig,
+                   trace_store: TraceStore, policy: ExecutionPolicy):
+    """Segment-parallel replay of a stored, indexed trace, or None.
+
+    None means "take the serial path" — trace missing or too short for
+    its budget, no (or unusable) sidecar, or a segment task failing
+    every retry.  Every fallback is counted so operators can see why
+    sharding did not engage.
+    """
+    from repro.core.shard import ShardError, analyze_trace_file_segmented
+
+    key = trace_key(name, config.scale)
+    header = trace_store.header(key)
+    if header is None or not trace_store._serves(
+            header, config.max_instructions):
+        return None
+    index = trace_store.get_segindex(key)
+    if index is None:
+        return None
+    pool = TaskPool(max_workers=policy.jobs, timeout=policy.timeout,
+                    retries=policy.retries)
+    try:
+        result = analyze_trace_file_segmented(
+            trace_store.path_for(key), analysis_config, index, pool,
+            name=name, segments=policy.segments,
+        )
+    except ShardError as error:
+        get_recorder().count("analyze.shard.fallback", 1)
+        _log.info("segmented analysis unavailable (%s); running "
+                  "serial", error)
+        return None
+    get_recorder().count("analyze.shard.runs", 1)
+    trace_store._hit()
+    trace_store._touch(trace_store.path_for(key))
+    return result
+
+
 def _resolve_trace(name: str, config: ExperimentConfig,
                    trace_store: TraceStore | None, budget: int | None,
-                   columns: bool = False):
+                   columns: bool = False,
+                   policy: ExecutionPolicy | None = None):
     """Trace tier: ``(n_static, records, status)`` — replay or capture.
 
     A stored trace that covers ``budget`` is replayed
@@ -214,6 +287,10 @@ def _resolve_trace(name: str, config: ExperimentConfig,
         stored = trace_store.get(key, budget, columns=columns)
         if stored is not None:
             header, records = stored
+            if columns:
+                # Backfill the sidecar on first sharded-policy replay
+                # so the *next* replay can go segment-parallel.
+                _maybe_write_segindex(trace_store, key, records, policy)
             return header["n_static"], records, STATUS_REPLAYED
     n_static, records, complete = _capture(name, config, budget)
     stored_ok = False
@@ -241,11 +318,14 @@ def _resolve_trace(name: str, config: ExperimentConfig,
                  "complete": complete},
                 records,
             )
+            _maybe_write_segindex(trace_store, key, records, policy)
     return n_static, records, STATUS_COMPUTED
 
 
 def _analyze_two_tier(name: str, config: ExperimentConfig,
-                      trace_store: TraceStore, engine=None):
+                      trace_store: TraceStore, engine=None,
+                      policy: ExecutionPolicy | None = None,
+                      allow_shard: bool = True):
     """Compute one job through the trace tier: ``(result, status)``.
 
     Byte-identical to :func:`_analyze`: the analyzer sees the same
@@ -253,13 +333,27 @@ def _analyze_two_tier(name: str, config: ExperimentConfig,
     trace (``analyze_trace`` re-truncates to the config's own budget).
     The engine is resolved up front so a columnar analysis can ask the
     trace store for columns directly.
+
+    With a sharded policy (``segments > 1``) and a stored, indexed
+    trace, the columnar analysis runs segment-parallel across a
+    :class:`TaskPool` — byte-identical to serial by the parity suite's
+    guarantee.  ``allow_shard=False`` disables the attempt (pool
+    workers never nest pools) while still writing capture-time
+    sidecars.
     """
     job = Job(name, config)
     analysis_config = job.analysis_config()
     resolved = resolve_engine(engine, (analysis_config,))
+    columnar = resolved is AnalysisEngine.COLUMNAR
+    if (allow_shard and columnar and policy is not None
+            and policy.segments > 1):
+        result = _try_segmented(name, analysis_config, config,
+                                trace_store, policy)
+        if result is not None:
+            return result, STATUS_REPLAYED
     n_static, records, status = _resolve_trace(
         name, config, trace_store, config.max_instructions,
-        columns=resolved is AnalysisEngine.COLUMNAR,
+        columns=columnar, policy=policy,
     )
     result = analyze_trace(
         records, n_static, name=name, config=analysis_config,
@@ -272,14 +366,17 @@ def _execute_job(name: str, config: ExperimentConfig, key: str,
                  store_root: str, max_bytes: int,
                  trace_root: str | None = None,
                  trace_max_bytes: int = DEFAULT_TRACE_MAX_BYTES,
-                 observe: bool = False, engine: str | None = None) -> tuple:
+                 observe: bool = False, engine: str | None = None,
+                 policy: ExecutionPolicy | None = None) -> tuple:
     """Pool worker: compute one job and write it through the store.
 
     Returns ``(key, profile)`` — the key so the parent knows where to
     read the result, and (when ``observe``) the worker's own recorder
     snapshot for the parent to merge, else None.  Runs in a separate
     process; must stay picklable/module-level — which is why
-    ``engine`` travels as its string value.
+    ``engine`` travels as its string value.  ``policy`` rides along
+    for capture-time sidecar writes; workers never shard themselves
+    (``allow_shard=False`` — no nested pools).
     """
     with recording(Recorder() if observe else None) as rec:
         store = ResultStore(store_root, max_bytes=max_bytes)
@@ -289,7 +386,9 @@ def _execute_job(name: str, config: ExperimentConfig, key: str,
                     trace_root, max_bytes=trace_max_bytes
                 )
                 result, __ = _analyze_two_tier(name, config, trace_store,
-                                               engine=engine)
+                                               engine=engine,
+                                               policy=policy,
+                                               allow_shard=False)
             else:
                 result = _analyze(name, config, engine=engine)
             _store_put_safe(store, key, result_to_dict(result))
@@ -299,7 +398,8 @@ def _execute_job(name: str, config: ExperimentConfig, key: str,
 def _execute_sweep(name: str, configs, keys, store_root: str,
                    max_bytes: int, trace_root: str | None,
                    trace_max_bytes: int, observe: bool = False,
-                   engine: str | None = None) -> tuple:
+                   engine: str | None = None,
+                   policy: ExecutionPolicy | None = None) -> tuple:
     """Pool worker: every sweep job of one workload in a single pass.
 
     Resolves the workload's trace once (replay or capture) with a
@@ -327,6 +427,7 @@ def _execute_sweep(name: str, configs, keys, store_root: str,
             n_static, records, __ = _resolve_trace(
                 name, missing[0][0], trace_store, budget,
                 columns=resolved is AnalysisEngine.COLUMNAR,
+                policy=policy,
             )
             results = analyze_many(
                 records, n_static, analysis_configs, name=name,
@@ -335,6 +436,55 @@ def _execute_sweep(name: str, configs, keys, store_root: str,
             for (__, key), result in zip(missing, results):
                 _store_put_safe(store, key, result_to_dict(result))
     return tuple(keys), (rec.snapshot() if observe else None)
+
+
+class _SegmentedJob:
+    """Parent-side merge state for one job fanned out as segment tasks.
+
+    ``absorb`` feeds settled segment outcomes (any order — payloads
+    buffer until their turn) into the sequential
+    :class:`~repro.core.shard.SegmentMerge`; ``result`` is set once
+    the last segment merges, ``failed`` once any segment exhausts its
+    retries or the merge itself raises.
+    """
+
+    __slots__ = ("name", "key", "tasks", "merge", "total", "pending",
+                 "next", "failed", "wall", "attempts", "result")
+
+    def __init__(self, name: str, key: str, tasks, merge):
+        self.name = name
+        self.key = key
+        self.tasks = tasks
+        self.merge = merge
+        self.total = len(tasks)
+        self.pending: dict[int, object] = {}
+        self.next = 0
+        self.failed: str | None = None
+        self.wall = 0.0
+        self.attempts = 1
+        self.result = None
+
+    def absorb(self, idx: int, outcome) -> None:
+        if self.failed is not None:
+            return
+        if isinstance(outcome, TaskError):
+            tail = (outcome.error.strip().splitlines()[-1]
+                    if outcome.error else "")
+            self.failed = (f"segment {idx} failed after "
+                           f"{outcome.attempts} attempt(s) "
+                           f"({outcome.kind}): {tail}")
+            return
+        self.wall += outcome.wall_time
+        self.attempts = max(self.attempts, outcome.attempts)
+        self.pending[idx] = outcome.value
+        try:
+            while self.next in self.pending:
+                self.merge.add(self.pending.pop(self.next))
+                self.next += 1
+            if self.next == self.total:
+                self.result = self.merge.finalize()
+        except Exception as error:
+            self.failed = f"segment merge failed: {error}"
 
 
 def _note(run: ExperimentRun, metric: JobMetric) -> None:
@@ -364,34 +514,42 @@ class ExperimentRunner:
         faults: a :class:`repro.runner.faults.FaultPlan` installed for
             the duration of each run — the chaos-testing channel; None
             (default) injects nothing.
-        engine: which analysis implementation executes jobs — an
-            :class:`repro.core.AnalysisEngine` or its string value
-            (``auto``/``columnar``/``reference``); None (default)
-            follows the process-wide default
-            (:func:`repro.core.set_default_engine`, usually ``auto``).
-            The engine is an execution detail: job keys exclude it, so
-            every engine reads and writes the same caches.
+        policy: an :class:`~repro.runner.policy.ExecutionPolicy`
+            consolidating every execution knob (engine, jobs, timeout,
+            retries, segments, segment_records).  Policy is execution,
+            never identity: job keys exclude all of it, so changing
+            how work runs always hits the same caches.
+        jobs / timeout / retries / engine: **deprecated** — the same
+            knobs as loose kwargs.  Each one used emits a
+            ``DeprecationWarning`` and is folded into the policy
+            (overriding it); pass ``policy=`` instead.  See
+            docs/api.md for the migration table.
     """
 
     def __init__(
         self,
         store: ResultStore | None = None,
-        jobs: int = 1,
+        jobs: int | None = None,
         timeout: float | None = None,
-        retries: int = 1,
+        retries: int | None = None,
         trace_store: TraceStore | None = None,
         observe: bool | ObsConfig = False,
         faults: FaultPlan | None = None,
         engine: AnalysisEngine | str | None = None,
+        policy: ExecutionPolicy | None = None,
     ):
+        engine_value = None
+        if engine is not None:
+            engine_value = coerce_engine(engine).value
+        self.policy = resolve_policy(
+            policy, jobs=jobs, timeout=timeout, retries=retries,
+            engine=engine_value, owner="ExperimentRunner",
+        )
+        assert_excluded_from_identity()
         self.store = store
         self.trace_store = trace_store
-        self.jobs = max(1, jobs)
-        self.timeout = timeout
-        self.retries = retries
         self.obs = self._normalize_obs(observe)
         self.faults = faults
-        self.engine = None if engine is None else coerce_engine(engine)
         self._memo: dict[str, object] = {}
         #: run-scoped state (set by run()/run_many(), read by the
         #: serial/parallel strategies; the runner is not thread-safe).
@@ -403,6 +561,27 @@ class ExperimentRunner:
         if isinstance(observe, ObsConfig):
             return observe
         return ObsConfig(enabled=bool(observe))
+
+    # ------------------------------------------------------------------
+    # Legacy execution-knob views (the policy is the source of truth).
+    # ------------------------------------------------------------------
+
+    @property
+    def jobs(self) -> int:
+        return self.policy.jobs
+
+    @property
+    def timeout(self) -> float | None:
+        return self.policy.timeout
+
+    @property
+    def retries(self) -> int:
+        return self.policy.retries
+
+    @property
+    def engine(self) -> AnalysisEngine | None:
+        return (None if self.policy.engine is None
+                else coerce_engine(self.policy.engine))
 
     # ------------------------------------------------------------------
     # Observation lifecycle.
@@ -511,12 +690,15 @@ class ExperimentRunner:
             return self.engine
         return get_default_engine()
 
-    def _compute(self, name: str, config: ExperimentConfig):
+    def _compute(self, name: str, config: ExperimentConfig,
+                 allow_shard: bool = True):
         """Compute one job through whichever tiers exist:
         ``(result, status)``."""
         if self.trace_store is not None:
             return _analyze_two_tier(name, config, self.trace_store,
-                                     engine=self.engine)
+                                     engine=self.engine,
+                                     policy=self.policy,
+                                     allow_shard=allow_shard)
         return _analyze(name, config, engine=self.engine), STATUS_COMPUTED
 
     # ------------------------------------------------------------------
@@ -611,6 +793,7 @@ class ExperimentRunner:
         names = config.workloads or tuple(w.name for w in SUITE)
         run = ExperimentRun()
         run.metrics.requested_workers = workers
+        run.metrics.policy = self.policy.describe()
         start = time.monotonic()
 
         # Hash every job; a workload whose compile/input generation
@@ -718,6 +901,7 @@ class ExperimentRunner:
         groups: dict[tuple, list] = {}
         for run, config in zip(runs, configs):
             run.metrics.requested_workers = workers
+            run.metrics.policy = self.policy.describe()
             names = config.workloads or tuple(w.name for w in SUITE)
             name_lists.append(names)
             for name in names:
@@ -824,11 +1008,11 @@ class ExperimentRunner:
                            tuple(key for __, __c, key in entries),
                            str(store.root), store.max_bytes,
                            trace_root, trace_max, observing,
-                           self._effective_engine().value))
+                           self._effective_engine().value, self.policy))
                 for (name, scale), entries in groups.items()
             ]
             pool_run = pool.run(tasks, cancel=self._cancel)
-            self._merge_worker_profiles(pool_run)
+            self._merge_worker_profiles(pool_run.outcomes)
             for (name, scale), entries in groups.items():
                 for run, __, __k in entries:
                     run.metrics.peak_workers = max(
@@ -910,16 +1094,17 @@ class ExperimentRunner:
         return str(self.trace_store.root), self.trace_store.max_bytes
 
     @staticmethod
-    def _merge_worker_profiles(pool_run) -> None:
+    def _merge_worker_profiles(outcomes) -> None:
         """Fold observing workers' snapshots into the parent recorder.
 
         Workers return ``(payload, profile)``; a worker that ran
-        unobserved (or failed) contributes nothing.
+        unobserved (or failed), or a segment task (whose value is a
+        payload dict), contributes nothing.
         """
         recorder = get_recorder()
         if not recorder.enabled:
             return
-        for outcome in pool_run.outcomes.values():
+        for outcome in outcomes.values():
             if isinstance(outcome, TaskError):
                 continue
             value = outcome.value
@@ -953,6 +1138,104 @@ class ExperimentRunner:
                 instructions=result.nodes, attempts=1,
             ))
 
+    def _prepare_segments(self, name: str, config, key: str):
+        """Plan one miss as segment pool tasks, or None for a whole job.
+
+        The segmented plan applies only when the policy shards, the
+        engine resolves columnar, and the stored trace covers the
+        budget with a usable sidecar index; everything else (including
+        a cold capture, which has no trace to split yet) stays a
+        whole-job task.
+        """
+        policy = self.policy
+        if policy.segments <= 1 or self.trace_store is None:
+            return None
+        analysis_config = Job(name, config).analysis_config()
+        resolved = resolve_engine(self.engine, (analysis_config,),
+                                  record=False)
+        if resolved is not AnalysisEngine.COLUMNAR:
+            return None
+        tkey = trace_key(name, config.scale)
+        header = self.trace_store.header(tkey)
+        if header is None or not self.trace_store._serves(
+                header, config.max_instructions):
+            return None
+        index = self.trace_store.get_segindex(tkey)
+        if index is None:
+            return None
+        from repro.core.shard import (
+            ShardError,
+            _segment_task,
+            prepare_file_segments,
+        )
+
+        try:
+            task_args, merge = prepare_file_segments(
+                self.trace_store.path_for(tkey), analysis_config,
+                index, policy.segments, name=name,
+            )
+        except (ShardError, OSError):
+            get_recorder().count("analyze.shard.fallback", 1)
+            return None
+        tasks = [
+            Task(key=f"{key}#seg{i}", fn=_segment_task, args=args)
+            for i, args in enumerate(task_args)
+        ]
+        self.trace_store._hit()
+        self.trace_store._touch(self.trace_store.path_for(tkey))
+        return _SegmentedJob(name, key, tasks, merge)
+
+    def _settle_segmented(self, run: ExperimentRun, config,
+                          seg: "_SegmentedJob",
+                          pool_cancelled: bool) -> None:
+        """Publish a segmented job's merged result, or retry it whole.
+
+        A segment task that failed every pool retry (or a merge error)
+        falls back to serial recomputation in the parent — the whole
+        job retries, and the result is byte-identical by the parity
+        suite's guarantee.
+        """
+        name, key = seg.name, seg.key
+        if seg.result is not None:
+            get_recorder().count("analyze.shard.runs", 1)
+            self._safe_put(key, seg.result)
+            self._journal_record(key, name, STATUS_DONE)
+            self._memo[key] = seg.result
+            run.results[name] = seg.result
+            _note(run, JobMetric(
+                workload=name, key=key, status=STATUS_REPLAYED,
+                wall_time=seg.wall, instructions=seg.result.nodes,
+                attempts=seg.attempts,
+            ))
+            return
+        if seg.failed is None and pool_cancelled:
+            return  # segments never all ran: not a failure, just unrun
+        get_recorder().count("analyze.shard.fallback", 1)
+        _log.warning("runner: segmented %s failed (%s); retrying the "
+                     "whole job serially", name, seg.failed)
+        job_start = time.monotonic()
+        try:
+            result, status = self._compute(name, config,
+                                           allow_shard=False)
+        except Exception as error:
+            self._journal_record(key, name, JOURNAL_FAILED)
+            self._record_failure(run, name, key, JobFailure(
+                workload=name,
+                error=f"{type(error).__name__}: {error}",
+                wall_time=time.monotonic() - job_start,
+                attempts=seg.attempts + 1,
+            ))
+            return
+        self._safe_put(key, result)
+        self._journal_record(key, name, STATUS_DONE)
+        self._memo[key] = result
+        run.results[name] = result
+        _note(run, JobMetric(
+            workload=name, key=key, status=status,
+            wall_time=time.monotonic() - job_start,
+            instructions=result.nodes, attempts=seg.attempts + 1,
+        ))
+
     def _run_parallel(self, run: ExperimentRun, config, misses,
                       workers: int) -> None:
         # A disk store is the result channel; without one, use a
@@ -967,21 +1250,47 @@ class ExperimentRunner:
                             retries=self.retries)
             trace_root, trace_max = self._trace_store_args()
             observing = get_recorder().enabled
-            tasks = [
-                Task(key=key, fn=_execute_job,
-                     args=(name, config, key, str(store.root),
-                           store.max_bytes, trace_root, trace_max,
-                           observing, self._effective_engine().value))
-                for name, key in misses
-            ]
-            pool_run = pool.run(tasks, cancel=self._cancel)
-            self._merge_worker_profiles(pool_run)
-            run.metrics.peak_workers = max(
-                run.metrics.peak_workers, pool_run.peak_workers
-            )
+            # Jobs whose stored trace carries a usable segment index
+            # fan out as per-segment tasks; the rest run whole.  Both
+            # kinds share the one pool, so segments schedule alongside
+            # whole jobs and fill its idle slots.
+            tasks = []
+            whole: list[tuple[str, str]] = []
+            seg_jobs: dict[str, _SegmentedJob] = {}
             for name, key in misses:
-                outcome = pool_run.outcomes.get(key)
-                if outcome is None and pool_run.cancelled:
+                seg = self._prepare_segments(name, config, key)
+                if seg is not None:
+                    seg_jobs[key] = seg
+                    tasks.extend(seg.tasks)
+                    continue
+                whole.append((name, key))
+                tasks.append(Task(
+                    key=key, fn=_execute_job,
+                    args=(name, config, key, str(store.root),
+                          store.max_bytes, trace_root, trace_max,
+                          observing, self._effective_engine().value,
+                          self.policy),
+                ))
+            outcomes: dict = {}
+            stats: dict = {}
+            # Stream so each segmented job's sequential merge overlaps
+            # the still-running workers.
+            for tkey, outcome in pool.run_stream(
+                    tasks, cancel=self._cancel, stats=stats):
+                outcomes[tkey] = outcome
+                jkey, sep, idx = tkey.partition("#seg")
+                if sep and jkey in seg_jobs:
+                    seg_jobs[jkey].absorb(int(idx), outcome)
+            pool_cancelled = stats.get("cancelled", False)
+            self._merge_worker_profiles(outcomes)
+            run.metrics.peak_workers = max(
+                run.metrics.peak_workers, stats.get("peak", 0)
+            )
+            for seg in seg_jobs.values():
+                self._settle_segmented(run, config, seg, pool_cancelled)
+            for name, key in whole:
+                outcome = outcomes.get(key)
+                if outcome is None and pool_cancelled:
                     continue  # never launched: not a failure, just unrun
                 if isinstance(outcome, TaskError):
                     failure = JobFailure(
@@ -1084,7 +1393,8 @@ def default_runner() -> ExperimentRunner:
             _DEFAULT_RUNNER = ExperimentRunner(
                 store=default_store(),
                 trace_store=default_trace_store(),
-                jobs=int(os.environ.get("REPRO_JOBS", "1")),
+                policy=ExecutionPolicy(
+                    jobs=int(os.environ.get("REPRO_JOBS", "1"))),
             )
         return _DEFAULT_RUNNER
 

@@ -81,6 +81,8 @@ class RunMetrics:
     peak_workers: int = 0
     total_wall: float = 0.0
     profile: dict | None = None
+    #: ``ExecutionPolicy.describe()`` of the producing runner, when known.
+    policy: dict | None = None
     #: True when the run was cancelled (SIGINT/SIGTERM) and checkpointed
     #: mid-way: completed jobs are journaled, the rest never ran.
     interrupted: bool = False
@@ -143,6 +145,8 @@ class RunMetrics:
             "instructions_per_second": round(self.throughput, 1),
             "interrupted": self.interrupted,
         }
+        if self.policy is not None:
+            payload["policy"] = self.policy
         if self.profile is not None:
             payload["profile"] = self.profile
         return payload

@@ -246,6 +246,35 @@ class TaskPool:
         once set, pending tasks are abandoned and in-flight workers
         drained (their outcomes still land).
         """
+        outcomes: dict[str, TaskResult | TaskError] = {}
+        stats: dict = {}
+        for __ in self._run_iter(tasks, cancel, outcomes, stats):
+            pass
+        return PoolRun(
+            outcomes=outcomes,
+            peak_workers=stats["peak"],
+            wall_time=stats["wall"],
+            degraded=stats["degraded"],
+            cancelled=stats["cancelled"],
+        )
+
+    def run_stream(self, tasks, cancel=None, stats=None):
+        """Incremental :meth:`run`: yields ``(key, outcome)`` as each
+        task settles (after retries), in settle order.
+
+        The consumer can merge results while later tasks still
+        execute — :mod:`repro.core.shard` pipelines its sequential
+        merge against in-flight segment workers this way.  Closing the
+        generator early (break, or an exception in the consumer) reaps
+        any in-flight workers.  Pass a dict as ``stats`` to receive
+        the run's ``peak``/``wall``/``degraded``/``cancelled`` figures
+        once the stream is exhausted.
+        """
+        outcomes: dict[str, TaskResult | TaskError] = {}
+        yield from self._run_iter(tasks, cancel, outcomes,
+                                  stats if stats is not None else {})
+
+    def _run_iter(self, tasks, cancel, outcomes, stats):
         run_start = self._clock()
         self._degraded = False
         self._consecutive_pool_failures = 0
@@ -253,45 +282,54 @@ class TaskPool:
         pending: list[_Pending] = [_Pending(task, 1) for task in tasks]
         pending.reverse()  # pop() from the end preserves input order
         running: list[_Running] = []
-        outcomes: dict[str, TaskResult | TaskError] = {}
         peak = 0
         cancelled = False
+        emitted = 0
 
-        while pending or running:
-            if (cancel is not None and not cancelled
-                    and cancel.is_set()):
-                cancelled = True
-                pending.clear()
+        try:
+            while pending or running:
+                if (cancel is not None and not cancelled
+                        and cancel.is_set()):
+                    cancelled = True
+                    pending.clear()
 
-            if self._degraded:
-                while pending:
-                    entry = pending.pop()
-                    self._run_inline(entry.task, entry.attempt, outcomes,
-                                     pending)
-                    if (cancel is not None and not cancelled
-                            and cancel.is_set()):
-                        cancelled = True
-                        pending.clear()
-            else:
-                self._launch_ready(pending, running, outcomes, plan)
-            peak = max(peak, len(running))
+                if self._degraded:
+                    while pending:
+                        entry = pending.pop()
+                        self._run_inline(entry.task, entry.attempt,
+                                         outcomes, pending)
+                        if (cancel is not None and not cancelled
+                                and cancel.is_set()):
+                            cancelled = True
+                            pending.clear()
+                else:
+                    self._launch_ready(pending, running, outcomes, plan)
+                peak = max(peak, len(running))
 
-            still_running = []
+                still_running = []
+                for entry in running:
+                    finished = self._scan(entry, outcomes, pending)
+                    if not finished:
+                        still_running.append(entry)
+                running = still_running
+                if len(outcomes) > emitted:
+                    settled = list(outcomes.items())
+                    for key, outcome in settled[emitted:]:
+                        yield key, outcome
+                    emitted = len(settled)
+                if running or (pending and not self._degraded):
+                    self._sleep(self.poll_interval)
+        finally:
+            # Abandoned mid-stream (consumer break/raise): don't leave
+            # workers running against a merge that will never happen.
             for entry in running:
-                finished = self._scan(entry, outcomes, pending)
-                if not finished:
-                    still_running.append(entry)
-            running = still_running
-            if running or (pending and not self._degraded):
-                self._sleep(self.poll_interval)
+                self._reap(entry.process, graceful=False)
+                self._drain_queue(entry.queue)
 
-        return PoolRun(
-            outcomes=outcomes,
-            peak_workers=peak,
-            wall_time=self._clock() - run_start,
-            degraded=self._degraded,
-            cancelled=cancelled,
-        )
+        stats["peak"] = peak
+        stats["wall"] = self._clock() - run_start
+        stats["degraded"] = self._degraded
+        stats["cancelled"] = cancelled
 
     # ------------------------------------------------------------------
     # Internals.

@@ -24,6 +24,7 @@ tiers are budgeted independently).
 
 from __future__ import annotations
 
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -38,12 +39,17 @@ from repro.obs import get_recorder
 from repro.runner.cache import LRUFileStore
 from repro.runner.faults import InjectedFault, fault_io, maybe_fault
 
+_log = logging.getLogger(__name__)
+
 #: Default size cap for the trace tier (bytes).  Traces dwarf result
 #: payloads, so the tier gets its own, larger budget.
 DEFAULT_TRACE_MAX_BYTES = 512 * 1024 * 1024
 
 #: Stored-trace filename suffix.
 TRACE_SUFFIX = ".trace.gz"
+
+#: Segment-index sidecar suffix (appended to the trace filename).
+SEGIDX_SUFFIX = ".segidx"
 
 
 class TraceStore(LRUFileStore):
@@ -73,6 +79,89 @@ class TraceStore(LRUFileStore):
 
     def contains(self, key: str) -> bool:
         return self.path_for(key).is_file()
+
+    # ------------------------------------------------------------------
+    # Segment-index sidecar.
+    # ------------------------------------------------------------------
+
+    def path_for_segidx(self, key: str) -> Path:
+        """The segment-index sidecar path next to the stored trace."""
+        path = self.path_for(key)
+        return path.with_name(path.name + SEGIDX_SUFFIX)
+
+    def put_segindex(self, key: str, index) -> Path | None:
+        """Atomically store a :class:`~repro.core.shard.SegmentIndex`.
+
+        The sidecar is pure derived data — a write failure degrades to
+        "no index" (serial analysis) rather than raising.
+        """
+        path = self.path_for_segidx(key)
+        if not self.contains(key):
+            # Never publish an index with no trace beside it.
+            return None
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(index.to_bytes())
+            os.replace(tmp_name, path)
+        except OSError:
+            self._remove(Path(tmp_name))
+            return None
+        get_recorder().count("store.trace.segidx_puts", 1)
+        return path
+
+    def get_segindex(self, key: str):
+        """The stored :class:`SegmentIndex` for ``key``, or None.
+
+        A corrupt or stale sidecar (unreadable, wrong magic, or
+        ``n_records`` disagreeing with the trace header) is removed and
+        reads as a miss — the caller falls back to serial analysis or a
+        reindex, never to a wrong merge.
+        """
+        from repro.core.shard import SegmentIndex
+
+        path = self.path_for_segidx(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        try:
+            index = SegmentIndex.from_bytes(blob)
+        except Exception as error:
+            get_recorder().count("store.trace.segidx_corruption", 1)
+            _log.warning("store: dropping corrupt segment index %s (%s)",
+                         path.name, error)
+            self._remove(path)
+            return None
+        header = self.header(key)
+        if header is None or header.get("n_records") != index.n_records:
+            # Stale: the trace was re-captured under this sidecar.
+            self._remove(path)
+            return None
+        return index
+
+    def has_segindex(self, key: str) -> bool:
+        return self.path_for_segidx(key).is_file()
+
+    @staticmethod
+    def _remove(path: Path) -> None:
+        # A trace never outlives removal with its sidecar still
+        # published: eviction, corruption recovery and clear() all
+        # funnel through here.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        if path.name.endswith(TRACE_SUFFIX):
+            try:
+                path.with_name(path.name + SEGIDX_SUFFIX).unlink()
+            except OSError:
+                pass
 
     def header(self, key: str) -> dict | None:
         """The stored trace's header, or None on miss/corruption."""
@@ -187,6 +276,13 @@ class TraceStore(LRUFileStore):
         with get_recorder().span("store.trace.put"):
             fault_io("trace.write")
             self._columns_memo.pop(key, None)
+            # New content invalidates any segment index built over the
+            # old bytes (get_segindex would also catch the n_records
+            # mismatch, but only when lengths differ).
+            try:
+                self.path_for_segidx(key).unlink()
+            except OSError:
+                pass
             path = self.path_for(key)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(

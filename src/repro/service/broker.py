@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from repro.core.export import result_to_dict
 from repro.obs import get_recorder
 from repro.runner import (
+    ExecutionPolicy,
     ExperimentConfig,
     ExperimentRunner,
     Job,
@@ -117,6 +118,14 @@ class BrokerConfig:
             warmest tier, above the disk store).
         timeout: per-job wall-clock limit handed to the runner.
         retries: extra attempts for failed jobs (parallel runs).
+        policy: the server-side :class:`ExecutionPolicy` each batch
+            runner executes under.  This is operator configuration
+            (``repro serve --policy ...``); clients cannot set or
+            override it — :mod:`repro.service.protocol` rejects policy
+            keys in request bodies at the trust boundary.  When None,
+            a policy is synthesized from the legacy ``jobs``/
+            ``timeout``/``retries`` knobs; when given, it wins over
+            them entirely.
     """
 
     workers: int = 2
@@ -127,6 +136,15 @@ class BrokerConfig:
     memo_entries: int = 1024
     timeout: float | None = None
     retries: int = 1
+    policy: "ExecutionPolicy | None" = None
+
+    def effective_policy(self) -> "ExecutionPolicy":
+        """The policy batch runners execute under (see ``policy``)."""
+        if self.policy is not None:
+            return self.policy
+        return ExecutionPolicy(jobs=max(1, self.jobs),
+                               timeout=self.timeout,
+                               retries=self.retries)
 
 
 @dataclass
@@ -205,6 +223,7 @@ class AnalysisBroker:
             "memo_entries": len(self._memo),
             "draining": self._closed,
             "est_job_seconds": round(self._job_seconds, 4),
+            "policy": self.config.effective_policy().describe(),
         }
 
     async def drain(self) -> None:
@@ -390,18 +409,17 @@ class AnalysisBroker:
         the one requested name so ``run_many`` sees exactly the
         batch's jobs and can group same-execution members.
         """
+        policy = self.config.effective_policy()
         runner = ExperimentRunner(
             store=self._store,
             trace_store=self._trace_store,
-            jobs=self.config.jobs,
-            timeout=self.config.timeout,
-            retries=self.config.retries,
+            policy=policy,
         )
         configs = [
             dataclasses.replace(config, workloads=(name,))
             for name, config in pairs
         ]
-        runs = runner.run_many(configs, jobs=self.config.jobs)
+        runs = runner.run_many(configs, jobs=policy.jobs)
         outcomes: list = []
         for (name, __), run in zip(pairs, runs):
             result = run.results.get(name)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.runner import ExperimentConfig
+from repro.runner.policy import POLICY_FIELDS
 from repro.workloads import get_workload
 
 __all__ = [
@@ -47,6 +48,13 @@ class ProtocolError(ValueError):
 _TUPLE_FIELDS = frozenset({"workloads", "predictors", "trees_for"})
 
 _CONFIG_FIELDS = {f.name: f for f in dataclasses.fields(ExperimentConfig)}
+
+#: Execution-policy knobs (plus the envelope key itself).  These are
+#: server-side configuration — the operator sets them on ``repro
+#: serve``; a client must not be able to pick how much parallelism or
+#: which engine the server spends on its request, so they get a
+#: pointed rejection rather than the generic unknown-key 400.
+_POLICY_KEYS = frozenset(POLICY_FIELDS) | {"policy"}
 
 
 def _as_tuple(name: str, value):
@@ -79,6 +87,12 @@ def config_from_dict(payload) -> ExperimentConfig:
     for name, value in payload.items():
         config_field = _CONFIG_FIELDS.get(name)
         if config_field is None:
+            if name in _POLICY_KEYS:
+                raise ProtocolError(
+                    f"config field {name!r} is server-side execution "
+                    f"policy; it is set by the service operator "
+                    f"(`repro serve --policy ...`), not by clients"
+                )
             known = ", ".join(sorted(_CONFIG_FIELDS))
             raise ProtocolError(
                 f"unknown config field {name!r} (known: {known})"

@@ -79,6 +79,14 @@ def _assert_engines_agree(records, n_static, config, name="trace",
                              profile_counts=profile_counts,
                              engine="columnar")
     assert _dump(columnar) == _dump(reference)
+    # The segment-parallel kernel shares the byte-identity contract:
+    # splitting the columnar pass must be invisible in the output
+    # (docs/sharding.md).  Budgets too small to split fall back to the
+    # serial kernel inside analyze_columns_segmented — still identical.
+    segmented = analyze_trace(records, n_static, name=name, config=config,
+                              profile_counts=profile_counts,
+                              engine="columnar", segments=3)
+    assert _dump(segmented) == _dump(reference)
 
 
 @pytest.mark.parametrize("name", [w.name for w in SUITE])
@@ -134,6 +142,9 @@ def test_analyze_many_identical():
     columnar = analyze_many(records, n_static, configs, name="com",
                             engine="columnar")
     assert [_dump(r) for r in columnar] == [_dump(r) for r in reference]
+    segmented = analyze_many(records, n_static, configs, name="com",
+                             engine="columnar", segments=4)
+    assert [_dump(r) for r in segmented] == [_dump(r) for r in reference]
 
 
 def test_columns_accepted_by_both_engines():

@@ -79,6 +79,19 @@ def _check_seed(seed: int) -> None:
             == json.dumps(result_to_dict(reference))), (
         f"engines diverge for gen:{preset}@{seed} with {config}"
     )
+    # Segment-parallel kernel: same seed, same config, a seed-derived
+    # segment count -- the split point sweeps the trace as seeds vary,
+    # so loop bodies, producer/consumer arcs and gshare histories all
+    # get cut mid-flight somewhere in the sweep (docs/sharding.md).
+    segments = 2 + seed % 4
+    segmented = analyze_trace(records, n_static, name=preset,
+                              config=config, engine="columnar",
+                              segments=segments)
+    assert (json.dumps(result_to_dict(segmented))
+            == json.dumps(result_to_dict(reference))), (
+        f"segmented kernel diverges for gen:{preset}@{seed} "
+        f"with segments={segments} and {config}"
+    )
 
 
 @pytest.mark.parametrize("seed", range(FAST_SEEDS))

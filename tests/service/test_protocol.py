@@ -69,6 +69,18 @@ class TestConfigRejection:
         with pytest.raises(ProtocolError, match="integer"):
             config_from_dict({"scale": 1.5})
 
+    @pytest.mark.parametrize("field", [
+        "policy", "engine", "jobs", "timeout", "retries",
+        "segments", "segment_records",
+    ])
+    def test_execution_policy_keys_are_operator_only(self, field):
+        """Clients must not pick the server's parallelism or engine:
+        policy keys get a pointed trust-boundary rejection, not the
+        generic unknown-field 400."""
+        with pytest.raises(ProtocolError,
+                           match="server-side execution policy"):
+            config_from_dict({field: 4})
+
 
 class TestAnalyzeRequest:
     def test_minimal_request(self):
