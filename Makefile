@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast bench bench-smoke kernel-parity shard-parity \
-        service-smoke campaign-smoke clean-cache
+        service-smoke campaign-smoke fleet-smoke clean-cache
 
 ## Tier-1 verification: the full test suite.
 test:
@@ -55,6 +55,16 @@ service-smoke:
 ## wall times to BENCH_campaign.json at the repo root.
 campaign-smoke:
 	$(PYTHON) benchmarks/bench_campaign.py
+
+## Fleet chaos smoke: a supervised 2-worker fleet under the seeded
+## kill/wedge plan (zero failed client requests, byte-identical
+## results, healthy restart through backoff), then the store scrub
+## over seeded corruption (every bad entry quarantined, rerun
+## clean).  Artifacts: fleet-out/ (supervisor.log, shared cache/)
+## and scrub-out/scrub_report.jsonl — the CI uploads both.
+fleet-smoke:
+	$(PYTHON) -m repro chaos --fleet --keep fleet-out
+	$(PYTHON) benchmarks/scrub_smoke.py --out scrub-out
 
 ## Drop both cache tiers of the default store.
 clean-cache:

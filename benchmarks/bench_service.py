@@ -179,6 +179,67 @@ def parse_counters(metrics_text: str) -> dict[str, float]:
     return counters
 
 
+def measure_availability(budget: int, requests_each: int = 12) -> dict:
+    """Failover cost through a 2-worker fleet: p99 with and without a
+    ``kill -9`` of the owning worker mid-stream, plus how long the
+    supervisor took to put a healthy replacement back.
+
+    The acceptance bar is the fleet's headline invariant: zero failed
+    client requests even though the preferred worker was SIGKILLed.
+    """
+    import os
+    import signal
+
+    from repro.service import FleetClient, FleetConfig, FleetSupervisor
+
+    name, config = "com", {"max_instructions": budget}
+    scratch = tempfile.TemporaryDirectory(prefix="repro-bench-fleet-")
+    fleet = FleetSupervisor(FleetConfig(workers=2),
+                            cache_root=scratch.name)
+    steady: list[float] = []
+    failover: list[float] = []
+    failed = 0
+    try:
+        fleet.start()
+        fleet.wait_healthy(timeout=30)
+        client = FleetClient(fleet, timeout=60.0, deadline=120.0)
+        client.analyze(name, config)        # cold fill, uncounted
+
+        def stream(bucket: list[float]) -> None:
+            nonlocal failed
+            for __ in range(requests_each):
+                start = time.perf_counter()
+                try:
+                    client.analyze(name, config)
+                except ServiceError:
+                    failed += 1
+                else:
+                    bucket.append(time.perf_counter() - start)
+
+        stream(steady)
+        key = FleetClient.request_key(name, config)
+        owner = fleet.workers[fleet.ring.owner(key)]
+        os.kill(owner.process.pid, signal.SIGKILL)
+        killed_at = time.perf_counter()
+        stream(failover)
+        recovered = fleet.wait_healthy(timeout=60)
+        restart_seconds = time.perf_counter() - killed_at
+    finally:
+        fleet.stop()
+        scratch.cleanup()
+    return {
+        "workers": 2,
+        "requests_per_phase": requests_each,
+        "steady_p50": round(percentile(steady, 0.50), 4),
+        "steady_p99": round(percentile(steady, 0.99), 4),
+        "failover_p50": round(percentile(failover, 0.50), 4),
+        "failover_p99": round(percentile(failover, 0.99), 4),
+        "failed_requests": failed,
+        "recovered": recovered,
+        "restart_seconds": round(restart_seconds, 2),
+    }
+
+
 def smoke(clients: int = CLIENTS,
           requests_each: int = REQUESTS_PER_CLIENT,
           budget: int = BUDGET, catalog_size: int = 12,
@@ -202,6 +263,8 @@ def smoke(clients: int = CLIENTS,
     finally:
         exit_code = server.stop()
         scratch.cleanup()
+
+    availability = measure_availability(budget)
 
     total = len(stats.all_latencies()) + len(stats.errors)
     cold = stats.latencies.get("computed", [])
@@ -250,6 +313,7 @@ def smoke(clients: int = CLIENTS,
         "pool_jobs": int(pool_jobs),
         "computed": int(counters.get("repro_service_computed_total", 0)),
         "warm_hits": int(counters.get("repro_service_warm_total", 0)),
+        "availability": availability,
         "drain_exit_code": exit_code,
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -273,6 +337,11 @@ def smoke(clients: int = CLIENTS,
     print(f"  pool jobs      {report['pool_jobs']:>8d} "
           f"(of {int(requests_seen)} requests)")
     print(f"  drain exit     {exit_code}")
+    print(f"  fleet steady/failover p99  "
+          f"{availability['steady_p99']:.4f}s / "
+          f"{availability['failover_p99']:.4f}s "
+          f"(restart {availability['restart_seconds']:.2f}s, "
+          f"{availability['failed_requests']} failed)")
     if stats.errors:
         print(f"  errors: {stats.errors[:5]}", file=sys.stderr)
     print(f"[written to {output_path}]", file=sys.stderr)
@@ -307,6 +376,15 @@ def check(report: dict) -> list[str]:
         problems.append(
             f"drain exited {report['drain_exit_code']}, expected 0"
         )
+    availability = report.get("availability", {})
+    if availability.get("failed_requests"):
+        problems.append(
+            f"{availability['failed_requests']} fleet request(s) "
+            f"failed during failover — the kill must be invisible"
+        )
+    if not availability.get("recovered", True):
+        problems.append("fleet did not return to healthy after the "
+                        "kill")
     return problems
 
 

@@ -1,0 +1,129 @@
+"""Scrub smoke: seeded corruption in, quarantined entries out.
+
+Seeds a store with valid entries plus four distinct kinds of rot
+(torn result envelope, truncated trace, orphaned segment-index
+sidecar, key-mismatched envelope), then drives the operator path —
+``python -m repro cache scrub`` — end to end and checks the
+acceptance bars:
+
+* the first scrub exits non-zero and quarantines **every** seeded-
+  corrupt entry (moved under ``quarantine/``, never deleted);
+* the valid entries still read back afterwards;
+* a second scrub over the same store exits zero (clean);
+* the JSONL report records both passes.
+
+Artifacts land under ``--out`` (default ``scrub-out/``): the seeded
+store, its quarantine, and ``scrub_report.jsonl`` — the CI uploads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.cpu.trace import DynInst, Source
+from repro.isa.opcodes import Category
+from repro.runner import ResultStore, TraceStore
+
+KEY_GOOD = "aa" + "0" * 62
+KEY_TORN = "bb" + "0" * 62
+KEY_ORPHAN = "cc" + "0" * 62
+KEY_WRONG = "dd" + "0" * 62
+
+
+def _records(n, pc=3):
+    out = []
+    for uid in range(n):
+        out.append(DynInst(
+            uid=uid, pc=pc, op="addi", category=Category.ALU,
+            has_imm=True,
+            srcs=(Source(uid, uid - 1 if uid else None,
+                         pc if uid else None, False, 0),),
+            out=uid + 1,
+        ))
+    return out
+
+
+def seed(root: Path) -> int:
+    """Valid entries plus four corruptions; returns the corrupt count."""
+    results = ResultStore(root)
+    traces = TraceStore(root)
+    results.put(KEY_GOOD, {"name": "com", "nodes": 4})
+    traces.put(KEY_GOOD, _records(5), n_static=8, complete=True)
+    # Torn result envelope.
+    torn = results.put(KEY_TORN, {"name": "go"})
+    torn.write_text(torn.read_text()[:25])
+    # Truncated trace.
+    rotten = traces.put(KEY_TORN, _records(20), n_static=8,
+                        complete=True)
+    rotten.write_bytes(rotten.read_bytes()[:30])
+    # Orphaned sidecar.
+    orphan = traces.path_for_segidx(KEY_ORPHAN)
+    orphan.parent.mkdir(parents=True, exist_ok=True)
+    orphan.write_bytes(b"garbage")
+    # Valid envelope filed under the wrong key.
+    wrong = results.path_for(KEY_WRONG)
+    wrong.parent.mkdir(parents=True, exist_ok=True)
+    wrong.write_text(results.path_for(KEY_GOOD).read_text())
+    return 4
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="scrub-out",
+                        help="artifact directory (default: scrub-out)")
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    if out.exists():
+        shutil.rmtree(out)
+    store = out / "store"
+    report_path = out / "scrub_report.jsonl"
+    seeded = seed(store)
+    argv_scrub = ["cache", "scrub", "--cache-dir", str(store),
+                  "--report", str(report_path)]
+
+    problems: list[str] = []
+    first = repro_main(argv_scrub)
+    if first == 0:
+        problems.append("first scrub exited 0 over a corrupt store")
+
+    lines = [json.loads(line)
+             for line in report_path.read_text().splitlines()]
+    summary = lines[0]
+    if summary["findings"] != seeded:
+        problems.append(f"found {summary['findings']} of {seeded} "
+                        f"seeded corruptions")
+    if summary["quarantined"] != seeded:
+        problems.append(f"quarantined {summary['quarantined']} of "
+                        f"{seeded} findings")
+    for finding in lines[1:1 + seeded]:
+        destination = finding.get("quarantined_to")
+        if not destination or not Path(destination).exists():
+            problems.append(f"finding not quarantined: {finding}")
+
+    if ResultStore(store).get(KEY_GOOD) != {"name": "com", "nodes": 4}:
+        problems.append("valid result no longer readable after scrub")
+    if TraceStore(store).get(KEY_GOOD, None) is None:
+        problems.append("valid trace no longer readable after scrub")
+
+    second = repro_main(argv_scrub)
+    if second != 0:
+        problems.append(f"rerun over the scrubbed store exited "
+                        f"{second}, expected clean")
+
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"[scrub smoke] {seeded}/{seeded} corruptions "
+              f"quarantined, rerun clean; report at {report_path}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -339,7 +339,13 @@ def cmd_cache(parser, args) -> int:
             evicted = trace_store.evict()
             print(f"evicted {evicted} stored trace(s) from "
                   f"{trace_store.root}")
+            swept = trace_store.sweep_orphan_segidx()
+            if swept:
+                print(f"swept {swept} orphaned segment-index "
+                      f"sidecar(s)")
         return 0
+    if args.action == "scrub":
+        return _scrub(store, args)
     profile = _last_profile(store)
     counters = profile.get("counters", {}) if profile else {}
     entries = store.entries()
@@ -355,6 +361,33 @@ def cmd_cache(parser, args) -> int:
     return 0
 
 
+def _scrub(store, args) -> int:
+    """``cache scrub``: full-store integrity pass with quarantine."""
+    from repro.runner.scrub import scrub_store
+
+    report = scrub_store(store.root,
+                         quarantine=not args.no_quarantine,
+                         report_path=args.report)
+    checked = sum(report.checked.values())
+    tiers = ", ".join(f"{count} {tier}"
+                      for tier, count in sorted(report.checked.items()))
+    print(f"scrubbed {store.root}: {checked} entr(ies) checked "
+          f"({tiers}) in {report.wall_time:.2f}s")
+    for finding in report.findings:
+        action = (f"quarantined -> {finding.quarantined_to}"
+                  if finding.quarantined_to else "left in place")
+        print(f"  {finding.tier} {Path(finding.path).name}: "
+              f"{finding.problem} ({action})")
+    if report.clean:
+        print("store is clean")
+    else:
+        print(f"{len(report.findings)} finding(s), "
+              f"{report.quarantined} quarantined")
+    if report.report_path:
+        print(f"report: {report.report_path}")
+    return 0 if report.clean else 1
+
+
 def _segidx_report(trace_store, trace_entries) -> None:
     """Per-trace segment-index presence and coverage.
 
@@ -365,6 +398,13 @@ def _segidx_report(trace_store, trace_entries) -> None:
     from repro.cpu.tracefile import trace_header
     from repro.runner.tracestore import TRACE_SUFFIX
 
+    orphans = trace_store.orphan_segidx()
+    if orphans:
+        # Orphans are dead weight, never coverage: nothing reads a
+        # sidecar without first finding its trace.
+        print(f"segment indexes: {len(orphans)} orphaned sidecar(s) "
+              f"not counted as coverage (sweep with `python -m repro "
+              f"cache prune`)")
     if not trace_entries:
         return
     indexed = 0
@@ -889,6 +929,62 @@ def _fired_sites(plan, profile) -> dict:
     return {site: count for site, count in fired.items() if count}
 
 
+def _cmd_chaos_fleet(parser, args) -> int:
+    """``chaos --fleet``: the supervised-fleet acceptance invariant.
+
+    Under a seeded :func:`repro.runner.faults.default_fleet_chaos_plan`
+    — ``kill -9`` of one worker mid-request, a SIGSTOP wedge, one
+    injected disk-full write — zipf load against the fleet must see
+    zero failed requests and byte-identical results, and the fleet
+    must return to healthy (docs/robustness.md).
+    """
+    from repro.service.fleet import run_fleet_chaos
+
+    keep = Path(args.keep) if args.keep else None
+    cache_root = log_path = None
+    if keep is not None:
+        keep.mkdir(parents=True, exist_ok=True)
+        cache_root = keep / "cache"
+        log_path = keep / "supervisor.log"
+    workloads = _workload_tuple(parser, args.workloads)
+    print(f"[chaos] fleet: {args.fleet_workers} worker(s), "
+          f"{args.fleet_requests} zipf request(s), seed {args.seed}")
+    report = run_fleet_chaos(
+        seed=args.seed, workloads=workloads,
+        max_instructions=args.max_instructions,
+        requests=args.fleet_requests, workers=args.fleet_workers,
+        cache_root=cache_root, log_path=log_path,
+    )
+
+    failed = False
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        nonlocal failed
+        mark = "ok" if ok else "FAIL"
+        suffix = f" ({detail})" if detail else ""
+        print(f"[chaos] {mark}: {label}{suffix}")
+        failed = failed or not ok
+
+    check("worker.kill fired at least once", report["kills"] >= 1,
+          f"kills={report['kills']}, wedges={report['wedges']}")
+    check("zero failed client requests",
+          report["failed_requests"] == 0,
+          "; ".join(report["failures"]) or
+          f"{report['requests']} request(s) served")
+    check("results byte-identical to fault-free run",
+          not report["mismatches"],
+          ", ".join(report["mismatches"]) or
+          "every payload matched")
+    check("fleet restarted and healthy",
+          report["recovered"] and report["restarts"] >= 1,
+          f"restarts={report['restarts']}, "
+          f"failovers={report['failovers']}")
+    if keep is not None:
+        print(f"[chaos] artifacts kept in {keep} (supervisor.log, "
+              f"cache/)")
+    return EXIT_JOB_FAILURE if failed else EXIT_OK
+
+
 def cmd_chaos(parser, args) -> int:
     """Chaos smoke test: a faulted sweep must equal a fault-free one.
 
@@ -897,7 +993,11 @@ def cmd_chaos(parser, args) -> int:
     the robustness invariants (docs/robustness.md): byte-identical
     results, several distinct fault kinds actually fired, no orphaned
     temp files, and job metrics that reconcile with the obs counters.
+    ``--fleet`` runs the supervised-fleet variant instead (see
+    :func:`_cmd_chaos_fleet`).
     """
+    if args.fleet:
+        return _cmd_chaos_fleet(parser, args)
     config = ExperimentConfig(
         scale=args.scale,
         max_instructions=args.max_instructions,
@@ -1021,6 +1121,8 @@ def cmd_serve(parser, args) -> int:
         retries=policy.retries,
         policy=policy,
     )
+    if args.fleet:
+        return _serve_fleet(args, broker_config, store)
     print(f"serving on http://{args.host}:{args.port} "
           f"({args.workers} batch worker(s); "
           f"policy {_policy_line(policy.describe())}; SIGTERM drains)",
@@ -1028,6 +1130,39 @@ def cmd_serve(parser, args) -> int:
     return run_server(host=args.host, port=args.port,
                       broker_config=broker_config,
                       store=store, trace_store=trace_store)
+
+
+def _serve_fleet(args, broker_config, store) -> int:
+    """``serve --fleet N``: a supervised worker fleet until SIGTERM.
+
+    Workers bind ephemeral ports and share the content-addressed
+    stores; the supervisor prints the routing table, probes, restarts
+    and — on SIGTERM/SIGINT — drains the fleet one worker at a time.
+    """
+    from repro.service.fleet import FleetConfig, FleetSupervisor
+
+    cache_root = None
+    if store is not None:
+        cache_root = store.root
+    fleet = FleetSupervisor(
+        FleetConfig(workers=args.fleet, host=args.host,
+                    log_path=args.fleet_log),
+        cache_root=cache_root, broker_config=broker_config,
+    )
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    fleet.start()
+    for worker_id, handle in sorted(fleet.workers.items()):
+        print(f"fleet worker {worker_id}: "
+              f"http://{handle.host}:{handle.port}", file=sys.stderr)
+    print(f"supervising {args.fleet} worker(s); SIGTERM drains the "
+          f"fleet one worker at a time", file=sys.stderr)
+    stop.wait()
+    print("draining fleet", file=sys.stderr)
+    fleet.stop()
+    print("fleet drained cleanly", file=sys.stderr)
+    return EXIT_OK
 
 
 def cmd_query(parser, args) -> int:
@@ -1127,6 +1262,16 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--fault", action="append", metavar="SITE=RATE",
                        help="override/add an injection site with a "
                             "probabilistic rate (repeatable)")
+    chaos.add_argument("--fleet", action="store_true",
+                       help="run the supervised-fleet chaos variant: "
+                            "kill -9 / wedge workers under zipf load "
+                            "and assert zero failed requests "
+                            "(docs/robustness.md)")
+    chaos.add_argument("--fleet-workers", type=int, default=2,
+                       help="fleet worker processes (default: 2)")
+    chaos.add_argument("--fleet-requests", type=int, default=24,
+                       help="zipf-distributed requests to drive "
+                            "(default: 24)")
     chaos.set_defaults(func=cmd_chaos)
 
     report = sub.add_parser(
@@ -1210,15 +1355,24 @@ def build_parser() -> argparse.ArgumentParser:
                     "stores.",
     )
     cache.add_argument("action",
-                       choices=("info", "prune", "clear", "reindex"),
+                       choices=("info", "prune", "clear", "reindex",
+                                "scrub"),
                        help="print tier occupancy and hit-rates, evict "
-                            "down to the caps, empty the tiers, or "
+                            "down to the caps, empty the tiers, "
                             "backfill segment-index sidecars for "
-                            "stored traces (docs/sharding.md)")
+                            "stored traces (docs/sharding.md), or "
+                            "verify every entry's integrity and "
+                            "quarantine the rot (docs/robustness.md)")
     cache.add_argument("--segment-records", type=int,
                        default=DEFAULT_SEGMENT_RECORDS, metavar="N",
                        help="checkpoint spacing for reindex (default: "
                             f"{DEFAULT_SEGMENT_RECORDS})")
+    cache.add_argument("--no-quarantine", action="store_true",
+                       help="scrub: audit only — report findings but "
+                            "leave every file in place")
+    cache.add_argument("--report", default=None, metavar="PATH",
+                       help="scrub: JSONL report path (default: "
+                            "<cache>/quarantine/scrub_report.jsonl)")
     _add_cache_flags(cache)
     cache.set_defaults(func=cmd_cache)
 
@@ -1262,6 +1416,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-job wall-clock limit in seconds")
     serve.add_argument("--retries", type=int, default=1,
                        help="extra attempts for a failed job (default: 1)")
+    serve.add_argument("--fleet", type=int, default=None, metavar="N",
+                       help="supervise a fleet of N worker serve "
+                            "processes (ephemeral ports, shared "
+                            "stores, circuit-breaking failover; "
+                            "docs/service.md)")
+    serve.add_argument("--fleet-log", default=None, metavar="PATH",
+                       help="fleet supervisor event-log path")
     _add_policy_flag(serve)
     _add_cache_flags(serve)
     serve.set_defaults(func=cmd_serve)

@@ -107,6 +107,16 @@ class StoreCorruption(RunnerError):
     harness verifying invariants)."""
 
 
+class DiskFull(RunnerError):
+    """A job failed because the disk filled up (``ENOSPC``).
+
+    The stores and the journal *degrade* on ENOSPC — eviction retry,
+    then running uncached/unjournaled — so this surfaces only when a
+    job could not complete at all without the space.  Structured
+    (``kind="enospc"``) so callers can distinguish "buy a bigger disk"
+    from a code bug without parsing a traceback."""
+
+
 class JournalConflict(RunnerError):
     """The sweep journal is owned by another live process, or its
     contents contradict the store it describes."""
@@ -133,6 +143,7 @@ FAILURE_KINDS: dict = {
     "timeout": TimeoutExceeded,
     "crash": WorkerCrash,
     "spawn": PoolSpawnError,
+    "enospc": DiskFull,
     "error": RunnerError,
 }
 

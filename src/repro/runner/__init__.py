@@ -45,8 +45,11 @@ from repro.runner.faults import (
     FaultSpec,
     InjectedFault,
     default_chaos_plan,
+    default_fleet_chaos_plan,
+    fault_enospc,
     get_fault_plan,
     injecting,
+    is_enospc,
     set_fault_plan,
 )
 from repro.runner.journal import RunJournal
@@ -103,11 +106,14 @@ __all__ = [
     "TaskResult",
     "backoff_delay",
     "default_chaos_plan",
+    "default_fleet_chaos_plan",
     "default_runner",
     "default_store",
     "default_trace_store",
+    "fault_enospc",
     "get_fault_plan",
     "injecting",
+    "is_enospc",
     "job_key",
     "reset_default_runner",
     "resolve_policy",

@@ -38,7 +38,8 @@ import tempfile
 from pathlib import Path
 
 from repro.obs import get_recorder
-from repro.runner.faults import fault_io, maybe_fault
+from repro.runner.faults import (fault_enospc, fault_io, is_enospc,
+                                 maybe_fault)
 
 _log = logging.getLogger(__name__)
 
@@ -147,6 +148,27 @@ class LRUFileStore:
             removed += 1
         return removed
 
+    def evict_for_space(self) -> int:
+        """Emergency eviction after ``ENOSPC``: drop the older half of
+        the entries (at least one), ignoring ``max_bytes`` — cache
+        warmth is worth nothing on a full disk.  Returns evictions.
+        """
+        stats = []
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stats.append((stat.st_mtime, path))
+        stats.sort()
+        victims = stats[: max(1, len(stats) // 2)]
+        for __, path in victims:
+            self._remove(path)
+        if victims:
+            get_recorder().count(f"store.{self.metric}.evictions",
+                                 len(victims))
+        return len(victims)
+
     # ------------------------------------------------------------------
     # Helpers.
     # ------------------------------------------------------------------
@@ -230,7 +252,10 @@ class ResultStore(LRUFileStore):
 
         Raises :class:`OSError` on write failure — callers that can
         proceed without the cached copy (the runner) catch it and
-        degrade; see ``_safe_put`` in :mod:`repro.runner.api`.
+        degrade; see ``_safe_put`` in :mod:`repro.runner.api`.  A
+        disk-full write (``ENOSPC``, injected or real) gets one
+        structured retry first: emergency-evict old entries, write
+        again, and only then propagate.
         """
         with get_recorder().span("store.result.put"):
             fault_io("store.write")
@@ -247,16 +272,30 @@ class ResultStore(LRUFileStore):
                 # Injected torn write: publish only half the envelope.
                 # The checksum validation in :meth:`get` must catch it.
                 text = text[: len(text) // 2]
-            fd, tmp_name = tempfile.mkstemp(
-                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-            )
             try:
-                with os.fdopen(fd, "w") as handle:
-                    handle.write(text)
-                os.replace(tmp_name, path)
-            except BaseException:
-                self._remove(Path(tmp_name))
-                raise
+                self._publish(path, text, key)
+            except OSError as error:
+                if not is_enospc(error):
+                    raise
+                get_recorder().count("store.result.enospc", 1)
+                _log.warning(
+                    "store: result write hit ENOSPC; evicting and "
+                    "retrying once")
+                self.evict_for_space()
+                self._publish(path, text, key)
             get_recorder().count("store.result.puts", 1)
             self.evict()
             return path
+
+    def _publish(self, path: Path, text: str, key: str) -> None:
+        fault_enospc("store.enospc")
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            self._remove(Path(tmp_name))
+            raise

@@ -27,6 +27,15 @@ site                      effect when it fires
 ``pool.spawn``            the pool fails to spawn a worker process
 ``service.accept``        the analysis server drops a fresh connection
 ``service.handler``       the analysis server 500s an otherwise-fine request
+``store.enospc``          a store/journal write raises ``ENOSPC`` (disk
+                          full); the stores respond with eviction + one
+                          retry, the journal degrades to unjournaled
+``worker.kill``           the fleet chaos driver ``kill -9``\\ s a live serve
+                          worker mid-load (evaluated in the driver, see
+                          :mod:`repro.service.fleet`)
+``worker.wedge``          a serve worker stops answering requests —
+                          ``/healthz`` included — without dying, so only
+                          the supervisor's probe timeout can catch it
 ========================  ====================================================
 
 Firing is **deterministic**: each site draws from its own
@@ -46,6 +55,7 @@ keep firing there too.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import random
 from contextlib import contextmanager
@@ -61,6 +71,23 @@ class InjectedFault(OSError):
     through exactly the error-handling paths a real disk or process
     fault would take — that is the point of injecting them.
     """
+
+
+def is_enospc(error: BaseException) -> bool:
+    """True when ``error`` is a disk-full :class:`OSError`.
+
+    Injected ``store.enospc`` faults carry the real ``errno`` so the
+    recovery paths cannot tell them from an actual full disk.
+    """
+    return isinstance(error, OSError) and error.errno == errno.ENOSPC
+
+
+def fault_enospc(site: str = "store.enospc") -> None:
+    """Raise a disk-full :class:`InjectedFault` when ``site`` fires."""
+    plan = _PLAN
+    if plan is not None and plan.should_fire(site):
+        raise InjectedFault(errno.ENOSPC,
+                            f"injected ENOSPC at {site}")
 
 
 @dataclass(frozen=True)
@@ -192,6 +219,24 @@ def default_chaos_plan(seed: int = 0, timeout: float | None = None,
     if timeout is not None:
         specs["worker.hang"] = FaultSpec(schedule=(4,), max_fires=1)
     return FaultPlan(seed=seed, specs=specs)
+
+
+def default_fleet_chaos_plan(seed: int = 0) -> FaultPlan:
+    """The stock plan ``python -m repro chaos --fleet`` runs under.
+
+    Schedule-driven so a fixed seed guarantees the headline fault —
+    ``kill -9`` of a live worker mid-load — actually fires, plus a
+    wedged worker (alive but unresponsive, caught only by the probe
+    timeout) and one injected disk-full write.  ``worker.kill`` and
+    ``worker.wedge`` ordinals are request ticks of the chaos driver's
+    load loop; ``store.enospc`` fires inside whichever worker's store
+    evaluates it first.
+    """
+    return FaultPlan(seed=seed, specs={
+        "worker.kill": FaultSpec(schedule=(3,), max_fires=1),
+        "worker.wedge": FaultSpec(schedule=(9,), max_fires=1),
+        "store.enospc": FaultSpec(schedule=(1,), max_fires=1),
+    })
 
 
 # ----------------------------------------------------------------------

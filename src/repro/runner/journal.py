@@ -34,6 +34,7 @@ from pathlib import Path
 
 from repro.errors import JournalConflict
 from repro.obs import get_recorder
+from repro.runner.faults import fault_enospc, is_enospc
 
 _log = logging.getLogger(__name__)
 
@@ -109,12 +110,48 @@ class RunJournal:
         Returns only after the line is flushed and fsync'd — callers
         publish the corresponding result *after* this, so a journaled
         ``done`` always implies the store write already happened.
+
+        A write/fsync that fails (``ENOSPC`` above all) **degrades**
+        instead of unwinding the run with an ``OSError`` traceback:
+        the journal closes itself, the failure is counted
+        (``journal.enospc`` / ``journal.write_errors`` — the
+        structured ``"enospc"`` kind of
+        :data:`repro.errors.FAILURE_KINDS`) and the run continues
+        without crash-safe checkpointing, exactly as if the journal
+        had been unavailable from the start.
         """
         if self._fh is None:
             return
-        self._append({"key": key, "workload": workload, "status": status})
+        try:
+            self._append({"key": key, "workload": workload,
+                          "status": status})
+        except OSError as error:
+            if is_enospc(error):
+                get_recorder().count("journal.enospc", 1)
+                _log.warning(
+                    "journal: disk full (ENOSPC) writing %s; continuing "
+                    "without crash-safe checkpointing", self.path,
+                )
+            else:
+                get_recorder().count("journal.write_errors", 1)
+                _log.warning(
+                    "journal: write failed (%s); continuing without "
+                    "crash-safe checkpointing", error,
+                )
+            self._disable()
+            return
         self.entries[key] = status
         get_recorder().count("journal.records", 1)
+
+    def _disable(self) -> None:
+        """Stop journaling after a write failure; the lock is kept so
+        a sibling cannot start a *second* half-journal beside ours."""
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
 
     def completed(self, key: str) -> bool:
         """True when ``key`` is journaled as successfully finished."""
@@ -130,6 +167,8 @@ class RunJournal:
         )
 
     def _append(self, payload: dict) -> None:
+        if "journal" not in payload:  # never fault the open() header
+            fault_enospc("store.enospc")
         self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())

@@ -63,7 +63,7 @@ from typing import Callable
 
 from repro.errors import PoolSpawnError
 from repro.obs import get_recorder
-from repro.runner.faults import get_fault_plan, set_fault_plan
+from repro.runner.faults import get_fault_plan, is_enospc, set_fault_plan
 
 _log = logging.getLogger(__name__)
 
@@ -85,6 +85,7 @@ KIND_ERROR = "error"      #: the task function raised
 KIND_CRASH = "crash"      #: the worker process died without reporting
 KIND_TIMEOUT = "timeout"  #: the per-attempt deadline passed
 KIND_SPAWN = "spawn"      #: the worker process could not be started
+KIND_ENOSPC = "enospc"    #: the task function raised a disk-full OSError
 
 
 @dataclass(frozen=True)
@@ -159,8 +160,9 @@ def _worker_entry(result_queue, fn, args, directive=None,
             time.sleep(float(value))
     try:
         value = fn(*args)
-    except BaseException:
-        result_queue.put(("error", traceback.format_exc()))
+    except BaseException as exc:
+        kind = KIND_ENOSPC if is_enospc(exc) else KIND_ERROR
+        result_queue.put((kind, traceback.format_exc()))
     else:
         result_queue.put(("ok", value))
 
@@ -452,8 +454,9 @@ class TaskPool:
         started = self._clock()
         try:
             value = task.fn(*task.args)
-        except Exception:
-            self._settle(task, attempt, started, KIND_ERROR,
+        except Exception as exc:
+            kind = KIND_ENOSPC if is_enospc(exc) else KIND_ERROR
+            self._settle(task, attempt, started, kind,
                          traceback.format_exc(), outcomes, pending)
         else:
             self._settle(task, attempt, started, "ok", value, outcomes,
@@ -488,7 +491,8 @@ class TaskPool:
             key=task.key, error=str(value), wall_time=wall,
             attempts=attempt, timed_out=(status == KIND_TIMEOUT),
             kind=status if status in (KIND_CRASH, KIND_TIMEOUT,
-                                      KIND_SPAWN) else KIND_ERROR,
+                                      KIND_SPAWN, KIND_ENOSPC)
+            else KIND_ERROR,
         )
 
     def _join(self, entry: _Running) -> None:

@@ -37,7 +37,8 @@ from repro.cpu.tracefile import (
 )
 from repro.obs import get_recorder
 from repro.runner.cache import LRUFileStore
-from repro.runner.faults import InjectedFault, fault_io, maybe_fault
+from repro.runner.faults import (InjectedFault, fault_enospc, fault_io,
+                                 is_enospc, maybe_fault)
 
 _log = logging.getLogger(__name__)
 
@@ -110,6 +111,15 @@ class TraceStore(LRUFileStore):
         except OSError:
             self._remove(Path(tmp_name))
             return None
+        if not self.contains(key):
+            # The trace was evicted between the guard above and the
+            # replace: take the sidecar back out rather than leave an
+            # orphan behind.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
         get_recorder().count("store.trace.segidx_puts", 1)
         return path
 
@@ -147,6 +157,38 @@ class TraceStore(LRUFileStore):
 
     def has_segindex(self, key: str) -> bool:
         return self.path_for_segidx(key).is_file()
+
+    def segidx_entries(self) -> list[Path]:
+        """Every published segment-index sidecar, orphans included."""
+        if not self.traces_dir.is_dir():
+            return []
+        return sorted(self.traces_dir.glob(f"*/*{SEGIDX_SUFFIX}"))
+
+    def orphan_segidx(self) -> list[Path]:
+        """Sidecars whose trace is gone (a crash between a trace's
+        unlink and a sidecar publish, pre-fix eviction leftovers).
+        Nothing reads a sidecar without first finding its trace, so
+        these are pure dead weight — ``cache info`` must not count
+        them as segment-index coverage."""
+        orphans = []
+        for path in self.segidx_entries():
+            trace = path.with_name(path.name[: -len(SEGIDX_SUFFIX)])
+            if not trace.is_file():
+                orphans.append(path)
+        return orphans
+
+    def sweep_orphan_segidx(self) -> int:
+        """Remove orphaned sidecars; returns the number removed."""
+        orphans = self.orphan_segidx()
+        for path in orphans:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        if orphans:
+            get_recorder().count("store.trace.segidx_orphans_swept",
+                                 len(orphans))
+        return len(orphans)
 
     @staticmethod
     def _remove(path: Path) -> None:
@@ -285,17 +327,19 @@ class TraceStore(LRUFileStore):
                 pass
             path = self.path_for(key)
             path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-            )
-            os.close(fd)
             try:
-                save_trace(records, tmp_name, n_static, complete=complete,
-                           workload=workload)
-                os.replace(tmp_name, path)
-            except BaseException:
-                self._remove(Path(tmp_name))
-                raise
+                self._publish(path, key, records, n_static, complete,
+                              workload)
+            except OSError as error:
+                if not is_enospc(error):
+                    raise
+                get_recorder().count("store.trace.enospc", 1)
+                _log.warning(
+                    "store: trace write hit ENOSPC; evicting and "
+                    "retrying once")
+                self.evict_for_space()
+                self._publish(path, key, records, n_static, complete,
+                              workload)
             if maybe_fault("trace.corrupt"):
                 # Injected bit rot: truncate the published file so the
                 # next read must take the corruption-recovery path.
@@ -303,6 +347,21 @@ class TraceStore(LRUFileStore):
             get_recorder().count("store.trace.puts", 1)
             self.evict()
             return path
+
+    def _publish(self, path: Path, key: str, records, n_static: int,
+                 complete: bool | None, workload: str | None) -> None:
+        fault_enospc("store.enospc")
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        os.close(fd)
+        try:
+            save_trace(records, tmp_name, n_static, complete=complete,
+                       workload=workload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            self._remove(Path(tmp_name))
+            raise
 
     @staticmethod
     def _rot(path: Path) -> None:

@@ -21,6 +21,14 @@ from repro.service.broker import (
     JobError,
     Overloaded,
 )
+from repro.service.fleet import (
+    CircuitBreaker,
+    FleetClient,
+    FleetConfig,
+    FleetSupervisor,
+    HashRing,
+    run_fleet_chaos,
+)
 from repro.service.client import (
     RequestFailed,
     ServiceClient,
@@ -47,6 +55,11 @@ __all__ = [
     "BackgroundServer",
     "BrokerClosed",
     "BrokerConfig",
+    "CircuitBreaker",
+    "FleetClient",
+    "FleetConfig",
+    "FleetSupervisor",
+    "HashRing",
     "JobError",
     "MAX_BODY",
     "Overloaded",
@@ -61,5 +74,6 @@ __all__ = [
     "config_to_dict",
     "parse_analyze_request",
     "parse_sweep_request",
+    "run_fleet_chaos",
     "run_server",
 ]

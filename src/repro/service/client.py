@@ -49,15 +49,21 @@ class ServiceUnavailable(ServiceError):
 
     ``last_error`` is the final transport exception (or None when the
     last attempt reached the server and got a retryable status, in
-    which case ``last_status`` is set).
+    which case ``last_status`` is set).  ``retry_after`` carries the
+    server's last ``Retry-After`` hint (0.0 when none was given) so a
+    failover router can keep honouring it against the *next* target —
+    a shedding worker's sibling shares the same backing stores and
+    likely the same load.
     """
 
     def __init__(self, message: str, last_error=None,
-                 last_status: int | None = None, attempts: int = 0):
+                 last_status: int | None = None, attempts: int = 0,
+                 retry_after: float = 0.0):
         super().__init__(message)
         self.last_error = last_error
         self.last_status = last_status
         self.attempts = attempts
+        self.retry_after = retry_after
 
 
 class RequestFailed(ServiceError):
@@ -102,15 +108,19 @@ class ServiceClient:
     def __init__(self, host: str = "127.0.0.1", port: int = 8642,
                  timeout: float = 60.0, retries: int = 3,
                  backoff_base: float = 0.05, backoff_cap: float = 2.0,
-                 rng: random.Random | None = None, sleep=None):
+                 deadline: float | None = None,
+                 rng: random.Random | None = None, sleep=None,
+                 clock=None):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retries = max(0, retries)
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.deadline = deadline
         self._rng = rng or random.Random()
         self._sleep = sleep if sleep is not None else time.sleep
+        self._clock = clock if clock is not None else time.monotonic
 
     # ------------------------------------------------------------------
     # Transport.
@@ -134,12 +144,24 @@ class ServiceClient:
 
     def request(self, method: str, path: str,
                 payload=None) -> ServiceResponse:
-        """Send one logical request, retrying per the policy above."""
+        """Send one logical request, retrying per the policy above.
+
+        ``deadline`` (constructor) caps the *total* retry budget in
+        seconds — attempts and backoff sleeps together.  A flapping
+        server whose ``Retry-After`` hints keep growing can therefore
+        delay a deadlined client only until the budget runs out, never
+        indefinitely; the final :class:`ServiceUnavailable` notes the
+        exhausted deadline and carries the last hint for failover
+        routers to propagate.
+        """
         body = (json.dumps(payload).encode()
                 if payload is not None else None)
+        started = self._clock()
         last_error: Exception | None = None
         last_status: int | None = None
+        last_hint = 0.0
         attempts = 0
+        deadline_hit = False
         for attempt in range(1, self.retries + 2):
             attempts = attempt
             retry_after = 0.0
@@ -160,22 +182,31 @@ class ServiceClient:
                     retry_after = float(headers.get("Retry-After", 0))
                 except (TypeError, ValueError):
                     retry_after = 0.0
+                last_hint = max(last_hint, retry_after)
             if attempt <= self.retries:
                 delay = max(
                     backoff_delay(attempt, self.backoff_base,
                                   self.backoff_cap, self._rng),
                     retry_after,
                 )
+                if self.deadline is not None:
+                    remaining = (started + self.deadline) - self._clock()
+                    if delay >= remaining:
+                        deadline_hit = True
+                        break
                 _log.debug("retrying %s %s in %.3fs (attempt %d: %s)",
                            method, path, delay, attempt,
                            last_error or f"HTTP {last_status}")
                 self._sleep(delay)
         detail = (f"HTTP {last_status}" if last_status is not None
                   else repr(last_error))
+        if deadline_hit:
+            detail += (f"; {self.deadline:.1f}s retry deadline "
+                       f"exhausted")
         raise ServiceUnavailable(
             f"{method} {path} failed after {attempts} attempt(s): {detail}",
             last_error=last_error, last_status=last_status,
-            attempts=attempts,
+            attempts=attempts, retry_after=last_hint,
         )
 
     @staticmethod

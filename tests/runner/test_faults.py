@@ -227,3 +227,36 @@ class TestChaosInvariant:
         root = tmp_path / "chaos"
         self._run(root, faults=default_chaos_plan(seed=1))
         assert list(root.rglob("*.tmp")) == []
+
+
+class TestEnospcDegradation:
+    """A full disk degrades the stores; it never fails a runnable job."""
+
+    def test_result_store_evicts_and_retries_once(self, tmp_path):
+        plan = FaultPlan(seed=0, specs={
+            "store.enospc": FaultSpec(schedule=(1,), max_fires=1),
+        })
+        store = ResultStore(tmp_path)
+        with injecting(plan), recording(Recorder()) as rec:
+            store.put(KEY, {"x": 1})
+        # First publish hit ENOSPC, eviction freed space, the retry
+        # landed: the entry is readable and the incident was counted.
+        assert store.get(KEY) == {"x": 1}
+        assert rec.snapshot()["counters"]["store.result.enospc"] == 1
+
+    def test_run_survives_a_persistently_full_disk(self, tmp_path):
+        # Every store/journal write fails: the run completes anyway,
+        # uncached and unjournaled, with zero job failures.
+        plan = FaultPlan(seed=0, specs={
+            "store.enospc": FaultSpec(rate=1.0),
+        })
+        runner = ExperimentRunner(store=ResultStore(tmp_path),
+                                  faults=plan)
+        with recording(Recorder()) as rec:
+            run = runner.run(ExperimentConfig(
+                workloads=("com",), max_instructions=1_000))
+        assert not run.failures
+        assert set(run.results) == {"com"}
+        counters = rec.snapshot()["counters"]
+        assert counters["journal.enospc"] == 1
+        assert counters["store.result.enospc"] >= 1

@@ -185,6 +185,26 @@ class TestRunnerResume:
         assert not run.failures
         assert run.journal_path is None
 
+    def test_enospc_disables_the_journal_not_the_run(self, tmp_path):
+        # A full disk must not crash a run that can still compute: the
+        # journal disables itself (counted, warned) and stays silent.
+        from repro.runner import FaultPlan, FaultSpec, injecting
+
+        plan = FaultPlan(seed=0, specs={
+            "store.enospc": FaultSpec(schedule=(1,), max_fires=1),
+        })
+        path = tmp_path / "journal.jsonl"
+        with injecting(plan):
+            with recording(Recorder()) as rec:
+                with RunJournal(path) as journal:
+                    journal.record(KEY_A, "com", STATUS_DONE)  # fires
+                    journal.record(KEY_B, "go", STATUS_DONE)   # no-op
+        assert rec.snapshot()["counters"]["journal.enospc"] == 1
+        # The header survived; neither record did — and a resume sees
+        # a valid (empty) journal rather than a torn file.
+        with RunJournal(path, resume=True) as journal:
+            assert journal.entries == {}
+
     def test_sibling_lock_degrades_gracefully(self, tmp_path):
         root = tmp_path / "cache"
         root.mkdir()

@@ -30,6 +30,12 @@ def _sleep(seconds):
     return "woke"
 
 
+def _out_of_space():
+    import errno
+
+    raise OSError(errno.ENOSPC, "no space left on device")
+
+
 def _fail_first_time(sentinel_path):
     """Crashes on the first attempt, succeeds on the second."""
     if os.path.exists(sentinel_path):
@@ -84,6 +90,18 @@ class TestFailureModes:
         assert isinstance(run.outcomes["bad"], TaskError)
         assert run.outcomes["ok1"].value == 9
         assert run.outcomes["ok2"].value == 16
+
+    def test_enospc_is_a_structured_kind(self):
+        # Disk-full is operationally distinct from a code bug: the
+        # kind maps to errors.DiskFull, not a generic traceback.
+        from repro.errors import DiskFull, error_for_kind
+
+        pool = TaskPool(max_workers=2, retries=0)
+        run = pool.run([Task("full", _out_of_space, ())])
+        outcome = run.outcomes["full"]
+        assert isinstance(outcome, TaskError)
+        assert outcome.kind == "enospc"
+        assert error_for_kind(outcome.kind) is DiskFull
 
     def test_timeout_terminates_hung_worker(self):
         pool = TaskPool(max_workers=1, timeout=0.3, retries=0)

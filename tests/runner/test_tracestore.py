@@ -121,3 +121,43 @@ class TestEviction:
         store.put(KEY_B, _records(2), n_static=4, complete=True)
         assert store.clear() == 2
         assert store.entries() == []
+
+
+class _FakeIndex:
+    def to_bytes(self) -> bytes:
+        return b"fake-index-bytes"
+
+
+class TestSegidxLifecycle:
+    """Sidecars are pure derived data: never orphaned, never load-bearing."""
+
+    def test_put_refuses_to_publish_an_orphan(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.put_segindex(KEY_A, _FakeIndex()) is None
+        assert store.segidx_entries() == []
+
+    def test_eviction_cascades_to_the_sidecar(self, tmp_path):
+        store = TraceStore(tmp_path, max_bytes=1)
+        store.put(KEY_A, _records(10), n_static=8, complete=True)
+        sidecar = store.path_for_segidx(KEY_A)
+        sidecar.write_bytes(b"x")
+        os.utime(store.path_for(KEY_A), (1, 1))
+        store.put(KEY_B, _records(10), n_static=8, complete=True)
+        assert not store.path_for(KEY_A).exists()
+        assert not sidecar.exists()
+
+    def test_orphans_are_listed_and_swept(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.put(KEY_A, _records(3), n_static=4, complete=True)
+        live = store.path_for_segidx(KEY_A)
+        live.write_bytes(b"x")
+        # Vandalise: remove KEY_B's trace behind the store's back.
+        store.put(KEY_B, _records(3), n_static=4, complete=True)
+        orphan = store.path_for_segidx(KEY_B)
+        orphan.write_bytes(b"y")
+        os.unlink(store.path_for(KEY_B))
+        assert store.orphan_segidx() == [orphan]
+        assert store.sweep_orphan_segidx() == 1
+        assert not orphan.exists()
+        assert live.exists()            # the live sidecar is untouched
+        assert store.sweep_orphan_segidx() == 0

@@ -253,6 +253,27 @@ class TestDrain:
         assert status == "computed"
         assert runner.jobs_run == 1
 
+    def test_drain_waits_for_an_in_flight_cold_batch(self):
+        # Not just queued work: a batch already *executing* on the
+        # pool thread must finish and resolve its waiters before
+        # drain returns — a rolling fleet restart depends on it.
+        runner = RecordingRunner(delay=0.4)
+
+        async def main():
+            broker = make_broker(runner, batch_window=0.01)
+            broker.start()
+            pending = asyncio.create_task(broker.submit("com", CONFIG))
+            await asyncio.sleep(0.15)   # dispatched, on the executor
+            assert runner.calls          # the batch really is in flight
+            await broker.drain()
+            assert pending.done()
+            return await pending
+
+        payload, status = run(main())
+        assert status == "computed"
+        assert payload["workload"] == "com"
+        assert runner.jobs_run == 1
+
     def test_submit_after_drain_is_refused(self):
         runner = RecordingRunner()
 

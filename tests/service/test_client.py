@@ -1,0 +1,110 @@
+"""ServiceClient retry policy: Retry-After hints and the deadline cap.
+
+``_attempt`` is replaced with a scripted transport and both the clock
+and ``sleep`` are injected, so every test is deterministic and fast —
+no sockets, no real time.
+"""
+
+import random
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceUnavailable
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_client(outcomes, **kwargs):
+    """A client whose transport replays ``outcomes`` in order.
+
+    Each outcome is either an exception instance (raised) or a
+    ``(status, headers, raw)`` tuple.  Sleeps advance the fake clock
+    and are recorded.
+    """
+    clock = FakeClock()
+    sleeps = []
+
+    def fake_sleep(delay):
+        sleeps.append(delay)
+        clock.now += delay
+
+    kwargs.setdefault("rng", random.Random(0))
+    client = ServiceClient(sleep=fake_sleep, clock=clock, **kwargs)
+    script = iter(outcomes)
+
+    def attempt(method, path, body):
+        outcome = next(script)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    client._attempt = attempt
+    return client, sleeps, clock
+
+
+class TestRetryAfter:
+    def test_hint_survives_into_the_final_error(self):
+        client, __, __c = make_client(
+            [(429, {"Retry-After": "7"}, b"{}")], retries=0)
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.request("POST", "/v1/analyze", {"workload": "com"})
+        assert excinfo.value.last_status == 429
+        assert excinfo.value.retry_after == 7.0
+
+    def test_largest_hint_wins(self):
+        client, __, __c = make_client(
+            [(429, {"Retry-After": "5"}, b"{}"),
+             (429, {"Retry-After": "2"}, b"{}")], retries=1)
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.request("GET", "/v1/workloads")
+        assert excinfo.value.retry_after == 5.0
+
+    def test_hint_floors_the_backoff_sleep(self):
+        client, sleeps, __ = make_client(
+            [(429, {"Retry-After": "0.5"}, b"{}"),
+             (200, {}, b'{"ok": true}')],
+            retries=1, backoff_base=0.001, backoff_cap=0.001)
+        response = client.request("GET", "/healthz")
+        assert response.payload == {"ok": True}
+        assert sleeps and sleeps[0] >= 0.5
+
+
+class TestDeadline:
+    def test_deadline_caps_the_retry_budget(self):
+        # Ten retries allowed, but sleeps of ~0.5s against a 1s
+        # deadline cut the run short — and the error says so.
+        outcomes = [ConnectionRefusedError() for __ in range(11)]
+        client, __, __c = make_client(
+            outcomes, retries=10, deadline=1.0,
+            backoff_base=0.5, backoff_cap=0.5)
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.request("GET", "/healthz")
+        assert "retry deadline exhausted" in str(excinfo.value)
+        assert excinfo.value.attempts < 11
+
+    def test_no_deadline_uses_every_retry(self):
+        outcomes = [ConnectionRefusedError() for __ in range(4)]
+        client, sleeps, __ = make_client(
+            outcomes, retries=3, backoff_base=0.01, backoff_cap=0.02)
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.request("GET", "/healthz")
+        assert excinfo.value.attempts == 4
+        assert len(sleeps) == 3
+
+    def test_growing_hints_cannot_outlive_the_deadline(self):
+        # A flapping server whose hints keep growing must not pin a
+        # deadlined client forever.
+        outcomes = [(429, {"Retry-After": str(2 ** n)}, b"{}")
+                    for n in range(10)]
+        client, sleeps, clock = make_client(
+            outcomes, retries=9, deadline=5.0,
+            backoff_base=0.01, backoff_cap=0.02)
+        with pytest.raises(ServiceUnavailable):
+            client.request("GET", "/healthz")
+        assert clock.now <= 5.0

@@ -1,0 +1,347 @@
+"""Fleet availability machinery: breaker, ring, failover router.
+
+These tests exercise the in-process pieces — :class:`CircuitBreaker`
+with an injected clock (no sleeping), :class:`HashRing` determinism
+and consistency, and :class:`FleetClient` routing against scripted
+workers (no processes, no sockets).  The full supervisor/worker stack
+is covered by the chaos harness (``python -m repro chaos --fleet``)
+and the ``fleet-smoke`` make target.
+"""
+
+import random
+import types
+
+import pytest
+
+from repro.service.client import RequestFailed, ServiceUnavailable
+from repro.service.fleet import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    FleetClient,
+    HashRing,
+    WorkerHandle,
+)
+from repro.service import fleet as fleet_mod
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_breaker(threshold=3, recovery=10.0):
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=threshold,
+                             recovery_time=recovery, clock=clock)
+    return breaker, clock
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker, __ = make_breaker()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+
+    def test_consecutive_failures_trip_open(self):
+        breaker, __ = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        # The threshold counts *consecutive* failures only.
+        breaker, __ = make_breaker(threshold=3)
+        for __unused in range(5):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_open_resolves_to_half_open_after_recovery(self):
+        breaker, clock = make_breaker(threshold=1, recovery=10.0)
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        clock.advance(9.9)
+        assert breaker.state == BREAKER_OPEN
+        clock.advance(0.2)
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = make_breaker(threshold=1, recovery=1.0)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()          # the probe claims the slot
+        assert not breaker.allow()      # everyone else waits
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=1, recovery=1.0)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_a_fresh_window(self):
+        breaker, clock = make_breaker(threshold=1, recovery=10.0)
+        breaker.record_failure()
+        clock.advance(10.1)
+        assert breaker.allow()
+        breaker.record_failure()        # the probe failed
+        assert breaker.state == BREAKER_OPEN
+        clock.advance(9.9)              # the window restarts in full
+        assert breaker.state == BREAKER_OPEN
+        clock.advance(0.2)
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_random_walk_matches_reference_model(self):
+        """Property test: scripted outcome sequences against an
+        independent model of closed → open → half-open → closed."""
+        for seed in range(25):
+            rng = random.Random(seed)
+            threshold, recovery = rng.choice([(1, 1.0), (3, 5.0)])
+            breaker, clock = make_breaker(threshold, recovery)
+            # Reference model state.
+            state, failures, opened_at, probing = \
+                BREAKER_CLOSED, 0, 0.0, False
+
+            def resolve():
+                nonlocal state, probing
+                if (state == BREAKER_OPEN
+                        and clock.now - opened_at >= recovery):
+                    state, probing = BREAKER_HALF_OPEN, False
+
+            for step in range(200):
+                op = rng.choice(["fail", "success", "allow",
+                                 "advance", "advance"])
+                if op == "advance":
+                    clock.advance(rng.choice([0.0, recovery * 0.4,
+                                              recovery * 1.1]))
+                elif op == "fail":
+                    breaker.record_failure()
+                    resolve()
+                    if state == BREAKER_HALF_OPEN:
+                        state, opened_at, probing = \
+                            BREAKER_OPEN, clock.now, False
+                    else:
+                        failures += 1
+                        if (state == BREAKER_CLOSED
+                                and failures >= threshold):
+                            state, opened_at = BREAKER_OPEN, clock.now
+                elif op == "success":
+                    breaker.record_success()
+                    resolve()
+                    state, failures, probing = BREAKER_CLOSED, 0, False
+                else:
+                    got = breaker.allow()
+                    resolve()
+                    if state == BREAKER_CLOSED:
+                        expected = True
+                    elif state == BREAKER_HALF_OPEN and not probing:
+                        expected, probing = True, True
+                    else:
+                        expected = False
+                    assert got == expected, (seed, step, op, state)
+                resolve()
+                assert breaker.state == state, (seed, step, op)
+
+
+class TestHashRing:
+    def test_preference_order_is_a_permutation_with_owner_first(self):
+        ring = HashRing([0, 1, 2, 3])
+        order = ring.preference_order("somekey")
+        assert sorted(order) == [0, 1, 2, 3]
+        assert order[0] == ring.owner("somekey")
+
+    def test_deterministic_across_instances(self):
+        keys = [f"key-{i}" for i in range(50)]
+        first = HashRing([0, 1, 2])
+        second = HashRing([0, 1, 2])
+        for key in keys:
+            assert first.preference_order(key) == \
+                second.preference_order(key)
+
+    def test_every_worker_owns_some_keys(self):
+        ring = HashRing([0, 1, 2, 3])
+        owners = {ring.owner(f"key-{i}") for i in range(300)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_removing_a_worker_only_moves_its_keys(self):
+        # The consistent-hashing property failover relies on: keys not
+        # owned by the departed worker keep their owner.
+        big = HashRing([0, 1, 2])
+        small = HashRing([0, 1])
+        for i in range(200):
+            key = f"key-{i}"
+            owner = big.owner(key)
+            if owner != 2:
+                assert small.owner(key) == owner
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(ValueError):
+            HashRing([]).owner("x")
+
+
+class TestRequestKey:
+    def test_stable_and_config_sensitive(self):
+        a = FleetClient.request_key("com", {"max_instructions": 1000})
+        b = FleetClient.request_key("com", {"max_instructions": 1000})
+        c = FleetClient.request_key("com", {"max_instructions": 2000})
+        d = FleetClient.request_key("go", {"max_instructions": 1000})
+        assert a == b
+        assert len({a, c, d}) == 3
+
+    def test_none_config_equals_empty(self):
+        assert FleetClient.request_key("com", None) == \
+            FleetClient.request_key("com", {})
+
+
+# ----------------------------------------------------------------------
+# FleetClient routing against scripted workers.
+# ----------------------------------------------------------------------
+
+class _ScriptedClient:
+    """Stands in for ServiceClient: behaviour scripted per port."""
+
+    script: dict = {}       #: port -> callable(workload, config)
+    calls: list = []        #: ports in request order
+
+    def __init__(self, host, port, **kwargs):
+        self.port = port
+
+    def analyze(self, workload, config=None):
+        _ScriptedClient.calls.append(self.port)
+        return _ScriptedClient.script[self.port](workload, config)
+
+
+@pytest.fixture()
+def scripted(monkeypatch):
+    _ScriptedClient.script = {}
+    _ScriptedClient.calls = []
+    monkeypatch.setattr(fleet_mod, "ServiceClient", _ScriptedClient)
+    return _ScriptedClient
+
+
+def make_fleet(n=2):
+    """A supervisor stand-in: real handles + ring, no processes."""
+    workers = {
+        worker_id: WorkerHandle(worker_id=worker_id, host="127.0.0.1",
+                                port=9000 + worker_id,
+                                breaker=CircuitBreaker(), state="up")
+        for worker_id in range(n)
+    }
+    return types.SimpleNamespace(workers=workers,
+                                 ring=HashRing(sorted(workers)))
+
+
+def _ok(workload, config):
+    return {"workload": workload, "status": "computed",
+            "result": {"name": workload}}
+
+
+class TestFleetClientRouting:
+    def test_routes_to_the_ring_owner(self, scripted):
+        fleet = make_fleet(3)
+        for handle in fleet.workers.values():
+            scripted.script[handle.port] = _ok
+        client = FleetClient(fleet, deadline=5.0)
+        payload = client.analyze("com", {"max_instructions": 1000})
+        assert payload["status"] == "computed"
+        key = FleetClient.request_key("com",
+                                      {"max_instructions": 1000})
+        owner = fleet.ring.owner(key)
+        assert scripted.calls == [fleet.workers[owner].port]
+
+    def test_failover_to_the_next_ring_position(self, scripted):
+        fleet = make_fleet(2)
+        key = FleetClient.request_key("com", None)
+        owner, sibling = fleet.ring.preference_order(key)
+
+        def down(workload, config):
+            raise ServiceUnavailable("connection refused")
+
+        scripted.script[fleet.workers[owner].port] = down
+        scripted.script[fleet.workers[sibling].port] = _ok
+        client = FleetClient(fleet, deadline=5.0)
+        payload = client.analyze("com")
+        assert payload["result"]["name"] == "com"
+        assert scripted.calls == [fleet.workers[owner].port,
+                                  fleet.workers[sibling].port]
+
+    def test_retry_after_benches_the_shedding_worker(self, scripted):
+        fleet = make_fleet(2)
+        key = FleetClient.request_key("com", None)
+        owner, sibling = fleet.ring.preference_order(key)
+
+        def shedding(workload, config):
+            raise ServiceUnavailable("HTTP 429", last_status=429,
+                                     retry_after=30.0)
+
+        scripted.script[fleet.workers[owner].port] = shedding
+        scripted.script[fleet.workers[sibling].port] = _ok
+        client = FleetClient(fleet, deadline=5.0)
+        client.analyze("com")
+        # The hint survived failover: the owner is benched...
+        assert fleet.workers[owner].not_before > 0
+        # ...so the next identical request skips it entirely.
+        scripted.calls.clear()
+        client.analyze("com")
+        assert scripted.calls == [fleet.workers[sibling].port]
+
+    def test_open_breaker_takes_a_worker_out_of_rotation(self, scripted):
+        fleet = make_fleet(2)
+        key = FleetClient.request_key("com", None)
+        owner, sibling = fleet.ring.preference_order(key)
+        for __ in range(3):
+            fleet.workers[owner].breaker.record_failure()
+        assert fleet.workers[owner].breaker.state == BREAKER_OPEN
+        for handle in fleet.workers.values():
+            scripted.script[handle.port] = _ok
+        client = FleetClient(fleet, deadline=5.0)
+        client.analyze("com")
+        assert scripted.calls == [fleet.workers[sibling].port]
+
+    def test_request_failed_does_not_fail_over(self, scripted):
+        # A 4xx means the request is wrong; no sibling will answer
+        # differently, so it propagates after one attempt.
+        fleet = make_fleet(2)
+
+        def bad_request(workload, config):
+            raise RequestFailed(400, {"error": "unknown workload"})
+
+        for handle in fleet.workers.values():
+            scripted.script[handle.port] = bad_request
+        client = FleetClient(fleet, deadline=5.0)
+        with pytest.raises(RequestFailed):
+            client.analyze("nope")
+        assert len(scripted.calls) == 1
+        # The worker answered: its breaker saw a success, not a fault.
+        for handle in fleet.workers.values():
+            assert handle.breaker.state == BREAKER_CLOSED
+
+    def test_deadline_exhaustion_carries_the_last_hint(self, scripted):
+        fleet = make_fleet(2)
+
+        def shedding(workload, config):
+            raise ServiceUnavailable("HTTP 429", last_status=429,
+                                     retry_after=2.5)
+
+        for handle in fleet.workers.values():
+            scripted.script[handle.port] = shedding
+        client = FleetClient(fleet, deadline=0.3)
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.analyze("com")
+        assert "deadline" in str(excinfo.value)
+        assert excinfo.value.retry_after == 2.5
