@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast bench bench-smoke kernel-parity shard-parity \
-        service-smoke campaign-smoke fleet-smoke clean-cache
+        service-smoke qos-smoke campaign-smoke fleet-smoke clean-cache
 
 ## Tier-1 verification: the full test suite.
 test:
@@ -46,6 +46,18 @@ shard-parity:
 ## fails on any 5xx, a zero coalesce rate, warm p50 < 5x cold, or
 ## an unclean drain.
 service-smoke:
+	$(PYTHON) benchmarks/bench_service.py --smoke
+
+## Multi-tenant QoS smoke: the deterministic fairness/quota/
+## attribution suites, then the bench soak's qos phase — an abusive
+## tenant at >=5x quota must not degrade compliant p99 by more than
+## 25%, shed zero compliant requests, or change any result byte vs
+## the serial reference; attribution must cover >=90% of wall time.
+## Artifacts: BENCH_service.json (qos section) and
+## reports/qos_attribution.json (see docs/qos.md).
+qos-smoke:
+	$(PYTHON) -m pytest -x -q tests/service/test_qos.py \
+		tests/service/test_qos_broker.py
 	$(PYTHON) benchmarks/bench_service.py --smoke
 
 ## Campaign smoke: the 2x2 generated-workload campaign end-to-end,

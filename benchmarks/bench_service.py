@@ -14,6 +14,14 @@ built for.  Three phases:
 * **warm sweep** — every catalogue job once more, all answered from
   the memo/store without touching the pool.
 
+A fourth phase (:func:`measure_qos`) soaks the multi-tenant QoS layer
+(docs/qos.md): two compliant tenants stream zipf load while an
+abusive third hammers cold jobs at well over 5x its quota, against a
+no-abuse baseline of the same compliant load.  The ``qos`` section of
+the report records per-tenant p50/p99 under both runs, the shed
+split, and the isolation delta; the per-tenant bottleneck-attribution
+report is written to ``reports/qos_attribution.json``.
+
 The report (``BENCH_service.json``) records throughput, p50/p99
 latency split by how the request was served, the coalesce and shed
 rates, and the server-side counter reconciliation proving warm and
@@ -240,6 +248,239 @@ def measure_availability(budget: int, requests_each: int = 12) -> dict:
     }
 
 
+#: The soak's cast: two compliant tenants and one abusive one.  The
+#: abusive tenant is rate-limited by the policy; the compliant pair
+#: has no quota at all, so any shed they see is a QoS bug.
+QOS_ABUSIVE_RATE = 2.0      # mallory's tokens/second
+QOS_PACING = 0.02           # compliant inter-request think time (s)
+QOS_GRACE = 0.05            # absolute p99 noise allowance (s)
+
+
+def _qos_policy():
+    from repro.service.qos import qos_policy_from_dict
+
+    return qos_policy_from_dict({
+        "default_class": "batch",
+        "batch_max": 4,
+        "tenants": {
+            "alice": {"class": "interactive"},
+            "bob": {"class": "batch"},
+            "mallory": {"class": "background",
+                        "rate": QOS_ABUSIVE_RATE,
+                        "max_inflight": 1},
+        },
+    })
+
+
+def _qos_phase(policy, catalog, abuse_catalog, requests_each: int,
+               abuse: bool) -> dict:
+    """One fresh server under ``policy``; compliant zipf streams from
+    alice (interactive) and bob (batch), optionally with mallory
+    hammering cold jobs flat-out.  Returns per-tenant latencies, the
+    captured result bytes (for the byte-identity check), mallory's
+    issued/admitted/shed split, and the attribution report read back
+    from ``/metrics``."""
+    from repro.service.qos import attribution_from_prometheus
+
+    weights = zipf_weights(len(catalog))
+    scratch = tempfile.TemporaryDirectory(prefix="repro-bench-qos-")
+    server = BackgroundServer(
+        store=ResultStore(scratch.name),
+        trace_store=TraceStore(scratch.name),
+        broker_config=BrokerConfig(workers=2, batch_window=0.02,
+                                   qos=policy),
+    ).start()
+    latencies: dict[str, list[float]] = {"alice": [], "bob": []}
+    errors: dict[str, int] = {"alice": 0, "bob": 0}
+    results: dict[str, str] = {}
+    serial_results: dict[str, str] = {}
+    results_lock = threading.Lock()
+    issued = admitted = shed = 0
+    try:
+        # Serial reference pass: every catalog job once, one at a
+        # time, before any concurrency.  These bytes are the ground
+        # truth the concurrent streams must reproduce.
+        reference = ServiceClient(port=server.port, retries=2,
+                                  timeout=300.0, tenant="alice")
+        for name, config in catalog:
+            response = reference.analyze(name, config)
+            key = json.dumps([name, config], sort_keys=True)
+            serial_results[key] = json.dumps(response["result"],
+                                             sort_keys=True)
+
+        stop = threading.Event()
+
+        def compliant(tenant: str, seed: int) -> None:
+            rng = random.Random(seed)
+            client = ServiceClient(port=server.port, retries=2,
+                                   timeout=300.0, tenant=tenant)
+            for __ in range(requests_each):
+                name, config = rng.choices(catalog, weights=weights)[0]
+                start = time.perf_counter()
+                try:
+                    response = client.analyze(name, config)
+                except ServiceError:
+                    errors[tenant] += 1
+                else:
+                    latencies[tenant].append(time.perf_counter() - start)
+                    key = json.dumps([name, config], sort_keys=True)
+                    with results_lock:
+                        results[key] = json.dumps(response["result"],
+                                                  sort_keys=True)
+                time.sleep(QOS_PACING)
+
+        abuse_lock = threading.Lock()
+
+        def abuser(seed: int) -> None:
+            # Several threads so one admitted (slow, cold) job never
+            # throttles the offered load: the others keep hammering
+            # and getting shed, which is the point of the abuse.
+            nonlocal issued, admitted, shed
+            rng = random.Random(seed)
+            client = ServiceClient(port=server.port, retries=0,
+                                   timeout=300.0, tenant="mallory")
+            while not stop.is_set():
+                name, config = rng.choice(abuse_catalog)
+                with abuse_lock:
+                    issued += 1
+                try:
+                    client.analyze(name, config)
+                except ServiceError as error:
+                    if getattr(error, "last_status", None) == 429:
+                        with abuse_lock:
+                            shed += 1
+                    # Brief pause so the shed loop is merely abusive
+                    # (hundreds of requests/second), not a connection
+                    # flood that measures the TCP stack instead.
+                    time.sleep(0.005)
+                else:
+                    with abuse_lock:
+                        admitted += 1
+
+        threads = [
+            threading.Thread(target=compliant, args=("alice", 31)),
+            threading.Thread(target=compliant, args=("bob", 32)),
+        ]
+        if abuse:
+            threads.extend(threading.Thread(target=abuser, args=(70 + i,))
+                           for i in range(4))
+        load_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads[:2]:
+            thread.join()
+        stop.set()
+        for thread in threads[2:]:
+            thread.join()
+        load_wall = time.perf_counter() - load_start
+        attribution = attribution_from_prometheus(
+            ServiceClient(port=server.port, retries=2).metrics()
+        )
+    finally:
+        server.stop()
+        scratch.cleanup()
+    return {
+        "latencies": latencies,
+        "errors": errors,
+        "results": results,
+        "serial_results": serial_results,
+        "abuser": {"issued": issued, "admitted": admitted, "shed": shed},
+        "load_wall": load_wall,
+        "attribution": attribution,
+    }
+
+
+def measure_qos(budget: int, requests_each: int) -> tuple[dict, dict]:
+    """The multi-tenant isolation soak: a no-abuse baseline run, then
+    the same compliant load with mallory hammering cold jobs at well
+    over its quota.  Returns the ``qos`` report section and the
+    abuse run's attribution report (the CI artifact)."""
+    policy = _qos_policy()
+    catalog = build_catalog(budget, 4)
+    # Mallory's own cold jobs: distinct configs so its admitted
+    # requests cost real pool time instead of hitting the warm tier.
+    abuse_catalog = [
+        (CATALOG_WORKLOADS[rank % len(CATALOG_WORKLOADS)],
+         {"max_instructions": budget, "gen_cap": 8 + rank})
+        for rank in range(4)
+    ]
+
+    baseline = _qos_phase(policy, catalog, abuse_catalog,
+                          requests_each, abuse=False)
+    abuse = _qos_phase(policy, catalog, abuse_catalog,
+                       requests_each, abuse=True)
+
+    # Byte-identity: concurrent answers match the serial reference
+    # pass of their own run, and the two runs match each other.
+    identical = all(
+        run["results"][key] == run["serial_results"].get(key)
+        for run in (baseline, abuse) for key in run["results"]
+    ) and all(
+        abuse["serial_results"][key] == baseline["serial_results"][key]
+        for key in abuse["serial_results"]
+    )
+
+    tenants = {}
+    isolation = {}
+    for tenant in ("alice", "bob"):
+        base_values = baseline["latencies"][tenant]
+        abuse_values = abuse["latencies"][tenant]
+        base_p99 = percentile(base_values, 0.99)
+        abuse_p99 = percentile(abuse_values, 0.99)
+        tenants[tenant] = {
+            "requests": len(abuse_values),
+            "errors": abuse["errors"][tenant],
+            "p50": round(percentile(abuse_values, 0.50), 4),
+            "p99": round(abuse_p99, 4),
+            "baseline_p50": round(percentile(base_values, 0.50), 4),
+            "baseline_p99": round(base_p99, 4),
+        }
+        isolation[tenant] = {
+            "p99_delta_pct": round(
+                100.0 * (abuse_p99 - base_p99) / base_p99, 1
+            ) if base_p99 > 0 else 0.0,
+            "within_bound": abuse_p99 <= base_p99 * 1.25 + QOS_GRACE,
+        }
+    abuser = abuse["abuser"]
+    quota_budget = QOS_ABUSIVE_RATE * abuse["load_wall"] + QOS_ABUSIVE_RATE
+    abuse_factor = (abuser["issued"] / quota_budget
+                    if quota_budget > 0 else 0.0)
+    report_tenants = abuse["attribution"]["tenants"]
+    compliant_sheds = sum(
+        sum(report_tenants.get(name, {}).get("shed", {}).values())
+        for name in ("alice", "bob")
+    )
+    total_wall = sum(entry["wall_seconds"]
+                     for entry in report_tenants.values())
+    total_attributed = sum(entry["attributed_seconds"]
+                           for entry in report_tenants.values())
+    coverage = {
+        # The gated number: across all tenants, how much wall time the
+        # named phases explain.  Per-tenant values ride along for the
+        # report (an abusive tenant's own 429 flood adds event-loop
+        # latency to its wall that no batch span can account for).
+        "aggregate": round(total_attributed / total_wall, 4)
+        if total_wall > 0 else 1.0,
+        "tenants": {
+            name: round(entry["coverage"], 4)
+            for name, entry in report_tenants.items()
+            if entry["wall_seconds"] > 0
+        },
+    }
+    section = {
+        "policy": policy.describe(),
+        "requests_per_tenant": requests_each,
+        "tenants": tenants,
+        "abuser": dict(abuser, abuse_factor=round(abuse_factor, 1)),
+        "isolation": dict(isolation, bound_pct=25.0,
+                          grace_seconds=QOS_GRACE),
+        "compliant_sheds": int(compliant_sheds),
+        "results_identical": identical,
+        "attribution_coverage": coverage,
+    }
+    return section, abuse["attribution"]
+
+
 def smoke(clients: int = CLIENTS,
           requests_each: int = REQUESTS_PER_CLIENT,
           budget: int = BUDGET, catalog_size: int = 12,
@@ -265,6 +506,9 @@ def smoke(clients: int = CLIENTS,
         scratch.cleanup()
 
     availability = measure_availability(budget)
+    qos_section, qos_attribution = measure_qos(
+        budget, requests_each=max(4 * requests_each, 40)
+    )
 
     total = len(stats.all_latencies()) + len(stats.errors)
     cold = stats.latencies.get("computed", [])
@@ -314,6 +558,7 @@ def smoke(clients: int = CLIENTS,
         "computed": int(counters.get("repro_service_computed_total", 0)),
         "warm_hits": int(counters.get("repro_service_warm_total", 0)),
         "availability": availability,
+        "qos": qos_section,
         "drain_exit_code": exit_code,
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -322,6 +567,12 @@ def smoke(clients: int = CLIENTS,
         output_path = (Path(__file__).resolve().parent.parent
                        / "BENCH_service.json")
     Path(output_path).write_text(json.dumps(report, indent=2) + "\n")
+    attribution_path = Path(output_path).parent / "reports"
+    attribution_path.mkdir(exist_ok=True)
+    attribution_path = attribution_path / "qos_attribution.json"
+    attribution_path.write_text(
+        json.dumps(qos_attribution, indent=2, sort_keys=True) + "\n"
+    )
 
     print(f"{total} requests from {clients} client(s) over "
           f"{len(catalog)} jobs @ {budget} instructions:")
@@ -342,6 +593,16 @@ def smoke(clients: int = CLIENTS,
           f"{availability['failover_p99']:.4f}s "
           f"(restart {availability['restart_seconds']:.2f}s, "
           f"{availability['failed_requests']} failed)")
+    for tenant, entry in qos_section["tenants"].items():
+        delta = qos_section["isolation"][tenant]["p99_delta_pct"]
+        print(f"  qos {tenant:<9} p99 {entry['baseline_p99']:.4f}s -> "
+              f"{entry['p99']:.4f}s under abuse ({delta:+.1f}%)")
+    abuser = qos_section["abuser"]
+    print(f"  qos abuser     {abuser['issued']} issued @ "
+          f"{abuser['abuse_factor']}x quota, {abuser['shed']} shed, "
+          f"{abuser['admitted']} admitted; compliant sheds "
+          f"{qos_section['compliant_sheds']}")
+    print(f"[attribution report in {attribution_path}]", file=sys.stderr)
     if stats.errors:
         print(f"  errors: {stats.errors[:5]}", file=sys.stderr)
     print(f"[written to {output_path}]", file=sys.stderr)
@@ -385,6 +646,50 @@ def check(report: dict) -> list[str]:
     if not availability.get("recovered", True):
         problems.append("fleet did not return to healthy after the "
                         "kill")
+    qos = report.get("qos", {})
+    if qos:
+        for tenant, entry in qos["isolation"].items():
+            if not isinstance(entry, dict) or "within_bound" not in entry:
+                continue
+            if not entry["within_bound"]:
+                problems.append(
+                    f"compliant tenant {tenant!r} p99 degraded "
+                    f"{entry['p99_delta_pct']}% under abuse — over the "
+                    f"25% isolation bound"
+                )
+        if qos["compliant_sheds"]:
+            problems.append(
+                f"{qos['compliant_sheds']} compliant request(s) were "
+                f"shed — quotas must only bite the abusive tenant"
+            )
+        for tenant in ("alice", "bob"):
+            if qos["tenants"][tenant]["errors"]:
+                problems.append(
+                    f"compliant tenant {tenant!r} saw "
+                    f"{qos['tenants'][tenant]['errors']} error(s)"
+                )
+        if not qos["results_identical"]:
+            problems.append(
+                "results under multi-tenant load differ from the "
+                "serial reference — QoS must never change answers"
+            )
+        if qos["abuser"]["abuse_factor"] < 5.0:
+            problems.append(
+                f"abusive tenant only reached "
+                f"{qos['abuser']['abuse_factor']}x its quota — the "
+                f"soak did not actually abuse"
+            )
+        if qos["abuser"]["shed"] == 0:
+            problems.append(
+                "the abusive tenant was never shed — quotas are not "
+                "biting"
+            )
+        coverage = qos["attribution_coverage"]["aggregate"]
+        if coverage < 0.90:
+            problems.append(
+                f"attribution coverage {coverage:.1%} below 90% — "
+                f"wall time is leaking out of the named phases"
+            )
     return problems
 
 

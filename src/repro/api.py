@@ -65,6 +65,12 @@ from repro.runner import (
     set_default_runner,
     swap_default_runner,
 )
+from repro.service.qos import (
+    QosError,
+    QosPolicy,
+    Tenant,
+    load_qos_policy,
+)
 from repro.workloads import SUITE, Workload, get_workload
 
 __all__ = [
@@ -79,11 +85,14 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "ObsConfig",
+    "QosError",
+    "QosPolicy",
     "Recorder",
     "ResultStore",
     "SUITE",
     "SuiteResult",
     "SweepResult",
+    "Tenant",
     "TraceStore",
     "Workload",
     "analyze",
@@ -97,6 +106,7 @@ __all__ = [
     "get_default_engine",
     "get_recorder",
     "get_workload",
+    "load_qos_policy",
     "set_default_engine",
     "recording",
     "run_campaign",

@@ -1,6 +1,6 @@
 """The unified command line: ``python -m repro <command>``.
 
-Ten subcommands over one shared flag vocabulary
+Eleven subcommands over one shared flag vocabulary
 (``--jobs/--scale/--cache-dir/--no-cache``):
 
 * ``report`` — regenerate the paper's tables and figures;
@@ -22,7 +22,9 @@ Ten subcommands over one shared flag vocabulary
   the robustness invariants (see docs/robustness.md);
 * ``serve`` — host the analysis service (request coalescing, batching,
   backpressure, graceful SIGTERM drain — see docs/service.md);
-* ``query`` — ask a running service for one workload's analysis.
+* ``query`` — ask a running service for one workload's analysis;
+* ``qos`` — render the per-tenant bottleneck-attribution report from
+  ``qos.*`` counters (see docs/qos.md).
 
 Exit codes: :data:`EXIT_OK` (0) on success, :data:`EXIT_JOB_FAILURE`
 (1) when jobs failed, :data:`EXIT_INTERRUPTED` (3) when a run was
@@ -1105,12 +1107,20 @@ def cmd_chaos(parser, args) -> int:
 
 def cmd_serve(parser, args) -> int:
     """Host the analysis service until SIGTERM/SIGINT, then drain."""
-    from repro.service import BrokerConfig, run_server
+    from repro.service import BrokerConfig, QosError, load_qos_policy, run_server
 
     store, trace_store = _make_stores(args)
     policy = _policy_from_args(
         parser, args, jobs=args.jobs if args.jobs is not None else 1,
     )
+    qos = None
+    if args.qos is not None:
+        try:
+            qos = load_qos_policy(args.qos)
+        except OSError as error:
+            parser.error(f"cannot read QoS policy {args.qos}: {error}")
+        except QosError as error:
+            parser.error(f"invalid QoS policy {args.qos}: {error}")
     broker_config = BrokerConfig(
         workers=args.workers,
         jobs=policy.jobs,
@@ -1120,12 +1130,19 @@ def cmd_serve(parser, args) -> int:
         timeout=policy.timeout,
         retries=policy.retries,
         policy=policy,
+        qos=qos,
     )
     if args.fleet:
         return _serve_fleet(args, broker_config, store)
+    qos_note = ""
+    if qos is not None:
+        weights = ", ".join(f"{name}={weight}" for name, weight
+                            in qos.class_weights().items())
+        qos_note = f"; qos classes {weights}"
     print(f"serving on http://{args.host}:{args.port} "
           f"({args.workers} batch worker(s); "
-          f"policy {_policy_line(policy.describe())}; SIGTERM drains)",
+          f"policy {_policy_line(policy.describe())}{qos_note}; "
+          f"SIGTERM drains)",
           file=sys.stderr)
     return run_server(host=args.host, port=args.port,
                       broker_config=broker_config,
@@ -1174,7 +1191,8 @@ def cmd_query(parser, args) -> int:
     )
 
     client = ServiceClient(host=args.host, port=args.port,
-                           timeout=args.timeout, retries=args.retries)
+                           timeout=args.timeout, retries=args.retries,
+                           tenant=args.tenant)
     config = {"scale": args.scale,
               "max_instructions": args.max_instructions}
     try:
@@ -1193,6 +1211,67 @@ def cmd_query(parser, args) -> int:
           f"{result['nodes']:,} node(s), {result['arcs']:,} arc(s)")
     for kind in sorted(result.get("predictors", {})):
         print(f"  predictor: {kind}")
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# repro qos
+# ----------------------------------------------------------------------
+
+def cmd_qos(parser, args) -> int:
+    """``repro qos report``: per-tenant bottleneck attribution.
+
+    Reads ``qos.*`` counters either from a metrics JSON dump (a
+    profiled run or a saved broker snapshot) or live from a running
+    service's ``/metrics`` exposition, and renders where each
+    tenant's wall time went (queue / pool / simulate / analyze /
+    store) plus the dominant phase — the bottleneck.
+    """
+    from repro.service.qos import (
+        attribution_from_counters,
+        attribution_from_prometheus,
+        render_attribution,
+    )
+
+    if args.metrics is not None:
+        try:
+            payload = json.loads(Path(args.metrics).read_text())
+        except OSError as error:
+            print(f"cannot read {args.metrics}: {error}", file=sys.stderr)
+            return EXIT_JOB_FAILURE
+        except ValueError as error:
+            print(f"{args.metrics} is not valid JSON: {error}",
+                  file=sys.stderr)
+            return EXIT_JOB_FAILURE
+        counters = {}
+        if isinstance(payload, dict):
+            profile = payload.get("profile")
+            if isinstance(profile, dict):
+                counters = profile.get("counters", {})
+            elif isinstance(payload.get("counters"), dict):
+                counters = payload["counters"]
+        report = attribution_from_counters(counters)
+    else:
+        from repro.service import ServiceClient, ServiceError
+
+        client = ServiceClient(host=args.host, port=args.port,
+                               timeout=args.timeout, retries=args.retries)
+        try:
+            text = client.metrics()
+        except ServiceError as error:
+            print(f"cannot fetch /metrics from "
+                  f"{args.host}:{args.port}: {error}", file=sys.stderr)
+            return EXIT_JOB_FAILURE
+        report = attribution_from_prometheus(text)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return EXIT_OK
+    if not report.get("tenants"):
+        print("no qos.* counters found (serve with --qos and send "
+              "some requests, or pass --metrics from a profiled run)",
+              file=sys.stderr)
+        return EXIT_JOB_FAILURE
+    print(render_attribution(report))
     return EXIT_OK
 
 
@@ -1423,6 +1502,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "docs/service.md)")
     serve.add_argument("--fleet-log", default=None, metavar="PATH",
                        help="fleet supervisor event-log path")
+    serve.add_argument("--qos", default=None, metavar="PATH",
+                       help="QoS policy file (TOML or JSON): per-tenant "
+                            "quotas, priority classes, weighted-fair "
+                            "scheduling (docs/qos.md)")
     _add_policy_flag(serve)
     _add_cache_flags(serve)
     serve.set_defaults(func=cmd_serve)
@@ -1445,9 +1528,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-attempt socket timeout (default: 120)")
     query.add_argument("--retries", type=int, default=3,
                        help="client retry attempts (default: 3)")
+    query.add_argument("--tenant", default=None, metavar="NAME",
+                       help="tenant name sent on the X-Repro-Tenant "
+                            "header (default: the server's default "
+                            "tenant)")
     query.add_argument("--json", action="store_true",
                        help="print the full JSON response body")
     query.set_defaults(func=cmd_query)
+
+    qos = sub.add_parser(
+        "qos", help="per-tenant QoS attribution report",
+        description="Render the per-tenant bottleneck-attribution "
+                    "report from qos.* counters (docs/qos.md).",
+    )
+    qos_sub = qos.add_subparsers(dest="action", required=True)
+    qos_report = qos_sub.add_parser(
+        "report", help="render the per-tenant attribution report",
+        description="Read qos.* counters from a metrics JSON dump "
+                    "(--metrics) or a live service's /metrics "
+                    "(--host/--port) and show where each tenant's "
+                    "wall time went.",
+    )
+    qos_report.add_argument("--metrics", default=None, metavar="PATH",
+                            help="metrics JSON dump to read instead of "
+                                 "querying a live service")
+    qos_report.add_argument("--host", default="127.0.0.1",
+                            help="service address (default: 127.0.0.1)")
+    qos_report.add_argument("--port", type=int, default=8642,
+                            help="service port (default: 8642)")
+    qos_report.add_argument("--timeout", type=float, default=30.0,
+                            help="socket timeout (default: 30)")
+    qos_report.add_argument("--retries", type=int, default=1,
+                            help="client retry attempts (default: 1)")
+    qos_report.add_argument("--json", action="store_true",
+                            help="print the report as JSON")
+    qos_report.set_defaults(func=cmd_qos)
 
     return parser
 

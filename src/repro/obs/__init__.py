@@ -33,8 +33,11 @@ or scoped, library-style::
 
 from repro.obs.export import (
     aggregate_spans,
+    decode_labels,
+    encode_labels,
     from_jsonl,
     iter_events,
+    parse_prometheus,
     render_profile,
     to_jsonl,
     to_prometheus,
@@ -59,9 +62,12 @@ __all__ = [
     "Recorder",
     "Span",
     "aggregate_spans",
+    "decode_labels",
+    "encode_labels",
     "from_jsonl",
     "get_recorder",
     "iter_events",
+    "parse_prometheus",
     "recording",
     "render_profile",
     "set_recorder",

@@ -36,6 +36,63 @@ EVENTS_VERSION = 1
 
 _PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
 
+#: A counter/gauge name carrying encoded labels: ``base{k="v",...}``.
+_LABELED_NAME = re.compile(r"^(?P<base>[^{]+)\{(?P<labels>.*)\}$")
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_.]*)="((?:[^"\\]|\\.)*)"')
+
+
+# ----------------------------------------------------------------------
+# Labelled metric names.
+# ----------------------------------------------------------------------
+
+def encode_labels(name: str, labels: dict | None = None) -> str:
+    """Fold ``labels`` into a canonical metric name.
+
+    ``encode_labels("qos.requests", {"tenant": "alice"})`` →
+    ``'qos.requests{tenant="alice"}'``.  Keys are sorted and values
+    escaped, so equal label sets always produce the same string — the
+    recorder stores labelled counters under these names directly,
+    which keeps the JSONL round trip free (labelled names are opaque
+    there) while :func:`to_prometheus` splits them back into
+    per-family samples.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{_prom_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
+def decode_labels(name: str) -> tuple[str, dict]:
+    """Inverse of :func:`encode_labels`: ``(base name, labels)``.
+
+    Unlabelled names come back untouched with an empty dict.
+    """
+    match = _LABELED_NAME.match(name)
+    if match is None:
+        return name, {}
+    labels = {
+        key: _prom_unescape(value)
+        for key, value in _LABEL_PAIR.findall(match["labels"])
+    }
+    return match["base"], labels
+
+
+def _prom_unescape(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
 
 # ----------------------------------------------------------------------
 # JSON-lines events.
@@ -188,15 +245,30 @@ def to_prometheus(profile: dict, legacy: bool = False) -> str:
         lines.append(f"# HELP {metric} {help_text}")
         lines.append(f"# TYPE {metric} {kind}")
 
-    for name, value in sorted(profile.get("counters", {}).items()):
-        metric = _prom_name(name) + "_total"
-        family(metric, "counter",
-               f"repro.obs counter {_prom_label(name)}.")
-        lines.append(f"{metric} {_prom_value(value)}")
-    for name, value in sorted(profile.get("gauges", {}).items()):
-        metric = _prom_name(name)
-        family(metric, "gauge", f"repro.obs gauge {_prom_label(name)}.")
-        lines.append(f"{metric} {_prom_value(value)}")
+    def emit_registry(registry: dict, kind: str, suffix: str) -> None:
+        # Group labelled names (``base{k="v"}``) into one family each:
+        # HELP/TYPE once, then every label set as its own sample.
+        families: dict[str, list[tuple[str, object]]] = {}
+        bases: dict[str, str] = {}
+        for name, value in registry.items():
+            base, labels = decode_labels(name)
+            metric = _prom_name(base) + suffix
+            labelled = ""
+            if labels:
+                labelled = "{" + ",".join(
+                    f'{_PROM_BAD.sub("_", key)}="{_prom_label(str(val))}"'
+                    for key, val in sorted(labels.items())
+                ) + "}"
+            families.setdefault(metric, []).append((labelled, value))
+            bases.setdefault(metric, base)
+        for metric in sorted(families):
+            family(metric, kind,
+                   f"repro.obs {kind} {_prom_label(bases[metric])}.")
+            for labelled, value in sorted(families[metric]):
+                lines.append(f"{metric}{labelled} {_prom_value(value)}")
+
+    emit_registry(profile.get("counters", {}), "counter", "_total")
+    emit_registry(profile.get("gauges", {}), "gauge", "")
     totals = aggregate_spans(profile.get("spans", ()))
     if totals:
         span_families = (
@@ -215,6 +287,32 @@ def to_prometheus(profile: dict, legacy: bool = False) -> str:
                     f"{render(bucket)}"
                 )
     return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str):
+    """Parse exposition text into ``(family, labels, value)`` samples.
+
+    The inverse, at the sample level, of :func:`to_prometheus` — what
+    ``repro qos report`` uses to read a live server's ``/metrics``
+    back.  Comment/HELP/TYPE lines and malformed samples are skipped;
+    family names stay in their sanitised wire form (reconstructing
+    dotted names from underscores would be ambiguous).
+    """
+    samples = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, __, tail = line.rpartition(" ")
+        if not head:
+            continue
+        try:
+            value = float(tail)
+        except ValueError:
+            continue
+        base, labels = decode_labels(head)
+        samples.append((base, labels, value))
+    return samples
 
 
 def _to_prometheus_legacy(profile: dict) -> str:

@@ -45,6 +45,8 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.obs.export import encode_labels
+
 
 @dataclass(frozen=True)
 class ObsConfig:
@@ -165,10 +167,11 @@ class NullRecorder:
     def span(self, name: str):
         return _NULL_SPAN
 
-    def count(self, name: str, n: int = 1) -> None:
+    def count(self, name: str, n: int | float = 1,
+              labels: dict | None = None) -> None:
         pass
 
-    def gauge(self, name: str, value) -> None:
+    def gauge(self, name: str, value, labels: dict | None = None) -> None:
         pass
 
     def snapshot(self) -> dict:
@@ -219,16 +222,26 @@ class Recorder:
         self.calls += 1
         return _SpanHandle(self, name)
 
-    def count(self, name: str, n: int = 1) -> None:
-        """Add ``n`` to counter ``name`` (created at 0)."""
+    def count(self, name: str, n: int | float = 1,
+              labels: dict | None = None) -> None:
+        """Add ``n`` to counter ``name`` (created at 0).
+
+        ``labels`` folds into the stored name in the canonical
+        ``name{key="value",...}`` form (sorted keys, escaped values —
+        :func:`repro.obs.export.encode_labels`), giving the counter a
+        per-label-set dimension in every exporter."""
         self.calls += 1
+        if labels:
+            name = encode_labels(name, labels)
         with self._lock:
             counters = self.counters
             counters[name] = counters.get(name, 0) + n
 
-    def gauge(self, name: str, value) -> None:
+    def gauge(self, name: str, value, labels: dict | None = None) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
         self.calls += 1
+        if labels:
+            name = encode_labels(name, labels)
         with self._lock:
             self.gauges[name] = value
 

@@ -42,6 +42,16 @@ from repro.service.protocol import (
     config_to_dict,
     parse_analyze_request,
     parse_sweep_request,
+    parse_tenant_header,
+)
+from repro.service.qos import (
+    DEFAULT_TENANT,
+    QosError,
+    QosPolicy,
+    QuotaExceeded,
+    Tenant,
+    TenantError,
+    load_qos_policy,
 )
 from repro.service.server import (
     BackgroundServer,
@@ -56,6 +66,7 @@ __all__ = [
     "BrokerClosed",
     "BrokerConfig",
     "CircuitBreaker",
+    "DEFAULT_TENANT",
     "FleetClient",
     "FleetConfig",
     "FleetSupervisor",
@@ -64,16 +75,23 @@ __all__ = [
     "MAX_BODY",
     "Overloaded",
     "ProtocolError",
+    "QosError",
+    "QosPolicy",
+    "QuotaExceeded",
     "RequestFailed",
     "ServiceClient",
     "ServiceError",
     "ServiceResponse",
     "ServiceServer",
     "ServiceUnavailable",
+    "Tenant",
+    "TenantError",
     "config_from_dict",
     "config_to_dict",
+    "load_qos_policy",
     "parse_analyze_request",
     "parse_sweep_request",
+    "parse_tenant_header",
     "run_fleet_chaos",
     "run_server",
 ]

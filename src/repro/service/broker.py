@@ -36,9 +36,10 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import logging
-from collections import OrderedDict, deque
+import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.export import result_to_dict
 from repro.obs import get_recorder
@@ -51,6 +52,12 @@ from repro.runner import (
     TraceStore,
     job_key,
 )
+from repro.service.errors import BrokerClosed, JobError, Overloaded
+from repro.service.qos.attribution import TenantAccounting, phases_from_span
+from repro.service.qos.policy import QosPolicy
+from repro.service.qos.quota import QuotaExceeded, TenantQuotas
+from repro.service.qos.scheduler import DeficitScheduler
+from repro.service.qos.tenant import DEFAULT_TENANT, Tenant
 
 __all__ = [
     "AnalysisBroker",
@@ -70,34 +77,6 @@ _log = logging.getLogger(__name__)
 STATUS_WARM = "warm"            #: memo/store hit, no pool involved
 STATUS_COALESCED = "coalesced"  #: joined an identical in-flight job
 STATUS_COMPUTED = "computed"    #: queued, batched and executed
-
-
-class Overloaded(Exception):
-    """Admission refused: the queue is full or the wait too long.
-
-    ``retry_after`` is the server's backoff hint in seconds (the
-    ``Retry-After`` header of the resulting HTTP 429).
-    """
-
-    def __init__(self, retry_after: float, reason: str):
-        super().__init__(reason)
-        self.retry_after = max(1, round(retry_after))
-
-
-class BrokerClosed(RuntimeError):
-    """Submission after drain began (HTTP 503 at the server)."""
-
-
-class JobError(RuntimeError):
-    """An admitted job ran and failed; carries the runner's failure.
-
-    ``detail`` is JSON-safe (workload, error text, kind, attempts,
-    timed_out) and goes into the HTTP 500 body verbatim.
-    """
-
-    def __init__(self, detail: dict):
-        super().__init__(detail.get("error", "job failed"))
-        self.detail = detail
 
 
 @dataclass(frozen=True)
@@ -126,6 +105,12 @@ class BrokerConfig:
             a policy is synthesized from the legacy ``jobs``/
             ``timeout``/``retries`` knobs; when given, it wins over
             them entirely.
+        qos: the multi-tenant :class:`~repro.service.qos.QosPolicy`
+            (``repro serve --qos policy.toml``) — priority classes,
+            per-tenant quotas and the batch-size cap.  Operator-only,
+            exactly like ``policy``; None keeps the tenant-blind
+            pre-QoS behaviour (one class, no quotas, unbounded
+            batches).  See docs/qos.md.
     """
 
     workers: int = 2
@@ -137,6 +122,7 @@ class BrokerConfig:
     timeout: float | None = None
     retries: int = 1
     policy: "ExecutionPolicy | None" = None
+    qos: "QosPolicy | None" = None
 
     def effective_policy(self) -> "ExecutionPolicy":
         """The policy batch runners execute under (see ``policy``)."""
@@ -155,6 +141,12 @@ class _Pending:
     name: str
     config: ExperimentConfig
     future: asyncio.Future
+    tenant: str = DEFAULT_TENANT.name
+    enqueued_at: float = 0.0
+    #: Filled by the batch that executes this entry, read back by
+    #: ``submit`` to bill the requester's phase attribution.
+    queue_wait: float = 0.0
+    phases: dict = field(default_factory=dict)
 
 
 class AnalysisBroker:
@@ -170,6 +162,8 @@ class AnalysisBroker:
             run on the executor, where ``pairs`` is a list of
             ``(name, config)`` and each outcome is a payload dict or
             an Exception.  Default: :meth:`_run_batch_in_thread`.
+        quota_clock: test seam — the monotonic clock the per-tenant
+            token buckets read (default :func:`time.monotonic`).
     """
 
     def __init__(
@@ -178,6 +172,7 @@ class AnalysisBroker:
         trace_store: TraceStore | None = None,
         config: BrokerConfig | None = None,
         batch_runner=None,
+        quota_clock=None,
     ):
         self._store = store
         self._trace_store = trace_store
@@ -185,7 +180,13 @@ class AnalysisBroker:
         self._batch_runner = batch_runner or self._run_batch_in_thread
         self._memo: OrderedDict[str, dict] = OrderedDict()
         self._inflight: dict[str, asyncio.Future] = {}
-        self._queue: deque[_Pending] = deque()
+        qos = self.config.qos
+        self._queue = DeficitScheduler(
+            qos.class_weights() if qos is not None else None
+        )
+        self._batch_max = qos.batch_max if qos is not None else None
+        self._quotas = TenantQuotas(qos, clock=quota_clock)
+        self._accounting = TenantAccounting()
         self._batches: set[asyncio.Task] = set()
         self._wake = asyncio.Event()
         self._slots = asyncio.Semaphore(max(1, self.config.workers))
@@ -216,7 +217,7 @@ class AnalysisBroker:
 
     def stats(self) -> dict:
         """Point-in-time load view (the ``/readyz`` body)."""
-        return {
+        stats = {
             "queue_depth": len(self._queue),
             "inflight": len(self._inflight),
             "batches": len(self._batches),
@@ -225,6 +226,17 @@ class AnalysisBroker:
             "est_job_seconds": round(self._job_seconds, 4),
             "policy": self.config.effective_policy().describe(),
         }
+        if self.config.qos is not None:
+            stats["qos"] = {
+                "policy": self.config.qos.describe(),
+                "quotas": self._quotas.snapshot(),
+                "tenants": self._accounting.snapshot(),
+            }
+        return stats
+
+    def attribution(self) -> dict:
+        """The per-tenant rollup :class:`TenantAccounting` keeps."""
+        return self._accounting.snapshot()
 
     async def drain(self) -> None:
         """Stop admission, finish every admitted job, then return.
@@ -254,25 +266,44 @@ class AnalysisBroker:
 
     async def submit(self, name: str,
                      config: ExperimentConfig | None = None,
+                     tenant: "Tenant | str | None" = None,
                      ) -> tuple[dict, str]:
         """Resolve one job: ``(payload, status)``.
 
         ``payload`` is the JSON-safe result dict
         (:func:`repro.core.export.result_to_dict` shape); ``status``
         is one of :data:`STATUS_WARM` / :data:`STATUS_COALESCED` /
-        :data:`STATUS_COMPUTED`.  Raises :exc:`Overloaded`,
+        :data:`STATUS_COMPUTED`.  ``tenant`` is who the request is
+        billed to (quota, scheduling class, attribution); None means
+        the default tenant.  Raises :exc:`Overloaded` (including its
+        per-tenant :exc:`~repro.service.qos.QuotaExceeded` subclass),
         :exc:`BrokerClosed` or :exc:`JobError`.
         """
         recorder = get_recorder()
         recorder.count("service.requests", 1)
+        who = str(tenant) if tenant else DEFAULT_TENANT.name
+        started = time.monotonic()
         if self._closed:
             raise BrokerClosed("broker is draining")
+        # The rate bucket is spent per *request* — warm and coalesced
+        # included (coalesced hits are billed to each requester,
+        # executed once) — and before the global gate, so an abusive
+        # tenant sheds on its own budget first.
+        try:
+            self._quotas.charge(who)
+        except QuotaExceeded as error:
+            recorder.count("service.shed", 1)
+            self._accounting.record_shed(who, error.scope, recorder)
+            raise
         config = config or ExperimentConfig()
         key = await asyncio.to_thread(job_key, Job(name, config))
 
         payload = await self._resolve_warm(key)
         if payload is not None:
             recorder.count("service.warm", 1)
+            wall = time.monotonic() - started
+            self._accounting.record(who, STATUS_WARM, wall,
+                                    {"store": wall}, recorder)
             return payload, STATUS_WARM
 
         # Coalesce onto an identical in-flight job.  Checked *after*
@@ -282,22 +313,53 @@ class AnalysisBroker:
         if existing is not None:
             recorder.count("service.coalesced", 1)
             payload = await asyncio.shield(existing)
+            # The whole wait was on someone else's in-flight job.
+            wall = time.monotonic() - started
+            self._accounting.record(who, STATUS_COALESCED, wall,
+                                    {"queue": wall}, recorder)
             return payload, STATUS_COALESCED
 
         if self._closed:
             raise BrokerClosed("broker is draining")
-        self._check_admission(recorder)
+        # Tenant in-flight cap, then the global EWMA gate; the slot is
+        # released by the future's done callback once registered.
+        try:
+            self._quotas.begin(who)
+        except QuotaExceeded as error:
+            recorder.count("service.shed", 1)
+            self._accounting.record_shed(who, error.scope, recorder)
+            raise
+        registered = False
+        try:
+            try:
+                self._check_admission(recorder)
+            except Overloaded:
+                self._accounting.record_shed(who, "backpressure", recorder)
+                raise
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
 
-        future = asyncio.get_running_loop().create_future()
-        self._inflight[key] = future
-        future.add_done_callback(
-            lambda fut, key=key: self._inflight.pop(key, None)
-        )
-        self._queue.append(_Pending(key, name, config, future))
+            def _release(fut, key=key, who=who):
+                self._inflight.pop(key, None)
+                self._quotas.end(who)
+
+            future.add_done_callback(_release)
+            registered = True
+        finally:
+            if not registered:
+                self._quotas.end(who)
+        entry = _Pending(key, name, config, future, tenant=who,
+                         enqueued_at=time.monotonic())
+        self._queue.push(self._quotas.class_for(who), entry)
         recorder.gauge("service.queue_depth", len(self._queue))
         self._wake.set()
         payload = await asyncio.shield(future)
         recorder.count("service.computed", 1)
+        wall = time.monotonic() - started
+        self._accounting.record(who, STATUS_COMPUTED, wall,
+                                dict(entry.phases,
+                                     queue=entry.queue_wait),
+                                recorder)
         return payload, STATUS_COMPUTED
 
     async def _resolve_warm(self, key: str) -> dict | None:
@@ -355,9 +417,13 @@ class AnalysisBroker:
                 # runner turns same-workload members into one
                 # simulation, so a wider batch is a cheaper batch.
                 await asyncio.sleep(self.config.batch_window)
-            entries = list(self._queue)
-            self._queue.clear()
-            get_recorder().gauge("service.queue_depth", 0)
+            # Weighted-fair pop: up to the policy's batch_max entries
+            # in deficit-round-robin class order (everything queued
+            # when no QoS policy bounds the batch).
+            entries = self._queue.pop(self._batch_max)
+            get_recorder().gauge("service.queue_depth", len(self._queue))
+            if not entries:
+                continue
             await self._slots.acquire()
             task = asyncio.create_task(self._execute_batch(entries))
             self._batches.add(task)
@@ -371,10 +437,13 @@ class AnalysisBroker:
         recorder.count("service.batch_jobs", len(entries))
         loop = asyncio.get_running_loop()
         start = loop.time()
+        dispatched = time.monotonic()
+        for entry in entries:
+            entry.queue_wait = max(0.0, dispatched - entry.enqueued_at)
         pairs = [(entry.name, entry.config) for entry in entries]
         try:
-            outcomes = await loop.run_in_executor(
-                self._executor, self._batch_runner, pairs
+            outcomes, phases = await loop.run_in_executor(
+                self._executor, self._timed_batch, pairs
             )
         except Exception as error:  # noqa: BLE001 — resolve, don't leak
             _log.exception("service batch failed outright")
@@ -391,6 +460,9 @@ class AnalysisBroker:
             per_job = (loop.time() - start) / max(1, len(entries))
             self._job_seconds = 0.7 * self._job_seconds + 0.3 * per_job
         for entry, outcome in zip(entries, outcomes):
+            # Every member waits for the whole batch, so each is
+            # billed the batch's full phase split (docs/qos.md).
+            entry.phases = phases
             if entry.future.done():
                 continue
             if isinstance(outcome, Exception):
@@ -398,6 +470,23 @@ class AnalysisBroker:
             else:
                 self._memo_put(entry.key, outcome)
                 entry.future.set_result(outcome)
+
+    def _timed_batch(self, pairs) -> tuple[list, dict]:
+        """Executor-side wrapper: run the batch under a ``qos.batch``
+        span and split its wall time into attribution phases.
+
+        The span is opened on the executor thread, so the recorder's
+        thread-local stack nests the batch's ``simulate``/``analyze``/
+        ``store.*`` spans under it even while other batches run
+        concurrently; with observation off the null span yields no
+        children and the whole wall lands in the ``pool`` residual.
+        """
+        recorder = get_recorder()
+        t0 = time.perf_counter()
+        with recorder.span("qos.batch") as span:
+            outcomes = self._batch_runner(pairs)
+        wall = time.perf_counter() - t0
+        return outcomes, phases_from_span(span, wall)
 
     def _run_batch_in_thread(self, pairs) -> list:
         """Executor-side batch execution (no event-loop state here).

@@ -102,6 +102,13 @@ class ServiceClient:
             at most four requests on the wire).
         backoff_base, backoff_cap: the :func:`repro.runner.backoff_delay`
             parameters.
+        tenant: the tenant name sent on every request's
+            ``X-Repro-Tenant`` header (None: no header — the server
+            bills the default tenant).  A tenant shed on its own
+            quota gets the same treatment as global shedding: the 429
+            is retried with its per-tenant ``Retry-After`` honoured,
+            and exhaustion surfaces the last hint in
+            :attr:`ServiceUnavailable.retry_after`.
         rng, sleep: injection seams for deterministic tests.
     """
 
@@ -109,10 +116,12 @@ class ServiceClient:
                  timeout: float = 60.0, retries: int = 3,
                  backoff_base: float = 0.05, backoff_cap: float = 2.0,
                  deadline: float | None = None,
+                 tenant: str | None = None,
                  rng: random.Random | None = None, sleep=None,
                  clock=None):
         self.host = host
         self.port = port
+        self.tenant = tenant
         self.timeout = timeout
         self.retries = max(0, retries)
         self.backoff_base = backoff_base
@@ -133,6 +142,8 @@ class ServiceClient:
         try:
             headers = {"Accept": "application/json",
                        "Connection": "close"}
+            if self.tenant is not None:
+                headers["X-Repro-Tenant"] = self.tenant
             if body is not None:
                 headers["Content-Type"] = "application/json"
             conn.request(method, path, body=body, headers=headers)

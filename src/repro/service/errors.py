@@ -1,0 +1,44 @@
+"""The service's error taxonomy, shared across its layers.
+
+These classes used to live in :mod:`repro.service.broker` (which
+still re-exports them, so existing import sites keep working).  They
+moved here so the QoS layer can subclass :exc:`Overloaded` for its
+per-tenant sheds without importing the broker — the broker imports
+QoS, not the other way around.
+
+HTTP mapping (the server's contract, docs/service.md):
+:exc:`Overloaded` → 429 with ``Retry-After``; :exc:`BrokerClosed` →
+503; :exc:`JobError` → 500 with the failure detail.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BrokerClosed", "JobError", "Overloaded"]
+
+
+class Overloaded(Exception):
+    """Admission refused: the queue is full or the wait too long.
+
+    ``retry_after`` is the server's backoff hint in seconds (the
+    ``Retry-After`` header of the resulting HTTP 429).
+    """
+
+    def __init__(self, retry_after: float, reason: str):
+        super().__init__(reason)
+        self.retry_after = max(1, round(retry_after))
+
+
+class BrokerClosed(RuntimeError):
+    """Submission after drain began (HTTP 503 at the server)."""
+
+
+class JobError(RuntimeError):
+    """An admitted job ran and failed; carries the runner's failure.
+
+    ``detail`` is JSON-safe (workload, error text, kind, attempts,
+    timed_out) and goes into the HTTP 500 body verbatim.
+    """
+
+    def __init__(self, detail: dict):
+        super().__init__(detail.get("error", "job failed"))
+        self.detail = detail

@@ -562,11 +562,18 @@ class FleetClient:
 
     def __init__(self, fleet: FleetSupervisor, timeout: float = 60.0,
                  retries_per_worker: int = 1, deadline: float = 120.0,
+                 tenant: str | None = None,
                  rng: random.Random | None = None):
         self.fleet = fleet
         self.timeout = timeout
         self.retries_per_worker = retries_per_worker
         self.deadline = deadline
+        #: Tenant identity, forwarded on every routed request.  Quota
+        #: *state* is per-worker (each broker keeps its own buckets);
+        #: the QoS policy *file* is fleet-wide via the shared
+        #: BrokerConfig, so a failover lands under the same rules on
+        #: the sibling — including any per-tenant Retry-After bench.
+        self.tenant = tenant
         self._rng = rng or random.Random()
 
     # ------------------------------------------------------------------
@@ -608,6 +615,7 @@ class FleetClient:
                     timeout=min(self.timeout, max(0.1, remaining)),
                     retries=self.retries_per_worker,
                     deadline=max(0.1, remaining),
+                    tenant=self.tenant,
                     rng=self._rng,
                 )
                 try:

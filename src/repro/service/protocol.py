@@ -24,6 +24,8 @@ import dataclasses
 
 from repro.runner import ExperimentConfig
 from repro.runner.policy import POLICY_FIELDS
+from repro.service.qos.tenant import Tenant, TenantError
+from repro.service.qos.tenant import parse_tenant as _parse_tenant
 from repro.workloads import get_workload
 
 __all__ = [
@@ -32,6 +34,7 @@ __all__ = [
     "config_to_dict",
     "parse_analyze_request",
     "parse_sweep_request",
+    "parse_tenant_header",
 ]
 
 
@@ -55,6 +58,43 @@ _CONFIG_FIELDS = {f.name: f for f in dataclasses.fields(ExperimentConfig)}
 #: which engine the server spends on its request, so they get a
 #: pointed rejection rather than the generic unknown-key 400.
 _POLICY_KEYS = frozenset(POLICY_FIELDS) | {"policy"}
+
+#: QoS knobs a client might try to smuggle into a request body.
+#: Tenant identity travels on the ``X-Repro-Tenant`` header; quotas,
+#: priority classes and weights are operator policy (``repro serve
+#: --qos ...``).  Letting a request body pick its own priority or
+#: quota would defeat the isolation the policy exists to provide, so
+#: these get a pointed rejection (docs/qos.md).
+_QOS_KEYS = frozenset({"qos", "priority", "class", "quota", "weight"})
+
+
+def parse_tenant_header(value: str | None) -> Tenant:
+    """Validate a raw ``X-Repro-Tenant`` header at the trust boundary.
+
+    ``None`` (header absent) is the default tenant; a malformed value
+    becomes a :exc:`ProtocolError` → HTTP 400 whose message states
+    the tenant-name grammar.
+    """
+    try:
+        return _parse_tenant(value)
+    except TenantError as error:
+        raise ProtocolError(str(error)) from None
+
+
+def _reject_reserved(payload: dict) -> None:
+    """Pointed 400s for tenant/QoS keys in a request body."""
+    for name in payload:
+        if name == "tenant":
+            raise ProtocolError(
+                "field 'tenant' is carried on the X-Repro-Tenant "
+                "request header, not in the request body"
+            )
+        if name in _QOS_KEYS:
+            raise ProtocolError(
+                f"field {name!r} is server-side QoS policy; it is set "
+                f"by the service operator (`repro serve --qos ...`), "
+                f"not by clients"
+            )
 
 
 def _as_tuple(name: str, value):
@@ -93,6 +133,8 @@ def config_from_dict(payload) -> ExperimentConfig:
                     f"policy; it is set by the service operator "
                     f"(`repro serve --policy ...`), not by clients"
                 )
+            if name in _QOS_KEYS or name == "tenant":
+                _reject_reserved({name: value})
             known = ", ".join(sorted(_CONFIG_FIELDS))
             raise ProtocolError(
                 f"unknown config field {name!r} (known: {known})"
@@ -139,6 +181,7 @@ def parse_analyze_request(payload) -> tuple[str, ExperimentConfig]:
     """
     if not isinstance(payload, dict):
         raise ProtocolError("request body must be a JSON object")
+    _reject_reserved(payload)
     unknown = set(payload) - {"workload", "config"}
     if unknown:
         raise ProtocolError(
@@ -165,6 +208,7 @@ def parse_sweep_request(payload) -> list[tuple[str, ExperimentConfig]]:
     """
     if not isinstance(payload, dict):
         raise ProtocolError("request body must be a JSON object")
+    _reject_reserved(payload)
     unknown = set(payload) - {"workloads", "configs"}
     if unknown:
         raise ProtocolError(

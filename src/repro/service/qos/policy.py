@@ -1,0 +1,331 @@
+"""The QoS policy file: classes, weights, quotas — operator-only.
+
+A :class:`QosPolicy` plays the same role for the service's *sharing*
+behaviour that :class:`repro.runner.ExecutionPolicy` plays for its
+*execution* behaviour: a frozen, validated bundle of knobs the
+operator sets (``repro serve --qos policy.toml``) and clients can
+never touch — :mod:`repro.service.protocol` rejects QoS keys in
+request bodies at the trust boundary, and the policy is excluded from
+job identity (two tenants requesting the same job share one cached
+result).
+
+The file is TOML (via :mod:`tomllib`; gated so 3.10 still imports
+this module) or JSON::
+
+    default_class = "batch"          # class for unlisted tenants
+    batch_max = 8                    # cap jobs per dispatched batch
+
+    [classes.interactive]
+    weight = 8                       # deficit-round-robin weight
+    [classes.batch]
+    weight = 4
+    [classes.background]
+    weight = 1
+
+    [defaults]                       # quota for unlisted tenants
+    rate = 5.0                       # tokens (requests) per second
+    burst = 10                       # bucket size
+    max_inflight = 8                 # owned cold jobs in flight
+
+    [tenants.alice]
+    class = "interactive"
+    rate = 20.0
+    burst = 40
+    max_inflight = 16
+
+Every quota knob is optional; ``None`` means unlimited, so an empty
+policy (or no ``--qos`` flag at all) reproduces the tenant-blind
+pre-QoS behaviour exactly.  The three priority classes are fixed —
+``interactive`` / ``batch`` / ``background`` — only their weights are
+configurable, which keeps the fairness story auditable
+(docs/qos.md).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10
+    tomllib = None
+
+__all__ = [
+    "CLASSES",
+    "ClassSpec",
+    "QosError",
+    "QosPolicy",
+    "TenantSpec",
+    "load_qos_policy",
+    "qos_policy_from_dict",
+]
+
+#: The fixed priority classes, highest-priority first.
+CLASSES = ("interactive", "batch", "background")
+
+_DEFAULT_WEIGHTS = {"interactive": 8, "batch": 4, "background": 1}
+
+
+class QosError(ValueError):
+    """A QoS policy that fails validation (message names the knob)."""
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """One priority class: a name and its scheduling weight."""
+
+    name: str
+    weight: int
+
+    def __post_init__(self):
+        if self.name not in CLASSES:
+            known = ", ".join(CLASSES)
+            raise QosError(
+                f"unknown priority class {self.name!r} (classes are "
+                f"fixed: {known})"
+            )
+        if not isinstance(self.weight, int) or isinstance(self.weight, bool) \
+                or self.weight < 1:
+            raise QosError(
+                f"class {self.name!r} weight must be a positive "
+                f"integer, got {self.weight!r}"
+            )
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Per-tenant knobs; ``None`` inherits the policy defaults.
+
+    Attributes:
+        klass: priority class (``class`` in the file).
+        rate: token-bucket refill in requests/second (None = unlimited).
+        burst: token-bucket capacity (None = derived from ``rate``).
+        max_inflight: owned cold jobs in flight (None = unlimited).
+    """
+
+    klass: str | None = None
+    rate: float | None = None
+    burst: int | None = None
+    max_inflight: int | None = None
+
+    def __post_init__(self):
+        if self.klass is not None and self.klass not in CLASSES:
+            known = ", ".join(CLASSES)
+            raise QosError(
+                f"unknown priority class {self.klass!r} (classes are "
+                f"fixed: {known})"
+            )
+        if self.rate is not None:
+            if isinstance(self.rate, bool) \
+                    or not isinstance(self.rate, (int, float)) \
+                    or self.rate <= 0:
+                raise QosError(
+                    f"'rate' must be a positive number, got {self.rate!r}"
+                )
+        if self.burst is not None:
+            if isinstance(self.burst, bool) \
+                    or not isinstance(self.burst, int) or self.burst < 1:
+                raise QosError(
+                    f"'burst' must be a positive integer, got "
+                    f"{self.burst!r}"
+                )
+        if self.max_inflight is not None:
+            if isinstance(self.max_inflight, bool) \
+                    or not isinstance(self.max_inflight, int) \
+                    or self.max_inflight < 1:
+                raise QosError(
+                    f"'max_inflight' must be a positive integer, got "
+                    f"{self.max_inflight!r}"
+                )
+
+    def to_dict(self) -> dict:
+        payload = {}
+        if self.klass is not None:
+            payload["class"] = self.klass
+        for name in ("rate", "burst", "max_inflight"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        return payload
+
+
+@dataclass(frozen=True)
+class QosPolicy:
+    """The validated QoS policy one broker runs under.
+
+    Picklable on purpose: ``serve --fleet N`` ships one policy to
+    every worker (the *file* is shared; the quota *state* each worker
+    keeps is its own — see docs/qos.md).
+    """
+
+    classes: tuple[ClassSpec, ...] = tuple(
+        ClassSpec(name, _DEFAULT_WEIGHTS[name]) for name in CLASSES
+    )
+    default_class: str = "batch"
+    defaults: TenantSpec = field(default_factory=TenantSpec)
+    tenants: tuple[tuple[str, TenantSpec], ...] = ()
+    batch_max: int | None = None
+
+    def __post_init__(self):
+        names = [spec.name for spec in self.classes]
+        if sorted(names) != sorted(set(names)):
+            raise QosError("duplicate priority class in policy")
+        if self.default_class not in names:
+            raise QosError(
+                f"default_class {self.default_class!r} is not a "
+                f"configured class"
+            )
+        if self.batch_max is not None:
+            if isinstance(self.batch_max, bool) \
+                    or not isinstance(self.batch_max, int) \
+                    or self.batch_max < 1:
+                raise QosError(
+                    f"'batch_max' must be a positive integer, got "
+                    f"{self.batch_max!r}"
+                )
+        seen = set()
+        for name, __ in self.tenants:
+            if name in seen:
+                raise QosError(f"duplicate tenant {name!r} in policy")
+            seen.add(name)
+
+    # ------------------------------------------------------------------
+    # Resolution.
+    # ------------------------------------------------------------------
+
+    def class_weights(self) -> dict[str, int]:
+        """``{class name: weight}`` in priority order."""
+        weights = {spec.name: spec.weight for spec in self.classes}
+        return {name: weights[name] for name in CLASSES if name in weights}
+
+    def spec_for(self, tenant_name: str) -> TenantSpec:
+        """The fully-resolved spec for one tenant.
+
+        Per-tenant knobs win; unset ones inherit the ``[defaults]``
+        table; a still-unset ``burst`` derives from ``rate`` (one
+        second of refill, at least 1) so a rate alone is a complete
+        quota.
+        """
+        own = dict(self.tenants).get(tenant_name, TenantSpec())
+        klass = own.klass or self.defaults.klass or self.default_class
+        rate = own.rate if own.rate is not None else self.defaults.rate
+        burst = own.burst if own.burst is not None else self.defaults.burst
+        if burst is None and rate is not None:
+            burst = max(1, math.ceil(rate))
+        max_inflight = (own.max_inflight if own.max_inflight is not None
+                        else self.defaults.max_inflight)
+        return TenantSpec(klass=klass, rate=rate, burst=burst,
+                          max_inflight=max_inflight)
+
+    def describe(self) -> dict:
+        """JSON-safe summary (the ``/readyz`` body, the serve banner)."""
+        return {
+            "classes": {spec.name: spec.weight for spec in self.classes},
+            "default_class": self.default_class,
+            "defaults": self.defaults.to_dict(),
+            "tenants": {name: spec.to_dict()
+                        for name, spec in self.tenants},
+            "batch_max": self.batch_max,
+        }
+
+
+# ----------------------------------------------------------------------
+# Parsing.
+# ----------------------------------------------------------------------
+
+def _tenant_spec_from_dict(owner: str, data) -> TenantSpec:
+    if not isinstance(data, dict):
+        raise QosError(f"{owner} must be a table/object")
+    unknown = set(data) - {"class", "rate", "burst", "max_inflight"}
+    if unknown:
+        raise QosError(
+            f"unknown key(s) in {owner}: {', '.join(sorted(unknown))}"
+        )
+    rate = data.get("rate")
+    if isinstance(rate, int) and not isinstance(rate, bool):
+        rate = float(rate)
+    return TenantSpec(
+        klass=data.get("class"),
+        rate=rate,
+        burst=data.get("burst"),
+        max_inflight=data.get("max_inflight"),
+    )
+
+
+def qos_policy_from_dict(data) -> QosPolicy:
+    """Build a :class:`QosPolicy` from a decoded TOML/JSON document.
+
+    Unknown keys are an error at every level — a typoed quota knob
+    silently granting unlimited access is worse than a load failure.
+    """
+    if not isinstance(data, dict):
+        raise QosError("QoS policy must be a table/object at top level")
+    unknown = set(data) - {"classes", "default_class", "defaults",
+                           "tenants", "batch_max"}
+    if unknown:
+        raise QosError(
+            f"unknown top-level key(s): {', '.join(sorted(unknown))}"
+        )
+    weights = dict(_DEFAULT_WEIGHTS)
+    classes_data = data.get("classes", {})
+    if not isinstance(classes_data, dict):
+        raise QosError("'classes' must be a table of {class: {weight}}")
+    for name, spec in classes_data.items():
+        if not isinstance(spec, dict) or set(spec) - {"weight"}:
+            raise QosError(
+                f"class {name!r} accepts exactly one key: 'weight'"
+            )
+        if name not in weights:
+            known = ", ".join(CLASSES)
+            raise QosError(
+                f"unknown priority class {name!r} (classes are "
+                f"fixed: {known})"
+            )
+        weights[name] = spec.get("weight")
+    tenants_data = data.get("tenants", {})
+    if not isinstance(tenants_data, dict):
+        raise QosError("'tenants' must be a table of per-tenant specs")
+    tenants = tuple(
+        (name, _tenant_spec_from_dict(f"tenant {name!r}", spec))
+        for name, spec in sorted(tenants_data.items())
+    )
+    return QosPolicy(
+        classes=tuple(ClassSpec(name, weights[name]) for name in CLASSES),
+        default_class=data.get("default_class", "batch"),
+        defaults=_tenant_spec_from_dict(
+            "'defaults'", data.get("defaults", {})
+        ),
+        tenants=tenants,
+        batch_max=data.get("batch_max"),
+    )
+
+
+def load_qos_policy(path: str | Path) -> QosPolicy:
+    """Load a policy file (``.toml`` or ``.json``) and validate it."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise QosError(f"cannot read QoS policy {path}: {error}") from None
+    if path.suffix.lower() == ".toml":
+        if tomllib is None:  # pragma: no cover - Python 3.10
+            raise QosError(
+                f"{path}: TOML policies need Python 3.11+ (no tomllib); "
+                f"use the JSON form instead"
+            )
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise QosError(f"{path}: invalid TOML: {error}") from None
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise QosError(f"{path}: invalid JSON: {error}") from None
+    try:
+        return qos_policy_from_dict(data)
+    except QosError as error:
+        raise QosError(f"{path}: {error}") from None

@@ -1,0 +1,181 @@
+"""Per-tenant quota admission: token buckets and in-flight caps.
+
+Quotas are the *first* gate a submission meets — checked before the
+broker's global EWMA estimate — so an abusive tenant is shed on its
+own budget before it can push the shared queue into global
+backpressure.  Two independent limits per tenant, both from the QoS
+policy (docs/qos.md):
+
+* **request rate** — a token bucket (``rate`` tokens/second, capacity
+  ``burst``); *every* request spends a token, warm hits and coalesced
+  joins included, because each one consumes protocol and lookup work
+  and "billed to each requester" is the coalescing contract;
+* **in-flight cap** — ``max_inflight`` bounds the cold jobs a tenant
+  *owns* (queued or executing).  Coalesced joins do not count: they
+  add no pool load, and capping them would punish cache-friendly
+  traffic.
+
+A refusal raises :exc:`QuotaExceeded` — a subclass of
+:exc:`repro.service.errors.Overloaded`, so the server's existing
+429 + ``Retry-After`` mapping and the client's retry logic apply
+unchanged; the hint is *per-tenant* (the bucket's actual refill
+deficit), not the global estimate.
+
+State lives in broker memory, one instance per worker process: in a
+fleet the policy *file* is shared but each worker enforces its own
+buckets, so a tenant's fleet-wide budget is ``rate x workers`` when
+load is spread (consistent-hash routing keeps one job key on one
+worker, which keeps the arithmetic honest).  Everything here runs on
+the broker's event-loop thread; the injectable ``clock`` makes the
+bucket deterministic under test.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service.errors import Overloaded
+from repro.service.qos.policy import QosPolicy, TenantSpec
+
+__all__ = ["QuotaExceeded", "TenantQuotas", "TokenBucket"]
+
+
+class QuotaExceeded(Overloaded):
+    """A per-tenant quota refusal (HTTP 429, per-tenant Retry-After).
+
+    ``tenant`` names who was shed; ``scope`` is ``"rate"`` or
+    ``"inflight"`` — the attribution counters split sheds by it.
+    """
+
+    def __init__(self, retry_after: float, reason: str,
+                 tenant: str, scope: str):
+        super().__init__(retry_after, reason)
+        self.tenant = tenant
+        self.scope = scope
+
+
+class TokenBucket:
+    """A token bucket: ``rate`` tokens/second up to ``burst``.
+
+    Starts full.  ``clock`` is any monotonic ``() -> float`` — tests
+    inject a fake; production uses :func:`time.monotonic`.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last", "_clock")
+
+    def __init__(self, rate: float, burst: int, clock=time.monotonic):
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    @property
+    def tokens(self) -> float:
+        """Current (refilled) token count, without taking any."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(float(self.burst),
+                           self._tokens + elapsed * self.rate)
+
+    def try_take(self, n: float = 1.0) -> float:
+        """Take ``n`` tokens if available: 0.0 on success, else the
+        seconds until ``n`` tokens will have accrued (the per-tenant
+        ``Retry-After`` hint) with nothing taken."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return 0.0
+        return (n - self._tokens) / self.rate
+
+
+class TenantQuotas:
+    """Quota state for every tenant one broker has seen.
+
+    ``policy=None`` (no ``--qos`` file) disables every limit — the
+    pre-QoS behaviour.  Not thread-safe by design: the broker calls
+    it from the event loop only.
+    """
+
+    def __init__(self, policy: QosPolicy | None = None, clock=None):
+        self._policy = policy
+        self._clock = clock or time.monotonic
+        self._specs: dict[str, TenantSpec] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight: dict[str, int] = {}
+
+    def spec_for(self, tenant: str) -> TenantSpec:
+        """The resolved (cached) policy spec for ``tenant``."""
+        spec = self._specs.get(tenant)
+        if spec is None:
+            if self._policy is None:
+                spec = TenantSpec(klass="batch")
+            else:
+                spec = self._policy.spec_for(tenant)
+            self._specs[tenant] = spec
+        return spec
+
+    def class_for(self, tenant: str) -> str:
+        """The scheduling class ``tenant``'s cold jobs queue under."""
+        return self.spec_for(tenant).klass or "batch"
+
+    def charge(self, tenant: str) -> None:
+        """Spend one rate token; :exc:`QuotaExceeded` when dry."""
+        spec = self.spec_for(tenant)
+        if spec.rate is None:
+            return
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                spec.rate, spec.burst or 1, clock=self._clock
+            )
+        wait = bucket.try_take()
+        if wait > 0.0:
+            raise QuotaExceeded(
+                wait,
+                f"tenant {tenant!r} is over its request rate "
+                f"({spec.rate:g}/s, burst {bucket.burst})",
+                tenant, "rate",
+            )
+
+    def begin(self, tenant: str) -> None:
+        """Claim an in-flight slot; :exc:`QuotaExceeded` at the cap.
+
+        Pair every successful call with :meth:`end` (the broker does
+        it from the job future's done callback)."""
+        spec = self.spec_for(tenant)
+        inflight = self._inflight.get(tenant, 0)
+        cap = spec.max_inflight
+        if cap is not None and inflight >= cap:
+            raise QuotaExceeded(
+                1.0,
+                f"tenant {tenant!r} already has {inflight} job(s) in "
+                f"flight (cap {cap})",
+                tenant, "inflight",
+            )
+        self._inflight[tenant] = inflight + 1
+
+    def end(self, tenant: str) -> None:
+        """Release an in-flight slot claimed by :meth:`begin`."""
+        count = self._inflight.get(tenant, 0)
+        if count <= 1:
+            self._inflight.pop(tenant, None)
+        else:
+            self._inflight[tenant] = count - 1
+
+    def snapshot(self) -> dict:
+        """JSON-safe view: per-tenant tokens left and jobs in flight."""
+        view: dict[str, dict] = {}
+        for tenant in sorted(set(self._buckets) | set(self._inflight)):
+            entry: dict = {}
+            bucket = self._buckets.get(tenant)
+            if bucket is not None:
+                entry["tokens"] = round(bucket.tokens, 3)
+            entry["inflight"] = self._inflight.get(tenant, 0)
+            view[tenant] = entry
+        return view

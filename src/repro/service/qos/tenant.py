@@ -1,0 +1,90 @@
+"""Tenant identity: who a service request is billed to.
+
+A tenant is a short operator-assigned name carried on the
+``X-Repro-Tenant`` request header.  It is *identity*, not
+*authorization* — the service trusts the header the way it trusts the
+request body, and uses it for quota accounting, scheduling class and
+attribution, never for access control.
+
+The name grammar is deliberately strict (lowercase alphanumerics plus
+``.``, ``_``, ``-``; must start with a letter or digit; at most
+:data:`MAX_TENANT_LENGTH` characters) because tenant names become
+metric label values, policy-file keys and report rows; a malformed
+header is rejected at the trust boundary with a pointed 400 rather
+than laundered into the metrics namespace.  Anonymous requests (no
+header) are billed to :data:`DEFAULT_TENANT`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "MAX_TENANT_LENGTH",
+    "TENANT_HEADER",
+    "Tenant",
+    "TenantError",
+    "parse_tenant",
+]
+
+#: The request header a client sets to identify itself.
+TENANT_HEADER = "X-Repro-Tenant"
+
+#: Upper bound on a tenant name (label values stay readable).
+MAX_TENANT_LENGTH = 32
+
+_TENANT_RE = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
+
+
+class TenantError(ValueError):
+    """A tenant name that fails validation.
+
+    The message is written for the client (names the rule that was
+    broken); :mod:`repro.service.protocol` re-raises it as a
+    :exc:`~repro.service.protocol.ProtocolError` → HTTP 400.
+    """
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One validated tenant identity."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Where anonymous (headerless) requests are billed.
+DEFAULT_TENANT = Tenant("default")
+
+
+def parse_tenant(value: str | None) -> Tenant:
+    """Validate a raw ``X-Repro-Tenant`` header value.
+
+    ``None`` (header absent) maps to :data:`DEFAULT_TENANT`; an empty
+    or malformed value raises :exc:`TenantError` with a message that
+    states the grammar — the caller turns that into HTTP 400.
+    """
+    if value is None:
+        return DEFAULT_TENANT
+    name = value.strip()
+    if not name:
+        raise TenantError(
+            f"{TENANT_HEADER} must not be empty; omit the header to "
+            f"run as the default tenant"
+        )
+    if len(name) > MAX_TENANT_LENGTH:
+        raise TenantError(
+            f"{TENANT_HEADER} {name[:MAX_TENANT_LENGTH]!r}... is too "
+            f"long (max {MAX_TENANT_LENGTH} characters)"
+        )
+    if not _TENANT_RE.match(name):
+        raise TenantError(
+            f"{TENANT_HEADER} {name!r} is invalid: tenant names are "
+            f"lowercase alphanumerics plus '.', '_', '-', starting "
+            f"with a letter or digit"
+        )
+    return Tenant(name)

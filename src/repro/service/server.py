@@ -59,6 +59,7 @@ from repro.service.protocol import (
     ProtocolError,
     parse_analyze_request,
     parse_sweep_request,
+    parse_tenant_header,
 )
 from repro.workloads import SUITE
 
@@ -230,7 +231,7 @@ class ServiceServer:
                 conn.busy = True
                 method, path, headers, body = request
                 status, payload, content_type, extra = (
-                    await self._dispatch(method, path, body)
+                    await self._dispatch(method, path, headers, body)
                 )
                 keep_alive = (
                     not self._draining
@@ -270,8 +271,14 @@ class ServiceServer:
     # Routing.
     # ------------------------------------------------------------------
 
-    async def _dispatch(self, method: str, path: str, body: bytes):
-        """Route one request: ``(status, payload, content_type, extra)``."""
+    async def _dispatch(self, method: str, path: str,
+                        headers: dict[str, str], body: bytes):
+        """Route one request: ``(status, payload, content_type, extra)``.
+
+        ``headers`` arrive lower-cased from :func:`_read_request`; the
+        only one consulted here is ``x-repro-tenant``, validated at
+        this trust boundary into the tenant the broker bills.
+        """
         try:
             if maybe_fault("service.handler"):
                 raise _HttpError(500, "injected fault at service.handler")
@@ -301,14 +308,18 @@ class ServiceServer:
                         "application/json", None)
             if path == "/v1/analyze":
                 self._require(method, "POST")
+                tenant = parse_tenant_header(headers.get("x-repro-tenant"))
                 name, config = parse_analyze_request(self._json(body))
-                payload, status = await self.broker.submit(name, config)
+                payload, status = await self.broker.submit(
+                    name, config, tenant=tenant
+                )
                 return (200, {"workload": name, "status": status,
                               "result": payload}, "application/json", None)
             if path == "/v1/sweep":
                 self._require(method, "POST")
+                tenant = parse_tenant_header(headers.get("x-repro-tenant"))
                 pairs = parse_sweep_request(self._json(body))
-                return await self._sweep(pairs)
+                return await self._sweep(pairs, tenant)
             raise _HttpError(404, f"no route for {path}")
         except _HttpError as error:
             return (error.status, {"error": str(error)},
@@ -331,7 +342,7 @@ class ServiceServer:
             return (500, {"error": f"{type(error).__name__}: {error}"},
                     "application/json", None)
 
-    async def _sweep(self, pairs):
+    async def _sweep(self, pairs, tenant=None):
         """Fan a sweep out to per-job submissions; per-job outcomes.
 
         Submissions race together, so cold same-workload jobs land in
@@ -341,7 +352,8 @@ class ServiceServer:
         otherwise).
         """
         outcomes = await asyncio.gather(
-            *(self.broker.submit(name, config) for name, config in pairs),
+            *(self.broker.submit(name, config, tenant=tenant)
+              for name, config in pairs),
             return_exceptions=True,
         )
         jobs, failures = [], []

@@ -97,3 +97,89 @@ class TestAggregateAndRender:
     def test_render_empty_profile(self):
         empty = {"counters": {}, "gauges": {}, "spans": []}
         assert render_profile(empty) == "(empty profile)"
+
+
+class TestLabels:
+    """Labelled counters: canonical encoding, Prometheus exposition,
+    and lossless round-trips (the qos.* attribution path)."""
+
+    def test_encode_is_canonical(self):
+        from repro.obs import encode_labels
+
+        # Sorted keys: insertion order never leaks into the name.
+        a = encode_labels("qos.served", {"tenant": "alice", "status": "warm"})
+        b = encode_labels("qos.served", {"status": "warm", "tenant": "alice"})
+        assert a == b == 'qos.served{status="warm",tenant="alice"}'
+
+    def test_decode_inverts_encode(self):
+        from repro.obs import decode_labels, encode_labels
+
+        labels = {"tenant": "a.b-c_d", "phase": "queue"}
+        base, decoded = decode_labels(encode_labels("qos.x", labels))
+        assert base == "qos.x"
+        assert decoded == labels
+
+    def test_escaping_round_trips(self):
+        from repro.obs import decode_labels, encode_labels
+
+        labels = {"k": 'quo"te\\slash\nline'}
+        __, decoded = decode_labels(encode_labels("n", labels))
+        assert decoded == labels
+
+    def test_unlabelled_name_decodes_to_empty_labels(self):
+        from repro.obs import decode_labels
+
+        assert decode_labels("service.requests") == \
+            ("service.requests", {})
+
+    def test_recorder_folds_labels_into_counter_names(self):
+        rec = Recorder()
+        rec.count("qos.requests", 1, labels={"tenant": "alice"})
+        rec.count("qos.requests", 2, labels={"tenant": "alice"})
+        rec.count("qos.requests", 1, labels={"tenant": "bob"})
+        counters = rec.snapshot()["counters"]
+        assert counters['qos.requests{tenant="alice"}'] == 3
+        assert counters['qos.requests{tenant="bob"}'] == 1
+
+    def test_labelled_counters_survive_jsonl(self):
+        rec = Recorder()
+        rec.count("qos.shed", 4, labels={"tenant": "t", "reason": "rate"})
+        profile = rec.snapshot()
+        assert from_jsonl(to_jsonl(profile))["counters"] == \
+            profile["counters"]
+
+    def test_prometheus_groups_label_sets_into_one_family(self):
+        rec = Recorder()
+        rec.count("qos.requests", 1, labels={"tenant": "alice"})
+        rec.count("qos.requests", 2, labels={"tenant": "bob"})
+        rec.count("qos.requests", 5)           # unlabelled sibling
+        text = to_prometheus(rec.snapshot())
+        assert text.count("# TYPE repro_qos_requests_total") == 1
+        assert 'repro_qos_requests_total{tenant="alice"} 1' in text
+        assert 'repro_qos_requests_total{tenant="bob"} 2' in text
+        assert "\nrepro_qos_requests_total 5" in text
+
+    def test_parse_prometheus_round_trips_samples(self):
+        from repro.obs import parse_prometheus
+
+        rec = Recorder()
+        rec.count("qos.phase_seconds", 1.5,
+                  labels={"tenant": "alice", "phase": "simulate"})
+        rec.gauge("service.queue_depth", 3, labels={"klass": "batch"})
+        samples = {
+            (family, tuple(sorted(labels.items()))): value
+            for family, labels, value
+            in parse_prometheus(to_prometheus(rec.snapshot()))
+        }
+        key = ("repro_qos_phase_seconds_total",
+               (("phase", "simulate"), ("tenant", "alice")))
+        assert samples[key] == 1.5
+        assert samples[("repro_service_queue_depth",
+                        (("klass", "batch"),))] == 3
+
+    def test_parse_prometheus_skips_comments_and_junk(self):
+        from repro.obs import parse_prometheus
+
+        text = ("# HELP x y\n# TYPE x counter\n"
+                "x 1\nmalformed line without value-number nope\n")
+        assert parse_prometheus(text) == [("x", {}, 1.0)]

@@ -132,3 +132,76 @@ class TestSweepRequest:
     def test_unknown_workload_rejected(self):
         with pytest.raises(ProtocolError, match="unknown workload"):
             parse_sweep_request({"workloads": ["zzz"], "configs": [{}]})
+
+
+class TestTenantHeader:
+    """X-Repro-Tenant parsing at the trust boundary (docs/qos.md)."""
+
+    def test_absent_header_is_the_default_tenant(self):
+        from repro.service import DEFAULT_TENANT, parse_tenant_header
+
+        assert parse_tenant_header(None) is DEFAULT_TENANT
+
+    def test_valid_header(self):
+        from repro.service import parse_tenant_header
+
+        assert parse_tenant_header("team-7.web").name == "team-7.web"
+
+    def test_malformed_header_is_a_protocol_error(self):
+        from repro.service import parse_tenant_header
+
+        with pytest.raises(ProtocolError, match="lowercase"):
+            parse_tenant_header("No Spaces Allowed")
+
+    def test_empty_header_points_at_the_fix(self):
+        from repro.service import parse_tenant_header
+
+        with pytest.raises(ProtocolError, match="omit the header"):
+            parse_tenant_header("")
+
+    def test_overlong_header_is_rejected(self):
+        from repro.service import parse_tenant_header
+
+        with pytest.raises(ProtocolError, match="too long"):
+            parse_tenant_header("x" * 64)
+
+
+class TestQosKeyRejection:
+    """Clients cannot smuggle tenant identity or QoS policy into a
+    request body — pointed 400s, not generic unknown-key ones."""
+
+    def test_tenant_in_analyze_body_names_the_header(self):
+        with pytest.raises(ProtocolError,
+                           match="X-Repro-Tenant request header"):
+            parse_analyze_request({"workload": "com", "tenant": "alice"})
+
+    def test_tenant_in_sweep_body_names_the_header(self):
+        with pytest.raises(ProtocolError,
+                           match="X-Repro-Tenant request header"):
+            parse_sweep_request({"configs": [{}], "tenant": "alice"})
+
+    @pytest.mark.parametrize("key", ["qos", "priority", "class",
+                                     "quota", "weight"])
+    def test_qos_keys_in_analyze_body_name_the_operator(self, key):
+        with pytest.raises(ProtocolError,
+                           match="service operator"):
+            parse_analyze_request({"workload": "com", key: "high"})
+
+    def test_qos_keys_in_sweep_body(self):
+        with pytest.raises(ProtocolError, match="repro serve --qos"):
+            parse_sweep_request({"configs": [{}], "priority": 1})
+
+    def test_qos_keys_inside_config_object(self):
+        with pytest.raises(ProtocolError, match="server-side QoS"):
+            config_from_dict({"priority": "interactive"})
+
+    def test_tenant_inside_config_object(self):
+        with pytest.raises(ProtocolError,
+                           match="X-Repro-Tenant request header"):
+            config_from_dict({"tenant": "alice"})
+
+    def test_rejection_beats_generic_unknown_key_error(self):
+        # The pointed message, not "unknown request field(s): ...".
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_analyze_request({"workload": "com", "quota": 5})
+        assert "unknown request field" not in str(excinfo.value)

@@ -227,3 +227,65 @@ class TestGracefulDrain:
         client = ServiceClient(port=port, retries=0, timeout=5.0)
         with pytest.raises(ServiceUnavailable):
             client.health()
+
+
+class TestTenantAndQos:
+    """Tenant identity over the wire and QoS end to end
+    (docs/qos.md; the deterministic quota/fairness logic is covered
+    in test_qos*.py — here we prove the HTTP plumbing)."""
+
+    def qos_server(self, tmp_path, **tenant_specs):
+        from repro.service.qos import qos_policy_from_dict
+
+        policy = qos_policy_from_dict({"tenants": tenant_specs})
+        return BackgroundServer(
+            store=ResultStore(tmp_path), trace_store=TraceStore(tmp_path),
+            broker_config=BrokerConfig(workers=2, batch_window=0.02,
+                                       qos=policy),
+        )
+
+    def test_malformed_tenant_header_is_pointed_400(self, server):
+        client = client_for(server, tenant="NOT A TENANT")
+        with pytest.raises(RequestFailed) as excinfo:
+            client.analyze("com", {"max_instructions": BUDGET})
+        assert excinfo.value.status == 400
+        assert "X-Repro-Tenant" in excinfo.value.payload["error"]
+
+    def test_qos_key_in_body_is_pointed_400(self, server):
+        with pytest.raises(RequestFailed) as excinfo:
+            client_for(server).request(
+                "POST", "/v1/analyze",
+                {"workload": "com", "priority": "high"},
+            )
+        assert excinfo.value.status == 400
+        assert "operator" in excinfo.value.payload["error"]
+
+    def test_tenant_flows_into_attribution_and_metrics(self, tmp_path):
+        with self.qos_server(
+            tmp_path, alice={"class": "interactive"},
+        ) as server:
+            client = client_for(server, tenant="alice")
+            client.analyze("com", {"max_instructions": BUDGET})
+            ready = client.ready()
+            assert ready["qos"]["tenants"]["alice"]["requests"] == 1
+            assert 'tenant="alice"' in client.metrics()
+
+    def test_quota_429_surfaces_per_tenant_retry_after(self, tmp_path):
+        # mallory's bucket holds exactly one token and refills over
+        # 1000s, so the second request sheds with a *large* hint that
+        # can only have come from mallory's own bucket; the client
+        # surfaces it exactly as global-shedding 429s.
+        with self.qos_server(
+            tmp_path, mallory={"rate": 0.001, "burst": 1},
+        ) as server:
+            client = client_for(server, tenant="mallory", retries=0)
+            client.analyze("com", {"max_instructions": BUDGET})
+            with pytest.raises(ServiceUnavailable) as excinfo:
+                client.analyze("com", {"max_instructions": BUDGET})
+            assert excinfo.value.last_status == 429
+            assert excinfo.value.retry_after >= 100
+            # An innocent tenant is untouched.
+            other = client_for(server, tenant="alice")
+            response = other.analyze("com",
+                                     {"max_instructions": BUDGET})
+            assert response["status"] == "warm"
